@@ -1,0 +1,44 @@
+//! Figure 3 bench: time to push one batch of hash-table transactions through
+//! the full pipeline, per scheduler × key distribution. The scheduler
+//! ordering (adaptive ≤ fixed, both beating round-robin on uniform keys;
+//! fixed collapsing on exponential keys) is the paper's result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use katme_bench::{run_pipeline_batch, short_measurement, BATCH};
+use katme_collections::StructureKind;
+use katme_core::scheduler::SchedulerKind;
+use katme_workload::DistributionKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let (warm_up, measurement, samples) = short_measurement();
+    let workers = 4;
+    for distribution in DistributionKind::paper_distributions() {
+        let mut group = c.benchmark_group(format!("fig3/{}", distribution.name()));
+        group
+            .warm_up_time(warm_up)
+            .measurement_time(measurement)
+            .sample_size(samples)
+            .throughput(criterion::Throughput::Elements(BATCH as u64));
+        for scheduler in SchedulerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(scheduler.name()),
+                &scheduler,
+                |b, &scheduler| {
+                    b.iter(|| {
+                        run_pipeline_batch(
+                            StructureKind::HashTable,
+                            distribution,
+                            scheduler,
+                            workers,
+                            BATCH,
+                        )
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

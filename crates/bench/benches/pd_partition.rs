@@ -1,0 +1,72 @@
+//! Figure 2 / PD-partition component bench: cost of the adaptive machinery —
+//! sampling keys into a histogram, estimating the piecewise-linear CDF,
+//! computing the equal-probability partition, and the per-dispatch cost of
+//! each scheduler. The paper's claim is that adaptation overhead is "low
+//! run-time overhead"; these numbers quantify it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use katme_core::histogram::Histogram;
+use katme_core::key::KeyBounds;
+use katme_core::partition::KeyPartition;
+use katme_core::scheduler::{FixedKeyScheduler, RoundRobinScheduler, Scheduler};
+use katme_core::{AdaptiveKeyScheduler, PiecewiseCdf};
+use katme_workload::{DistributionKind, KeyDistribution};
+
+fn bench_estimation(c: &mut Criterion) {
+    let bounds = KeyBounds::new(0, 131_071);
+    let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 3);
+    let samples: Vec<u64> = (0..10_000).map(|_| u64::from(dist.sample_raw())).collect();
+
+    let mut group = c.benchmark_group("pd-partition");
+    group.sample_size(30);
+    group.bench_function("histogram-10k-samples", |b| {
+        b.iter(|| Histogram::from_samples(bounds, 256, &samples))
+    });
+    let hist = Histogram::from_samples(bounds, 256, &samples);
+    group.bench_function("cdf-from-histogram", |b| {
+        b.iter(|| PiecewiseCdf::from_histogram(&hist))
+    });
+    let cdf = PiecewiseCdf::from_histogram(&hist);
+    group.bench_function("partition-from-cdf-16-workers", |b| {
+        b.iter(|| KeyPartition::from_cdf(&cdf, 16))
+    });
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let bounds = KeyBounds::new(0, 131_071);
+    let mut dist = KeyDistribution::new(DistributionKind::gaussian_paper(), 9);
+    let keys: Vec<u64> = (0..4_096).map(|_| u64::from(dist.sample_raw())).collect();
+
+    let round_robin = RoundRobinScheduler::new(8);
+    let fixed = FixedKeyScheduler::new(8, bounds);
+    let adaptive = AdaptiveKeyScheduler::new(8, bounds).with_sample_threshold(1_000);
+    // Warm the adaptive scheduler past its sampling phase.
+    for &k in &keys {
+        adaptive.dispatch(k);
+    }
+
+    let mut group = c.benchmark_group("dispatch-per-key");
+    group.sample_size(50);
+    group.throughput(criterion::Throughput::Elements(keys.len() as u64));
+    let schedulers: [(&str, &dyn Scheduler); 3] = [
+        ("round-robin", &round_robin),
+        ("fixed", &fixed),
+        ("adaptive", &adaptive),
+    ];
+    for (name, scheduler) in schedulers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheduler, |b, s| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &k in &keys {
+                    acc = acc.wrapping_add(s.dispatch(k));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation, bench_dispatch);
+criterion_main!(benches);

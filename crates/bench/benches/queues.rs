@@ -1,0 +1,76 @@
+//! Task-queue micro-benchmarks: the Michael & Scott two-lock queue against
+//! the single-lock baseline and the bounded ring, single-threaded and under
+//! producer/consumer concurrency.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use katme_queue::{BoundedQueue, MutexQueue, TaskQueue, TwoLockQueue};
+
+const OPS: u64 = 20_000;
+
+fn single_threaded<Q: TaskQueue<u64>>(queue: &Q) -> u64 {
+    let mut out = 0;
+    for i in 0..OPS {
+        queue.push(i);
+        if i % 2 == 1 {
+            out += queue.try_pop().unwrap_or(0);
+        }
+    }
+    while let Some(v) = queue.try_pop() {
+        out += v;
+    }
+    out
+}
+
+fn producer_consumer<Q: TaskQueue<u64> + Send + Sync + 'static>(queue: Arc<Q>) -> u64 {
+    std::thread::scope(|s| {
+        let producer_q = Arc::clone(&queue);
+        s.spawn(move || {
+            for i in 0..OPS {
+                producer_q.push(i);
+            }
+        });
+        let consumer_q = Arc::clone(&queue);
+        let consumer = s.spawn(move || {
+            let mut received = 0u64;
+            while received < OPS {
+                if consumer_q.try_pop().is_some() {
+                    received += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            received
+        });
+        consumer.join().unwrap()
+    })
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues/single-thread");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(OPS));
+    group.bench_function("two-lock", |b| {
+        b.iter(|| single_threaded(&TwoLockQueue::new()))
+    });
+    group.bench_function("mutex", |b| b.iter(|| single_threaded(&MutexQueue::new())));
+    group.bench_function("bounded-1024", |b| {
+        b.iter(|| single_threaded(&BoundedQueue::new(1_024 + OPS as usize)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("queues/producer-consumer");
+    group.sample_size(15);
+    group.throughput(criterion::Throughput::Elements(OPS));
+    group.bench_with_input(BenchmarkId::from_parameter("two-lock"), &(), |b, _| {
+        b.iter(|| producer_consumer(Arc::new(TwoLockQueue::new())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("mutex"), &(), |b, _| {
+        b.iter(|| producer_consumer(Arc::new(MutexQueue::new())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Tech-report companion bench: the Figure-3 sweep for the red-black tree
+//! and sorted list. The key-based schedulers' advantage is expected to be
+//! large for the tree and smaller (but present) for the list, matching the
+//! paper's summary in §4.4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use katme_bench::{run_pipeline_batch, short_measurement};
+use katme_collections::StructureKind;
+use katme_core::scheduler::SchedulerKind;
+use katme_workload::DistributionKind;
+
+/// Smaller batch than the hash-table bench: list operations are O(n).
+const BATCH: usize = 1_500;
+
+fn bench_tree_list(c: &mut Criterion) {
+    let (warm_up, measurement, samples) = short_measurement();
+    let workers = 4;
+    for structure in [StructureKind::RbTree, StructureKind::SortedList] {
+        for distribution in [
+            DistributionKind::Uniform,
+            DistributionKind::exponential_paper(),
+        ] {
+            let mut group =
+                c.benchmark_group(format!("{}/{}", structure.name(), distribution.name()));
+            group
+                .warm_up_time(warm_up)
+                .measurement_time(measurement)
+                .sample_size(samples)
+                .throughput(criterion::Throughput::Elements(BATCH as u64));
+            for scheduler in SchedulerKind::ALL {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(scheduler.name()),
+                    &scheduler,
+                    |b, &scheduler| {
+                        b.iter(|| {
+                            run_pipeline_batch(structure, distribution, scheduler, workers, BATCH)
+                        })
+                    },
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_tree_list);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! # katme-bench — Criterion benchmarks for the KATME reproduction
+//!
+//! One bench target per figure/table of the paper, plus component
+//! micro-benchmarks and ablations:
+//!
+//! * `fig3_hashtable` — hash-table throughput per scheduler × distribution.
+//! * `fig4_overhead` — executor vs. free-running trivial transactions.
+//! * `rbtree_list` — the tech-report tree/list sweeps.
+//! * `pd_partition` — cost of sampling, CDF estimation and partitioning.
+//! * `stm_ops` — raw STM read/write/commit costs and contention-manager
+//!   ablation.
+//! * `queues` — Michael & Scott two-lock queue vs. the single-lock baseline.
+//! * `ablation_contention` — scheduler ablation under forced conflicts.
+//!
+//! Criterion measures *time per iteration*; for the figure benches each
+//! iteration is one fixed-size batch of transactions pushed through the full
+//! pipeline, so lower is better and the relative ordering of the schedulers
+//! is the result that mirrors the paper. The experiment binaries in
+//! `katme-harness` report the same comparisons as transactions/second over a
+//! wall-clock window (the paper's own metric).
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use katme_collections::{Dictionary, StructureKind};
+use katme_core::prelude::*;
+use katme_stm::Stm;
+use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
+
+/// Batch size used by the pipeline benches (one Criterion iteration = one
+/// batch pushed through producers → executor → workers → STM).
+pub const BATCH: usize = 4_000;
+
+/// Criterion settings that keep the full suite's runtime reasonable:
+/// (warm-up time, measurement time, sample size).
+pub fn short_measurement() -> (Duration, Duration, usize) {
+    (Duration::from_millis(300), Duration::from_millis(900), 10)
+}
+
+/// Apply one spec to a dictionary.
+pub fn apply_spec(dict: &dyn Dictionary, spec: &TxnSpec) {
+    match spec.op {
+        OpKind::Insert => {
+            dict.insert(spec.key, spec.value);
+        }
+        OpKind::Delete => {
+            dict.remove(spec.key);
+        }
+        OpKind::Lookup => {
+            dict.lookup(spec.key);
+        }
+    }
+}
+
+/// Run one batch of transactions through the full executor pipeline and
+/// return the number completed (used by the figure benches).
+pub fn run_pipeline_batch(
+    structure: StructureKind,
+    distribution: DistributionKind,
+    scheduler: SchedulerKind,
+    workers: usize,
+    batch: usize,
+) -> u64 {
+    let stm = Stm::default();
+    let dict = structure.build(stm);
+    let bounds = match structure {
+        StructureKind::HashTable => KeyBounds::new(0, katme_collections::PAPER_BUCKETS as u64 - 1),
+        _ => KeyBounds::dict16(),
+    };
+    let scheduler = scheduler.build(workers, bounds);
+    let dict_for_workers = Arc::clone(&dict);
+    let executor = Executor::start(
+        ExecutorConfig::default().with_drain_on_shutdown(true),
+        scheduler,
+        move |_worker, spec: TxnSpec| apply_spec(&*dict_for_workers, &spec),
+    );
+    let mapper = BucketKeyMapper::paper();
+    let dict_mapper = DictKeyMapper;
+    let mut gen = OpGenerator::paper(distribution, 0xbe7c);
+    for _ in 0..batch {
+        let spec = gen.next_spec();
+        let key = match structure {
+            StructureKind::HashTable => mapper.key(&spec),
+            _ => dict_mapper.key(&spec),
+        };
+        executor.submit(key, spec);
+    }
+    executor.shutdown().completed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_batch_completes_everything() {
+        let done = run_pipeline_batch(
+            StructureKind::HashTable,
+            DistributionKind::Uniform,
+            SchedulerKind::AdaptiveKey,
+            2,
+            500,
+        );
+        assert_eq!(done, 500);
+    }
+}

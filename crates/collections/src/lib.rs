@@ -1,0 +1,117 @@
+//! # katme-collections — transactional dictionary data structures
+//!
+//! The concurrent data structures the KATME paper benchmarks, built on the
+//! [`katme_stm`] substrate:
+//!
+//! * [`HashTable`] — externally chained hash table with the paper's 30031
+//!   buckets; one [`katme_stm::TVar`] per bucket (Figure 3's structure).
+//! * [`RbTree`] — red-black tree with one `TVar` per node.
+//! * [`SortedList`] — sorted singly linked list with one `TVar` per link.
+//! * [`TxStack`] — the stack example of §3.1 (constant transaction key).
+//! * [`LockedDictionary`] — coarse-grained lock baseline for ablations.
+//!
+//! All dictionary structures implement [`Dictionary`] (whole-operation
+//! transactions) and [`TxDictionary`] (composable, runs inside a caller's
+//! transaction), so the executor, harness, benches and tests can treat them
+//! uniformly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dictionary;
+pub mod hashtable;
+pub mod locked;
+pub mod rbtree;
+pub mod sorted_list;
+pub mod stack;
+
+pub use dictionary::{DictOp, Dictionary, Key, TxDictionary, Value};
+pub use hashtable::{HashTable, PAPER_BUCKETS};
+pub use locked::LockedDictionary;
+pub use rbtree::RbTree;
+pub use sorted_list::SortedList;
+pub use stack::TxStack;
+
+/// The benchmark structures the paper names, for sweeping in the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// Externally chained hash table (30031 buckets).
+    HashTable,
+    /// Red-black tree.
+    RbTree,
+    /// Sorted singly linked list.
+    SortedList,
+}
+
+impl StructureKind {
+    /// All benchmark structures.
+    pub const ALL: [StructureKind; 3] = [
+        StructureKind::HashTable,
+        StructureKind::RbTree,
+        StructureKind::SortedList,
+    ];
+
+    /// Name used in reports (matches the paper's benchmark names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StructureKind::HashTable => "hashtable",
+            StructureKind::RbTree => "rbtree",
+            StructureKind::SortedList => "sorted-list",
+        }
+    }
+
+    /// Instantiate the structure over the given STM runtime.
+    pub fn build(&self, stm: katme_stm::Stm) -> std::sync::Arc<dyn TxDictionary> {
+        match self {
+            StructureKind::HashTable => std::sync::Arc::new(HashTable::new(stm)),
+            StructureKind::RbTree => std::sync::Arc::new(RbTree::new(stm)),
+            StructureKind::SortedList => std::sync::Arc::new(SortedList::new(stm)),
+        }
+    }
+}
+
+impl std::fmt::Display for StructureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StructureKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hashtable" | "hash" | "hash-table" => Ok(StructureKind::HashTable),
+            "rbtree" | "tree" | "red-black-tree" => Ok(StructureKind::RbTree),
+            "sorted-list" | "list" | "sortedlist" => Ok(StructureKind::SortedList),
+            other => Err(format!("unknown structure '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn structure_kind_round_trip() {
+        for kind in StructureKind::ALL {
+            assert_eq!(StructureKind::from_str(kind.name()).unwrap(), kind);
+        }
+        assert!(StructureKind::from_str("bogus").is_err());
+    }
+
+    #[test]
+    fn build_produces_working_dictionaries() {
+        for kind in StructureKind::ALL {
+            let dict = kind.build(katme_stm::Stm::default());
+            assert!(dict.insert(10, 1));
+            assert!(dict.insert(20, 2));
+            assert!(!dict.insert(10, 3));
+            assert_eq!(dict.lookup(10), Some(3));
+            assert!(dict.remove(20));
+            assert_eq!(dict.len(), 1, "{kind} length mismatch");
+        }
+    }
+}

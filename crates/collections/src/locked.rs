@@ -1,0 +1,90 @@
+//! Coarse-grained lock baseline dictionary.
+//!
+//! The paper motivates transactional memory by contrast with lock-based
+//! synchronization. This baseline — a single mutex around a `BTreeMap` — is
+//! used by the ablation benches to show where the STM structures sit between
+//! "one global lock" (no concurrency, no aborts) and fine-grained
+//! transactions (concurrency, occasional aborts), and by the tests as a
+//! trivially correct reference implementation.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::dictionary::{Dictionary, Key, Value};
+
+/// A `Mutex<BTreeMap>` dictionary.
+#[derive(Default)]
+pub struct LockedDictionary {
+    inner: Mutex<BTreeMap<Key, Value>>,
+}
+
+impl LockedDictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the current contents (for validation).
+    pub fn snapshot(&self) -> BTreeMap<Key, Value> {
+        self.inner.lock().clone()
+    }
+}
+
+impl Dictionary for LockedDictionary {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.inner.lock().insert(key, value).is_none()
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        self.inner.lock().remove(&key).is_some()
+    }
+
+    fn lookup(&self, key: Key) -> Option<Value> {
+        self.inner.lock().get(&key).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "locked-btreemap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn basic_dictionary_behaviour() {
+        let d = LockedDictionary::new();
+        assert!(d.insert(1, 10));
+        assert!(!d.insert(1, 11));
+        assert_eq!(d.lookup(1), Some(11));
+        assert!(d.remove(1));
+        assert!(!d.remove(1));
+        assert!(d.is_empty());
+        assert_eq!(d.name(), "locked-btreemap");
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let d = Arc::new(LockedDictionary::new());
+        thread::scope(|s| {
+            for t in 0..4u32 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        d.insert(t * 500 + i, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(d.len(), 2_000);
+        assert_eq!(d.snapshot().len(), 2_000);
+    }
+}

@@ -1,0 +1,717 @@
+//! Transactional red-black tree.
+//!
+//! One of the paper's three microbenchmark structures ("we name the
+//! benchmarks by the type of data structure: hash table, red-black tree, and
+//! sorted linked list"). The tree gives the key-based executor a middle
+//! ground between the hash table (perfect key → data-location correlation)
+//! and the sorted list (weak correlation): transactions on nearby keys touch
+//! overlapping root-to-leaf paths, so clustering them on one worker improves
+//! cache locality and avoids conflicts around rebalancing.
+//!
+//! ### Representation
+//!
+//! Every node lives in its own [`TVar`]; links are `Option<TVar<Node>>`.
+//! There are no parent pointers (they would create `Arc` cycles); instead the
+//! insertion and deletion algorithms carry an explicit ancestor path, which
+//! is the standard CLRS bottom-up algorithm re-expressed for a
+//! copy-on-write, no-parent-pointer heap. The conflict unit is a single node,
+//! matching the Java DSTM benchmark the paper builds on.
+
+use katme_stm::{Stm, TVar, Transaction, TxError};
+
+use crate::dictionary::{Dictionary, Key, TxDictionary, Value};
+
+/// Node colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+/// Child direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Left,
+    Right,
+}
+
+impl Dir {
+    fn opposite(self) -> Dir {
+        match self {
+            Dir::Left => Dir::Right,
+            Dir::Right => Dir::Left,
+        }
+    }
+}
+
+/// A tree node. Cloned on every transactional update (copy-on-write).
+#[derive(Clone)]
+struct Node {
+    key: Key,
+    value: Value,
+    color: Color,
+    left: Option<TVar<Node>>,
+    right: Option<TVar<Node>>,
+}
+
+impl Node {
+    fn new_red(key: Key, value: Value) -> Self {
+        Node {
+            key,
+            value,
+            color: Color::Red,
+            left: None,
+            right: None,
+        }
+    }
+
+    fn child(&self, dir: Dir) -> Option<TVar<Node>> {
+        match dir {
+            Dir::Left => self.left.clone(),
+            Dir::Right => self.right.clone(),
+        }
+    }
+
+    fn with_child(&self, dir: Dir, link: Option<TVar<Node>>) -> Node {
+        let mut n = self.clone();
+        match dir {
+            Dir::Left => n.left = link,
+            Dir::Right => n.right = link,
+        }
+        n
+    }
+
+    fn with_color(&self, color: Color) -> Node {
+        let mut n = self.clone();
+        n.color = color;
+        n
+    }
+}
+
+/// Where the link *above* a node lives: either the tree's root slot or a
+/// specific child slot of a parent node.
+enum Slot {
+    Root,
+    Child(TVar<Node>, Dir),
+}
+
+/// A transactional red-black tree implementing the abstract dictionary.
+pub struct RbTree {
+    stm: Stm,
+    root: TVar<Option<TVar<Node>>>,
+}
+
+impl RbTree {
+    /// Create an empty tree.
+    pub fn new(stm: Stm) -> Self {
+        RbTree {
+            stm,
+            root: TVar::new(None),
+        }
+    }
+
+    /// In-order keys (validation/diagnostics; single transaction).
+    pub fn keys(&self) -> Vec<Key> {
+        self.stm.atomically(|tx| {
+            let mut out = Vec::new();
+            let root = (*tx.read(&self.root)?).clone();
+            self.collect_keys(tx, &root, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn collect_keys(
+        &self,
+        tx: &mut Transaction<'_>,
+        link: &Option<TVar<Node>>,
+        out: &mut Vec<Key>,
+    ) -> Result<(), TxError> {
+        if let Some(node_tv) = link {
+            let node = tx.read(node_tv)?;
+            let (left, right) = (node.left.clone(), node.right.clone());
+            self.collect_keys(tx, &left, out)?;
+            out.push(node.key);
+            self.collect_keys(tx, &right, out)?;
+        }
+        Ok(())
+    }
+
+    /// Check every red-black invariant, returning the black height on
+    /// success and a description of the violation otherwise. Used by the
+    /// property tests and available to applications as a self-check.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        self.stm.atomically(|tx| {
+            let root = (*tx.read(&self.root)?).clone();
+            if let Some(node_tv) = &root {
+                if tx.read(node_tv)?.color == Color::Red {
+                    return Ok(Err("root is red".to_string()));
+                }
+            }
+            Ok(self.check_subtree(tx, &root, None, None))
+        })
+    }
+
+    fn check_subtree(
+        &self,
+        tx: &mut Transaction<'_>,
+        link: &Option<TVar<Node>>,
+        low: Option<Key>,
+        high: Option<Key>,
+    ) -> Result<usize, String> {
+        let Some(node_tv) = link else { return Ok(1) };
+        let node = tx
+            .read(node_tv)
+            .map_err(|e| format!("stm error during check: {e}"))?;
+        if let Some(l) = low {
+            if node.key <= l {
+                return Err(format!("ordering violated: {} <= {}", node.key, l));
+            }
+        }
+        if let Some(h) = high {
+            if node.key >= h {
+                return Err(format!("ordering violated: {} >= {}", node.key, h));
+            }
+        }
+        if node.color == Color::Red {
+            for child in [&node.left, &node.right] {
+                if let Some(c) = child {
+                    let cn = tx.read(c).map_err(|e| format!("stm error: {e}"))?;
+                    if cn.color == Color::Red {
+                        return Err(format!("red node {} has a red child", node.key));
+                    }
+                }
+            }
+        }
+        let (left, right) = (node.left.clone(), node.right.clone());
+        let lh = self.check_subtree(tx, &left, low, Some(node.key))?;
+        let rh = self.check_subtree(tx, &right, Some(node.key), high)?;
+        if lh != rh {
+            return Err(format!(
+                "black-height mismatch at {}: left {lh}, right {rh}",
+                node.key
+            ));
+        }
+        Ok(lh + usize::from(node.color == Color::Black))
+    }
+
+    // ----- shared low-level helpers -------------------------------------
+
+    fn set_slot(
+        &self,
+        tx: &mut Transaction<'_>,
+        slot: &Slot,
+        link: Option<TVar<Node>>,
+    ) -> Result<(), TxError> {
+        match slot {
+            Slot::Root => tx.write(&self.root, link),
+            Slot::Child(parent, dir) => {
+                let dir = *dir;
+                tx.modify(parent, move |n| n.with_child(dir, link.clone()))
+            }
+        }
+    }
+
+    fn set_color(
+        &self,
+        tx: &mut Transaction<'_>,
+        node_tv: &TVar<Node>,
+        color: Color,
+    ) -> Result<(), TxError> {
+        let node = tx.read(node_tv)?;
+        if node.color != color {
+            tx.write(node_tv, node.with_color(color))?;
+        }
+        Ok(())
+    }
+
+    /// Rotate `node` *toward* `dir` (a classic left rotation is
+    /// `rotate(.., Dir::Left)`: the node moves down to the left and its right
+    /// child rises). `slot` is the link above `node`.
+    fn rotate(
+        &self,
+        tx: &mut Transaction<'_>,
+        slot: &Slot,
+        node_tv: &TVar<Node>,
+        dir: Dir,
+    ) -> Result<TVar<Node>, TxError> {
+        let node = tx.read(node_tv)?;
+        let rising_tv = node
+            .child(dir.opposite())
+            .expect("rotation requires a child on the rising side");
+        let rising = tx.read(&rising_tv)?;
+        tx.write(node_tv, node.with_child(dir.opposite(), rising.child(dir)))?;
+        tx.write(&rising_tv, rising.with_child(dir, Some(node_tv.clone())))?;
+        self.set_slot(tx, slot, Some(rising_tv.clone()))?;
+        Ok(rising_tv)
+    }
+
+    fn slot_above(path: &[(TVar<Node>, Dir)], depth_from_top: usize) -> Slot {
+        // `depth_from_top` = how many trailing entries to ignore; 0 means the
+        // slot above the node whose parent is the last path entry.
+        if path.len() > depth_from_top {
+            let (parent, dir) = &path[path.len() - 1 - depth_from_top];
+            Slot::Child(parent.clone(), *dir)
+        } else {
+            Slot::Root
+        }
+    }
+
+    // ----- insertion ------------------------------------------------------
+
+    fn insert_fixup(
+        &self,
+        tx: &mut Transaction<'_>,
+        mut path: Vec<(TVar<Node>, Dir)>,
+        mut z: TVar<Node>,
+    ) -> Result<(), TxError> {
+        loop {
+            let Some((p_tv, zdir)) = path.pop() else {
+                // z is the root: the root is always black.
+                self.set_color(tx, &z, Color::Black)?;
+                return Ok(());
+            };
+            if tx.read(&p_tv)?.color == Color::Black {
+                return Ok(());
+            }
+            // A red parent cannot be the root, so a grandparent exists.
+            let (g_tv, pdir) = path
+                .pop()
+                .expect("red parent implies a grandparent exists");
+            let g = tx.read(&g_tv)?;
+            let uncle = g.child(pdir.opposite());
+            let uncle_is_red = match &uncle {
+                Some(u) => tx.read(u)?.color == Color::Red,
+                None => false,
+            };
+
+            if uncle_is_red {
+                // Case 1: recolour and continue from the grandparent.
+                self.set_color(tx, &p_tv, Color::Black)?;
+                if let Some(u) = &uncle {
+                    self.set_color(tx, u, Color::Black)?;
+                }
+                self.set_color(tx, &g_tv, Color::Red)?;
+                z = g_tv;
+                continue;
+            }
+
+            // Cases 2/3: rotations terminate the loop.
+            let slot_above_g = Self::slot_above(&path, 0);
+            if zdir != pdir {
+                // Case 2 (inner child): rotate the parent so the violation
+                // becomes an outer-child violation rooted at `z`.
+                self.rotate(tx, &Slot::Child(g_tv.clone(), pdir), &p_tv, pdir)?;
+                self.set_color(tx, &z, Color::Black)?;
+            } else {
+                // Case 3 (outer child).
+                self.set_color(tx, &p_tv, Color::Black)?;
+            }
+            self.set_color(tx, &g_tv, Color::Red)?;
+            self.rotate(tx, &slot_above_g, &g_tv, pdir.opposite())?;
+            return Ok(());
+        }
+    }
+
+    // ----- deletion -------------------------------------------------------
+
+    fn delete_fixup(
+        &self,
+        tx: &mut Transaction<'_>,
+        mut path: Vec<(TVar<Node>, Dir)>,
+        mut x: Option<TVar<Node>>,
+    ) -> Result<(), TxError> {
+        loop {
+            let Some((p_tv, xdir)) = path.last().cloned() else {
+                // x is the root: colour it black and stop.
+                if let Some(xn) = &x {
+                    self.set_color(tx, xn, Color::Black)?;
+                }
+                return Ok(());
+            };
+
+            // A red (or red-and-black) x absorbs the extra blackness.
+            if let Some(xn) = &x {
+                if tx.read(xn)?.color == Color::Red {
+                    self.set_color(tx, xn, Color::Black)?;
+                    return Ok(());
+                }
+            }
+
+            let p = tx.read(&p_tv)?;
+            let w_tv = p
+                .child(xdir.opposite())
+                .expect("a doubly-black node must have a sibling");
+            let w = tx.read(&w_tv)?;
+
+            if w.color == Color::Red {
+                // Case 1: red sibling — rotate it above the parent so the new
+                // sibling is black, then retry.
+                self.set_color(tx, &w_tv, Color::Black)?;
+                self.set_color(tx, &p_tv, Color::Red)?;
+                let slot_above_p = Self::slot_above(&path, 1);
+                self.rotate(tx, &slot_above_p, &p_tv, xdir)?;
+                // The sibling is now x's grandparent; record it in the path so
+                // later rotations above the parent use the correct slot.
+                let insert_at = path.len() - 1;
+                path.insert(insert_at, (w_tv.clone(), xdir));
+                continue;
+            }
+
+            let near_link = w.child(xdir);
+            let far_link = w.child(xdir.opposite());
+            let near_is_red = match &near_link {
+                Some(n) => tx.read(n)?.color == Color::Red,
+                None => false,
+            };
+            let far_is_red = match &far_link {
+                Some(n) => tx.read(n)?.color == Color::Red,
+                None => false,
+            };
+
+            if !near_is_red && !far_is_red {
+                // Case 2: both nephews black — push the blackness up.
+                self.set_color(tx, &w_tv, Color::Red)?;
+                path.pop();
+                x = Some(p_tv);
+                continue;
+            }
+
+            // Case 3: far nephew black, near nephew red — rotate the sibling
+            // so the far nephew becomes red.
+            let (w_tv, far_tv) = if !far_is_red {
+                let near_tv = near_link.expect("near nephew is red, so it exists");
+                self.set_color(tx, &near_tv, Color::Black)?;
+                self.set_color(tx, &w_tv, Color::Red)?;
+                self.rotate(
+                    tx,
+                    &Slot::Child(p_tv.clone(), xdir.opposite()),
+                    &w_tv,
+                    xdir.opposite(),
+                )?;
+                let new_w_node = tx.read(&near_tv)?;
+                let far = new_w_node
+                    .child(xdir.opposite())
+                    .expect("old sibling becomes the far nephew after rotation");
+                (near_tv, far)
+            } else {
+                (w_tv, far_link.expect("far nephew is red, so it exists"))
+            };
+
+            // Case 4: far nephew red — one rotation finishes the repair.
+            let p_color = tx.read(&p_tv)?.color;
+            self.set_color(tx, &w_tv, p_color)?;
+            self.set_color(tx, &p_tv, Color::Black)?;
+            self.set_color(tx, &far_tv, Color::Black)?;
+            let slot_above_p = Self::slot_above(&path, 1);
+            self.rotate(tx, &slot_above_p, &p_tv, xdir)?;
+            return Ok(());
+        }
+    }
+}
+
+impl Dictionary for RbTree {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.stm.atomically(|tx| self.insert_tx(tx, key, value))
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        self.stm.atomically(|tx| self.remove_tx(tx, key))
+    }
+
+    fn lookup(&self, key: Key) -> Option<Value> {
+        self.stm.atomically(|tx| self.lookup_tx(tx, key))
+    }
+
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "rbtree"
+    }
+}
+
+impl TxDictionary for RbTree {
+    fn insert_tx(&self, tx: &mut Transaction<'_>, key: Key, value: Value) -> Result<bool, TxError> {
+        // Walk down recording the ancestor path.
+        let mut path: Vec<(TVar<Node>, Dir)> = Vec::new();
+        let mut current = (*tx.read(&self.root)?).clone();
+        while let Some(node_tv) = current {
+            let node = tx.read(&node_tv)?;
+            if node.key == key {
+                if node.value != value {
+                    tx.write(&node_tv, {
+                        let mut n = (*node).clone();
+                        n.value = value;
+                        n
+                    })?;
+                }
+                return Ok(false);
+            }
+            let dir = if key < node.key { Dir::Left } else { Dir::Right };
+            current = node.child(dir);
+            path.push((node_tv, dir));
+        }
+
+        // Splice in a new red leaf.
+        let new_tv = TVar::new(Node::new_red(key, value));
+        match path.last() {
+            None => tx.write(&self.root, Some(new_tv.clone()))?,
+            Some((parent, dir)) => {
+                let dir = *dir;
+                let child = Some(new_tv.clone());
+                tx.modify(parent, move |n| n.with_child(dir, child.clone()))?;
+            }
+        }
+        self.insert_fixup(tx, path, new_tv)?;
+        Ok(true)
+    }
+
+    fn remove_tx(&self, tx: &mut Transaction<'_>, key: Key) -> Result<bool, TxError> {
+        // Find the node, recording the ancestor path.
+        let mut path: Vec<(TVar<Node>, Dir)> = Vec::new();
+        let mut current = (*tx.read(&self.root)?).clone();
+        let mut target: Option<TVar<Node>> = None;
+        while let Some(node_tv) = current {
+            let node = tx.read(&node_tv)?;
+            if node.key == key {
+                target = Some(node_tv);
+                break;
+            }
+            let dir = if key < node.key { Dir::Left } else { Dir::Right };
+            current = node.child(dir);
+            path.push((node_tv, dir));
+        }
+        let Some(z_tv) = target else { return Ok(false) };
+        let z = tx.read(&z_tv)?;
+
+        // A node with two children is logically deleted by moving its
+        // in-order successor's key/value into it and physically deleting the
+        // successor (which has no left child).
+        let del_tv = if z.left.is_some() && z.right.is_some() {
+            path.push((z_tv.clone(), Dir::Right));
+            let mut cur = z.right.clone().expect("checked above");
+            loop {
+                let c = tx.read(&cur)?;
+                match c.left.clone() {
+                    Some(left) => {
+                        path.push((cur, Dir::Left));
+                        cur = left;
+                    }
+                    None => break,
+                }
+            }
+            let succ = tx.read(&cur)?;
+            let (sk, sv) = (succ.key, succ.value);
+            tx.modify(&z_tv, move |n| {
+                let mut m = n.clone();
+                m.key = sk;
+                m.value = sv;
+                m
+            })?;
+            cur
+        } else {
+            z_tv
+        };
+
+        // Splice out the physical target, which has at most one child.
+        let del = tx.read(&del_tv)?;
+        let child = del.left.clone().or_else(|| del.right.clone());
+        let slot = Self::slot_above(&path, 0);
+        self.set_slot(tx, &slot, child.clone())?;
+        if del.color == Color::Black {
+            self.delete_fixup(tx, path, child)?;
+        }
+        Ok(true)
+    }
+
+    fn lookup_tx(&self, tx: &mut Transaction<'_>, key: Key) -> Result<Option<Value>, TxError> {
+        let mut current = (*tx.read(&self.root)?).clone();
+        while let Some(node_tv) = current {
+            let node = tx.read(&node_tv)?;
+            if node.key == key {
+                return Ok(Some(node.value));
+            }
+            let dir = if key < node.key { Dir::Left } else { Dir::Right };
+            current = node.child(dir);
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn tree() -> RbTree {
+        RbTree::new(Stm::default())
+    }
+
+    fn assert_valid(t: &RbTree) {
+        if let Err(msg) = t.check_invariants() {
+            panic!("red-black invariants violated: {msg}\nkeys: {:?}", t.keys());
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let t = tree();
+        assert_valid(&t);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup(1), None);
+        assert!(!t.remove(1));
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let t = tree();
+        for key in 0..200u32 {
+            assert!(t.insert(key, u64::from(key)));
+            assert_valid(&t);
+        }
+        assert_eq!(t.keys(), (0..200).collect::<Vec<_>>());
+        // A valid red-black tree with 200 nodes has black height <= 9-ish;
+        // check it did not degenerate into a list.
+        let black_height = t.check_invariants().unwrap();
+        assert!(black_height <= 10, "black height {black_height} too large");
+    }
+
+    #[test]
+    fn descending_and_alternating_inserts_stay_balanced() {
+        let t = tree();
+        for key in (0..100u32).rev() {
+            t.insert(key, 0);
+        }
+        for key in (100..200u32).step_by(2) {
+            t.insert(key, 0);
+        }
+        assert_valid(&t);
+        assert_eq!(t.len(), 150);
+    }
+
+    #[test]
+    fn duplicate_insert_updates_value() {
+        let t = tree();
+        assert!(t.insert(10, 1));
+        assert!(!t.insert(10, 2));
+        assert_eq!(t.lookup(10), Some(2));
+        assert_eq!(t.len(), 1);
+        assert_valid(&t);
+    }
+
+    #[test]
+    fn remove_leaf_internal_and_root() {
+        let t = tree();
+        for key in [50u32, 25, 75, 10, 30, 60, 90, 5, 28, 65] {
+            t.insert(key, 0);
+        }
+        assert_valid(&t);
+        assert!(t.remove(5)); // leaf
+        assert_valid(&t);
+        assert!(t.remove(25)); // internal with two children
+        assert_valid(&t);
+        assert!(t.remove(50)); // (possibly) the root
+        assert_valid(&t);
+        assert!(!t.remove(50));
+        assert_eq!(t.keys(), vec![10, 28, 30, 60, 65, 75, 90]);
+    }
+
+    #[test]
+    fn drain_everything_in_random_order() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let t = tree();
+        let mut keys: Vec<u32> = (0..150).collect();
+        for &k in &keys {
+            t.insert(k, 0);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        keys.shuffle(&mut rng);
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(t.remove(k), "key {k} missing at step {i}");
+            assert_valid(&t);
+        }
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let t = tree();
+        let mut model: BTreeMap<Key, Value> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..3_000 {
+            let key = rng.gen_range(0..300u32);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let value = rng.gen::<u64>();
+                    let expected = !model.contains_key(&key);
+                    model.insert(key, value);
+                    assert_eq!(t.insert(key, value), expected, "insert {key} at {step}");
+                }
+                1 => {
+                    let expected = model.remove(&key).is_some();
+                    assert_eq!(t.remove(key), expected, "remove {key} at {step}");
+                }
+                _ => {
+                    assert_eq!(t.lookup(key), model.get(&key).copied(), "lookup {key}");
+                }
+            }
+            if step % 250 == 0 {
+                assert_valid(&t);
+                assert_eq!(t.keys(), model.keys().copied().collect::<Vec<_>>());
+            }
+        }
+        assert_valid(&t);
+        assert_eq!(t.keys(), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_keep_invariants() {
+        let t = Arc::new(tree());
+        let threads = 4u32;
+        let per_thread = 150u32;
+        thread::scope(|s| {
+            for p in 0..threads {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        t.insert(i * threads + p, u64::from(p));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), (threads * per_thread) as usize);
+        assert_valid(&t);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_keeps_invariants() {
+        let t = Arc::new(tree());
+        for key in (0..400u32).step_by(2) {
+            t.insert(key, 0);
+        }
+        thread::scope(|s| {
+            for worker in 0..4u32 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    use rand::{rngs::StdRng, Rng, SeedableRng};
+                    let mut rng = StdRng::seed_from_u64(u64::from(worker));
+                    for _ in 0..300 {
+                        let key = rng.gen_range(0..400u32);
+                        if rng.gen_bool(0.5) {
+                            t.insert(key, u64::from(worker));
+                        } else {
+                            t.remove(key);
+                        }
+                    }
+                });
+            }
+        });
+        assert_valid(&t);
+        let keys = t.keys();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Transactional stack.
+//!
+//! Section 3.1 of the paper uses a stack as the simplest example of key
+//! generation: every push and pop starts by touching the top-of-stack
+//! element, so the "key" supplied to the scheduler is a constant per stack.
+//! That tells the executor that all operations on the same stack will race
+//! for the same data, and it can serialize them on one worker.
+//!
+//! The stack is a purely functional cons list behind a single [`TVar`] (the
+//! top pointer), which makes the whole stack one conflict unit — exactly the
+//! behaviour the constant key advertises.
+
+use std::sync::Arc;
+
+use katme_stm::{Stm, TVar, Transaction, TxError};
+
+/// A persistent cons cell.
+struct Cell<T> {
+    value: T,
+    next: Option<Arc<Cell<T>>>,
+}
+
+/// A transactional LIFO stack.
+pub struct TxStack<T> {
+    stm: Stm,
+    top: TVar<Option<Arc<Cell<T>>>>,
+}
+
+impl<T: Clone + Send + Sync + 'static> TxStack<T> {
+    /// Create an empty stack.
+    pub fn new(stm: Stm) -> Self {
+        TxStack {
+            stm,
+            top: TVar::new(None),
+        }
+    }
+
+    /// The constant transaction key for this stack (see module docs). Every
+    /// operation on the same stack shares it.
+    pub fn transaction_key(&self) -> u64 {
+        self.top.id()
+    }
+
+    /// Push a value.
+    pub fn push(&self, value: T) {
+        self.stm.atomically(|tx| self.push_tx(tx, value.clone()))
+    }
+
+    /// Pop the most recently pushed value, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.stm.atomically(|tx| self.pop_tx(tx))
+    }
+
+    /// Peek at the most recently pushed value without removing it.
+    pub fn peek(&self) -> Option<T> {
+        self.stm.atomically(|tx| {
+            let top = tx.read(&self.top)?;
+            Ok((*top).as_ref().map(|cell| cell.value.clone()))
+        })
+    }
+
+    /// Number of elements (walks the list; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.stm.atomically(|tx| {
+            let mut n = 0;
+            let top = tx.read(&self.top)?;
+            let mut cursor = (*top).clone();
+            while let Some(cell) = cursor {
+                n += 1;
+                cursor = cell.next.clone();
+            }
+            Ok(n)
+        })
+    }
+
+    /// True when the stack holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.stm.atomically(|tx| Ok(tx.read(&self.top)?.is_none()))
+    }
+
+    /// Transactional push, composable with other operations.
+    pub fn push_tx(&self, tx: &mut Transaction<'_>, value: T) -> Result<(), TxError> {
+        let top = tx.read(&self.top)?;
+        let cell = Arc::new(Cell {
+            value,
+            next: (*top).clone(),
+        });
+        tx.write(&self.top, Some(cell))
+    }
+
+    /// Transactional pop, composable with other operations.
+    pub fn pop_tx(&self, tx: &mut Transaction<'_>) -> Result<Option<T>, TxError> {
+        let top = tx.read(&self.top)?;
+        match (*top).clone() {
+            Some(cell) => {
+                tx.write(&self.top, cell.next.clone())?;
+                Ok(Some(cell.value.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Pop that *waits* (via transactional retry) until an element is
+    /// available. Useful for producer/consumer style examples.
+    pub fn pop_blocking(&self) -> T {
+        self.stm.atomically(|tx| match self.pop_tx(tx)? {
+            Some(value) => Ok(value),
+            None => tx.retry(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+
+    #[test]
+    fn lifo_order() {
+        let s = TxStack::new(Stm::default());
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.peek(), Some(3));
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let s = TxStack::new(Stm::default());
+        assert_eq!(s.len(), 0);
+        for i in 0..10 {
+            s.push(i);
+        }
+        assert_eq!(s.len(), 10);
+        s.pop();
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn transaction_key_is_stable() {
+        let s = TxStack::<u32>::new(Stm::default());
+        let k = s.transaction_key();
+        s.push(1);
+        s.pop();
+        assert_eq!(s.transaction_key(), k);
+    }
+
+    #[test]
+    fn concurrent_pushes_and_pops_conserve_items() {
+        let s = StdArc::new(TxStack::new(Stm::default()));
+        let producers = 3u64;
+        let per_producer = 500u64;
+
+        thread::scope(|scope| {
+            for p in 0..producers {
+                let s = StdArc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        s.push(p * per_producer + i);
+                    }
+                });
+            }
+        });
+
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = s.pop() {
+            assert!(seen.insert(v), "duplicate value {v}");
+        }
+        assert_eq!(seen.len(), (producers * per_producer) as usize);
+    }
+
+    #[test]
+    fn blocking_pop_waits_for_producer() {
+        let s = StdArc::new(TxStack::new(Stm::default()));
+        let consumer = {
+            let s = StdArc::clone(&s);
+            thread::spawn(move || s.pop_blocking())
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        s.push(42u32);
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn composed_transfer_between_stacks_is_atomic() {
+        let stm = Stm::default();
+        let a = TxStack::new(stm.clone());
+        let b = TxStack::new(stm.clone());
+        a.push(7u32);
+        stm.atomically(|tx| {
+            if let Some(v) = a.pop_tx(tx)? {
+                b.push_tx(tx, v)?;
+            }
+            Ok(())
+        });
+        assert!(a.is_empty());
+        assert_eq!(b.pop(), Some(7));
+    }
+}

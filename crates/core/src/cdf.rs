@@ -1,0 +1,210 @@
+//! Piecewise-linear CDF estimation.
+//!
+//! Steps (c) and (d) of the paper's Figure 2: from the histogram's cumulative
+//! counts the partitioner builds "a piece-wise linear approximation of the
+//! cumulative distribution function", which it then inverts to find bucket
+//! boundaries of equal probability mass (step (e)).
+
+use crate::histogram::Histogram;
+use crate::key::{KeyBounds, TxnKey};
+
+/// A piecewise-linear approximation of a key distribution's CDF.
+///
+/// The CDF is represented by its value at the right edge of each histogram
+/// cell, interpolated linearly inside cells (and anchored at probability 0 at
+/// the left edge of the key space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseCdf {
+    bounds: KeyBounds,
+    /// Right edge (inclusive) of each cell.
+    edges: Vec<TxnKey>,
+    /// CDF value at each right edge, in `[0, 1]`, non-decreasing, ending at 1.
+    values: Vec<f64>,
+    /// Number of samples the estimate is based on.
+    samples: u64,
+}
+
+impl PiecewiseCdf {
+    /// Estimate a CDF from a histogram.
+    ///
+    /// # Panics
+    /// Panics when the histogram contains no samples.
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        assert!(hist.total() > 0, "cannot estimate a CDF from zero samples");
+        let total = hist.total() as f64;
+        let cumulative = hist.cumulative();
+        let edges: Vec<TxnKey> = (0..hist.cells()).map(|c| hist.cell_range(c).1).collect();
+        let values: Vec<f64> = cumulative.iter().map(|&c| c as f64 / total).collect();
+        PiecewiseCdf {
+            bounds: hist.bounds(),
+            edges,
+            values,
+            samples: hist.total(),
+        }
+    }
+
+    /// The key bounds the estimate covers.
+    pub fn bounds(&self) -> KeyBounds {
+        self.bounds
+    }
+
+    /// Number of samples behind the estimate.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Estimated `P(key <= k)`.
+    pub fn probability_at(&self, key: TxnKey) -> f64 {
+        if key < self.bounds.min {
+            return 0.0;
+        }
+        if key >= self.bounds.max {
+            return 1.0;
+        }
+        // Find the cell whose right edge is >= key.
+        let idx = self.edges.partition_point(|&e| e < key);
+        let right_edge = self.edges[idx];
+        let right_value = self.values[idx];
+        let (left_edge, left_value) = if idx == 0 {
+            (self.bounds.min, 0.0)
+        } else {
+            (self.edges[idx - 1] + 1, self.values[idx - 1])
+        };
+        if right_edge <= left_edge {
+            return right_value;
+        }
+        let span = (right_edge - left_edge) as f64;
+        let frac = (key - left_edge) as f64 / span;
+        left_value + (right_value - left_value) * frac
+    }
+
+    /// Inverse CDF: the smallest key whose cumulative probability reaches
+    /// `p` (clamped to `[0, 1]`). This is the projection in step (e) of the
+    /// paper's Figure 2.
+    pub fn quantile(&self, p: f64) -> TxnKey {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return self.bounds.min;
+        }
+        if p >= 1.0 {
+            return self.bounds.max;
+        }
+        // First cell whose cumulative value reaches p.
+        let idx = self.values.partition_point(|&v| v < p);
+        if idx >= self.edges.len() {
+            return self.bounds.max;
+        }
+        let right_edge = self.edges[idx];
+        let right_value = self.values[idx];
+        let (left_edge, left_value) = if idx == 0 {
+            (self.bounds.min, 0.0)
+        } else {
+            (self.edges[idx - 1] + 1, self.values[idx - 1])
+        };
+        if right_value <= left_value || right_edge <= left_edge {
+            return right_edge.min(self.bounds.max);
+        }
+        let frac = (p - left_value) / (right_value - left_value);
+        let offset = ((right_edge - left_edge) as f64 * frac).round() as u64;
+        (left_edge + offset).min(self.bounds.max)
+    }
+
+    /// Mean absolute deviation between this estimate and another CDF at the
+    /// cell edges — used in tests to bound estimation error against a known
+    /// ground truth.
+    pub fn max_deviation_from<F: Fn(TxnKey) -> f64>(&self, truth: F) -> f64 {
+        self.edges
+            .iter()
+            .map(|&e| (self.probability_at(e) - truth(e)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn uniform_hist(n: u64) -> Histogram {
+        let bounds = KeyBounds::new(0, 999);
+        let samples: Vec<TxnKey> = (0..n).map(|i| i % 1000).collect();
+        Histogram::from_samples(bounds, 50, &samples)
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_histogram_is_rejected() {
+        let h = Histogram::new(KeyBounds::new(0, 9), 2);
+        let _ = PiecewiseCdf::from_histogram(&h);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let cdf = PiecewiseCdf::from_histogram(&uniform_hist(10_000));
+        let mut prev = 0.0;
+        for key in (0..1000).step_by(13) {
+            let p = cdf.probability_at(key);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-12, "CDF decreased at {key}");
+            prev = p;
+        }
+        assert_eq!(cdf.probability_at(1_000_000), 1.0);
+        assert_eq!(cdf.probability_at(0).min(0.1), cdf.probability_at(0));
+    }
+
+    #[test]
+    fn uniform_cdf_is_close_to_linear() {
+        let cdf = PiecewiseCdf::from_histogram(&uniform_hist(100_000));
+        let deviation = cdf.max_deviation_from(|k| (k as f64 + 1.0) / 1000.0);
+        assert!(deviation < 0.02, "deviation {deviation}");
+    }
+
+    #[test]
+    fn quantile_inverts_probability() {
+        let cdf = PiecewiseCdf::from_histogram(&uniform_hist(50_000));
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let k = cdf.quantile(p);
+            let back = cdf.probability_at(k);
+            assert!(
+                (back - p).abs() < 0.03,
+                "quantile({p}) = {k}, CDF back-maps to {back}"
+            );
+        }
+        assert_eq!(cdf.quantile(0.0), 0);
+        assert_eq!(cdf.quantile(1.0), 999);
+        assert_eq!(cdf.quantile(-3.0), 0);
+        assert_eq!(cdf.quantile(7.0), 999);
+    }
+
+    #[test]
+    fn skewed_distribution_quantiles_land_in_the_heavy_region() {
+        // 90% of samples in [0, 99], 10% in [900, 999].
+        let bounds = KeyBounds::new(0, 999);
+        let mut samples = Vec::new();
+        for i in 0..9_000u64 {
+            samples.push(i % 100);
+        }
+        for i in 0..1_000u64 {
+            samples.push(900 + (i % 100));
+        }
+        let hist = Histogram::from_samples(bounds, 100, &samples);
+        let cdf = PiecewiseCdf::from_histogram(&hist);
+        // The median must be inside the heavy region.
+        assert!(cdf.quantile(0.5) < 100);
+        // The 95th percentile must be in the tail region.
+        assert!(cdf.quantile(0.95) >= 900);
+        assert_eq!(cdf.samples(), 10_000);
+    }
+
+    #[test]
+    fn point_mass_distribution() {
+        let bounds = KeyBounds::new(0, 999);
+        let samples = vec![500u64; 1_000];
+        let hist = Histogram::from_samples(bounds, 100, &samples);
+        let cdf = PiecewiseCdf::from_histogram(&hist);
+        assert!(cdf.probability_at(499) < 0.6);
+        assert_eq!(cdf.probability_at(999), 1.0);
+        let q = cdf.quantile(0.5);
+        assert!((490..=509).contains(&q), "median {q} should be near 500");
+    }
+}

@@ -1,0 +1,584 @@
+//! The test driver: timed benchmark runs.
+//!
+//! "The entire system is orchestrated by a test driver thread, which selects
+//! the designated benchmark, starts the producer threads, records the
+//! starting time, starts the worker threads, and stops the producer and
+//! worker threads after the test period. After the test is stopped, the
+//! driver thread collects local statistics from the worker threads and
+//! reports the cumulative throughput."
+//!
+//! [`Driver`] reproduces that protocol for every combination the harness
+//! needs: benchmark structure × key distribution × scheduler × worker count,
+//! the no-executor baseline of Figure 1(a), the centralized model of
+//! Figure 1(b), and the trivial-transaction overhead study of Figure 4.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use katme_collections::{Dictionary, StructureKind, TxDictionary};
+use katme_queue::QueueKind;
+use katme_stm::{CmKind, Stm, StmConfig, StmStatsSnapshot, TVar};
+use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
+
+use crate::executor::{Executor, ExecutorConfig};
+use crate::key::{BucketKeyMapper, DictKeyMapper, KeyMapper};
+use crate::models::ExecutorModel;
+use crate::scheduler::SchedulerKind;
+use crate::stats::LoadBalance;
+
+/// Configuration of one timed run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of producer threads ("we use four parallel producers, eight
+    /// for the hash table benchmark").
+    pub producers: usize,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Executor wiring (Figure 1).
+    pub model: ExecutorModel,
+    /// Length of the measurement window (the paper uses 10 seconds; the
+    /// harness defaults to a few hundred milliseconds so full sweeps finish
+    /// on laptop-class machines — pass `--seconds` to scale up).
+    pub duration: Duration,
+    /// Task-queue implementation.
+    pub queue: QueueKind,
+    /// Contention manager for the STM ("Polka" in the paper).
+    pub contention_manager: CmKind,
+    /// Enable work stealing for idle workers.
+    pub work_stealing: bool,
+    /// Producer back-pressure bound (tasks per queue).
+    pub max_queue_depth: Option<usize>,
+    /// Seed for the workload generators (each producer derives its own
+    /// stream from this seed).
+    pub seed: u64,
+    /// Number of keys pre-inserted into the structure before the timed
+    /// window, so inserts and deletes both find work to do from the start.
+    pub preload: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            workers: 4,
+            producers: 4,
+            scheduler: SchedulerKind::AdaptiveKey,
+            model: ExecutorModel::Parallel,
+            duration: Duration::from_millis(200),
+            queue: QueueKind::TwoLock,
+            contention_manager: CmKind::Polka,
+            work_stealing: false,
+            max_queue_depth: Some(10_000),
+            seed: 0x5eed,
+            preload: 10_000,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the number of producers.
+    pub fn with_producers(mut self, producers: usize) -> Self {
+        self.producers = producers.max(1);
+        self
+    }
+
+    /// Set the scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Set the executor model.
+    pub fn with_model(mut self, model: ExecutorModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Set the contention manager.
+    pub fn with_contention_manager(mut self, cm: CmKind) -> Self {
+        self.contention_manager = cm;
+        self
+    }
+
+    /// Enable or disable work stealing.
+    pub fn with_work_stealing(mut self, stealing: bool) -> Self {
+        self.work_stealing = stealing;
+        self
+    }
+
+    /// Set the number of pre-inserted keys.
+    pub fn with_preload(mut self, preload: usize) -> Self {
+        self.preload = preload;
+        self
+    }
+
+    /// Set the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of one timed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheduler that produced this result.
+    pub scheduler: SchedulerKind,
+    /// Executor model used.
+    pub model: ExecutorModel,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Producer threads used.
+    pub producers: usize,
+    /// Wall-clock length of the measurement window.
+    pub elapsed: Duration,
+    /// Transactions completed inside the window.
+    pub completed: u64,
+    /// Transactions generated by the producers inside the window.
+    pub produced: u64,
+    /// Completed transactions per second.
+    pub throughput: f64,
+    /// Per-worker completion counts.
+    pub load: LoadBalance,
+    /// STM activity during the window (commits, aborts, backoffs).
+    pub stm: StmStatsSnapshot,
+}
+
+impl RunResult {
+    /// Conflict (abort) instances per committed transaction — the
+    /// "frequency of contentions" the paper reports alongside throughput.
+    pub fn contention_ratio(&self) -> f64 {
+        self.stm.contention_ratio()
+    }
+}
+
+/// The timed-run driver.
+#[derive(Debug, Clone, Default)]
+pub struct Driver {
+    config: DriverConfig,
+}
+
+impl Driver {
+    /// Create a driver with the given configuration.
+    pub fn new(config: DriverConfig) -> Self {
+        Driver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.config
+    }
+
+    /// Run the dictionary microbenchmark (the paper's §4.2): `producers`
+    /// threads generate insert/delete transactions with keys drawn from
+    /// `distribution` and `workers` threads execute them against a freshly
+    /// built `structure`.
+    pub fn run_dictionary(
+        &self,
+        structure: StructureKind,
+        distribution: DistributionKind,
+    ) -> RunResult {
+        let cfg = &self.config;
+        let stm = Stm::new(
+            StmConfig::default().with_contention_manager(cfg.contention_manager),
+        );
+        let dict = structure.build(stm.clone());
+        preload(&*dict, cfg.preload, cfg.seed, distribution);
+        let stm_before = stm.snapshot();
+
+        let result = match cfg.model {
+            ExecutorModel::NoExecutor => self.run_no_executor(&*dict, distribution),
+            ExecutorModel::Parallel => {
+                self.run_with_executor(structure, Arc::clone(&dict), distribution, false)
+            }
+            ExecutorModel::Centralized => {
+                self.run_with_executor(structure, Arc::clone(&dict), distribution, true)
+            }
+        };
+
+        let mut result = result;
+        result.stm = stm.snapshot().since(&stm_before);
+        result
+    }
+
+    /// The Figure-4 overhead study: trivial transactions (a single-TVar
+    /// increment) executed either by `workers` free-running threads
+    /// (`use_executor == false`, Figure 1(a)) or through the executor with
+    /// the configured number of producers (`use_executor == true`).
+    pub fn run_trivial(&self, use_executor: bool) -> RunResult {
+        let cfg = &self.config;
+        let stm = Stm::new(
+            StmConfig::default().with_contention_manager(cfg.contention_manager),
+        );
+        // One counter per worker: trivial transactions do not conflict, so
+        // the measurement isolates executor overhead exactly as in the paper.
+        let counters: Arc<Vec<TVar<u64>>> =
+            Arc::new((0..cfg.workers).map(|_| TVar::new(0u64)).collect());
+        let stm_before = stm.snapshot();
+
+        if !use_executor {
+            // k free-running threads executing transactions in a loop.
+            let run = Arc::new(AtomicBool::new(true));
+            let started = Instant::now();
+            let completed: u64 = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..cfg.workers)
+                    .map(|w| {
+                        let stm = stm.clone();
+                        let counters = Arc::clone(&counters);
+                        let run = Arc::clone(&run);
+                        s.spawn(move || {
+                            let mut local = 0u64;
+                            while run.load(Ordering::Relaxed) {
+                                stm.atomically(|tx| tx.modify(&counters[w], |v| v + 1));
+                                local += 1;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                std::thread::sleep(cfg.duration);
+                run.store(false, Ordering::Relaxed);
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            let elapsed = started.elapsed();
+            return RunResult {
+                scheduler: cfg.scheduler,
+                model: ExecutorModel::NoExecutor,
+                workers: cfg.workers,
+                producers: 0,
+                elapsed,
+                completed,
+                produced: completed,
+                throughput: completed as f64 / elapsed.as_secs_f64(),
+                load: LoadBalance::new(vec![completed / cfg.workers.max(1) as u64]),
+                stm: stm.snapshot().since(&stm_before),
+            };
+        }
+
+        // Executor mode: producers enqueue unit tasks, workers run the
+        // trivial transaction.
+        let scheduler = cfg
+            .scheduler
+            .build(cfg.workers, crate::key::KeyBounds::new(0, u16::MAX as u64));
+        let stm_for_workers = stm.clone();
+        let counters_for_workers = Arc::clone(&counters);
+        let executor = Executor::start(
+            self.executor_config(),
+            scheduler,
+            move |worker, _task: TxnSpec| {
+                stm_for_workers
+                    .atomically(|tx| tx.modify(&counters_for_workers[worker], |v| v + 1));
+            },
+        );
+        let (completed, produced, elapsed, load) =
+            self.drive_producers(&executor, DistributionKind::Uniform);
+        executor.shutdown();
+        RunResult {
+            scheduler: cfg.scheduler,
+            model: ExecutorModel::Parallel,
+            workers: cfg.workers,
+            producers: cfg.producers,
+            elapsed,
+            completed,
+            produced,
+            throughput: completed as f64 / elapsed.as_secs_f64(),
+            load,
+            stm: stm.snapshot().since(&stm_before),
+        }
+    }
+
+    fn executor_config(&self) -> ExecutorConfig {
+        ExecutorConfig::default()
+            .with_queue(self.config.queue)
+            .with_work_stealing(self.config.work_stealing)
+            .with_max_queue_depth(self.config.max_queue_depth)
+            .with_drain_on_shutdown(false)
+    }
+
+    /// Figure 1(a): each of `workers` threads generates and synchronously
+    /// executes its own transactions.
+    fn run_no_executor(&self, dict: &dyn Dictionary, distribution: DistributionKind) -> RunResult {
+        let cfg = &self.config;
+        let run = Arc::new(AtomicBool::new(true));
+        let started = Instant::now();
+        let per_worker: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.workers)
+                .map(|w| {
+                    let run = Arc::clone(&run);
+                    let mut gen = OpGenerator::paper(distribution, cfg.seed.wrapping_add(w as u64));
+                    s.spawn(move || {
+                        let mut local = 0u64;
+                        while run.load(Ordering::Relaxed) {
+                            let spec = gen.next_spec();
+                            apply_spec(dict, &spec);
+                            local += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            std::thread::sleep(cfg.duration);
+            run.store(false, Ordering::Relaxed);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed = started.elapsed();
+        let completed: u64 = per_worker.iter().sum();
+        RunResult {
+            scheduler: cfg.scheduler,
+            model: ExecutorModel::NoExecutor,
+            workers: cfg.workers,
+            producers: cfg.workers,
+            elapsed,
+            completed,
+            produced: completed,
+            throughput: completed as f64 / elapsed.as_secs_f64(),
+            load: LoadBalance::new(per_worker),
+            stm: StmStatsSnapshot::default(),
+        }
+    }
+
+    /// Figures 1(b)/(c): producers feed the executor, workers apply the
+    /// operations to the shared dictionary.
+    fn run_with_executor(
+        &self,
+        structure: StructureKind,
+        dict: Arc<dyn TxDictionary>,
+        distribution: DistributionKind,
+        centralized: bool,
+    ) -> RunResult {
+        let cfg = &self.config;
+        // The transaction key: the hash-bucket index for the hash table (the
+        // paper's §4.2), the dictionary key itself for tree and list.
+        let bucket_mapper = BucketKeyMapper::paper();
+        let dict_mapper = DictKeyMapper;
+        let bounds = match structure {
+            StructureKind::HashTable => KeyMapper::<TxnSpec>::bounds(&bucket_mapper),
+            _ => KeyMapper::<TxnSpec>::bounds(&dict_mapper),
+        };
+        let scheduler = cfg.scheduler.build(cfg.workers, bounds);
+
+        let dict_for_workers = Arc::clone(&dict);
+        let executor = Executor::start(
+            self.executor_config(),
+            Arc::clone(&scheduler),
+            move |_worker, spec: TxnSpec| {
+                apply_spec(&*dict_for_workers, &spec);
+            },
+        );
+
+        let (completed, produced, elapsed, load) = if centralized {
+            self.drive_producers_centralized(&executor, structure, distribution)
+        } else {
+            self.drive_producers_keyed(&executor, structure, distribution)
+        };
+        executor.shutdown();
+
+        RunResult {
+            scheduler: cfg.scheduler,
+            model: if centralized {
+                ExecutorModel::Centralized
+            } else {
+                ExecutorModel::Parallel
+            },
+            workers: cfg.workers,
+            producers: cfg.producers,
+            elapsed,
+            completed,
+            produced,
+            throughput: completed as f64 / elapsed.as_secs_f64(),
+            load,
+            stm: StmStatsSnapshot::default(),
+        }
+    }
+
+    /// Producer loop for the parallel-executor model: each producer maps the
+    /// spec to its transaction key and submits directly.
+    fn drive_producers_keyed(
+        &self,
+        executor: &Executor<TxnSpec>,
+        structure: StructureKind,
+        distribution: DistributionKind,
+    ) -> (u64, u64, Duration, LoadBalance) {
+        let cfg = &self.config;
+        let run = Arc::new(AtomicBool::new(true));
+        let produced = Arc::new(AtomicU64::new(0));
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for p in 0..cfg.producers {
+                let run = Arc::clone(&run);
+                let produced = Arc::clone(&produced);
+                let mut gen =
+                    OpGenerator::paper(distribution, cfg.seed.wrapping_add(1000 + p as u64));
+                s.spawn(move || {
+                    let bucket_mapper = BucketKeyMapper::paper();
+                    let dict_mapper = DictKeyMapper;
+                    while run.load(Ordering::Relaxed) {
+                        let spec = gen.next_spec();
+                        let key = match structure {
+                            StructureKind::HashTable => bucket_mapper.key(&spec),
+                            _ => dict_mapper.key(&spec),
+                        };
+                        executor.submit(key, spec);
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            std::thread::sleep(cfg.duration);
+            run.store(false, Ordering::Relaxed);
+        });
+        let completed = executor.completed();
+        let elapsed = started.elapsed();
+        let load = LoadBalance::new(executor.per_worker_completed());
+        (completed, produced.load(Ordering::Relaxed), elapsed, load)
+    }
+
+    /// Producer loop for the trivial-transaction overhead study (keys are
+    /// uniform, the payload is ignored by the handler).
+    fn drive_producers(
+        &self,
+        executor: &Executor<TxnSpec>,
+        distribution: DistributionKind,
+    ) -> (u64, u64, Duration, LoadBalance) {
+        self.drive_producers_keyed(executor, StructureKind::RbTree, distribution)
+    }
+
+    /// Producer loop for the centralized model: producers push raw specs to
+    /// one shared queue; a single dispatcher thread runs the scheduler.
+    fn drive_producers_centralized(
+        &self,
+        executor: &Executor<TxnSpec>,
+        structure: StructureKind,
+        distribution: DistributionKind,
+    ) -> (u64, u64, Duration, LoadBalance) {
+        let cfg = &self.config;
+        let run = Arc::new(AtomicBool::new(true));
+        let produced = Arc::new(AtomicU64::new(0));
+        let central: Arc<katme_queue::TwoLockQueue<TxnSpec>> =
+            Arc::new(katme_queue::TwoLockQueue::new());
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            // Producers: generate and push to the central queue.
+            for p in 0..cfg.producers {
+                let run = Arc::clone(&run);
+                let produced = Arc::clone(&produced);
+                let central = Arc::clone(&central);
+                let mut gen =
+                    OpGenerator::paper(distribution, cfg.seed.wrapping_add(2000 + p as u64));
+                s.spawn(move || {
+                    while run.load(Ordering::Relaxed) {
+                        if central.count() > 20_000 {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        central.enqueue(gen.next_spec());
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // The single dispatcher (the "executor thread" of Figure 1(b)).
+            {
+                let run = Arc::clone(&run);
+                let central = Arc::clone(&central);
+                s.spawn(move || {
+                    let bucket_mapper = BucketKeyMapper::paper();
+                    let dict_mapper = DictKeyMapper;
+                    let mut backoff = katme_queue::Backoff::new();
+                    loop {
+                        match central.dequeue() {
+                            Some(spec) => {
+                                let key = match structure {
+                                    StructureKind::HashTable => bucket_mapper.key(&spec),
+                                    _ => dict_mapper.key(&spec),
+                                };
+                                executor.submit(key, spec);
+                                backoff.reset();
+                            }
+                            None => {
+                                if !run.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(cfg.duration);
+            run.store(false, Ordering::Relaxed);
+        });
+        let completed = executor.completed();
+        let elapsed = started.elapsed();
+        let load = LoadBalance::new(executor.per_worker_completed());
+        (completed, produced.load(Ordering::Relaxed), elapsed, load)
+    }
+}
+
+/// Apply one generated transaction to a dictionary.
+fn apply_spec(dict: &dyn Dictionary, spec: &TxnSpec) {
+    match spec.op {
+        OpKind::Insert => {
+            dict.insert(spec.key, spec.value);
+        }
+        OpKind::Delete => {
+            dict.remove(spec.key);
+        }
+        OpKind::Lookup => {
+            dict.lookup(spec.key);
+        }
+    }
+}
+
+/// Pre-populate a dictionary so deletes find keys to remove from the start.
+fn preload(dict: &dyn Dictionary, count: usize, seed: u64, distribution: DistributionKind) {
+    let mut gen = OpGenerator::paper(distribution, seed.wrapping_mul(31).wrapping_add(7));
+    for _ in 0..count {
+        let spec = gen.next_spec();
+        dict.insert(spec.key, spec.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_config_builder() {
+        let cfg = DriverConfig::new()
+            .with_workers(8)
+            .with_producers(2)
+            .with_scheduler(SchedulerKind::FixedKey)
+            .with_model(ExecutorModel::Centralized)
+            .with_duration(Duration::from_millis(50))
+            .with_contention_manager(CmKind::Karma)
+            .with_work_stealing(true)
+            .with_preload(5)
+            .with_seed(9);
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.producers, 2);
+        assert_eq!(cfg.scheduler, SchedulerKind::FixedKey);
+        assert_eq!(cfg.model, ExecutorModel::Centralized);
+        assert_eq!(cfg.contention_manager, CmKind::Karma);
+        assert!(cfg.work_stealing);
+        assert_eq!(cfg.preload, 5);
+        assert_eq!(cfg.seed, 9);
+    }
+}

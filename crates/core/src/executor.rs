@@ -1,0 +1,454 @@
+//! The executor: worker pool, per-worker task queues and dispatch.
+//!
+//! This is the "parallel executors" model of Figure 1(c): each producer
+//! thread calls [`Executor::submit`] directly (so dispatch runs in the
+//! producer, with no central dispatcher thread), the chosen scheduler maps
+//! the transaction key to a worker, and the task parameters are pushed onto
+//! that worker's queue. Worker threads pull from their own queue, execute the
+//! task (typically a transaction against a shared data structure), and count
+//! completions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use katme_queue::{Backoff, QueueKind, TaskQueue};
+
+use crate::key::TxnKey;
+use crate::scheduler::Scheduler;
+use crate::stats::{LoadBalance, WorkerCounters};
+
+/// Configuration of an [`Executor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Which task-queue implementation to use.
+    pub queue: QueueKind,
+    /// Whether workers drain their queues before exiting at shutdown.
+    pub drain_on_shutdown: bool,
+    /// Whether an idle worker may steal from other workers' queues
+    /// (the paper discusses work stealing as the alternative load-balancing
+    /// mechanism; off by default to match its experiments).
+    pub work_stealing: bool,
+    /// Back-pressure: producers calling [`Executor::submit`] yield while the
+    /// target queue holds at least this many tasks. `None` disables the
+    /// bound. The paper's producers run unthrottled for a fixed wall-clock
+    /// window; the bound keeps memory use sane on small hosts without
+    /// changing steady-state behaviour.
+    pub max_queue_depth: Option<usize>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            queue: QueueKind::TwoLock,
+            drain_on_shutdown: false,
+            work_stealing: false,
+            max_queue_depth: Some(10_000),
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the queue implementation.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Enable or disable queue draining at shutdown.
+    pub fn with_drain_on_shutdown(mut self, drain: bool) -> Self {
+        self.drain_on_shutdown = drain;
+        self
+    }
+
+    /// Enable or disable work stealing.
+    pub fn with_work_stealing(mut self, stealing: bool) -> Self {
+        self.work_stealing = stealing;
+        self
+    }
+
+    /// Set (or clear) the producer back-pressure bound.
+    pub fn with_max_queue_depth(mut self, depth: Option<usize>) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+}
+
+/// Summary returned by [`Executor::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ExecutorReport {
+    /// Completed tasks per worker.
+    pub load: LoadBalance,
+    /// Total tasks executed after being stolen from another queue.
+    pub stolen: u64,
+    /// Total polls that found no work.
+    pub idle_polls: u64,
+    /// Tasks left unexecuted in the queues (only non-zero when
+    /// `drain_on_shutdown` is false).
+    pub abandoned: u64,
+}
+
+impl ExecutorReport {
+    /// Total completed tasks.
+    pub fn completed(&self) -> u64 {
+        self.load.total()
+    }
+}
+
+/// A pool of worker threads fed by per-worker task queues through a
+/// key-based (or round-robin) scheduler.
+pub struct Executor<T: Send + 'static> {
+    queues: Vec<Arc<dyn TaskQueue<T>>>,
+    scheduler: Arc<dyn Scheduler>,
+    counters: Arc<Vec<WorkerCounters>>,
+    running: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    config: ExecutorConfig,
+}
+
+impl<T: Send + 'static> Executor<T> {
+    /// Start a worker pool.
+    ///
+    /// * `scheduler` decides which worker each submitted task goes to and
+    ///   fixes the number of workers.
+    /// * `handler` is invoked by worker threads as `handler(worker_index,
+    ///   task)`; it typically runs one STM transaction.
+    pub fn start<F>(config: ExecutorConfig, scheduler: Arc<dyn Scheduler>, handler: F) -> Self
+    where
+        F: Fn(usize, T) + Send + Sync + 'static,
+    {
+        let workers = scheduler.workers();
+        assert!(workers > 0, "executor needs at least one worker");
+        let handler = Arc::new(handler);
+        let queues: Vec<Arc<dyn TaskQueue<T>>> = (0..workers)
+            .map(|_| Arc::from(config.queue.build::<T>()))
+            .collect();
+        let counters = WorkerCounters::for_workers(workers);
+        let running = Arc::new(AtomicBool::new(true));
+
+        let handles = (0..workers)
+            .map(|index| {
+                let queues = queues.clone();
+                let counters = Arc::clone(&counters);
+                let running = Arc::clone(&running);
+                let handler = Arc::clone(&handler);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("katme-worker-{index}"))
+                    .spawn(move || {
+                        worker_loop(index, &queues, &counters, &running, &config, &*handler)
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        Executor {
+            queues,
+            scheduler,
+            counters,
+            running,
+            handles,
+            config,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The scheduler in use.
+    pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.scheduler
+    }
+
+    /// Submit a task with the given transaction key. Called from producer
+    /// threads; runs the scheduler inline (Figure 1(c): the executor is part
+    /// of the producer).
+    pub fn submit(&self, key: TxnKey, task: T) {
+        let worker = self.scheduler.dispatch(key);
+        self.submit_to(worker, task);
+    }
+
+    /// Submit a task directly to a specific worker, bypassing the scheduler.
+    pub fn submit_to(&self, worker: usize, task: T) {
+        let queue = &self.queues[worker];
+        if let Some(depth) = self.config.max_queue_depth {
+            let mut backoff = Backoff::new();
+            while queue.len() >= depth && self.running.load(Ordering::Acquire) {
+                backoff.snooze();
+            }
+        }
+        queue.push(task);
+    }
+
+    /// Completed tasks so far, summed over workers.
+    pub fn completed(&self) -> u64 {
+        self.counters.iter().map(|c| c.completed()).sum()
+    }
+
+    /// Completed tasks per worker.
+    pub fn per_worker_completed(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.completed()).collect()
+    }
+
+    /// Current queue lengths (diagnostics / back-pressure tuning).
+    pub fn queue_lengths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// True while the executor accepts and executes tasks.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// Stop the workers and collect the final counters.
+    pub fn shutdown(mut self) -> ExecutorReport {
+        self.running.store(false, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let abandoned: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+        ExecutorReport {
+            load: LoadBalance::new(self.counters.iter().map(|c| c.completed()).collect()),
+            stolen: self.counters.iter().map(|c| c.stolen()).sum(),
+            idle_polls: self.counters.iter().map(|c| c.idle_polls()).sum(),
+            abandoned,
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Executor<T> {
+    /// Dropping an executor without calling [`Executor::shutdown`] still
+    /// stops and joins the worker threads so no run leaks threads.
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T, F>(
+    index: usize,
+    queues: &[Arc<dyn TaskQueue<T>>],
+    counters: &[WorkerCounters],
+    running: &AtomicBool,
+    config: &ExecutorConfig,
+    handler: &F,
+) where
+    T: Send + 'static,
+    F: Fn(usize, T) + Send + Sync,
+{
+    let mut backoff = Backoff::new();
+    loop {
+        let running_now = running.load(Ordering::Acquire);
+        if !running_now && !config.drain_on_shutdown {
+            // The paper's driver "stops the producer and worker threads after
+            // the test period": without draining, whatever is still queued is
+            // abandoned (and reported as such).
+            return;
+        }
+
+        if let Some(task) = queues[index].try_pop() {
+            handler(index, task);
+            counters[index].record_completed(1);
+            backoff.reset();
+            continue;
+        }
+
+        if config.work_stealing {
+            // Steal from the longest other queue, which is the cheapest
+            // approximation of the "grab work from other queues" policy the
+            // paper cites (Cilk-style work stealing).
+            let victim = (0..queues.len())
+                .filter(|&i| i != index)
+                .max_by_key(|&i| queues[i].len());
+            if let Some(victim) = victim {
+                if let Some(task) = queues[victim].try_pop() {
+                    handler(index, task);
+                    counters[index].record_completed(1);
+                    counters[index].record_steal();
+                    backoff.reset();
+                    continue;
+                }
+            }
+        }
+
+        if !running_now {
+            // Drain mode with an empty queue (and nothing to steal): done.
+            return;
+        }
+        counters[index].record_idle_poll();
+        backoff.snooze();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBounds;
+    use crate::scheduler::{FixedKeyScheduler, RoundRobinScheduler, SchedulerKind};
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn counting_executor(
+        scheduler: Arc<dyn Scheduler>,
+        config: ExecutorConfig,
+    ) -> (Executor<u64>, Arc<AtomicU64>) {
+        let sum = Arc::new(AtomicU64::new(0));
+        let sum_clone = Arc::clone(&sum);
+        let exec = Executor::start(config, scheduler, move |_worker, task: u64| {
+            sum_clone.fetch_add(task, Ordering::Relaxed);
+        });
+        (exec, sum)
+    }
+
+    fn drain_config() -> ExecutorConfig {
+        ExecutorConfig::default().with_drain_on_shutdown(true)
+    }
+
+    #[test]
+    fn executes_every_submitted_task() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(3));
+        let (exec, sum) = counting_executor(scheduler, drain_config());
+        let n = 1_000u64;
+        for i in 1..=n {
+            exec.submit(i, i);
+        }
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), n);
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn fixed_scheduler_routes_tasks_to_owning_worker() {
+        let scheduler = Arc::new(FixedKeyScheduler::new(4, KeyBounds::new(0, 99)));
+        let seen: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let seen_clone = Arc::clone(&seen);
+        let exec = Executor::start(
+            drain_config(),
+            scheduler,
+            move |worker, key: u64| {
+                // Record which worker handled which key range.
+                assert_eq!(worker, (key / 25) as usize, "key {key} on wrong worker");
+                seen_clone[worker].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for key in 0..100u64 {
+            exec.submit(key, key);
+        }
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 100);
+        for w in 0..4 {
+            assert_eq!(seen[w].load(Ordering::Relaxed), 25);
+        }
+    }
+
+    #[test]
+    fn per_worker_counters_reflect_dispatch() {
+        let scheduler = SchedulerKind::FixedKey.build(2, KeyBounds::new(0, 9));
+        let (exec, _) = counting_executor(scheduler, drain_config());
+        for _ in 0..50 {
+            exec.submit(0, 1); // low half -> worker 0
+        }
+        for _ in 0..10 {
+            exec.submit(9, 1); // high half -> worker 1
+        }
+        let report = exec.shutdown();
+        assert_eq!(report.load.per_worker, vec![50, 10]);
+        assert!(report.load.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn shutdown_without_drain_reports_abandoned_tasks() {
+        // One worker, tasks that take a while: stop before the queue empties.
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let exec = Executor::start(
+            ExecutorConfig::default().with_drain_on_shutdown(false),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_millis(2)),
+        );
+        for i in 0..200u64 {
+            exec.submit(i, i);
+        }
+        let report = exec.shutdown();
+        assert!(
+            report.completed() + report.abandoned >= 200,
+            "tasks must be either completed or abandoned"
+        );
+        assert!(report.abandoned > 0, "some tasks should remain queued");
+    }
+
+    #[test]
+    fn work_stealing_rescues_an_imbalanced_queue() {
+        // Fixed partition over 2 workers but every key goes to worker 0;
+        // with stealing enabled worker 1 should still execute some tasks.
+        let scheduler = Arc::new(FixedKeyScheduler::new(2, KeyBounds::new(0, 99)));
+        let exec = Executor::start(
+            drain_config().with_work_stealing(true),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_micros(200)),
+        );
+        for _ in 0..500 {
+            exec.submit(0, 0); // all keys in worker 0's range
+        }
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 500);
+        assert!(
+            report.stolen > 0,
+            "worker 1 should have stolen some tasks: {report:?}"
+        );
+    }
+
+    #[test]
+    fn back_pressure_bounds_queue_growth() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let exec = Executor::start(
+            ExecutorConfig::default()
+                .with_max_queue_depth(Some(50))
+                .with_drain_on_shutdown(true),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_micros(50)),
+        );
+        for i in 0..500u64 {
+            exec.submit(i, i);
+            assert!(
+                exec.queue_lengths()[0] <= 51,
+                "queue exceeded the back-pressure bound"
+            );
+        }
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 500);
+    }
+
+    #[test]
+    fn concurrent_producers_all_get_through() {
+        let scheduler = SchedulerKind::AdaptiveKey.build(4, KeyBounds::dict16());
+        let (exec, sum) = counting_executor(scheduler, drain_config());
+        let exec = Arc::new(exec);
+        let producers = 4u64;
+        let per_producer = 2_000u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let exec = Arc::clone(&exec);
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        let key = (p * per_producer + i) % 65_536;
+                        exec.submit(key, 1);
+                    }
+                });
+            }
+        });
+        let exec = Arc::into_inner(exec).expect("all producer clones dropped");
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), producers * per_producer);
+        assert_eq!(sum.load(Ordering::Relaxed), producers * per_producer);
+    }
+}

@@ -1,0 +1,223 @@
+//! Transaction keys and key mappers.
+//!
+//! Section 3.1 of the paper distinguishes *dictionary keys* from *transaction
+//! keys*: the executor schedules on the latter, which are produced by a
+//! mapping from whatever the transaction's inputs are into a linear key space
+//! in which "numerical proximity should correlate strongly (though not
+//! necessarily precisely) with data locality (and thus likelihood of
+//! conflict)". The paper uses manually specified mappings; this module
+//! provides the ones its benchmarks need.
+
+use katme_workload::TxnSpec;
+
+/// The linear transaction-key space used by the schedulers.
+pub type TxnKey = u64;
+
+/// Inclusive bounds of a key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyBounds {
+    /// Smallest key value.
+    pub min: TxnKey,
+    /// Largest key value (inclusive).
+    pub max: TxnKey,
+}
+
+impl KeyBounds {
+    /// Create bounds; `min` must not exceed `max`.
+    ///
+    /// # Panics
+    /// Panics when `min > max`.
+    pub fn new(min: TxnKey, max: TxnKey) -> Self {
+        assert!(min <= max, "invalid key bounds: {min} > {max}");
+        KeyBounds { min, max }
+    }
+
+    /// The 16-bit dictionary-key space used by the paper's benchmarks.
+    pub fn dict16() -> Self {
+        KeyBounds::new(0, 0xFFFF)
+    }
+
+    /// Width of the key space (number of representable keys).
+    pub fn width(&self) -> u64 {
+        self.max - self.min + 1
+    }
+
+    /// Clamp a key into the bounds.
+    pub fn clamp(&self, key: TxnKey) -> TxnKey {
+        key.clamp(self.min, self.max)
+    }
+
+    /// True when the key lies within the bounds.
+    pub fn contains(&self, key: TxnKey) -> bool {
+        key >= self.min && key <= self.max
+    }
+}
+
+/// Maps transaction inputs into the linear transaction-key space.
+pub trait KeyMapper<T>: Send + Sync {
+    /// Transaction key for the given input.
+    fn key(&self, input: &T) -> TxnKey;
+
+    /// Bounds of the key space this mapper produces.
+    fn bounds(&self) -> KeyBounds;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Uses the dictionary key itself as the transaction key — the natural
+/// mapping for the red-black tree and sorted list, where data location
+/// correlates with key order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DictKeyMapper;
+
+impl KeyMapper<TxnSpec> for DictKeyMapper {
+    fn key(&self, input: &TxnSpec) -> TxnKey {
+        TxnKey::from(input.key)
+    }
+
+    fn bounds(&self) -> KeyBounds {
+        KeyBounds::dict16()
+    }
+
+    fn name(&self) -> &'static str {
+        "dict-key"
+    }
+}
+
+/// Uses the hash-bucket index as the transaction key — the paper's mapping
+/// for the hash-table benchmark: "We use the output of the hash function
+/// (not the dictionary key) as the value of the transaction key."
+#[derive(Debug, Clone, Copy)]
+pub struct BucketKeyMapper {
+    buckets: u64,
+}
+
+impl BucketKeyMapper {
+    /// Mapper for a table with the given number of buckets.
+    ///
+    /// # Panics
+    /// Panics when `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        BucketKeyMapper {
+            buckets: buckets as u64,
+        }
+    }
+
+    /// Mapper matching the paper's 30031-bucket table.
+    pub fn paper() -> Self {
+        BucketKeyMapper::new(katme_collections::PAPER_BUCKETS)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+}
+
+impl KeyMapper<TxnSpec> for BucketKeyMapper {
+    fn key(&self, input: &TxnSpec) -> TxnKey {
+        TxnKey::from(input.key) % self.buckets
+    }
+
+    fn bounds(&self) -> KeyBounds {
+        KeyBounds::new(0, self.buckets - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-bucket"
+    }
+}
+
+/// Maps every transaction to the same key — the stack example of §3.1, where
+/// every operation races for the top-of-stack element.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantKeyMapper {
+    key: TxnKey,
+}
+
+impl ConstantKeyMapper {
+    /// Mapper that always produces `key`.
+    pub fn new(key: TxnKey) -> Self {
+        ConstantKeyMapper { key }
+    }
+}
+
+impl<T> KeyMapper<T> for ConstantKeyMapper {
+    fn key(&self, _input: &T) -> TxnKey {
+        self.key
+    }
+
+    fn bounds(&self) -> KeyBounds {
+        KeyBounds::new(self.key, self.key)
+    }
+
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katme_workload::OpKind;
+
+    fn spec(key: u32) -> TxnSpec {
+        TxnSpec {
+            key,
+            value: 0,
+            op: OpKind::Insert,
+        }
+    }
+
+    #[test]
+    fn bounds_width_and_clamp() {
+        let b = KeyBounds::new(10, 19);
+        assert_eq!(b.width(), 10);
+        assert_eq!(b.clamp(5), 10);
+        assert_eq!(b.clamp(25), 19);
+        assert!(b.contains(15));
+        assert!(!b.contains(20));
+        assert_eq!(KeyBounds::dict16().width(), 65_536);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid key bounds")]
+    fn inverted_bounds_panic() {
+        KeyBounds::new(5, 4);
+    }
+
+    #[test]
+    fn dict_mapper_passes_key_through() {
+        let m = DictKeyMapper;
+        assert_eq!(m.key(&spec(1234)), 1234);
+        assert_eq!(m.bounds(), KeyBounds::dict16());
+    }
+
+    #[test]
+    fn bucket_mapper_is_modulo() {
+        let m = BucketKeyMapper::new(100);
+        assert_eq!(m.key(&spec(1234)), 34);
+        assert_eq!(m.bounds(), KeyBounds::new(0, 99));
+        assert_eq!(BucketKeyMapper::paper().buckets(), 30_031);
+        // The paper's skew: with 30031 buckets and 65536 keys, low bucket
+        // indices receive 3 keys while high ones receive 2 ("the modulo
+        // function produces 50% 'too many' values at the low end").
+        let paper = BucketKeyMapper::paper();
+        let low = (0..65_536u32).filter(|k| paper.key(&spec(*k)) == 0).count();
+        let high = (0..65_536u32)
+            .filter(|k| paper.key(&spec(*k)) == 30_030)
+            .count();
+        assert_eq!(low, 3);
+        assert_eq!(high, 2);
+    }
+
+    #[test]
+    fn constant_mapper_ignores_input() {
+        let m = ConstantKeyMapper::new(7);
+        assert_eq!(KeyMapper::<TxnSpec>::key(&m, &spec(1)), 7);
+        assert_eq!(KeyMapper::<TxnSpec>::key(&m, &spec(999)), 7);
+        assert_eq!(KeyMapper::<TxnSpec>::bounds(&m).width(), 1);
+    }
+}

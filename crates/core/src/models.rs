@@ -1,0 +1,91 @@
+//! Executor models (Figure 1 of the paper).
+//!
+//! * **No executor** — each thread is both producer and worker: it generates
+//!   a transaction and executes it synchronously. No queuing overhead, but no
+//!   load balancing and no producer/worker parallelism.
+//! * **Centralized executor** — producers hand transactions to a single
+//!   dispatcher thread which forwards them to worker queues. Enables policy
+//!   control but the dispatcher can become a scalability bottleneck.
+//! * **Parallel executors** — the dispatch step runs inline in each producer
+//!   (the model used for all of the paper's measurements and the default
+//!   here).
+
+/// Which executor wiring the driver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutorModel {
+    /// Figure 1(a): producers execute their own transactions synchronously.
+    NoExecutor,
+    /// Figure 1(b): a single dispatcher thread between producers and workers.
+    Centralized,
+    /// Figure 1(c): each producer dispatches directly into worker queues.
+    #[default]
+    Parallel,
+}
+
+impl ExecutorModel {
+    /// All models, in the order of Figure 1.
+    pub const ALL: [ExecutorModel; 3] = [
+        ExecutorModel::NoExecutor,
+        ExecutorModel::Centralized,
+        ExecutorModel::Parallel,
+    ];
+
+    /// Name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorModel::NoExecutor => "no-executor",
+            ExecutorModel::Centralized => "centralized",
+            ExecutorModel::Parallel => "parallel",
+        }
+    }
+
+    /// True when this model uses worker queues at all.
+    pub fn uses_queues(&self) -> bool {
+        !matches!(self, ExecutorModel::NoExecutor)
+    }
+}
+
+impl std::fmt::Display for ExecutorModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExecutorModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "no-executor" | "none" | "noexecutor" => Ok(ExecutorModel::NoExecutor),
+            "centralized" | "central" => Ok(ExecutorModel::Centralized),
+            "parallel" => Ok(ExecutorModel::Parallel),
+            other => Err(format!("unknown executor model '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn default_is_parallel() {
+        assert_eq!(ExecutorModel::default(), ExecutorModel::Parallel);
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for model in ExecutorModel::ALL {
+            assert_eq!(ExecutorModel::from_str(model.name()).unwrap(), model);
+        }
+        assert!(ExecutorModel::from_str("?").is_err());
+    }
+
+    #[test]
+    fn queue_usage() {
+        assert!(!ExecutorModel::NoExecutor.uses_queues());
+        assert!(ExecutorModel::Centralized.uses_queues());
+        assert!(ExecutorModel::Parallel.uses_queues());
+    }
+}

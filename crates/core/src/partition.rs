@@ -1,0 +1,279 @@
+//! Key-space partitions.
+//!
+//! A [`KeyPartition`] divides the transaction-key space into one contiguous
+//! range per worker. The fixed scheduler uses equal-*width* ranges; the
+//! adaptive scheduler uses the PD-partition — equal-*probability* ranges
+//! computed from an estimated CDF (step (e) of the paper's Figure 2).
+
+use crate::cdf::PiecewiseCdf;
+use crate::key::{KeyBounds, TxnKey};
+
+/// A partition of a bounded key space into contiguous per-worker ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPartition {
+    bounds: KeyBounds,
+    /// `boundaries[i]` is the first key that belongs to worker `i + 1`;
+    /// there are `workers - 1` entries, non-decreasing.
+    boundaries: Vec<TxnKey>,
+}
+
+impl KeyPartition {
+    /// Equal-width partition: worker `i` owns `[min + i*width/w, ...)`.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero.
+    pub fn equal_width(bounds: KeyBounds, workers: usize) -> Self {
+        assert!(workers > 0, "partition needs at least one worker");
+        let width = bounds.width();
+        let boundaries = (1..workers)
+            .map(|i| bounds.min + (width * i as u64) / workers as u64)
+            .collect();
+        KeyPartition { bounds, boundaries }
+    }
+
+    /// PD-partition: boundaries at the `i/w` quantiles of the estimated CDF,
+    /// so each worker receives (approximately) the same probability mass.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero.
+    pub fn from_cdf(cdf: &PiecewiseCdf, workers: usize) -> Self {
+        assert!(workers > 0, "partition needs at least one worker");
+        let bounds = cdf.bounds();
+        let mut boundaries: Vec<TxnKey> = (1..workers)
+            .map(|i| cdf.quantile(i as f64 / workers as f64))
+            .collect();
+        // Quantiles of a discrete estimate can repeat; enforce monotonicity
+        // so each worker still owns a well-formed (possibly empty) range.
+        for i in 1..boundaries.len() {
+            if boundaries[i] < boundaries[i - 1] {
+                boundaries[i] = boundaries[i - 1];
+            }
+        }
+        KeyPartition { bounds, boundaries }
+    }
+
+    /// Build a partition from explicit boundaries (primarily for tests).
+    ///
+    /// # Panics
+    /// Panics when the boundaries are not non-decreasing or fall outside the
+    /// bounds.
+    pub fn from_boundaries(bounds: KeyBounds, boundaries: Vec<TxnKey>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be non-decreasing"
+        );
+        assert!(
+            boundaries.iter().all(|b| bounds.contains(*b)),
+            "boundaries must lie inside the key bounds"
+        );
+        KeyPartition { bounds, boundaries }
+    }
+
+    /// Number of workers this partition routes to.
+    pub fn workers(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The key bounds.
+    pub fn bounds(&self) -> KeyBounds {
+        self.bounds
+    }
+
+    /// The internal boundaries (first key owned by each worker after the
+    /// first).
+    pub fn boundaries(&self) -> &[TxnKey] {
+        &self.boundaries
+    }
+
+    /// Which worker a key is routed to.
+    pub fn worker_for(&self, key: TxnKey) -> usize {
+        let key = self.bounds.clamp(key);
+        self.boundaries.partition_point(|&b| b <= key)
+    }
+
+    /// The inclusive key range owned by a worker (may be empty when adjacent
+    /// boundaries coincide, in which case `None` is returned).
+    pub fn range_of(&self, worker: usize) -> Option<(TxnKey, TxnKey)> {
+        assert!(worker < self.workers(), "worker index out of range");
+        let lo = if worker == 0 {
+            self.bounds.min
+        } else {
+            self.boundaries[worker - 1]
+        };
+        let hi = if worker == self.workers() - 1 {
+            self.bounds.max
+        } else {
+            let next = self.boundaries[worker];
+            if next == self.bounds.min {
+                return None;
+            }
+            next - 1
+        };
+        if lo > hi {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    /// Expected fraction of keys routed to each worker under the given CDF —
+    /// the balance metric the adaptive partition optimizes.
+    pub fn expected_shares(&self, cdf: &PiecewiseCdf) -> Vec<f64> {
+        let mut shares = Vec::with_capacity(self.workers());
+        let mut prev = 0.0;
+        for w in 0..self.workers() {
+            let upper = if w == self.workers() - 1 {
+                1.0
+            } else {
+                cdf.probability_at(self.boundaries[w].saturating_sub(1))
+            };
+            shares.push((upper - prev).max(0.0));
+            prev = upper;
+        }
+        shares
+    }
+}
+
+impl std::fmt::Display for KeyPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}", self.bounds.min)?;
+        for b in &self.boundaries {
+            write!(f, " | {b}")?;
+        }
+        write!(f, " .. {}]", self.bounds.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn bounds() -> KeyBounds {
+        KeyBounds::new(0, 999)
+    }
+
+    #[test]
+    fn equal_width_covers_the_space() {
+        let p = KeyPartition::equal_width(bounds(), 4);
+        assert_eq!(p.workers(), 4);
+        assert_eq!(p.boundaries(), &[250, 500, 750]);
+        assert_eq!(p.worker_for(0), 0);
+        assert_eq!(p.worker_for(249), 0);
+        assert_eq!(p.worker_for(250), 1);
+        assert_eq!(p.worker_for(999), 3);
+        assert_eq!(p.worker_for(10_000), 3, "out-of-range keys clamp");
+        // Ranges tile the space.
+        let mut covered = 0;
+        for w in 0..4 {
+            let (lo, hi) = p.range_of(w).unwrap();
+            covered += hi - lo + 1;
+        }
+        assert_eq!(covered, bounds().width());
+    }
+
+    #[test]
+    fn single_worker_partition() {
+        let p = KeyPartition::equal_width(bounds(), 1);
+        assert_eq!(p.workers(), 1);
+        assert!(p.boundaries().is_empty());
+        assert_eq!(p.worker_for(0), 0);
+        assert_eq!(p.worker_for(999), 0);
+        assert_eq!(p.range_of(0), Some((0, 999)));
+    }
+
+    #[test]
+    fn every_key_routes_to_exactly_one_worker() {
+        for workers in [2usize, 3, 5, 8, 16] {
+            let p = KeyPartition::equal_width(bounds(), workers);
+            for key in 0..1000u64 {
+                let w = p.worker_for(key);
+                assert!(w < workers);
+                let (lo, hi) = p.range_of(w).unwrap();
+                assert!(key >= lo && key <= hi, "key {key} outside worker {w} range");
+            }
+        }
+    }
+
+    #[test]
+    fn pd_partition_balances_a_skewed_distribution() {
+        // 90% of mass in the first tenth of the space.
+        let mut samples = Vec::new();
+        for i in 0..90_000u64 {
+            samples.push(i % 100);
+        }
+        for i in 0..10_000u64 {
+            samples.push(100 + i % 900);
+        }
+        let hist = Histogram::from_samples(bounds(), 200, &samples);
+        let cdf = PiecewiseCdf::from_histogram(&hist);
+
+        let fixed = KeyPartition::equal_width(bounds(), 4);
+        let adaptive = KeyPartition::from_cdf(&cdf, 4);
+
+        // Route the sample stream through both partitions and compare load.
+        let route = |p: &KeyPartition| -> Vec<usize> {
+            let mut counts = vec![0usize; 4];
+            for &s in &samples {
+                counts[p.worker_for(s)] += 1;
+            }
+            counts
+        };
+        let fixed_counts = route(&fixed);
+        let adaptive_counts = route(&adaptive);
+
+        let imbalance = |counts: &[usize]| {
+            let max = *counts.iter().max().unwrap() as f64;
+            let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            max / avg
+        };
+        assert!(
+            imbalance(&fixed_counts) > 3.0,
+            "fixed partition should be badly imbalanced: {fixed_counts:?}"
+        );
+        assert!(
+            imbalance(&adaptive_counts) < 1.3,
+            "adaptive partition should be balanced: {adaptive_counts:?}"
+        );
+        // The heaviest adaptive share should be close to 1/workers.
+        let shares = adaptive.expected_shares(&cdf);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pd_partition_on_uniform_matches_equal_width_roughly() {
+        let samples: Vec<TxnKey> = (0..100_000u64).map(|i| i % 1000).collect();
+        let hist = Histogram::from_samples(bounds(), 100, &samples);
+        let cdf = PiecewiseCdf::from_histogram(&hist);
+        let adaptive = KeyPartition::from_cdf(&cdf, 4);
+        let fixed = KeyPartition::equal_width(bounds(), 4);
+        for (a, f) in adaptive.boundaries().iter().zip(fixed.boundaries()) {
+            let diff = a.abs_diff(*f);
+            assert!(diff <= 30, "boundary {a} too far from equal-width {f}");
+        }
+    }
+
+    #[test]
+    fn explicit_boundaries_validation() {
+        let p = KeyPartition::from_boundaries(bounds(), vec![100, 100, 500]);
+        assert_eq!(p.workers(), 4);
+        assert_eq!(p.worker_for(99), 0);
+        // Worker 1 owns an empty range because two boundaries coincide.
+        assert_eq!(p.worker_for(100), 2);
+        assert!(p.range_of(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_boundaries_are_rejected() {
+        KeyPartition::from_boundaries(bounds(), vec![500, 100]);
+    }
+
+    #[test]
+    fn display_formats_boundaries() {
+        let p = KeyPartition::equal_width(bounds(), 2);
+        let s = p.to_string();
+        assert!(s.contains("500"));
+        assert!(s.contains("999"));
+    }
+}

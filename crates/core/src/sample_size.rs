@@ -1,0 +1,134 @@
+//! Sample-size bound for the adaptive partitioner.
+//!
+//! "Shen and Ding show how to determine the sample size required for a
+//! guaranteed bound on accuracy by modeling the estimation as a multinomial
+//! proportion estimation problem. In this work, we use a threshold of 10,000
+//! samples, which guarantees with 95% confidence that the CDF is 99%
+//! accurate."
+//!
+//! This module computes that bound: the worst-case (p = 1/2) normal
+//! approximation for a simultaneous proportion estimate,
+//! `n ≥ z²_{(1+c)/2} / (4·d²)`, which for confidence c = 0.95 and error
+//! d = 0.01 gives n ≈ 9 604 — the paper rounds this to 10 000.
+
+/// The paper's default threshold (10 000 samples).
+pub const PAPER_SAMPLE_THRESHOLD: usize = 10_000;
+
+/// Number of samples required so that, with probability `confidence`, every
+/// estimated cumulative proportion is within `accuracy` of the truth.
+///
+/// # Panics
+/// Panics unless `0 < confidence < 1` and `0 < accuracy < 1`.
+pub fn required_samples(confidence: f64, accuracy: f64) -> usize {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    assert!(accuracy > 0.0 && accuracy < 1.0, "accuracy must be in (0, 1)");
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    ((z * z) / (4.0 * accuracy * accuracy)).ceil() as usize
+}
+
+/// Quantile (inverse CDF) of the standard normal distribution, via the
+/// Acklam rational approximation (absolute error below 1.15e-9 — far more
+/// precision than the sampling bound needs).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-8);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575_829).abs() < 1e-4);
+        assert!((normal_quantile(0.841_344_75) - 1.0).abs() < 1e-4);
+        // Symmetry.
+        assert!((normal_quantile(0.25) + normal_quantile(0.75)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_parameters_give_about_ten_thousand() {
+        let n = required_samples(0.95, 0.01);
+        assert!(
+            (9_000..=PAPER_SAMPLE_THRESHOLD).contains(&n),
+            "expected ~9604, got {n}"
+        );
+    }
+
+    #[test]
+    fn tighter_accuracy_needs_more_samples() {
+        assert!(required_samples(0.95, 0.005) > required_samples(0.95, 0.01));
+        assert!(required_samples(0.99, 0.01) > required_samples(0.95, 0.01));
+        assert!(required_samples(0.9, 0.05) < 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn invalid_confidence_is_rejected() {
+        required_samples(1.0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be in")]
+    fn invalid_accuracy_is_rejected() {
+        required_samples(0.95, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn quantile_rejects_out_of_range() {
+        normal_quantile(0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-worker counters and load-balance metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters maintained by one worker thread.
+///
+/// The paper's worker "increment\[s\] the local counter of complete
+/// transactions"; the driver collects these after stopping the test.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    completed: AtomicU64,
+    retries: AtomicU64,
+    idle_polls: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// Allocate a zeroed set of counters for `workers` workers.
+    pub fn for_workers(workers: usize) -> Arc<Vec<WorkerCounters>> {
+        Arc::new((0..workers).map(|_| WorkerCounters::default()).collect())
+    }
+
+    /// Record a completed transaction (after however many attempts).
+    pub fn record_completed(&self, attempts: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if attempts > 1 {
+            self.retries.fetch_add(attempts - 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a poll that found the task queue empty.
+    pub fn record_idle_poll(&self) {
+        self.idle_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a task stolen from another worker's queue.
+    pub fn record_steal(&self) {
+        self.stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed transactions.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Extra attempts caused by aborts.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Polls that found no work.
+    pub fn idle_polls(&self) -> u64 {
+        self.idle_polls.load(Ordering::Relaxed)
+    }
+
+    /// Tasks executed after stealing them from another queue.
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+}
+
+/// Load-balance summary across workers — the paper argues adaptivity by
+/// showing the fixed partition leaves some workers with "50% too many"
+/// transactions while the adaptive partition evens them out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBalance {
+    /// Completed-transaction count per worker.
+    pub per_worker: Vec<u64>,
+}
+
+impl LoadBalance {
+    /// Build from per-worker completion counts.
+    pub fn new(per_worker: Vec<u64>) -> Self {
+        LoadBalance { per_worker }
+    }
+
+    /// Total completed transactions.
+    pub fn total(&self) -> u64 {
+        self.per_worker.iter().sum()
+    }
+
+    /// Mean completions per worker.
+    pub fn mean(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.per_worker.len() as f64
+        }
+    }
+
+    /// Maximum over mean — 1.0 is perfect balance; the paper's fixed
+    /// partition under the modulo key map sits around 1.5 ("50% too many").
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        let max = self.per_worker.iter().copied().max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Population coefficient of variation (std-dev / mean).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 || self.per_worker.is_empty() {
+            return 0.0;
+        }
+        let var = self
+            .per_worker
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.per_worker.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = WorkerCounters::default();
+        c.record_completed(1);
+        c.record_completed(3);
+        c.record_idle_poll();
+        c.record_steal();
+        assert_eq!(c.completed(), 2);
+        assert_eq!(c.retries(), 2);
+        assert_eq!(c.idle_polls(), 1);
+        assert_eq!(c.stolen(), 1);
+    }
+
+    #[test]
+    fn for_workers_allocates_one_each() {
+        let counters = WorkerCounters::for_workers(5);
+        assert_eq!(counters.len(), 5);
+        counters[2].record_completed(1);
+        assert_eq!(counters[2].completed(), 1);
+        assert_eq!(counters[0].completed(), 0);
+    }
+
+    #[test]
+    fn perfect_balance_has_imbalance_one() {
+        let lb = LoadBalance::new(vec![100, 100, 100, 100]);
+        assert_eq!(lb.total(), 400);
+        assert!((lb.imbalance() - 1.0).abs() < 1e-12);
+        assert!(lb.coefficient_of_variation() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_balance_is_detected() {
+        let lb = LoadBalance::new(vec![300, 100, 100, 100]);
+        assert!((lb.imbalance() - 2.0).abs() < 1e-12);
+        assert!(lb.coefficient_of_variation() > 0.5);
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        let lb = LoadBalance::new(vec![]);
+        assert_eq!(lb.total(), 0);
+        assert_eq!(lb.mean(), 0.0);
+        assert_eq!(lb.imbalance(), 1.0);
+        let zeros = LoadBalance::new(vec![0, 0]);
+        assert_eq!(zeros.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Runs every experiment in sequence — the one-command reproduction of all
+//! of the paper's figures plus the extension tables.
+//!
+//! ```text
+//! cargo run --release -p katme-harness --bin all_experiments -- --seconds 0.5
+//! ```
+
+use katme_collections::StructureKind;
+use katme_harness::experiments::executor_models;
+use katme_harness::{
+    balance_table, contention_table, fig3_hashtable, fig4_overhead, format_throughput,
+    print_series_table, tree_list, HarnessOptions,
+};
+use katme_workload::DistributionKind;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    eprintln!(
+        "# All experiments: {} repetition(s) of {:?} per point, workers {:?}",
+        opts.repetitions(),
+        opts.duration(),
+        opts.worker_counts()
+    );
+
+    println!("\n################ Figure 3: hash table ################");
+    for (distribution, rows) in fig3_hashtable(&opts) {
+        print_series_table(&format!("{distribution} : Hashtable"), &rows);
+    }
+
+    println!("\n################ Figure 4: executor overhead ################");
+    println!(
+        "{:>8}{:>18}{:>18}{:>12}",
+        "threads", "no executor", "executor", "overhead"
+    );
+    for row in fig4_overhead(&opts) {
+        println!(
+            "{:>8}{:>18}{:>18}{:>11.2}x",
+            row.workers,
+            format_throughput(row.no_executor),
+            format_throughput(row.executor),
+            row.overhead_factor()
+        );
+    }
+
+    println!("\n################ Tech report: tree & list ################");
+    for (structure, distribution, rows) in tree_list(&opts) {
+        print_series_table(&format!("{distribution} : {structure}"), &rows);
+    }
+
+    println!("\n################ Contention table ################");
+    for distribution in DistributionKind::paper_distributions() {
+        let rows = contention_table(&opts, distribution);
+        println!("\n{distribution}:");
+        for (structure, scheduler, ratio) in rows {
+            println!(
+                "  {:>12} / {:>12}: {ratio:.4}",
+                structure.name(),
+                scheduler.name()
+            );
+        }
+    }
+
+    println!("\n################ Load balance ################");
+    for (scheduler, per_worker, imbalance) in balance_table(
+        &opts,
+        StructureKind::HashTable,
+        DistributionKind::exponential_paper(),
+    ) {
+        println!(
+            "  {:>12}: imbalance {imbalance:.2} per-worker {per_worker:?}",
+            scheduler.name()
+        );
+    }
+
+    println!("\n################ Executor models (Figure 1 ablation) ################");
+    for (model, throughput) in executor_models(&opts) {
+        println!(
+            "  {:>12}: {} txn/s",
+            model.name(),
+            format_throughput(throughput)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Reproduces the contention-frequency data the paper cites in §4.4
+//! ("as supporting data, we have collected the frequency of contentions"):
+//! aborted attempts per committed transaction for each structure and
+//! scheduler.
+//!
+//! ```text
+//! cargo run --release -p katme-harness --bin contention_table -- --seconds 0.5
+//! ```
+
+use katme_harness::{contention_table, HarnessOptions};
+use katme_workload::DistributionKind;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    for distribution in DistributionKind::paper_distributions() {
+        println!("\n== Contention (aborts per committed txn) — {distribution} ==");
+        println!(
+            "{:>14}{:>16}{:>16}{:>16}",
+            "structure", "round-robin", "fixed", "adaptive"
+        );
+        let rows = contention_table(&opts, distribution);
+        for structure in katme_collections::StructureKind::ALL {
+            print!("{:>14}", structure.name());
+            for scheduler in katme_core::scheduler::SchedulerKind::ALL {
+                let ratio = rows
+                    .iter()
+                    .find(|(s, k, _)| *s == structure && *k == scheduler)
+                    .map(|(_, _, r)| *r)
+                    .unwrap_or(f64::NAN);
+                print!("{ratio:>16.4}");
+            }
+            println!();
+        }
+    }
+    println!("\n(The paper: hash-table contention is below 1/100th of completed transactions;");
+    println!(" the sorted list under the exponential distribution sees the most, still below");
+    println!(" one contention per four transactions. Key-based partitioning reduces it.)");
+}

@@ -1,0 +1,278 @@
+//! Experiment runners, one per table/figure of the paper.
+
+use katme_collections::StructureKind;
+use katme_core::driver::{Driver, DriverConfig, RunResult};
+use katme_core::models::ExecutorModel;
+use katme_core::scheduler::SchedulerKind;
+use katme_workload::DistributionKind;
+
+use crate::options::HarnessOptions;
+
+/// One data point of a throughput figure: a (series, worker-count) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRow {
+    /// Curve this point belongs to (scheduler name, or "no executor" /
+    /// "executor" for Figure 4).
+    pub series: String,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Mean completed transactions per second.
+    pub throughput: f64,
+    /// Aborted attempts per committed transaction.
+    pub contention_ratio: f64,
+    /// Max-over-mean completed transactions across workers.
+    pub imbalance: f64,
+    /// Mean completed transactions per repetition.
+    pub completed: u64,
+}
+
+impl ExperimentRow {
+    fn from_results(series: String, workers: usize, results: &[RunResult]) -> Self {
+        let n = results.len().max(1) as f64;
+        let throughput = results.iter().map(|r| r.throughput).sum::<f64>() / n;
+        let contention = results.iter().map(|r| r.contention_ratio()).sum::<f64>() / n;
+        let imbalance = results.iter().map(|r| r.load.imbalance()).sum::<f64>() / n;
+        let completed = (results.iter().map(|r| r.completed).sum::<u64>() as f64 / n) as u64;
+        ExperimentRow {
+            series,
+            workers,
+            throughput,
+            contention_ratio: contention,
+            imbalance,
+            completed,
+        }
+    }
+}
+
+/// One row of the Figure-4 overhead comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Throughput of free-running transaction loops (no executor).
+    pub no_executor: f64,
+    /// Throughput of the same trivial transactions through the executor.
+    pub executor: f64,
+}
+
+impl Fig4Row {
+    /// Executor overhead expressed as the throughput ratio (≥ 1 means the
+    /// free-running loops are faster).
+    pub fn overhead_factor(&self) -> f64 {
+        if self.executor <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.no_executor / self.executor
+        }
+    }
+}
+
+fn base_config(opts: &HarnessOptions, structure: StructureKind) -> DriverConfig {
+    DriverConfig::new()
+        .with_duration(opts.duration())
+        .with_producers(opts.producers_for(structure))
+        .with_preload(if opts.quick { 500 } else { opts.preload })
+}
+
+fn sweep_structure(
+    opts: &HarnessOptions,
+    structure: StructureKind,
+    distribution: DistributionKind,
+) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for &workers in &opts.worker_counts() {
+        for scheduler in SchedulerKind::ALL {
+            let mut results = Vec::new();
+            for rep in 0..opts.repetitions() {
+                let config = base_config(opts, structure)
+                    .with_workers(workers)
+                    .with_scheduler(scheduler)
+                    .with_seed(0x5eed + rep as u64);
+                results.push(Driver::new(config).run_dictionary(structure, distribution));
+            }
+            rows.push(ExperimentRow::from_results(
+                scheduler.name().to_string(),
+                workers,
+                &results,
+            ));
+        }
+    }
+    rows
+}
+
+/// **Figure 3**: hash-table throughput for the three key distributions under
+/// the three schedulers, across worker counts. Returns one row set per
+/// distribution, in the paper's order (uniform, Gaussian, exponential).
+pub fn fig3_hashtable(opts: &HarnessOptions) -> Vec<(DistributionKind, Vec<ExperimentRow>)> {
+    DistributionKind::paper_distributions()
+        .into_iter()
+        .map(|dist| (dist, sweep_structure(opts, StructureKind::HashTable, dist)))
+        .collect()
+}
+
+/// **Tech-report companion**: the same sweep for the red-black tree and the
+/// sorted list (the paper reports these in its technical-report appendix).
+pub fn tree_list(
+    opts: &HarnessOptions,
+) -> Vec<(StructureKind, DistributionKind, Vec<ExperimentRow>)> {
+    let mut out = Vec::new();
+    for structure in [StructureKind::RbTree, StructureKind::SortedList] {
+        for dist in DistributionKind::paper_distributions() {
+            out.push((structure, dist, sweep_structure(opts, structure, dist)));
+        }
+    }
+    out
+}
+
+/// **Figure 4**: executor overhead on trivial transactions — k free-running
+/// threads vs. the executor with k workers and six producers.
+pub fn fig4_overhead(opts: &HarnessOptions) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for &workers in &opts.worker_counts() {
+        let mut no_exec = Vec::new();
+        let mut with_exec = Vec::new();
+        for rep in 0..opts.repetitions() {
+            let config = DriverConfig::new()
+                .with_duration(opts.duration())
+                .with_workers(workers)
+                // "For executor mode, we constantly use six producers."
+                .with_producers(6)
+                .with_scheduler(SchedulerKind::RoundRobin)
+                .with_seed(0xf16 + rep as u64);
+            let driver = Driver::new(config);
+            no_exec.push(driver.run_trivial(false));
+            with_exec.push(driver.run_trivial(true));
+        }
+        let mean = |rs: &[RunResult]| rs.iter().map(|r| r.throughput).sum::<f64>() / rs.len() as f64;
+        rows.push(Fig4Row {
+            workers,
+            no_executor: mean(&no_exec),
+            executor: mean(&with_exec),
+        });
+    }
+    rows
+}
+
+/// **Contention table**: aborts per committed transaction for each structure
+/// and scheduler (the supporting data the paper cites: "the total number of
+/// contention instances is small enough (less than 1/100th the number of
+/// completed transactions)" for the hash table, rising for the list/tree).
+pub fn contention_table(
+    opts: &HarnessOptions,
+    distribution: DistributionKind,
+) -> Vec<(StructureKind, SchedulerKind, f64)> {
+    let workers = opts.worker_counts().into_iter().max().unwrap_or(4);
+    let mut out = Vec::new();
+    for structure in StructureKind::ALL {
+        for scheduler in SchedulerKind::ALL {
+            let config = base_config(opts, structure)
+                .with_workers(workers)
+                .with_scheduler(scheduler);
+            let result = Driver::new(config).run_dictionary(structure, distribution);
+            out.push((structure, scheduler, result.contention_ratio()));
+        }
+    }
+    out
+}
+
+/// **Load-balance table**: the per-worker share of completed transactions
+/// under each scheduler, demonstrating the §4.4 claim that the fixed
+/// partition leaves "50% too many" keys at the low end under the modulo key
+/// map while the adaptive partition evens the queues out.
+pub fn balance_table(
+    opts: &HarnessOptions,
+    structure: StructureKind,
+    distribution: DistributionKind,
+) -> Vec<(SchedulerKind, Vec<u64>, f64)> {
+    let workers = opts.worker_counts().into_iter().max().unwrap_or(4);
+    let mut out = Vec::new();
+    for scheduler in SchedulerKind::ALL {
+        let config = base_config(opts, structure)
+            .with_workers(workers)
+            .with_scheduler(scheduler);
+        let result = Driver::new(config).run_dictionary(structure, distribution);
+        let imbalance = result.load.imbalance();
+        out.push((scheduler, result.load.per_worker, imbalance));
+    }
+    out
+}
+
+/// Ablation: executor models of Figure 1 (no executor / centralized /
+/// parallel) on the hash table with the adaptive scheduler.
+pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
+    let workers = opts.worker_counts().into_iter().max().unwrap_or(4);
+    ExecutorModel::ALL
+        .into_iter()
+        .map(|model| {
+            let config = base_config(opts, StructureKind::HashTable)
+                .with_workers(workers)
+                .with_model(model)
+                .with_scheduler(SchedulerKind::AdaptiveKey);
+            let result =
+                Driver::new(config).run_dictionary(StructureKind::HashTable, DistributionKind::Uniform);
+            (model, result.throughput)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> HarnessOptions {
+        HarnessOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig3_produces_rows_for_every_combination() {
+        let panels = fig3_hashtable(&quick());
+        assert_eq!(panels.len(), 3, "one panel per distribution");
+        for (dist, rows) in &panels {
+            // 2 worker counts (quick mode) x 3 schedulers.
+            assert_eq!(rows.len(), 6, "{dist}: {rows:?}");
+            assert!(rows.iter().all(|r| r.completed > 0), "{dist}: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn fig4_produces_both_series() {
+        let rows = fig4_overhead(&quick());
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row.no_executor > 0.0);
+            assert!(row.executor > 0.0);
+            assert!(row.overhead_factor().is_finite());
+        }
+    }
+
+    #[test]
+    fn balance_table_reports_all_schedulers() {
+        let rows = balance_table(
+            &quick(),
+            StructureKind::HashTable,
+            DistributionKind::Uniform,
+        );
+        assert_eq!(rows.len(), 3);
+        for (_, per_worker, imbalance) in rows {
+            assert_eq!(per_worker.len(), 2);
+            assert!(imbalance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn contention_table_covers_structures_and_schedulers() {
+        let rows = contention_table(&quick(), DistributionKind::Uniform);
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|(_, _, ratio)| *ratio >= 0.0));
+    }
+
+    #[test]
+    fn executor_models_compare_all_three() {
+        let rows = executor_models(&quick());
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|(_, tput)| *tput > 0.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # katme-harness — experiment harness for the KATME paper
+//!
+//! One module (and one binary) per table/figure of the paper:
+//!
+//! | Paper artefact | Module / binary | What it prints |
+//! |---|---|---|
+//! | Figure 3 | [`experiments::fig3_hashtable`] / `fig3_hashtable` | hash-table throughput vs. workers, for the uniform / Gaussian / exponential key distributions, under the round-robin / fixed / adaptive schedulers |
+//! | Figure 4 | [`experiments::fig4_overhead`] / `fig4_overhead` | executor overhead: free-running transaction loops vs. executor-fed workers on trivial transactions |
+//! | Tech-report companion | [`experiments::tree_list`] / `tree_list` | the same sweep as Figure 3 for the red-black tree and sorted list |
+//! | Contention table | [`experiments::contention_table`] / `contention_table` | aborts per committed transaction per scheduler/structure |
+//! | Load-balance table | [`experiments::balance_table`] / `balance_table` | per-worker completion share under each scheduler |
+//!
+//! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
+//! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
+//! the full suite completes in a couple of minutes on a laptop; the paper's
+//! original parameters (10-second windows, 10 repetitions, 16 workers) are a
+//! flag away.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod options;
+pub mod report;
+
+pub use experiments::{
+    balance_table, contention_table, fig3_hashtable, fig4_overhead, tree_list, ExperimentRow,
+    Fig4Row,
+};
+pub use options::HarnessOptions;
+pub use report::{format_throughput, print_series_table};

@@ -1,0 +1,256 @@
+//! Command-line options shared by every experiment binary.
+//!
+//! A deliberately tiny flag parser (no external dependency): every binary
+//! accepts the same handful of knobs that scale the paper's 16-processor,
+//! 10-second-per-point methodology down (or back up) to the host at hand.
+
+use std::time::Duration;
+
+/// Options accepted by every harness binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// Measurement window per data point (paper: 10 s).
+    pub seconds: f64,
+    /// Repetitions per data point; the mean is reported (paper: 10).
+    pub reps: usize,
+    /// Largest worker-thread count in the sweep (paper: 16).
+    pub max_threads: usize,
+    /// Producer threads (paper: 4, and 8 for the hash table).
+    pub producers: Option<usize>,
+    /// Number of keys preloaded into each structure.
+    pub preload: usize,
+    /// Quick mode: single tiny run per point (used by smoke tests and CI).
+    pub quick: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            seconds: 0.2,
+            reps: 1,
+            max_threads: 8,
+            producers: None,
+            preload: 10_000,
+            quick: false,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parse options from an argument iterator (excluding the program name).
+    ///
+    /// Unknown flags produce an error message listing the supported flags.
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = HarnessOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            match arg {
+                "--seconds" | "-s" => {
+                    opts.seconds = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?
+                }
+                "--reps" | "-r" => {
+                    opts.reps = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?
+                }
+                "--max-threads" | "-t" => {
+                    opts.max_threads = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?
+                }
+                "--producers" | "-p" => {
+                    opts.producers =
+                        Some(next_value(&mut iter, arg)?.parse().map_err(bad(arg))?)
+                }
+                "--preload" => {
+                    opts.preload = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?
+                }
+                "--quick" | "-q" => opts.quick = true,
+                "--paper" => {
+                    // The paper's full methodology.
+                    opts.seconds = 10.0;
+                    opts.reps = 10;
+                    opts.max_threads = 16;
+                }
+                "--help" | "-h" => return Err(Self::usage().to_string()),
+                other => {
+                    return Err(format!("unknown flag '{other}'\n{}", Self::usage()));
+                }
+            }
+        }
+        opts.validate()?;
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Usage text.
+    pub fn usage() -> &'static str {
+        "usage: <experiment> [--seconds S] [--reps N] [--max-threads N] \
+         [--producers N] [--preload N] [--quick] [--paper]"
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.seconds <= 0.0 {
+            return Err("--seconds must be positive".into());
+        }
+        if self.reps == 0 {
+            return Err("--reps must be at least 1".into());
+        }
+        if self.max_threads == 0 {
+            return Err("--max-threads must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Measurement window as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(40)
+        } else {
+            Duration::from_secs_f64(self.seconds)
+        }
+    }
+
+    /// Number of repetitions per data point.
+    pub fn repetitions(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            self.reps
+        }
+    }
+
+    /// Worker counts to sweep, mirroring the paper's 2–16 x-axis scaled to
+    /// `max_threads`.
+    pub fn worker_counts(&self) -> Vec<usize> {
+        if self.quick {
+            return vec![1, 2];
+        }
+        let max = self.max_threads;
+        if max <= 2 {
+            (1..=max).collect()
+        } else if max <= 8 {
+            let mut counts = vec![1];
+            counts.extend((2..=max).step_by(2));
+            counts
+        } else {
+            (2..=max).step_by(2).collect()
+        }
+    }
+
+    /// Producer count for a given structure (the paper doubles producers for
+    /// the hash table "to prevent worker threads being hungry").
+    pub fn producers_for(&self, structure: katme_collections::StructureKind) -> usize {
+        if let Some(p) = self.producers {
+            return p;
+        }
+        match structure {
+            katme_collections::StructureKind::HashTable => 8,
+            _ => 4,
+        }
+    }
+}
+
+fn next_value<I, S>(iter: &mut I, flag: &str) -> Result<String, String>
+where
+    I: Iterator<Item = S>,
+    S: AsRef<str>,
+{
+    iter.next()
+        .map(|v| v.as_ref().to_string())
+        .ok_or_else(|| format!("flag '{flag}' expects a value"))
+}
+
+fn bad<E: std::fmt::Display>(flag: &str) -> impl Fn(E) -> String + '_ {
+    move |e| format!("invalid value for '{flag}': {e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katme_collections::StructureKind;
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = HarnessOptions::default();
+        assert!(opts.seconds > 0.0);
+        assert!(opts.repetitions() >= 1);
+        assert!(!opts.worker_counts().is_empty());
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let opts = HarnessOptions::parse([
+            "--seconds",
+            "0.5",
+            "--reps",
+            "3",
+            "--max-threads",
+            "16",
+            "--producers",
+            "6",
+            "--preload",
+            "100",
+            "--quick",
+        ])
+        .unwrap();
+        assert_eq!(opts.seconds, 0.5);
+        assert_eq!(opts.reps, 3);
+        assert_eq!(opts.max_threads, 16);
+        assert_eq!(opts.producers, Some(6));
+        assert_eq!(opts.preload, 100);
+        assert!(opts.quick);
+        // Quick mode overrides the window and repetitions.
+        assert_eq!(opts.duration(), Duration::from_millis(40));
+        assert_eq!(opts.repetitions(), 1);
+    }
+
+    #[test]
+    fn paper_preset_matches_methodology() {
+        let opts = HarnessOptions::parse(["--paper"]).unwrap();
+        assert_eq!(opts.seconds, 10.0);
+        assert_eq!(opts.reps, 10);
+        assert_eq!(opts.max_threads, 16);
+        assert_eq!(opts.worker_counts(), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(HarnessOptions::parse(["--bogus"]).is_err());
+        assert!(HarnessOptions::parse(["--seconds"]).is_err());
+        assert!(HarnessOptions::parse(["--seconds", "zero"]).is_err());
+        assert!(HarnessOptions::parse(["--seconds", "0"]).is_err());
+        assert!(HarnessOptions::parse(["--reps", "0"]).is_err());
+    }
+
+    #[test]
+    fn producer_defaults_follow_the_paper() {
+        let opts = HarnessOptions::default();
+        assert_eq!(opts.producers_for(StructureKind::HashTable), 8);
+        assert_eq!(opts.producers_for(StructureKind::RbTree), 4);
+        assert_eq!(opts.producers_for(StructureKind::SortedList), 4);
+        let forced = HarnessOptions::parse(["--producers", "2"]).unwrap();
+        assert_eq!(forced.producers_for(StructureKind::HashTable), 2);
+    }
+
+    #[test]
+    fn worker_counts_scale_with_max_threads() {
+        let small = HarnessOptions::parse(["--max-threads", "4"]).unwrap();
+        assert_eq!(small.worker_counts(), vec![1, 2, 4]);
+        let tiny = HarnessOptions::parse(["--max-threads", "1"]).unwrap();
+        assert_eq!(tiny.worker_counts(), vec![1]);
+        let quick = HarnessOptions::parse(["--quick"]).unwrap();
+        assert_eq!(quick.worker_counts(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Fixed-capacity queue with back-pressure.
+//!
+//! The paper notes that producers can outrun workers (for the hash-table
+//! benchmark it doubles the number of producers so workers are never hungry,
+//! and the overhead study in Figure 4 holds the producer count at six). When
+//! the harness instead wants to *bound* producer run-ahead — e.g. to measure
+//! steady-state behaviour rather than unbounded queue growth — it uses this
+//! bounded ring buffer and treats a full queue as back-pressure.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::TaskQueue;
+
+/// Error returned by [`BoundedQueue::try_push`] when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError<T>(
+    /// The item that could not be enqueued, handed back to the caller.
+    pub T,
+);
+
+/// A fixed-capacity FIFO queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue that holds at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Attempt to enqueue, returning the item back when the queue is full.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock();
+        if inner.len() >= self.capacity {
+            Err(PushError(item))
+        } else {
+            inner.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Enqueue, spinning/yielding until space is available.
+    pub fn push_blocking(&self, mut item: T) {
+        loop {
+            match self.try_push(item) {
+                Ok(()) => return,
+                Err(PushError(back)) => {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Remove the item at the head, if any.
+    pub fn dequeue(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when the queue holds `capacity` items.
+    pub fn is_full(&self) -> bool {
+        self.count() >= self.capacity
+    }
+}
+
+impl<T: Send> TaskQueue<T> for BoundedQueue<T> {
+    /// Pushing through the [`TaskQueue`] interface blocks (yielding) until
+    /// space is available, so the executor can treat bounded and unbounded
+    /// queues uniformly.
+    fn push(&self, item: T) {
+        self.push_blocking(item);
+    }
+
+    fn try_pop(&self) -> Option<T> {
+        self.dequeue()
+    }
+
+    fn len(&self) -> usize {
+        self.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn try_push_reports_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError(3)));
+        assert!(q.is_full());
+        assert_eq!(q.dequeue(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.count(), 2);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn capacity_accessor() {
+        let q = BoundedQueue::<u8>::new(7);
+        assert_eq!(q.capacity(), 7);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_consumer() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..1_000u32 {
+                    q.push_blocking(i);
+                }
+            })
+        };
+        let mut received = Vec::new();
+        while received.len() < 1_000 {
+            if let Some(v) = q.dequeue() {
+                received.push(v);
+            } else {
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(received, (0..1_000u32).collect::<Vec<_>>());
+        // The queue never exceeded its capacity (indirectly verified by the
+        // bounded buffer: all items still arrived exactly once and in order).
+        assert!(q.count() <= q.capacity());
+    }
+}

@@ -1,0 +1,106 @@
+//! # katme-queue — concurrent task queues for the KATME executor
+//!
+//! The paper connects producer and worker threads through per-worker task
+//! queues, instantiated as `java.util.concurrent.ConcurrentLinkedQueue`
+//! (the Michael & Scott concurrent queue). This crate provides the Rust
+//! equivalents used by `katme-core`:
+//!
+//! * [`TwoLockQueue`] — Michael & Scott's *two-lock* concurrent queue
+//!   (head lock and tail lock held independently, so an enqueuer never blocks
+//!   a dequeuer). This is the default executor queue: the algorithm comes
+//!   from the same paper as the non-blocking queue the JDK uses, and it is
+//!   expressible in safe Rust.
+//! * [`MutexQueue`] — a single-lock `VecDeque`, the simplest correct queue,
+//!   used as the baseline in the queue micro-benchmarks.
+//! * [`BoundedQueue`] — a fixed-capacity ring buffer with back-pressure,
+//!   used when the harness wants to bound producer run-ahead.
+//! * [`Backoff`] — a small truncated-exponential backoff helper shared by
+//!   spinning consumers.
+//!
+//! All queues implement the [`TaskQueue`] trait so the executor can be
+//! configured with any of them (and the benches can compare them).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backoff;
+pub mod bounded;
+pub mod mutex_queue;
+pub mod two_lock;
+
+pub use backoff::Backoff;
+pub use bounded::{BoundedQueue, PushError};
+pub use mutex_queue::MutexQueue;
+pub use two_lock::TwoLockQueue;
+
+/// Common interface for the executor's per-worker task queues.
+///
+/// Queues are multi-producer / multi-consumer: any number of producer threads
+/// may [`push`](TaskQueue::push) concurrently with any number of workers
+/// calling [`try_pop`](TaskQueue::try_pop). FIFO order is preserved per
+/// producer (and globally for the unbounded queues, which serialize enqueues
+/// on the tail).
+pub trait TaskQueue<T>: Send + Sync {
+    /// Append an item to the tail of the queue.
+    fn push(&self, item: T);
+
+    /// Remove and return the item at the head of the queue, or `None` when
+    /// the queue is currently empty.
+    fn try_pop(&self) -> Option<T>;
+
+    /// Approximate number of queued items (exact when quiescent).
+    fn len(&self) -> usize;
+
+    /// True when the queue is (momentarily) empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which queue implementation the executor should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Michael & Scott two-lock queue (default).
+    #[default]
+    TwoLock,
+    /// Single global lock around a `VecDeque`.
+    Mutex,
+}
+
+impl QueueKind {
+    /// Instantiate a boxed queue of this kind.
+    pub fn build<T: Send + 'static>(&self) -> Box<dyn TaskQueue<T>> {
+        match self {
+            QueueKind::TwoLock => Box::new(TwoLockQueue::new()),
+            QueueKind::Mutex => Box::new(MutexQueue::new()),
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueKind::TwoLock => "two-lock",
+            QueueKind::Mutex => "mutex",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_kind_builds_working_queues() {
+        for kind in [QueueKind::TwoLock, QueueKind::Mutex] {
+            let q = kind.build::<u32>();
+            assert!(q.is_empty());
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.try_pop(), Some(1));
+            assert_eq!(q.try_pop(), Some(2));
+            assert_eq!(q.try_pop(), None);
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Single-lock queue baseline.
+//!
+//! The simplest correct MPMC queue: a `VecDeque` behind one mutex. The
+//! executor benchmarks use it as a baseline against which the two-lock
+//! Michael & Scott queue is compared; it is also handy in tests because its
+//! behaviour is trivially sequentially consistent.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::TaskQueue;
+
+/// A `Mutex<VecDeque>` FIFO queue.
+pub struct MutexQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for MutexQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MutexQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Append an item to the tail.
+    pub fn enqueue(&self, item: T) {
+        self.inner.lock().push_back(item);
+    }
+
+    /// Remove the item at the head, if any.
+    pub fn dequeue(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn count(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+impl<T: Send> TaskQueue<T> for MutexQueue<T> {
+    fn push(&self, item: T) {
+        self.enqueue(item);
+    }
+
+    fn try_pop(&self) -> Option<T> {
+        self.dequeue()
+    }
+
+    fn len(&self) -> usize {
+        self.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = MutexQueue::new();
+        q.enqueue('a');
+        q.enqueue('b');
+        q.enqueue('c');
+        assert_eq!(q.dequeue(), Some('a'));
+        assert_eq!(q.dequeue(), Some('b'));
+        assert_eq!(q.dequeue(), Some('c'));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn len_is_accurate() {
+        let q = MutexQueue::with_capacity(8);
+        assert!(q.is_empty());
+        for i in 0..5 {
+            q.enqueue(i);
+        }
+        assert_eq!(q.count(), 5);
+        assert_eq!(TaskQueue::len(&q), 5);
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_items() {
+        let q = Arc::new(MutexQueue::new());
+        let threads = 4;
+        let per_thread = 1_000;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        q.enqueue(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.count(), threads * per_thread);
+    }
+}

@@ -1,0 +1,63 @@
+//! The Aggressive contention manager.
+//!
+//! The original Aggressive policy always resolves a conflict in favour of the
+//! transaction that detects it, by immediately aborting the enemy. With
+//! commit-time locking the detecting transaction cannot abort a committer, so
+//! the adapted policy never waits: it restarts the current attempt
+//! immediately, betting that the enemy's commit will have finished by the
+//! time it comes back around. This preserves the defining characteristic —
+//! zero patience — which is what the ablation benches compare against.
+
+use super::{Conflict, ContentionManager, Resolution};
+
+/// Aggressive (zero-patience) contention manager.
+#[derive(Debug, Default)]
+pub struct Aggressive {
+    conflicts_seen: u64,
+}
+
+impl Aggressive {
+    /// Create a new Aggressive manager.
+    pub fn new() -> Self {
+        Aggressive::default()
+    }
+
+    /// Number of conflicts this transaction has encountered (diagnostics).
+    pub fn conflicts_seen(&self) -> u64 {
+        self.conflicts_seen
+    }
+}
+
+impl ContentionManager for Aggressive {
+    fn on_conflict(&mut self, _conflict: &Conflict) -> Resolution {
+        self.conflicts_seen += 1;
+        Resolution::Abort
+    }
+
+    fn name(&self) -> &'static str {
+        "Aggressive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ConflictKind;
+
+    #[test]
+    fn always_aborts() {
+        let mut cm = Aggressive::new();
+        for kind in [ConflictKind::Read, ConflictKind::Acquire, ConflictKind::Validation] {
+            let c = Conflict {
+                kind,
+                enemy: 9,
+                enemy_priority: 1_000_000,
+                enemy_start_ts: 0,
+                attempt: 1,
+                my_start_ts: 0,
+            };
+            assert_eq!(cm.on_conflict(&c), Resolution::Abort);
+        }
+        assert_eq!(cm.conflicts_seen(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! The Karma contention manager.
+//!
+//! Karma tracks the amount of work a transaction has invested (one unit per
+//! opened object) and lets that investment persist across aborts, so a
+//! transaction that repeatedly loses gains seniority. On a conflict it keeps
+//! retrying/waiting until the number of attempts exceeds its priority deficit
+//! against the enemy, then gives way. Unlike Polka the per-round wait is a
+//! fixed short delay rather than an exponentially growing one.
+
+use std::time::Duration;
+
+use super::{BackoffPolicy, Conflict, ConflictKind, ContentionManager, Resolution};
+
+/// Karma contention manager.
+#[derive(Debug)]
+pub struct Karma {
+    backoff: BackoffPolicy,
+    priority: u64,
+}
+
+impl Karma {
+    /// Create a Karma manager with the given backoff tuning.
+    pub fn new(backoff: BackoffPolicy) -> Self {
+        Karma {
+            backoff,
+            priority: 0,
+        }
+    }
+}
+
+impl ContentionManager for Karma {
+    fn on_open(&mut self) {
+        self.priority += 1;
+    }
+
+    fn on_conflict(&mut self, conflict: &Conflict) -> Resolution {
+        if conflict.kind == ConflictKind::Validation {
+            return Resolution::Abort;
+        }
+        let deficit = conflict.enemy_priority.saturating_sub(self.priority);
+        let budget = (deficit.min(64) as u32).max(1);
+        if conflict.attempt <= budget {
+            // Fixed-magnitude wait (round 0 of the backoff schedule).
+            Resolution::Wait(self.backoff.delay(0))
+        } else {
+            Resolution::Abort
+        }
+    }
+
+    fn on_commit(&mut self) {
+        self.priority = 0;
+    }
+
+    fn on_abort(&mut self) {
+        // Karma's defining property: priority survives aborts.
+    }
+
+    fn priority(&self) -> u64 {
+        self.priority
+    }
+
+    fn name(&self) -> &'static str {
+        "Karma"
+    }
+}
+
+impl Default for Karma {
+    fn default() -> Self {
+        Karma::new(BackoffPolicy::new(
+            Duration::from_micros(2),
+            Duration::from_millis(1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conflict(enemy_priority: u64, attempt: u32) -> Conflict {
+        Conflict {
+            kind: ConflictKind::Acquire,
+            enemy: 3,
+            enemy_priority,
+            enemy_start_ts: 0,
+            attempt,
+            my_start_ts: 1,
+        }
+    }
+
+    #[test]
+    fn priority_survives_abort() {
+        let mut cm = Karma::default();
+        cm.on_open();
+        cm.on_open();
+        cm.on_abort();
+        assert_eq!(cm.priority(), 2);
+        cm.on_commit();
+        assert_eq!(cm.priority(), 0);
+    }
+
+    #[test]
+    fn waits_proportional_to_deficit() {
+        let mut cm = Karma::default();
+        // Deficit of 5 → should tolerate at least 5 attempts before aborting.
+        for attempt in 1..=5 {
+            assert!(matches!(
+                cm.on_conflict(&conflict(5, attempt)),
+                Resolution::Wait(_)
+            ));
+        }
+        assert_eq!(cm.on_conflict(&conflict(5, 6)), Resolution::Abort);
+    }
+
+    #[test]
+    fn zero_deficit_still_waits_once() {
+        let mut cm = Karma::default();
+        cm.on_open(); // priority 1 > enemy 0
+        assert!(matches!(cm.on_conflict(&conflict(0, 1)), Resolution::Wait(_)));
+        assert_eq!(cm.on_conflict(&conflict(0, 2)), Resolution::Abort);
+    }
+
+    #[test]
+    fn validation_aborts_immediately() {
+        let mut cm = Karma::default();
+        let c = Conflict {
+            kind: ConflictKind::Validation,
+            ..conflict(0, 1)
+        };
+        assert_eq!(cm.on_conflict(&c), Resolution::Abort);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Polka contention manager (Scherer & Scott, PODC'05).
+//!
+//! Polka = Polite + Karma: it combines **randomized exponential backoff**
+//! (from Polite) with **priority accumulation** (from Karma). A transaction
+//! gains one unit of priority for every object it successfully opens; when it
+//! meets a conflict it backs off for a number of rounds equal to the gap
+//! between the enemy's priority and its own, with each round's delay drawn
+//! from an exponentially growing randomized interval. Once the budget is
+//! exhausted the original Polka aborts the enemy; in this commit-time-locking
+//! STM the losing transaction restarts itself instead (see module docs of
+//! [`crate::contention`]).
+//!
+//! This is the manager the KATME paper uses for every experiment.
+
+use std::time::Duration;
+
+use super::{BackoffPolicy, Conflict, ConflictKind, ContentionManager, Resolution};
+
+/// Extra insistence rounds granted when we out-rank the enemy. Bounded so a
+/// dead enemy (e.g. a descheduled thread) cannot wedge us forever.
+const MAX_INSIST_ROUNDS: u32 = 8;
+
+/// Polka contention manager.
+#[derive(Debug)]
+pub struct Polka {
+    backoff: BackoffPolicy,
+    /// Work invested in the current transaction (objects opened). Unlike
+    /// Karma, Polka resets priority after a successful commit but *retains*
+    /// it across aborts of the same logical transaction.
+    priority: u64,
+}
+
+impl Polka {
+    /// Create a Polka manager with the given backoff tuning.
+    pub fn new(backoff: BackoffPolicy) -> Self {
+        Polka {
+            backoff,
+            priority: 0,
+        }
+    }
+
+    fn budget_against(&self, enemy_priority: u64) -> u32 {
+        // When the enemy has invested more work than we have, defer to it for
+        // a number of rounds proportional to the deficit (bounded so a wedged
+        // enemy cannot stall us forever). When we out-rank the enemy we are
+        // the transaction the system has invested in, so we insist for the
+        // maximum deferral budget plus a few extra rounds — in the original
+        // obstruction-free Polka we would simply abort the enemy here.
+        const MAX_DEFER_ROUNDS: u32 = 24;
+        if self.priority > enemy_priority {
+            MAX_DEFER_ROUNDS + MAX_INSIST_ROUNDS
+        } else {
+            let deficit = enemy_priority - self.priority;
+            (deficit.min(u64::from(MAX_DEFER_ROUNDS)) as u32).max(1)
+        }
+    }
+}
+
+impl ContentionManager for Polka {
+    fn on_open(&mut self) {
+        self.priority += 1;
+    }
+
+    fn on_conflict(&mut self, conflict: &Conflict) -> Resolution {
+        if conflict.kind == ConflictKind::Validation {
+            // The enemy already committed; waiting cannot make our snapshot
+            // valid again.
+            return Resolution::Abort;
+        }
+        let budget = self.budget_against(conflict.enemy_priority);
+        if conflict.attempt <= budget {
+            Resolution::Wait(self.backoff.delay(conflict.attempt - 1))
+        } else {
+            Resolution::Abort
+        }
+    }
+
+    fn on_commit(&mut self) {
+        self.priority = 0;
+    }
+
+    fn on_abort(&mut self) {
+        // Priority is retained so that a transaction that keeps losing
+        // accumulates seniority and eventually wins (Polka's key fairness
+        // property).
+    }
+
+    fn priority(&self) -> u64 {
+        self.priority
+    }
+
+    fn name(&self) -> &'static str {
+        "Polka"
+    }
+}
+
+impl Default for Polka {
+    fn default() -> Self {
+        Polka::new(BackoffPolicy::new(
+            Duration::from_micros(2),
+            Duration::from_millis(2),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conflict(kind: ConflictKind, enemy_priority: u64, attempt: u32) -> Conflict {
+        Conflict {
+            kind,
+            enemy: 7,
+            enemy_priority,
+            enemy_start_ts: 1,
+            attempt,
+            my_start_ts: 2,
+        }
+    }
+
+    #[test]
+    fn accumulates_priority_on_open() {
+        let mut cm = Polka::default();
+        assert_eq!(cm.priority(), 0);
+        for _ in 0..5 {
+            cm.on_open();
+        }
+        assert_eq!(cm.priority(), 5);
+    }
+
+    #[test]
+    fn priority_resets_on_commit_but_not_abort() {
+        let mut cm = Polka::default();
+        cm.on_open();
+        cm.on_open();
+        cm.on_abort();
+        assert_eq!(cm.priority(), 2, "priority retained across aborts");
+        cm.on_commit();
+        assert_eq!(cm.priority(), 0, "priority reset after commit");
+    }
+
+    #[test]
+    fn validation_conflicts_abort_immediately() {
+        let mut cm = Polka::default();
+        assert_eq!(
+            cm.on_conflict(&conflict(ConflictKind::Validation, 100, 1)),
+            Resolution::Abort
+        );
+    }
+
+    #[test]
+    fn low_priority_transaction_eventually_yields() {
+        let mut cm = Polka::default();
+        // Enemy has invested a lot; we wait up to the bounded budget, then
+        // abort ourselves.
+        let mut aborted_at = None;
+        for attempt in 1..=64 {
+            match cm.on_conflict(&conflict(ConflictKind::Acquire, 1_000, attempt)) {
+                Resolution::Wait(_) | Resolution::Retry => {}
+                Resolution::Abort => {
+                    aborted_at = Some(attempt);
+                    break;
+                }
+            }
+        }
+        let at = aborted_at.expect("must eventually abort");
+        assert!(at > 1, "should wait at least one round first");
+        assert!(at <= 33, "budget must be bounded, aborted at {at}");
+    }
+
+    #[test]
+    fn high_priority_transaction_insists_longer() {
+        let mut low = Polka::default();
+        let mut high = Polka::default();
+        for _ in 0..100 {
+            high.on_open();
+        }
+        let yield_round = |cm: &mut Polka| -> u32 {
+            for attempt in 1..=64 {
+                if cm.on_conflict(&conflict(ConflictKind::Acquire, 10, attempt)) == Resolution::Abort
+                {
+                    return attempt;
+                }
+            }
+            64
+        };
+        let low_round = yield_round(&mut low);
+        let high_round = yield_round(&mut high);
+        assert!(
+            high_round > low_round,
+            "high-priority ({high_round}) should insist longer than low-priority ({low_round})"
+        );
+    }
+
+    #[test]
+    fn waits_use_backoff_not_busy_retry() {
+        let mut cm = Polka::default();
+        match cm.on_conflict(&conflict(ConflictKind::Read, 5, 1)) {
+            Resolution::Wait(d) => assert!(d <= Duration::from_millis(2)),
+            other => panic!("expected Wait, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The Timestamp (Greedy-style) contention manager.
+//!
+//! Seniority wins: the transaction with the older start timestamp keeps
+//! insisting (with randomized backoff so it does not burn the enemy's CPU),
+//! while the younger transaction gives way quickly. Because the older
+//! transaction can always finish, this family of policies is livelock-free in
+//! the classic setting; here the same ordering argument bounds how long a
+//! young transaction can be starved.
+
+use std::time::Duration;
+
+use super::{BackoffPolicy, Conflict, ConflictKind, ContentionManager, Resolution};
+
+/// How many rounds the younger transaction waits before yielding.
+const YOUNG_PATIENCE: u32 = 2;
+/// Upper bound on the older transaction's insistence, so that a wedged enemy
+/// cannot block it forever.
+const OLD_PATIENCE: u32 = 32;
+
+/// Timestamp-based contention manager.
+#[derive(Debug)]
+pub struct Timestamp {
+    backoff: BackoffPolicy,
+}
+
+impl Timestamp {
+    /// Create a Timestamp manager with the given backoff tuning.
+    pub fn new(backoff: BackoffPolicy) -> Self {
+        Timestamp { backoff }
+    }
+}
+
+impl ContentionManager for Timestamp {
+    fn on_conflict(&mut self, conflict: &Conflict) -> Resolution {
+        if conflict.kind == ConflictKind::Validation {
+            return Resolution::Abort;
+        }
+        let i_am_older = conflict.my_start_ts < conflict.enemy_start_ts;
+        let patience = if i_am_older { OLD_PATIENCE } else { YOUNG_PATIENCE };
+        if conflict.attempt <= patience {
+            Resolution::Wait(self.backoff.delay(conflict.attempt.saturating_sub(1)))
+        } else {
+            Resolution::Abort
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Timestamp"
+    }
+}
+
+impl Default for Timestamp {
+    fn default() -> Self {
+        Timestamp::new(BackoffPolicy::new(
+            Duration::from_micros(1),
+            Duration::from_millis(1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conflict(my_ts: u64, enemy_ts: u64, attempt: u32) -> Conflict {
+        Conflict {
+            kind: ConflictKind::Acquire,
+            enemy: 4,
+            enemy_priority: 0,
+            enemy_start_ts: enemy_ts,
+            attempt,
+            my_start_ts: my_ts,
+        }
+    }
+
+    #[test]
+    fn younger_transaction_yields_quickly() {
+        let mut cm = Timestamp::default();
+        let yield_at = (1..=64)
+            .find(|&a| cm.on_conflict(&conflict(100, 1, a)) == Resolution::Abort)
+            .unwrap();
+        assert!(yield_at <= YOUNG_PATIENCE + 1);
+    }
+
+    #[test]
+    fn older_transaction_insists_longer() {
+        let mut young = Timestamp::default();
+        let mut old = Timestamp::default();
+        let yield_at = |cm: &mut Timestamp, my, enemy| {
+            (1..=128)
+                .find(|&a| cm.on_conflict(&conflict(my, enemy, a)) == Resolution::Abort)
+                .unwrap()
+        };
+        let young_round = yield_at(&mut young, 100, 1);
+        let old_round = yield_at(&mut old, 1, 100);
+        assert!(old_round > young_round);
+    }
+
+    #[test]
+    fn even_the_oldest_eventually_gives_up() {
+        let mut cm = Timestamp::default();
+        let gave_up = (1..=OLD_PATIENCE + 2)
+            .any(|a| cm.on_conflict(&conflict(0, u64::MAX, a)) == Resolution::Abort);
+        assert!(gave_up);
+    }
+}

@@ -1,0 +1,78 @@
+//! # katme-stm — software transactional memory substrate
+//!
+//! This crate is the Rust analogue of the Java dynamic software transactional
+//! memory (DSTM) system of Herlihy, Luchangco, Moir and Scherer that the
+//! KATME paper ("A Key-based Adaptive Transactional Memory Executor",
+//! IPDPS 2007) uses as its execution substrate.
+//!
+//! The programming model is the one the paper relies on: shared mutable state
+//! lives in transactional variables ([`TVar`]), and arbitrary blocks of code
+//! run atomically against them via [`Stm::atomically`]. Conflicting
+//! transactions are detected at commit (and on inconsistent reads) and one of
+//! them is retried, with the decision of *who waits and for how long*
+//! delegated to a pluggable [`ContentionManager`] — including a port of the
+//! **Polka** manager (randomized exponential backoff combined with priority
+//! accumulation) used in the paper's experiments.
+//!
+//! ## Design
+//!
+//! The Java DSTM is object-based and obstruction-free: every transactional
+//! object holds a `Locator` with an owner transaction and old/new object
+//! versions, and any transaction may abort any other. Rust's ownership model
+//! makes that shape awkward (shared mutable aliasing of object clones with
+//! garbage-collected reclamation), so this crate uses the moral equivalent
+//! with the same observable behaviour at the level the executor cares about:
+//!
+//! * [`TVar<T>`] is an object-granularity, clone-on-write transactional cell
+//!   (a committed value is an immutable `Arc<T>` snapshot).
+//! * Transactions buffer writes privately and validate reads against a
+//!   per-variable version stamped from a global version clock (TL2-style).
+//! * Commit acquires per-variable ownership in a canonical order, validates
+//!   the read set, publishes the buffered values, and releases ownership.
+//! * On every conflict the contention manager chooses between waiting
+//!   (bounded, randomized-exponential backoff) and aborting the current
+//!   attempt; priority accumulation mirrors Polka/Karma.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use katme_stm::{Stm, TVar};
+//!
+//! let stm = Stm::default();
+//! let balance = TVar::new(100i64);
+//!
+//! let observed = stm.atomically(|tx| {
+//!     let current = *tx.read(&balance)?;
+//!     tx.write(&balance, current + 42)?;
+//!     Ok(current)
+//! });
+//!
+//! assert_eq!(observed, 100);
+//! assert_eq!(stm.read_now(&balance), 142);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod clock;
+pub mod config;
+pub mod contention;
+pub mod error;
+pub mod registry;
+pub mod stats;
+pub mod stm;
+pub mod tvar;
+pub mod txn;
+
+pub use config::{CmKind, StmConfig};
+pub use contention::{Conflict, ConflictKind, ContentionManager, Resolution};
+pub use error::{AbortCause, TxError};
+pub use stats::{StmStats, StmStatsSnapshot, TxnReport};
+pub use stm::Stm;
+pub use tvar::TVar;
+pub use txn::Transaction;
+
+/// Convenience prelude bringing the most commonly used items into scope.
+pub mod prelude {
+    pub use crate::{CmKind, Stm, StmConfig, TVar, Transaction, TxError};
+}

@@ -1,0 +1,160 @@
+//! Registry of in-flight transactions.
+//!
+//! Contention managers such as Polka and Karma need to compare the priority
+//! of the *current* transaction with the priority of the *enemy* transaction
+//! that owns a variable it wants. The registry is a small process-wide table
+//! mapping live transaction ids to the metadata those policies consult:
+//! accumulated priority and start timestamp.
+//!
+//! Entries are registered when a transaction attempt begins and removed when
+//! it commits or aborts, so the table stays proportional to the number of
+//! concurrently executing transactions (i.e. worker threads), not to the
+//! total number of transactions executed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Metadata about an in-flight transaction that other transactions (via their
+/// contention managers) may inspect.
+#[derive(Debug)]
+pub struct TxnShared {
+    /// Accumulated priority (e.g. number of variables opened, possibly
+    /// retained across retries depending on the contention manager).
+    priority: AtomicU64,
+    /// Global-clock timestamp at which the transaction (first) started.
+    start_ts: AtomicU64,
+}
+
+impl TxnShared {
+    fn new(start_ts: u64) -> Self {
+        TxnShared {
+            priority: AtomicU64::new(0),
+            start_ts: AtomicU64::new(start_ts),
+        }
+    }
+
+    /// Current accumulated priority.
+    pub fn priority(&self) -> u64 {
+        self.priority.load(Ordering::Relaxed)
+    }
+
+    /// Set the accumulated priority.
+    pub fn set_priority(&self, p: u64) {
+        self.priority.store(p, Ordering::Relaxed);
+    }
+
+    /// Start timestamp (smaller = older transaction).
+    pub fn start_ts(&self) -> u64 {
+        self.start_ts.load(Ordering::Relaxed)
+    }
+
+    /// Update the start timestamp (used when a fresh attempt does not retain
+    /// seniority).
+    pub fn set_start_ts(&self, ts: u64) {
+        self.start_ts.store(ts, Ordering::Relaxed);
+    }
+}
+
+static REGISTRY: RwLock<Option<HashMap<u64, Arc<TxnShared>>>> = RwLock::new(None);
+
+/// Register a transaction and return its shared metadata handle.
+pub fn register(txn_id: u64, start_ts: u64) -> Arc<TxnShared> {
+    let shared = Arc::new(TxnShared::new(start_ts));
+    let mut guard = REGISTRY.write();
+    guard
+        .get_or_insert_with(HashMap::new)
+        .insert(txn_id, Arc::clone(&shared));
+    shared
+}
+
+/// Remove a transaction from the registry (on commit or final abort).
+pub fn unregister(txn_id: u64) {
+    let mut guard = REGISTRY.write();
+    if let Some(map) = guard.as_mut() {
+        map.remove(&txn_id);
+    }
+}
+
+/// Look up the shared metadata of a (possibly finished) transaction.
+pub fn lookup(txn_id: u64) -> Option<Arc<TxnShared>> {
+    let guard = REGISTRY.read();
+    guard.as_ref().and_then(|m| m.get(&txn_id).cloned())
+}
+
+/// Priority of the given transaction, or 0 when it is unknown / finished.
+pub fn priority_of(txn_id: u64) -> u64 {
+    lookup(txn_id).map(|s| s.priority()).unwrap_or(0)
+}
+
+/// Start timestamp of the given transaction, or `u64::MAX` (i.e. "newest
+/// possible") when it is unknown / finished.
+pub fn start_ts_of(txn_id: u64) -> u64 {
+    lookup(txn_id).map(|s| s.start_ts()).unwrap_or(u64::MAX)
+}
+
+/// Number of currently registered (in-flight) transactions. Primarily for
+/// tests and diagnostics.
+pub fn live_count() -> usize {
+    REGISTRY.read().as_ref().map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let id = crate::clock::next_txn_id();
+        let shared = register(id, 42);
+        shared.set_priority(7);
+        assert_eq!(priority_of(id), 7);
+        assert_eq!(start_ts_of(id), 42);
+        assert!(lookup(id).is_some());
+        unregister(id);
+        assert!(lookup(id).is_none());
+        assert_eq!(priority_of(id), 0);
+        assert_eq!(start_ts_of(id), u64::MAX);
+    }
+
+    #[test]
+    fn unknown_transaction_defaults() {
+        assert_eq!(priority_of(u64::MAX), 0);
+        assert_eq!(start_ts_of(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_registration_is_safe() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let mut ids = Vec::new();
+                    for _ in 0..200 {
+                        let id = crate::clock::next_txn_id();
+                        let s = register(id, 1);
+                        s.set_priority(id);
+                        ids.push(id);
+                    }
+                    for &id in &ids {
+                        assert_eq!(priority_of(id), id);
+                        unregister(id);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_metadata_updates_are_visible() {
+        let id = crate::clock::next_txn_id();
+        let s = register(id, 10);
+        s.set_start_ts(99);
+        assert_eq!(start_ts_of(id), 99);
+        unregister(id);
+    }
+}

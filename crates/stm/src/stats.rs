@@ -1,0 +1,246 @@
+//! Statistics counters for STM activity.
+//!
+//! The paper reports, besides raw throughput, the *frequency of contention*
+//! (how often transactions encounter conflicts) and argues that key-based
+//! partitioning lowers it. These counters are what the harness reads to
+//! regenerate that table: committed transactions, aborted attempts broken
+//! down by cause, and backoff events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::AbortCause;
+
+/// Aggregate, shareable counters for one [`crate::Stm`] runtime.
+///
+/// All counters are monotonically increasing; [`StmStats::snapshot`] captures
+/// a consistent-enough point-in-time view (individual counters are exact,
+/// cross-counter skew is bounded by in-flight transactions).
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    read_only_commits: AtomicU64,
+    aborts_read_validation: AtomicU64,
+    aborts_read_owned: AtomicU64,
+    aborts_commit_acquire: AtomicU64,
+    aborts_commit_validation: AtomicU64,
+    cm_aborts: AtomicU64,
+    explicit_retries: AtomicU64,
+    backoff_events: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl StmStats {
+    /// Create a fresh set of zeroed counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub(crate) fn record_commit(&self, read_only: bool, reads: u64, writes: u64) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if read_only {
+            self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.reads.fetch_add(reads, Ordering::Relaxed);
+        self.writes.fetch_add(writes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_abort(&self, cause: AbortCause, by_cm: bool) {
+        match cause {
+            AbortCause::ReadValidation => &self.aborts_read_validation,
+            AbortCause::ReadOwned => &self.aborts_read_owned,
+            AbortCause::CommitAcquire => &self.aborts_commit_acquire,
+            AbortCause::CommitValidation => &self.aborts_commit_validation,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if by_cm {
+            self.cm_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_explicit_retry(&self) {
+        self.explicit_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_backoff(&self) {
+        self.backoff_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            aborts_read_validation: self.aborts_read_validation.load(Ordering::Relaxed),
+            aborts_read_owned: self.aborts_read_owned.load(Ordering::Relaxed),
+            aborts_commit_acquire: self.aborts_commit_acquire.load(Ordering::Relaxed),
+            aborts_commit_validation: self.aborts_commit_validation.load(Ordering::Relaxed),
+            cm_aborts: self.cm_aborts.load(Ordering::Relaxed),
+            explicit_retries: self.explicit_retries.load(Ordering::Relaxed),
+            backoff_events: self.backoff_events.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`StmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmStatsSnapshot {
+    /// Successfully committed transactions.
+    pub commits: u64,
+    /// Committed transactions that wrote nothing.
+    pub read_only_commits: u64,
+    /// Attempts aborted because a read could not be validated/extended.
+    pub aborts_read_validation: u64,
+    /// Attempts aborted because a read found the variable owned.
+    pub aborts_read_owned: u64,
+    /// Attempts aborted during commit-time acquisition.
+    pub aborts_commit_acquire: u64,
+    /// Attempts aborted during commit-time read-set validation.
+    pub aborts_commit_validation: u64,
+    /// Aborts that were decided by the contention manager (subset of the
+    /// cause-specific counters above).
+    pub cm_aborts: u64,
+    /// User-requested retries of the atomic block.
+    pub explicit_retries: u64,
+    /// Number of backoff waits performed.
+    pub backoff_events: u64,
+    /// Total transactional reads performed by committed transactions.
+    pub reads: u64,
+    /// Total transactional writes performed by committed transactions.
+    pub writes: u64,
+}
+
+impl StmStatsSnapshot {
+    /// Total aborted attempts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_read_validation
+            + self.aborts_read_owned
+            + self.aborts_commit_acquire
+            + self.aborts_commit_validation
+    }
+
+    /// Contention instances per committed transaction — the metric the paper
+    /// reports (e.g. "less than 1/100th the number of completed
+    /// transactions").
+    pub fn contention_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.commits as f64
+        }
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StmStatsSnapshot) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits: self.commits - earlier.commits,
+            read_only_commits: self.read_only_commits - earlier.read_only_commits,
+            aborts_read_validation: self.aborts_read_validation - earlier.aborts_read_validation,
+            aborts_read_owned: self.aborts_read_owned - earlier.aborts_read_owned,
+            aborts_commit_acquire: self.aborts_commit_acquire - earlier.aborts_commit_acquire,
+            aborts_commit_validation: self.aborts_commit_validation
+                - earlier.aborts_commit_validation,
+            cm_aborts: self.cm_aborts - earlier.cm_aborts,
+            explicit_retries: self.explicit_retries - earlier.explicit_retries,
+            backoff_events: self.backoff_events - earlier.backoff_events,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+/// Report about a single completed call to [`crate::Stm::atomically`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Number of attempts it took to commit (1 = no conflicts encountered).
+    pub attempts: u64,
+    /// Number of transactional reads performed by the committed attempt.
+    pub reads: u64,
+    /// Number of transactional writes performed by the committed attempt.
+    pub writes: u64,
+    /// Whether the committed attempt was read-only.
+    pub read_only: bool,
+}
+
+impl TxnReport {
+    /// True when the transaction committed on its first attempt.
+    pub fn first_try(&self) -> bool {
+        self.attempts == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = StmStats::new();
+        stats.record_commit(false, 3, 2);
+        stats.record_commit(true, 1, 0);
+        stats.record_abort(AbortCause::CommitAcquire, true);
+        stats.record_abort(AbortCause::ReadValidation, false);
+        stats.record_backoff();
+        stats.record_explicit_retry();
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.read_only_commits, 1);
+        assert_eq!(snap.aborts_commit_acquire, 1);
+        assert_eq!(snap.aborts_read_validation, 1);
+        assert_eq!(snap.total_aborts(), 2);
+        assert_eq!(snap.cm_aborts, 1);
+        assert_eq!(snap.backoff_events, 1);
+        assert_eq!(snap.explicit_retries, 1);
+        assert_eq!(snap.reads, 4);
+        assert_eq!(snap.writes, 2);
+    }
+
+    #[test]
+    fn contention_ratio_handles_zero_commits() {
+        let snap = StmStatsSnapshot::default();
+        assert_eq!(snap.contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn contention_ratio_is_aborts_per_commit() {
+        let stats = StmStats::new();
+        for _ in 0..10 {
+            stats.record_commit(false, 1, 1);
+        }
+        stats.record_abort(AbortCause::CommitValidation, false);
+        let snap = stats.snapshot();
+        assert!((snap.contention_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let stats = StmStats::new();
+        stats.record_commit(false, 1, 1);
+        let before = stats.snapshot();
+        stats.record_commit(false, 2, 2);
+        stats.record_abort(AbortCause::ReadOwned, true);
+        let after = stats.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.commits, 1);
+        assert_eq!(delta.aborts_read_owned, 1);
+        assert_eq!(delta.reads, 2);
+    }
+
+    #[test]
+    fn txn_report_first_try() {
+        assert!(TxnReport {
+            attempts: 1,
+            ..Default::default()
+        }
+        .first_try());
+        assert!(!TxnReport {
+            attempts: 3,
+            ..Default::default()
+        }
+        .first_try());
+    }
+}

@@ -1,0 +1,392 @@
+//! The STM runtime: the retry loop around transaction attempts.
+
+use std::sync::Arc;
+
+use crate::clock;
+use crate::config::StmConfig;
+use crate::contention;
+use crate::error::TxError;
+use crate::registry;
+use crate::stats::{StmStats, StmStatsSnapshot, TxnReport};
+use crate::tvar::TVar;
+use crate::txn::Transaction;
+
+/// A software-transactional-memory runtime.
+///
+/// An `Stm` owns the configuration (contention-management policy, backoff
+/// tuning) and the statistics counters; the transactional variables
+/// themselves ([`TVar`]) are independent and may be shared between `Stm`
+/// instances because versions come from a process-wide clock.
+///
+/// Cloning an `Stm` is cheap and shares the statistics counters, which is how
+/// the executor hands one logical runtime to many worker threads.
+#[derive(Clone)]
+pub struct Stm {
+    config: StmConfig,
+    stats: Arc<StmStats>,
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Stm::new(StmConfig::default())
+    }
+}
+
+impl Stm {
+    /// Create a runtime with the given configuration.
+    pub fn new(config: StmConfig) -> Self {
+        Stm {
+            config,
+            stats: StmStats::new(),
+        }
+    }
+
+    /// Convenience constructor selecting only the contention manager.
+    pub fn with_contention_manager(kind: crate::config::CmKind) -> Self {
+        Stm::new(StmConfig::default().with_contention_manager(kind))
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// Shared handle to the statistics counters.
+    pub fn stats(&self) -> Arc<StmStats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub(crate) fn stats_ref(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// Point-in-time snapshot of the statistics counters.
+    pub fn snapshot(&self) -> StmStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Run `body` atomically, retrying on conflicts until it commits, and
+    /// return its result.
+    ///
+    /// The closure receives a [`Transaction`] and should propagate
+    /// [`TxError`]s with `?`; returning `Ok` requests a commit.
+    pub fn atomically<R, F>(&self, body: F) -> R
+    where
+        F: FnMut(&mut Transaction<'_>) -> Result<R, TxError>,
+    {
+        let (value, _report) = self.atomically_reporting(body);
+        value
+    }
+
+    /// Like [`Stm::atomically`], additionally returning a [`TxnReport`] with
+    /// the number of attempts and the footprint of the committed attempt.
+    pub fn atomically_reporting<R, F>(&self, body: F) -> (R, TxnReport)
+    where
+        F: FnMut(&mut Transaction<'_>) -> Result<R, TxError>,
+    {
+        match self.run_transaction(body, None) {
+            Ok(result) => result,
+            Err(_) => unreachable!("unbounded atomically cannot exhaust attempts"),
+        }
+    }
+
+    /// Like [`Stm::atomically_reporting`] but bounded by
+    /// [`StmConfig::max_attempts`]; returns an error instead of retrying
+    /// forever.
+    pub fn try_atomically<R, F>(&self, body: F) -> Result<(R, TxnReport), TxError>
+    where
+        F: FnMut(&mut Transaction<'_>) -> Result<R, TxError>,
+    {
+        self.run_transaction(body, self.config.max_attempts)
+    }
+
+    /// Read a single variable outside of any transaction and clone the value.
+    pub fn read_now<T: Clone>(&self, var: &TVar<T>) -> T {
+        (*var.load()).clone()
+    }
+
+    fn run_transaction<R, F>(
+        &self,
+        mut body: F,
+        max_attempts: Option<u64>,
+    ) -> Result<(R, TxnReport), TxError>
+    where
+        F: FnMut(&mut Transaction<'_>) -> Result<R, TxError>,
+    {
+        let txn_id = clock::next_txn_id();
+        let start_ts = clock::now();
+        let shared = registry::register(txn_id, start_ts);
+        let mut cm = contention::build(&self.config);
+        let mut attempts: u64 = 0;
+
+        let result = loop {
+            if let Some(max) = max_attempts {
+                if attempts >= max {
+                    break Err(TxError::AttemptsExhausted { attempts });
+                }
+            }
+            attempts += 1;
+            cm.on_begin_attempt();
+
+            let mut tx = Transaction::new(self, txn_id, start_ts, cm.as_mut(), &shared);
+            let outcome = body(&mut tx);
+            match outcome {
+                Ok(value) => match tx.commit() {
+                    Ok(info) => {
+                        cm.on_commit();
+                        self.stats
+                            .record_commit(info.read_only, info.reads, info.writes);
+                        break Ok((
+                            value,
+                            TxnReport {
+                                attempts,
+                                reads: info.reads,
+                                writes: info.writes,
+                                read_only: info.read_only,
+                            },
+                        ));
+                    }
+                    Err(err) => {
+                        self.note_abort(&err);
+                        cm.on_abort();
+                    }
+                },
+                Err(TxError::ExplicitRetry) => {
+                    drop(tx);
+                    self.stats.record_explicit_retry();
+                    cm.on_abort();
+                    // Yield so the state we are waiting for has a chance to
+                    // change before the next attempt.
+                    std::thread::yield_now();
+                }
+                Err(err @ TxError::AttemptsExhausted { .. }) => break Err(err),
+                Err(err) => {
+                    drop(tx);
+                    self.note_abort(&err);
+                    cm.on_abort();
+                }
+            }
+        };
+
+        registry::unregister(txn_id);
+        result
+    }
+
+    fn note_abort(&self, err: &TxError) {
+        if let Some(cause) = err.cause() {
+            let by_cm = matches!(err, TxError::ContentionManager(_));
+            self.stats.record_abort(cause, by_cm);
+        }
+    }
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("contention_manager", &self.config.contention_manager)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CmKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_counter() {
+        let stm = Stm::default();
+        let counter = TVar::new(0u64);
+        for _ in 0..100 {
+            stm.atomically(|tx| tx.modify(&counter, |v| v + 1));
+        }
+        assert_eq!(stm.read_now(&counter), 100);
+        assert_eq!(stm.snapshot().commits, 100);
+    }
+
+    #[test]
+    fn multi_variable_invariant_is_preserved() {
+        // Classic bank-transfer test: the sum of two accounts is invariant
+        // under concurrent transfers.
+        let stm = Stm::default();
+        let a = TVar::new(500i64);
+        let b = TVar::new(500i64);
+        let threads: usize = 4;
+        let transfers_per_thread: usize = 250;
+        let barrier = Arc::new(Barrier::new(threads));
+
+        thread::scope(|s| {
+            for t in 0..threads {
+                let stm = stm.clone();
+                let a = a.clone();
+                let b = b.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..transfers_per_thread {
+                        let amount = ((t + i) % 7) as i64 - 3;
+                        stm.atomically(|tx| {
+                            let av = *tx.read(&a)?;
+                            let bv = *tx.read(&b)?;
+                            tx.write(&a, av - amount)?;
+                            tx.write(&b, bv + amount)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+
+        let total = stm.read_now(&a) + stm.read_now(&b);
+        assert_eq!(total, 1000, "money must be conserved");
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        for kind in CmKind::ALL {
+            let stm = Stm::with_contention_manager(kind);
+            let counter = TVar::new(0u64);
+            let threads: u64 = 4;
+            let increments: u64 = 200;
+
+            thread::scope(|s| {
+                for _ in 0..threads {
+                    let stm = stm.clone();
+                    let counter = counter.clone();
+                    s.spawn(move || {
+                        for _ in 0..increments {
+                            stm.atomically(|tx| tx.modify(&counter, |v| v + 1));
+                        }
+                    });
+                }
+            });
+
+            assert_eq!(
+                stm.read_now(&counter),
+                threads * increments,
+                "lost updates under {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_atomically_gives_up_after_max_attempts() {
+        let stm = Stm::new(StmConfig::default().with_max_attempts(3));
+        let calls = AtomicU64::new(0);
+        let result: Result<((), TxnReport), TxError> = stm.try_atomically(|tx| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            tx.retry()
+        });
+        match result {
+            Err(TxError::AttemptsExhausted { attempts }) => assert_eq!(attempts, 3),
+            other => panic!("expected AttemptsExhausted, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn explicit_retry_reruns_the_block() {
+        let stm = Stm::default();
+        let gate = TVar::new(false);
+        let attempts = AtomicU64::new(0);
+
+        // A writer thread flips the gate; the reader retries until it is set.
+        thread::scope(|s| {
+            {
+                let stm = stm.clone();
+                let gate = gate.clone();
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    stm.atomically(|tx| tx.write(&gate, true));
+                });
+            }
+            let observed = stm.atomically(|tx| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                if *tx.read(&gate)? {
+                    Ok(true)
+                } else {
+                    tx.retry()
+                }
+            });
+            assert!(observed);
+        });
+        assert!(attempts.load(Ordering::Relaxed) >= 1);
+        assert!(stm.snapshot().explicit_retries >= 1);
+    }
+
+    #[test]
+    fn stats_track_commits_and_reads() {
+        let stm = Stm::default();
+        let a = TVar::new(1u32);
+        let b = TVar::new(2u32);
+        stm.atomically(|tx| {
+            let x = *tx.read(&a)?;
+            let y = *tx.read(&b)?;
+            tx.write(&a, x + y)?;
+            Ok(())
+        });
+        let snap = stm.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+    }
+
+    #[test]
+    fn clones_share_statistics() {
+        let stm = Stm::default();
+        let clone = stm.clone();
+        let v = TVar::new(0u8);
+        clone.atomically(|tx| tx.write(&v, 1));
+        assert_eq!(stm.snapshot().commits, 1);
+    }
+
+    #[test]
+    fn write_skew_is_prevented() {
+        // Classic write-skew shape: each transaction reads both variables and,
+        // if the sum permits, decrements one of them. Under serializable
+        // execution the sum never goes negative; under write skew two
+        // transactions can both observe sum == 1 and both decrement.
+        for round in 0..20 {
+            let stm = Stm::default();
+            let a = TVar::new(1i64);
+            let b = TVar::new(1i64);
+
+            thread::scope(|s| {
+                for which in 0..2 {
+                    let stm = stm.clone();
+                    let (a, b) = (a.clone(), b.clone());
+                    s.spawn(move || {
+                        stm.atomically(|tx| {
+                            let av = *tx.read(&a)?;
+                            let bv = *tx.read(&b)?;
+                            if av + bv >= 1 {
+                                if which == 0 {
+                                    tx.write(&a, av - 1)?;
+                                } else {
+                                    tx.write(&b, bv - 1)?;
+                                }
+                            }
+                            Ok(())
+                        });
+                    });
+                }
+            });
+
+            let (av, bv) = (stm.read_now(&a), stm.read_now(&b));
+            assert!(
+                av + bv >= 0,
+                "round {round}: write skew violated invariant: a={av} b={bv}"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_format_includes_policy() {
+        let stm = Stm::with_contention_manager(CmKind::Karma);
+        assert!(format!("{stm:?}").contains("Karma"));
+    }
+}

@@ -1,0 +1,480 @@
+//! The transaction object: read/write sets, validation and the commit
+//! protocol.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::clock;
+use crate::contention::{Conflict, ConflictKind, ContentionManager, Resolution};
+use crate::error::{AbortCause, TxError};
+use crate::registry::{self, TxnShared};
+use crate::stm::Stm;
+use crate::tvar::{TVar, TVarCore, TVarDyn, TVarId, NO_OWNER};
+
+/// A read-set entry: which variable was read and at which version.
+struct ReadEntry {
+    var: Arc<dyn TVarDyn>,
+    version: u64,
+}
+
+/// Type-erased write-set entry.
+trait WriteEntryDyn: Send {
+    fn var(&self) -> &dyn TVarDyn;
+    fn var_arc(&self) -> Arc<dyn TVarDyn>;
+    fn publish(&self, commit_ts: u64);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Typed write-set entry holding the buffered value for one variable.
+struct TypedWrite<T: Send + Sync + 'static> {
+    core: Arc<TVarCore<T>>,
+    value: Arc<T>,
+}
+
+impl<T: Send + Sync + 'static> WriteEntryDyn for TypedWrite<T> {
+    fn var(&self) -> &dyn TVarDyn {
+        self.core.as_ref()
+    }
+    fn var_arc(&self) -> Arc<dyn TVarDyn> {
+        Arc::clone(&self.core) as Arc<dyn TVarDyn>
+    }
+    fn publish(&self, commit_ts: u64) {
+        self.core.publish(Arc::clone(&self.value), commit_ts);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Summary of a committed attempt, consumed by [`crate::Stm`] for statistics.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommitInfo {
+    pub reads: u64,
+    pub writes: u64,
+    pub read_only: bool,
+}
+
+/// An in-flight transaction attempt.
+///
+/// A `Transaction` is handed to the closure passed to
+/// [`crate::Stm::atomically`]; user code interacts with it through
+/// [`read`](Transaction::read), [`write`](Transaction::write) and the
+/// convenience combinators. Conflicts surface as [`TxError`] values which the
+/// closure normally propagates with `?`, causing the attempt to be retried.
+pub struct Transaction<'a> {
+    stm: &'a Stm,
+    id: u64,
+    /// Snapshot timestamp: all reads are consistent as of this clock value
+    /// (extended on demand, TL2-style).
+    read_version: u64,
+    /// Timestamp of the first attempt of this logical transaction.
+    start_ts: u64,
+    read_set: HashMap<TVarId, ReadEntry>,
+    write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
+    cm: &'a mut dyn ContentionManager,
+    shared: &'a TxnShared,
+}
+
+impl<'a> Transaction<'a> {
+    pub(crate) fn new(
+        stm: &'a Stm,
+        id: u64,
+        start_ts: u64,
+        cm: &'a mut dyn ContentionManager,
+        shared: &'a TxnShared,
+    ) -> Self {
+        Transaction {
+            stm,
+            id,
+            read_version: clock::now(),
+            start_ts,
+            read_set: HashMap::new(),
+            write_set: BTreeMap::new(),
+            cm,
+            shared,
+        }
+    }
+
+    /// The identifier of this (logical) transaction.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of distinct variables read so far.
+    pub fn reads(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of distinct variables written so far.
+    pub fn writes(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Read a transactional variable.
+    ///
+    /// Returns the value this transaction should observe: the buffered value
+    /// if the transaction has already written the variable, otherwise a
+    /// committed snapshot consistent with every other read performed so far.
+    pub fn read<T: Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<Arc<T>, TxError> {
+        let id = var.id();
+
+        // Read-your-own-writes.
+        if let Some(entry) = self.write_set.get(&id) {
+            let typed = entry
+                .as_any()
+                .downcast_ref::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch for TVar id");
+            return Ok(Arc::clone(&typed.value));
+        }
+
+        let core = var.core();
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some((value, version)) = core.consistent_snapshot() {
+                if version > self.read_version {
+                    self.extend_snapshot()?;
+                }
+                match self.read_set.get(&id) {
+                    Some(prev) if prev.version != version => {
+                        // The variable changed between two reads inside the
+                        // same transaction: the snapshot is broken.
+                        return Err(TxError::Conflict(AbortCause::ReadValidation));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.read_set.insert(
+                            id,
+                            ReadEntry {
+                                var: Arc::clone(core) as Arc<dyn TVarDyn>,
+                                version,
+                            },
+                        );
+                        self.record_open();
+                    }
+                }
+                return Ok(value);
+            }
+
+            // The variable is owned by a committing transaction (or the
+            // version moved under us). Consult the contention manager.
+            let owner = core.owner();
+            if owner == NO_OWNER || owner == self.id {
+                // Transient race: the committer finished between our checks.
+                std::hint::spin_loop();
+                continue;
+            }
+            attempt += 1;
+            match self.resolve_conflict(ConflictKind::Read, owner, attempt) {
+                Resolution::Retry => continue,
+                Resolution::Wait(d) => {
+                    self.backoff(d);
+                    continue;
+                }
+                Resolution::Abort => {
+                    return Err(TxError::ContentionManager(AbortCause::ReadOwned));
+                }
+            }
+        }
+    }
+
+    /// Read a variable and return a clone of the value (convenience for
+    /// small `Clone` types).
+    pub fn read_cloned<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+    ) -> Result<T, TxError> {
+        self.read(var).map(|arc| (*arc).clone())
+    }
+
+    /// Buffer a write of `value` to `var`. The write becomes visible to other
+    /// transactions only if this transaction commits.
+    pub fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+        value: T,
+    ) -> Result<(), TxError> {
+        self.write_arc(var, Arc::new(value))
+    }
+
+    /// Buffer a write of an already-shared snapshot to `var`.
+    pub fn write_arc<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+        value: Arc<T>,
+    ) -> Result<(), TxError> {
+        let id = var.id();
+        if let Some(entry) = self.write_set.get_mut(&id) {
+            let typed = entry
+                .as_any_mut()
+                .downcast_mut::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch for TVar id");
+            typed.value = value;
+        } else {
+            self.write_set.insert(
+                id,
+                Box::new(TypedWrite {
+                    core: Arc::clone(var.core()),
+                    value,
+                }),
+            );
+            self.record_open();
+        }
+        Ok(())
+    }
+
+    /// Read–modify–write convenience: applies `f` to the current value and
+    /// writes the result.
+    pub fn modify<T, F>(&mut self, var: &TVar<T>, f: F) -> Result<(), TxError>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&T) -> T,
+    {
+        let current = self.read(var)?;
+        self.write(var, f(&current))
+    }
+
+    /// Request that the whole atomic block be retried from scratch.
+    ///
+    /// Typically used when a condition the transaction waits for does not
+    /// hold (e.g. popping from an empty transactional stack).
+    pub fn retry<R>(&self) -> Result<R, TxError> {
+        Err(TxError::ExplicitRetry)
+    }
+
+    /// Try to advance the snapshot timestamp to "now", revalidating every
+    /// variable read so far.
+    fn extend_snapshot(&mut self) -> Result<(), TxError> {
+        let target = clock::now();
+        for entry in self.read_set.values() {
+            let owner = entry.var.dyn_owner();
+            if entry.var.dyn_version() != entry.version || (owner != NO_OWNER && owner != self.id) {
+                return Err(TxError::Conflict(AbortCause::ReadValidation));
+            }
+        }
+        self.read_version = target;
+        Ok(())
+    }
+
+    fn record_open(&mut self) {
+        self.cm.on_open();
+        self.shared.set_priority(self.cm.priority());
+    }
+
+    fn resolve_conflict(&mut self, kind: ConflictKind, enemy: u64, attempt: u32) -> Resolution {
+        let conflict = Conflict {
+            kind,
+            enemy,
+            enemy_priority: registry::priority_of(enemy),
+            enemy_start_ts: registry::start_ts_of(enemy),
+            attempt,
+            my_start_ts: self.start_ts,
+        };
+        self.cm.on_conflict(&conflict)
+    }
+
+    fn backoff(&self, duration: Duration) {
+        self.stm.stats_ref().record_backoff();
+        pause(duration);
+    }
+
+    /// Attempt to commit the transaction.
+    pub(crate) fn commit(mut self) -> Result<CommitInfo, TxError> {
+        let info = CommitInfo {
+            reads: self.read_set.len() as u64,
+            writes: self.write_set.len() as u64,
+            read_only: self.write_set.is_empty(),
+        };
+
+        if self.write_set.is_empty() {
+            if !self.stm.config().read_only_fast_path {
+                self.validate_read_set().map_err(|e| {
+                    self.release_owned(0);
+                    e
+                })?;
+            }
+            // Read-only transactions are serializable at their snapshot
+            // timestamp: every read was validated (and extended) as it was
+            // performed.
+            return Ok(info);
+        }
+
+        // Phase 1: acquire ownership of the write set in canonical order.
+        // (BTreeMap iteration order is ascending TVar id, which is the
+        // process-wide canonical order and prevents deadlock between
+        // concurrent committers.)
+        let vars: Vec<Arc<dyn TVarDyn>> = self.write_set.values().map(|e| e.var_arc()).collect();
+        let mut acquired = 0usize;
+        for (index, var) in vars.iter().enumerate() {
+            let mut attempt: u32 = 0;
+            loop {
+                if var.dyn_try_acquire(self.id) {
+                    acquired = index + 1;
+                    break;
+                }
+                let owner = var.dyn_owner();
+                if owner == NO_OWNER || owner == self.id {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                attempt += 1;
+                match self.resolve_conflict(ConflictKind::Acquire, owner, attempt) {
+                    Resolution::Retry => continue,
+                    Resolution::Wait(d) => {
+                        self.backoff(d);
+                        continue;
+                    }
+                    Resolution::Abort => {
+                        self.release_owned(acquired);
+                        return Err(TxError::ContentionManager(AbortCause::CommitAcquire));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: validate the read set now that the write set is locked.
+        if let Err(e) = self.validate_read_set() {
+            self.release_owned(acquired);
+            return Err(e);
+        }
+
+        // Phase 3: publish under a fresh commit timestamp, then release.
+        let commit_ts = clock::tick();
+        for entry in self.write_set.values() {
+            entry.publish(commit_ts);
+        }
+        for entry in self.write_set.values() {
+            entry.var().dyn_release(self.id);
+        }
+        Ok(info)
+    }
+
+    fn validate_read_set(&self) -> Result<(), TxError> {
+        for entry in self.read_set.values() {
+            let owner = entry.var.dyn_owner();
+            if entry.var.dyn_version() != entry.version || (owner != NO_OWNER && owner != self.id) {
+                return Err(TxError::Conflict(AbortCause::CommitValidation));
+            }
+        }
+        Ok(())
+    }
+
+    /// Release ownership of the first `count` write-set entries (in canonical
+    /// order), used when abandoning a partially acquired commit.
+    fn release_owned(&self, count: usize) {
+        for entry in self.write_set.values().take(count) {
+            entry.var().dyn_release(self.id);
+        }
+    }
+}
+
+/// Sleep-or-spin for approximately `duration`.
+///
+/// Sub-30µs waits are busy-spun (with scheduler yields) because OS sleep
+/// granularity would otherwise turn microsecond backoffs into millisecond
+/// stalls; longer waits use a real sleep so single-CPU hosts let the enemy
+/// transaction run.
+pub(crate) fn pause(duration: Duration) {
+    if duration.is_zero() {
+        std::thread::yield_now();
+        return;
+    }
+    if duration < Duration::from_micros(30) {
+        let start = Instant::now();
+        while start.elapsed() < duration {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    } else {
+        std::thread::sleep(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StmConfig;
+    use crate::stm::Stm;
+
+    #[test]
+    fn pause_returns_promptly_for_zero() {
+        let start = Instant::now();
+        pause(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn pause_waits_at_least_roughly_the_duration_for_long_waits() {
+        let start = Instant::now();
+        pause(Duration::from_millis(2));
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let stm = Stm::default();
+        let v = TVar::new(1u32);
+        stm.atomically(|tx| {
+            tx.write(&v, 5)?;
+            assert_eq!(*tx.read(&v)?, 5);
+            tx.write(&v, 6)?;
+            assert_eq!(*tx.read(&v)?, 6);
+            Ok(())
+        });
+        assert_eq!(*v.load(), 6);
+    }
+
+    #[test]
+    fn modify_applies_function() {
+        let stm = Stm::default();
+        let v = TVar::new(10i64);
+        stm.atomically(|tx| tx.modify(&v, |x| x * 3));
+        assert_eq!(*v.load(), 30);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_variables() {
+        let stm = Stm::default();
+        let a = TVar::new(0u8);
+        let b = TVar::new(0u8);
+        let (_, report) = stm.atomically_reporting(|tx| {
+            tx.read(&a)?;
+            tx.read(&a)?;
+            tx.read(&b)?;
+            tx.write(&b, 1)?;
+            Ok(())
+        });
+        assert_eq!(report.reads, 2);
+        assert_eq!(report.writes, 1);
+        assert!(!report.read_only);
+    }
+
+    #[test]
+    fn read_only_transactions_are_reported_as_such() {
+        let stm = Stm::new(StmConfig::default());
+        let a = TVar::new(3u32);
+        let (value, report) = stm.atomically_reporting(|tx| tx.read_cloned(&a));
+        assert_eq!(value, 3);
+        assert!(report.read_only);
+        assert_eq!(report.writes, 0);
+    }
+
+    #[test]
+    fn writes_are_invisible_until_commit() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        stm.atomically(|tx| {
+            tx.write(&v, 99)?;
+            // The committed value is still the old one while we are inside
+            // the transaction.
+            assert_eq!(*v.load(), 0);
+            Ok(())
+        });
+        assert_eq!(*v.load(), 99);
+    }
+}

@@ -1,0 +1,220 @@
+//! Operation-stream generators.
+//!
+//! A producer thread in the paper "generates the next transaction" in a loop;
+//! this module is that generator. It combines a [`KeyDistribution`] with an
+//! operation mix ("the benchmark uses the same number of inserts and deletes,
+//! so the load factor at stable state is around 1") and emits [`TxnSpec`]s.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distribution::{DistributionKind, KeyDistribution};
+use crate::spec::{OpKind, TxnSpec};
+
+/// Proportions of insert / delete / lookup operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of deletes.
+    pub delete: f64,
+    /// Fraction of lookups.
+    pub lookup: f64,
+}
+
+impl OpMix {
+    /// The paper's mix: equal inserts and deletes, no lookups.
+    pub const PAPER: OpMix = OpMix {
+        insert: 0.5,
+        delete: 0.5,
+        lookup: 0.0,
+    };
+
+    /// A read-mostly mix used by the extended benches.
+    pub const READ_MOSTLY: OpMix = OpMix {
+        insert: 0.1,
+        delete: 0.1,
+        lookup: 0.8,
+    };
+
+    /// Create a mix, normalizing the proportions.
+    ///
+    /// # Panics
+    /// Panics if all three proportions are zero or any is negative.
+    pub fn new(insert: f64, delete: f64, lookup: f64) -> Self {
+        assert!(
+            insert >= 0.0 && delete >= 0.0 && lookup >= 0.0,
+            "op-mix proportions must be non-negative"
+        );
+        let total = insert + delete + lookup;
+        assert!(total > 0.0, "op-mix proportions must not all be zero");
+        OpMix {
+            insert: insert / total,
+            delete: delete / total,
+            lookup: lookup / total,
+        }
+    }
+
+    fn pick(&self, r: f64) -> OpKind {
+        if r < self.insert {
+            OpKind::Insert
+        } else if r < self.insert + self.delete {
+            OpKind::Delete
+        } else {
+            OpKind::Lookup
+        }
+    }
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix::PAPER
+    }
+}
+
+/// An endless, seeded stream of dictionary operations.
+#[derive(Debug, Clone)]
+pub struct OpGenerator {
+    keys: KeyDistribution,
+    mix: OpMix,
+    rng: SmallRng,
+    generated: u64,
+    use_paper_encoding: bool,
+}
+
+impl OpGenerator {
+    /// Generator reproducing the paper's scheme exactly: the operation type
+    /// comes from the low bit of the 17-bit sample, so the mix is implicitly
+    /// 50/50 insert/delete.
+    pub fn paper(kind: DistributionKind, seed: u64) -> Self {
+        OpGenerator {
+            keys: KeyDistribution::new(kind, seed),
+            mix: OpMix::PAPER,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            generated: 0,
+            use_paper_encoding: true,
+        }
+    }
+
+    /// Generator with an explicit operation mix (extension workloads).
+    pub fn with_mix(kind: DistributionKind, mix: OpMix, seed: u64) -> Self {
+        OpGenerator {
+            keys: KeyDistribution::new(kind, seed),
+            mix,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            generated: 0,
+            use_paper_encoding: false,
+        }
+    }
+
+    /// The key distribution driving this generator.
+    pub fn distribution(&self) -> DistributionKind {
+        self.keys.kind()
+    }
+
+    /// The operation mix.
+    pub fn mix(&self) -> OpMix {
+        self.mix
+    }
+
+    /// How many operations have been generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Generate the next transaction specification.
+    pub fn next_spec(&mut self) -> TxnSpec {
+        self.generated += 1;
+        if self.use_paper_encoding {
+            let raw = self.keys.sample_raw();
+            let mut spec = TxnSpec::from_raw(raw);
+            spec.value = self.generated;
+            spec
+        } else {
+            let key = self.keys.sample_key();
+            let op = self.mix.pick(self.rng.gen::<f64>());
+            TxnSpec {
+                key,
+                value: self.generated,
+                op,
+            }
+        }
+    }
+
+    /// Generate a batch of specifications.
+    pub fn batch(&mut self, n: usize) -> Vec<TxnSpec> {
+        (0..n).map(|_| self.next_spec()).collect()
+    }
+}
+
+impl Iterator for OpGenerator {
+    type Item = TxnSpec;
+
+    fn next(&mut self) -> Option<TxnSpec> {
+        Some(self.next_spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_generator_is_half_inserts_half_deletes() {
+        let mut g = OpGenerator::paper(DistributionKind::Uniform, 11);
+        let batch = g.batch(20_000);
+        let inserts = batch.iter().filter(|s| s.op == OpKind::Insert).count();
+        let fraction = inserts as f64 / batch.len() as f64;
+        assert!((fraction - 0.5).abs() < 0.02, "insert fraction {fraction}");
+        assert_eq!(g.generated(), 20_000);
+    }
+
+    #[test]
+    fn keys_are_sixteen_bit() {
+        let mut g = OpGenerator::paper(DistributionKind::exponential_paper(), 5);
+        assert!(g.batch(5_000).iter().all(|s| s.key < (1 << 16)));
+    }
+
+    #[test]
+    fn explicit_mix_is_respected() {
+        let mix = OpMix::new(1.0, 1.0, 8.0);
+        let mut g = OpGenerator::with_mix(DistributionKind::Uniform, mix, 7);
+        let batch = g.batch(20_000);
+        let lookups = batch.iter().filter(|s| s.op == OpKind::Lookup).count();
+        let fraction = lookups as f64 / batch.len() as f64;
+        assert!((fraction - 0.8).abs() < 0.02, "lookup fraction {fraction}");
+    }
+
+    #[test]
+    fn mix_normalization_and_validation() {
+        let mix = OpMix::new(2.0, 2.0, 0.0);
+        assert!((mix.insert - 0.5).abs() < 1e-12);
+        assert!((mix.delete - 0.5).abs() < 1e-12);
+        assert_eq!(OpMix::default(), OpMix::PAPER);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_mix_is_rejected() {
+        let _ = OpMix::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn generator_is_reproducible() {
+        let a: Vec<_> = OpGenerator::paper(DistributionKind::gaussian_paper(), 9)
+            .take(200)
+            .collect();
+        let b: Vec<_> = OpGenerator::paper(DistributionKind::gaussian_paper(), 9)
+            .take(200)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_are_unique_per_generator() {
+        let mut g = OpGenerator::paper(DistributionKind::Uniform, 13);
+        let batch = g.batch(1_000);
+        let values: std::collections::HashSet<_> = batch.iter().map(|s| s.value).collect();
+        assert_eq!(values.len(), batch.len());
+    }
+}

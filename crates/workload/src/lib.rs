@@ -1,0 +1,29 @@
+//! # katme-workload — workload generators for the KATME experiments
+//!
+//! The paper generates "transactions of three distributions in a 17-bit
+//! integer space. The first 16 bits are for the transaction content (i.e.,
+//! the dictionary key) and the last is the transaction type (insert or
+//! delete)." This crate reproduces those generators exactly — plus a couple
+//! of extensions (Zipfian, bimodal, lookup mixes) used by the ablation
+//! benches — and packages them behind a small trait so producers in the
+//! executor can draw an endless stream of dictionary operations.
+//!
+//! * [`KeyDistribution`] — uniform, Gaussian (μ=65536, σ=12000), exponential
+//!   (λ=0.001), Zipfian and bimodal distributions over the 17-bit space.
+//! * [`TxnSpec`] / [`encode`](TxnSpec::encode) — the 17-bit packing used by
+//!   the paper (16-bit dictionary key + 1 operation bit).
+//! * [`OpGenerator`] — turns a distribution into a stream of
+//!   [`katme_collections`-style] insert/delete/lookup operations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distribution;
+pub mod generator;
+pub mod spec;
+pub mod trace;
+
+pub use distribution::{DistributionKind, KeyDistribution};
+pub use generator::{OpGenerator, OpMix};
+pub use spec::{OpKind, TxnSpec, DICT_KEY_BITS, TXN_SPACE_BITS};
+pub use trace::Trace;

@@ -1,0 +1,135 @@
+//! The 17-bit transaction encoding used by the paper.
+//!
+//! "The first 16 bits are for the transaction content (i.e., the dictionary
+//! key) and the last is the transaction type (insert or delete)."
+
+/// Number of bits in the dictionary-key portion of the encoding.
+pub const DICT_KEY_BITS: u32 = 16;
+
+/// Total number of bits in the encoded transaction value.
+pub const TXN_SPACE_BITS: u32 = 17;
+
+/// Size of the encoded space (2^17).
+pub const TXN_SPACE_SIZE: u32 = 1 << TXN_SPACE_BITS;
+
+/// Mask selecting the dictionary key.
+pub const DICT_KEY_MASK: u32 = (1 << DICT_KEY_BITS) - 1;
+
+/// The operation half of a transaction specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Insert the key.
+    Insert,
+    /// Delete the key.
+    Delete,
+    /// Look the key up (extension; the paper's benchmarks omit lookups to
+    /// emphasize conflicts).
+    Lookup,
+}
+
+impl OpKind {
+    /// Encode into the paper's single type bit (lookups map to insert's bit;
+    /// they only occur in extended workloads that bypass the 17-bit packing).
+    pub fn type_bit(&self) -> u32 {
+        match self {
+            OpKind::Insert | OpKind::Lookup => 0,
+            OpKind::Delete => 1,
+        }
+    }
+}
+
+/// A fully specified transaction: what the producer pushes into a task queue.
+///
+/// "For efficiency we insert the parameters of a transaction rather than the
+/// transaction itself into the task queue" — `TxnSpec` is exactly those
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnSpec {
+    /// 16-bit dictionary key.
+    pub key: u32,
+    /// Value to associate on insert.
+    pub value: u64,
+    /// Operation to perform.
+    pub op: OpKind,
+}
+
+impl TxnSpec {
+    /// Build a spec from a raw 17-bit sample, exactly as the paper decodes
+    /// its generated integers.
+    pub fn from_raw(raw: u32) -> Self {
+        let raw = raw & (TXN_SPACE_SIZE - 1);
+        let key = (raw >> 1) & DICT_KEY_MASK;
+        let op = if raw & 1 == 0 {
+            OpKind::Insert
+        } else {
+            OpKind::Delete
+        };
+        TxnSpec {
+            key,
+            value: u64::from(key),
+            op,
+        }
+    }
+
+    /// Pack this spec back into the 17-bit encoding.
+    pub fn encode(&self) -> u32 {
+        (self.key << 1) | self.op.type_bit()
+    }
+
+    /// The dictionary key.
+    pub fn key(&self) -> u32 {
+        self.key
+    }
+
+    /// True when this is an update (insert or delete).
+    pub fn is_update(&self) -> bool {
+        !matches!(self.op, OpKind::Lookup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(TXN_SPACE_SIZE, 131_072);
+        assert_eq!(DICT_KEY_MASK, 0xFFFF);
+        assert_eq!(TXN_SPACE_BITS, DICT_KEY_BITS + 1);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        for raw in [0u32, 1, 2, 12_345, 65_535, 131_071] {
+            let spec = TxnSpec::from_raw(raw);
+            assert!(spec.key <= DICT_KEY_MASK);
+            // Encoding loses nothing but the out-of-range bits.
+            assert_eq!(TxnSpec::from_raw(spec.encode()), spec);
+        }
+    }
+
+    #[test]
+    fn type_bit_selects_operation() {
+        assert_eq!(TxnSpec::from_raw(0b10).op, OpKind::Insert);
+        assert_eq!(TxnSpec::from_raw(0b11).op, OpKind::Delete);
+        assert_eq!(TxnSpec::from_raw(0b10).key, 1);
+        assert_eq!(TxnSpec::from_raw(0b11).key, 1);
+    }
+
+    #[test]
+    fn out_of_range_raw_is_masked() {
+        let spec = TxnSpec::from_raw(u32::MAX);
+        assert!(spec.key <= DICT_KEY_MASK);
+    }
+
+    #[test]
+    fn update_classification() {
+        assert!(TxnSpec::from_raw(0).is_update());
+        let lookup = TxnSpec {
+            key: 3,
+            value: 0,
+            op: OpKind::Lookup,
+        };
+        assert!(!lookup.is_update());
+    }
+}

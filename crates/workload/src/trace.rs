@@ -1,0 +1,147 @@
+//! Recorded operation traces.
+//!
+//! A trace is a pre-generated, finite sequence of transaction specifications.
+//! The harness uses traces when it needs *identical* inputs across the
+//! schedulers being compared (throughput comparisons use live generators, but
+//! load-balance and contention tables replay the same trace under each
+//! policy so the only variable is the scheduler).
+
+use crate::distribution::DistributionKind;
+use crate::generator::{OpGenerator, OpMix};
+use crate::spec::TxnSpec;
+
+/// A finite, replayable sequence of transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<TxnSpec>,
+    description: String,
+}
+
+impl Trace {
+    /// Record a trace of `n` operations from the paper's generator.
+    pub fn record_paper(kind: DistributionKind, n: usize, seed: u64) -> Self {
+        let mut gen = OpGenerator::paper(kind, seed);
+        Trace {
+            ops: gen.batch(n),
+            description: format!("{kind} x{n} (seed {seed})"),
+        }
+    }
+
+    /// Record a trace with an explicit operation mix.
+    pub fn record_with_mix(kind: DistributionKind, mix: OpMix, n: usize, seed: u64) -> Self {
+        let mut gen = OpGenerator::with_mix(kind, mix, seed);
+        Trace {
+            ops: gen.batch(n),
+            description: format!("{kind} x{n} mixed (seed {seed})"),
+        }
+    }
+
+    /// Build a trace from explicit operations (tests, hand-crafted cases).
+    pub fn from_ops(ops: Vec<TxnSpec>) -> Self {
+        let description = format!("explicit x{}", ops.len());
+        Trace { ops, description }
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[TxnSpec] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The keys of the recorded operations, in order (used to seed the
+    /// adaptive partitioner's sampling phase deterministically).
+    pub fn keys(&self) -> Vec<u32> {
+        self.ops.iter().map(|op| op.key).collect()
+    }
+
+    /// Split the trace into `n` round-robin interleaved sub-traces, one per
+    /// producer thread, preserving per-producer order.
+    pub fn split_round_robin(&self, n: usize) -> Vec<Trace> {
+        assert!(n > 0, "cannot split a trace across zero producers");
+        let mut parts: Vec<Vec<TxnSpec>> = vec![Vec::new(); n];
+        for (i, op) in self.ops.iter().enumerate() {
+            parts[i % n].push(*op);
+        }
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| Trace {
+                ops,
+                description: format!("{} [part {i}/{n}]", self.description),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OpKind;
+
+    #[test]
+    fn recording_is_deterministic() {
+        let a = Trace::record_paper(DistributionKind::Uniform, 500, 1);
+        let b = Trace::record_paper(DistributionKind::Uniform, 500, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(!a.is_empty());
+        assert!(a.description().contains("500"));
+    }
+
+    #[test]
+    fn keys_match_ops() {
+        let t = Trace::record_paper(DistributionKind::exponential_paper(), 100, 2);
+        assert_eq!(t.keys().len(), 100);
+        assert!(t.keys().iter().zip(t.ops()).all(|(k, op)| *k == op.key));
+    }
+
+    #[test]
+    fn split_preserves_every_operation() {
+        let t = Trace::record_paper(DistributionKind::gaussian_paper(), 101, 3);
+        let parts = t.split_round_robin(4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 101);
+        // Part sizes differ by at most one.
+        let sizes: Vec<_> = parts.iter().map(|p| p.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn explicit_traces_round_trip() {
+        let ops = vec![
+            TxnSpec {
+                key: 1,
+                value: 10,
+                op: OpKind::Insert,
+            },
+            TxnSpec {
+                key: 2,
+                value: 20,
+                op: OpKind::Delete,
+            },
+        ];
+        let t = Trace::from_ops(ops.clone());
+        assert_eq!(t.ops(), ops.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero producers")]
+    fn split_across_zero_is_rejected() {
+        Trace::record_paper(DistributionKind::Uniform, 10, 4).split_round_robin(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Side-by-side comparison of the three schedulers on the paper's hash-table
+//! benchmark with a skewed key distribution — a miniature, single-command
+//! version of Figure 3's exponential panel.
+//!
+//! ```text
+//! cargo run --release -p katme-examples --example adaptive_hashtable
+//! ```
+
+use std::time::Duration;
+
+use katme_collections::StructureKind;
+use katme_core::driver::{Driver, DriverConfig};
+use katme_core::scheduler::SchedulerKind;
+use katme_workload::DistributionKind;
+
+fn main() {
+    let workers = 4;
+    let distribution = DistributionKind::exponential_paper();
+    println!("hash table, {distribution}, {workers} workers, 300 ms per run\n");
+    println!(
+        "{:>14}{:>16}{:>14}{:>12}",
+        "scheduler", "throughput", "imbalance", "aborts/txn"
+    );
+
+    for scheduler in SchedulerKind::ALL {
+        let config = DriverConfig::new()
+            .with_workers(workers)
+            .with_scheduler(scheduler)
+            .with_duration(Duration::from_millis(300));
+        let result = Driver::new(config).run_dictionary(StructureKind::HashTable, distribution);
+        println!(
+            "{:>14}{:>16}{:>14.2}{:>12.4}",
+            scheduler.name(),
+            katme_examples::fmt_count(result.throughput as u64),
+            result.load.imbalance(),
+            result.contention_ratio()
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper §4.4): fixed partitioning collapses onto one worker for\n\
+         the exponential distribution, round robin balances load but scatters locality,\n\
+         and the adaptive executor gets both right."
+    );
+}

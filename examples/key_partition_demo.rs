@@ -1,0 +1,65 @@
+//! Walk-through of the paper's Figure 2: sample a skewed key distribution,
+//! build the histogram, estimate the CDF, and project equal-probability
+//! bucket boundaries back onto the key axis.
+//!
+//! ```text
+//! cargo run --release -p katme-examples --example key_partition_demo
+//! ```
+
+use katme_core::histogram::Histogram;
+use katme_core::key::KeyBounds;
+use katme_core::partition::KeyPartition;
+use katme_core::sample_size::required_samples;
+use katme_core::PiecewiseCdf;
+use katme_workload::{DistributionKind, KeyDistribution};
+
+fn main() {
+    let workers = 4;
+    let bounds = KeyBounds::new(0, 131_071);
+
+    // (a) the unknown data distribution: the paper's exponential generator.
+    let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 7);
+
+    // How many samples do we need? (The paper: 10,000 for 95% confidence of a
+    // 99%-accurate CDF.)
+    let n = required_samples(0.95, 0.01);
+    println!("samples required for 95% confidence / 99% accuracy: {n}");
+    let samples: Vec<u64> = (0..n).map(|_| u64::from(dist.sample_raw())).collect();
+
+    // (b) sample items into equal-width cells.
+    let hist = Histogram::from_samples(bounds, 32, &samples);
+    println!("\nhistogram ({} cells, {} samples):", hist.cells(), hist.total());
+    let max = *hist.counts().iter().max().unwrap();
+    for (cell, &count) in hist.counts().iter().enumerate().take(8) {
+        let (lo, hi) = hist.cell_range(cell);
+        let bar = "#".repeat((count * 40 / max.max(1)) as usize);
+        println!("  [{lo:>6}..{hi:>6}] {count:>6} {bar}");
+    }
+    println!("  ... (remaining cells are nearly empty)");
+
+    // (c)+(d) cumulative probabilities and the piecewise-linear CDF.
+    let cdf = PiecewiseCdf::from_histogram(&hist);
+    println!("\nestimated CDF:");
+    for key in [500u64, 1_000, 2_000, 4_000, 8_000, 65_536] {
+        println!("  P(key <= {key:>6}) = {:.3}", cdf.probability_at(key));
+    }
+
+    // (e) determine bucket boundaries by dividing the probability range into
+    // equal buckets and projecting down onto the key axis.
+    let adaptive = KeyPartition::from_cdf(&cdf, workers);
+    let fixed = KeyPartition::equal_width(bounds, workers);
+    println!("\nfixed (equal-width) partition:    {fixed}");
+    println!("adaptive (PD-partition):          {adaptive}");
+
+    // Show the resulting load balance for a fresh stream of keys.
+    let mut counts_fixed = vec![0u64; workers];
+    let mut counts_adaptive = vec![0u64; workers];
+    for _ in 0..100_000 {
+        let key = u64::from(dist.sample_raw());
+        counts_fixed[fixed.worker_for(key)] += 1;
+        counts_adaptive[adaptive.worker_for(key)] += 1;
+    }
+    println!("\nkeys routed per worker (100,000 fresh keys):");
+    println!("  fixed    : {counts_fixed:?}");
+    println!("  adaptive : {counts_adaptive:?}");
+}

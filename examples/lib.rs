@@ -1,0 +1,26 @@
+//! Shared helpers for the KATME examples.
+//!
+//! The runnable examples live next to this file; run them with e.g.
+//! `cargo run --release -p katme-examples --example quickstart`.
+
+/// Pretty-print a throughput number with thousands separators.
+pub fn fmt_count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fmt_count_groups_digits() {
+        assert_eq!(super::fmt_count(1_234_567), "1,234,567");
+        assert_eq!(super::fmt_count(42), "42");
+    }
+}

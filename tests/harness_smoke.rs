@@ -1,0 +1,75 @@
+//! Smoke tests for the experiment harness: every figure/table generator runs
+//! end to end in quick mode and produces structurally sane output.
+
+use katme_collections::StructureKind;
+use katme_harness::{
+    balance_table, contention_table, fig3_hashtable, fig4_overhead, tree_list, HarnessOptions,
+};
+use katme_workload::DistributionKind;
+
+fn quick() -> HarnessOptions {
+    HarnessOptions {
+        quick: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn figure3_smoke() {
+    let panels = fig3_hashtable(&quick());
+    assert_eq!(panels.len(), 3);
+    for (_, rows) in panels {
+        assert!(!rows.is_empty());
+        for row in rows {
+            assert!(row.throughput > 0.0);
+            assert!(row.imbalance >= 1.0);
+            assert!(row.contention_ratio >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn figure4_smoke() {
+    let rows = fig4_overhead(&quick());
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert!(row.no_executor > 0.0);
+        assert!(row.executor > 0.0);
+    }
+}
+
+#[test]
+fn tree_and_list_smoke() {
+    let results = tree_list(&quick());
+    // 2 structures x 3 distributions.
+    assert_eq!(results.len(), 6);
+    for (structure, _, rows) in results {
+        assert!(
+            rows.iter().all(|r| r.completed > 0),
+            "{structure} produced empty rows"
+        );
+    }
+}
+
+#[test]
+fn contention_and_balance_smoke() {
+    let contention = contention_table(&quick(), DistributionKind::Uniform);
+    assert_eq!(contention.len(), 9);
+    let balance = balance_table(
+        &quick(),
+        StructureKind::HashTable,
+        DistributionKind::exponential_paper(),
+    );
+    assert_eq!(balance.len(), 3);
+    for (_, per_worker, imbalance) in balance {
+        assert!(!per_worker.is_empty());
+        assert!(imbalance >= 1.0);
+    }
+}
+
+#[test]
+fn options_quick_mode_is_used_by_these_tests() {
+    let opts = quick();
+    assert!(opts.duration() <= std::time::Duration::from_millis(50));
+    assert_eq!(opts.repetitions(), 1);
+}

@@ -1,0 +1,48 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual test files live next to this library (see `Cargo.toml`'s
+//! `[[test]]` entries); this crate only exports small utilities they share.
+
+use katme_collections::{DictOp, Dictionary};
+use katme_workload::{OpKind, TxnSpec};
+
+/// Convert a generated transaction spec into a dictionary operation.
+pub fn spec_to_op(spec: &TxnSpec) -> DictOp {
+    match spec.op {
+        OpKind::Insert => DictOp::Insert {
+            key: spec.key,
+            value: spec.value,
+        },
+        OpKind::Delete => DictOp::Remove { key: spec.key },
+        OpKind::Lookup => DictOp::Lookup { key: spec.key },
+    }
+}
+
+/// Apply a spec to a dictionary (insert/remove/lookup).
+pub fn apply(dict: &dyn Dictionary, spec: &TxnSpec) {
+    spec_to_op(spec).apply(dict);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_to_op_preserves_key_and_kind() {
+        let spec = TxnSpec {
+            key: 9,
+            value: 3,
+            op: OpKind::Insert,
+        };
+        assert_eq!(
+            spec_to_op(&spec),
+            DictOp::Insert { key: 9, value: 3 }
+        );
+        let del = TxnSpec {
+            key: 4,
+            value: 0,
+            op: OpKind::Delete,
+        };
+        assert_eq!(spec_to_op(&del), DictOp::Remove { key: 4 });
+    }
+}

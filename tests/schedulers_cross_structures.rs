@@ -1,0 +1,123 @@
+//! Integration tests sweeping every scheduler across every benchmark
+//! structure (hash table, red-black tree, sorted list), checking correctness
+//! of the combined executor + STM + data-structure stack.
+
+use std::sync::Arc;
+
+use katme_collections::StructureKind;
+use katme_core::prelude::*;
+use katme_stm::Stm;
+use katme_workload::{DistributionKind, OpKind, Trace, TxnSpec};
+
+/// Route a per-key-ordered trace through the executor for every
+/// structure × key-based-scheduler combination and check the final contents
+/// against a sequential replay.
+#[test]
+fn key_based_schedulers_preserve_semantics_on_every_structure() {
+    let trace = Trace::record_paper(DistributionKind::gaussian_paper(), 8_000, 77);
+
+    for structure in StructureKind::ALL {
+        // Sequential reference on the same structure type.
+        let reference = structure.build(Stm::default());
+        for spec in trace.ops() {
+            katme_tests::apply(&*reference, spec);
+        }
+        let expected_len = reference.len();
+
+        for scheduler_kind in [SchedulerKind::FixedKey, SchedulerKind::AdaptiveKey] {
+            let stm = Stm::default();
+            let dict = structure.build(stm.clone());
+            let dict_for_workers = Arc::clone(&dict);
+            let executor = Executor::start(
+                ExecutorConfig::default().with_drain_on_shutdown(true),
+                scheduler_kind.build(3, KeyBounds::dict16()),
+                move |_worker, spec: TxnSpec| {
+                    katme_tests::apply(&*dict_for_workers, &spec);
+                },
+            );
+            for spec in trace.ops() {
+                executor.submit(u64::from(spec.key), *spec);
+            }
+            let report = executor.shutdown();
+            assert_eq!(report.completed(), trace.len() as u64);
+            assert_eq!(
+                dict.len(),
+                expected_len,
+                "{structure} under {scheduler_kind} diverged from sequential replay"
+            );
+            // Spot-check membership for a sample of keys.
+            for spec in trace.ops().iter().step_by(97) {
+                assert_eq!(
+                    dict.contains(spec.key),
+                    reference.contains(spec.key),
+                    "{structure}/{scheduler_kind}: key {}",
+                    spec.key
+                );
+            }
+        }
+    }
+}
+
+/// Work stealing may reorder per-key operations, so check it with a
+/// commutative (insert-only) workload: nothing may be lost even when one
+/// worker's range receives all the keys.
+#[test]
+fn work_stealing_preserves_all_insertions() {
+    let stm = Stm::default();
+    let dict = StructureKind::RbTree.build(stm.clone());
+    let dict_for_workers = Arc::clone(&dict);
+    let executor = Executor::start(
+        ExecutorConfig::default()
+            .with_drain_on_shutdown(true)
+            .with_work_stealing(true),
+        SchedulerKind::FixedKey.build(4, KeyBounds::dict16()),
+        move |_worker, spec: TxnSpec| {
+            dict_for_workers.insert(spec.key, spec.value);
+        },
+    );
+    // Every key is in the lowest quarter of the space, i.e. worker 0's range.
+    for key in 0..4_000u32 {
+        let spec = TxnSpec {
+            key: key % 16_000,
+            value: u64::from(key),
+            op: OpKind::Insert,
+        };
+        executor.submit(u64::from(spec.key), spec);
+    }
+    let report = executor.shutdown();
+    assert_eq!(report.completed(), 4_000);
+    assert!(report.stolen > 0, "stealing should have happened");
+    assert_eq!(dict.len(), 4_000);
+}
+
+/// The contention manager choice must not affect correctness, only
+/// performance: run the same conflict-heavy workload under every manager.
+#[test]
+fn every_contention_manager_yields_correct_results() {
+    use katme_stm::{CmKind, StmConfig};
+    for cm in CmKind::ALL {
+        let stm = Stm::new(StmConfig::default().with_contention_manager(cm));
+        let dict = StructureKind::SortedList.build(stm.clone());
+        std::thread::scope(|s| {
+            for t in 0..3u32 {
+                let dict = Arc::clone(&dict);
+                s.spawn(move || {
+                    for i in 0..400u32 {
+                        // Narrow key range to force conflicts.
+                        let key = (i * 3 + t) % 64;
+                        if i % 2 == 0 {
+                            dict.insert(key, u64::from(t));
+                        } else {
+                            dict.remove(key);
+                        }
+                    }
+                });
+            }
+        });
+        // The list must still be a valid dictionary (no duplicates, len
+        // consistent with membership).
+        let len = dict.len();
+        let members = (0..64u32).filter(|&k| dict.contains(k)).count();
+        assert_eq!(len, members, "inconsistent structure under {cm}");
+    }
+}

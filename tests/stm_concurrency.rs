@@ -1,0 +1,132 @@
+//! Cross-crate STM stress tests: serializability of composed operations over
+//! the real data structures under heavy multi-threaded contention.
+
+use std::sync::Arc;
+
+use katme_collections::{Dictionary, HashTable, RbTree, TxDictionary, TxStack};
+use katme_stm::{Stm, TVar};
+
+/// Atomically moving entries between two structures must never lose or
+/// duplicate values, even under contention.
+#[test]
+fn atomic_moves_between_structures_conserve_entries() {
+    let stm = Stm::default();
+    let source = Arc::new(HashTable::with_buckets(stm.clone(), 509));
+    let target = Arc::new(RbTree::new(stm.clone()));
+    let total = 2_000u32;
+    for key in 0..total {
+        source.insert(key, u64::from(key));
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let stm = stm.clone();
+            let source = Arc::clone(&source);
+            let target = Arc::clone(&target);
+            s.spawn(move || {
+                for key in (t..total).step_by(4) {
+                    stm.atomically(|tx| {
+                        if let Some(value) = source.lookup_tx(tx, key)? {
+                            source.remove_tx(tx, key)?;
+                            target.insert_tx(tx, key, value)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+
+    assert_eq!(source.len(), 0, "every entry should have been moved");
+    assert_eq!(target.len(), total as usize);
+    for key in 0..total {
+        assert_eq!(target.lookup(key), Some(u64::from(key)));
+    }
+    assert!(target.check_invariants().is_ok());
+}
+
+/// A transactional producer/consumer chain through two stacks plus a counter:
+/// the number of items that ever "exist" is invariant.
+#[test]
+fn stack_handoff_is_linearizable() {
+    let stm = Stm::default();
+    let inbox: Arc<TxStack<u64>> = Arc::new(TxStack::new(stm.clone()));
+    let outbox: Arc<TxStack<u64>> = Arc::new(TxStack::new(stm.clone()));
+    let moved = Arc::new(TVar::new(0u64));
+    let items = 3_000u64;
+
+    for i in 0..items {
+        inbox.push(i);
+    }
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let stm = stm.clone();
+            let inbox = Arc::clone(&inbox);
+            let outbox = Arc::clone(&outbox);
+            let moved = Arc::clone(&moved);
+            s.spawn(move || loop {
+                let done = stm.atomically(|tx| {
+                    match inbox.pop_tx(tx)? {
+                        Some(v) => {
+                            outbox.push_tx(tx, v)?;
+                            tx.modify(&moved, |m| m + 1)?;
+                            Ok(false)
+                        }
+                        None => Ok(true),
+                    }
+                });
+                if done {
+                    break;
+                }
+            });
+        }
+    });
+
+    assert_eq!(*moved.load(), items);
+    assert_eq!(outbox.len(), items as usize);
+    assert!(inbox.is_empty());
+    // No item was duplicated.
+    let mut seen = std::collections::HashSet::new();
+    while let Some(v) = outbox.pop() {
+        assert!(seen.insert(v), "duplicate item {v}");
+    }
+    assert_eq!(seen.len(), items as usize);
+}
+
+/// Read-only audit transactions over a structure being mutated concurrently
+/// must always observe a consistent snapshot (opacity).
+#[test]
+fn read_only_snapshots_are_consistent() {
+    let stm = Stm::default();
+    let a = TVar::new(0i64);
+    let b = TVar::new(0i64);
+
+    std::thread::scope(|s| {
+        // Writer: keeps a + b == 0 in every committed state.
+        {
+            let stm = stm.clone();
+            let (a, b) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for i in 1..2_000i64 {
+                    stm.atomically(|tx| {
+                        tx.write(&a, i)?;
+                        tx.write(&b, -i)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Readers: must never observe a + b != 0.
+        for _ in 0..2 {
+            let stm = stm.clone();
+            let (a, b) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let sum = stm.atomically(|tx| Ok(*tx.read(&a)? + *tx.read(&b)?));
+                    assert_eq!(sum, 0, "torn read: invariant violated");
+                }
+            });
+        }
+    });
+}
