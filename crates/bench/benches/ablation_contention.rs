@@ -4,6 +4,8 @@
 //! should therefore abort far less than round-robin — the effect the paper
 //! predicts will "pay off in high-contention applications".
 
+#![allow(deprecated)] // exercises the pre-facade Executor API on purpose
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -52,7 +54,9 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Print the abort counts once so the ablation also reports the conflict
     // reduction itself (not just its timing effect).
-    eprintln!("\nconflict ablation (aborts while executing {BATCH} txns on {SMALL_BUCKETS} buckets):");
+    eprintln!(
+        "\nconflict ablation (aborts while executing {BATCH} txns on {SMALL_BUCKETS} buckets):"
+    );
     for scheduler in SchedulerKind::ALL {
         let (completed, aborts) = run_high_contention(scheduler, 4);
         eprintln!(

@@ -2,6 +2,8 @@
 //! executes a fixed number of single-TVar-increment transactions either in a
 //! plain loop ("no executor") or through the executor pipeline ("executor").
 
+#![allow(deprecated)] // exercises the pre-facade Executor API on purpose
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -15,9 +17,9 @@ fn run_no_executor(workers: usize) -> u64 {
     let stm = Stm::default();
     let counters: Vec<TVar<u64>> = (0..workers).map(|_| TVar::new(0)).collect();
     std::thread::scope(|s| {
-        for w in 0..workers {
+        for counter in &counters {
             let stm = stm.clone();
-            let counter = counters[w].clone();
+            let counter = counter.clone();
             s.spawn(move || {
                 for _ in 0..TXNS / workers as u64 {
                     stm.atomically(|tx| tx.modify(&counter, |v| v + 1));
@@ -61,11 +63,9 @@ fn bench_fig4(c: &mut Criterion) {
             &workers,
             |b, &w| b.iter(|| run_no_executor(w)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("executor", workers),
-            &workers,
-            |b, &w| b.iter(|| run_with_executor(w)),
-        );
+        group.bench_with_input(BenchmarkId::new("executor", workers), &workers, |b, &w| {
+            b.iter(|| run_with_executor(w))
+        });
     }
     group.finish();
 }

@@ -24,10 +24,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use katme_collections::{Dictionary, StructureKind};
+use katme_collections::StructureKind;
 use katme_core::prelude::*;
 use katme_stm::Stm;
-use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
+use katme_workload::{DistributionKind, OpGenerator, TxnSpec};
 
 /// Batch size used by the pipeline benches (one Criterion iteration = one
 /// batch pushed through producers → executor → workers → STM).
@@ -39,23 +39,16 @@ pub fn short_measurement() -> (Duration, Duration, usize) {
     (Duration::from_millis(300), Duration::from_millis(900), 10)
 }
 
-/// Apply one spec to a dictionary.
-pub fn apply_spec(dict: &dyn Dictionary, spec: &TxnSpec) {
-    match spec.op {
-        OpKind::Insert => {
-            dict.insert(spec.key, spec.value);
-        }
-        OpKind::Delete => {
-            dict.remove(spec.key);
-        }
-        OpKind::Lookup => {
-            dict.lookup(spec.key);
-        }
-    }
-}
+/// Apply one spec to a dictionary (the facade's canonical mapping).
+pub use katme::apply_spec;
 
 /// Run one batch of transactions through the full executor pipeline and
 /// return the number completed (used by the figure benches).
+///
+/// Deliberately stays on the deprecated raw `Executor::start`/`submit`
+/// surface: this crate is the compile-time guarantee that the pre-facade API
+/// keeps working. New code should use `katme::Katme::builder()`.
+#[allow(deprecated)]
 pub fn run_pipeline_batch(
     structure: StructureKind,
     distribution: DistributionKind,

@@ -173,12 +173,10 @@ impl RbTree {
             }
         }
         if node.color == Color::Red {
-            for child in [&node.left, &node.right] {
-                if let Some(c) = child {
-                    let cn = tx.read(c).map_err(|e| format!("stm error: {e}"))?;
-                    if cn.color == Color::Red {
-                        return Err(format!("red node {} has a red child", node.key));
-                    }
+            for c in [&node.left, &node.right].into_iter().flatten() {
+                let cn = tx.read(c).map_err(|e| format!("stm error: {e}"))?;
+                if cn.color == Color::Red {
+                    return Err(format!("red node {} has a red child", node.key));
                 }
             }
         }
@@ -274,9 +272,7 @@ impl RbTree {
                 return Ok(());
             }
             // A red parent cannot be the root, so a grandparent exists.
-            let (g_tv, pdir) = path
-                .pop()
-                .expect("red parent implies a grandparent exists");
+            let (g_tv, pdir) = path.pop().expect("red parent implies a grandparent exists");
             let g = tx.read(&g_tv)?;
             let uncle = g.child(pdir.opposite());
             let uncle_is_red = match &uncle {
@@ -448,7 +444,11 @@ impl TxDictionary for RbTree {
                 }
                 return Ok(false);
             }
-            let dir = if key < node.key { Dir::Left } else { Dir::Right };
+            let dir = if key < node.key {
+                Dir::Left
+            } else {
+                Dir::Right
+            };
             current = node.child(dir);
             path.push((node_tv, dir));
         }
@@ -478,7 +478,11 @@ impl TxDictionary for RbTree {
                 target = Some(node_tv);
                 break;
             }
-            let dir = if key < node.key { Dir::Left } else { Dir::Right };
+            let dir = if key < node.key {
+                Dir::Left
+            } else {
+                Dir::Right
+            };
             current = node.child(dir);
             path.push((node_tv, dir));
         }
@@ -532,7 +536,11 @@ impl TxDictionary for RbTree {
             if node.key == key {
                 return Ok(Some(node.value));
             }
-            let dir = if key < node.key { Dir::Left } else { Dir::Right };
+            let dir = if key < node.key {
+                Dir::Left
+            } else {
+                Dir::Right
+            };
             current = node.child(dir);
         }
         Ok(None)

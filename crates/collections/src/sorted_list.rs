@@ -49,11 +49,7 @@ impl SortedList {
     /// holding the link that either points at the node with `key` (when
     /// `current` is `Some` and has that key) or where a node with `key`
     /// would be spliced in.
-    fn search(
-        &self,
-        tx: &mut Transaction<'_>,
-        key: Key,
-    ) -> Result<(TVar<Link>, Link), TxError> {
+    fn search(&self, tx: &mut Transaction<'_>, key: Key) -> Result<(TVar<Link>, Link), TxError> {
         let mut prev_link = self.head.clone();
         loop {
             let current = tx.read(&prev_link)?;
@@ -269,7 +265,10 @@ mod tests {
             });
         });
         let keys = l.keys();
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must stay sorted");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must stay sorted"
+        );
         assert_eq!(keys, (50..100u32).collect::<Vec<_>>());
     }
 }

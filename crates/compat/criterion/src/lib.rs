@@ -1,0 +1,313 @@
+//! Minimal, dependency-free micro-bench harness exposing the subset of the
+//! `criterion` API the `katme-bench` targets use: benchmark groups, per-group
+//! warm-up/measurement/sample settings, [`Throughput::Elements`], and
+//! `b.iter(..)` timing loops.
+//!
+//! The workspace builds offline with zero external dependencies, so this
+//! in-tree crate shadows the crates.io `criterion` name via a path
+//! dependency. Statistics are intentionally simple — per-sample means with a
+//! min/median/max summary — because the repository's experiment binaries in
+//! `katme-harness` are the primary measurement surface; these bench targets
+//! exist for quick relative comparisons (`cargo bench -p katme-bench`).
+//!
+//! Set `KATME_BENCH_FAST=1` to clamp warm-up/measurement windows for smoke
+//! runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How work per iteration is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly: first to warm up, then for `sample_count`
+    /// timed samples. A `black_box` guards against the result being
+    /// optimized out.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibration of iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.sample_count as f64;
+        self.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Identity function that defeats constant folding (`std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up = time;
+        self
+    }
+
+    /// Set the total measurement window.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time;
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, |b| routine(b));
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run(&id.id, |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let fast = std::env::var_os("KATME_BENCH_FAST").is_some();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: if fast { 2 } else { self.sample_count },
+            warm_up: if fast {
+                Duration::from_millis(20)
+            } else {
+                self.warm_up
+            },
+            measurement: if fast {
+                Duration::from_millis(60)
+            } else {
+                self.measurement
+            },
+        };
+        routine(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!(
+                "{}/{id:<40} (no samples — b.iter was not called)",
+                self.name
+            );
+            return;
+        }
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let label = format!("{}/{}", self.name, id);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<56} {:>12} [{} .. {}]{rate}",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Finish the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a new benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(1),
+            sample_count: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id.id.as_str(), |b| routine(b));
+        self
+    }
+}
+
+/// Bundle benchmark functions under one name (API parity with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        std::env::set_var("KATME_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        drop(group);
+        std::env::remove_var("KATME_BENCH_FAST");
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}

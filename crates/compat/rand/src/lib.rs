@@ -1,0 +1,275 @@
+//! Stand-in for the subset of the `rand` 0.8 API this workspace uses:
+//! [`rngs::SmallRng`]/[`rngs::StdRng`], [`Rng::gen`], [`Rng::gen_range`],
+//! [`SeedableRng::seed_from_u64`]/[`SeedableRng::from_entropy`] and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The workspace builds offline with zero external dependencies, so this
+//! in-tree crate shadows the crates.io `rand` name via a path dependency. The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic per
+//! seed, high-quality, and identical across platforms. Streams are *not*
+//! bit-compatible with crates.io `rand`; nothing in the workspace relies on
+//! the exact sequences, only on determinism per seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random-number generators.
+pub mod rngs {
+    /// xoshiro256++ generator (the small, fast, non-crypto default).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    /// The "standard" generator; aliased to the same engine here.
+    pub type StdRng = SmallRng;
+}
+
+use rngs::SmallRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    fn next_raw(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Seed from ambient entropy (system time + address-space noise — this
+    /// stand-in has no OS RNG dependency).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xdead_beef);
+        let stack_probe = &t as *const _ as u64;
+        Self::seed_from_u64(t ^ stack_probe.rotate_left(32))
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+}
+
+/// Values that can be sampled uniformly from the generator's raw output.
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn sample(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision (matches rand's `Standard`).
+    fn sample(raw: u64) -> Self {
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Sample a value uniformly from this range.
+    fn sample_from(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_raw() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = rng.next_raw() as u128 % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = f64::sample(rng.next_raw());
+        let v = self.start + unit * (self.end - self.start);
+        // Guard against rounding up to the excluded end.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Sample a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Sample `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl Rng for SmallRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_raw())
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, SmallRng};
+
+    /// Slice shuffling (Fisher–Yates), mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffle the slice in place.
+        fn shuffle(&mut self, rng: &mut SmallRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut SmallRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5..=7u64);
+            assert!((5..=7).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3..3i32);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "shuffle should change the order");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+}

@@ -182,7 +182,8 @@ impl AdaptiveKeyScheduler {
                 hist.record(k);
             }
         }
-        self.observed.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.observed
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
         self.adapt();
     }
 }
@@ -203,6 +204,10 @@ impl Scheduler for AdaptiveKeyScheduler {
 
     fn partition(&self) -> Option<KeyPartition> {
         Some(self.current_partition())
+    }
+
+    fn repartitions(&self) -> u64 {
+        AdaptiveKeyScheduler::adaptations(self) as u64
     }
 
     fn describe(&self) -> String {
@@ -306,7 +311,10 @@ mod tests {
             .step_by(500)
             .filter(|&base| s.dispatch(base) != s.dispatch(base + 1))
             .count();
-        assert!(split_pairs <= 3, "too many neighbouring keys split: {split_pairs}");
+        assert!(
+            split_pairs <= 3,
+            "too many neighbouring keys split: {split_pairs}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! task (typically a transaction against a shared data structure), and count
 //! completions.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -79,6 +79,56 @@ impl ExecutorConfig {
     }
 }
 
+/// Why a submission was rejected. The task is handed back so the producer
+/// can retry, reroute, or drop it deliberately.
+pub enum SubmitError<T> {
+    /// The destination queue is at `max_queue_depth`; non-blocking submits
+    /// return instead of waiting.
+    QueueFull(T),
+    /// The executor has been stopped; no worker will ever drain the queue
+    /// again, so enqueueing would leak the task.
+    ShuttingDown(T),
+}
+
+impl<T> SubmitError<T> {
+    /// Recover the rejected task.
+    pub fn into_task(self) -> T {
+        match self {
+            SubmitError::QueueFull(task) | SubmitError::ShuttingDown(task) => task,
+        }
+    }
+
+    /// True when the rejection was due to back-pressure.
+    pub fn is_queue_full(&self) -> bool {
+        matches!(self, SubmitError::QueueFull(_))
+    }
+
+    /// True when the rejection was due to shutdown.
+    pub fn is_shutting_down(&self) -> bool {
+        matches!(self, SubmitError::ShuttingDown(_))
+    }
+}
+
+impl<T> std::fmt::Debug for SubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => f.write_str("SubmitError::QueueFull(..)"),
+            SubmitError::ShuttingDown(_) => f.write_str("SubmitError::ShuttingDown(..)"),
+        }
+    }
+}
+
+impl<T> std::fmt::Display for SubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => f.write_str("task queue is at its depth bound"),
+            SubmitError::ShuttingDown(_) => f.write_str("executor is shutting down"),
+        }
+    }
+}
+
+impl<T> std::error::Error for SubmitError<T> {}
+
 /// Summary returned by [`Executor::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ExecutorReport {
@@ -100,13 +150,75 @@ impl ExecutorReport {
     }
 }
 
+/// Intake gate for a queue that is drained by threads which must eventually
+/// exit: pairs an accepting flag with an in-flight submission count so a
+/// producer's check-then-push and a consumer's empty-then-exit cannot
+/// interleave into a stranded task.
+///
+/// Protocol — producer: [`ShutdownGate::enter`] (returns `false` once
+/// closed), push, [`ShutdownGate::exit`]. Consumer: read
+/// [`ShutdownGate::may_finish`] *before* the final pop; if the pop still
+/// finds nothing, it is safe to stop. Any submission that raised the
+/// in-flight count before the consumer read zero has either already pushed
+/// (the pop sees it) or will observe the closed gate and bail.
+#[derive(Debug, Default)]
+pub struct ShutdownGate {
+    accepting: AtomicBool,
+    inflight: AtomicUsize,
+}
+
+impl ShutdownGate {
+    /// An open gate.
+    pub fn new() -> Self {
+        ShutdownGate {
+            accepting: AtomicBool::new(true),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// True until [`ShutdownGate::close`] is called.
+    pub fn is_open(&self) -> bool {
+        self.accepting.load(Ordering::SeqCst)
+    }
+
+    /// Close the gate: subsequent [`ShutdownGate::enter`] calls fail.
+    /// Idempotent; callable from any thread.
+    pub fn close(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+    }
+
+    /// Begin a submission. Returns `false` (leaving no trace) if the gate is
+    /// closed; on `true` the caller must push and then call
+    /// [`ShutdownGate::exit`].
+    pub fn enter(&self) -> bool {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        if !self.accepting.load(Ordering::SeqCst) {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Finish a submission begun with a successful [`ShutdownGate::enter`].
+    pub fn exit(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True when the gate is closed and no submission is mid-push. Read this
+    /// *before* the final emptiness check of the guarded queue.
+    pub fn may_finish(&self) -> bool {
+        !self.is_open() && self.inflight.load(Ordering::SeqCst) == 0
+    }
+}
+
 /// A pool of worker threads fed by per-worker task queues through a
 /// key-based (or round-robin) scheduler.
 pub struct Executor<T: Send + 'static> {
     queues: Vec<Arc<dyn TaskQueue<T>>>,
     scheduler: Arc<dyn Scheduler>,
     counters: Arc<Vec<WorkerCounters>>,
-    running: Arc<AtomicBool>,
+    /// Guards intake against the draining workers' exit (see [`ShutdownGate`]).
+    gate: Arc<ShutdownGate>,
     handles: Vec<JoinHandle<()>>,
     config: ExecutorConfig,
 }
@@ -129,19 +241,19 @@ impl<T: Send + 'static> Executor<T> {
             .map(|_| Arc::from(config.queue.build::<T>()))
             .collect();
         let counters = WorkerCounters::for_workers(workers);
-        let running = Arc::new(AtomicBool::new(true));
+        let gate = Arc::new(ShutdownGate::new());
 
         let handles = (0..workers)
             .map(|index| {
                 let queues = queues.clone();
                 let counters = Arc::clone(&counters);
-                let running = Arc::clone(&running);
+                let gate = Arc::clone(&gate);
                 let handler = Arc::clone(&handler);
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("katme-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(index, &queues, &counters, &running, &config, &*handler)
+                        worker_loop(index, &queues, &counters, &gate, &config, &*handler)
                     })
                     .expect("failed to spawn worker thread")
             })
@@ -151,7 +263,7 @@ impl<T: Send + 'static> Executor<T> {
             queues,
             scheduler,
             counters,
-            running,
+            gate,
             handles,
             config,
         }
@@ -167,24 +279,95 @@ impl<T: Send + 'static> Executor<T> {
         &self.scheduler
     }
 
-    /// Submit a task with the given transaction key. Called from producer
-    /// threads; runs the scheduler inline (Figure 1(c): the executor is part
-    /// of the producer).
-    pub fn submit(&self, key: TxnKey, task: T) {
+    /// Submit a task with the given transaction key, blocking while the
+    /// destination queue is at its depth bound. Called from producer threads;
+    /// runs the scheduler inline (Figure 1(c): the executor is part of the
+    /// producer). Returns [`SubmitError::ShuttingDown`] — promptly, even from
+    /// inside the back-pressure wait — once [`Executor::stop`] or shutdown
+    /// has been initiated, instead of enqueueing onto a queue no worker will
+    /// drain again.
+    pub fn submit_blocking(&self, key: TxnKey, task: T) -> Result<(), SubmitError<T>> {
         let worker = self.scheduler.dispatch(key);
-        self.submit_to(worker, task);
+        self.submit_to_blocking(worker, task)
     }
 
-    /// Submit a task directly to a specific worker, bypassing the scheduler.
-    pub fn submit_to(&self, worker: usize, task: T) {
+    /// Non-blocking variant of [`Executor::submit_blocking`]: rejects with
+    /// [`SubmitError::QueueFull`] instead of waiting out back-pressure.
+    pub fn try_submit(&self, key: TxnKey, task: T) -> Result<(), SubmitError<T>> {
+        let worker = self.scheduler.dispatch(key);
+        self.try_submit_to(worker, task)
+    }
+
+    /// Submit directly to a specific worker, bypassing the scheduler, with
+    /// blocking back-pressure (see [`Executor::submit_blocking`]).
+    pub fn submit_to_blocking(&self, worker: usize, task: T) -> Result<(), SubmitError<T>> {
         let queue = &self.queues[worker];
         if let Some(depth) = self.config.max_queue_depth {
             let mut backoff = Backoff::new();
-            while queue.len() >= depth && self.running.load(Ordering::Acquire) {
+            while queue.len() >= depth {
+                if !self.gate.is_open() {
+                    return Err(SubmitError::ShuttingDown(task));
+                }
                 backoff.snooze();
             }
         }
+        self.push_guarded(queue, task)
+    }
+
+    /// Publish a task through the [`ShutdownGate`], which closes the
+    /// check-then-push race against draining workers — a submission that
+    /// returns `Ok` is guaranteed to be executed (or counted as abandoned)
+    /// rather than stranded on a dead queue.
+    fn push_guarded(&self, queue: &Arc<dyn TaskQueue<T>>, task: T) -> Result<(), SubmitError<T>> {
+        if !self.gate.enter() {
+            return Err(SubmitError::ShuttingDown(task));
+        }
         queue.push(task);
+        self.gate.exit();
+        Ok(())
+    }
+
+    /// Non-blocking variant of [`Executor::submit_to_blocking`].
+    pub fn try_submit_to(&self, worker: usize, task: T) -> Result<(), SubmitError<T>> {
+        if !self.gate.is_open() {
+            return Err(SubmitError::ShuttingDown(task));
+        }
+        let queue = &self.queues[worker];
+        if let Some(depth) = self.config.max_queue_depth {
+            if queue.len() >= depth {
+                return Err(SubmitError::QueueFull(task));
+            }
+        }
+        self.push_guarded(queue, task)
+    }
+
+    /// Submit a task with the given transaction key.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `katme::Runtime::submit` (or `Executor::submit_blocking`), which reports \
+                back-pressure and shutdown instead of silently spinning or dropping"
+    )]
+    pub fn submit(&self, key: TxnKey, task: T) {
+        let worker = self.scheduler.dispatch(key);
+        if let Err(err) = self.submit_to_blocking(worker, task) {
+            // Legacy contract: the task always lands on a queue, so it is
+            // either executed or reported as abandoned at shutdown — it
+            // never silently vanishes.
+            self.queues[worker].push(err.into_task());
+        }
+    }
+
+    /// Submit a task directly to a specific worker, bypassing the scheduler.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Executor::submit_to_blocking`, which reports back-pressure and shutdown \
+                instead of silently spinning or dropping"
+    )]
+    pub fn submit_to(&self, worker: usize, task: T) {
+        if let Err(err) = self.submit_to_blocking(worker, task) {
+            // Legacy contract: see `submit` above.
+            self.queues[worker].push(err.into_task());
+        }
     }
 
     /// Completed tasks so far, summed over workers.
@@ -204,12 +387,22 @@ impl<T: Send + 'static> Executor<T> {
 
     /// True while the executor accepts and executes tasks.
     pub fn is_running(&self) -> bool {
-        self.running.load(Ordering::Acquire)
+        self.gate.is_open()
+    }
+
+    /// Initiate shutdown without waiting for the workers: new submissions are
+    /// rejected with [`SubmitError::ShuttingDown`], producers blocked on
+    /// back-pressure return promptly, and workers exit (after draining when
+    /// `drain_on_shutdown` is set). Call [`Executor::shutdown`] afterwards to
+    /// join the workers and collect the report; `stop` itself is safe to call
+    /// from any thread, any number of times.
+    pub fn stop(&self) {
+        self.gate.close();
     }
 
     /// Stop the workers and collect the final counters.
     pub fn shutdown(mut self) -> ExecutorReport {
-        self.running.store(false, Ordering::Release);
+        self.gate.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -227,7 +420,7 @@ impl<T: Send + 'static> Drop for Executor<T> {
     /// Dropping an executor without calling [`Executor::shutdown`] still
     /// stops and joins the worker threads so no run leaks threads.
     fn drop(&mut self) {
-        self.running.store(false, Ordering::Release);
+        self.gate.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -238,7 +431,7 @@ fn worker_loop<T, F>(
     index: usize,
     queues: &[Arc<dyn TaskQueue<T>>],
     counters: &[WorkerCounters],
-    running: &AtomicBool,
+    gate: &ShutdownGate,
     config: &ExecutorConfig,
     handler: &F,
 ) where
@@ -247,13 +440,16 @@ fn worker_loop<T, F>(
 {
     let mut backoff = Backoff::new();
     loop {
-        let running_now = running.load(Ordering::Acquire);
+        let running_now = gate.is_open();
         if !running_now && !config.drain_on_shutdown {
             // The paper's driver "stops the producer and worker threads after
             // the test period": without draining, whatever is still queued is
             // abandoned (and reported as such).
             return;
         }
+        // Draining exit handshake (see ShutdownGate): must be read *before*
+        // the pop below.
+        let may_exit = gate.may_finish();
 
         if let Some(task) = queues[index].try_pop() {
             handler(index, task);
@@ -280,9 +476,14 @@ fn worker_loop<T, F>(
             }
         }
 
-        if !running_now {
-            // Drain mode with an empty queue (and nothing to steal): done.
+        if may_exit {
+            // Drain mode, empty queue, no in-flight submissions: done.
             return;
+        }
+        if !running_now {
+            // Stopped but a submission is mid-push; check again shortly.
+            backoff.snooze();
+            continue;
         }
         counters[index].record_idle_poll();
         backoff.snooze();
@@ -319,7 +520,7 @@ mod tests {
         let (exec, sum) = counting_executor(scheduler, drain_config());
         let n = 1_000u64;
         for i in 1..=n {
-            exec.submit(i, i);
+            exec.submit_blocking(i, i).unwrap();
         }
         let report = exec.shutdown();
         assert_eq!(report.completed(), n);
@@ -332,17 +533,13 @@ mod tests {
         let scheduler = Arc::new(FixedKeyScheduler::new(4, KeyBounds::new(0, 99)));
         let seen: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
         let seen_clone = Arc::clone(&seen);
-        let exec = Executor::start(
-            drain_config(),
-            scheduler,
-            move |worker, key: u64| {
-                // Record which worker handled which key range.
-                assert_eq!(worker, (key / 25) as usize, "key {key} on wrong worker");
-                seen_clone[worker].fetch_add(1, Ordering::Relaxed);
-            },
-        );
+        let exec = Executor::start(drain_config(), scheduler, move |worker, key: u64| {
+            // Record which worker handled which key range.
+            assert_eq!(worker, (key / 25) as usize, "key {key} on wrong worker");
+            seen_clone[worker].fetch_add(1, Ordering::Relaxed);
+        });
         for key in 0..100u64 {
-            exec.submit(key, key);
+            exec.submit_blocking(key, key).unwrap();
         }
         let report = exec.shutdown();
         assert_eq!(report.completed(), 100);
@@ -356,10 +553,10 @@ mod tests {
         let scheduler = SchedulerKind::FixedKey.build(2, KeyBounds::new(0, 9));
         let (exec, _) = counting_executor(scheduler, drain_config());
         for _ in 0..50 {
-            exec.submit(0, 1); // low half -> worker 0
+            exec.submit_blocking(0, 1).unwrap(); // low half -> worker 0
         }
         for _ in 0..10 {
-            exec.submit(9, 1); // high half -> worker 1
+            exec.submit_blocking(9, 1).unwrap(); // high half -> worker 1
         }
         let report = exec.shutdown();
         assert_eq!(report.load.per_worker, vec![50, 10]);
@@ -376,7 +573,7 @@ mod tests {
             |_, _task: u64| std::thread::sleep(Duration::from_millis(2)),
         );
         for i in 0..200u64 {
-            exec.submit(i, i);
+            exec.submit_blocking(i, i).unwrap();
         }
         let report = exec.shutdown();
         assert!(
@@ -397,7 +594,7 @@ mod tests {
             |_, _task: u64| std::thread::sleep(Duration::from_micros(200)),
         );
         for _ in 0..500 {
-            exec.submit(0, 0); // all keys in worker 0's range
+            exec.submit_blocking(0, 0).unwrap(); // all keys in worker 0's range
         }
         let report = exec.shutdown();
         assert_eq!(report.completed(), 500);
@@ -418,7 +615,7 @@ mod tests {
             |_, _task: u64| std::thread::sleep(Duration::from_micros(50)),
         );
         for i in 0..500u64 {
-            exec.submit(i, i);
+            exec.submit_blocking(i, i).unwrap();
             assert!(
                 exec.queue_lengths()[0] <= 51,
                 "queue exceeded the back-pressure bound"
@@ -426,6 +623,71 @@ mod tests {
         }
         let report = exec.shutdown();
         assert_eq!(report.completed(), 500);
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full_then_shutdown() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let exec = Executor::start(
+            ExecutorConfig::default()
+                .with_max_queue_depth(Some(2))
+                .with_drain_on_shutdown(true),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_millis(5)),
+        );
+        let mut saw_full = false;
+        for i in 0..100u64 {
+            match exec.try_submit(0, i) {
+                Ok(()) => {}
+                Err(err) => {
+                    assert!(err.is_queue_full());
+                    assert_eq!(err.into_task(), i, "rejected task is handed back");
+                    saw_full = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_full, "a depth bound of 2 must reject quickly");
+        exec.stop();
+        let err = exec.try_submit(0, 42).unwrap_err();
+        assert!(err.is_shutting_down());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn blocked_producer_returns_promptly_on_stop() {
+        // One slow worker and a queue bound of 1: a third task blocks in
+        // submit_blocking until stop() is called, then errors out instead of
+        // pushing onto a queue nobody will drain (the old API span forever
+        // and then enqueued anyway).
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let exec = Arc::new(Executor::start(
+            ExecutorConfig::default()
+                .with_max_queue_depth(Some(1))
+                .with_drain_on_shutdown(false),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_millis(800)),
+        ));
+        exec.submit_blocking(0, 1).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // worker picks up task 1
+        exec.submit_blocking(0, 2).unwrap(); // fills the queue to its bound
+        let producer = {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || exec.submit_blocking(0, 3))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        exec.stop();
+        let blocked_result = producer.join().unwrap();
+        assert!(
+            blocked_result.unwrap_err().is_shutting_down(),
+            "blocked producer must observe shutdown promptly"
+        );
+        let exec = Arc::into_inner(exec).expect("producer clone dropped");
+        let report = exec.shutdown();
+        assert!(
+            report.abandoned >= 1,
+            "task 2 was never drained: {report:?}"
+        );
     }
 
     #[test]
@@ -441,7 +703,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..per_producer {
                         let key = (p * per_producer + i) % 65_536;
-                        exec.submit(key, 1);
+                        exec.submit_blocking(key, 1).unwrap();
                     }
                 });
             }

@@ -7,6 +7,13 @@
 //! software transactional memory, and that decides **which worker runs which
 //! transaction** based on a per-transaction *key*.
 //!
+//! > **Start with the [`katme`](../katme/index.html) facade crate.** It
+//! > composes this executor with the STM, queues, and statistics behind one
+//! > validated `Katme::builder()` entry point, typed task handles, and a
+//! > live stats view. The types below are the building blocks the facade is
+//! > made of; depend on `katme-core` directly only when assembling a custom
+//! > pipeline.
+//!
 //! The three scheduling policies from the paper are provided:
 //!
 //! * [`RoundRobinScheduler`] — key-less baseline, dispatches cyclically.
@@ -19,7 +26,8 @@
 //!
 //! On top of the schedulers, [`Executor`] runs the worker pool and task
 //! queues (Figure 1(c) of the paper: parallel executors embedded in the
-//! producers), and [`driver`] reproduces the paper's timed test driver.
+//! producers). The paper's timed test driver lives in the facade as
+//! `katme::Driver`.
 //!
 //! ```
 //! use katme_core::prelude::*;
@@ -38,7 +46,6 @@
 
 pub mod adaptive;
 pub mod cdf;
-pub mod driver;
 pub mod executor;
 pub mod histogram;
 pub mod key;
@@ -50,10 +57,9 @@ pub mod stats;
 
 pub use adaptive::AdaptiveKeyScheduler;
 pub use cdf::PiecewiseCdf;
-pub use driver::{Driver, DriverConfig, RunResult};
-pub use executor::{Executor, ExecutorConfig};
+pub use executor::{Executor, ExecutorConfig, ExecutorReport, ShutdownGate, SubmitError};
 pub use histogram::Histogram;
-pub use key::{BucketKeyMapper, ConstantKeyMapper, DictKeyMapper, KeyBounds, KeyMapper};
+pub use key::{BucketKeyMapper, ConstantKeyMapper, DictKeyMapper, KeyBounds, KeyMapper, TxnKey};
 pub use models::ExecutorModel;
 pub use partition::KeyPartition;
 pub use sample_size::required_samples;
@@ -63,11 +69,8 @@ pub use stats::{LoadBalance, WorkerCounters};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::adaptive::AdaptiveKeyScheduler;
-    pub use crate::driver::{Driver, DriverConfig, RunResult};
-    pub use crate::executor::{Executor, ExecutorConfig};
-    pub use crate::key::{BucketKeyMapper, DictKeyMapper, KeyBounds, KeyMapper};
+    pub use crate::executor::{Executor, ExecutorConfig, ExecutorReport, SubmitError};
+    pub use crate::key::{BucketKeyMapper, DictKeyMapper, KeyBounds, KeyMapper, TxnKey};
     pub use crate::models::ExecutorModel;
-    pub use crate::scheduler::{
-        FixedKeyScheduler, RoundRobinScheduler, Scheduler, SchedulerKind,
-    };
+    pub use crate::scheduler::{FixedKeyScheduler, RoundRobinScheduler, Scheduler, SchedulerKind};
 }

@@ -24,7 +24,10 @@ pub fn required_samples(confidence: f64, accuracy: f64) -> usize {
         confidence > 0.0 && confidence < 1.0,
         "confidence must be in (0, 1)"
     );
-    assert!(accuracy > 0.0 && accuracy < 1.0, "accuracy must be in (0, 1)");
+    assert!(
+        accuracy > 0.0 && accuracy < 1.0,
+        "accuracy must be in (0, 1)"
+    );
     let z = normal_quantile(0.5 + confidence / 2.0);
     ((z * z) / (4.0 * accuracy * accuracy)).ceil() as usize
 }
@@ -39,7 +42,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

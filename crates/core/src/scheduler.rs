@@ -34,6 +34,12 @@ pub trait Scheduler: Send + Sync {
         None
     }
 
+    /// How many times the policy has recomputed its partition (0 for static
+    /// policies; the adaptive scheduler counts its PD-partition adaptations).
+    fn repartitions(&self) -> u64 {
+        0
+    }
+
     /// One-line description of the current state (partition boundaries,
     /// adaptation status) for the harness' verbose output.
     fn describe(&self) -> String {
@@ -74,9 +80,7 @@ impl SchedulerKind {
     pub fn build(&self, workers: usize, bounds: KeyBounds) -> std::sync::Arc<dyn Scheduler> {
         match self {
             SchedulerKind::RoundRobin => std::sync::Arc::new(RoundRobinScheduler::new(workers)),
-            SchedulerKind::FixedKey => {
-                std::sync::Arc::new(FixedKeyScheduler::new(workers, bounds))
-            }
+            SchedulerKind::FixedKey => std::sync::Arc::new(FixedKeyScheduler::new(workers, bounds)),
             SchedulerKind::AdaptiveKey => {
                 std::sync::Arc::new(AdaptiveKeyScheduler::new(workers, bounds))
             }

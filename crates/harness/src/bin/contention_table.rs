@@ -21,7 +21,7 @@ fn main() {
         let rows = contention_table(&opts, distribution);
         for structure in katme_collections::StructureKind::ALL {
             print!("{:>14}", structure.name());
-            for scheduler in katme_core::scheduler::SchedulerKind::ALL {
+            for scheduler in katme::SchedulerKind::ALL {
                 let ratio = rows
                     .iter()
                     .find(|(s, k, _)| *s == structure && *k == scheduler)

@@ -1,9 +1,7 @@
 //! Experiment runners, one per table/figure of the paper.
 
+use katme::{Driver, DriverConfig, ExecutorModel, RunResult, SchedulerKind};
 use katme_collections::StructureKind;
-use katme_core::driver::{Driver, DriverConfig, RunResult};
-use katme_core::models::ExecutorModel;
-use katme_core::scheduler::SchedulerKind;
 use katme_workload::DistributionKind;
 
 use crate::options::HarnessOptions;
@@ -143,7 +141,8 @@ pub fn fig4_overhead(opts: &HarnessOptions) -> Vec<Fig4Row> {
             no_exec.push(driver.run_trivial(false));
             with_exec.push(driver.run_trivial(true));
         }
-        let mean = |rs: &[RunResult]| rs.iter().map(|r| r.throughput).sum::<f64>() / rs.len() as f64;
+        let mean =
+            |rs: &[RunResult]| rs.iter().map(|r| r.throughput).sum::<f64>() / rs.len() as f64;
         rows.push(Fig4Row {
             workers,
             no_executor: mean(&no_exec),
@@ -208,8 +207,8 @@ pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
                 .with_workers(workers)
                 .with_model(model)
                 .with_scheduler(SchedulerKind::AdaptiveKey);
-            let result =
-                Driver::new(config).run_dictionary(StructureKind::HashTable, DistributionKind::Uniform);
+            let result = Driver::new(config)
+                .run_dictionary(StructureKind::HashTable, DistributionKind::Uniform);
             (model, result.throughput)
         })
         .collect()

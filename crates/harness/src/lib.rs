@@ -15,6 +15,9 @@
 //! the full suite completes in a couple of minutes on a laptop; the paper's
 //! original parameters (10-second windows, 10 repetitions, 16 workers) are a
 //! flag away.
+//!
+//! Every experiment runs through the [`katme::Katme`] facade (via
+//! [`katme::Driver`]): one `Katme::builder()` configuration per data point.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

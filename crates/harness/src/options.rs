@@ -60,8 +60,7 @@ impl HarnessOptions {
                     opts.max_threads = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?
                 }
                 "--producers" | "-p" => {
-                    opts.producers =
-                        Some(next_value(&mut iter, arg)?.parse().map_err(bad(arg))?)
+                    opts.producers = Some(next_value(&mut iter, arg)?.parse().map_err(bad(arg))?)
                 }
                 "--preload" => {
                     opts.preload = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?

@@ -1,0 +1,347 @@
+//! `Katme::builder()` — the validated entry point of the facade.
+
+use std::sync::Arc;
+
+use katme_core::adaptive::AdaptiveKeyScheduler;
+use katme_core::executor::ExecutorConfig;
+use katme_core::key::{KeyBounds, TxnKey};
+use katme_core::models::ExecutorModel;
+use katme_core::scheduler::{Scheduler, SchedulerKind};
+use katme_queue::QueueKind;
+use katme_stm::{CmKind, Stm, StmConfig};
+
+use crate::error::KatmeError;
+use crate::runtime::Runtime;
+
+/// The facade's entry point. [`Katme::builder`] composes STM configuration,
+/// scheduling policy, queue implementation, executor model, worker/producer
+/// counts and back-pressure into one validated [`Runtime`].
+///
+/// ```
+/// use katme::{Katme, WithKey};
+///
+/// let runtime = Katme::builder()
+///     .workers(2)
+///     .build(|_worker, task: WithKey<u64>| task.task * 2)
+///     .unwrap();
+/// let handle = runtime.submit(WithKey::new(7, 21)).unwrap();
+/// assert_eq!(handle.wait().unwrap(), 42);
+/// runtime.shutdown();
+/// ```
+pub struct Katme;
+
+impl Katme {
+    /// Start configuring a runtime.
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+}
+
+/// Configuration of a [`Runtime`], built by [`Katme::builder`].
+///
+/// Every setting has a paper-faithful default: 4 workers, 4 producers, the
+/// adaptive scheduler over the 16-bit dictionary key space, the two-lock
+/// queue, the parallel-executors model, Polka contention management, and a
+/// 10 000-task back-pressure bound. [`Builder::build`] validates the
+/// combination and rejects misconfigurations with
+/// [`KatmeError::InvalidConfig`] instead of panicking deep in a worker.
+#[derive(Clone)]
+pub struct Builder {
+    workers: usize,
+    producers: usize,
+    key_min: TxnKey,
+    key_max: TxnKey,
+    scheduler: SchedulerKind,
+    scheduler_instance: Option<Arc<dyn Scheduler>>,
+    sample_threshold: Option<usize>,
+    queue: QueueKind,
+    model: ExecutorModel,
+    stm_config: StmConfig,
+    stm_instance: Option<Stm>,
+    max_queue_depth: Option<usize>,
+    drain_on_shutdown: bool,
+    work_stealing: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let bounds = KeyBounds::dict16();
+        Builder {
+            workers: 4,
+            producers: 4,
+            key_min: bounds.min,
+            key_max: bounds.max,
+            scheduler: SchedulerKind::AdaptiveKey,
+            scheduler_instance: None,
+            sample_threshold: None,
+            queue: QueueKind::TwoLock,
+            model: ExecutorModel::Parallel,
+            stm_config: StmConfig::default(),
+            stm_instance: None,
+            max_queue_depth: Some(10_000),
+            drain_on_shutdown: true,
+            work_stealing: false,
+        }
+    }
+}
+
+impl Builder {
+    /// Number of worker threads (must be at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Producer-count hint, used by the experiment driver and reports; the
+    /// runtime accepts submissions from any number of threads regardless.
+    pub fn producers(mut self, producers: usize) -> Self {
+        self.producers = producers;
+        self
+    }
+
+    /// Inclusive transaction-key range the schedulers partition
+    /// (validated at [`Builder::build`]; `min > max` is rejected).
+    pub fn key_range(mut self, min: TxnKey, max: TxnKey) -> Self {
+        self.key_min = min;
+        self.key_max = max;
+        self
+    }
+
+    /// Key range from existing [`KeyBounds`].
+    pub fn key_bounds(mut self, bounds: KeyBounds) -> Self {
+        self.key_min = bounds.min;
+        self.key_max = bounds.max;
+        self
+    }
+
+    /// Scheduling policy (round-robin / fixed / adaptive).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Use a pre-built scheduler instance instead of constructing one from
+    /// [`Builder::scheduler`] — e.g. an [`AdaptiveKeyScheduler`] seeded from
+    /// a recorded trace. The instance's worker count overrides
+    /// [`Builder::workers`].
+    pub fn scheduler_instance(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler_instance = Some(scheduler);
+        self
+    }
+
+    /// Samples the adaptive scheduler collects before its first adaptation
+    /// (defaults to the paper's 10 000).
+    pub fn sample_threshold(mut self, threshold: usize) -> Self {
+        self.sample_threshold = Some(threshold);
+        self
+    }
+
+    /// Task-queue implementation for the worker queues.
+    pub fn queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Executor wiring (Figure 1 of the paper): no-executor, centralized
+    /// dispatcher, or parallel executors (default).
+    pub fn model(mut self, model: ExecutorModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// STM configuration for the runtime's [`Stm`] instance.
+    pub fn stm_config(mut self, config: StmConfig) -> Self {
+        self.stm_config = config;
+        self
+    }
+
+    /// Share an existing [`Stm`] instance (cloning shares statistics) —
+    /// needed when the handler closes over data structures already built on
+    /// that instance.
+    pub fn stm(mut self, stm: Stm) -> Self {
+        self.stm_instance = Some(stm);
+        self
+    }
+
+    /// Contention-management policy (shorthand for the matching
+    /// [`Builder::stm_config`] tweak).
+    pub fn contention_manager(mut self, cm: CmKind) -> Self {
+        self.stm_config = self.stm_config.with_contention_manager(cm);
+        self
+    }
+
+    /// Back-pressure bound per worker queue; `None` disables it. A bound of
+    /// zero is rejected at build time.
+    pub fn max_queue_depth(mut self, depth: Option<usize>) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Whether workers drain their queues before exiting at shutdown
+    /// (default true: every accepted task with a live [`crate::TaskHandle`]
+    /// resolves).
+    pub fn drain_on_shutdown(mut self, drain: bool) -> Self {
+        self.drain_on_shutdown = drain;
+        self
+    }
+
+    /// Allow idle workers to steal from other workers' queues.
+    pub fn work_stealing(mut self, stealing: bool) -> Self {
+        self.work_stealing = stealing;
+        self
+    }
+
+    fn validate(&self) -> Result<KeyBounds, KatmeError> {
+        if self.scheduler_instance.is_none() && self.workers == 0 {
+            return Err(KatmeError::InvalidConfig(
+                "workers must be at least 1".into(),
+            ));
+        }
+        if self.producers == 0 {
+            return Err(KatmeError::InvalidConfig(
+                "producers must be at least 1".into(),
+            ));
+        }
+        if self.key_min > self.key_max {
+            return Err(KatmeError::InvalidConfig(format!(
+                "inverted key bounds: min {} > max {}",
+                self.key_min, self.key_max
+            )));
+        }
+        if self.max_queue_depth == Some(0) {
+            return Err(KatmeError::InvalidConfig(
+                "max_queue_depth of 0 would reject every submission; use None to disable \
+                 back-pressure"
+                    .into(),
+            ));
+        }
+        if let Some(instance) = &self.scheduler_instance {
+            if instance.workers() == 0 {
+                return Err(KatmeError::InvalidConfig(
+                    "scheduler instance routes to 0 workers".into(),
+                ));
+            }
+        }
+        Ok(KeyBounds::new(self.key_min, self.key_max))
+    }
+
+    /// Validate the configuration and start the runtime. `handler` is what
+    /// worker threads run for each task: `handler(worker_index, task) -> R`,
+    /// with `R` delivered through the task's [`crate::TaskHandle`].
+    pub fn build<T, R, F>(self, handler: F) -> Result<Runtime<T, R>, KatmeError>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        let bounds = self.validate()?;
+        let scheduler: Arc<dyn Scheduler> = match &self.scheduler_instance {
+            Some(instance) => Arc::clone(instance),
+            None => match (self.scheduler, self.sample_threshold) {
+                (SchedulerKind::AdaptiveKey, Some(threshold)) => Arc::new(
+                    AdaptiveKeyScheduler::new(self.workers, bounds)
+                        .with_sample_threshold(threshold),
+                ),
+                (kind, _) => kind.build(self.workers, bounds),
+            },
+        };
+        let stm = match self.stm_instance {
+            Some(stm) => stm,
+            None => Stm::new(self.stm_config),
+        };
+        let executor_config = ExecutorConfig::default()
+            .with_queue(self.queue)
+            .with_drain_on_shutdown(self.drain_on_shutdown)
+            .with_work_stealing(self.work_stealing)
+            .with_max_queue_depth(self.max_queue_depth);
+        Ok(Runtime::start(
+            self.model,
+            scheduler,
+            Arc::new(handler),
+            executor_config,
+            stm,
+            self.producers,
+        ))
+    }
+}
+
+impl std::fmt::Debug for Builder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Builder")
+            .field("workers", &self.workers)
+            .field("producers", &self.producers)
+            .field("key_range", &(self.key_min, self.key_max))
+            .field("scheduler", &self.scheduler)
+            .field("has_scheduler_instance", &self.scheduler_instance.is_some())
+            .field("queue", &self.queue)
+            .field("model", &self.model)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .field("drain_on_shutdown", &self.drain_on_shutdown)
+            .field("work_stealing", &self.work_stealing)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_handler() -> impl Fn(usize, u64) -> u64 + Send + Sync + 'static {
+        |_worker, task| task
+    }
+
+    #[test]
+    fn default_builder_starts_a_runtime() {
+        let runtime = Katme::builder().build(noop_handler()).unwrap();
+        assert_eq!(runtime.workers(), 4);
+        assert_eq!(runtime.model(), ExecutorModel::Parallel);
+        assert!(runtime.is_running());
+        let report = runtime.shutdown();
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let err = Katme::builder()
+            .workers(0)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("workers")));
+    }
+
+    #[test]
+    fn inverted_key_bounds_are_rejected() {
+        let err = Katme::builder()
+            .key_range(100, 10)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("inverted")));
+    }
+
+    #[test]
+    fn zero_depth_and_zero_producers_are_rejected() {
+        assert!(Katme::builder()
+            .max_queue_depth(Some(0))
+            .build(noop_handler())
+            .is_err());
+        assert!(Katme::builder().producers(0).build(noop_handler()).is_err());
+    }
+
+    #[test]
+    fn scheduler_instance_overrides_worker_count() {
+        let scheduler = Arc::new(AdaptiveKeyScheduler::new(3, KeyBounds::dict16()));
+        let runtime = Katme::builder()
+            .workers(8)
+            .scheduler_instance(scheduler)
+            .build(noop_handler())
+            .unwrap();
+        assert_eq!(runtime.workers(), 3);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn builder_debug_is_stable() {
+        let debug = format!("{:?}", Katme::builder().workers(2));
+        assert!(debug.contains("workers: 2"));
+    }
+}

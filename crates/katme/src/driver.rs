@@ -1,0 +1,526 @@
+//! The test driver: timed benchmark runs, rebuilt on the facade.
+//!
+//! "The entire system is orchestrated by a test driver thread, which selects
+//! the designated benchmark, starts the producer threads, records the
+//! starting time, starts the worker threads, and stops the producer and
+//! worker threads after the test period. After the test is stopped, the
+//! driver thread collects local statistics from the worker threads and
+//! reports the cumulative throughput."
+//!
+//! [`Driver`] reproduces that protocol for every combination the harness
+//! needs: benchmark structure × key distribution × scheduler × worker count,
+//! across all three executor models of Figure 1 — all expressed as
+//! [`Katme::builder`] configurations of one [`Runtime`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use katme_collections::{Dictionary, StructureKind};
+use katme_core::key::{BucketKeyMapper, KeyMapper};
+use katme_core::models::ExecutorModel;
+use katme_core::scheduler::SchedulerKind;
+use katme_core::stats::LoadBalance;
+use katme_queue::QueueKind;
+use katme_stm::{CmKind, Stm, StmConfig, StmStatsSnapshot, TVar};
+use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
+
+use crate::builder::Katme;
+use crate::runtime::Runtime;
+use crate::task::WithKey;
+
+/// Configuration of one timed run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of producer threads ("we use four parallel producers, eight
+    /// for the hash table benchmark").
+    pub producers: usize,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Executor wiring (Figure 1).
+    pub model: ExecutorModel,
+    /// Length of the measurement window (the paper uses 10 seconds; the
+    /// harness defaults to a few hundred milliseconds so full sweeps finish
+    /// on laptop-class machines — pass `--seconds` to scale up).
+    pub duration: Duration,
+    /// Task-queue implementation.
+    pub queue: QueueKind,
+    /// Contention manager for the STM ("Polka" in the paper).
+    pub contention_manager: CmKind,
+    /// Enable work stealing for idle workers.
+    pub work_stealing: bool,
+    /// Producer back-pressure bound (tasks per queue).
+    pub max_queue_depth: Option<usize>,
+    /// Seed for the workload generators (each producer derives its own
+    /// stream from this seed).
+    pub seed: u64,
+    /// Number of keys pre-inserted into the structure before the timed
+    /// window, so inserts and deletes both find work to do from the start.
+    pub preload: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            workers: 4,
+            producers: 4,
+            scheduler: SchedulerKind::AdaptiveKey,
+            model: ExecutorModel::Parallel,
+            duration: Duration::from_millis(200),
+            queue: QueueKind::TwoLock,
+            contention_manager: CmKind::Polka,
+            work_stealing: false,
+            max_queue_depth: Some(10_000),
+            seed: 0x5eed,
+            preload: 10_000,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the number of producers.
+    pub fn with_producers(mut self, producers: usize) -> Self {
+        self.producers = producers.max(1);
+        self
+    }
+
+    /// Set the scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Set the executor model.
+    pub fn with_model(mut self, model: ExecutorModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Set the task-queue implementation.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Set the contention manager.
+    pub fn with_contention_manager(mut self, cm: CmKind) -> Self {
+        self.contention_manager = cm;
+        self
+    }
+
+    /// Enable or disable work stealing.
+    pub fn with_work_stealing(mut self, stealing: bool) -> Self {
+        self.work_stealing = stealing;
+        self
+    }
+
+    /// Set (or clear) the producer back-pressure bound.
+    pub fn with_max_queue_depth(mut self, depth: Option<usize>) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Set the number of pre-inserted keys.
+    pub fn with_preload(mut self, preload: usize) -> Self {
+        self.preload = preload;
+        self
+    }
+
+    /// Set the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of one timed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheduler that produced this result.
+    pub scheduler: SchedulerKind,
+    /// Executor model used.
+    pub model: ExecutorModel,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Producer threads used.
+    pub producers: usize,
+    /// Wall-clock length of the measurement window.
+    pub elapsed: Duration,
+    /// Transactions completed inside the window.
+    pub completed: u64,
+    /// Transactions generated by the producers inside the window.
+    pub produced: u64,
+    /// Completed transactions per second.
+    pub throughput: f64,
+    /// Per-worker completion counts.
+    pub load: LoadBalance,
+    /// STM activity during the window (commits, aborts, backoffs).
+    pub stm: StmStatsSnapshot,
+}
+
+impl RunResult {
+    /// Conflict (abort) instances per committed transaction — the
+    /// "frequency of contentions" the paper reports alongside throughput.
+    pub fn contention_ratio(&self) -> f64 {
+        self.stm.contention_ratio()
+    }
+}
+
+/// The timed-run driver.
+#[derive(Debug, Clone, Default)]
+pub struct Driver {
+    config: DriverConfig,
+}
+
+impl Driver {
+    /// Create a driver with the given configuration.
+    pub fn new(config: DriverConfig) -> Self {
+        Driver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.config
+    }
+
+    /// Number of producer threads for the configured model: the no-executor
+    /// model has no separate producers ("each thread is both producer and
+    /// worker"), so it runs `workers` generating threads.
+    fn producer_threads(&self) -> usize {
+        match self.config.model {
+            ExecutorModel::NoExecutor => self.config.workers,
+            _ => self.config.producers,
+        }
+    }
+
+    fn runtime_builder(&self) -> crate::builder::Builder {
+        let cfg = &self.config;
+        Katme::builder()
+            .workers(cfg.workers)
+            .producers(self.producer_threads())
+            .scheduler(cfg.scheduler)
+            .model(cfg.model)
+            .queue(cfg.queue)
+            .work_stealing(cfg.work_stealing)
+            .max_queue_depth(cfg.max_queue_depth)
+            // The paper's driver "stops the producer and worker threads
+            // after the test period": leftover queue contents are abandoned
+            // and reported, not drained.
+            .drain_on_shutdown(false)
+    }
+
+    /// Run the dictionary microbenchmark (the paper's §4.2): producer
+    /// threads generate insert/delete transactions with keys drawn from
+    /// `distribution` and workers execute them against a freshly built
+    /// `structure` through the facade runtime.
+    pub fn run_dictionary(
+        &self,
+        structure: StructureKind,
+        distribution: DistributionKind,
+    ) -> RunResult {
+        let cfg = &self.config;
+        let stm = Stm::new(StmConfig::default().with_contention_manager(cfg.contention_manager));
+        let dict = structure.build(stm.clone());
+        preload(&*dict, cfg.preload, cfg.seed, distribution);
+
+        // The transaction key: the hash-bucket index for the hash table (the
+        // paper's §4.2), the dictionary key itself for tree and list.
+        let bounds = match structure {
+            StructureKind::HashTable => KeyMapper::<TxnSpec>::bounds(&BucketKeyMapper::paper()),
+            _ => katme_core::key::KeyBounds::dict16(),
+        };
+
+        let dict_for_workers = Arc::clone(&dict);
+        let runtime = self
+            .runtime_builder()
+            .key_bounds(bounds)
+            .stm(stm)
+            .build(move |_worker, task: WithKey<TxnSpec>| {
+                apply_spec(&*dict_for_workers, &task.task);
+            })
+            .expect("DriverConfig produces a valid runtime configuration");
+
+        let (_produced, per_producer, elapsed) = drive_window(
+            &runtime,
+            cfg.duration,
+            self.producer_threads(),
+            |producer| {
+                let mut gen =
+                    OpGenerator::paper(distribution, cfg.seed.wrapping_add(1000 + producer as u64));
+                let bucket_mapper = BucketKeyMapper::paper();
+                move || {
+                    let spec = gen.next_spec();
+                    let key = match structure {
+                        StructureKind::HashTable => bucket_mapper.key(&spec),
+                        _ => u64::from(spec.key),
+                    };
+                    WithKey::new(key, spec)
+                }
+            },
+        );
+        self.collect(runtime, &per_producer, elapsed)
+    }
+
+    /// The Figure-4 overhead study: trivial transactions (a single-TVar
+    /// increment) executed either by free-running threads
+    /// (`use_executor == false`, Figure 1(a)) or through the executor with
+    /// the configured number of producers (`use_executor == true`).
+    pub fn run_trivial(&self, use_executor: bool) -> RunResult {
+        let cfg = &self.config;
+        let stm = Stm::new(StmConfig::default().with_contention_manager(cfg.contention_manager));
+        // One counter per lane: trivial transactions do not conflict, so the
+        // measurement isolates executor overhead exactly as in the paper.
+        let counters: Arc<Vec<TVar<u64>>> =
+            Arc::new((0..cfg.workers).map(|_| TVar::new(0u64)).collect());
+
+        if !use_executor {
+            // Figure 1(a) through the facade: the no-executor model runs the
+            // transaction inline in each generating thread; the payload
+            // carries the thread's counter lane. Unlike the paper's bare
+            // loop, this baseline pays the facade's small fixed dispatch
+            // cost per task (see `StripedCounter` in the runtime), slightly
+            // understating the measured executor overhead; the qualitative
+            // Figure-4 shape is unaffected.
+            let stm_for_workers = stm.clone();
+            let counters_for_workers = Arc::clone(&counters);
+            let runtime = Driver::new(self.config.clone().with_model(ExecutorModel::NoExecutor))
+                .runtime_builder()
+                .stm(stm)
+                .build(move |_worker, lane: WithKey<usize>| {
+                    stm_for_workers
+                        .atomically(|tx| tx.modify(&counters_for_workers[lane.task], |v| v + 1));
+                })
+                .expect("DriverConfig produces a valid runtime configuration");
+            let (_produced, per_producer, elapsed) =
+                drive_window(&runtime, cfg.duration, cfg.workers, |producer| {
+                    move || WithKey::new(producer as u64, producer)
+                });
+            let mut result = self.collect(runtime, &per_producer, elapsed);
+            result.producers = 0;
+            return result;
+        }
+
+        // Executor mode: producers enqueue unit tasks, workers run the
+        // trivial transaction against their own counter. The configured
+        // model is honoured except for NoExecutor, which would degenerate
+        // into the free-running side of the comparison — force the paper's
+        // parallel pipeline instead.
+        let model = match cfg.model {
+            ExecutorModel::NoExecutor => ExecutorModel::Parallel,
+            other => other,
+        };
+        let stm_for_workers = stm.clone();
+        let counters_for_workers = Arc::clone(&counters);
+        let runtime = self
+            .runtime_builder()
+            .model(model)
+            .key_range(0, u64::from(u16::MAX))
+            .stm(stm)
+            .build(move |worker, _task: WithKey<TxnSpec>| {
+                stm_for_workers
+                    .atomically(|tx| tx.modify(&counters_for_workers[worker], |v| v + 1));
+            })
+            .expect("DriverConfig produces a valid runtime configuration");
+        let (_produced, per_producer, elapsed) =
+            drive_window(&runtime, cfg.duration, cfg.producers, |producer| {
+                let mut gen = OpGenerator::paper(
+                    DistributionKind::Uniform,
+                    cfg.seed.wrapping_add(1000 + producer as u64),
+                );
+                move || {
+                    let spec = gen.next_spec();
+                    WithKey::new(u64::from(spec.key), spec)
+                }
+            });
+        let mut result = self.collect(runtime, &per_producer, elapsed);
+        result.producers = cfg.producers;
+        result
+    }
+
+    /// Read the live stats at the end of the window, shut the runtime down,
+    /// and assemble the run result. Under the no-executor model the genuine
+    /// per-thread completion counts come from the producers themselves
+    /// (inline execution: produced == completed per thread), not from the
+    /// runtime's aggregate counter.
+    fn collect<T: Send + 'static, R: Send + 'static>(
+        &self,
+        runtime: Runtime<T, R>,
+        per_producer: &[u64],
+        elapsed: Duration,
+    ) -> RunResult {
+        let cfg = &self.config;
+        let model = runtime.model();
+        let stats = runtime.stats();
+        runtime.shutdown();
+        let load = match model {
+            ExecutorModel::NoExecutor => LoadBalance::new(per_producer.to_vec()),
+            _ => LoadBalance::new(stats.per_worker_completed),
+        };
+        RunResult {
+            scheduler: cfg.scheduler,
+            model,
+            workers: cfg.workers,
+            producers: self.producer_threads(),
+            elapsed,
+            completed: stats.completed,
+            produced: per_producer.iter().sum(),
+            throughput: stats.completed as f64 / elapsed.as_secs_f64(),
+            load,
+            stm: stats.stm,
+        }
+    }
+}
+
+/// Run `producers` generating threads against `runtime` for `duration`:
+/// each thread gets its own task generator from `factory` and submits until
+/// the window closes (or the runtime refuses new work). Returns the total
+/// and per-producer submission counts (each producer tallies locally — no
+/// shared counter on the submission hot path) plus the elapsed window.
+fn drive_window<T, R, F, G>(
+    runtime: &Runtime<WithKey<T>, R>,
+    duration: Duration,
+    producers: usize,
+    factory: F,
+) -> (u64, Vec<u64>, Duration)
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(usize) -> G + Sync,
+    G: FnMut() -> WithKey<T> + Send,
+{
+    let run = AtomicBool::new(true);
+    let started = Instant::now();
+    let per_producer: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|producer| {
+                let run = &run;
+                let mut generate = factory(producer);
+                scope.spawn(move || {
+                    let mut local = 0u64;
+                    while run.load(Ordering::Relaxed) {
+                        if runtime.submit_detached(generate()).is_err() {
+                            break;
+                        }
+                        local += 1;
+                    }
+                    local
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        run.store(false, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("producer thread panicked"))
+            .collect()
+    });
+    let produced = per_producer.iter().sum();
+    (produced, per_producer, started.elapsed())
+}
+
+/// Apply one generated transaction to a dictionary — the canonical
+/// spec-to-operation mapping shared by the driver, the benches and the
+/// integration tests.
+pub fn apply_spec(dict: &dyn Dictionary, spec: &TxnSpec) {
+    match spec.op {
+        OpKind::Insert => {
+            dict.insert(spec.key, spec.value);
+        }
+        OpKind::Delete => {
+            dict.remove(spec.key);
+        }
+        OpKind::Lookup => {
+            dict.lookup(spec.key);
+        }
+    }
+}
+
+/// Pre-populate a dictionary so deletes find keys to remove from the start.
+fn preload(dict: &dyn Dictionary, count: usize, seed: u64, distribution: DistributionKind) {
+    let mut gen = OpGenerator::paper(distribution, seed.wrapping_mul(31).wrapping_add(7));
+    for _ in 0..count {
+        let spec = gen.next_spec();
+        dict.insert(spec.key, spec.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_config_builder() {
+        let cfg = DriverConfig::new()
+            .with_workers(8)
+            .with_producers(2)
+            .with_scheduler(SchedulerKind::FixedKey)
+            .with_model(ExecutorModel::Centralized)
+            .with_duration(Duration::from_millis(50))
+            .with_queue(QueueKind::Mutex)
+            .with_contention_manager(CmKind::Karma)
+            .with_work_stealing(true)
+            .with_max_queue_depth(Some(64))
+            .with_preload(5)
+            .with_seed(9);
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.producers, 2);
+        assert_eq!(cfg.scheduler, SchedulerKind::FixedKey);
+        assert_eq!(cfg.model, ExecutorModel::Centralized);
+        assert_eq!(cfg.queue, QueueKind::Mutex);
+        assert_eq!(cfg.contention_manager, CmKind::Karma);
+        assert!(cfg.work_stealing);
+        assert_eq!(cfg.max_queue_depth, Some(64));
+        assert_eq!(cfg.preload, 5);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn dictionary_run_completes_transactions_in_every_model() {
+        for model in ExecutorModel::ALL {
+            let config = DriverConfig::new()
+                .with_workers(2)
+                .with_producers(2)
+                .with_model(model)
+                .with_duration(Duration::from_millis(60))
+                .with_preload(200);
+            let result = Driver::new(config)
+                .run_dictionary(StructureKind::HashTable, DistributionKind::Uniform);
+            assert!(result.completed > 0, "{model}: {result:?}");
+            assert!(result.produced >= result.completed, "{model}: {result:?}");
+            assert!(result.throughput > 0.0, "{model}");
+        }
+    }
+
+    #[test]
+    fn trivial_run_reports_both_sides_of_figure_4() {
+        let config = DriverConfig::new()
+            .with_workers(2)
+            .with_duration(Duration::from_millis(50));
+        let driver = Driver::new(config);
+        let free_running = driver.run_trivial(false);
+        let through_executor = driver.run_trivial(true);
+        assert!(free_running.completed > 0);
+        assert!(through_executor.completed > 0);
+        assert_eq!(free_running.model, ExecutorModel::NoExecutor);
+        assert_eq!(free_running.producers, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! The unified error type of the facade.
+
+/// Everything that can go wrong when configuring or feeding a
+/// [`Runtime`](crate::Runtime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KatmeError {
+    /// The builder was given an invalid combination of settings; the message
+    /// names the offending knob.
+    InvalidConfig(String),
+    /// A non-blocking submission found the destination queue at its
+    /// `max_queue_depth` bound.
+    QueueFull,
+    /// The runtime has been stopped (or is tearing down); no new work is
+    /// accepted and producers blocked on back-pressure return promptly.
+    ShuttingDown,
+    /// The task was accepted but the runtime shut down before a worker
+    /// executed it (only possible with `drain_on_shutdown(false)`).
+    TaskAbandoned,
+    /// A bounded wait on a [`TaskHandle`](crate::TaskHandle) elapsed before
+    /// the task completed.
+    Timeout,
+}
+
+impl std::fmt::Display for KatmeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KatmeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            KatmeError::QueueFull => f.write_str("task queue is at its depth bound"),
+            KatmeError::ShuttingDown => f.write_str("runtime is shutting down"),
+            KatmeError::TaskAbandoned => f.write_str("task was abandoned in a queue at shutdown"),
+            KatmeError::Timeout => f.write_str("timed out waiting for the task result"),
+        }
+    }
+}
+
+impl std::error::Error for KatmeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(KatmeError::InvalidConfig("zero workers".into())
+            .to_string()
+            .contains("zero workers"));
+        assert!(KatmeError::QueueFull.to_string().contains("depth"));
+        assert!(KatmeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+}

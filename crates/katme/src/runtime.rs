@@ -1,0 +1,647 @@
+//! The running system: worker pool, optional central dispatcher, live stats.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use katme_core::executor::{Executor, ShutdownGate, SubmitError};
+use katme_core::key::TxnKey;
+use katme_core::models::ExecutorModel;
+use katme_core::scheduler::Scheduler;
+use katme_core::stats::LoadBalance;
+use katme_queue::{Backoff, TwoLockQueue};
+use katme_stm::{Stm, StmStatsSnapshot};
+
+use crate::error::KatmeError;
+use crate::task::{handle_pair, Completion, KeyedTask, TaskHandle};
+
+/// One queued unit of work: the pre-computed transaction key, the payload,
+/// and (for handle-returning submissions) the completion side of the handle.
+pub(crate) struct Envelope<T, R> {
+    key: TxnKey,
+    task: T,
+    completion: Option<Completion<R>>,
+}
+
+/// Stripe count for the inline-completion counters (power of two).
+const INLINE_STRIPES: usize = 16;
+
+/// Cache-line-aligned counter so striped increments do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCounter(AtomicU64);
+
+/// Per-thread-striped counter. The no-executor model increments this once
+/// per inline-executed task; striping keeps the Figure-1(a) baseline free of
+/// cross-thread cache-line *contention*. (The baseline still pays the
+/// facade's fixed per-task costs — an accepting-flag load, a dyn-Fn handler
+/// call, one striped increment — a few nanoseconds against STM transactions
+/// costing hundreds; the paper's qualitative overhead shape is preserved.)
+struct StripedCounter {
+    stripes: Vec<PaddedCounter>,
+}
+
+impl StripedCounter {
+    fn new() -> Self {
+        StripedCounter {
+            stripes: (0..INLINE_STRIPES)
+                .map(|_| PaddedCounter::default())
+                .collect(),
+        }
+    }
+
+    fn increment(&self) {
+        let stripe = thread_stripe() & (INLINE_STRIPES - 1);
+        self.stripes[stripe].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Small, stable per-thread index (assigned round-robin on first use).
+fn thread_stripe() -> usize {
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|slot| {
+        let mut stripe = slot.get();
+        if stripe == usize::MAX {
+            stripe = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+            slot.set(stripe);
+        }
+        stripe
+    })
+}
+
+/// Central-dispatcher state for [`ExecutorModel::Centralized`] (Figure 1(b)):
+/// producers push raw envelopes onto one shared queue; a single dispatcher
+/// thread runs the scheduler and forwards to the worker queues.
+struct Central<T: Send + 'static, R: Send + 'static> {
+    queue: Arc<TwoLockQueue<Envelope<T, R>>>,
+    /// Intake gate guarding the central queue against dispatcher exit (the
+    /// same handshake the worker pool uses — see [`ShutdownGate`]).
+    gate: Arc<ShutdownGate>,
+    depth: Option<usize>,
+    dispatcher: Option<JoinHandle<()>>,
+    /// Envelopes the dispatcher could not forward because the worker pool
+    /// had already stopped (counted into `ShutdownReport::abandoned`).
+    dropped: Arc<AtomicU64>,
+}
+
+/// A built, running KATME system: STM + scheduler + queues + workers behind
+/// one handle. Created by [`Katme::builder`](crate::Katme::builder).
+///
+/// `T` is the task type (any [`KeyedTask`]), `R` the result type produced by
+/// the handler the runtime was built with.
+pub struct Runtime<T: Send + 'static, R: Send + 'static> {
+    model: ExecutorModel,
+    scheduler: Arc<dyn Scheduler>,
+    handler: Arc<dyn Fn(usize, T) -> R + Send + Sync>,
+    /// Worker pool (None for [`ExecutorModel::NoExecutor`]). Shared with the
+    /// central dispatcher thread under [`ExecutorModel::Centralized`];
+    /// shutdown joins the dispatcher first, then unwraps the `Arc`.
+    executor: Option<Arc<Executor<Envelope<T, R>>>>,
+    central: Option<Central<T, R>>,
+    accepting: Arc<AtomicBool>,
+    stm: Stm,
+    stm_baseline: StmStatsSnapshot,
+    started: Instant,
+    producers: usize,
+    drain_on_shutdown: bool,
+    /// Tasks accepted through the queued models (the no-executor model
+    /// counts via `inline_completed` instead, to keep its hot path free of
+    /// shared-counter contention).
+    submitted: AtomicU64,
+    /// Tasks executed inline by `submit` under [`ExecutorModel::NoExecutor`].
+    inline_completed: StripedCounter,
+}
+
+impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
+    pub(crate) fn start(
+        model: ExecutorModel,
+        scheduler: Arc<dyn Scheduler>,
+        handler: Arc<dyn Fn(usize, T) -> R + Send + Sync>,
+        executor_config: katme_core::executor::ExecutorConfig,
+        stm: Stm,
+        producers: usize,
+    ) -> Self {
+        let accepting = Arc::new(AtomicBool::new(true));
+        let max_queue_depth = executor_config.max_queue_depth;
+        let drain_on_shutdown = executor_config.drain_on_shutdown;
+
+        let executor = if model.uses_queues() {
+            let handler = Arc::clone(&handler);
+            Some(Arc::new(Executor::start(
+                executor_config,
+                Arc::clone(&scheduler),
+                move |worker, envelope: Envelope<T, R>| {
+                    let result = handler(worker, envelope.task);
+                    if let Some(completion) = envelope.completion {
+                        completion.complete(result);
+                    }
+                },
+            )))
+        } else {
+            None
+        };
+
+        let central = match (model, &executor) {
+            (ExecutorModel::Centralized, Some(executor)) => {
+                let queue: Arc<TwoLockQueue<Envelope<T, R>>> = Arc::new(TwoLockQueue::new());
+                let gate = Arc::new(ShutdownGate::new());
+                let dropped = Arc::new(AtomicU64::new(0));
+                let dispatcher = {
+                    let queue = Arc::clone(&queue);
+                    let gate = Arc::clone(&gate);
+                    let forward = Arc::clone(executor);
+                    let dropped = Arc::clone(&dropped);
+                    std::thread::Builder::new()
+                        .name("katme-dispatcher".into())
+                        .spawn(move || {
+                            let mut backoff = Backoff::new();
+                            loop {
+                                // Exit handshake (see ShutdownGate): must be
+                                // read *before* the dequeue below.
+                                let may_exit = gate.may_finish();
+                                match queue.dequeue() {
+                                    Some(envelope) => {
+                                        // A full worker queue applies back-
+                                        // pressure to the dispatcher itself.
+                                        // Once the workers have stopped (only
+                                        // in the no-drain teardown) the
+                                        // envelope is dropped: its handle
+                                        // resolves as abandoned and the drop
+                                        // is counted into the report.
+                                        if forward.submit_blocking(envelope.key, envelope).is_err()
+                                        {
+                                            dropped.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        backoff.reset();
+                                    }
+                                    None => {
+                                        if may_exit {
+                                            return;
+                                        }
+                                        backoff.snooze();
+                                    }
+                                }
+                            }
+                        })
+                        .expect("failed to spawn dispatcher thread")
+                };
+                Some(Central {
+                    queue,
+                    gate,
+                    depth: max_queue_depth,
+                    dispatcher: Some(dispatcher),
+                    dropped,
+                })
+            }
+            _ => None,
+        };
+
+        let stm_baseline = stm.snapshot();
+        Runtime {
+            model,
+            scheduler,
+            handler,
+            executor,
+            central,
+            accepting,
+            stm,
+            stm_baseline,
+            started: Instant::now(),
+            producers,
+            drain_on_shutdown,
+            submitted: AtomicU64::new(0),
+            inline_completed: StripedCounter::new(),
+        }
+    }
+
+    /// The executor model this runtime was built with.
+    pub fn model(&self) -> ExecutorModel {
+        self.model
+    }
+
+    /// Number of worker threads (1 for the no-executor model, where the
+    /// submitting thread is the worker).
+    pub fn workers(&self) -> usize {
+        self.executor
+            .as_ref()
+            .map_or(1, |executor| executor.workers())
+    }
+
+    /// The producer-count hint this runtime was configured with (used by the
+    /// experiment driver; the runtime itself accepts submissions from any
+    /// number of threads).
+    pub fn producers(&self) -> usize {
+        self.producers
+    }
+
+    /// The scheduling policy in effect.
+    pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.scheduler
+    }
+
+    /// The STM instance transactions run against (cloning shares counters).
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// True until [`Runtime::stop`] or [`Runtime::shutdown`] is called.
+    pub fn is_running(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Submit a task, blocking under back-pressure, and receive a typed
+    /// handle to its result. The task routes itself via [`KeyedTask::key`].
+    pub fn submit(&self, task: T) -> Result<TaskHandle<R>, KatmeError>
+    where
+        T: KeyedTask,
+    {
+        let (handle, completion) = handle_pair();
+        self.dispatch(task, Some(completion), true)?;
+        Ok(handle)
+    }
+
+    /// Non-blocking [`Runtime::submit`]: rejects with
+    /// [`KatmeError::QueueFull`] instead of waiting out back-pressure, and
+    /// with [`KatmeError::ShuttingDown`] once the runtime is stopping.
+    pub fn try_submit(&self, task: T) -> Result<TaskHandle<R>, KatmeError>
+    where
+        T: KeyedTask,
+    {
+        let (handle, completion) = handle_pair();
+        self.dispatch(task, Some(completion), false)?;
+        Ok(handle)
+    }
+
+    /// Fire-and-forget submission (no handle allocation) — the hot path for
+    /// throughput experiments. Blocks under back-pressure.
+    pub fn submit_detached(&self, task: T) -> Result<(), KatmeError>
+    where
+        T: KeyedTask,
+    {
+        self.dispatch(task, None, true)
+    }
+
+    /// Non-blocking [`Runtime::submit_detached`].
+    pub fn try_submit_detached(&self, task: T) -> Result<(), KatmeError>
+    where
+        T: KeyedTask,
+    {
+        self.dispatch(task, None, false)
+    }
+
+    fn dispatch(
+        &self,
+        task: T,
+        completion: Option<Completion<R>>,
+        blocking: bool,
+    ) -> Result<(), KatmeError>
+    where
+        T: KeyedTask,
+    {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(KatmeError::ShuttingDown);
+        }
+        let key = task.key();
+
+        match self.model {
+            ExecutorModel::NoExecutor => {
+                // Figure 1(a): the producer executes its own transaction
+                // synchronously — no scheduling, no queuing, so the model
+                // stays a clean zero-overhead baseline.
+                let _ = key;
+                let result = (self.handler)(0, task);
+                if let Some(completion) = completion {
+                    completion.complete(result);
+                }
+                self.inline_completed.increment();
+                Ok(())
+            }
+            ExecutorModel::Centralized => {
+                let central = self.central.as_ref().expect("centralized model");
+                let envelope = Envelope {
+                    key,
+                    task,
+                    completion,
+                };
+                if let Some(depth) = central.depth {
+                    if blocking {
+                        let mut backoff = Backoff::new();
+                        while central.queue.count() >= depth {
+                            if !self.accepting.load(Ordering::Acquire) {
+                                return Err(KatmeError::ShuttingDown);
+                            }
+                            backoff.snooze();
+                        }
+                    } else if central.queue.count() >= depth {
+                        return Err(KatmeError::QueueFull);
+                    }
+                }
+                // Count the acceptance before the enqueue so a concurrent
+                // stats() never observes completed > submitted.
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                if !central.gate.enter() {
+                    self.submitted.fetch_sub(1, Ordering::Relaxed);
+                    return Err(KatmeError::ShuttingDown);
+                }
+                central.queue.enqueue(envelope);
+                central.gate.exit();
+                Ok(())
+            }
+            ExecutorModel::Parallel => {
+                let executor = self.executor.as_ref().expect("parallel model");
+                let envelope = Envelope {
+                    key,
+                    task,
+                    completion,
+                };
+                // Count the acceptance before the push so a concurrent
+                // stats() never observes completed > submitted.
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                let outcome = if blocking {
+                    executor.submit_blocking(key, envelope)
+                } else {
+                    executor.try_submit(key, envelope)
+                };
+                match outcome {
+                    Ok(()) => Ok(()),
+                    Err(err) => {
+                        self.submitted.fetch_sub(1, Ordering::Relaxed);
+                        Err(match err {
+                            SubmitError::QueueFull(_) => KatmeError::QueueFull,
+                            SubmitError::ShuttingDown(_) => KatmeError::ShuttingDown,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tasks accepted so far.
+    pub fn submitted(&self) -> u64 {
+        match self.model {
+            // Inline execution: accepted == completed by construction.
+            ExecutorModel::NoExecutor => self.inline_completed.total(),
+            _ => self.submitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tasks executed so far, summed over workers.
+    pub fn completed(&self) -> u64 {
+        self.inline_completed.total()
+            + self
+                .executor
+                .as_ref()
+                .map_or(0, |executor| executor.completed())
+    }
+
+    /// Live statistics: queue depths, per-worker progress, STM abort rates,
+    /// scheduler repartition count — available at any point in the run, not
+    /// only from the terminal [`ShutdownReport`].
+    pub fn stats(&self) -> StatsView {
+        let per_worker_completed = match &self.executor {
+            Some(executor) => executor.per_worker_completed(),
+            None => vec![self.inline_completed.total()],
+        };
+        StatsView {
+            model: self.model,
+            scheduler: self.scheduler.name(),
+            workers: self.workers(),
+            uptime: self.started.elapsed(),
+            submitted: self.submitted(),
+            completed: per_worker_completed.iter().sum::<u64>(),
+            per_worker_completed,
+            queue_depths: self
+                .executor
+                .as_ref()
+                .map(|executor| executor.queue_lengths())
+                .unwrap_or_default(),
+            central_queue_depth: self
+                .central
+                .as_ref()
+                .map_or(0, |central| central.queue.count()),
+            repartitions: self.scheduler.repartitions(),
+            stm: self.stm.snapshot().since(&self.stm_baseline),
+        }
+    }
+
+    /// Initiate shutdown without blocking: new submissions are rejected with
+    /// [`KatmeError::ShuttingDown`]. What happens to already-accepted work
+    /// follows `drain_on_shutdown`:
+    ///
+    /// * draining (the default): workers — and the central dispatcher, when
+    ///   present — keep consuming until every accepted task has executed, so
+    ///   every live [`TaskHandle`] still resolves with a result;
+    /// * not draining: the worker pool stops promptly, producers blocked on
+    ///   back-pressure return [`KatmeError::ShuttingDown`] instead of
+    ///   pushing onto queues nobody will drain, and leftover tasks resolve
+    ///   their handles as [`KatmeError::TaskAbandoned`].
+    ///
+    /// Call [`Runtime::shutdown`] afterwards to join the threads and collect
+    /// the report; `stop` itself is safe to call from any thread, any number
+    /// of times.
+    pub fn stop(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        if let Some(central) = &self.central {
+            central.gate.close();
+        }
+        if !self.drain_on_shutdown {
+            if let Some(executor) = &self.executor {
+                executor.stop();
+            }
+        }
+    }
+
+    /// Stop producers and workers, join every thread, and report the run.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.accepting.store(false, Ordering::SeqCst);
+        let elapsed = self.started.elapsed();
+
+        // Tear down the dispatcher first so in-flight central envelopes are
+        // either forwarded (drain) or dropped (their handles resolve as
+        // abandoned) before the workers stop.
+        let mut central_abandoned = 0u64;
+        if let Some(central) = self.central.take() {
+            central.gate.close();
+            if let Some(dispatcher) = central.dispatcher {
+                let _ = dispatcher.join();
+            }
+            while central.queue.dequeue().is_some() {
+                central_abandoned += 1;
+            }
+            central_abandoned += central.dropped.load(Ordering::Relaxed);
+        }
+
+        let inline = self.inline_completed.total();
+
+        match self.executor.take() {
+            Some(executor) => {
+                let executor = Arc::into_inner(executor)
+                    .expect("dispatcher joined; runtime holds the last executor reference");
+                let report = executor.shutdown();
+                ShutdownReport {
+                    completed: report.completed() + inline,
+                    abandoned: report.abandoned + central_abandoned,
+                    stolen: report.stolen,
+                    idle_polls: report.idle_polls,
+                    load: report.load,
+                    elapsed,
+                    stm: self.stm.snapshot().since(&self.stm_baseline),
+                    repartitions: self.scheduler.repartitions(),
+                }
+            }
+            None => ShutdownReport {
+                completed: inline,
+                abandoned: 0,
+                stolen: 0,
+                idle_polls: 0,
+                load: LoadBalance::new(vec![inline]),
+                elapsed,
+                stm: self.stm.snapshot().since(&self.stm_baseline),
+                repartitions: self.scheduler.repartitions(),
+            },
+        }
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> std::fmt::Debug for Runtime<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("model", &self.model)
+            .field("scheduler", &self.scheduler.name())
+            .field("workers", &self.workers())
+            .field("running", &self.is_running())
+            .field("submitted", &self.submitted())
+            .field("completed", &self.completed())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> Drop for Runtime<T, R> {
+    /// Dropping a runtime without calling [`Runtime::shutdown`] still stops
+    /// and joins the dispatcher and worker threads.
+    fn drop(&mut self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        if let Some(central) = self.central.take() {
+            central.gate.close();
+            if let Some(dispatcher) = central.dispatcher {
+                let _ = dispatcher.join();
+            }
+        }
+        if let Some(executor) = self.executor.take() {
+            drop(executor); // Executor::drop stops and joins the workers.
+        }
+    }
+}
+
+/// Point-in-time view of a running [`Runtime`], from [`Runtime::stats`].
+#[derive(Debug, Clone)]
+pub struct StatsView {
+    /// Executor wiring in use.
+    pub model: ExecutorModel,
+    /// Scheduling policy name.
+    pub scheduler: &'static str,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Time since the runtime started.
+    pub uptime: Duration,
+    /// Tasks accepted so far.
+    pub submitted: u64,
+    /// Tasks executed so far.
+    pub completed: u64,
+    /// Tasks executed per worker.
+    pub per_worker_completed: Vec<u64>,
+    /// Current depth of each worker queue.
+    pub queue_depths: Vec<usize>,
+    /// Current depth of the central dispatch queue (centralized model only).
+    pub central_queue_depth: usize,
+    /// Times the scheduler has recomputed its partition.
+    pub repartitions: u64,
+    /// STM activity since the runtime started.
+    pub stm: StmStatsSnapshot,
+}
+
+impl StatsView {
+    /// Mean completed tasks per second since start.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Completed tasks per second, per worker.
+    pub fn per_worker_throughput(&self) -> Vec<f64> {
+        let secs = self.uptime.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.per_worker_completed
+            .iter()
+            .map(|&count| count as f64 / secs)
+            .collect()
+    }
+
+    /// STM aborts per committed transaction (the paper's "frequency of
+    /// contentions").
+    pub fn abort_rate(&self) -> f64 {
+        self.stm.contention_ratio()
+    }
+
+    /// Tasks currently waiting in queues (workers plus dispatcher).
+    pub fn backlog(&self) -> usize {
+        self.queue_depths.iter().sum::<usize>() + self.central_queue_depth
+    }
+
+    /// Max-over-mean completion imbalance across workers (1.0 = even).
+    pub fn imbalance(&self) -> f64 {
+        LoadBalance::new(self.per_worker_completed.clone()).imbalance()
+    }
+}
+
+/// Terminal summary returned by [`Runtime::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Tasks executed over the runtime's lifetime.
+    pub completed: u64,
+    /// Tasks left in queues at shutdown (non-zero only without draining).
+    pub abandoned: u64,
+    /// Tasks executed after being stolen from another worker's queue.
+    pub stolen: u64,
+    /// Worker polls that found no work.
+    pub idle_polls: u64,
+    /// Per-worker completion counts.
+    pub load: LoadBalance,
+    /// Wall-clock lifetime of the runtime.
+    pub elapsed: Duration,
+    /// STM activity over the runtime's lifetime.
+    pub stm: StmStatsSnapshot,
+    /// Times the scheduler recomputed its partition.
+    pub repartitions: u64,
+}
+
+impl ShutdownReport {
+    /// Mean completed tasks per second over the runtime's lifetime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// STM aborts per committed transaction.
+    pub fn abort_rate(&self) -> f64 {
+        self.stm.contention_ratio()
+    }
+}

@@ -47,7 +47,11 @@ mod tests {
     #[test]
     fn always_aborts() {
         let mut cm = Aggressive::new();
-        for kind in [ConflictKind::Read, ConflictKind::Acquire, ConflictKind::Validation] {
+        for kind in [
+            ConflictKind::Read,
+            ConflictKind::Acquire,
+            ConflictKind::Validation,
+        ] {
             let c = Conflict {
                 kind,
                 enemy: 9,

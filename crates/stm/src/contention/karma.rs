@@ -116,7 +116,10 @@ mod tests {
     fn zero_deficit_still_waits_once() {
         let mut cm = Karma::default();
         cm.on_open(); // priority 1 > enemy 0
-        assert!(matches!(cm.on_conflict(&conflict(0, 1)), Resolution::Wait(_)));
+        assert!(matches!(
+            cm.on_conflict(&conflict(0, 1)),
+            Resolution::Wait(_)
+        ));
         assert_eq!(cm.on_conflict(&conflict(0, 2)), Resolution::Abort);
     }
 

@@ -214,7 +214,10 @@ mod tests {
     fn backoff_delay_grows_in_expectation() {
         let mut b = BackoffPolicy::new(Duration::from_micros(1), Duration::from_millis(10));
         let avg = |b: &mut BackoffPolicy, round| -> f64 {
-            (0..200).map(|_| b.delay(round).as_nanos() as f64).sum::<f64>() / 200.0
+            (0..200)
+                .map(|_| b.delay(round).as_nanos() as f64)
+                .sum::<f64>()
+                / 200.0
         };
         let early = avg(&mut b, 0);
         let late = avg(&mut b, 10);
@@ -252,7 +255,11 @@ mod tests {
                     }
                 }
             }
-            assert!(saw_non_retry, "{} spun 64 times without yielding", cm.name());
+            assert!(
+                saw_non_retry,
+                "{} spun 64 times without yielding",
+                cm.name()
+            );
         }
     }
 }

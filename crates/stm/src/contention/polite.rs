@@ -89,7 +89,10 @@ mod tests {
                 Resolution::Wait(_)
             ));
         }
-        assert_eq!(cm.on_conflict(&conflict(DEFAULT_ROUNDS + 1)), Resolution::Abort);
+        assert_eq!(
+            cm.on_conflict(&conflict(DEFAULT_ROUNDS + 1)),
+            Resolution::Abort
+        );
     }
 
     #[test]

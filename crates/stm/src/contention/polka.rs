@@ -177,7 +177,8 @@ mod tests {
         }
         let yield_round = |cm: &mut Polka| -> u32 {
             for attempt in 1..=64 {
-                if cm.on_conflict(&conflict(ConflictKind::Acquire, 10, attempt)) == Resolution::Abort
+                if cm.on_conflict(&conflict(ConflictKind::Acquire, 10, attempt))
+                    == Resolution::Abort
                 {
                     return attempt;
                 }

@@ -36,7 +36,11 @@ impl ContentionManager for Timestamp {
             return Resolution::Abort;
         }
         let i_am_older = conflict.my_start_ts < conflict.enemy_start_ts;
-        let patience = if i_am_older { OLD_PATIENCE } else { YOUNG_PATIENCE };
+        let patience = if i_am_older {
+            OLD_PATIENCE
+        } else {
+            YOUNG_PATIENCE
+        };
         if conflict.attempt <= patience {
             Resolution::Wait(self.backoff.delay(conflict.attempt.saturating_sub(1)))
         } else {

@@ -5,6 +5,12 @@
 //! KATME paper ("A Key-based Adaptive Transactional Memory Executor",
 //! IPDPS 2007) uses as its execution substrate.
 //!
+//! > **Start with the [`katme`](../katme/index.html) facade crate.** Its
+//! > `Katme::builder()` wires this STM together with the key-based executor,
+//! > task queues and statistics, and re-exports the types below
+//! > (`katme::{Stm, StmConfig, CmKind, TVar, ...}`). Depend on `katme-stm`
+//! > directly only for standalone transactional-memory use.
+//!
 //! The programming model is the one the paper relies on: shared mutable state
 //! lives in transactional variables ([`TVar`]), and arbitrary blocks of code
 //! run atomically against them via [`Stm::atomically`]. Conflicting

@@ -166,9 +166,7 @@ impl KeyDistribution {
                 let v = (-(1.0 - r).ln()) / rate;
                 (v as u64 & u64::from(SPACE - 1)) as u32
             }
-            DistributionKind::Zipfian { skew } => {
-                self.sample_zipf(skew)
-            }
+            DistributionKind::Zipfian { skew } => self.sample_zipf(skew),
             DistributionKind::Bimodal { std_dev } => {
                 let mean = if self.rng.gen_bool(0.5) {
                     f64::from(SPACE) * 0.25

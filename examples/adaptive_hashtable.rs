@@ -8,9 +8,8 @@
 
 use std::time::Duration;
 
+use katme::{Driver, DriverConfig, SchedulerKind};
 use katme_collections::StructureKind;
-use katme_core::driver::{Driver, DriverConfig};
-use katme_core::scheduler::SchedulerKind;
 use katme_workload::DistributionKind;
 
 fn main() {

@@ -1,7 +1,7 @@
-//! A classic STM demonstration on the `katme-stm` substrate: concurrent
-//! transfers between accounts never violate the conservation-of-money
-//! invariant, and composed transactions (audit + transfer) see consistent
-//! snapshots.
+//! A classic STM demonstration on the substrate behind the facade:
+//! concurrent transfers between accounts never violate the
+//! conservation-of-money invariant, and composed transactions (audit +
+//! transfer) see consistent snapshots.
 //!
 //! ```text
 //! cargo run --release -p katme-examples --example bank_transfer
@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use katme_stm::{CmKind, Stm, TVar};
+use katme::{CmKind, Stm, TVar};
 
 const ACCOUNTS: usize = 64;
 const THREADS: usize = 4;
@@ -29,7 +29,9 @@ fn main() {
                 let mut x = t as u64 + 1;
                 for _ in 0..TRANSFERS_PER_THREAD {
                     // Cheap deterministic pseudo-random account pair.
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let from = (x >> 33) as usize % ACCOUNTS;
                     let to = (x >> 13) as usize % ACCOUNTS;
                     let amount = (x % 50) as i64;
@@ -75,10 +77,16 @@ fn main() {
     let total: i64 = accounts.iter().map(|a| *a.load()).sum();
     let snap = stm.snapshot();
     println!("accounts      : {ACCOUNTS}");
-    println!("final total   : {total} (expected {})", ACCOUNTS as i64 * INITIAL_BALANCE);
+    println!(
+        "final total   : {total} (expected {})",
+        ACCOUNTS as i64 * INITIAL_BALANCE
+    );
     println!("commits       : {}", snap.commits);
     println!("aborted tries : {}", snap.total_aborts());
-    println!("contention    : {:.4} aborts per commit", snap.contention_ratio());
+    println!(
+        "contention    : {:.4} aborts per commit",
+        snap.contention_ratio()
+    );
     assert_eq!(total, ACCOUNTS as i64 * INITIAL_BALANCE);
     println!("\nmoney was conserved under {THREADS} concurrent transfer threads + 1 auditor.");
 }

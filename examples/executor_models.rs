@@ -1,6 +1,7 @@
 //! Compare the three executor models of Figure 1 — no executor, a
 //! centralized executor thread, and parallel executors — on the hash-table
-//! benchmark.
+//! benchmark. Each model is a single `.with_model(..)` away on the facade's
+//! driver.
 //!
 //! ```text
 //! cargo run --release -p katme-examples --example executor_models
@@ -8,10 +9,8 @@
 
 use std::time::Duration;
 
+use katme::{Driver, DriverConfig, ExecutorModel, SchedulerKind};
 use katme_collections::StructureKind;
-use katme_core::driver::{Driver, DriverConfig};
-use katme_core::models::ExecutorModel;
-use katme_core::scheduler::SchedulerKind;
 use katme_workload::DistributionKind;
 
 fn main() {

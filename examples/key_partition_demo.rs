@@ -1,16 +1,17 @@
 //! Walk-through of the paper's Figure 2: sample a skewed key distribution,
 //! build the histogram, estimate the CDF, and project equal-probability
-//! bucket boundaries back onto the key axis.
+//! bucket boundaries back onto the key axis. Uses the building blocks the
+//! facade re-exports as `katme::core`.
 //!
 //! ```text
 //! cargo run --release -p katme-examples --example key_partition_demo
 //! ```
 
-use katme_core::histogram::Histogram;
-use katme_core::key::KeyBounds;
-use katme_core::partition::KeyPartition;
-use katme_core::sample_size::required_samples;
-use katme_core::PiecewiseCdf;
+use katme::core::histogram::Histogram;
+use katme::core::partition::KeyPartition;
+use katme::core::sample_size::required_samples;
+use katme::core::PiecewiseCdf;
+use katme::KeyBounds;
 use katme_workload::{DistributionKind, KeyDistribution};
 
 fn main() {
@@ -28,7 +29,11 @@ fn main() {
 
     // (b) sample items into equal-width cells.
     let hist = Histogram::from_samples(bounds, 32, &samples);
-    println!("\nhistogram ({} cells, {} samples):", hist.cells(), hist.total());
+    println!(
+        "\nhistogram ({} cells, {} samples):",
+        hist.cells(),
+        hist.total()
+    );
     let max = *hist.counts().iter().max().unwrap();
     for (cell, &count) in hist.counts().iter().enumerate().take(8) {
         let (lo, hi) = hist.cell_range(cell);

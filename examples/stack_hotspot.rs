@@ -10,44 +10,45 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use katme::{Katme, SchedulerKind, Stm, WithKey};
 use katme_collections::TxStack;
-use katme_core::key::ConstantKeyMapper;
-use katme_core::prelude::*;
-use katme_stm::Stm;
 
-fn run(label: &str, scheduler: Arc<dyn Scheduler>, use_constant_key: bool) {
+fn run(label: &str, scheduler: SchedulerKind, use_constant_key: bool) {
     let stm = Stm::default();
     let stack = Arc::new(TxStack::new(stm.clone()));
     let stack_for_workers = Arc::clone(&stack);
-    let executor = Executor::start(
-        ExecutorConfig::default().with_drain_on_shutdown(true),
-        scheduler,
-        move |_worker, value: u64| {
+    let runtime = Katme::builder()
+        .workers(4)
+        .scheduler(scheduler)
+        .stm(stm.clone())
+        .build(move |_worker, task: WithKey<u64>| {
             // Each task is one transactional push (even values) or pop (odd).
-            if value % 2 == 0 {
-                stack_for_workers.push(value);
+            if task.task % 2 == 0 {
+                stack_for_workers.push(task.task);
             } else {
                 stack_for_workers.pop();
             }
-        },
-    );
+        })
+        .expect("valid configuration");
 
-    let constant = ConstantKeyMapper::new(stack.transaction_key());
+    let hot_key = stack.transaction_key();
     let started = Instant::now();
     for i in 0..40_000u64 {
         let key = if use_constant_key {
-            KeyMapper::<u64>::key(&constant, &i)
+            hot_key // §3.1: a constant key serializes the hot spot
         } else {
             i % 65_536 // pretend the payload were a meaningful key
         };
-        executor.submit(key, i);
+        runtime
+            .submit_detached(WithKey::new(key, i))
+            .expect("runtime is accepting work");
     }
-    let report = executor.shutdown();
+    let report = runtime.shutdown();
     let elapsed = started.elapsed();
     println!(
         "{label:>28}: {} ops in {elapsed:>10.2?}  ({} aborts, per-worker {:?})",
-        report.completed(),
-        stm.snapshot().total_aborts(),
+        report.completed,
+        report.stm.total_aborts(),
         report.load.per_worker
     );
 }
@@ -55,17 +56,9 @@ fn run(label: &str, scheduler: Arc<dyn Scheduler>, use_constant_key: bool) {
 fn main() {
     println!("stack hot-spot: 40,000 push/pop transactions, 4 workers\n");
     // Scattering a hot spot across workers maximizes conflicts...
-    run(
-        "round-robin (scattered)",
-        Arc::new(RoundRobinScheduler::new(4)),
-        false,
-    );
+    run("round-robin (scattered)", SchedulerKind::RoundRobin, false);
     // ...while the constant transaction key routes every operation to one
     // worker, eliminating conflicts entirely at the cost of parallelism the
     // structure never had to begin with.
-    run(
-        "fixed + constant key",
-        Arc::new(FixedKeyScheduler::new(4, KeyBounds::dict16())),
-        true,
-    );
+    run("fixed + constant key", SchedulerKind::FixedKey, true);
 }

@@ -6,9 +6,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use katme::{
+    AdaptiveKeyScheduler, Driver, DriverConfig, Katme, KeyBounds, Scheduler, SchedulerKind,
+};
 use katme_collections::StructureKind;
-use katme_core::driver::{Driver, DriverConfig};
-use katme_core::prelude::*;
 use katme_workload::{DistributionKind, KeyDistribution};
 
 fn quick_config(workers: usize, scheduler: SchedulerKind) -> DriverConfig {
@@ -25,13 +26,15 @@ fn quick_config(workers: usize, scheduler: SchedulerKind) -> DriverConfig {
 /// it behaves like the fixed scheduler, so the comparison is relative.)
 #[test]
 fn adaptive_balances_exponential_load_fixed_does_not() {
-    let config = |scheduler| {
-        quick_config(4, scheduler).with_duration(Duration::from_millis(250))
-    };
-    let fixed = Driver::new(config(SchedulerKind::FixedKey))
-        .run_dictionary(StructureKind::HashTable, DistributionKind::exponential_paper());
-    let adaptive = Driver::new(config(SchedulerKind::AdaptiveKey))
-        .run_dictionary(StructureKind::HashTable, DistributionKind::exponential_paper());
+    let config = |scheduler| quick_config(4, scheduler).with_duration(Duration::from_millis(250));
+    let fixed = Driver::new(config(SchedulerKind::FixedKey)).run_dictionary(
+        StructureKind::HashTable,
+        DistributionKind::exponential_paper(),
+    );
+    let adaptive = Driver::new(config(SchedulerKind::AdaptiveKey)).run_dictionary(
+        StructureKind::HashTable,
+        DistributionKind::exponential_paper(),
+    );
 
     assert!(
         fixed.load.imbalance() > 1.8,
@@ -52,8 +55,8 @@ fn adaptive_balances_exponential_load_fixed_does_not() {
 /// together (locality) even after it has rebalanced for skew.
 #[test]
 fn adaptive_keeps_locality_after_rebalancing() {
-    let scheduler = AdaptiveKeyScheduler::new(8, KeyBounds::new(0, 131_071))
-        .with_sample_threshold(2_000);
+    let scheduler =
+        AdaptiveKeyScheduler::new(8, KeyBounds::new(0, 131_071)).with_sample_threshold(2_000);
     let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 5);
     for _ in 0..4_000 {
         scheduler.dispatch(u64::from(dist.sample_raw()));
@@ -89,28 +92,30 @@ fn adaptive_matches_fixed_on_uniform_keys() {
 }
 
 /// The scheduler adapts exactly once by default, after the paper's 10,000
-/// sample threshold (checked through the public executor pipeline).
+/// sample threshold (checked through the public facade pipeline, including
+/// the live repartition counter in the stats view).
 #[test]
 fn adaptation_happens_once_at_the_threshold() {
-    let scheduler = Arc::new(
-        AdaptiveKeyScheduler::new(4, KeyBounds::dict16()).with_sample_threshold(10_000),
-    );
-    let executor = Executor::start(
-        ExecutorConfig::default().with_drain_on_shutdown(true),
-        Arc::clone(&scheduler) as Arc<dyn Scheduler>,
-        |_, _task: u64| {},
-    );
+    let scheduler =
+        Arc::new(AdaptiveKeyScheduler::new(4, KeyBounds::dict16()).with_sample_threshold(10_000));
+    let runtime = Katme::builder()
+        .scheduler_instance(Arc::clone(&scheduler) as Arc<dyn katme::Scheduler>)
+        .build(|_, _task: u64| {})
+        .expect("valid configuration");
     for i in 0..9_999u64 {
-        executor.submit(i % 65_536, i);
+        runtime.submit_detached(i % 65_536).unwrap();
     }
     // One short of the threshold: still running the fixed partition.
     assert!(!scheduler.is_adapted());
+    assert_eq!(runtime.stats().repartitions, 0);
     for i in 0..5_000u64 {
-        executor.submit(i % 65_536, i);
+        runtime.submit_detached(i % 65_536).unwrap();
     }
     assert!(scheduler.is_adapted());
     assert_eq!(scheduler.adaptations(), 1);
-    executor.shutdown();
+    assert_eq!(runtime.stats().repartitions, 1);
+    let report = runtime.shutdown();
+    assert_eq!(report.repartitions, 1);
 }
 
 /// Throughput sanity for the paper's headline comparison: with several
@@ -123,9 +128,15 @@ fn adaptive_is_not_slower_than_fixed_on_skewed_keys() {
     let mut adaptive_total = 0u64;
     for rep in 0..3u64 {
         let fixed = Driver::new(quick_config(4, SchedulerKind::FixedKey).with_seed(rep))
-            .run_dictionary(StructureKind::HashTable, DistributionKind::exponential_paper());
+            .run_dictionary(
+                StructureKind::HashTable,
+                DistributionKind::exponential_paper(),
+            );
         let adaptive = Driver::new(quick_config(4, SchedulerKind::AdaptiveKey).with_seed(rep))
-            .run_dictionary(StructureKind::HashTable, DistributionKind::exponential_paper());
+            .run_dictionary(
+                StructureKind::HashTable,
+                DistributionKind::exponential_paper(),
+            );
         fixed_total += fixed.completed;
         adaptive_total += adaptive.completed;
     }

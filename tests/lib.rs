@@ -18,9 +18,10 @@ pub fn spec_to_op(spec: &TxnSpec) -> DictOp {
     }
 }
 
-/// Apply a spec to a dictionary (insert/remove/lookup).
+/// Apply a spec to a dictionary (insert/remove/lookup) — delegates to the
+/// facade's canonical mapping.
 pub fn apply(dict: &dyn Dictionary, spec: &TxnSpec) {
-    spec_to_op(spec).apply(dict);
+    katme::apply_spec(dict, spec);
 }
 
 #[cfg(test)]
@@ -34,10 +35,7 @@ mod tests {
             value: 3,
             op: OpKind::Insert,
         };
-        assert_eq!(
-            spec_to_op(&spec),
-            DictOp::Insert { key: 9, value: 3 }
-        );
+        assert_eq!(spec_to_op(&spec), DictOp::Insert { key: 9, value: 3 });
         let del = TxnSpec {
             key: 4,
             value: 0,

@@ -1,15 +1,18 @@
 //! End-to-end integration test of the full pipeline the paper describes:
-//! producers → (key mapping) → executor/scheduler → per-worker queues →
-//! worker threads → STM transactions against a shared dictionary.
+//! producers → (key mapping) → runtime/scheduler → per-worker queues →
+//! worker threads → STM transactions against a shared dictionary — all wired
+//! through the `Katme::builder()` facade.
 
 use std::sync::Arc;
 
+use katme::{
+    AdaptiveKeyScheduler, BucketKeyMapper, Katme, KeyBounds, KeyMapper, Scheduler, SchedulerKind,
+    Stm, WithKey,
+};
 use katme_collections::{Dictionary, HashTable, LockedDictionary, PAPER_BUCKETS};
-use katme_core::prelude::*;
-use katme_stm::Stm;
 use katme_workload::{DistributionKind, OpGenerator, OpKind, Trace, TxnSpec};
 
-/// Replay a recorded trace through the executor and independently through a
+/// Replay a recorded trace through the runtime and independently through a
 /// trivially correct coarse-lock dictionary; the final contents must match
 /// exactly, proving no transaction was lost, duplicated, or misapplied.
 ///
@@ -35,7 +38,7 @@ fn replay_matches_reference(scheduler: Arc<dyn Scheduler>, distribution: Distrib
         }
     }
 
-    // System under test: the same operations through the executor.
+    // System under test: the same operations through the facade runtime.
     //
     // Note: FIFO per-worker queues plus stable key-based routing guarantee
     // that two operations on the same key execute in submission order (they
@@ -46,18 +49,20 @@ fn replay_matches_reference(scheduler: Arc<dyn Scheduler>, distribution: Distrib
     let table = Arc::new(HashTable::new(stm.clone()));
     let mapper = BucketKeyMapper::paper();
     let table_for_workers = Arc::clone(&table);
-    let executor = Executor::start(
-        ExecutorConfig::default().with_drain_on_shutdown(true),
-        scheduler,
-        move |_worker, spec: TxnSpec| {
-            katme_tests::apply(&*table_for_workers, &spec);
-        },
-    );
+    let runtime = Katme::builder()
+        .scheduler_instance(scheduler)
+        .stm(stm)
+        .build(move |_worker, task: WithKey<TxnSpec>| {
+            katme_tests::apply(&*table_for_workers, &task.task);
+        })
+        .expect("valid configuration");
     for spec in trace.ops() {
-        executor.submit(mapper.key(spec), *spec);
+        runtime
+            .submit_detached(WithKey::new(mapper.key(spec), *spec))
+            .expect("runtime is accepting work");
     }
-    let report = executor.shutdown();
-    assert_eq!(report.completed(), trace.len() as u64);
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, trace.len() as u64);
     assert_eq!(report.abandoned, 0);
 
     // Compare contents.
@@ -88,7 +93,7 @@ fn seeded_adaptive(distribution: DistributionKind) -> Arc<AdaptiveKeyScheduler> 
 #[test]
 fn fixed_scheduler_replay_matches_sequential_reference() {
     replay_matches_reference(
-        Arc::new(FixedKeyScheduler::new(4, bucket_bounds())),
+        Arc::new(katme::FixedKeyScheduler::new(4, bucket_bounds())),
         DistributionKind::Uniform,
     );
 }
@@ -113,65 +118,69 @@ fn all_schedulers_agree_on_commutative_workload() {
     for scheduler_kind in SchedulerKind::ALL {
         let stm = Stm::default();
         let table = Arc::new(HashTable::with_buckets(stm.clone(), 1_009));
-        let scheduler = scheduler_kind.build(3, KeyBounds::dict16());
         let table_for_workers = Arc::clone(&table);
-        let executor = Executor::start(
-            ExecutorConfig::default().with_drain_on_shutdown(true),
-            scheduler,
-            move |_worker, spec: TxnSpec| {
+        let runtime = Katme::builder()
+            .workers(3)
+            .scheduler(scheduler_kind)
+            .stm(stm)
+            .build(move |_worker, spec: TxnSpec| {
                 table_for_workers.insert(spec.key, spec.value);
-            },
-        );
+            })
+            .expect("valid configuration");
         for key in 0..5_000u32 {
+            // TxnSpec is a KeyedTask (its dictionary key routes it), so no
+            // WithKey wrapper is needed here.
             let spec = TxnSpec {
                 key,
                 value: u64::from(key) * 2,
                 op: OpKind::Insert,
             };
-            executor.submit(u64::from(key), spec);
+            runtime.submit_detached(spec).expect("accepting");
         }
-        let report = executor.shutdown();
-        assert_eq!(report.completed(), 5_000, "{scheduler_kind}");
+        let report = runtime.shutdown();
+        assert_eq!(report.completed, 5_000, "{scheduler_kind}");
         assert_eq!(table.len(), 5_000, "{scheduler_kind}");
         assert_eq!(table.lookup(4_999), Some(9_998), "{scheduler_kind}");
     }
 }
 
-/// Multiple concurrent producers feeding the executor — the configuration the
+/// Multiple concurrent producers feeding the runtime — the configuration the
 /// paper actually runs (4–8 producers) — must not lose operations.
 #[test]
 fn concurrent_producers_full_pipeline() {
     let stm = Stm::default();
     let table = Arc::new(HashTable::new(stm.clone()));
-    let scheduler = SchedulerKind::AdaptiveKey.build(4, KeyBounds::new(0, PAPER_BUCKETS as u64 - 1));
     let table_for_workers = Arc::clone(&table);
-    let executor = Arc::new(Executor::start(
-        ExecutorConfig::default().with_drain_on_shutdown(true),
-        scheduler,
-        move |_worker, spec: TxnSpec| {
-            katme_tests::apply(&*table_for_workers, &spec);
-        },
-    ));
+    let runtime = Katme::builder()
+        .workers(4)
+        .producers(4)
+        .key_bounds(bucket_bounds())
+        .stm(stm.clone())
+        .build(move |_worker, task: WithKey<TxnSpec>| {
+            katme_tests::apply(&*table_for_workers, &task.task);
+        })
+        .expect("valid configuration");
 
     let producers = 4;
     let per_producer = 10_000;
     std::thread::scope(|s| {
         for p in 0..producers {
-            let executor = Arc::clone(&executor);
+            let runtime = &runtime;
             s.spawn(move || {
                 let mapper = BucketKeyMapper::paper();
                 let mut gen = OpGenerator::paper(DistributionKind::gaussian_paper(), p as u64);
                 for _ in 0..per_producer {
                     let spec = gen.next_spec();
-                    executor.submit(mapper.key(&spec), spec);
+                    runtime
+                        .submit_detached(WithKey::new(mapper.key(&spec), spec))
+                        .expect("accepting");
                 }
             });
         }
     });
 
-    let executor = Arc::into_inner(executor).expect("producers finished");
-    let report = executor.shutdown();
-    assert_eq!(report.completed(), (producers * per_producer) as u64);
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, (producers * per_producer) as u64);
     // The STM saw exactly one committed transaction per completed operation.
-    assert!(stm.snapshot().commits >= report.completed());
+    assert!(stm.snapshot().commits >= report.completed);
 }

@@ -1,15 +1,14 @@
 //! Integration tests sweeping every scheduler across every benchmark
 //! structure (hash table, red-black tree, sorted list), checking correctness
-//! of the combined executor + STM + data-structure stack.
+//! of the combined runtime + STM + data-structure stack through the facade.
 
 use std::sync::Arc;
 
+use katme::{Katme, SchedulerKind, Stm};
 use katme_collections::StructureKind;
-use katme_core::prelude::*;
-use katme_stm::Stm;
 use katme_workload::{DistributionKind, OpKind, Trace, TxnSpec};
 
-/// Route a per-key-ordered trace through the executor for every
+/// Route a per-key-ordered trace through the runtime for every
 /// structure × key-based-scheduler combination and check the final contents
 /// against a sequential replay.
 #[test]
@@ -28,18 +27,20 @@ fn key_based_schedulers_preserve_semantics_on_every_structure() {
             let stm = Stm::default();
             let dict = structure.build(stm.clone());
             let dict_for_workers = Arc::clone(&dict);
-            let executor = Executor::start(
-                ExecutorConfig::default().with_drain_on_shutdown(true),
-                scheduler_kind.build(3, KeyBounds::dict16()),
-                move |_worker, spec: TxnSpec| {
+            let runtime = Katme::builder()
+                .workers(3)
+                .scheduler(scheduler_kind)
+                .stm(stm)
+                .build(move |_worker, spec: TxnSpec| {
                     katme_tests::apply(&*dict_for_workers, &spec);
-                },
-            );
+                })
+                .expect("valid configuration");
             for spec in trace.ops() {
-                executor.submit(u64::from(spec.key), *spec);
+                // TxnSpec routes itself by its dictionary key.
+                runtime.submit_detached(*spec).expect("accepting");
             }
-            let report = executor.shutdown();
-            assert_eq!(report.completed(), trace.len() as u64);
+            let report = runtime.shutdown();
+            assert_eq!(report.completed, trace.len() as u64);
             assert_eq!(
                 dict.len(),
                 expected_len,
@@ -66,15 +67,15 @@ fn work_stealing_preserves_all_insertions() {
     let stm = Stm::default();
     let dict = StructureKind::RbTree.build(stm.clone());
     let dict_for_workers = Arc::clone(&dict);
-    let executor = Executor::start(
-        ExecutorConfig::default()
-            .with_drain_on_shutdown(true)
-            .with_work_stealing(true),
-        SchedulerKind::FixedKey.build(4, KeyBounds::dict16()),
-        move |_worker, spec: TxnSpec| {
+    let runtime = Katme::builder()
+        .workers(4)
+        .scheduler(SchedulerKind::FixedKey)
+        .work_stealing(true)
+        .stm(stm)
+        .build(move |_worker, spec: TxnSpec| {
             dict_for_workers.insert(spec.key, spec.value);
-        },
-    );
+        })
+        .expect("valid configuration");
     // Every key is in the lowest quarter of the space, i.e. worker 0's range.
     for key in 0..4_000u32 {
         let spec = TxnSpec {
@@ -82,10 +83,10 @@ fn work_stealing_preserves_all_insertions() {
             value: u64::from(key),
             op: OpKind::Insert,
         };
-        executor.submit(u64::from(spec.key), spec);
+        runtime.submit_detached(spec).expect("accepting");
     }
-    let report = executor.shutdown();
-    assert_eq!(report.completed(), 4_000);
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, 4_000);
     assert!(report.stolen > 0, "stealing should have happened");
     assert_eq!(dict.len(), 4_000);
 }
@@ -94,7 +95,7 @@ fn work_stealing_preserves_all_insertions() {
 /// performance: run the same conflict-heavy workload under every manager.
 #[test]
 fn every_contention_manager_yields_correct_results() {
-    use katme_stm::{CmKind, StmConfig};
+    use katme::{CmKind, StmConfig};
     for cm in CmKind::ALL {
         let stm = Stm::new(StmConfig::default().with_contention_manager(cm));
         let dict = StructureKind::SortedList.build(stm.clone());

@@ -1,10 +1,10 @@
-//! Cross-crate STM stress tests: serializability of composed operations over
+//! Cross-crate STM stress tests (via the facade's `katme::{Stm, TVar}` re-exports): serializability of composed operations over
 //! the real data structures under heavy multi-threaded contention.
 
 use std::sync::Arc;
 
+use katme::{Stm, TVar};
 use katme_collections::{Dictionary, HashTable, RbTree, TxDictionary, TxStack};
-use katme_stm::{Stm, TVar};
 
 /// Atomically moving entries between two structures must never lose or
 /// duplicate values, even under contention.
@@ -66,15 +66,13 @@ fn stack_handoff_is_linearizable() {
             let outbox = Arc::clone(&outbox);
             let moved = Arc::clone(&moved);
             s.spawn(move || loop {
-                let done = stm.atomically(|tx| {
-                    match inbox.pop_tx(tx)? {
-                        Some(v) => {
-                            outbox.push_tx(tx, v)?;
-                            tx.modify(&moved, |m| m + 1)?;
-                            Ok(false)
-                        }
-                        None => Ok(true),
+                let done = stm.atomically(|tx| match inbox.pop_tx(tx)? {
+                    Some(v) => {
+                        outbox.push_tx(tx, v)?;
+                        tx.modify(&moved, |m| m + 1)?;
+                        Ok(false)
                     }
+                    None => Ok(true),
                 });
                 if done {
                     break;
