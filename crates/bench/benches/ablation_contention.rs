@@ -4,8 +4,6 @@
 //! should therefore abort far less than round-robin — the effect the paper
 //! predicts will "pay off in high-contention applications".
 
-#![allow(deprecated)] // exercises the pre-facade Executor API on purpose
-
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -32,7 +30,9 @@ fn run_high_contention(scheduler_kind: SchedulerKind, workers: usize) -> (u64, u
     for _ in 0..BATCH {
         let spec = gen.next_spec();
         let bucket = u64::from(spec.key) % SMALL_BUCKETS as u64;
-        executor.submit(bucket, spec);
+        executor
+            .submit_blocking(bucket, spec)
+            .expect("executor accepts while running");
     }
     let completed = executor.shutdown().completed();
     let snap = stm.snapshot();

@@ -1,8 +1,8 @@
 //! Figure 4 bench: executor overhead on trivial transactions. Each iteration
 //! executes a fixed number of single-TVar-increment transactions either in a
-//! plain loop ("no executor") or through the executor pipeline ("executor").
-
-#![allow(deprecated)] // exercises the pre-facade Executor API on purpose
+//! plain loop ("no executor"), through the executor pipeline one task at a
+//! time ("executor"), or through the batched dispatch plane
+//! ("executor-batched").
 
 use std::sync::Arc;
 
@@ -30,24 +30,42 @@ fn run_no_executor(workers: usize) -> u64 {
     counters.iter().map(|c| *c.load()).sum()
 }
 
-fn run_with_executor(workers: usize) -> u64 {
+fn run_with_executor(workers: usize, submit_batch: usize) -> u64 {
     let stm = Stm::default();
     let counters: Arc<Vec<TVar<u64>>> = Arc::new((0..workers).map(|_| TVar::new(0)).collect());
     let stm_for_workers = stm.clone();
     let counters_for_workers = Arc::clone(&counters);
     let executor = Executor::start(
-        ExecutorConfig::default().with_drain_on_shutdown(true),
+        ExecutorConfig::default()
+            .with_drain_on_shutdown(true)
+            .with_batch_size(submit_batch),
         std::sync::Arc::new(RoundRobinScheduler::new(workers)),
         move |worker, _task: u64| {
             stm_for_workers.atomically(|tx| tx.modify(&counters_for_workers[worker], |v| v + 1));
         },
     );
-    for i in 0..TXNS {
-        executor.submit(i, i);
+    if submit_batch == 1 {
+        for i in 0..TXNS {
+            executor
+                .submit_blocking(i, i)
+                .expect("executor accepts while running");
+        }
+    } else {
+        let mut next = 0;
+        while next < TXNS {
+            let end = (next + submit_batch as u64).min(TXNS);
+            let batch: Vec<(u64, u64)> = (next..end).map(|i| (i, i)).collect();
+            executor
+                .submit_batch_blocking(batch)
+                .expect("executor accepts while running");
+            next = end;
+        }
     }
     executor.shutdown();
     counters.iter().map(|c| *c.load()).sum()
 }
+
+const SUBMIT_BATCH: usize = 64;
 
 fn bench_fig4(c: &mut Criterion) {
     let (warm_up, measurement, samples) = short_measurement();
@@ -64,8 +82,13 @@ fn bench_fig4(c: &mut Criterion) {
             |b, &w| b.iter(|| run_no_executor(w)),
         );
         group.bench_with_input(BenchmarkId::new("executor", workers), &workers, |b, &w| {
-            b.iter(|| run_with_executor(w))
+            b.iter(|| run_with_executor(w, 1))
         });
+        group.bench_with_input(
+            BenchmarkId::new("executor-batched", workers),
+            &workers,
+            |b, &w| b.iter(|| run_with_executor(w, SUBMIT_BATCH)),
+        );
     }
     group.finish();
 }

@@ -1,13 +1,15 @@
 //! Task-queue micro-benchmarks: the Michael & Scott two-lock queue against
-//! the single-lock baseline and the bounded ring, single-threaded and under
-//! producer/consumer concurrency.
+//! the single-lock baseline, the bounded ring and the sharded segment queue,
+//! single-threaded and under producer/consumer concurrency — per-item and
+//! batch transfer.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use katme_queue::{BoundedQueue, MutexQueue, TaskQueue, TwoLockQueue};
+use katme_queue::{BoundedQueue, MutexQueue, ShardedSegQueue, TaskQueue, TwoLockQueue};
 
 const OPS: u64 = 20_000;
+const XFER_BATCH: usize = 64;
 
 fn single_threaded<Q: TaskQueue<u64>>(queue: &Q) -> u64 {
     let mut out = 0;
@@ -47,6 +49,38 @@ fn producer_consumer<Q: TaskQueue<u64> + Send + Sync + 'static>(queue: Arc<Q>) -
     })
 }
 
+/// Move OPS items through the queue in XFER_BATCH-sized push_batch/pop_batch
+/// calls (one producer, one consumer thread).
+fn batch_producer_consumer<Q: TaskQueue<u64> + Send + Sync + 'static>(queue: Arc<Q>) -> u64 {
+    std::thread::scope(|s| {
+        let producer_q = Arc::clone(&queue);
+        s.spawn(move || {
+            let mut next = 0u64;
+            while next < OPS {
+                let end = (next + XFER_BATCH as u64).min(OPS);
+                producer_q.push_batch((next..end).collect());
+                next = end;
+            }
+        });
+        let consumer_q = Arc::clone(&queue);
+        let consumer = s.spawn(move || {
+            let mut received = 0u64;
+            let mut buffer = Vec::with_capacity(XFER_BATCH);
+            while received < OPS {
+                let took = consumer_q.pop_batch(&mut buffer, XFER_BATCH);
+                if took > 0 {
+                    received += took as u64;
+                    buffer.clear();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            received
+        });
+        consumer.join().unwrap()
+    })
+}
+
 fn bench_queues(c: &mut Criterion) {
     let mut group = c.benchmark_group("queues/single-thread");
     group.sample_size(20);
@@ -68,6 +102,25 @@ fn bench_queues(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::from_parameter("mutex"), &(), |b, _| {
         b.iter(|| producer_consumer(Arc::new(MutexQueue::new())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sharded-seg"), &(), |b, _| {
+        b.iter(|| producer_consumer(Arc::new(ShardedSegQueue::new())))
+    });
+    group.finish();
+
+    // Batch transfer: the dispatch-plane hot path — one lock round-trip per
+    // XFER_BATCH items on each side instead of one per item.
+    let mut group = c.benchmark_group("queues/batch-transfer");
+    group.sample_size(15);
+    group.throughput(criterion::Throughput::Elements(OPS));
+    group.bench_with_input(BenchmarkId::from_parameter("two-lock"), &(), |b, _| {
+        b.iter(|| batch_producer_consumer(Arc::new(TwoLockQueue::new())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("mutex"), &(), |b, _| {
+        b.iter(|| batch_producer_consumer(Arc::new(MutexQueue::new())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sharded-seg"), &(), |b, _| {
+        b.iter(|| batch_producer_consumer(Arc::new(ShardedSegQueue::new())))
     });
     group.finish();
 }

@@ -43,12 +43,9 @@ pub fn short_measurement() -> (Duration, Duration, usize) {
 pub use katme::apply_spec;
 
 /// Run one batch of transactions through the full executor pipeline and
-/// return the number completed (used by the figure benches).
-///
-/// Deliberately stays on the deprecated raw `Executor::start`/`submit`
-/// surface: this crate is the compile-time guarantee that the pre-facade API
-/// keeps working. New code should use `katme::Katme::builder()`.
-#[allow(deprecated)]
+/// return the number completed (used by the figure benches). Submits
+/// per-task, matching the paper's protocol; see
+/// [`run_pipeline_batch_submission`] for the batched dispatch plane.
 pub fn run_pipeline_batch(
     structure: StructureKind,
     distribution: DistributionKind,
@@ -56,6 +53,22 @@ pub fn run_pipeline_batch(
     workers: usize,
     batch: usize,
 ) -> u64 {
+    run_pipeline_batch_submission(structure, distribution, scheduler, workers, batch, 1)
+}
+
+/// Like [`run_pipeline_batch`], but producers hand the executor chunks of
+/// `submit_batch` tasks at a time (1 = the per-task protocol) and workers
+/// drain with the same granularity — the bench-side comparison of per-task
+/// vs. batched dispatch at identical workload.
+pub fn run_pipeline_batch_submission(
+    structure: StructureKind,
+    distribution: DistributionKind,
+    scheduler: SchedulerKind,
+    workers: usize,
+    batch: usize,
+    submit_batch: usize,
+) -> u64 {
+    let submit_batch = submit_batch.max(1);
     let stm = Stm::default();
     let dict = structure.build(stm);
     let bounds = match structure {
@@ -65,20 +78,43 @@ pub fn run_pipeline_batch(
     let scheduler = scheduler.build(workers, bounds);
     let dict_for_workers = Arc::clone(&dict);
     let executor = Executor::start(
-        ExecutorConfig::default().with_drain_on_shutdown(true),
+        ExecutorConfig::default()
+            .with_drain_on_shutdown(true)
+            .with_batch_size(submit_batch),
         scheduler,
         move |_worker, spec: TxnSpec| apply_spec(&*dict_for_workers, &spec),
     );
     let mapper = BucketKeyMapper::paper();
     let dict_mapper = DictKeyMapper;
-    let mut gen = OpGenerator::paper(distribution, 0xbe7c);
-    for _ in 0..batch {
-        let spec = gen.next_spec();
-        let key = match structure {
-            StructureKind::HashTable => mapper.key(&spec),
-            _ => dict_mapper.key(&spec),
-        };
-        executor.submit(key, spec);
+    let key_for = |spec: &TxnSpec| match structure {
+        StructureKind::HashTable => mapper.key(spec),
+        _ => dict_mapper.key(spec),
+    };
+    let gen = OpGenerator::paper(distribution, 0xbe7c);
+    if submit_batch == 1 {
+        for spec in gen.take(batch) {
+            let key = key_for(&spec);
+            executor
+                .submit_blocking(key, spec)
+                .expect("executor accepts while running");
+        }
+    } else {
+        let mut remaining = batch;
+        for chunk in gen.batches(submit_batch) {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(chunk.len());
+            remaining -= take;
+            let keyed: Vec<_> = chunk
+                .into_iter()
+                .take(take)
+                .map(|spec| (key_for(&spec), spec))
+                .collect();
+            executor
+                .submit_batch_blocking(keyed)
+                .expect("executor accepts while running");
+        }
     }
     executor.shutdown().completed()
 }
@@ -95,6 +131,19 @@ mod tests {
             SchedulerKind::AdaptiveKey,
             2,
             500,
+        );
+        assert_eq!(done, 500);
+    }
+
+    #[test]
+    fn batched_submission_completes_the_same_workload() {
+        let done = run_pipeline_batch_submission(
+            StructureKind::HashTable,
+            DistributionKind::Uniform,
+            SchedulerKind::AdaptiveKey,
+            2,
+            500,
+            64,
         );
         assert_eq!(done, 500);
     }

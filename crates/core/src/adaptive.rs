@@ -148,6 +148,49 @@ impl AdaptiveKeyScheduler {
         }
     }
 
+    /// Batch counterpart of [`AdaptiveKeyScheduler::observe`]: records the
+    /// whole slice under (at most) one samples-lock acquisition per
+    /// adaptation event instead of one per key, while reproducing the
+    /// per-task protocol exactly — each key is sampled exactly once, the
+    /// threshold is checked after every sample, and sampling stops at the
+    /// same key it would have stopped at under per-task dispatch. The
+    /// resulting partitions are therefore bit-identical between batched and
+    /// per-task submission of the same key sequence.
+    fn observe_batch(&self, keys: &[TxnKey]) {
+        self.observed
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let mut index = 0;
+        while index < keys.len() {
+            let adapted = self.is_adapted();
+            if adapted && self.re_adapt_every.is_none() {
+                // Steady state: sampling is finished, nothing more to record.
+                return;
+            }
+            let threshold_reached = {
+                let mut hist = self.samples.lock();
+                let mut reached = false;
+                while index < keys.len() {
+                    hist.record(keys[index]);
+                    index += 1;
+                    let total = hist.total();
+                    reached = if !adapted {
+                        total >= self.sample_threshold
+                    } else {
+                        matches!(self.re_adapt_every, Some(every) if total >= every)
+                    };
+                    if reached {
+                        break;
+                    }
+                }
+                reached
+            };
+            if !threshold_reached {
+                return;
+            }
+            self.adapt();
+        }
+    }
+
     /// Recompute the PD-partition from the collected samples.
     fn adapt(&self) {
         let hist_snapshot = {
@@ -192,6 +235,24 @@ impl Scheduler for AdaptiveKeyScheduler {
     fn dispatch(&self, key: TxnKey) -> usize {
         self.observe(key);
         self.partition.read().worker_for(key)
+    }
+
+    /// One samples pass and one partition read-lock for the whole batch;
+    /// the internal `observe_batch` reproduces the per-task sampling
+    /// protocol exactly (each key sampled once, threshold checked after
+    /// every sample). When an adaptation triggers *inside* a batch, the
+    /// whole batch is routed with the fresh partition (per-task dispatch
+    /// would route the pre-trigger keys with the old one) — the partitions
+    /// themselves are identical either way, and routing a few transitional
+    /// keys with the newer, better partition is benign.
+    fn dispatch_batch(&self, keys: &[TxnKey], out: &mut Vec<usize>) {
+        if keys.is_empty() {
+            return;
+        }
+        self.observe_batch(keys);
+        let partition = self.partition.read();
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&key| partition.worker_for(key)));
     }
 
     fn workers(&self) -> usize {
@@ -349,6 +410,72 @@ mod tests {
         assert!(
             p.boundaries().iter().all(|&b| b >= 8_500),
             "boundaries should follow the shifted distribution: {p}"
+        );
+    }
+
+    #[test]
+    fn batched_and_per_task_dispatch_repartition_identically() {
+        // The same key stream fed per-task and in mixed-size batches must
+        // produce the same number of adaptations and bit-identical
+        // partitions — batching may not skip, duplicate, or defer samples.
+        let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 99);
+        let keys: Vec<TxnKey> = (0..12_000).map(|_| u64::from(dist.sample_raw())).collect();
+
+        let per_task =
+            AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 131_071)).with_sample_threshold(5_000);
+        for &key in &keys {
+            per_task.dispatch(key);
+        }
+
+        let batched =
+            AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 131_071)).with_sample_threshold(5_000);
+        let mut out = Vec::new();
+        // Uneven batch sizes so the threshold lands mid-batch.
+        for chunk in keys.chunks(577) {
+            out.clear();
+            batched.dispatch_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len());
+        }
+
+        assert_eq!(per_task.adaptations(), batched.adaptations());
+        assert_eq!(per_task.observed(), batched.observed());
+        assert_eq!(
+            per_task.current_partition().boundaries(),
+            batched.current_partition().boundaries(),
+            "batched sampling must reproduce the per-task partition exactly"
+        );
+    }
+
+    #[test]
+    fn batched_re_adaptation_matches_per_task() {
+        let keys: Vec<TxnKey> = (0..9_000u64)
+            .map(|i| {
+                if i < 3_000 {
+                    i % 1_000
+                } else {
+                    9_000 + (i % 1_000)
+                }
+            })
+            .collect();
+        let make = || {
+            AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 9_999))
+                .with_sample_threshold(1_000)
+                .with_re_adaptation(2_000)
+        };
+        let per_task = make();
+        for &key in &keys {
+            per_task.dispatch(key);
+        }
+        let batched = make();
+        let mut out = Vec::new();
+        for chunk in keys.chunks(313) {
+            batched.dispatch_batch(chunk, &mut out);
+        }
+        assert!(per_task.adaptations() > 1, "re-adaptation must trigger");
+        assert_eq!(per_task.adaptations(), batched.adaptations());
+        assert_eq!(
+            per_task.current_partition().boundaries(),
+            batched.current_partition().boundaries()
         );
     }
 

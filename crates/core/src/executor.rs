@@ -1,12 +1,21 @@
-//! The executor: worker pool, per-worker task queues and dispatch.
+//! The executor: worker pool, per-worker task queues and batched dispatch.
 //!
 //! This is the "parallel executors" model of Figure 1(c): each producer
-//! thread calls [`Executor::submit`] directly (so dispatch runs in the
-//! producer, with no central dispatcher thread), the chosen scheduler maps
-//! the transaction key to a worker, and the task parameters are pushed onto
-//! that worker's queue. Worker threads pull from their own queue, execute the
-//! task (typically a transaction against a shared data structure), and count
-//! completions.
+//! thread calls [`Executor::submit_blocking`] (or, on the hot path,
+//! [`Executor::submit_batch_blocking`]) directly — dispatch runs in the
+//! producer, with no central dispatcher thread — the chosen scheduler maps
+//! transaction keys to workers, and the task parameters are pushed onto the
+//! workers' queues. Worker threads drain their own queue up to
+//! [`ExecutorConfig::batch_size`] tasks per wakeup and execute each task
+//! (typically a transaction against a shared data structure).
+//!
+//! The dispatch plane is *batch-first*: a batch submission runs the
+//! scheduler once over the whole key slice
+//! ([`Scheduler::dispatch_batch`]), groups the tasks into per-worker runs,
+//! and crosses each worker queue with a single lock round-trip
+//! ([`katme_queue::TaskQueue::push_batch`]) under a single
+//! [`ShutdownGate`] enter/exit. The single-task API is the batch-of-one
+//! special case, kept as a direct path so it pays no `Vec` round-trip.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -29,13 +38,22 @@ pub struct ExecutorConfig {
     /// (the paper discusses work stealing as the alternative load-balancing
     /// mechanism; off by default to match its experiments).
     pub work_stealing: bool,
-    /// Back-pressure: producers calling [`Executor::submit`] yield while the
-    /// target queue holds at least this many tasks. `None` disables the
-    /// bound. The paper's producers run unthrottled for a fixed wall-clock
-    /// window; the bound keeps memory use sane on small hosts without
-    /// changing steady-state behaviour.
+    /// Back-pressure: producers calling [`Executor::submit_blocking`] yield
+    /// while the target queue holds at least this many tasks. `None` disables
+    /// the bound. The paper's producers run unthrottled for a fixed
+    /// wall-clock window; the bound keeps memory use sane on small hosts
+    /// without changing steady-state behaviour.
     pub max_queue_depth: Option<usize>,
+    /// Maximum tasks a worker drains from its queue per wakeup (one
+    /// `pop_batch` lock round-trip covers the whole run). Must be at
+    /// least 1.
+    pub batch_size: usize,
 }
+
+/// Default worker drain batch: large enough to amortize the queue lock and
+/// counter updates, small enough that shutdown latency and work-stealing
+/// granularity stay reasonable.
+pub const DEFAULT_BATCH_SIZE: usize = 32;
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
@@ -44,6 +62,7 @@ impl Default for ExecutorConfig {
             drain_on_shutdown: false,
             work_stealing: false,
             max_queue_depth: Some(10_000),
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -75,6 +94,12 @@ impl ExecutorConfig {
     /// Set (or clear) the producer back-pressure bound.
     pub fn with_max_queue_depth(mut self, depth: Option<usize>) -> Self {
         self.max_queue_depth = depth;
+        self
+    }
+
+    /// Set the worker drain batch size (clamped to at least 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 }
@@ -128,6 +153,85 @@ impl<T> std::fmt::Display for SubmitError<T> {
 }
 
 impl<T> std::error::Error for SubmitError<T> {}
+
+/// Why a batch submission stopped being accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitRejection {
+    /// At least one destination queue was at `max_queue_depth` (non-blocking
+    /// submissions only; blocking submissions wait out back-pressure).
+    QueueFull,
+    /// The executor has been stopped; nothing further will be accepted.
+    ShuttingDown,
+}
+
+/// Partial-failure report from [`Executor::submit_batch_blocking`] /
+/// [`Executor::try_submit_batch`]: how many tasks were accepted, which were
+/// not (handed back with their keys, ready to resubmit), and why.
+///
+/// `accepted == 0` means the batch was never accepted at all;
+/// `accepted > 0` means a partial accept — every accepted task *will* be
+/// executed (or reported as abandoned at shutdown), so retrying must
+/// resubmit only [`rejected`](SubmitBatchError::rejected).
+pub struct SubmitBatchError<T> {
+    /// Number of tasks that made it onto worker queues.
+    pub accepted: usize,
+    /// The tasks that were not accepted, with their keys. Grouped by the
+    /// worker run they were headed for; relative order within a run is
+    /// preserved.
+    pub rejected: Vec<(TxnKey, T)>,
+    /// Why acceptance stopped. [`SubmitRejection::ShuttingDown`] wins over
+    /// [`SubmitRejection::QueueFull`] when both occurred.
+    pub reason: SubmitRejection,
+}
+
+impl<T> SubmitBatchError<T> {
+    /// Recover the rejected tasks for a retry.
+    pub fn into_rejected(self) -> Vec<(TxnKey, T)> {
+        self.rejected
+    }
+
+    /// True when some (but not all) of the batch was accepted.
+    pub fn is_partial(&self) -> bool {
+        self.accepted > 0
+    }
+
+    /// True when the rejection was due to back-pressure.
+    pub fn is_queue_full(&self) -> bool {
+        self.reason == SubmitRejection::QueueFull
+    }
+
+    /// True when the rejection was due to shutdown.
+    pub fn is_shutting_down(&self) -> bool {
+        self.reason == SubmitRejection::ShuttingDown
+    }
+}
+
+impl<T> std::fmt::Debug for SubmitBatchError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitBatchError")
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected.len())
+            .field("reason", &self.reason)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Display for SubmitBatchError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch submission accepted {} task(s), rejected {} ({})",
+            self.accepted,
+            self.rejected.len(),
+            match self.reason {
+                SubmitRejection::QueueFull => "queue full",
+                SubmitRejection::ShuttingDown => "shutting down",
+            }
+        )
+    }
+}
+
+impl<T> std::error::Error for SubmitBatchError<T> {}
 
 /// Summary returned by [`Executor::shutdown`].
 #[derive(Debug, Clone)]
@@ -236,6 +340,7 @@ impl<T: Send + 'static> Executor<T> {
     {
         let workers = scheduler.workers();
         assert!(workers > 0, "executor needs at least one worker");
+        assert!(config.batch_size > 0, "drain batch size must be at least 1");
         let handler = Arc::new(handler);
         let queues: Vec<Arc<dyn TaskQueue<T>>> = (0..workers)
             .map(|_| Arc::from(config.queue.build::<T>()))
@@ -341,32 +446,178 @@ impl<T: Send + 'static> Executor<T> {
         self.push_guarded(queue, task)
     }
 
-    /// Submit a task with the given transaction key.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `katme::Runtime::submit` (or `Executor::submit_blocking`), which reports \
-                back-pressure and shutdown instead of silently spinning or dropping"
-    )]
-    pub fn submit(&self, key: TxnKey, task: T) {
-        let worker = self.scheduler.dispatch(key);
-        if let Err(err) = self.submit_to_blocking(worker, task) {
-            // Legacy contract: the task always lands on a queue, so it is
-            // either executed or reported as abandoned at shutdown — it
-            // never silently vanishes.
-            self.queues[worker].push(err.into_task());
-        }
+    /// Submit a whole batch of keyed tasks, blocking while destination
+    /// queues are at their depth bound.
+    ///
+    /// The scheduler routes the entire key slice in one
+    /// [`Scheduler::dispatch_batch`] call (the adaptive scheduler samples
+    /// every key exactly once under one lock round-trip), the tasks are
+    /// grouped into per-worker runs, and each run crosses its queue with a
+    /// single `push_batch` under a single [`ShutdownGate`] enter/exit —
+    /// the per-task lock and gate traffic of a loop over
+    /// [`Executor::submit_blocking`] collapses to a handful of operations
+    /// per batch.
+    ///
+    /// Returns the number of tasks accepted (the whole batch on `Ok`). Once
+    /// shutdown is observed, the remaining tasks are handed back in the
+    /// error; every task accepted before that is either executed or counted
+    /// as abandoned.
+    pub fn submit_batch_blocking(
+        &self,
+        tasks: Vec<(TxnKey, T)>,
+    ) -> Result<usize, SubmitBatchError<T>> {
+        self.submit_batch_inner(tasks, true)
     }
 
-    /// Submit a task directly to a specific worker, bypassing the scheduler.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Executor::submit_to_blocking`, which reports back-pressure and shutdown \
-                instead of silently spinning or dropping"
-    )]
-    pub fn submit_to(&self, worker: usize, task: T) {
-        if let Err(err) = self.submit_to_blocking(worker, task) {
-            // Legacy contract: see `submit` above.
-            self.queues[worker].push(err.into_task());
+    /// Non-blocking variant of [`Executor::submit_batch_blocking`]: instead
+    /// of waiting out back-pressure, fills each destination queue up to its
+    /// depth bound and reports the overflow as a partial failure
+    /// ([`SubmitRejection::QueueFull`]) so the producer can retry exactly
+    /// the rejected remainder.
+    pub fn try_submit_batch(&self, tasks: Vec<(TxnKey, T)>) -> Result<usize, SubmitBatchError<T>> {
+        self.submit_batch_inner(tasks, false)
+    }
+
+    fn submit_batch_inner(
+        &self,
+        tasks: Vec<(TxnKey, T)>,
+        blocking: bool,
+    ) -> Result<usize, SubmitBatchError<T>> {
+        if tasks.is_empty() {
+            return Ok(0);
+        }
+        let total = tasks.len();
+        let keys: Vec<TxnKey> = tasks.iter().map(|&(key, _)| key).collect();
+        let mut routes = Vec::with_capacity(total);
+        self.scheduler.dispatch_batch(&keys, &mut routes);
+        debug_assert_eq!(routes.len(), total);
+
+        // Group into per-worker runs holding the bare tasks — the hot path
+        // hands each run to its queue without another per-item move; keys
+        // are re-associated from `keys`/`routes` only on the cold rejection
+        // path (see `reject_run`).
+        let workers = self.queues.len();
+        let mut runs: Vec<Vec<T>> = (0..workers)
+            .map(|_| Vec::with_capacity(total / workers + 1))
+            .collect();
+        for ((_, task), &worker) in tasks.into_iter().zip(&routes) {
+            runs[worker].push(task);
+        }
+
+        // Recover `(key, task)` pairs for the tail of a worker's run, for
+        // hand-back: the items of `run` routed to `worker` appear in `keys`
+        // in the same order, so zipping the filtered keys with the run's
+        // tail restores each task's key.
+        let reject_run =
+            |rejected: &mut Vec<(TxnKey, T)>, run: Vec<T>, skip: usize, worker: usize| {
+                let run_keys = keys
+                    .iter()
+                    .zip(&routes)
+                    .filter(|&(_, &route)| route == worker)
+                    .map(|(&key, _)| key)
+                    .skip(skip);
+                rejected.extend(run_keys.zip(run));
+            };
+
+        let mut accepted = 0usize;
+        let mut rejected: Vec<(TxnKey, T)> = Vec::new();
+        let mut queue_full = false;
+        let mut shutting_down = false;
+
+        for (worker, mut run) in runs.into_iter().enumerate() {
+            if run.is_empty() {
+                continue;
+            }
+            if shutting_down {
+                // Shutdown is global: nothing further can be accepted.
+                reject_run(&mut rejected, run, 0, worker);
+                continue;
+            }
+            let queue = &self.queues[worker];
+            // Back-pressure is per worker queue: a full queue rejects (or
+            // waits out) only its own run; other workers' runs still land.
+            // Both modes respect the depth bound chunk-wise: never push more
+            // than the observed free space, so a large batch cannot blow
+            // `max_queue_depth` by a whole run. Blocking mode waits for
+            // space and continues with the remainder; non-blocking mode
+            // reports the remainder as QueueFull overflow.
+            let mut pushed = 0usize;
+            loop {
+                let space = match self.config.max_queue_depth {
+                    None => run.len(),
+                    Some(depth) => {
+                        if blocking {
+                            let mut backoff = Backoff::new();
+                            loop {
+                                let space = depth.saturating_sub(queue.len());
+                                if space > 0 {
+                                    break space;
+                                }
+                                if !self.gate.is_open() {
+                                    shutting_down = true;
+                                    break 0;
+                                }
+                                backoff.snooze();
+                            }
+                        } else {
+                            depth.saturating_sub(queue.len())
+                        }
+                    }
+                };
+                if shutting_down {
+                    reject_run(&mut rejected, run, pushed, worker);
+                    break;
+                }
+                if space == 0 {
+                    queue_full = true;
+                    reject_run(&mut rejected, run, pushed, worker);
+                    break;
+                }
+                let chunk = if space < run.len() {
+                    let rest = run.split_off(space);
+                    std::mem::replace(&mut run, rest)
+                } else {
+                    std::mem::take(&mut run)
+                };
+                // One gate enter/exit covers the whole chunk (per-batch
+                // shutdown accounting; see ShutdownGate).
+                if !self.gate.enter() {
+                    shutting_down = true;
+                    let skip = pushed + chunk.len();
+                    reject_run(&mut rejected, chunk, pushed, worker);
+                    if !run.is_empty() {
+                        reject_run(&mut rejected, run, skip, worker);
+                    }
+                    break;
+                }
+                accepted += chunk.len();
+                pushed += chunk.len();
+                queue.push_batch(chunk);
+                self.gate.exit();
+                if run.is_empty() {
+                    break;
+                }
+                if !blocking {
+                    // Filled to the bound with items left over: overflow.
+                    queue_full = true;
+                    reject_run(&mut rejected, run, pushed, worker);
+                    break;
+                }
+            }
+        }
+
+        if !queue_full && !shutting_down {
+            Ok(accepted)
+        } else {
+            Err(SubmitBatchError {
+                accepted,
+                rejected,
+                reason: if shutting_down {
+                    SubmitRejection::ShuttingDown
+                } else {
+                    SubmitRejection::QueueFull
+                },
+            })
         }
     }
 
@@ -439,6 +690,9 @@ fn worker_loop<T, F>(
     F: Fn(usize, T) + Send + Sync,
 {
     let mut backoff = Backoff::new();
+    // Reused drain buffer: one pop_batch lock round-trip moves up to
+    // batch_size tasks out of the queue per wakeup.
+    let mut batch: Vec<T> = Vec::with_capacity(config.batch_size);
     loop {
         let running_now = gate.is_open();
         if !running_now && !config.drain_on_shutdown {
@@ -451,9 +705,18 @@ fn worker_loop<T, F>(
         // the pop below.
         let may_exit = gate.may_finish();
 
-        if let Some(task) = queues[index].try_pop() {
-            handler(index, task);
-            counters[index].record_completed(1);
+        let took = queues[index].pop_batch(&mut batch, config.batch_size);
+        if took > 0 {
+            // A popped batch is in flight: it executes to completion even if
+            // shutdown lands mid-batch, so every popped task is counted as
+            // completed rather than silently dropped. Completions are
+            // recorded per task (a Relaxed add on a worker-local counter) so
+            // live stats stay accurate even when tasks are slow; the batch
+            // win is the amortized queue lock, not the counter.
+            for task in batch.drain(..) {
+                handler(index, task);
+                counters[index].record_completed(1);
+            }
             backoff.reset();
             continue;
         }
@@ -461,15 +724,19 @@ fn worker_loop<T, F>(
         if config.work_stealing {
             // Steal from the longest other queue, which is the cheapest
             // approximation of the "grab work from other queues" policy the
-            // paper cites (Cilk-style work stealing).
+            // paper cites (Cilk-style work stealing). Steals move whole
+            // batches for the same lock amortization as the own-queue drain.
             let victim = (0..queues.len())
                 .filter(|&i| i != index)
                 .max_by_key(|&i| queues[i].len());
             if let Some(victim) = victim {
-                if let Some(task) = queues[victim].try_pop() {
-                    handler(index, task);
-                    counters[index].record_completed(1);
-                    counters[index].record_steal();
+                let stolen = queues[victim].pop_batch(&mut batch, config.batch_size);
+                if stolen > 0 {
+                    for task in batch.drain(..) {
+                        handler(index, task);
+                        counters[index].record_completed(1);
+                    }
+                    counters[index].record_stolen_batch(stolen as u64);
                     backoff.reset();
                     continue;
                 }
@@ -688,6 +955,166 @@ mod tests {
             report.abandoned >= 1,
             "task 2 was never drained: {report:?}"
         );
+    }
+
+    #[test]
+    fn batch_submission_executes_everything_in_order_per_worker() {
+        // Keys routed by the fixed partition: each worker's run must be
+        // executed in submission order.
+        let scheduler = Arc::new(FixedKeyScheduler::new(4, KeyBounds::new(0, 99)));
+        let seen: Arc<Vec<parking_lot::Mutex<Vec<u64>>>> = Arc::new(
+            (0..4)
+                .map(|_| parking_lot::Mutex::new(Vec::new()))
+                .collect(),
+        );
+        let seen_clone = Arc::clone(&seen);
+        let exec = Executor::start(drain_config(), scheduler, move |worker, task: u64| {
+            seen_clone[worker].lock().push(task);
+        });
+        let batch: Vec<(TxnKey, u64)> = (0..1_000u64).map(|i| (i % 100, i)).collect();
+        assert_eq!(exec.submit_batch_blocking(batch).unwrap(), 1_000);
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 1_000);
+        let mut total = 0;
+        for worker in seen.iter() {
+            let tasks = worker.lock();
+            total += tasks.len();
+            for pair in tasks.windows(2) {
+                assert!(pair[0] < pair[1], "per-worker FIFO violated: {pair:?}");
+            }
+        }
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(2));
+        let (exec, _) = counting_executor(scheduler, drain_config());
+        assert_eq!(exec.submit_batch_blocking(Vec::new()).unwrap(), 0);
+        assert_eq!(exec.try_submit_batch(Vec::new()).unwrap(), 0);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn try_submit_batch_reports_partial_accept_on_full_queue() {
+        // One slow worker with a depth bound of 8: a 50-task batch must be
+        // partially accepted, with the overflow handed back for retry.
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let exec = Executor::start(
+            ExecutorConfig::default()
+                .with_max_queue_depth(Some(8))
+                .with_batch_size(1)
+                .with_drain_on_shutdown(true),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_millis(2)),
+        );
+        let batch: Vec<(TxnKey, u64)> = (0..50u64).map(|i| (i, i)).collect();
+        let err = exec.try_submit_batch(batch).unwrap_err();
+        assert!(err.is_queue_full());
+        assert!(err.is_partial(), "some of the batch fits under the bound");
+        assert_eq!(err.accepted + err.rejected.len(), 50, "{err:?}");
+        let accepted_first = err.accepted as u64;
+        // Retrying the rejected remainder (blocking) loses nothing.
+        let rejected = err.into_rejected();
+        assert_eq!(rejected[0].1, accepted_first, "overflow keeps its order");
+        exec.submit_batch_blocking(rejected).unwrap();
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 50);
+    }
+
+    #[test]
+    fn blocking_batch_submission_respects_the_depth_bound() {
+        // A single producer pushing a 300-task batch against a depth bound
+        // of 10 must never blow the bound by a whole run: the batch is
+        // pushed chunk-wise, each chunk no larger than the observed free
+        // space.
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let exec = Arc::new(Executor::start(
+            ExecutorConfig::default()
+                .with_max_queue_depth(Some(10))
+                .with_batch_size(4)
+                .with_drain_on_shutdown(true),
+            scheduler,
+            |_, _task: u64| std::thread::sleep(Duration::from_micros(200)),
+        ));
+        let producer = {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || {
+                let batch: Vec<(TxnKey, u64)> = (0..300u64).map(|i| (i, i)).collect();
+                exec.submit_batch_blocking(batch).unwrap()
+            })
+        };
+        // Sample the queue while the batch trickles in. The single producer
+        // never pushes more than the free space it observed, and workers
+        // only shrink the queue, so the bound holds throughout.
+        for _ in 0..200 {
+            assert!(
+                exec.queue_lengths()[0] <= 10,
+                "blocking batch overshot the depth bound"
+            );
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(producer.join().unwrap(), 300);
+        let exec = Arc::into_inner(exec).expect("producer clone dropped");
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 300);
+    }
+
+    #[test]
+    fn batch_submission_after_stop_hands_everything_back() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(2));
+        let (exec, _) = counting_executor(scheduler, drain_config());
+        exec.stop();
+        let batch: Vec<(TxnKey, u64)> = (0..10u64).map(|i| (i, i)).collect();
+        let err = exec.submit_batch_blocking(batch).unwrap_err();
+        assert!(err.is_shutting_down());
+        assert_eq!(err.accepted, 0);
+        assert_eq!(err.rejected.len(), 10);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn concurrent_batch_producers_all_get_through() {
+        let scheduler = SchedulerKind::AdaptiveKey.build(4, KeyBounds::dict16());
+        let (exec, sum) = counting_executor(scheduler, drain_config());
+        let exec = Arc::new(exec);
+        let producers = 4u64;
+        let batches = 40u64;
+        let batch_len = 100u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let exec = Arc::clone(&exec);
+                s.spawn(move || {
+                    for b in 0..batches {
+                        let batch: Vec<(TxnKey, u64)> = (0..batch_len)
+                            .map(|i| (((p * batches + b) * batch_len + i) % 65_536, 1))
+                            .collect();
+                        exec.submit_batch_blocking(batch).unwrap();
+                    }
+                });
+            }
+        });
+        let exec = Arc::into_inner(exec).expect("all producer clones dropped");
+        let report = exec.shutdown();
+        let total = producers * batches * batch_len;
+        assert_eq!(report.completed(), total);
+        assert_eq!(sum.load(Ordering::Relaxed), total);
+    }
+
+    #[test]
+    fn batch_size_one_still_works() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(2));
+        let (exec, sum) = counting_executor(
+            scheduler,
+            drain_config()
+                .with_batch_size(1)
+                .with_queue(QueueKind::Sharded),
+        );
+        let batch: Vec<(TxnKey, u64)> = (1..=100u64).map(|i| (i, i)).collect();
+        exec.submit_batch_blocking(batch).unwrap();
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 100);
+        assert_eq!(sum.load(Ordering::Relaxed), 5_050);
     }
 
     #[test]

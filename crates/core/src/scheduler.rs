@@ -23,6 +23,21 @@ pub trait Scheduler: Send + Sync {
     /// Choose the worker that should execute a transaction with this key.
     fn dispatch(&self, key: TxnKey) -> usize;
 
+    /// Route a whole slice of keys in one call, appending one worker index
+    /// per key to `out` (in key order).
+    ///
+    /// This is the batched dispatch plane's entry point: implementations
+    /// with per-dispatch bookkeeping (the adaptive scheduler's sampling)
+    /// amortize their synchronization over the batch while observing every
+    /// key exactly once, so a batched submission leaves the scheduler in
+    /// the same state — same samples, same adaptations, same partition — as
+    /// the equivalent sequence of per-task [`dispatch`](Scheduler::dispatch)
+    /// calls. The default simply loops.
+    fn dispatch_batch(&self, keys: &[TxnKey], out: &mut Vec<usize>) {
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&key| self.dispatch(key)));
+    }
+
     /// Number of workers this scheduler routes to.
     fn workers(&self) -> usize;
 

@@ -39,6 +39,11 @@ impl WorkerCounters {
         self.stolen.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a batch of tasks stolen from another worker's queue.
+    pub fn record_stolen_batch(&self, count: u64) {
+        self.stolen.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Completed transactions.
     pub fn completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
@@ -134,6 +139,16 @@ mod tests {
         assert_eq!(c.retries(), 2);
         assert_eq!(c.idle_polls(), 1);
         assert_eq!(c.stolen(), 1);
+    }
+
+    #[test]
+    fn batch_counters_accumulate() {
+        let c = WorkerCounters::default();
+        c.record_stolen_batch(4);
+        c.record_stolen_batch(3);
+        assert_eq!(c.stolen(), 7);
+        assert_eq!(c.completed(), 0);
+        assert_eq!(c.retries(), 0);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use katme_collections::StructureKind;
 use katme_harness::experiments::executor_models;
 use katme_harness::{
-    balance_table, contention_table, fig3_hashtable, fig4_overhead, format_throughput,
-    print_series_table, tree_list, HarnessOptions,
+    balance_table, batch_dispatch, contention_table, fig3_hashtable, fig4_overhead,
+    format_throughput, print_series_table, tree_list, HarnessOptions,
 };
 use katme_workload::DistributionKind;
 
@@ -78,6 +78,15 @@ fn main() {
             "  {:>12}: {} txn/s",
             model.name(),
             format_throughput(throughput)
+        );
+    }
+
+    println!("\n################ Batched vs. per-task dispatch ################");
+    for (structure, batch, row) in batch_dispatch(&opts, DistributionKind::Uniform) {
+        println!(
+            "  {:>12} / batch {batch:>4}: {} txn/s",
+            structure.name(),
+            format_throughput(row.throughput)
         );
     }
 }

@@ -196,6 +196,42 @@ pub fn balance_table(
     out
 }
 
+/// Batch sizes swept by [`batch_dispatch`]: 1 is the paper's per-task
+/// submission protocol; the rest exercise the batched dispatch plane.
+pub const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+/// **Batched dispatch**: per-task vs. batched submission at equal workload —
+/// the same structures, distribution, scheduler, workers and window as the
+/// contention table, with only the dispatch-plane granularity varied. Each
+/// row reports the throughput of one (structure, batch-size) pair; batch
+/// size 1 is the per-task baseline the batched paths are compared against.
+pub fn batch_dispatch(
+    opts: &HarnessOptions,
+    distribution: DistributionKind,
+) -> Vec<(StructureKind, usize, ExperimentRow)> {
+    let workers = opts.worker_counts().into_iter().max().unwrap_or(4);
+    let mut out = Vec::new();
+    for structure in StructureKind::ALL {
+        for &batch in &BATCH_SIZES {
+            let mut results = Vec::new();
+            for rep in 0..opts.repetitions() {
+                let config = base_config(opts, structure)
+                    .with_workers(workers)
+                    .with_scheduler(SchedulerKind::AdaptiveKey)
+                    .with_batch_size(batch)
+                    .with_seed(0xba7c + rep as u64);
+                results.push(Driver::new(config).run_dictionary(structure, distribution));
+            }
+            out.push((
+                structure,
+                batch,
+                ExperimentRow::from_results(format!("batch={batch}"), workers, &results),
+            ));
+        }
+    }
+    out
+}
+
 /// Ablation: executor models of Figure 1 (no executor / centralized /
 /// parallel) on the hash table with the adaptive scheduler.
 pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
@@ -266,6 +302,17 @@ mod tests {
         let rows = contention_table(&quick(), DistributionKind::Uniform);
         assert_eq!(rows.len(), 9);
         assert!(rows.iter().all(|(_, _, ratio)| *ratio >= 0.0));
+    }
+
+    #[test]
+    fn batch_dispatch_covers_structures_and_batch_sizes() {
+        let rows = batch_dispatch(&quick(), DistributionKind::Uniform);
+        assert_eq!(rows.len(), 3 * BATCH_SIZES.len());
+        assert!(rows.iter().all(|(_, _, row)| row.completed > 0));
+        assert!(
+            rows.iter().any(|(_, batch, _)| *batch == 1),
+            "must include the per-task baseline"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | Tech-report companion | [`experiments::tree_list`] / `tree_list` | the same sweep as Figure 3 for the red-black tree and sorted list |
 //! | Contention table | [`experiments::contention_table`] / `contention_table` | aborts per committed transaction per scheduler/structure |
 //! | Load-balance table | [`experiments::balance_table`] / `balance_table` | per-worker completion share under each scheduler |
+//! | Batched dispatch (extension) | [`experiments::batch_dispatch`] / `batch_dispatch` | per-task vs. batched submission throughput at equal workload |
 //!
 //! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
 //! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
@@ -27,8 +28,8 @@ pub mod options;
 pub mod report;
 
 pub use experiments::{
-    balance_table, contention_table, fig3_hashtable, fig4_overhead, tree_list, ExperimentRow,
-    Fig4Row,
+    balance_table, batch_dispatch, contention_table, fig3_hashtable, fig4_overhead, tree_list,
+    ExperimentRow, Fig4Row, BATCH_SIZES,
 };
 pub use options::HarnessOptions;
 pub use report::{format_throughput, print_series_table};

@@ -61,6 +61,7 @@ pub struct Builder {
     max_queue_depth: Option<usize>,
     drain_on_shutdown: bool,
     work_stealing: bool,
+    batch_size: usize,
 }
 
 impl Default for Builder {
@@ -81,6 +82,7 @@ impl Default for Builder {
             max_queue_depth: Some(10_000),
             drain_on_shutdown: true,
             work_stealing: false,
+            batch_size: katme_core::executor::DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -191,6 +193,15 @@ impl Builder {
         self
     }
 
+    /// Maximum tasks a worker (and the central dispatcher, when present)
+    /// drains per wakeup — the granularity of the batched dispatch plane.
+    /// Must be at least 1 (validated at [`Builder::build`]); defaults to
+    /// [`katme_core::executor::DEFAULT_BATCH_SIZE`].
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
     fn validate(&self) -> Result<KeyBounds, KatmeError> {
         if self.scheduler_instance.is_none() && self.workers == 0 {
             return Err(KatmeError::InvalidConfig(
@@ -212,6 +223,12 @@ impl Builder {
             return Err(KatmeError::InvalidConfig(
                 "max_queue_depth of 0 would reject every submission; use None to disable \
                  back-pressure"
+                    .into(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(KatmeError::InvalidConfig(
+                "batch_size must be at least 1 (workers drain up to batch_size tasks per wakeup)"
                     .into(),
             ));
         }
@@ -253,7 +270,8 @@ impl Builder {
             .with_queue(self.queue)
             .with_drain_on_shutdown(self.drain_on_shutdown)
             .with_work_stealing(self.work_stealing)
-            .with_max_queue_depth(self.max_queue_depth);
+            .with_max_queue_depth(self.max_queue_depth)
+            .with_batch_size(self.batch_size);
         Ok(Runtime::start(
             self.model,
             scheduler,
@@ -278,6 +296,7 @@ impl std::fmt::Debug for Builder {
             .field("max_queue_depth", &self.max_queue_depth)
             .field("drain_on_shutdown", &self.drain_on_shutdown)
             .field("work_stealing", &self.work_stealing)
+            .field("batch_size", &self.batch_size)
             .finish()
     }
 }
@@ -325,6 +344,25 @@ mod tests {
             .build(noop_handler())
             .is_err());
         assert!(Katme::builder().producers(0).build(noop_handler()).is_err());
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected() {
+        let err = Katme::builder()
+            .batch_size(0)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("batch_size")),
+            "{err}"
+        );
+        assert!(Katme::builder()
+            .batch_size(1)
+            .build(noop_handler())
+            .is_ok_and(|runtime| {
+                runtime.shutdown();
+                true
+            }));
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct DriverConfig {
     /// Number of keys pre-inserted into the structure before the timed
     /// window, so inserts and deletes both find work to do from the start.
     pub preload: usize,
+    /// Tasks each producer generates and submits per batch (and the worker
+    /// drain granularity). `1` reproduces the paper's per-task submission
+    /// protocol exactly; larger values exercise the batched dispatch plane.
+    pub batch_size: usize,
 }
 
 impl Default for DriverConfig {
@@ -75,6 +79,7 @@ impl Default for DriverConfig {
             max_queue_depth: Some(10_000),
             seed: 0x5eed,
             preload: 10_000,
+            batch_size: 1,
         }
     }
 }
@@ -150,6 +155,13 @@ impl DriverConfig {
         self.seed = seed;
         self
     }
+
+    /// Set the producer submission / worker drain batch size (clamped to at
+    /// least 1; 1 = the paper's per-task protocol).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
 }
 
 /// Result of one timed run.
@@ -222,6 +234,7 @@ impl Driver {
             .queue(cfg.queue)
             .work_stealing(cfg.work_stealing)
             .max_queue_depth(cfg.max_queue_depth)
+            .batch_size(cfg.batch_size)
             // The paper's driver "stops the producer and worker threads
             // after the test period": leftover queue contents are abandoned
             // and reported, not drained.
@@ -259,10 +272,11 @@ impl Driver {
             })
             .expect("DriverConfig produces a valid runtime configuration");
 
-        let (_produced, per_producer, elapsed) = drive_window(
+        let window = drive_window(
             &runtime,
             cfg.duration,
             self.producer_threads(),
+            cfg.batch_size,
             |producer| {
                 let mut gen =
                     OpGenerator::paper(distribution, cfg.seed.wrapping_add(1000 + producer as u64));
@@ -277,7 +291,7 @@ impl Driver {
                 }
             },
         );
-        self.collect(runtime, &per_producer, elapsed)
+        self.collect(runtime, window)
     }
 
     /// The Figure-4 overhead study: trivial transactions (a single-TVar
@@ -310,11 +324,14 @@ impl Driver {
                         .atomically(|tx| tx.modify(&counters_for_workers[lane.task], |v| v + 1));
                 })
                 .expect("DriverConfig produces a valid runtime configuration");
-            let (_produced, per_producer, elapsed) =
-                drive_window(&runtime, cfg.duration, cfg.workers, |producer| {
-                    move || WithKey::new(producer as u64, producer)
-                });
-            let mut result = self.collect(runtime, &per_producer, elapsed);
+            let window = drive_window(
+                &runtime,
+                cfg.duration,
+                cfg.workers,
+                cfg.batch_size,
+                |producer| move || WithKey::new(producer as u64, producer),
+            );
+            let mut result = self.collect(runtime, window);
             result.producers = 0;
             return result;
         }
@@ -340,8 +357,12 @@ impl Driver {
                     .atomically(|tx| tx.modify(&counters_for_workers[worker], |v| v + 1));
             })
             .expect("DriverConfig produces a valid runtime configuration");
-        let (_produced, per_producer, elapsed) =
-            drive_window(&runtime, cfg.duration, cfg.producers, |producer| {
+        let window = drive_window(
+            &runtime,
+            cfg.duration,
+            cfg.producers,
+            cfg.batch_size,
+            |producer| {
                 let mut gen = OpGenerator::paper(
                     DistributionKind::Uniform,
                     cfg.seed.wrapping_add(1000 + producer as u64),
@@ -350,29 +371,29 @@ impl Driver {
                     let spec = gen.next_spec();
                     WithKey::new(u64::from(spec.key), spec)
                 }
-            });
-        let mut result = self.collect(runtime, &per_producer, elapsed);
+            },
+        );
+        let mut result = self.collect(runtime, window);
         result.producers = cfg.producers;
         result
     }
 
-    /// Read the live stats at the end of the window, shut the runtime down,
-    /// and assemble the run result. Under the no-executor model the genuine
-    /// per-thread completion counts come from the producers themselves
-    /// (inline execution: produced == completed per thread), not from the
-    /// runtime's aggregate counter.
+    /// Assemble the run result from the stats snapshot [`drive_window`] took
+    /// when the window closed, then shut the runtime down. Under the
+    /// no-executor model the genuine per-thread completion counts come from
+    /// the producers themselves (inline execution: produced == completed per
+    /// thread), not from the runtime's aggregate counter.
     fn collect<T: Send + 'static, R: Send + 'static>(
         &self,
         runtime: Runtime<T, R>,
-        per_producer: &[u64],
-        elapsed: Duration,
+        window: Window,
     ) -> RunResult {
         let cfg = &self.config;
         let model = runtime.model();
-        let stats = runtime.stats();
         runtime.shutdown();
+        let stats = window.stats;
         let load = match model {
-            ExecutorModel::NoExecutor => LoadBalance::new(per_producer.to_vec()),
+            ExecutorModel::NoExecutor => LoadBalance::new(window.per_producer.clone()),
             _ => LoadBalance::new(stats.per_worker_completed),
         };
         RunResult {
@@ -380,47 +401,78 @@ impl Driver {
             model,
             workers: cfg.workers,
             producers: self.producer_threads(),
-            elapsed,
+            elapsed: window.elapsed,
             completed: stats.completed,
-            produced: per_producer.iter().sum(),
-            throughput: stats.completed as f64 / elapsed.as_secs_f64(),
+            produced: window.per_producer.iter().sum(),
+            throughput: stats.completed as f64 / window.elapsed.as_secs_f64(),
             load,
             stm: stats.stm,
         }
     }
 }
 
+/// What [`drive_window`] measured: the per-producer submission counts (each
+/// producer tallies locally — no shared counter on the submission hot path)
+/// and a [`StatsView`] snapshot plus elapsed time captured *at the moment
+/// the window closed* — before the producers are joined, so a producer that
+/// sits out a back-pressure wait in its final (batched) submission cannot
+/// stretch the measured window.
+struct Window {
+    per_producer: Vec<u64>,
+    elapsed: Duration,
+    stats: crate::runtime::StatsView,
+}
+
 /// Run `producers` generating threads against `runtime` for `duration`:
 /// each thread gets its own task generator from `factory` and submits until
-/// the window closes (or the runtime refuses new work). Returns the total
-/// and per-producer submission counts (each producer tallies locally — no
-/// shared counter on the submission hot path) plus the elapsed window.
+/// the window closes (or the runtime refuses new work). With `batch_size`
+/// above 1 each producer generates a whole batch locally and hands it over
+/// through the batched dispatch plane ([`Runtime::submit_batch_detached`]);
+/// at 1 it reproduces the paper's per-task submission.
 fn drive_window<T, R, F, G>(
     runtime: &Runtime<WithKey<T>, R>,
     duration: Duration,
     producers: usize,
+    batch_size: usize,
     factory: F,
-) -> (u64, Vec<u64>, Duration)
+) -> Window
 where
     T: Send + 'static,
     R: Send + 'static,
     F: Fn(usize) -> G + Sync,
     G: FnMut() -> WithKey<T> + Send,
 {
+    let batch_size = batch_size.max(1);
     let run = AtomicBool::new(true);
     let started = Instant::now();
-    let per_producer: Vec<u64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..producers)
             .map(|producer| {
                 let run = &run;
                 let mut generate = factory(producer);
                 scope.spawn(move || {
                     let mut local = 0u64;
-                    while run.load(Ordering::Relaxed) {
-                        if runtime.submit_detached(generate()).is_err() {
-                            break;
+                    if batch_size == 1 {
+                        while run.load(Ordering::Relaxed) {
+                            if runtime.submit_detached(generate()).is_err() {
+                                break;
+                            }
+                            local += 1;
                         }
-                        local += 1;
+                    } else {
+                        while run.load(Ordering::Relaxed) {
+                            let batch: Vec<_> = (0..batch_size).map(|_| generate()).collect();
+                            match runtime.submit_batch_detached(batch) {
+                                Ok(accepted) => local += accepted as u64,
+                                Err(err) => {
+                                    // Blocking submission only fails on
+                                    // shutdown; the accepted prefix still
+                                    // counts as produced.
+                                    local += err.accepted as u64;
+                                    break;
+                                }
+                            }
+                        }
                     }
                     local
                 })
@@ -428,13 +480,21 @@ where
             .collect();
         std::thread::sleep(duration);
         run.store(false, Ordering::Relaxed);
-        handles
+        // Snapshot the stats the instant the window closes: completions that
+        // land while producers wind down their last batch belong to the
+        // shutdown tail, not the measurement.
+        let stats = runtime.stats();
+        let elapsed = started.elapsed();
+        let per_producer: Vec<u64> = handles
             .into_iter()
             .map(|handle| handle.join().expect("producer thread panicked"))
-            .collect()
-    });
-    let produced = per_producer.iter().sum();
-    (produced, per_producer, started.elapsed())
+            .collect();
+        Window {
+            per_producer,
+            elapsed,
+            stats,
+        }
+    })
 }
 
 /// Apply one generated transaction to a dictionary — the canonical
@@ -480,7 +540,8 @@ mod tests {
             .with_work_stealing(true)
             .with_max_queue_depth(Some(64))
             .with_preload(5)
-            .with_seed(9);
+            .with_seed(9)
+            .with_batch_size(16);
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.producers, 2);
         assert_eq!(cfg.scheduler, SchedulerKind::FixedKey);
@@ -491,6 +552,8 @@ mod tests {
         assert_eq!(cfg.max_queue_depth, Some(64));
         assert_eq!(cfg.preload, 5);
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.batch_size, 16);
+        assert_eq!(cfg.with_batch_size(0).batch_size, 1, "clamped to 1");
     }
 
     #[test]
@@ -507,6 +570,23 @@ mod tests {
             assert!(result.completed > 0, "{model}: {result:?}");
             assert!(result.produced >= result.completed, "{model}: {result:?}");
             assert!(result.throughput > 0.0, "{model}");
+        }
+    }
+
+    #[test]
+    fn batched_dictionary_run_completes_transactions_in_every_model() {
+        for model in ExecutorModel::ALL {
+            let config = DriverConfig::new()
+                .with_workers(2)
+                .with_producers(2)
+                .with_model(model)
+                .with_duration(Duration::from_millis(60))
+                .with_preload(200)
+                .with_batch_size(32);
+            let result = Driver::new(config)
+                .run_dictionary(StructureKind::HashTable, DistributionKind::Uniform);
+            assert!(result.completed > 0, "{model}: {result:?}");
+            assert!(result.produced >= result.completed, "{model}: {result:?}");
         }
     }
 

@@ -44,10 +44,17 @@
 //! assert_eq!(report.completed, 1);
 //! ```
 //!
+//! * The whole submit→schedule→enqueue→drain path is **batch-first**:
+//!   [`Runtime::submit_batch`] hands over a `Vec` of tasks, the scheduler
+//!   routes all keys in one pass, each worker queue is crossed with a single
+//!   lock round-trip, and workers drain up to [`Builder::batch_size`] tasks
+//!   per wakeup. Partial failures come back as a typed
+//!   [`BatchSubmitError`] with the accepted handles and the rejected
+//!   remainder. The single-task API is the batch-of-one special case.
+//!
 //! The building blocks remain available underneath — re-exported as
 //! [`core`], [`stm`], [`queue`], [`collections`] and [`workload`] — for
-//! custom pipelines; the deprecated raw `Executor::start`/`submit` surface
-//! in `katme-core` keeps compiling for older callers.
+//! custom pipelines.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -61,7 +68,7 @@ mod task;
 pub use builder::{Builder, Katme};
 pub use driver::{apply_spec, Driver, DriverConfig, RunResult};
 pub use error::KatmeError;
-pub use runtime::{Runtime, ShutdownReport, StatsView};
+pub use runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView};
 pub use task::{KeyedTask, TaskHandle, WithKey};
 
 // The composed layers, re-exported whole for advanced use…
@@ -89,7 +96,7 @@ pub mod prelude {
     pub use crate::builder::{Builder, Katme};
     pub use crate::driver::{Driver, DriverConfig, RunResult};
     pub use crate::error::KatmeError;
-    pub use crate::runtime::{Runtime, ShutdownReport, StatsView};
+    pub use crate::runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView};
     pub use crate::task::{KeyedTask, TaskHandle, WithKey};
     pub use katme_core::key::{KeyBounds, TxnKey};
     pub use katme_core::models::ExecutorModel;

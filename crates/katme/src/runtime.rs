@@ -1,16 +1,16 @@
 //! The running system: worker pool, optional central dispatcher, live stats.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use katme_core::executor::{Executor, ShutdownGate, SubmitError};
+use katme_core::executor::{Executor, ShutdownGate, SubmitError, SubmitRejection};
 use katme_core::key::TxnKey;
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::Scheduler;
 use katme_core::stats::LoadBalance;
-use katme_queue::{Backoff, TwoLockQueue};
+use katme_queue::{thread_stripe, Backoff, TwoLockQueue};
 use katme_stm::{Stm, StmStatsSnapshot};
 
 use crate::error::KatmeError;
@@ -22,6 +22,100 @@ pub(crate) struct Envelope<T, R> {
     key: TxnKey,
     task: T,
     completion: Option<Completion<R>>,
+    /// Position in the originating batch (0 for single submissions); lets a
+    /// partial batch failure map rejected envelopes back to their handles
+    /// and restore the caller's submission order.
+    batch_index: usize,
+}
+
+/// Typed partial-failure report from the batch submission API
+/// ([`Runtime::submit_batch`], [`Runtime::try_submit_batch`] and their
+/// detached variants).
+///
+/// Distinguishes "never accepted" (`accepted == 0`) from "partially
+/// accepted" (`accepted > 0`): every accepted task is in flight and — for
+/// the handle-returning calls — observable through
+/// [`handles`](BatchSubmitError::handles); the rejected tasks are handed
+/// back in their original submission order, ready to resubmit.
+pub struct BatchSubmitError<T, R> {
+    /// Number of tasks accepted before the failure.
+    pub accepted: usize,
+    /// Handles for the accepted tasks, in submission order (empty for the
+    /// detached variants, which allocate no handles).
+    pub handles: Vec<TaskHandle<R>>,
+    /// The tasks that were not accepted, in submission order.
+    pub rejected: Vec<T>,
+    /// Why acceptance stopped ([`KatmeError::QueueFull`] or
+    /// [`KatmeError::ShuttingDown`]).
+    pub error: KatmeError,
+}
+
+impl<T, R> BatchSubmitError<T, R> {
+    /// True when some (but not all) of the batch was accepted.
+    pub fn is_partial(&self) -> bool {
+        self.accepted > 0
+    }
+
+    /// Recover the rejected tasks for a retry.
+    pub fn into_rejected(self) -> Vec<T> {
+        self.rejected
+    }
+}
+
+impl<T, R> std::fmt::Debug for BatchSubmitError<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSubmitError")
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected.len())
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl<T, R> std::fmt::Display for BatchSubmitError<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch submission accepted {} task(s), rejected {}: {}",
+            self.accepted,
+            self.rejected.len(),
+            self.error
+        )
+    }
+}
+
+impl<T, R> std::error::Error for BatchSubmitError<T, R> {}
+
+/// Build a [`BatchSubmitError`] from rejected envelopes: restores the
+/// caller's submission order, discards the rejected tasks' completions (the
+/// matching handles are dropped here, never returned), and keeps only the
+/// handles of accepted tasks. `accepted` is left at 0 for the caller to fill
+/// in.
+fn unpack_rejection<T, R>(
+    mut rejected: Vec<Envelope<T, R>>,
+    handles: Vec<TaskHandle<R>>,
+    error: KatmeError,
+) -> BatchSubmitError<T, R> {
+    rejected.sort_by_key(|envelope| envelope.batch_index);
+    let accepted_handles = if handles.is_empty() {
+        handles
+    } else {
+        let rejected_indices: std::collections::HashSet<usize> = rejected
+            .iter()
+            .map(|envelope| envelope.batch_index)
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, handle)| (!rejected_indices.contains(&index)).then_some(handle))
+            .collect()
+    };
+    BatchSubmitError {
+        accepted: 0,
+        handles: accepted_handles,
+        rejected: rejected.into_iter().map(|envelope| envelope.task).collect(),
+        error,
+    }
 }
 
 /// Stripe count for the inline-completion counters (power of two).
@@ -52,8 +146,12 @@ impl StripedCounter {
     }
 
     fn increment(&self) {
+        self.increment_by(1);
+    }
+
+    fn increment_by(&self, count: u64) {
         let stripe = thread_stripe() & (INLINE_STRIPES - 1);
-        self.stripes[stripe].0.fetch_add(1, Ordering::Relaxed);
+        self.stripes[stripe].0.fetch_add(count, Ordering::Relaxed);
     }
 
     fn total(&self) -> u64 {
@@ -62,22 +160,6 @@ impl StripedCounter {
             .map(|c| c.0.load(Ordering::Relaxed))
             .sum()
     }
-}
-
-/// Small, stable per-thread index (assigned round-robin on first use).
-fn thread_stripe() -> usize {
-    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
-    }
-    STRIPE.with(|slot| {
-        let mut stripe = slot.get();
-        if stripe == usize::MAX {
-            stripe = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
-            slot.set(stripe);
-        }
-        stripe
-    })
 }
 
 /// Central-dispatcher state for [`ExecutorModel::Centralized`] (Figure 1(b)):
@@ -135,6 +217,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         let accepting = Arc::new(AtomicBool::new(true));
         let max_queue_depth = executor_config.max_queue_depth;
         let drain_on_shutdown = executor_config.drain_on_shutdown;
+        let batch_size = executor_config.batch_size;
 
         let executor = if model.uses_queues() {
             let handler = Arc::clone(&handler);
@@ -166,31 +249,41 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                         .name("katme-dispatcher".into())
                         .spawn(move || {
                             let mut backoff = Backoff::new();
+                            // Batched forwarding: drain up to batch_size
+                            // envelopes per wakeup and hand them to the
+                            // worker pool in one batch submission, so the
+                            // scheduler and the worker queues see one call
+                            // per batch instead of one per task.
+                            let mut buffer: Vec<Envelope<T, R>> = Vec::with_capacity(batch_size);
                             loop {
                                 // Exit handshake (see ShutdownGate): must be
                                 // read *before* the dequeue below.
                                 let may_exit = gate.may_finish();
-                                match queue.dequeue() {
-                                    Some(envelope) => {
-                                        // A full worker queue applies back-
-                                        // pressure to the dispatcher itself.
-                                        // Once the workers have stopped (only
-                                        // in the no-drain teardown) the
-                                        // envelope is dropped: its handle
-                                        // resolves as abandoned and the drop
-                                        // is counted into the report.
-                                        if forward.submit_blocking(envelope.key, envelope).is_err()
-                                        {
-                                            dropped.fetch_add(1, Ordering::Relaxed);
-                                        }
-                                        backoff.reset();
+                                let took = queue.dequeue_batch(&mut buffer, batch_size);
+                                if took > 0 {
+                                    // A full worker queue applies back-
+                                    // pressure to the dispatcher itself.
+                                    // Once the workers have stopped (only in
+                                    // the no-drain teardown) the remaining
+                                    // envelopes are dropped: their handles
+                                    // resolve as abandoned and the drops are
+                                    // counted into the report.
+                                    let keyed: Vec<_> = buffer
+                                        .drain(..)
+                                        .map(|envelope| (envelope.key, envelope))
+                                        .collect();
+                                    if let Err(err) = forward.submit_batch_blocking(keyed) {
+                                        dropped.fetch_add(
+                                            err.rejected.len() as u64,
+                                            Ordering::Relaxed,
+                                        );
                                     }
-                                    None => {
-                                        if may_exit {
-                                            return;
-                                        }
-                                        backoff.snooze();
+                                    backoff.reset();
+                                } else {
+                                    if may_exit {
+                                        return;
                                     }
+                                    backoff.snooze();
                                 }
                             }
                         })
@@ -300,6 +393,287 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         self.dispatch(task, None, false)
     }
 
+    /// Submit a whole batch of tasks, blocking under back-pressure, and
+    /// receive one typed handle per task (in submission order).
+    ///
+    /// The entire submit→schedule→enqueue path runs batch-wise: one
+    /// scheduler pass over all keys, one queue lock round-trip per worker
+    /// run, one shutdown-gate crossing per run — the per-task dispatch cost
+    /// of a loop over [`Runtime::submit`] collapses to a handful of
+    /// operations per batch. On failure (shutdown observed mid-batch) the
+    /// [`BatchSubmitError`] reports the accepted prefix's handles and hands
+    /// the rejected tasks back in submission order.
+    pub fn submit_batch(&self, tasks: Vec<T>) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
+    where
+        T: KeyedTask,
+    {
+        self.dispatch_batch(tasks, true, true)
+            .map(|(_, handles)| handles)
+    }
+
+    /// Non-blocking [`Runtime::submit_batch`]: instead of waiting out
+    /// back-pressure, fills the destination queues up to their depth bound
+    /// and reports the overflow as a partial failure
+    /// ([`KatmeError::QueueFull`]) with the accepted handles and the
+    /// rejected remainder, so the producer retries exactly what was not
+    /// taken.
+    pub fn try_submit_batch(
+        &self,
+        tasks: Vec<T>,
+    ) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
+    where
+        T: KeyedTask,
+    {
+        self.dispatch_batch(tasks, true, false)
+            .map(|(_, handles)| handles)
+    }
+
+    /// Fire-and-forget batch submission (no handle allocations) — the hot
+    /// path for throughput experiments. Blocks under back-pressure; returns
+    /// the number of tasks accepted (the whole batch on `Ok`).
+    pub fn submit_batch_detached(&self, tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
+    where
+        T: KeyedTask,
+    {
+        self.dispatch_batch(tasks, false, true)
+            .map(|(accepted, _)| accepted)
+    }
+
+    /// Non-blocking [`Runtime::submit_batch_detached`].
+    pub fn try_submit_batch_detached(&self, tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
+    where
+        T: KeyedTask,
+    {
+        self.dispatch_batch(tasks, false, false)
+            .map(|(accepted, _)| accepted)
+    }
+
+    /// Batch spine shared by the four `*_batch` entry points. Returns the
+    /// accepted count and (for `with_handles`) one handle per accepted task.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_batch(
+        &self,
+        tasks: Vec<T>,
+        with_handles: bool,
+        blocking: bool,
+    ) -> Result<(usize, Vec<TaskHandle<R>>), BatchSubmitError<T, R>>
+    where
+        T: KeyedTask,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return Ok((0, Vec::new()));
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(BatchSubmitError {
+                accepted: 0,
+                handles: Vec::new(),
+                rejected: tasks,
+                error: KatmeError::ShuttingDown,
+            });
+        }
+
+        match self.model {
+            ExecutorModel::NoExecutor => {
+                // Figure 1(a): the batch executes inline in the submitting
+                // thread; one striped-counter update covers the whole batch.
+                let mut handles = Vec::with_capacity(if with_handles { total } else { 0 });
+                for task in tasks {
+                    let result = (self.handler)(0, task);
+                    if with_handles {
+                        let (handle, completion) = handle_pair();
+                        completion.complete(result);
+                        handles.push(handle);
+                    }
+                }
+                self.inline_completed.increment_by(total as u64);
+                Ok((total, handles))
+            }
+            ExecutorModel::Centralized => {
+                let central = self.central.as_ref().expect("centralized model");
+                let (mut envelopes, handles) = self.package(tasks, with_handles);
+
+                // Back-pressure against the central queue, respected
+                // chunk-wise: never enqueue more than the observed free
+                // space, so a large batch cannot blow the depth bound by a
+                // whole batch. Blocking submissions wait for space and
+                // continue with the remainder; non-blocking submissions
+                // accept the prefix that fits and report the rest as
+                // QueueFull overflow.
+                let mut accepted = 0usize;
+                loop {
+                    let space = match central.depth {
+                        None => envelopes.len(),
+                        Some(depth) => {
+                            if blocking {
+                                let mut backoff = Backoff::new();
+                                loop {
+                                    let space = depth.saturating_sub(central.queue.count());
+                                    if space > 0 {
+                                        break space;
+                                    }
+                                    if !self.accepting.load(Ordering::Acquire) {
+                                        let mut err = unpack_rejection(
+                                            envelopes,
+                                            handles,
+                                            KatmeError::ShuttingDown,
+                                        );
+                                        err.accepted = accepted;
+                                        return Err(err);
+                                    }
+                                    backoff.snooze();
+                                }
+                            } else {
+                                depth.saturating_sub(central.queue.count())
+                            }
+                        }
+                    };
+                    if space == 0 {
+                        let mut err = unpack_rejection(envelopes, handles, KatmeError::QueueFull);
+                        err.accepted = accepted;
+                        return Err(err);
+                    }
+                    let overflow = if space < envelopes.len() {
+                        envelopes.split_off(space)
+                    } else {
+                        Vec::new()
+                    };
+                    let chunk_len = envelopes.len();
+                    // Count the acceptance before the enqueue so a concurrent
+                    // stats() never observes completed > submitted.
+                    self.submitted
+                        .fetch_add(chunk_len as u64, Ordering::Relaxed);
+                    if !central.gate.enter() {
+                        self.submitted
+                            .fetch_sub(chunk_len as u64, Ordering::Relaxed);
+                        envelopes.extend(overflow);
+                        let mut err =
+                            unpack_rejection(envelopes, handles, KatmeError::ShuttingDown);
+                        err.accepted = accepted;
+                        return Err(err);
+                    }
+                    central.queue.enqueue_batch(envelopes);
+                    central.gate.exit();
+                    accepted += chunk_len;
+
+                    if overflow.is_empty() {
+                        return Ok((accepted, handles));
+                    }
+                    if !blocking {
+                        // Filled to the bound with tasks left over: overflow.
+                        let mut err = unpack_rejection(overflow, handles, KatmeError::QueueFull);
+                        err.accepted = accepted;
+                        return Err(err);
+                    }
+                    envelopes = overflow;
+                }
+            }
+            ExecutorModel::Parallel => {
+                let executor = self.executor.as_ref().expect("parallel model");
+                let (keyed, handles) = self.package_keyed(tasks, with_handles);
+                // Count the acceptance before the push so a concurrent
+                // stats() never observes completed > submitted.
+                self.submitted.fetch_add(total as u64, Ordering::Relaxed);
+                let outcome = if blocking {
+                    executor.submit_batch_blocking(keyed)
+                } else {
+                    executor.try_submit_batch(keyed)
+                };
+                match outcome {
+                    Ok(accepted) => Ok((accepted, handles)),
+                    Err(err) => {
+                        self.submitted
+                            .fetch_sub(err.rejected.len() as u64, Ordering::Relaxed);
+                        let error = match err.reason {
+                            SubmitRejection::QueueFull => KatmeError::QueueFull,
+                            SubmitRejection::ShuttingDown => KatmeError::ShuttingDown,
+                        };
+                        let accepted = err.accepted;
+                        let rejected_envelopes: Vec<Envelope<T, R>> = err
+                            .into_rejected()
+                            .into_iter()
+                            .map(|(_, envelope)| envelope)
+                            .collect();
+                        let mut batch_err = unpack_rejection(rejected_envelopes, handles, error);
+                        batch_err.accepted = accepted;
+                        Err(batch_err)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wrap a batch of tasks into indexed envelopes, allocating one handle
+    /// per task when requested.
+    fn package(
+        &self,
+        tasks: Vec<T>,
+        with_handles: bool,
+    ) -> (Vec<Envelope<T, R>>, Vec<TaskHandle<R>>)
+    where
+        T: KeyedTask,
+    {
+        let mut handles = Vec::with_capacity(if with_handles { tasks.len() } else { 0 });
+        let envelopes = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(batch_index, task)| {
+                let completion = if with_handles {
+                    let (handle, completion) = handle_pair();
+                    handles.push(handle);
+                    Some(completion)
+                } else {
+                    None
+                };
+                Envelope {
+                    key: task.key(),
+                    task,
+                    completion,
+                    batch_index,
+                }
+            })
+            .collect();
+        (envelopes, handles)
+    }
+
+    /// [`Runtime::package`], but producing the `(key, envelope)` pairs the
+    /// executor's batch API consumes — one pass, no intermediate `Vec`.
+    #[allow(clippy::type_complexity)]
+    fn package_keyed(
+        &self,
+        tasks: Vec<T>,
+        with_handles: bool,
+    ) -> (Vec<(TxnKey, Envelope<T, R>)>, Vec<TaskHandle<R>>)
+    where
+        T: KeyedTask,
+    {
+        let mut handles = Vec::with_capacity(if with_handles { tasks.len() } else { 0 });
+        let keyed = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(batch_index, task)| {
+                let completion = if with_handles {
+                    let (handle, completion) = handle_pair();
+                    handles.push(handle);
+                    Some(completion)
+                } else {
+                    None
+                };
+                let key = task.key();
+                (
+                    key,
+                    Envelope {
+                        key,
+                        task,
+                        completion,
+                        batch_index,
+                    },
+                )
+            })
+            .collect();
+        (keyed, handles)
+    }
+
     fn dispatch(
         &self,
         task: T,
@@ -333,6 +707,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     key,
                     task,
                     completion,
+                    batch_index: 0,
                 };
                 if let Some(depth) = central.depth {
                     if blocking {
@@ -364,6 +739,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     key,
                     task,
                     completion,
+                    batch_index: 0,
                 };
                 // Count the acceptance before the push so a concurrent
                 // stats() never observes completed > submitted.

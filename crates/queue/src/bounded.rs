@@ -6,6 +6,15 @@
 //! the harness instead wants to *bound* producer run-ahead — e.g. to measure
 //! steady-state behaviour rather than unbounded queue growth — it uses this
 //! bounded ring buffer and treats a full queue as back-pressure.
+//!
+//! Batch submissions need more than a yes/no answer from a full queue: a
+//! producer that handed over fifty tasks and got "full" back must know
+//! whether *zero* or *thirty* of them were actually accepted before it can
+//! retry the remainder. [`BoundedQueue::try_push_batch`] therefore reports
+//! partial acceptance through [`PushBatchError`], which carries the accepted
+//! count and hands back exactly the tasks that did not fit — fixing the
+//! lossy all-or-nothing reporting of the single-item [`PushError`], which
+//! cannot distinguish the two cases.
 
 use std::collections::VecDeque;
 
@@ -14,11 +23,61 @@ use parking_lot::Mutex;
 use crate::TaskQueue;
 
 /// Error returned by [`BoundedQueue::try_push`] when the queue is full.
+///
+/// A single-item push is all-or-nothing, so the error simply hands the item
+/// back. Batch pushes use [`PushBatchError`] instead, which additionally
+/// reports how much of the batch was accepted before the queue filled up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PushError<T>(
     /// The item that could not be enqueued, handed back to the caller.
     pub T,
 );
+
+impl<T> PushError<T> {
+    /// Recover the rejected item.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+/// Error returned by [`BoundedQueue::try_push_batch`] when the queue filled
+/// up before the whole batch was accepted.
+///
+/// Distinguishes "never accepted" ([`accepted`](PushBatchError::accepted)
+/// `== 0`) from "partially accepted" (`accepted > 0`): the first `accepted`
+/// items of the batch are now queued, and [`rejected`](PushBatchError::rejected)
+/// holds the remainder in their original order, ready to be retried verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushBatchError<T> {
+    /// Number of items from the front of the batch that were enqueued before
+    /// the queue reached capacity.
+    pub accepted: usize,
+    /// The items that did not fit, in their original batch order.
+    pub rejected: Vec<T>,
+}
+
+impl<T> PushBatchError<T> {
+    /// True when some (but not all) of the batch was accepted.
+    pub fn is_partial(&self) -> bool {
+        self.accepted > 0
+    }
+
+    /// Recover the rejected remainder for a retry.
+    pub fn into_rejected(self) -> Vec<T> {
+        self.rejected
+    }
+}
+
+impl<T> std::fmt::Display for PushBatchError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bounded queue accepted {} item(s), rejected {}",
+            self.accepted,
+            self.rejected.len()
+        )
+    }
+}
 
 /// A fixed-capacity FIFO queue.
 pub struct BoundedQueue<T> {
@@ -55,6 +114,33 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Attempt to enqueue a whole batch under one lock acquisition.
+    ///
+    /// Accepts as many items from the front of the batch as capacity allows
+    /// (preserving order); if the queue fills up mid-batch the error reports
+    /// the accepted count and returns the remainder so the caller can retry
+    /// exactly the tasks that were not taken.
+    pub fn try_push_batch(&self, batch: Vec<T>) -> Result<usize, PushBatchError<T>> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock();
+        let space = self.capacity.saturating_sub(inner.len());
+        if space >= n {
+            inner.extend(batch);
+            Ok(n)
+        } else {
+            let mut items = batch.into_iter();
+            inner.extend(items.by_ref().take(space));
+            drop(inner);
+            Err(PushBatchError {
+                accepted: space,
+                rejected: items.collect(),
+            })
+        }
+    }
+
     /// Enqueue, spinning/yielding until space is available.
     pub fn push_blocking(&self, mut item: T) {
         loop {
@@ -68,9 +154,35 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueue a whole batch, spinning/yielding until every item is in. Each
+    /// retry resubmits only the rejected remainder.
+    pub fn push_batch_blocking(&self, mut batch: Vec<T>) {
+        loop {
+            match self.try_push_batch(batch) {
+                Ok(_) => return,
+                Err(err) => {
+                    batch = err.into_rejected();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
     /// Remove the item at the head, if any.
     pub fn dequeue(&self) -> Option<T> {
         self.inner.lock().pop_front()
+    }
+
+    /// Move up to `max` items from the head into `out` under one lock
+    /// acquisition. Returns the number of items moved.
+    pub fn dequeue_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let take = inner.len().min(max);
+        out.extend(inner.drain(..take));
+        take
     }
 
     /// Number of queued items.
@@ -99,6 +211,17 @@ impl<T: Send> TaskQueue<T> for BoundedQueue<T> {
     fn len(&self) -> usize {
         self.count()
     }
+
+    /// Blocks (yielding) until the whole batch is in, retrying only the
+    /// rejected remainder — mirroring the single-item [`TaskQueue::push`]
+    /// contract.
+    fn push_batch(&self, batch: Vec<T>) {
+        self.push_batch_blocking(batch);
+    }
+
+    fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        self.dequeue_batch(out, max)
+    }
 }
 
 #[cfg(test)]
@@ -119,10 +242,60 @@ mod tests {
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
         assert_eq!(q.try_push(3), Err(PushError(3)));
+        assert_eq!(PushError(3).into_inner(), 3);
         assert!(q.is_full());
         assert_eq!(q.dequeue(), Some(1));
         assert!(q.try_push(3).is_ok());
         assert_eq!(q.count(), 2);
+    }
+
+    #[test]
+    fn batch_push_reports_partial_acceptance() {
+        let q = BoundedQueue::new(5);
+        q.try_push(0).unwrap();
+        let err = q.try_push_batch((1..=10).collect()).unwrap_err();
+        assert!(err.is_partial());
+        assert_eq!(err.accepted, 4, "four slots were free");
+        assert_eq!(err.rejected, vec![5, 6, 7, 8, 9, 10]);
+        assert!(err.to_string().contains("accepted 4"));
+        // The accepted prefix is queued in order.
+        for expect in 0..=4 {
+            assert_eq!(q.dequeue(), Some(expect));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_push_distinguishes_never_accepted() {
+        let q = BoundedQueue::new(2);
+        q.try_push_batch(vec![1, 2]).unwrap();
+        let err = q.try_push_batch(vec![3, 4]).unwrap_err();
+        assert!(!err.is_partial(), "a full queue accepts nothing");
+        assert_eq!(err.accepted, 0);
+        assert_eq!(err.into_rejected(), vec![3, 4]);
+    }
+
+    #[test]
+    fn retrying_the_rejected_remainder_loses_nothing() {
+        let q = BoundedQueue::new(3);
+        let mut pending: Vec<u32> = (0..10).collect();
+        let mut received = Vec::new();
+        while !pending.is_empty() {
+            pending = match q.try_push_batch(pending) {
+                Ok(_) => Vec::new(),
+                Err(err) => err.into_rejected(),
+            };
+            while let Some(v) = q.dequeue() {
+                received.push(v);
+            }
+        }
+        assert_eq!(received, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_accepted_trivially() {
+        let q = BoundedQueue::<u8>::new(1);
+        assert_eq!(q.try_push_batch(Vec::new()), Ok(0));
     }
 
     #[test]
@@ -166,5 +339,26 @@ mod tests {
         // The queue never exceeded its capacity (indirectly verified by the
         // bounded buffer: all items still arrived exactly once and in order).
         assert!(q.count() <= q.capacity());
+    }
+
+    #[test]
+    fn blocking_batch_push_waits_for_consumer() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for chunk in 0..40u32 {
+                    q.push_batch_blocking((chunk * 25..(chunk + 1) * 25).collect());
+                }
+            })
+        };
+        let mut received = Vec::new();
+        while received.len() < 1_000 {
+            if q.dequeue_batch(&mut received, 16) == 0 {
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(received, (0..1_000u32).collect::<Vec<_>>());
     }
 }

@@ -47,6 +47,26 @@ impl<T> MutexQueue<T> {
         self.inner.lock().pop_front()
     }
 
+    /// Append a whole batch under one lock acquisition, preserving order.
+    pub fn enqueue_batch(&self, batch: Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.inner.lock().extend(batch);
+    }
+
+    /// Move up to `max` items from the head into `out` under one lock
+    /// acquisition. Returns the number of items moved.
+    pub fn dequeue_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let take = inner.len().min(max);
+        out.extend(inner.drain(..take));
+        take
+    }
+
     /// Number of queued items.
     pub fn count(&self) -> usize {
         self.inner.lock().len()
@@ -64,6 +84,14 @@ impl<T: Send> TaskQueue<T> for MutexQueue<T> {
 
     fn len(&self) -> usize {
         self.count()
+    }
+
+    fn push_batch(&self, batch: Vec<T>) {
+        self.enqueue_batch(batch);
+    }
+
+    fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        self.dequeue_batch(out, max)
     }
 }
 
@@ -94,6 +122,18 @@ mod tests {
         }
         assert_eq!(q.count(), 5);
         assert_eq!(TaskQueue::len(&q), 5);
+    }
+
+    #[test]
+    fn batch_operations_preserve_order() {
+        let q = MutexQueue::new();
+        q.enqueue_batch((0..10).collect());
+        q.enqueue(10);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 4), 4);
+        assert_eq!(q.dequeue_batch(&mut out, 100), 7);
+        assert_eq!(out, (0..=10).collect::<Vec<_>>());
+        assert_eq!(q.dequeue_batch(&mut out, 1), 0);
     }
 
     #[test]

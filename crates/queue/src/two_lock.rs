@@ -93,6 +93,42 @@ impl<T> TwoLockQueue<T> {
         item
     }
 
+    /// Append a whole batch at the tail under one tail-lock acquisition.
+    /// The batch stays contiguous, so it is dequeued in push order.
+    pub fn enqueue_batch(&self, batch: Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        {
+            let mut tail = self.tail.lock();
+            tail.extend(batch);
+        }
+        self.len.fetch_add(n, Ordering::Release);
+    }
+
+    /// Move up to `max` items from the head into `out` under one head-lock
+    /// acquisition (plus the O(1) segment swap when the head runs dry).
+    /// Returns the number of items moved.
+    pub fn dequeue_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut head = self.head.lock();
+        if head.is_empty() {
+            let mut tail = self.tail.lock();
+            if tail.is_empty() {
+                return 0;
+            }
+            std::mem::swap(&mut *head, &mut *tail);
+        }
+        let take = head.len().min(max);
+        out.extend(head.drain(..take));
+        drop(head);
+        self.len.fetch_sub(take, Ordering::Release);
+        take
+    }
+
     /// Number of queued items.
     pub fn count(&self) -> usize {
         self.len.load(Ordering::Acquire)
@@ -119,6 +155,14 @@ impl<T: Send> TaskQueue<T> for TwoLockQueue<T> {
 
     fn len(&self) -> usize {
         self.count()
+    }
+
+    fn push_batch(&self, batch: Vec<T>) {
+        self.enqueue_batch(batch);
+    }
+
+    fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        self.dequeue_batch(out, max)
     }
 }
 
@@ -262,6 +306,22 @@ mod tests {
         for (p, seen) in last.iter().enumerate() {
             assert_eq!(seen.unwrap(), per_producer - 1, "producer {p} lost items");
         }
+    }
+
+    #[test]
+    fn batch_enqueue_dequeue_preserve_order() {
+        let q = TwoLockQueue::new();
+        q.enqueue(0);
+        q.enqueue_batch((1..=20).collect());
+        q.enqueue(21);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 5), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.count(), 17);
+        out.clear();
+        assert_eq!(q.dequeue_batch(&mut out, 100), 17);
+        assert_eq!(out, (5..=21).collect::<Vec<_>>());
+        assert_eq!(q.dequeue_batch(&mut out, 4), 0);
     }
 
     #[test]

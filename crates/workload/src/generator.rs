@@ -145,6 +145,50 @@ impl OpGenerator {
     pub fn batch(&mut self, n: usize) -> Vec<TxnSpec> {
         (0..n).map(|_| self.next_spec()).collect()
     }
+
+    /// Turn the generator into an endless iterator of fixed-size batches —
+    /// the producer side of the batched dispatch plane. Each `next()` yields
+    /// `batch_size` specs ready for `submit_batch`.
+    ///
+    /// # Panics
+    /// Panics when `batch_size` is zero.
+    pub fn batches(self, batch_size: usize) -> SpecBatches {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        SpecBatches {
+            generator: self,
+            batch_size,
+        }
+    }
+}
+
+/// Endless iterator of fixed-size [`TxnSpec`] batches, from
+/// [`OpGenerator::batches`]. The underlying spec stream is identical to the
+/// per-spec iterator: batching changes the hand-over granularity, not the
+/// workload.
+#[derive(Debug, Clone)]
+pub struct SpecBatches {
+    generator: OpGenerator,
+    batch_size: usize,
+}
+
+impl SpecBatches {
+    /// The batch size every `next()` yields.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The wrapped generator.
+    pub fn generator(&self) -> &OpGenerator {
+        &self.generator
+    }
+}
+
+impl Iterator for SpecBatches {
+    type Item = Vec<TxnSpec>;
+
+    fn next(&mut self) -> Option<Vec<TxnSpec>> {
+        Some(self.generator.batch(self.batch_size))
+    }
 }
 
 impl Iterator for OpGenerator {
@@ -208,6 +252,25 @@ mod tests {
             .take(200)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batches_iterator_matches_the_per_spec_stream() {
+        let per_spec: Vec<_> = OpGenerator::paper(DistributionKind::Uniform, 21)
+            .take(600)
+            .collect();
+        let batched: Vec<_> = OpGenerator::paper(DistributionKind::Uniform, 21)
+            .batches(150)
+            .take(4)
+            .flatten()
+            .collect();
+        assert_eq!(per_spec, batched, "batching must not change the workload");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_size_is_rejected() {
+        let _ = OpGenerator::paper(DistributionKind::Uniform, 1).batches(0);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * [`TxnSpec`] / [`encode`](TxnSpec::encode) — the 17-bit packing used by
 //!   the paper (16-bit dictionary key + 1 operation bit).
 //! * [`OpGenerator`] — turns a distribution into a stream of
-//!   [`katme_collections`-style] insert/delete/lookup operations.
+//!   `katme_collections`-style insert/delete/lookup operations, per spec or
+//!   in fixed-size batches ([`OpGenerator::batches`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +25,6 @@ pub mod spec;
 pub mod trace;
 
 pub use distribution::{DistributionKind, KeyDistribution};
-pub use generator::{OpGenerator, OpMix};
+pub use generator::{OpGenerator, OpMix, SpecBatches};
 pub use spec::{OpKind, TxnSpec, DICT_KEY_BITS, TXN_SPACE_BITS};
 pub use trace::Trace;

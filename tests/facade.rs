@@ -1,6 +1,7 @@
 //! Integration tests for the `katme` facade itself: builder validation,
 //! typed task handles across all three executor models, non-blocking
-//! submission errors, and prompt shutdown of blocked producers.
+//! submission errors, batch submission (handle delivery, FIFO, partial
+//! queue-full failure), and prompt shutdown of blocked producers.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -84,6 +85,111 @@ fn task_handles_observe_results_in_every_executor_model() {
         assert_eq!(report.completed, 102, "{model}");
         assert_eq!(report.abandoned, 0, "{model}");
     }
+}
+
+#[test]
+fn submit_batch_delivers_one_handle_per_task_in_every_executor_model() {
+    for model in ExecutorModel::ALL {
+        for queue in [QueueKind::TwoLock, QueueKind::Mutex, QueueKind::Sharded] {
+            let runtime = Katme::builder()
+                .workers(2)
+                .model(model)
+                .queue(queue)
+                .key_range(0, 1_023)
+                .build(|_worker, task: Square| task.0 * task.0)
+                .expect("valid configuration");
+
+            let handles = runtime
+                .submit_batch((0..200u64).map(Square).collect())
+                .expect("batch accepted");
+            assert_eq!(handles.len(), 200, "{model}/{queue:?}");
+            for (i, handle) in handles.into_iter().enumerate() {
+                assert_eq!(
+                    handle.wait_timeout(Duration::from_secs(10)).unwrap(),
+                    (i * i) as u64,
+                    "{model}/{queue:?}: handles are in submission order"
+                );
+            }
+            let report = runtime.shutdown();
+            assert_eq!(report.completed, 200, "{model}/{queue:?}");
+            assert_eq!(report.abandoned, 0, "{model}/{queue:?}");
+        }
+    }
+}
+
+#[test]
+fn try_submit_batch_reports_partial_failure_with_accepted_handles() {
+    // One slow worker with a tiny depth bound: a large non-blocking batch is
+    // partially accepted. The error must carry a handle for every accepted
+    // task (each of which resolves) and hand the rejected tasks back in
+    // order, ready for resubmission.
+    let runtime = Katme::builder()
+        .workers(1)
+        .scheduler(SchedulerKind::RoundRobin)
+        .max_queue_depth(Some(4))
+        .batch_size(2)
+        .build(|_worker, task: u64| {
+            std::thread::sleep(Duration::from_millis(2));
+            task
+        })
+        .expect("valid configuration");
+
+    let err = runtime
+        .try_submit_batch((0..100u64).collect())
+        .expect_err("a depth bound of 4 cannot take 100 tasks at once");
+    assert_eq!(err.error, KatmeError::QueueFull);
+    assert!(err.is_partial(), "the first few tasks fit under the bound");
+    assert_eq!(err.accepted, err.handles.len());
+    assert_eq!(err.accepted + err.rejected.len(), 100);
+    // Rejected tasks come back in submission order: the accepted prefix is
+    // 0..accepted, so the remainder starts right after it.
+    assert_eq!(err.rejected[0], err.accepted as u64);
+    let accepted = err.accepted;
+    let rejected = err.rejected;
+    for (i, handle) in err.handles.into_iter().enumerate() {
+        assert_eq!(
+            handle.wait_timeout(Duration::from_secs(10)).unwrap(),
+            i as u64,
+            "every accepted task resolves its handle"
+        );
+    }
+    // Retrying the remainder (blocking) completes the full workload.
+    let retry_handles = runtime.submit_batch(rejected).expect("retry accepted");
+    assert_eq!(retry_handles.len(), 100 - accepted);
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, 100);
+}
+
+#[test]
+fn batch_of_one_and_empty_batch_behave_like_the_single_task_api() {
+    let runtime = Katme::builder()
+        .workers(2)
+        .build(|_worker, task: WithKey<u64>| task.task + 1)
+        .expect("valid configuration");
+    let empty = runtime.submit_batch(Vec::new()).unwrap();
+    assert!(empty.is_empty());
+    let one = runtime.submit_batch(vec![WithKey::new(3, 41)]).unwrap();
+    assert_eq!(one.len(), 1);
+    assert_eq!(one.into_iter().next().unwrap().wait().unwrap(), 42);
+    assert_eq!(runtime.submit_batch_detached(Vec::new()).unwrap(), 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn batch_submission_after_stop_returns_every_task() {
+    let runtime = Katme::builder()
+        .workers(1)
+        .build(|_worker, task: u64| task)
+        .expect("valid configuration");
+    runtime.stop();
+    let err = runtime
+        .submit_batch((0..10u64).collect())
+        .expect_err("stopped runtime accepts nothing");
+    assert_eq!(err.error, KatmeError::ShuttingDown);
+    assert_eq!(err.accepted, 0);
+    assert!(err.handles.is_empty());
+    assert_eq!(err.into_rejected(), (0..10u64).collect::<Vec<_>>());
+    runtime.shutdown();
 }
 
 #[test]
