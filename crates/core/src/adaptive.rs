@@ -1,4 +1,5 @@
-//! The key-based adaptive scheduler (the paper's contribution).
+//! The key-based adaptive scheduler (the paper's contribution), extended
+//! into a continuous adaptation plane.
 //!
 //! "During the early part of program execution, the scheduler assigns
 //! transactions into worker queues according to a fixed partition. At the
@@ -13,45 +14,123 @@
 //! (Figure 2 of the paper). The sampling threshold defaults to the paper's
 //! 10 000 samples (95% confidence of a 99%-accurate CDF, see
 //! [`crate::sample_size`]).
+//!
+//! Beyond the paper's one-shot switch, the scheduler can keep adapting:
+//!
+//! * **Periodic mode** ([`AdaptiveKeyScheduler::with_re_adaptation`])
+//!   recomputes the partition unconditionally every *n* observations.
+//! * **Continuous mode** ([`AdaptiveKeyScheduler::with_adaptation`]) divides
+//!   the post-adaptation stream into epochs and repartitions only when the
+//!   [`crate::drift`] triggers fire: the epoch key histogram drifted away
+//!   from the partition's reference histogram *and* the current partition is
+//!   projected imbalanced, or the per-epoch STM contention ratio (fed by a
+//!   [`ContentionSource`]) blows through its hysteresis band. Under
+//!   stationary load neither trigger fires, so the partition never churns.
+//!
+//! Every published partition goes through a [`PartitionTable`] — an
+//! `Arc`-swapped, generation-numbered routing table — so dispatchers route
+//! against immutable snapshots and a swap never disturbs in-flight work.
+//! Each publish is recorded in an adaptation log
+//! ([`AdaptiveKeyScheduler::adaptation_log`]) with its cause and the
+//! expected before/after imbalance.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::cdf::PiecewiseCdf;
+use crate::drift::{
+    imbalance_under, total_variation, AdaptationCause, AdaptationConfig, AdaptationEvent,
+    ContentionSample, ContentionSource,
+};
 use crate::histogram::{Histogram, DEFAULT_CELLS};
 use crate::key::{KeyBounds, TxnKey};
-use crate::partition::KeyPartition;
+use crate::partition::{KeyPartition, PartitionTable};
 use crate::sample_size::PAPER_SAMPLE_THRESHOLD;
 use crate::scheduler::Scheduler;
 
+/// Most recent adaptation-log entries kept per scheduler: enough to cover
+/// any realistic diagnosis window while bounding memory and the per-stats
+/// copy on long-lived runtimes with periodic or uncapped re-adaptation.
+pub const ADAPTATION_LOG_CAP: usize = 256;
+
+/// What happens after the initial adaptation.
+#[derive(Debug, Clone)]
+enum AdaptMode {
+    /// The paper's protocol: adapt once, then stop sampling entirely.
+    OneShot,
+    /// Recompute the partition unconditionally every `every` observations.
+    Periodic {
+        /// Observations between recomputations.
+        every: u64,
+    },
+    /// Epoch-based drift-gated re-adaptation (see [`crate::drift`]).
+    Continuous(AdaptationConfig),
+}
+
+/// Mutable sampling state, all behind one mutex: the epoch histogram, the
+/// reference histogram of the current partition, and the contention
+/// bookkeeping for the epoch triggers.
+struct SampleState {
+    /// Keys observed since the last adaptation decision (the current epoch
+    /// in continuous mode; the whole sampling phase before the first
+    /// adaptation).
+    hist: Histogram,
+    /// The histogram that produced the current partition — the baseline the
+    /// drift detector measures distance against.
+    reference: Option<Histogram>,
+    /// A drifted epoch waiting for confirmation: the drift trigger only
+    /// repartitions after two *consecutive* epochs drift the same way
+    /// (their histograms within `drift_threshold` of each other), so a load
+    /// that oscillates between phases — e.g. producers serialized by
+    /// back-pressure — never confirms and never churns, while a sustained
+    /// shift confirms within two epochs.
+    pending_drift: Option<Histogram>,
+    /// Cumulative contention counters at the last epoch boundary.
+    last_contention: Option<ContentionSample>,
+    /// Epoch contention ratio observed right after the last repartition —
+    /// the baseline for the contention hysteresis band.
+    baseline_ratio: Option<f64>,
+    /// Post-initial repartitions performed (checked against
+    /// [`AdaptationConfig::max_repartitions`]).
+    repartitions_done: usize,
+}
+
 /// Adaptive key-based scheduler.
 ///
-/// Dispatch is wait-free in the common case: after adaptation the hot path is
-/// a read-locked lookup into the current partition. During the sampling phase
-/// keys are recorded into a histogram behind a mutex (bounded to the
-/// configured threshold, after which the lock is no longer touched unless
-/// periodic re-adaptation is enabled).
+/// Dispatch is wait-free in the common case: the hot path routes through the
+/// current [`PartitionTable`] snapshot. During the sampling phase (and each
+/// epoch, when continuous adaptation is enabled) keys are recorded into a
+/// histogram behind a mutex; once sampling is finished — immediately after
+/// the first adaptation in the paper's one-shot mode, or after the
+/// repartition budget is spent in continuous mode — the lock is no longer
+/// touched.
 pub struct AdaptiveKeyScheduler {
     workers: usize,
     bounds: KeyBounds,
-    /// Partition currently used for dispatch. Starts as the equal-width
-    /// (fixed) partition and is replaced by the PD-partition once enough
-    /// samples have been collected.
-    partition: RwLock<KeyPartition>,
-    /// Histogram of sampled keys for the next adaptation.
-    samples: Mutex<Histogram>,
+    /// The generation-numbered routing table. Starts at generation 0 with
+    /// the equal-width (fixed) partition; every adaptation publishes the
+    /// next generation.
+    table: PartitionTable,
+    state: Mutex<SampleState>,
+    /// Adaptation log, one entry per published generation, bounded at
+    /// [`ADAPTATION_LOG_CAP`] (oldest evicted) so a long-lived periodic or
+    /// uncapped continuous scheduler cannot grow it without limit.
+    log: Mutex<VecDeque<AdaptationEvent>>,
     /// Number of keys observed so far (cheap, lock-free check on the hot
-    /// path so we stop touching the sample lock once adapted).
+    /// path so we stop touching the sample lock once sampling is done).
     observed: AtomicU64,
-    /// Number of adaptations performed.
-    adaptations: AtomicUsize,
+    /// True once the repartition budget is exhausted: sampling stops and
+    /// the hot path goes lock-free, like the paper's steady state.
+    finished: AtomicBool,
     /// Samples required before the first adaptation.
     sample_threshold: u64,
-    /// When `Some(n)`, keep sampling after the first adaptation and
-    /// recompute the partition every additional `n` observations (extension
-    /// for drifting workloads; the paper adapts once).
-    re_adapt_every: Option<u64>,
+    /// Post-adaptation behaviour.
+    mode: AdaptMode,
+    /// STM contention feed for the continuous triggers.
+    contention: Option<Arc<dyn ContentionSource>>,
     /// Number of histogram cells.
     cells: usize,
 }
@@ -67,12 +146,21 @@ impl AdaptiveKeyScheduler {
         AdaptiveKeyScheduler {
             workers,
             bounds,
-            partition: RwLock::new(KeyPartition::equal_width(bounds, workers)),
-            samples: Mutex::new(Histogram::new(bounds, DEFAULT_CELLS)),
+            table: PartitionTable::new(KeyPartition::equal_width(bounds, workers)),
+            state: Mutex::new(SampleState {
+                hist: Histogram::new(bounds, DEFAULT_CELLS),
+                reference: None,
+                pending_drift: None,
+                last_contention: None,
+                baseline_ratio: None,
+                repartitions_done: 0,
+            }),
+            log: Mutex::new(VecDeque::new()),
             observed: AtomicU64::new(0),
-            adaptations: AtomicUsize::new(0),
+            finished: AtomicBool::new(false),
             sample_threshold: PAPER_SAMPLE_THRESHOLD as u64,
-            re_adapt_every: None,
+            mode: AdaptMode::OneShot,
+            contention: None,
             cells: DEFAULT_CELLS,
         }
     }
@@ -83,9 +171,29 @@ impl AdaptiveKeyScheduler {
         self
     }
 
-    /// Enable periodic re-adaptation every `n` additional observations.
+    /// Enable unconditional periodic re-adaptation every `n` additional
+    /// observations (the pre-drift-detector extension; prefer
+    /// [`AdaptiveKeyScheduler::with_adaptation`] for drift-gated behaviour).
     pub fn with_re_adaptation(mut self, every: u64) -> Self {
-        self.re_adapt_every = Some(every.max(1));
+        self.mode = AdaptMode::Periodic {
+            every: every.max(1),
+        };
+        self
+    }
+
+    /// Enable continuous, epoch-based adaptation: every
+    /// [`AdaptationConfig::interval`] observations the drift and contention
+    /// triggers are evaluated and the partition is republished only when one
+    /// fires (see [`crate::drift`] for the trigger semantics).
+    pub fn with_adaptation(mut self, config: AdaptationConfig) -> Self {
+        self.mode = AdaptMode::Continuous(config);
+        self
+    }
+
+    /// Attach the STM contention feed used by the continuous contention
+    /// trigger and the abort-weighted repartitioning histogram.
+    pub fn with_contention_source(mut self, source: Arc<dyn ContentionSource>) -> Self {
+        self.contention = Some(source);
         self
     }
 
@@ -93,19 +201,20 @@ impl AdaptiveKeyScheduler {
     pub fn with_cells(mut self, cells: usize) -> Self {
         assert!(cells > 0, "need at least one histogram cell");
         self.cells = cells;
-        *self.samples.lock() = Histogram::new(self.bounds, cells);
+        self.state.lock().hist = Histogram::new(self.bounds, cells);
         self
     }
 
     /// True once the scheduler has switched from the fixed to the adaptive
     /// partition.
     pub fn is_adapted(&self) -> bool {
-        self.adaptations.load(Ordering::Acquire) > 0
+        self.table.generation() > 0
     }
 
-    /// Number of adaptations performed so far.
+    /// Number of adaptations performed so far (the current partition-table
+    /// generation).
     pub fn adaptations(&self) -> usize {
-        self.adaptations.load(Ordering::Acquire)
+        self.table.generation() as usize
     }
 
     /// Number of keys observed so far.
@@ -115,36 +224,82 @@ impl AdaptiveKeyScheduler {
 
     /// The partition currently in effect.
     pub fn current_partition(&self) -> KeyPartition {
-        self.partition.read().clone()
+        self.table.partition()
     }
 
-    /// Record a key observation and adapt when the threshold is reached.
+    /// The generation-numbered routing table (for diagnostics and tests).
+    pub fn partition_table(&self) -> &PartitionTable {
+        &self.table
+    }
+
+    /// The adaptation log: one entry per published generation, oldest
+    /// first, holding the most recent [`ADAPTATION_LOG_CAP`] entries (the
+    /// generation numbers stay continuous, so eviction is detectable).
+    pub fn adaptation_log(&self) -> Vec<AdaptationEvent> {
+        self.log.lock().iter().cloned().collect()
+    }
+
+    /// True when no further samples need to be recorded: one-shot mode after
+    /// the first adaptation, or continuous mode with the repartition budget
+    /// exhausted.
+    fn sampling_finished(&self, adapted: bool) -> bool {
+        if !adapted {
+            return false;
+        }
+        match &self.mode {
+            AdaptMode::OneShot => true,
+            AdaptMode::Periodic { .. } => false,
+            AdaptMode::Continuous(_) => self.finished.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Samples the current histogram must reach before the next adaptation
+    /// decision.
+    fn decision_threshold(&self, adapted: bool) -> u64 {
+        if !adapted {
+            return self.sample_threshold;
+        }
+        match &self.mode {
+            AdaptMode::OneShot => u64::MAX,
+            AdaptMode::Periodic { every } => *every,
+            AdaptMode::Continuous(config) => config.interval,
+        }
+    }
+
+    /// Act on a full histogram: adapt unconditionally before the first
+    /// adaptation and in periodic mode; evaluate the drift/contention
+    /// triggers in continuous mode.
+    fn on_decision_point(&self, adapted: bool) {
+        if !adapted {
+            self.adapt(AdaptationCause::Initial);
+            return;
+        }
+        match &self.mode {
+            AdaptMode::OneShot => {}
+            AdaptMode::Periodic { .. } => self.adapt(AdaptationCause::Periodic),
+            AdaptMode::Continuous(config) => self.evaluate_epoch(config),
+        }
+    }
+
+    /// Record a key observation and adapt when a decision point is reached.
     fn observe(&self, key: TxnKey) {
-        let seen = self.observed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.observed.fetch_add(1, Ordering::Relaxed);
         let adapted = self.is_adapted();
 
-        if adapted && self.re_adapt_every.is_none() {
+        if self.sampling_finished(adapted) {
             // Steady state: sampling is finished, nothing more to record.
             return;
         }
 
+        let threshold = self.decision_threshold(adapted);
         let threshold_reached = {
-            let mut hist = self.samples.lock();
-            hist.record(key);
-            if !adapted {
-                hist.total() >= self.sample_threshold
-            } else {
-                // Periodic re-adaptation (extension).
-                match self.re_adapt_every {
-                    Some(every) => hist.total() >= every,
-                    None => false,
-                }
-            }
+            let mut state = self.state.lock();
+            state.hist.record(key);
+            state.hist.total() >= threshold
         };
-        let _ = seen;
 
         if threshold_reached {
-            self.adapt();
+            self.on_decision_point(adapted);
         }
     }
 
@@ -152,8 +307,8 @@ impl AdaptiveKeyScheduler {
     /// whole slice under (at most) one samples-lock acquisition per
     /// adaptation event instead of one per key, while reproducing the
     /// per-task protocol exactly — each key is sampled exactly once, the
-    /// threshold is checked after every sample, and sampling stops at the
-    /// same key it would have stopped at under per-task dispatch. The
+    /// decision threshold is checked after every sample, and sampling stops
+    /// at the same key it would have stopped at under per-task dispatch. The
     /// resulting partitions are therefore bit-identical between batched and
     /// per-task submission of the same key sequence.
     fn observe_batch(&self, keys: &[TxnKey]) {
@@ -162,23 +317,19 @@ impl AdaptiveKeyScheduler {
         let mut index = 0;
         while index < keys.len() {
             let adapted = self.is_adapted();
-            if adapted && self.re_adapt_every.is_none() {
+            if self.sampling_finished(adapted) {
                 // Steady state: sampling is finished, nothing more to record.
                 return;
             }
+            let threshold = self.decision_threshold(adapted);
             let threshold_reached = {
-                let mut hist = self.samples.lock();
+                let mut state = self.state.lock();
                 let mut reached = false;
                 while index < keys.len() {
-                    hist.record(keys[index]);
+                    state.hist.record(keys[index]);
                     index += 1;
-                    let total = hist.total();
-                    reached = if !adapted {
-                        total >= self.sample_threshold
-                    } else {
-                        matches!(self.re_adapt_every, Some(every) if total >= every)
-                    };
-                    if reached {
+                    if state.hist.total() >= threshold {
+                        reached = true;
                         break;
                     }
                 }
@@ -187,72 +338,250 @@ impl AdaptiveKeyScheduler {
             if !threshold_reached {
                 return;
             }
-            self.adapt();
+            self.on_decision_point(adapted);
+        }
+    }
+
+    /// Evaluate the continuous-mode triggers at an epoch boundary, then
+    /// start the next epoch (the epoch histogram is consumed either way).
+    fn evaluate_epoch(&self, config: &AdaptationConfig) {
+        let mut state = self.state.lock();
+        if state.hist.total() < config.interval || self.finished.load(Ordering::Relaxed) {
+            // A concurrent dispatcher already consumed this epoch (or spent
+            // the budget) between our threshold check and this lock.
+            return;
+        }
+        if matches!(config.max_repartitions, Some(cap) if state.repartitions_done >= cap) {
+            // Budget already spent (including a cap of zero): stop sampling
+            // for good — the hot path goes lock-free from here on.
+            self.finished.store(true, Ordering::Relaxed);
+            state.hist.clear();
+            return;
+        }
+
+        // Per-epoch contention delta from the cumulative feed.
+        let cumulative = self.contention.as_ref().map(|source| source.sample());
+        let epoch_ratio = match (&cumulative, &state.last_contention) {
+            (Some(now), Some(last)) => {
+                let commits = now.commits.saturating_sub(last.commits);
+                let aborts = now.aborts.saturating_sub(last.aborts);
+                (commits > 0).then(|| aborts as f64 / commits as f64)
+            }
+            (Some(now), None) => (now.commits > 0).then(|| now.aborts as f64 / now.commits as f64),
+            _ => None,
+        };
+
+        // Drift trigger: histogram distance past the threshold AND the
+        // current partition projected imbalanced under the new distribution
+        // (the hysteresis gate — see crate::drift).
+        let epoch_cdf = PiecewiseCdf::from_histogram(&state.hist);
+        let current = self.table.load();
+        let projected = imbalance_under(&current.partition, &epoch_cdf);
+        let distance = state
+            .reference
+            .as_ref()
+            .map(|reference| total_variation(reference, &state.hist))
+            .unwrap_or(1.0);
+        let drifted = distance > config.drift_threshold && projected > config.imbalance_trigger;
+
+        // Contention trigger: epoch ratio past the absolute trigger and the
+        // hysteresis band over the post-adaptation baseline.
+        let contended = match (epoch_ratio, state.baseline_ratio) {
+            (Some(ratio), Some(baseline)) => {
+                ratio > config.contention_trigger && ratio > baseline * config.contention_hysteresis
+            }
+            _ => false,
+        };
+        if state.baseline_ratio.is_none() {
+            // First full epoch after a repartition fixes the baseline.
+            state.baseline_ratio = epoch_ratio;
+        }
+
+        let cause = if drifted {
+            Some(AdaptationCause::KeyDrift {
+                distance,
+                projected_imbalance: projected,
+            })
+        } else if contended {
+            epoch_ratio.map(|ratio| AdaptationCause::Contention { ratio })
+        } else {
+            None
+        };
+
+        // Drift confirmation (temporal hysteresis): a single drifted epoch
+        // only *arms* the trigger. The repartition fires when the next epoch
+        // drifts the same way — its histogram within drift_threshold of the
+        // armed one — and the two epochs are merged so the new partition is
+        // estimated from twice the samples. A load that oscillates between
+        // phases (producers serialized by back-pressure do exactly this)
+        // re-arms with a different histogram every time and never confirms.
+        let cause = match cause {
+            Some(AdaptationCause::KeyDrift { .. }) => match state.pending_drift.take() {
+                Some(pending)
+                    if total_variation(&pending, &state.hist) <= config.drift_threshold =>
+                {
+                    let mut merged = pending;
+                    merged.merge(&state.hist);
+                    state.hist = merged;
+                    cause
+                }
+                _ => {
+                    state.pending_drift = Some(state.hist.clone());
+                    state.last_contention = cumulative;
+                    state.hist.clear();
+                    return;
+                }
+            },
+            other => {
+                state.pending_drift = None;
+                other
+            }
+        };
+
+        match cause {
+            Some(cause) => {
+                // Fold the epoch's per-range abort deltas into the histogram
+                // so contended ranges get narrowed beyond what key frequency
+                // alone would dictate.
+                if config.abort_weight > 0.0 {
+                    if let Some(now) = &cumulative {
+                        let last = state.last_contention.take();
+                        for (index, &(lo, hi, aborts)) in now.ranges.iter().enumerate() {
+                            let previous = last
+                                .as_ref()
+                                .and_then(|l| l.ranges.get(index))
+                                .map_or(0, |&(_, _, a)| a);
+                            let delta = aborts.saturating_sub(previous);
+                            let extra = (delta as f64 * config.abort_weight) as u64;
+                            if extra > 0 {
+                                state.hist.record_many(lo + (hi - lo) / 2, extra);
+                            }
+                        }
+                    }
+                }
+                state.last_contention = cumulative;
+                state.repartitions_done += 1;
+                if let Some(cap) = config.max_repartitions {
+                    if state.repartitions_done >= cap {
+                        self.finished.store(true, Ordering::Relaxed);
+                    }
+                }
+                self.adapt_locked(&mut state, cause);
+            }
+            None => {
+                // Stationary epoch: discard the window, keep the partition.
+                state.last_contention = cumulative;
+                state.hist.clear();
+            }
         }
     }
 
     /// Recompute the PD-partition from the collected samples.
-    fn adapt(&self) {
-        let hist_snapshot = {
-            let mut hist = self.samples.lock();
-            if hist.total() == 0 {
-                return;
+    fn adapt(&self, cause: AdaptationCause) {
+        let mut state = self.state.lock();
+        // Re-check the firing condition under the lock: two dispatchers can
+        // both observe a crossed threshold before either adapts, and the
+        // loser must not republish from the histogram the winner already
+        // consumed (in the sampling modes a handful of fresh keys could
+        // otherwise produce a degenerate partition).
+        let stale = match cause {
+            AdaptationCause::Initial => {
+                self.is_adapted() || state.hist.total() < self.sample_threshold
             }
-            let snapshot = hist.clone();
-            if self.re_adapt_every.is_some() {
-                hist.clear();
-            }
-            snapshot
+            AdaptationCause::Periodic => match &self.mode {
+                AdaptMode::Periodic { every } => state.hist.total() < *every,
+                _ => false,
+            },
+            _ => false,
         };
-        let cdf = PiecewiseCdf::from_histogram(&hist_snapshot);
+        if stale {
+            return;
+        }
+        self.adapt_locked(&mut state, cause);
+    }
+
+    /// Publish a new generation from `state.hist` (no-op when empty). The
+    /// caller holds the state lock; the table's write lock nests inside it
+    /// (dispatchers only ever take the table's read lock, so no cycle).
+    fn adapt_locked(&self, state: &mut SampleState, cause: AdaptationCause) {
+        if state.hist.total() == 0 {
+            return;
+        }
+        let snapshot = state.hist.clone();
+        let keep_sampling = !matches!(self.mode, AdaptMode::OneShot);
+        if keep_sampling {
+            state.hist.clear();
+        }
+        let cdf = PiecewiseCdf::from_histogram(&snapshot);
+        let before = imbalance_under(&self.table.load().partition, &cdf);
         let new_partition = KeyPartition::from_cdf(&cdf, self.workers);
-        *self.partition.write() = new_partition;
-        self.adaptations.fetch_add(1, Ordering::Release);
+        let after = imbalance_under(&new_partition, &cdf);
+        state.reference = Some(snapshot);
+        state.pending_drift = None;
+        state.baseline_ratio = None; // next epoch re-establishes the baseline
+                                     // Re-baseline the contention feed at the adaptation point so the
+                                     // next epoch's delta (and hence the new baseline ratio) covers only
+                                     // post-adaptation traffic — without this, the first epoch after the
+                                     // initial adaptation would diff against process start and inherit
+                                     // the sampling phase's (unbalanced, contended) counters.
+        state.last_contention = self.contention.as_ref().map(|source| source.sample());
+        let generation = self.table.publish(new_partition);
+        let mut log = self.log.lock();
+        if log.len() >= ADAPTATION_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(AdaptationEvent {
+            generation,
+            cause,
+            observed: self.observed(),
+            before_imbalance: before,
+            after_imbalance: after,
+        });
     }
 
     /// Force an adaptation now from whatever samples have been collected
     /// (used by the harness when replaying a recorded trace).
     pub fn adapt_now(&self) {
-        self.adapt();
+        self.adapt(AdaptationCause::Forced);
     }
 
     /// Pre-seed the sampler with a batch of keys (e.g. the head of a recorded
     /// trace) and adapt immediately.
     pub fn seed_with_keys(&self, keys: &[TxnKey]) {
         {
-            let mut hist = self.samples.lock();
+            let mut state = self.state.lock();
             for &k in keys {
-                hist.record(k);
+                state.hist.record(k);
             }
         }
         self.observed
             .fetch_add(keys.len() as u64, Ordering::Relaxed);
-        self.adapt();
+        self.adapt(AdaptationCause::Forced);
     }
 }
 
 impl Scheduler for AdaptiveKeyScheduler {
     fn dispatch(&self, key: TxnKey) -> usize {
         self.observe(key);
-        self.partition.read().worker_for(key)
+        self.table.worker_for(key)
     }
 
-    /// One samples pass and one partition read-lock for the whole batch;
-    /// the internal `observe_batch` reproduces the per-task sampling
-    /// protocol exactly (each key sampled once, threshold checked after
-    /// every sample). When an adaptation triggers *inside* a batch, the
-    /// whole batch is routed with the fresh partition (per-task dispatch
-    /// would route the pre-trigger keys with the old one) — the partitions
-    /// themselves are identical either way, and routing a few transitional
-    /// keys with the newer, better partition is benign.
+    /// One samples pass and one partition-table snapshot for the whole
+    /// batch; the internal `observe_batch` reproduces the per-task sampling
+    /// protocol exactly (each key sampled once, the decision threshold
+    /// checked after every sample). When an adaptation triggers *inside* a
+    /// batch, the whole batch is routed with the fresh generation (per-task
+    /// dispatch would route the pre-trigger keys with the old one) — the
+    /// partitions themselves are identical either way, and routing a few
+    /// transitional keys with the newer, better partition is benign.
     fn dispatch_batch(&self, keys: &[TxnKey], out: &mut Vec<usize>) {
         if keys.is_empty() {
             return;
         }
         self.observe_batch(keys);
-        let partition = self.partition.read();
+        let snapshot = self.table.load();
         out.reserve(keys.len());
-        out.extend(keys.iter().map(|&key| partition.worker_for(key)));
+        out.extend(keys.iter().map(|&key| snapshot.partition.worker_for(key)));
     }
 
     fn workers(&self) -> usize {
@@ -268,13 +597,21 @@ impl Scheduler for AdaptiveKeyScheduler {
     }
 
     fn repartitions(&self) -> u64 {
-        AdaptiveKeyScheduler::adaptations(self) as u64
+        self.table.generation()
+    }
+
+    fn generation(&self) -> u64 {
+        self.table.generation()
+    }
+
+    fn adaptation_log(&self) -> Vec<AdaptationEvent> {
+        AdaptiveKeyScheduler::adaptation_log(self)
     }
 
     fn describe(&self) -> String {
         format!(
-            "adaptive ({} adaptations, {} keys observed) {}",
-            self.adaptations(),
+            "adaptive (gen {}, {} keys observed) {}",
+            self.table.generation(),
             self.observed(),
             self.current_partition()
         )
@@ -285,6 +622,7 @@ impl Scheduler for AdaptiveKeyScheduler {
 mod tests {
     use super::*;
     use katme_workload::{DistributionKind, KeyDistribution};
+    use std::sync::atomic::AtomicU64 as TestAtomicU64;
 
     fn imbalance(counts: &[usize]) -> f64 {
         let max = *counts.iter().max().unwrap() as f64;
@@ -302,6 +640,8 @@ mod tests {
         assert_eq!(s.dispatch(90), 3);
         assert!(!s.is_adapted());
         assert_eq!(s.observed(), 4);
+        assert_eq!(Scheduler::generation(&s), 0);
+        assert!(s.adaptation_log().is_empty());
     }
 
     #[test]
@@ -317,6 +657,14 @@ mod tests {
         }
         assert!(s.is_adapted(), "scheduler should have adapted");
         assert_eq!(s.adaptations(), 1);
+        let log = s.adaptation_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].generation, 1);
+        assert_eq!(log[0].cause, AdaptationCause::Initial);
+        assert!(
+            log[0].before_imbalance > log[0].after_imbalance,
+            "adaptation must improve the expected balance: {log:?}"
+        );
 
         // Measurement phase: the adaptive partition should spread the skewed
         // keys roughly evenly.
@@ -388,6 +736,7 @@ mod tests {
         // that range.
         let p = s.current_partition();
         assert!(p.boundaries().iter().all(|&b| b <= 110), "{p}");
+        assert_eq!(s.adaptation_log()[0].cause, AdaptationCause::Forced);
     }
 
     #[test]
@@ -479,6 +828,222 @@ mod tests {
         );
     }
 
+    fn continuous(workers: usize, interval: u64) -> AdaptiveKeyScheduler {
+        AdaptiveKeyScheduler::new(workers, KeyBounds::new(0, 131_071))
+            .with_sample_threshold(2_000)
+            .with_adaptation(
+                AdaptationConfig::new()
+                    .with_interval(interval)
+                    .with_drift_threshold(0.2)
+                    .with_imbalance_trigger(1.2),
+            )
+    }
+
+    #[test]
+    fn continuous_mode_re_adapts_on_a_phase_shift() {
+        let s = continuous(4, 2_000);
+        let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 7);
+        for _ in 0..4_000 {
+            s.dispatch(u64::from(dist.sample_raw()));
+        }
+        assert_eq!(s.adaptations(), 1, "initial adaptation only");
+
+        // Phase shift: the mirrored high end of the space.
+        for _ in 0..6_000 {
+            s.dispatch(131_071 - u64::from(dist.sample_raw()));
+        }
+        assert!(
+            s.adaptations() >= 2,
+            "drift trigger must have fired: {:?}",
+            s.adaptation_log()
+        );
+        let log = s.adaptation_log();
+        assert!(
+            matches!(log.last().unwrap().cause, AdaptationCause::KeyDrift { .. }),
+            "{log:?}"
+        );
+
+        // Post-drift balance: route fresh phase-2 keys through the current
+        // partition.
+        let snapshot = s.current_partition();
+        let mut counts = vec![0usize; 4];
+        for _ in 0..20_000 {
+            counts[snapshot.worker_for(131_071 - u64::from(dist.sample_raw()))] += 1;
+        }
+        assert!(
+            imbalance(&counts) < 1.5,
+            "post-drift partition must re-balance: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn oscillating_load_never_confirms_a_drift() {
+        // A load that flip-flops between two phases every epoch (what
+        // back-pressure-serialized producers produce) must not churn: each
+        // drifted epoch arms the trigger with a histogram the next epoch
+        // contradicts, so the confirmation never lands.
+        let s = continuous(4, 2_000);
+        let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 13);
+        for _ in 0..4_000 {
+            s.dispatch(u64::from(dist.sample_raw()));
+        }
+        assert_eq!(s.adaptations(), 1);
+        for epoch in 0..10 {
+            for _ in 0..2_000 {
+                let key = u64::from(dist.sample_raw());
+                s.dispatch(if epoch % 2 == 0 { 131_071 - key } else { key });
+            }
+        }
+        assert_eq!(
+            s.adaptations(),
+            1,
+            "oscillation must not churn: {:?}",
+            s.adaptation_log()
+        );
+    }
+
+    #[test]
+    fn continuous_mode_holds_still_under_stationary_load() {
+        let s = continuous(4, 2_000);
+        let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 11);
+        // Many epochs of the same distribution: only the initial adaptation
+        // may fire (hysteresis: the partition stays balanced, so the
+        // projected-imbalance gate never opens).
+        for _ in 0..40_000 {
+            s.dispatch(u64::from(dist.sample_raw()));
+        }
+        assert_eq!(
+            s.adaptations(),
+            1,
+            "stationary load must not churn: {:?}",
+            s.adaptation_log()
+        );
+    }
+
+    #[test]
+    fn continuous_mode_respects_the_repartition_budget() {
+        let s = AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 131_071))
+            .with_sample_threshold(1_000)
+            .with_adaptation(
+                AdaptationConfig::new()
+                    .with_interval(1_000)
+                    .with_drift_threshold(0.1)
+                    .with_imbalance_trigger(1.1)
+                    .with_max_repartitions(Some(1)),
+            );
+        // Initial adaptation on low keys.
+        for i in 0..1_000u64 {
+            s.dispatch(i % 1_000);
+        }
+        assert_eq!(s.adaptations(), 1);
+        // Sustained drift to high keys: the first epoch arms the trigger,
+        // the second (same distribution) confirms it — spending the single
+        // budget slot.
+        for i in 0..2_000u64 {
+            s.dispatch(120_000 + i % 1_000);
+        }
+        let after_first_drift = s.adaptations();
+        assert_eq!(after_first_drift, 2, "{:?}", s.adaptation_log());
+        // Second sustained drift: middle keys — budget exhausted, no further
+        // change, and sampling has stopped (observed still counts, the
+        // histogram does not grow).
+        for i in 0..4_000u64 {
+            s.dispatch(60_000 + i % 1_000);
+        }
+        assert_eq!(s.adaptations(), after_first_drift);
+        assert_eq!(s.state.lock().hist.total(), 0, "sampling must have stopped");
+        assert!(s.finished.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn contention_trigger_fires_through_the_hysteresis_band() {
+        // A contention source scripted per sampling call: call 0 is taken
+        // by the initial adaptation's re-baseline, call 1 is the calm first
+        // epoch (fixing the baseline ratio at 0.01), and later calls are a
+        // storm of ~2 aborts per commit.
+        let calls = Arc::new(TestAtomicU64::new(0));
+        let calls_clone = Arc::clone(&calls);
+        let source = move || {
+            let call = calls_clone.fetch_add(1, Ordering::Relaxed);
+            match call {
+                0 => ContentionSample {
+                    commits: 1_000,
+                    aborts: 10,
+                    ranges: vec![(0, 65_535, 10), (65_536, 131_071, 0)],
+                },
+                1 => ContentionSample {
+                    commits: 2_000,
+                    aborts: 20,
+                    ranges: vec![(0, 65_535, 20), (65_536, 131_071, 0)],
+                },
+                n => ContentionSample {
+                    commits: 2_000 + (n - 1) * 1_000,
+                    aborts: 20 + (n - 1) * 2_000,
+                    ranges: vec![(0, 65_535, 20), (65_536, 131_071, (n - 1) * 2_000)],
+                },
+            }
+        };
+        let s = AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 131_071))
+            .with_sample_threshold(1_000)
+            .with_adaptation(
+                AdaptationConfig::new()
+                    .with_interval(1_000)
+                    // Make the drift trigger unreachable so only contention
+                    // can fire.
+                    .with_drift_threshold(1.0)
+                    .with_imbalance_trigger(1_000.0)
+                    .with_contention_trigger(0.5)
+                    .with_contention_hysteresis(2.0),
+            )
+            .with_contention_source(Arc::new(source));
+
+        let mut dist = KeyDistribution::new(DistributionKind::Uniform, 3);
+        // Initial adaptation, then the baseline epoch (ratio 0.01 — calm).
+        for _ in 0..2_000 {
+            s.dispatch(u64::from(dist.sample_raw()));
+        }
+        assert_eq!(s.adaptations(), 1);
+        // Storm epochs: ratio ≈ 2 aborts/commit, far over trigger and band.
+        for _ in 0..2_000 {
+            s.dispatch(u64::from(dist.sample_raw()));
+        }
+        assert!(
+            s.adaptations() >= 2,
+            "contention trigger must fire: {:?}",
+            s.adaptation_log()
+        );
+        assert!(
+            matches!(
+                s.adaptation_log().last().unwrap().cause,
+                AdaptationCause::Contention { ratio } if ratio > 0.5
+            ),
+            "{:?}",
+            s.adaptation_log()
+        );
+    }
+
+    #[test]
+    fn adaptation_log_is_bounded_with_continuous_generations() {
+        let s = AdaptiveKeyScheduler::new(2, KeyBounds::new(0, 9_999))
+            .with_sample_threshold(10)
+            .with_re_adaptation(10);
+        for i in 0..(10 * (ADAPTATION_LOG_CAP as u64 + 40)) {
+            s.dispatch(i % 10_000);
+        }
+        let log = s.adaptation_log();
+        assert_eq!(log.len(), ADAPTATION_LOG_CAP, "log must be capped");
+        assert_eq!(
+            log.last().unwrap().generation,
+            s.adaptations() as u64,
+            "newest entry survives eviction"
+        );
+        let generations: Vec<u64> = log.iter().map(|e| e.generation).collect();
+        assert!(
+            generations.windows(2).all(|w| w[1] == w[0] + 1),
+            "generation numbers stay continuous across eviction"
+        );
+    }
+
     #[test]
     fn describe_reports_state() {
         let s = AdaptiveKeyScheduler::new(2, KeyBounds::new(0, 9)).with_sample_threshold(2);
@@ -486,6 +1051,6 @@ mod tests {
         s.dispatch(2);
         let d = s.describe();
         assert!(d.contains("adaptive"));
-        assert!(d.contains("adaptations"));
+        assert!(d.contains("gen 1"));
     }
 }

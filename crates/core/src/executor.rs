@@ -16,6 +16,16 @@
 //! ([`katme_queue::TaskQueue::push_batch`]) under a single
 //! [`ShutdownGate`] enter/exit. The single-task API is the batch-of-one
 //! special case, kept as a direct path so it pays no `Vec` round-trip.
+//!
+//! The executor is also the routing floor of the continuous adaptation
+//! plane: an adaptive scheduler may republish its partition at any moment
+//! (see [`crate::partition::PartitionTable`]), and the executor tolerates
+//! that swap with no barrier — each submission routes against exactly one
+//! generation snapshot and lands on exactly one queue, tasks enqueued under
+//! the old generation keep draining on their original workers, and nothing
+//! is lost or double-dispatched across the swap (only the *placement* of
+//! later submissions changes). [`Executor::partition_generation`] exposes
+//! the generation currently in effect.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -382,6 +392,13 @@ impl<T: Send + 'static> Executor<T> {
     /// The scheduler in use.
     pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
         &self.scheduler
+    }
+
+    /// The scheduler's routing-table generation currently in effect (0 for
+    /// static policies). Tasks already queued were routed by the generation
+    /// current at their submission; a bump never disturbs them.
+    pub fn partition_generation(&self) -> u64 {
+        self.scheduler.generation()
     }
 
     /// Submit a task with the given transaction key, blocking while the
@@ -1115,6 +1132,71 @@ mod tests {
         let report = exec.shutdown();
         assert_eq!(report.completed(), 100);
         assert_eq!(sum.load(Ordering::Relaxed), 5_050);
+    }
+
+    #[test]
+    fn partition_swaps_mid_stream_lose_and_duplicate_nothing() {
+        // Continuous-adaptation drain safety: while producers hammer the
+        // executor with batches, the adaptive scheduler keeps republishing
+        // its partition (alternating between two opposite skews so every
+        // publish really moves the boundaries). Every submitted task must be
+        // executed exactly once, across arbitrarily many generation swaps.
+        use crate::adaptive::AdaptiveKeyScheduler;
+        use crate::drift::AdaptationConfig;
+
+        let scheduler = Arc::new(
+            AdaptiveKeyScheduler::new(4, KeyBounds::dict16())
+                .with_sample_threshold(500)
+                .with_adaptation(AdaptationConfig::new().with_interval(500)),
+        );
+        let seen = Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        let seen_clone = Arc::clone(&seen);
+        let exec = Arc::new(Executor::start(
+            drain_config(),
+            Arc::clone(&scheduler) as Arc<dyn Scheduler>,
+            move |_worker, task: u64| {
+                assert!(seen_clone.lock().insert(task), "task {task} ran twice");
+            },
+        ));
+        let producers = 4u64;
+        let per_producer_batches = 30u64;
+        let batch_len = 100u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let exec = Arc::clone(&exec);
+                s.spawn(move || {
+                    for b in 0..per_producer_batches {
+                        let base = (p * per_producer_batches + b) * batch_len;
+                        // Sustained shift halfway through: every producer
+                        // moves its hot range at the same batch index, so
+                        // consecutive epochs drift the same way and the
+                        // trigger confirms while submissions are in flight.
+                        let hot = if b < per_producer_batches / 2 {
+                            0
+                        } else {
+                            60_000
+                        };
+                        // Keys spread over a stationary 4 000-wide range per
+                        // phase (stride so every batch covers the range), so
+                        // consecutive epochs within a phase look alike.
+                        let batch: Vec<(TxnKey, u64)> = (0..batch_len)
+                            .map(|i| (hot + (base + i) * 37 % 4_000, base + i))
+                            .collect();
+                        exec.submit_batch_blocking(batch).unwrap();
+                    }
+                });
+            }
+        });
+        let generation = exec.partition_generation();
+        assert!(
+            generation >= 2,
+            "the table must have swapped at least once mid-stream (gen {generation})"
+        );
+        let exec = Arc::into_inner(exec).expect("all producer clones dropped");
+        let report = exec.shutdown();
+        let total = producers * per_producer_batches * batch_len;
+        assert_eq!(report.completed(), total);
+        assert_eq!(seen.lock().len() as u64, total, "no task lost");
     }
 
     #[test]

@@ -98,9 +98,16 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, key: TxnKey) {
+        self.record_many(key, 1);
+    }
+
+    /// Record `count` samples at the same key in one step — used by the
+    /// adaptation plane to fold weighted STM abort telemetry into the key
+    /// histogram before repartitioning.
+    pub fn record_many(&mut self, key: TxnKey, count: u64) {
         let cell = self.cell_of(key);
-        self.counts[cell] += 1;
-        self.total += 1;
+        self.counts[cell] += count;
+        self.total += count;
     }
 
     /// Merge another histogram with identical geometry into this one.

@@ -46,6 +46,7 @@
 
 pub mod adaptive;
 pub mod cdf;
+pub mod drift;
 pub mod executor;
 pub mod histogram;
 pub mod key;
@@ -57,11 +58,14 @@ pub mod stats;
 
 pub use adaptive::AdaptiveKeyScheduler;
 pub use cdf::PiecewiseCdf;
+pub use drift::{
+    AdaptationCause, AdaptationConfig, AdaptationEvent, ContentionSample, ContentionSource,
+};
 pub use executor::{Executor, ExecutorConfig, ExecutorReport, ShutdownGate, SubmitError};
 pub use histogram::Histogram;
 pub use key::{BucketKeyMapper, ConstantKeyMapper, DictKeyMapper, KeyBounds, KeyMapper, TxnKey};
 pub use models::ExecutorModel;
-pub use partition::KeyPartition;
+pub use partition::{KeyPartition, PartitionGeneration, PartitionTable};
 pub use sample_size::required_samples;
 pub use scheduler::{FixedKeyScheduler, RoundRobinScheduler, Scheduler, SchedulerKind};
 pub use stats::{LoadBalance, WorkerCounters};

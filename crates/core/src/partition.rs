@@ -5,6 +5,11 @@
 //! adaptive scheduler uses the PD-partition — equal-*probability* ranges
 //! computed from an estimated CDF (step (e) of the paper's Figure 2).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
 use crate::cdf::PiecewiseCdf;
 use crate::key::{KeyBounds, TxnKey};
 
@@ -131,6 +136,105 @@ impl KeyPartition {
             prev = upper;
         }
         shares
+    }
+}
+
+/// One published routing generation: a [`KeyPartition`] stamped with the
+/// monotonically increasing generation number it was installed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionGeneration {
+    /// Generation counter: 0 is the initial (pre-adaptation) partition;
+    /// every [`PartitionTable::publish`] increments it.
+    pub generation: u64,
+    /// The routing partition of this generation.
+    pub partition: KeyPartition,
+}
+
+/// A versioned, atomically swappable routing table — the hinge of the
+/// continuous adaptation plane.
+///
+/// # Swap protocol
+///
+/// * **Readers** ([`PartitionTable::load`]) take a brief read lock and clone
+///   an `Arc` to the current [`PartitionGeneration`]; they then route any
+///   number of keys against that immutable snapshot with no further
+///   synchronization. A reader is never blocked by more than the O(1)
+///   pointer swap of a concurrent publish.
+/// * **Writers** ([`PartitionTable::publish`]) build the new partition
+///   *outside* the table, then swap the `Arc` under the write lock and bump
+///   the generation counter. Old generations stay alive for as long as any
+///   in-flight dispatch still holds their `Arc`, so a swap never invalidates
+///   routing decisions already being made.
+/// * **Drain safety**: a task routed under generation *g* is pushed onto the
+///   worker queue generation *g* chose, and workers drain their queues
+///   regardless of the current generation — so a swap can neither lose a
+///   task (its queue keeps being drained) nor double-dispatch one (each key
+///   is routed against exactly one snapshot). Only *placement* of tasks
+///   dispatched after the swap changes.
+///
+/// [`PartitionTable::generation`] is a lock-free monotonic counter, letting
+/// hot paths detect "a swap happened" without touching the lock.
+#[derive(Debug)]
+pub struct PartitionTable {
+    current: RwLock<Arc<PartitionGeneration>>,
+    generation: AtomicU64,
+}
+
+impl PartitionTable {
+    /// Create a table at generation 0 with the given initial partition.
+    pub fn new(initial: KeyPartition) -> Self {
+        PartitionTable {
+            current: RwLock::new(Arc::new(PartitionGeneration {
+                generation: 0,
+                partition: initial,
+            })),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current generation number (0 until the first publish). Lock-free.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the current generation for routing: the returned `Arc` stays
+    /// valid (and immutable) across any number of concurrent publishes.
+    pub fn load(&self) -> Arc<PartitionGeneration> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Clone of the current partition (convenience for reports).
+    pub fn partition(&self) -> KeyPartition {
+        self.current.read().partition.clone()
+    }
+
+    /// Route one key through the current generation.
+    pub fn worker_for(&self, key: TxnKey) -> usize {
+        self.current.read().partition.worker_for(key)
+    }
+
+    /// Install a new partition as the next generation and return its
+    /// generation number. In-flight readers keep routing against whichever
+    /// snapshot they loaded (see the swap protocol above).
+    ///
+    /// # Panics
+    /// Panics when the new partition routes to a different number of workers
+    /// than the current one — worker queues are fixed at executor start, so
+    /// a width change would route tasks to non-existent queues.
+    pub fn publish(&self, partition: KeyPartition) -> u64 {
+        let mut current = self.current.write();
+        assert_eq!(
+            partition.workers(),
+            current.partition.workers(),
+            "a published partition must keep the worker count"
+        );
+        let generation = current.generation + 1;
+        *current = Arc::new(PartitionGeneration {
+            generation,
+            partition,
+        });
+        self.generation.store(generation, Ordering::Release);
+        generation
     }
 }
 
@@ -267,6 +371,57 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_boundaries_are_rejected() {
         KeyPartition::from_boundaries(bounds(), vec![500, 100]);
+    }
+
+    #[test]
+    fn partition_table_swaps_generations_without_invalidating_readers() {
+        let table = PartitionTable::new(KeyPartition::equal_width(bounds(), 4));
+        assert_eq!(table.generation(), 0);
+        let snapshot = table.load();
+        assert_eq!(snapshot.generation, 0);
+        assert_eq!(table.worker_for(0), 0);
+
+        let gen1 = table.publish(KeyPartition::from_boundaries(bounds(), vec![900, 950, 980]));
+        assert_eq!(gen1, 1);
+        assert_eq!(table.generation(), 1);
+        // The pre-swap snapshot still routes with the old boundaries.
+        assert_eq!(snapshot.partition.worker_for(500), 2);
+        // New loads see the new generation.
+        assert_eq!(table.worker_for(500), 0);
+        assert_eq!(table.load().generation, 1);
+        assert_eq!(table.partition().boundaries(), &[900, 950, 980]);
+    }
+
+    #[test]
+    fn concurrent_publishes_and_reads_stay_consistent() {
+        use std::sync::Arc;
+        let table = Arc::new(PartitionTable::new(KeyPartition::equal_width(bounds(), 2)));
+        std::thread::scope(|s| {
+            let writer = Arc::clone(&table);
+            s.spawn(move || {
+                for b in 1..500u64 {
+                    writer.publish(KeyPartition::from_boundaries(bounds(), vec![b]));
+                }
+            });
+            for _ in 0..3 {
+                let reader = Arc::clone(&table);
+                s.spawn(move || {
+                    for key in 0..5_000u64 {
+                        let snap = reader.load();
+                        // Every snapshot is internally consistent.
+                        assert!(snap.partition.worker_for(key % 1_000) < 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(table.generation(), 499);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the worker count")]
+    fn publishing_a_different_width_is_rejected() {
+        let table = PartitionTable::new(KeyPartition::equal_width(bounds(), 4));
+        table.publish(KeyPartition::equal_width(bounds(), 2));
     }
 
     #[test]

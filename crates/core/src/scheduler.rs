@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::adaptive::AdaptiveKeyScheduler;
+use crate::drift::AdaptationEvent;
 use crate::key::{KeyBounds, TxnKey};
 use crate::partition::KeyPartition;
 
@@ -53,6 +54,19 @@ pub trait Scheduler: Send + Sync {
     /// policies; the adaptive scheduler counts its PD-partition adaptations).
     fn repartitions(&self) -> u64 {
         0
+    }
+
+    /// The routing-table generation currently in effect (0 for static
+    /// policies; the adaptive scheduler reports its
+    /// [`crate::partition::PartitionTable`] generation).
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// The adaptation log: one [`AdaptationEvent`] per published partition
+    /// generation, oldest first (empty for static policies).
+    fn adaptation_log(&self) -> Vec<AdaptationEvent> {
+        Vec::new()
     }
 
     /// One-line description of the current state (partition boundaries,

@@ -1,6 +1,6 @@
 //! Experiment runners, one per table/figure of the paper.
 
-use katme::{Driver, DriverConfig, ExecutorModel, RunResult, SchedulerKind};
+use katme::{Driver, DriverConfig, ExecutorModel, RunResult, SchedulerKind, WindowReport};
 use katme_collections::StructureKind;
 use katme_workload::DistributionKind;
 
@@ -232,6 +232,109 @@ pub fn batch_dispatch(
     out
 }
 
+/// Measurement windows per `drift_adaptation` run: enough slices that the
+/// pre-shift, shifting, and post-shift phases each cover several windows.
+pub const DRIFT_WINDOWS: usize = 6;
+
+/// One row of the [`drift_adaptation`] comparison: a (structure, scheduler
+/// mode) pair run under the phase-shift distribution.
+#[derive(Debug, Clone)]
+pub struct DriftRow {
+    /// Dictionary structure under test.
+    pub structure: StructureKind,
+    /// `"one-shot"` (the paper's adapt-once protocol) or `"continuous"`
+    /// (the epoch-based adaptation plane).
+    pub mode: &'static str,
+    /// Overall run result.
+    pub result: RunResult,
+    /// Per-window deltas (throughput and windowed contention ratio).
+    pub windows: Vec<WindowReport>,
+}
+
+impl DriftRow {
+    /// Mean throughput of the first third of the windows (pre-shift phase).
+    pub fn pre_shift_throughput(&self) -> f64 {
+        mean_throughput(&self.windows[..(self.windows.len() / 3).max(1)])
+    }
+
+    /// Mean throughput of the last third of the windows (post-shift phase —
+    /// the number the continuous plane is supposed to defend).
+    pub fn post_shift_throughput(&self) -> f64 {
+        let tail = (self.windows.len() / 3).max(1);
+        mean_throughput(&self.windows[self.windows.len() - tail..])
+    }
+
+    /// Partition recomputations over the whole run.
+    pub fn repartitions(&self) -> u64 {
+        self.result.repartitions
+    }
+
+    /// Max-over-mean per-worker completion imbalance over the whole run —
+    /// the architecture-independent signal of the adaptation plane's value:
+    /// a one-shot partition frozen on pre-shift traffic funnels the
+    /// post-shift stream through one worker (imbalance → workers), while
+    /// continuous adaptation re-balances it. (On few-core hosts the
+    /// throughput columns understate the difference, since one core
+    /// time-slices all workers anyway.)
+    pub fn imbalance(&self) -> f64 {
+        self.result.load.imbalance()
+    }
+}
+
+fn mean_throughput(windows: &[WindowReport]) -> f64 {
+    if windows.is_empty() {
+        return 0.0;
+    }
+    windows.iter().map(|w| w.throughput).sum::<f64>() / windows.len() as f64
+}
+
+/// **Drift adaptation (extension)**: one-shot vs. continuous adaptation on
+/// a mid-run phase shift, across all three structures. Both sides run the
+/// adaptive scheduler on the [`DistributionKind::Phased`] workload (keys
+/// concentrated at the low end of the space, jumping to the mirrored high
+/// end after a fixed number of per-producer samples); only the continuous
+/// side enables the epoch-based adaptation plane. The one-shot scheduler's
+/// partition — computed on pre-shift traffic — routes the entire post-shift
+/// stream to the last worker, while the continuous scheduler re-balances
+/// within an epoch or two, which shows up as higher post-shift throughput.
+pub fn drift_adaptation(opts: &HarnessOptions) -> Vec<DriftRow> {
+    let workers = opts.worker_counts().into_iter().max().unwrap_or(4);
+    // The shift point is in per-producer samples (the scheduler observes at
+    // dispatch, so this is independent of how fast workers drain): early
+    // enough that even the short smoke window crosses it, late enough that
+    // the initial adaptation settles on pre-shift traffic first.
+    let (threshold, shift_after) = if opts.quick {
+        (1_000, 2_000)
+    } else {
+        (5_000, 20_000)
+    };
+    let distribution = DistributionKind::phased(shift_after);
+    let mut rows = Vec::new();
+    for structure in StructureKind::ALL {
+        for continuous in [false, true] {
+            let mut config = base_config(opts, structure)
+                .with_workers(workers)
+                .with_scheduler(SchedulerKind::AdaptiveKey)
+                .with_sample_threshold(threshold)
+                .with_seed(0xd1f7);
+            if continuous {
+                config = config
+                    .with_adaptation_interval(threshold as u64)
+                    .with_drift_threshold(0.2);
+            }
+            let (result, windows) =
+                Driver::new(config).run_dictionary_windowed(structure, distribution, DRIFT_WINDOWS);
+            rows.push(DriftRow {
+                structure,
+                mode: if continuous { "continuous" } else { "one-shot" },
+                result,
+                windows,
+            });
+        }
+    }
+    rows
+}
+
 /// Ablation: executor models of Figure 1 (no executor / centralized /
 /// parallel) on the hash table with the adaptive scheduler.
 pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
@@ -313,6 +416,23 @@ mod tests {
             rows.iter().any(|(_, batch, _)| *batch == 1),
             "must include the per-task baseline"
         );
+    }
+
+    #[test]
+    fn drift_adaptation_covers_structures_and_both_modes() {
+        let rows = drift_adaptation(&quick());
+        assert_eq!(rows.len(), 3 * 2, "3 structures x (one-shot, continuous)");
+        for row in &rows {
+            assert_eq!(row.windows.len(), DRIFT_WINDOWS);
+            assert!(row.result.completed > 0, "{row:?}");
+            assert!(
+                row.repartitions() >= 1,
+                "the adaptive scheduler must at least perform its initial \
+                 adaptation: {row:?}"
+            );
+        }
+        assert!(rows.iter().any(|r| r.mode == "one-shot"));
+        assert!(rows.iter().any(|r| r.mode == "continuous"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | Contention table | [`experiments::contention_table`] / `contention_table` | aborts per committed transaction per scheduler/structure |
 //! | Load-balance table | [`experiments::balance_table`] / `balance_table` | per-worker completion share under each scheduler |
 //! | Batched dispatch (extension) | [`experiments::batch_dispatch`] / `batch_dispatch` | per-task vs. batched submission throughput at equal workload |
+//! | Drift adaptation (extension) | [`experiments::drift_adaptation`] / `drift_adaptation` | one-shot vs. continuous adaptation under a mid-run phase shift |
 //!
 //! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
 //! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
@@ -28,8 +29,8 @@ pub mod options;
 pub mod report;
 
 pub use experiments::{
-    balance_table, batch_dispatch, contention_table, fig3_hashtable, fig4_overhead, tree_list,
-    ExperimentRow, Fig4Row, BATCH_SIZES,
+    balance_table, batch_dispatch, contention_table, drift_adaptation, fig3_hashtable,
+    fig4_overhead, tree_list, DriftRow, ExperimentRow, Fig4Row, BATCH_SIZES, DRIFT_WINDOWS,
 };
 pub use options::HarnessOptions;
 pub use report::{format_throughput, print_series_table};

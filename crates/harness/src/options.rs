@@ -65,7 +65,7 @@ impl HarnessOptions {
                 "--preload" => {
                     opts.preload = next_value(&mut iter, arg)?.parse().map_err(bad(arg))?
                 }
-                "--quick" | "-q" => opts.quick = true,
+                "--quick" | "-q" | "--smoke" => opts.quick = true,
                 "--paper" => {
                     // The paper's full methodology.
                     opts.seconds = 10.0;
@@ -96,7 +96,7 @@ impl HarnessOptions {
     /// Usage text.
     pub fn usage() -> &'static str {
         "usage: <experiment> [--seconds S] [--reps N] [--max-threads N] \
-         [--producers N] [--preload N] [--quick] [--paper]"
+         [--producers N] [--preload N] [--quick|--smoke] [--paper]"
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -213,6 +213,13 @@ mod tests {
         // Quick mode overrides the window and repetitions.
         assert_eq!(opts.duration(), Duration::from_millis(40));
         assert_eq!(opts.repetitions(), 1);
+    }
+
+    #[test]
+    fn smoke_is_an_alias_for_quick() {
+        let opts = HarnessOptions::parse(["--smoke"]).unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.duration(), Duration::from_millis(40));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 use std::sync::Arc;
 
 use katme_core::adaptive::AdaptiveKeyScheduler;
+use katme_core::drift::{AdaptationConfig, ContentionSample};
 use katme_core::executor::ExecutorConfig;
 use katme_core::key::{KeyBounds, TxnKey};
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::{Scheduler, SchedulerKind};
 use katme_queue::QueueKind;
+use katme_stm::telemetry::{KeyRangeTelemetry, DEFAULT_TELEMETRY_BUCKETS};
 use katme_stm::{CmKind, Stm, StmConfig};
 
 use crate::error::KatmeError;
@@ -54,6 +56,9 @@ pub struct Builder {
     scheduler: SchedulerKind,
     scheduler_instance: Option<Arc<dyn Scheduler>>,
     sample_threshold: Option<usize>,
+    adaptation_interval: Option<u64>,
+    drift_threshold: Option<f64>,
+    max_repartitions: Option<Option<usize>>,
     queue: QueueKind,
     model: ExecutorModel,
     stm_config: StmConfig,
@@ -75,6 +80,9 @@ impl Default for Builder {
             scheduler: SchedulerKind::AdaptiveKey,
             scheduler_instance: None,
             sample_threshold: None,
+            adaptation_interval: None,
+            drift_threshold: None,
+            max_repartitions: None,
             queue: QueueKind::TwoLock,
             model: ExecutorModel::Parallel,
             stm_config: StmConfig::default(),
@@ -135,6 +143,39 @@ impl Builder {
     /// (defaults to the paper's 10 000).
     pub fn sample_threshold(mut self, threshold: usize) -> Self {
         self.sample_threshold = Some(threshold);
+        self
+    }
+
+    /// Enable the continuous adaptation plane with this epoch length: every
+    /// `interval` observed keys the adaptive scheduler evaluates its drift
+    /// and STM-contention triggers and republishes the partition when one
+    /// fires (hysteresis keeps stationary load from churning). Requires the
+    /// adaptive scheduler; rejected at build time otherwise. Setting any of
+    /// the adaptation knobs ([`Builder::adaptation_interval`],
+    /// [`Builder::drift_threshold`], [`Builder::max_repartitions`]) turns
+    /// continuous adaptation on; unset knobs take the
+    /// [`AdaptationConfig`] defaults.
+    pub fn adaptation_interval(mut self, interval: u64) -> Self {
+        self.adaptation_interval = Some(interval);
+        self
+    }
+
+    /// Histogram-distance trigger for continuous adaptation: the
+    /// total-variation distance (in `(0, 1]`) between an epoch's key
+    /// histogram and the current partition's reference histogram above which
+    /// the distribution counts as drifted. Implies continuous adaptation
+    /// (see [`Builder::adaptation_interval`]).
+    pub fn drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = Some(threshold);
+        self
+    }
+
+    /// Cap on post-initial repartitions under continuous adaptation
+    /// (`None` = unlimited). Once spent, the scheduler stops sampling and
+    /// the dispatch hot path returns to the paper's lock-free steady state.
+    /// Implies continuous adaptation (see [`Builder::adaptation_interval`]).
+    pub fn max_repartitions(mut self, cap: Option<usize>) -> Self {
+        self.max_repartitions = Some(cap);
         self
     }
 
@@ -239,32 +280,118 @@ impl Builder {
                 ));
             }
         }
+        if self.adaptation_enabled() {
+            if self.scheduler_instance.is_some() {
+                return Err(KatmeError::InvalidConfig(
+                    "adaptation knobs cannot be combined with scheduler_instance; configure the \
+                     instance's AdaptationConfig directly"
+                        .into(),
+                ));
+            }
+            if self.scheduler != SchedulerKind::AdaptiveKey {
+                return Err(KatmeError::InvalidConfig(format!(
+                    "adaptation knobs require the adaptive scheduler, not '{}'",
+                    self.scheduler
+                )));
+            }
+            if self.adaptation_interval == Some(0) {
+                return Err(KatmeError::InvalidConfig(
+                    "adaptation_interval must be at least 1".into(),
+                ));
+            }
+            if let Some(threshold) = self.drift_threshold {
+                if !(threshold > 0.0 && threshold <= 1.0) {
+                    return Err(KatmeError::InvalidConfig(format!(
+                        "drift_threshold must lie in (0, 1], got {threshold}"
+                    )));
+                }
+            }
+        }
         Ok(KeyBounds::new(self.key_min, self.key_max))
+    }
+
+    /// True when any continuous-adaptation knob was set.
+    fn adaptation_enabled(&self) -> bool {
+        self.adaptation_interval.is_some()
+            || self.drift_threshold.is_some()
+            || self.max_repartitions.is_some()
+    }
+
+    /// The continuous-adaptation configuration implied by the set knobs.
+    fn adaptation_config(&self) -> AdaptationConfig {
+        let mut config = AdaptationConfig::new();
+        if let Some(interval) = self.adaptation_interval {
+            config = config.with_interval(interval);
+        }
+        if let Some(threshold) = self.drift_threshold {
+            config = config.with_drift_threshold(threshold);
+        }
+        if let Some(cap) = self.max_repartitions {
+            config = config.with_max_repartitions(cap);
+        }
+        config
     }
 
     /// Validate the configuration and start the runtime. `handler` is what
     /// worker threads run for each task: `handler(worker_index, task) -> R`,
     /// with `R` delivered through the task's [`crate::TaskHandle`].
-    pub fn build<T, R, F>(self, handler: F) -> Result<Runtime<T, R>, KatmeError>
+    pub fn build<T, R, F>(mut self, handler: F) -> Result<Runtime<T, R>, KatmeError>
     where
         T: Send + 'static,
         R: Send + 'static,
         F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
         let bounds = self.validate()?;
+        let stm = match self.stm_instance.take() {
+            Some(stm) => stm,
+            None => Stm::new(self.stm_config.clone()),
+        };
         let scheduler: Arc<dyn Scheduler> = match &self.scheduler_instance {
             Some(instance) => Arc::clone(instance),
-            None => match (self.scheduler, self.sample_threshold) {
-                (SchedulerKind::AdaptiveKey, Some(threshold)) => Arc::new(
-                    AdaptiveKeyScheduler::new(self.workers, bounds)
-                        .with_sample_threshold(threshold),
-                ),
-                (kind, _) => kind.build(self.workers, bounds),
-            },
-        };
-        let stm = match self.stm_instance {
-            Some(stm) => stm,
-            None => Stm::new(self.stm_config),
+            None if self.scheduler == SchedulerKind::AdaptiveKey => {
+                let mut adaptive = AdaptiveKeyScheduler::new(self.workers, bounds);
+                if let Some(threshold) = self.sample_threshold {
+                    adaptive = adaptive.with_sample_threshold(threshold);
+                }
+                if self.adaptation_enabled() {
+                    // Continuous mode: wire the STM's key-range telemetry in
+                    // as the contention feed. Tasks are scoped to their keys
+                    // by the runtime (katme_stm::with_task_key), so the
+                    // commit path attributes aborts to key ranges and the
+                    // drift detector sees per-epoch contention deltas.
+                    let telemetry = Arc::new(KeyRangeTelemetry::new(
+                        bounds.min,
+                        bounds.max,
+                        DEFAULT_TELEMETRY_BUCKETS,
+                    ));
+                    stm.stats().attach_key_telemetry(telemetry);
+                    // Sample whatever telemetry ended up attached (a shared
+                    // Stm may already carry one with different geometry).
+                    let attached = stm
+                        .stats()
+                        .key_telemetry()
+                        .cloned()
+                        .expect("telemetry attached above");
+                    let source = move || {
+                        let snapshot = attached.snapshot();
+                        ContentionSample {
+                            commits: snapshot.total_commits(),
+                            aborts: snapshot.total_aborts(),
+                            ranges: (0..snapshot.buckets().len())
+                                .map(|index| {
+                                    let (lo, hi) = snapshot.bucket_range(index);
+                                    (lo, hi, snapshot.buckets()[index].1)
+                                })
+                                .collect(),
+                        }
+                    };
+                    adaptive = adaptive
+                        .with_adaptation(self.adaptation_config())
+                        .with_contention_source(Arc::new(source));
+                }
+                Arc::new(adaptive)
+            }
+            None => self.scheduler.build(self.workers, bounds),
         };
         let executor_config = ExecutorConfig::default()
             .with_queue(self.queue)
@@ -291,6 +418,9 @@ impl std::fmt::Debug for Builder {
             .field("key_range", &(self.key_min, self.key_max))
             .field("scheduler", &self.scheduler)
             .field("has_scheduler_instance", &self.scheduler_instance.is_some())
+            .field("adaptation_interval", &self.adaptation_interval)
+            .field("drift_threshold", &self.drift_threshold)
+            .field("max_repartitions", &self.max_repartitions)
             .field("queue", &self.queue)
             .field("model", &self.model)
             .field("max_queue_depth", &self.max_queue_depth)
@@ -363,6 +493,59 @@ mod tests {
                 runtime.shutdown();
                 true
             }));
+    }
+
+    #[test]
+    fn adaptation_knobs_require_the_adaptive_scheduler() {
+        let err = Katme::builder()
+            .scheduler(SchedulerKind::FixedKey)
+            .adaptation_interval(1_000)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("adaptive")),
+            "{err}"
+        );
+        let err = Katme::builder()
+            .scheduler_instance(Arc::new(AdaptiveKeyScheduler::new(2, KeyBounds::dict16())))
+            .drift_threshold(0.2)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("scheduler_instance")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_adaptation_knobs_are_rejected() {
+        assert!(Katme::builder()
+            .adaptation_interval(0)
+            .build(noop_handler())
+            .is_err());
+        assert!(Katme::builder()
+            .drift_threshold(0.0)
+            .build(noop_handler())
+            .is_err());
+        assert!(Katme::builder()
+            .drift_threshold(1.5)
+            .build(noop_handler())
+            .is_err());
+    }
+
+    #[test]
+    fn adaptation_knobs_attach_stm_telemetry() {
+        let runtime = Katme::builder()
+            .adaptation_interval(1_000)
+            .drift_threshold(0.2)
+            .max_repartitions(Some(4))
+            .build(noop_handler())
+            .unwrap();
+        assert!(
+            runtime.stm().stats().key_telemetry().is_some(),
+            "continuous adaptation must wire the key-range telemetry"
+        );
+        runtime.shutdown();
     }
 
     #[test]

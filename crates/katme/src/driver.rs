@@ -63,6 +63,19 @@ pub struct DriverConfig {
     /// drain granularity). `1` reproduces the paper's per-task submission
     /// protocol exactly; larger values exercise the batched dispatch plane.
     pub batch_size: usize,
+    /// Samples before the adaptive scheduler's first adaptation (`None` =
+    /// the paper's 10 000).
+    pub sample_threshold: Option<usize>,
+    /// Continuous-adaptation epoch length; setting this (or either knob
+    /// below) enables the continuous adaptation plane for adaptive-scheduler
+    /// runs (see [`crate::Builder::adaptation_interval`]).
+    pub adaptation_interval: Option<u64>,
+    /// Histogram-distance drift trigger (see
+    /// [`crate::Builder::drift_threshold`]).
+    pub drift_threshold: Option<f64>,
+    /// Cap on post-initial repartitions (outer `None` = knob unset, inner
+    /// `None` = unlimited; see [`crate::Builder::max_repartitions`]).
+    pub max_repartitions: Option<Option<usize>>,
 }
 
 impl Default for DriverConfig {
@@ -80,6 +93,10 @@ impl Default for DriverConfig {
             seed: 0x5eed,
             preload: 10_000,
             batch_size: 1,
+            sample_threshold: None,
+            adaptation_interval: None,
+            drift_threshold: None,
+            max_repartitions: None,
         }
     }
 }
@@ -162,6 +179,32 @@ impl DriverConfig {
         self.batch_size = batch_size.max(1);
         self
     }
+
+    /// Set the adaptive scheduler's first-adaptation sample threshold.
+    pub fn with_sample_threshold(mut self, threshold: usize) -> Self {
+        self.sample_threshold = Some(threshold);
+        self
+    }
+
+    /// Enable continuous adaptation with this epoch length.
+    pub fn with_adaptation_interval(mut self, interval: u64) -> Self {
+        self.adaptation_interval = Some(interval);
+        self
+    }
+
+    /// Set the continuous-adaptation drift trigger (implies continuous
+    /// adaptation).
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = Some(threshold);
+        self
+    }
+
+    /// Cap the number of post-initial repartitions (implies continuous
+    /// adaptation).
+    pub fn with_max_repartitions(mut self, cap: Option<usize>) -> Self {
+        self.max_repartitions = Some(cap);
+        self
+    }
 }
 
 /// Result of one timed run.
@@ -187,6 +230,8 @@ pub struct RunResult {
     pub load: LoadBalance,
     /// STM activity during the window (commits, aborts, backoffs).
     pub stm: StmStatsSnapshot,
+    /// Times the scheduler recomputed its partition during the run.
+    pub repartitions: u64,
 }
 
 impl RunResult {
@@ -195,6 +240,29 @@ impl RunResult {
     pub fn contention_ratio(&self) -> f64 {
         self.stm.contention_ratio()
     }
+}
+
+/// One measurement window of a windowed run
+/// ([`Driver::run_dictionary_windowed`]): all rates are *within-window*
+/// deltas built on [`crate::StatsView::since`], so they track the current
+/// phase of a shifting workload instead of the cumulative average.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Window index, 0-based.
+    pub index: usize,
+    /// Wall-clock length of this window.
+    pub duration: Duration,
+    /// Transactions completed inside this window.
+    pub completed: u64,
+    /// Completed transactions per second inside this window.
+    pub throughput: f64,
+    /// STM aborts per committed transaction inside this window (the
+    /// windowed contention ratio).
+    pub contention_ratio: f64,
+    /// Partition republishes inside this window.
+    pub repartitions: u64,
+    /// Routing-table generation in effect at the window's close.
+    pub generation: u64,
 }
 
 /// The timed-run driver.
@@ -226,7 +294,7 @@ impl Driver {
 
     fn runtime_builder(&self) -> crate::builder::Builder {
         let cfg = &self.config;
-        Katme::builder()
+        let mut builder = Katme::builder()
             .workers(cfg.workers)
             .producers(self.producer_threads())
             .scheduler(cfg.scheduler)
@@ -238,7 +306,20 @@ impl Driver {
             // The paper's driver "stops the producer and worker threads
             // after the test period": leftover queue contents are abandoned
             // and reported, not drained.
-            .drain_on_shutdown(false)
+            .drain_on_shutdown(false);
+        if let Some(threshold) = cfg.sample_threshold {
+            builder = builder.sample_threshold(threshold);
+        }
+        if let Some(interval) = cfg.adaptation_interval {
+            builder = builder.adaptation_interval(interval);
+        }
+        if let Some(threshold) = cfg.drift_threshold {
+            builder = builder.drift_threshold(threshold);
+        }
+        if let Some(cap) = cfg.max_repartitions {
+            builder = builder.max_repartitions(cap);
+        }
+        builder
     }
 
     /// Run the dictionary microbenchmark (the paper's §4.2): producer
@@ -250,6 +331,20 @@ impl Driver {
         structure: StructureKind,
         distribution: DistributionKind,
     ) -> RunResult {
+        self.run_dictionary_windowed(structure, distribution, 1).0
+    }
+
+    /// Like [`Driver::run_dictionary`], but splitting the measurement
+    /// period into `windows` equal slices and reporting each slice's
+    /// windowed throughput and contention ratio alongside the overall
+    /// result — the view that makes a mid-run phase shift (and the
+    /// adaptation plane's response to it) visible.
+    pub fn run_dictionary_windowed(
+        &self,
+        structure: StructureKind,
+        distribution: DistributionKind,
+        windows: usize,
+    ) -> (RunResult, Vec<WindowReport>) {
         let cfg = &self.config;
         let stm = Stm::new(StmConfig::default().with_contention_manager(cfg.contention_manager));
         let dict = structure.build(stm.clone());
@@ -277,17 +372,25 @@ impl Driver {
             cfg.duration,
             self.producer_threads(),
             cfg.batch_size,
+            windows,
             |producer| {
                 let mut gen =
                     OpGenerator::paper(distribution, cfg.seed.wrapping_add(1000 + producer as u64));
                 let bucket_mapper = BucketKeyMapper::paper();
-                move || {
-                    let spec = gen.next_spec();
-                    let key = match structure {
-                        StructureKind::HashTable => bucket_mapper.key(&spec),
-                        _ => u64::from(spec.key),
-                    };
-                    WithKey::new(key, spec)
+                // Spec buffer reused across batches; the raw 17-bit samples
+                // are drawn through KeyDistribution::sample_into inside
+                // batch_into, so the steady-state loop allocates only the
+                // task vector handed to the runtime.
+                let mut specs: Vec<TxnSpec> = Vec::new();
+                move |n: usize, out: &mut Vec<WithKey<TxnSpec>>| {
+                    gen.batch_into(&mut specs, n);
+                    out.extend(specs.drain(..).map(|spec| {
+                        let key = match structure {
+                            StructureKind::HashTable => bucket_mapper.key(&spec),
+                            _ => u64::from(spec.key),
+                        };
+                        WithKey::new(key, spec)
+                    }));
                 }
             },
         );
@@ -329,9 +432,14 @@ impl Driver {
                 cfg.duration,
                 cfg.workers,
                 cfg.batch_size,
-                |producer| move || WithKey::new(producer as u64, producer),
+                1,
+                |producer| {
+                    move |n: usize, out: &mut Vec<WithKey<usize>>| {
+                        out.extend((0..n).map(|_| WithKey::new(producer as u64, producer)));
+                    }
+                },
             );
-            let mut result = self.collect(runtime, window);
+            let (mut result, _) = self.collect(runtime, window);
             result.producers = 0;
             return result;
         }
@@ -362,18 +470,24 @@ impl Driver {
             cfg.duration,
             cfg.producers,
             cfg.batch_size,
+            1,
             |producer| {
                 let mut gen = OpGenerator::paper(
                     DistributionKind::Uniform,
                     cfg.seed.wrapping_add(1000 + producer as u64),
                 );
-                move || {
-                    let spec = gen.next_spec();
-                    WithKey::new(u64::from(spec.key), spec)
+                let mut specs: Vec<TxnSpec> = Vec::new();
+                move |n: usize, out: &mut Vec<WithKey<TxnSpec>>| {
+                    gen.batch_into(&mut specs, n);
+                    out.extend(
+                        specs
+                            .drain(..)
+                            .map(|spec| WithKey::new(u64::from(spec.key), spec)),
+                    );
                 }
             },
         );
-        let mut result = self.collect(runtime, window);
+        let (mut result, _) = self.collect(runtime, window);
         result.producers = cfg.producers;
         result
     }
@@ -387,7 +501,7 @@ impl Driver {
         &self,
         runtime: Runtime<T, R>,
         window: Window,
-    ) -> RunResult {
+    ) -> (RunResult, Vec<WindowReport>) {
         let cfg = &self.config;
         let model = runtime.model();
         runtime.shutdown();
@@ -396,7 +510,7 @@ impl Driver {
             ExecutorModel::NoExecutor => LoadBalance::new(window.per_producer.clone()),
             _ => LoadBalance::new(stats.per_worker_completed),
         };
-        RunResult {
+        let result = RunResult {
             scheduler: cfg.scheduler,
             model,
             workers: cfg.workers,
@@ -407,42 +521,52 @@ impl Driver {
             throughput: stats.completed as f64 / window.elapsed.as_secs_f64(),
             load,
             stm: stats.stm,
-        }
+            repartitions: stats.repartitions,
+        };
+        (result, window.reports)
     }
 }
 
 /// What [`drive_window`] measured: the per-producer submission counts (each
-/// producer tallies locally — no shared counter on the submission hot path)
-/// and a [`StatsView`] snapshot plus elapsed time captured *at the moment
-/// the window closed* — before the producers are joined, so a producer that
+/// producer tallies locally — no shared counter on the submission hot path),
+/// a [`StatsView`] snapshot plus elapsed time captured *at the moment the
+/// window closed* — before the producers are joined, so a producer that
 /// sits out a back-pressure wait in its final (batched) submission cannot
-/// stretch the measured window.
+/// stretch the measured window — and one [`WindowReport`] per measurement
+/// slice.
 struct Window {
     per_producer: Vec<u64>,
     elapsed: Duration,
     stats: crate::runtime::StatsView,
+    reports: Vec<WindowReport>,
 }
 
 /// Run `producers` generating threads against `runtime` for `duration`:
-/// each thread gets its own task generator from `factory` and submits until
-/// the window closes (or the runtime refuses new work). With `batch_size`
-/// above 1 each producer generates a whole batch locally and hands it over
-/// through the batched dispatch plane ([`Runtime::submit_batch_detached`]);
-/// at 1 it reproduces the paper's per-task submission.
+/// each thread gets its own batch generator from `factory` (a closure
+/// filling a task vector, so generators can reuse internal sample buffers)
+/// and submits until the window closes (or the runtime refuses new work).
+/// With `batch_size` above 1 each producer generates a whole batch locally
+/// and hands it over through the batched dispatch plane
+/// ([`Runtime::submit_batch_detached`]); at 1 it reproduces the paper's
+/// per-task submission. The measurement period is split into `windows`
+/// equal slices, each reported as a [`WindowReport`] of within-window
+/// deltas ([`crate::StatsView::since`]).
 fn drive_window<T, R, F, G>(
     runtime: &Runtime<WithKey<T>, R>,
     duration: Duration,
     producers: usize,
     batch_size: usize,
+    windows: usize,
     factory: F,
 ) -> Window
 where
     T: Send + 'static,
     R: Send + 'static,
     F: Fn(usize) -> G + Sync,
-    G: FnMut() -> WithKey<T> + Send,
+    G: FnMut(usize, &mut Vec<WithKey<T>>) + Send,
 {
     let batch_size = batch_size.max(1);
+    let windows = windows.max(1);
     let run = AtomicBool::new(true);
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -453,15 +577,21 @@ where
                 scope.spawn(move || {
                     let mut local = 0u64;
                     if batch_size == 1 {
+                        // Per-task protocol: the 1-capacity buffer is
+                        // refilled in place, so the loop allocates nothing.
+                        let mut single: Vec<WithKey<T>> = Vec::with_capacity(1);
                         while run.load(Ordering::Relaxed) {
-                            if runtime.submit_detached(generate()).is_err() {
+                            generate(1, &mut single);
+                            let task = single.pop().expect("generator fills one task");
+                            if runtime.submit_detached(task).is_err() {
                                 break;
                             }
                             local += 1;
                         }
                     } else {
                         while run.load(Ordering::Relaxed) {
-                            let batch: Vec<_> = (0..batch_size).map(|_| generate()).collect();
+                            let mut batch = Vec::with_capacity(batch_size);
+                            generate(batch_size, &mut batch);
                             match runtime.submit_batch_detached(batch) {
                                 Ok(accepted) => local += accepted as u64,
                                 Err(err) => {
@@ -478,12 +608,31 @@ where
                 })
             })
             .collect();
-        std::thread::sleep(duration);
+        let slice = duration / windows as u32;
+        let mut previous = runtime.stats();
+        let mut reports = Vec::with_capacity(windows);
+        for index in 0..windows {
+            std::thread::sleep(slice);
+            // Snapshot at each slice boundary; the deltas are the windowed
+            // view (throughput and contention of *this* slice only).
+            let now = runtime.stats();
+            let delta = now.since(&previous);
+            reports.push(WindowReport {
+                index,
+                duration: delta.duration,
+                completed: delta.completed,
+                throughput: delta.throughput(),
+                contention_ratio: delta.contention_ratio(),
+                repartitions: delta.repartitions,
+                generation: now.partition_generation,
+            });
+            previous = now;
+        }
         run.store(false, Ordering::Relaxed);
-        // Snapshot the stats the instant the window closes: completions that
-        // land while producers wind down their last batch belong to the
-        // shutdown tail, not the measurement.
-        let stats = runtime.stats();
+        // The final boundary snapshot doubles as the run's measurement:
+        // completions that land while producers wind down their last batch
+        // belong to the shutdown tail, not the measurement.
+        let stats = previous;
         let elapsed = started.elapsed();
         let per_producer: Vec<u64> = handles
             .into_iter()
@@ -493,6 +642,7 @@ where
             per_producer,
             elapsed,
             stats,
+            reports,
         }
     })
 }
@@ -541,8 +691,16 @@ mod tests {
             .with_max_queue_depth(Some(64))
             .with_preload(5)
             .with_seed(9)
-            .with_batch_size(16);
+            .with_batch_size(16)
+            .with_sample_threshold(2_000)
+            .with_adaptation_interval(4_096)
+            .with_drift_threshold(0.25)
+            .with_max_repartitions(Some(7));
         assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.sample_threshold, Some(2_000));
+        assert_eq!(cfg.adaptation_interval, Some(4_096));
+        assert_eq!(cfg.drift_threshold, Some(0.25));
+        assert_eq!(cfg.max_repartitions, Some(Some(7)));
         assert_eq!(cfg.producers, 2);
         assert_eq!(cfg.scheduler, SchedulerKind::FixedKey);
         assert_eq!(cfg.model, ExecutorModel::Centralized);
@@ -587,6 +745,32 @@ mod tests {
                 .run_dictionary(StructureKind::HashTable, DistributionKind::Uniform);
             assert!(result.completed > 0, "{model}: {result:?}");
             assert!(result.produced >= result.completed, "{model}: {result:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_run_reports_per_window_deltas() {
+        let config = DriverConfig::new()
+            .with_workers(2)
+            .with_producers(2)
+            .with_duration(Duration::from_millis(120))
+            .with_preload(200);
+        let (result, windows) = Driver::new(config).run_dictionary_windowed(
+            StructureKind::HashTable,
+            DistributionKind::Uniform,
+            4,
+        );
+        assert_eq!(windows.len(), 4);
+        assert!(result.completed > 0);
+        let window_sum: u64 = windows.iter().map(|w| w.completed).sum();
+        assert_eq!(
+            window_sum, result.completed,
+            "window deltas must tile the run"
+        );
+        for (index, window) in windows.iter().enumerate() {
+            assert_eq!(window.index, index);
+            assert!(window.duration > Duration::ZERO);
+            assert!(window.contention_ratio >= 0.0);
         }
     }
 

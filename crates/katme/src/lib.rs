@@ -44,6 +44,13 @@
 //! assert_eq!(report.completed, 1);
 //! ```
 //!
+//! * The adaptive scheduler can run a **continuous adaptation plane**:
+//!   [`Builder::adaptation_interval`], [`Builder::drift_threshold`] and
+//!   [`Builder::max_repartitions`] enable epoch-based re-adaptation driven
+//!   by key-histogram drift and STM contention telemetry (with hysteresis,
+//!   so stationary load never churns). Each republished partition appears
+//!   in the [`StatsView`] adaptation log with its generation and trigger
+//!   cause.
 //! * The whole submit→schedule→enqueue→drain path is **batch-first**:
 //!   [`Runtime::submit_batch`] hands over a `Vec` of tasks, the scheduler
 //!   routes all keys in one pass, each worker queue is crossed with a single
@@ -66,9 +73,9 @@ mod runtime;
 mod task;
 
 pub use builder::{Builder, Katme};
-pub use driver::{apply_spec, Driver, DriverConfig, RunResult};
+pub use driver::{apply_spec, Driver, DriverConfig, RunResult, WindowReport};
 pub use error::KatmeError;
-pub use runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView};
+pub use runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView, StatsWindow};
 pub use task::{KeyedTask, TaskHandle, WithKey};
 
 // The composed layers, re-exported whole for advanced use…
@@ -81,14 +88,21 @@ pub use katme_workload as workload;
 // …and the names almost every user of the facade touches.
 pub use katme_collections::StructureKind;
 pub use katme_core::adaptive::AdaptiveKeyScheduler;
+pub use katme_core::drift::{
+    AdaptationCause, AdaptationConfig, AdaptationEvent, ContentionSample, ContentionSource,
+};
 pub use katme_core::key::{
     BucketKeyMapper, ConstantKeyMapper, DictKeyMapper, KeyBounds, KeyMapper, TxnKey,
 };
 pub use katme_core::models::ExecutorModel;
+pub use katme_core::partition::{KeyPartition, PartitionGeneration, PartitionTable};
 pub use katme_core::scheduler::{FixedKeyScheduler, RoundRobinScheduler, Scheduler, SchedulerKind};
 pub use katme_core::stats::LoadBalance;
 pub use katme_queue::QueueKind;
-pub use katme_stm::{CmKind, Stm, StmConfig, StmStatsSnapshot, TVar, Transaction, TxError};
+pub use katme_stm::{
+    CmKind, KeyRangeSnapshot, KeyRangeTelemetry, Stm, StmConfig, StmStatsSnapshot, TVar,
+    Transaction, TxError,
+};
 pub use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
 
 /// Commonly used items.

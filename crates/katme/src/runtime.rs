@@ -5,13 +5,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use katme_core::drift::AdaptationEvent;
 use katme_core::executor::{Executor, ShutdownGate, SubmitError, SubmitRejection};
 use katme_core::key::TxnKey;
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::Scheduler;
 use katme_core::stats::LoadBalance;
 use katme_queue::{thread_stripe, Backoff, TwoLockQueue};
-use katme_stm::{Stm, StmStatsSnapshot};
+use katme_stm::{with_task_key, Stm, StmStatsSnapshot};
 
 use crate::error::KatmeError;
 use crate::task::{handle_pair, Completion, KeyedTask, TaskHandle};
@@ -225,7 +226,10 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 executor_config,
                 Arc::clone(&scheduler),
                 move |worker, envelope: Envelope<T, R>| {
-                    let result = handler(worker, envelope.task);
+                    // Scope the task to its key so the STM's key-range
+                    // telemetry (when attached) attributes this task's
+                    // commits and aborts to the right range.
+                    let result = with_task_key(envelope.key, || handler(worker, envelope.task));
                     if let Some(completion) = envelope.completion {
                         completion.complete(result);
                     }
@@ -479,7 +483,8 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 // thread; one striped-counter update covers the whole batch.
                 let mut handles = Vec::with_capacity(if with_handles { total } else { 0 });
                 for task in tasks {
-                    let result = (self.handler)(0, task);
+                    let key = task.key();
+                    let result = with_task_key(key, || (self.handler)(0, task));
                     if with_handles {
                         let (handle, completion) = handle_pair();
                         completion.complete(result);
@@ -693,8 +698,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 // Figure 1(a): the producer executes its own transaction
                 // synchronously — no scheduling, no queuing, so the model
                 // stays a clean zero-overhead baseline.
-                let _ = key;
-                let result = (self.handler)(0, task);
+                let result = with_task_key(key, || (self.handler)(0, task));
                 if let Some(completion) = completion {
                     completion.complete(result);
                 }
@@ -807,6 +811,8 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 .as_ref()
                 .map_or(0, |central| central.queue.count()),
             repartitions: self.scheduler.repartitions(),
+            partition_generation: self.scheduler.generation(),
+            adaptations: self.scheduler.adaptation_log(),
             stm: self.stm.snapshot().since(&self.stm_baseline),
         }
     }
@@ -874,6 +880,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     elapsed,
                     stm: self.stm.snapshot().since(&self.stm_baseline),
                     repartitions: self.scheduler.repartitions(),
+                    adaptations: self.scheduler.adaptation_log(),
                 }
             }
             None => ShutdownReport {
@@ -885,6 +892,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 elapsed,
                 stm: self.stm.snapshot().since(&self.stm_baseline),
                 repartitions: self.scheduler.repartitions(),
+                adaptations: self.scheduler.adaptation_log(),
             },
         }
     }
@@ -943,6 +951,15 @@ pub struct StatsView {
     pub central_queue_depth: usize,
     /// Times the scheduler has recomputed its partition.
     pub repartitions: u64,
+    /// The routing-table generation currently in effect (0 until the first
+    /// adaptation; static schedulers stay at 0).
+    pub partition_generation: u64,
+    /// The adaptation log: one entry per published partition generation
+    /// (generation, trigger cause, before/after expected imbalance), oldest
+    /// first. Bounded to the most recent entries
+    /// ([`katme_core::adaptive::ADAPTATION_LOG_CAP`]); the generation
+    /// numbers stay continuous, so eviction is detectable.
+    pub adaptations: Vec<AdaptationEvent>,
     /// STM activity since the runtime started.
     pub stm: StmStatsSnapshot,
 }
@@ -969,8 +986,27 @@ impl StatsView {
 
     /// STM aborts per committed transaction (the paper's "frequency of
     /// contentions").
+    ///
+    /// Cumulative since runtime start — on a long-lived runtime this goes
+    /// stale, averaging over traffic long past. For a live view, diff two
+    /// stats snapshots with [`StatsView::since`] and read the window's
+    /// [`StatsWindow::contention_ratio`].
     pub fn abort_rate(&self) -> f64 {
         self.stm.contention_ratio()
+    }
+
+    /// The delta between this view and an `earlier` one from the same
+    /// runtime: windowed completions, throughput, and STM activity — the
+    /// non-stale counterpart of the cumulative [`StatsView::abort_rate`],
+    /// built on [`StmStatsSnapshot::since`].
+    pub fn since(&self, earlier: &StatsView) -> StatsWindow {
+        StatsWindow {
+            duration: self.uptime.saturating_sub(earlier.uptime),
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            repartitions: self.repartitions.saturating_sub(earlier.repartitions),
+            stm: self.stm.since(&earlier.stm),
+        }
     }
 
     /// Tasks currently waiting in queues (workers plus dispatcher).
@@ -981,6 +1017,40 @@ impl StatsView {
     /// Max-over-mean completion imbalance across workers (1.0 = even).
     pub fn imbalance(&self) -> f64 {
         LoadBalance::new(self.per_worker_completed.clone()).imbalance()
+    }
+}
+
+/// Windowed delta between two [`StatsView`]s of the same runtime, from
+/// [`StatsView::since`].
+#[derive(Debug, Clone)]
+pub struct StatsWindow {
+    /// Wall-clock length of the window.
+    pub duration: Duration,
+    /// Tasks accepted during the window.
+    pub submitted: u64,
+    /// Tasks executed during the window.
+    pub completed: u64,
+    /// Partition republishes during the window.
+    pub repartitions: u64,
+    /// STM activity during the window.
+    pub stm: StmStatsSnapshot,
+}
+
+impl StatsWindow {
+    /// Completed tasks per second inside the window.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// STM aborts per committed transaction inside the window — current,
+    /// unlike the cumulative [`StatsView::abort_rate`].
+    pub fn contention_ratio(&self) -> f64 {
+        self.stm.contention_ratio()
     }
 }
 
@@ -1003,6 +1073,8 @@ pub struct ShutdownReport {
     pub stm: StmStatsSnapshot,
     /// Times the scheduler recomputed its partition.
     pub repartitions: u64,
+    /// The scheduler's adaptation log (one entry per published generation).
+    pub adaptations: Vec<AdaptationEvent>,
 }
 
 impl ShutdownReport {

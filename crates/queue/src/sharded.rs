@@ -381,6 +381,133 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_config_serves_concurrent_producers() {
+        // One shard: every producer lands in the same shard, so the queue
+        // degenerates to a plain segment FIFO — nothing may be lost and each
+        // producer's order must survive the contention.
+        let q = Arc::new(ShardedSegQueue::<(u64, u64)>::with_shards(1));
+        assert_eq!(q.shards(), 1);
+        let producers = 4u64;
+        let per_producer = 2_000u64;
+        thread::scope(|s| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for chunk in 0..(per_producer / 100) {
+                        let base = chunk * 100;
+                        q.enqueue_batch((base..base + 100).map(|i| (p, i)).collect());
+                    }
+                });
+            }
+        });
+        assert_eq!(q.count() as u64, producers * per_producer);
+        let mut last = vec![None::<u64>; producers as usize];
+        let mut total = 0u64;
+        let mut out = Vec::new();
+        while q.dequeue_batch(&mut out, 333) > 0 {
+            for (p, i) in out.drain(..) {
+                if let Some(prev) = last[p as usize] {
+                    assert!(i > prev, "producer {p} reordered: {prev} then {i}");
+                }
+                last[p as usize] = Some(i);
+                total += 1;
+            }
+        }
+        assert_eq!(total, producers * per_producer);
+    }
+
+    #[test]
+    fn empty_batch_push_is_a_no_op() {
+        let q = ShardedSegQueue::<u8>::new();
+        q.enqueue_batch(Vec::new());
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.dequeue(), None);
+        // An empty batch must not leave an empty segment behind that a later
+        // batch pop would trip over.
+        q.enqueue_batch(Vec::new());
+        q.enqueue_batch(vec![1, 2, 3]);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 10), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        // Zero-max pop is likewise a no-op.
+        q.enqueue(4);
+        out.clear();
+        assert_eq!(q.dequeue_batch(&mut out, 0), 0);
+        assert!(out.is_empty());
+        assert_eq!(q.count(), 1);
+    }
+
+    #[test]
+    fn cross_shard_batch_drain_preserves_per_batch_order_under_concurrency() {
+        // Producers on different shards push tagged batches while consumers
+        // drain whole segments concurrently. Global interleaving across
+        // shards is unspecified, but within every (producer, batch) the
+        // items must come out in push order, and a producer's batches must
+        // drain in the order they were pushed.
+        let q = Arc::new(ShardedSegQueue::<(u64, u64, u64)>::with_shards(4));
+        let producers = 4u64;
+        let batches = 40u64;
+        let batch_len = 50u64;
+        let total = (producers * batches * batch_len) as usize;
+
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut dry = 0;
+                    while dry < 10_000 {
+                        let mut out = Vec::new();
+                        if q.dequeue_batch(&mut out, 75) > 0 {
+                            got.extend(out);
+                            dry = 0;
+                        } else {
+                            dry += 1;
+                            thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        thread::scope(|s| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for b in 0..batches {
+                        q.enqueue_batch((0..batch_len).map(|i| (p, b, i)).collect());
+                    }
+                });
+            }
+        });
+        let mut drained: Vec<Vec<(u64, u64, u64)>> =
+            consumers.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut rest = Vec::new();
+        q.dequeue_batch(&mut rest, usize::MAX);
+        drained.push(rest);
+
+        let mut seen = 0usize;
+        // Per consumer stream: within a producer the (batch, index) pairs
+        // must be non-decreasing lexicographically — segments drain
+        // front-to-back and whole segments move atomically per call.
+        for stream in &drained {
+            let mut last = vec![None::<(u64, u64)>; producers as usize];
+            for &(p, b, i) in stream {
+                if let Some(prev) = last[p as usize] {
+                    assert!(
+                        (b, i) > prev,
+                        "producer {p} drained out of order: {prev:?} then {:?}",
+                        (b, i)
+                    );
+                }
+                last[p as usize] = Some((b, i));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, total, "every pushed item must drain exactly once");
+    }
+
+    #[test]
     fn shard_count_rounds_to_power_of_two() {
         assert_eq!(ShardedSegQueue::<u8>::with_shards(0).shards(), 1);
         assert_eq!(ShardedSegQueue::<u8>::with_shards(3).shards(), 4);

@@ -67,6 +67,7 @@ pub mod error;
 pub mod registry;
 pub mod stats;
 pub mod stm;
+pub mod telemetry;
 pub mod tvar;
 pub mod txn;
 
@@ -75,6 +76,7 @@ pub use contention::{Conflict, ConflictKind, ContentionManager, Resolution};
 pub use error::{AbortCause, TxError};
 pub use stats::{StmStats, StmStatsSnapshot, TxnReport};
 pub use stm::Stm;
+pub use telemetry::{with_task_key, KeyRangeSnapshot, KeyRangeTelemetry};
 pub use tvar::TVar;
 pub use txn::Transaction;
 

@@ -7,9 +7,10 @@
 //! down by cause, and backoff events.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::AbortCause;
+use crate::telemetry::KeyRangeTelemetry;
 
 /// Aggregate, shareable counters for one [`crate::Stm`] runtime.
 ///
@@ -29,6 +30,11 @@ pub struct StmStats {
     backoff_events: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Optional key-range telemetry (set once, shared by every clone of the
+    /// owning [`crate::Stm`] since clones share this counter block). Fed by
+    /// the commit path whenever a task key is in scope — see
+    /// [`crate::telemetry`].
+    keyed: OnceLock<Arc<KeyRangeTelemetry>>,
 }
 
 impl StmStats {
@@ -65,6 +71,19 @@ impl StmStats {
 
     pub(crate) fn record_backoff(&self) {
         self.backoff_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attach key-range contention telemetry. Returns `false` (leaving the
+    /// existing attachment in place) if telemetry was already attached; the
+    /// attachment is permanent for the lifetime of the counters, which keeps
+    /// the commit-path check a single atomic load.
+    pub fn attach_key_telemetry(&self, telemetry: Arc<KeyRangeTelemetry>) -> bool {
+        self.keyed.set(telemetry).is_ok()
+    }
+
+    /// The attached key-range telemetry, if any.
+    pub fn key_telemetry(&self) -> Option<&Arc<KeyRangeTelemetry>> {
+        self.keyed.get()
     }
 
     /// Capture the current counter values.

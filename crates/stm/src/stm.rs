@@ -136,6 +136,15 @@ impl Stm {
                         cm.on_commit();
                         self.stats
                             .record_commit(info.read_only, info.reads, info.writes);
+                        // Key-range attribution for the adaptation plane:
+                        // when the executor scoped this task to a key and
+                        // telemetry is attached, credit the commit and its
+                        // failed attempts to that key's bucket.
+                        if let Some(keyed) = self.stats.key_telemetry() {
+                            if let Some(key) = crate::telemetry::current_task_key() {
+                                keyed.record(key, 1, attempts - 1);
+                            }
+                        }
                         break Ok((
                             value,
                             TxnReport {
@@ -382,6 +391,34 @@ mod tests {
                 "round {round}: write skew violated invariant: a={av} b={bv}"
             );
         }
+    }
+
+    #[test]
+    fn keyed_telemetry_attributes_commits_to_scoped_key_ranges() {
+        use crate::telemetry::{with_task_key, KeyRangeTelemetry};
+
+        let stm = Stm::default();
+        let telemetry = Arc::new(KeyRangeTelemetry::new(0, 99, 4));
+        assert!(stm.stats().attach_key_telemetry(Arc::clone(&telemetry)));
+        // A second attachment is refused, the first stays in place.
+        assert!(!stm
+            .stats()
+            .attach_key_telemetry(Arc::new(KeyRangeTelemetry::new(0, 9, 1))));
+
+        let v = TVar::new(0u64);
+        with_task_key(10, || stm.atomically(|tx| tx.modify(&v, |x| x + 1)));
+        with_task_key(80, || {
+            stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+            stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+        });
+        // No key in scope: counted globally but not attributed.
+        stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.total_commits(), 3);
+        assert_eq!(snap.buckets()[0], (1, 0));
+        assert_eq!(snap.buckets()[3], (2, 0));
+        assert_eq!(stm.snapshot().commits, 4);
     }
 
     #[test]

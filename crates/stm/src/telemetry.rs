@@ -1,0 +1,331 @@
+//! Key-range contention telemetry — the STM side of the adaptation plane.
+//!
+//! The paper's executor adapts on key *frequency* alone; "On the Cost of
+//! Concurrency in Transactional Memory" argues the quantity worth optimizing
+//! is abort/contention cost. This module lets the STM attribute commit and
+//! abort counts to ranges of the transaction-key space so the scheduler's
+//! drift detector can re-partition on *where contention happens*, not only
+//! on where keys land:
+//!
+//! * Executors wrap each task in [`with_task_key`], which parks the task's
+//!   transaction key in a thread-local scope.
+//! * A [`KeyRangeTelemetry`] attached to the runtime's [`crate::StmStats`]
+//!   (see [`crate::StmStats::attach_key_telemetry`]) is fed by the commit
+//!   path: every committed transaction records one commit and its failed
+//!   attempts into the bucket covering the scoped key.
+//! * Consumers take [`KeyRangeTelemetry::snapshot`]s and diff them with
+//!   [`KeyRangeSnapshot::since`] to obtain per-epoch deltas.
+//!
+//! Recording is two relaxed atomic increments per committed transaction (and
+//! nothing at all when no telemetry is attached or no key is in scope), so
+//! the hot path stays contention-free.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// The transaction key of the task currently executing on this thread.
+    static TASK_KEY: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Restores the previous scope key on drop, so nested scopes and panics
+/// unwind cleanly.
+struct ScopeGuard {
+    previous: Option<u64>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        TASK_KEY.with(|slot| slot.set(self.previous));
+    }
+}
+
+/// Run `f` with `key` as the current thread's task key: transactions
+/// committed inside `f` are attributed to `key`'s bucket by any
+/// [`KeyRangeTelemetry`] attached to the STM they run on. Scopes nest; the
+/// previous key is restored when `f` returns (or panics).
+pub fn with_task_key<R>(key: u64, f: impl FnOnce() -> R) -> R {
+    let guard = ScopeGuard {
+        previous: TASK_KEY.with(|slot| slot.replace(Some(key))),
+    };
+    let result = f();
+    drop(guard);
+    result
+}
+
+/// The task key currently in scope on this thread, if any.
+pub fn current_task_key() -> Option<u64> {
+    TASK_KEY.with(|slot| slot.get())
+}
+
+/// Cache-line-aligned per-bucket counters so adjacent buckets do not
+/// false-share under concurrent workers.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct BucketCounters {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// Monotonic commit/abort counters bucketed over a contiguous key range.
+///
+/// Buckets split `[min, max]` into equal-width sub-ranges; keys outside the
+/// range are clamped into the first/last bucket (mirroring how the
+/// schedulers clamp routing keys).
+#[derive(Debug)]
+pub struct KeyRangeTelemetry {
+    min: u64,
+    max: u64,
+    buckets: Vec<BucketCounters>,
+}
+
+/// Default bucket count: coarse enough that per-epoch deltas are
+/// statistically meaningful, fine enough to localize a hot range well below
+/// one worker's share even at 16 workers.
+pub const DEFAULT_TELEMETRY_BUCKETS: usize = 64;
+
+impl KeyRangeTelemetry {
+    /// Create zeroed telemetry over the inclusive key range `[min, max]`
+    /// with `buckets` equal-width buckets (capped at the range width).
+    ///
+    /// # Panics
+    /// Panics when `min > max` or `buckets` is zero.
+    pub fn new(min: u64, max: u64, buckets: usize) -> Self {
+        assert!(min <= max, "invalid key range: {min} > {max}");
+        assert!(buckets > 0, "telemetry needs at least one bucket");
+        let width = max - min + 1;
+        let buckets = (buckets as u64).min(width) as usize;
+        KeyRangeTelemetry {
+            min,
+            max,
+            buckets: (0..buckets).map(|_| BucketCounters::default()).collect(),
+        }
+    }
+
+    /// The inclusive key range this telemetry covers.
+    pub fn bounds(&self) -> (u64, u64) {
+        (self.min, self.max)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Index of the bucket covering `key` (out-of-range keys clamp).
+    pub fn bucket_of(&self, key: u64) -> usize {
+        let key = key.clamp(self.min, self.max);
+        let width = self.max - self.min + 1;
+        let idx = (key - self.min).saturating_mul(self.buckets.len() as u64) / width;
+        (idx as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Inclusive key range covered by bucket `index` (the exact preimage of
+    /// [`KeyRangeTelemetry::bucket_of`]).
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn bucket_range(&self, index: usize) -> (u64, u64) {
+        assert!(index < self.buckets.len(), "bucket index out of range");
+        bucket_range_of(self.min, self.max, self.buckets.len(), index)
+    }
+
+    /// Record one committed transaction attributed to `key`: `commits`
+    /// commit(s) and `aborts` failed attempts.
+    pub fn record(&self, key: u64, commits: u64, aborts: u64) {
+        let bucket = &self.buckets[self.bucket_of(key)];
+        if commits > 0 {
+            bucket.commits.fetch_add(commits, Ordering::Relaxed);
+        }
+        if aborts > 0 {
+            bucket.aborts.fetch_add(aborts, Ordering::Relaxed);
+        }
+    }
+
+    /// Capture the current per-bucket counters.
+    pub fn snapshot(&self) -> KeyRangeSnapshot {
+        KeyRangeSnapshot {
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| {
+                    (
+                        b.commits.load(Ordering::Relaxed),
+                        b.aborts.load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Inclusive key range of bucket `index` when `[min, max]` is split into
+/// `count` buckets by `bucket_of`'s floor division — the boundaries use
+/// ceiling division so each range is exactly that mapping's preimage.
+fn bucket_range_of(min: u64, max: u64, count: usize, index: usize) -> (u64, u64) {
+    let width = max - min + 1;
+    let count = count as u64;
+    let index = index as u64;
+    let lo = min + (index * width).div_ceil(count);
+    let hi = if index + 1 == count {
+        max
+    } else {
+        min + ((index + 1) * width).div_ceil(count) - 1
+    };
+    (lo, hi)
+}
+
+/// Point-in-time view of a [`KeyRangeTelemetry`]: one `(commits, aborts)`
+/// pair per bucket. Diff two snapshots with [`KeyRangeSnapshot::since`] to
+/// get an epoch delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRangeSnapshot {
+    min: u64,
+    max: u64,
+    buckets: Vec<(u64, u64)>,
+}
+
+impl KeyRangeSnapshot {
+    /// The inclusive key range.
+    pub fn bounds(&self) -> (u64, u64) {
+        (self.min, self.max)
+    }
+
+    /// Per-bucket `(commits, aborts)` pairs, in key order.
+    pub fn buckets(&self) -> &[(u64, u64)] {
+        &self.buckets
+    }
+
+    /// Inclusive key range covered by bucket `index`.
+    pub fn bucket_range(&self, index: usize) -> (u64, u64) {
+        assert!(index < self.buckets.len(), "bucket index out of range");
+        bucket_range_of(self.min, self.max, self.buckets.len(), index)
+    }
+
+    /// Total commits across all buckets.
+    pub fn total_commits(&self) -> u64 {
+        self.buckets.iter().map(|&(c, _)| c).sum()
+    }
+
+    /// Total aborted attempts across all buckets.
+    pub fn total_aborts(&self) -> u64 {
+        self.buckets.iter().map(|&(_, a)| a).sum()
+    }
+
+    /// Aborted attempts per committed transaction.
+    pub fn contention_ratio(&self) -> f64 {
+        let commits = self.total_commits();
+        if commits == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / commits as f64
+        }
+    }
+
+    /// Bucket-wise difference (`self` taken after `earlier`).
+    ///
+    /// # Panics
+    /// Panics when the snapshots have different geometry.
+    pub fn since(&self, earlier: &KeyRangeSnapshot) -> KeyRangeSnapshot {
+        assert_eq!(
+            (self.min, self.max, self.buckets.len()),
+            (earlier.min, earlier.max, earlier.buckets.len()),
+            "snapshot geometry differs"
+        );
+        KeyRangeSnapshot {
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(&(c, a), &(ec, ea))| (c - ec, a - ea))
+                .collect(),
+        }
+    }
+
+    /// The key range with the most aborts, as `(lo, hi, aborts)` — `None`
+    /// when no aborts were recorded.
+    pub fn hottest_range(&self) -> Option<(u64, u64, u64)> {
+        let (index, &(_, aborts)) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(_, a))| a)?;
+        if aborts == 0 {
+            return None;
+        }
+        let (lo, hi) = self.bucket_range(index);
+        Some((lo, hi, aborts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_key_scopes_nest_and_restore() {
+        assert_eq!(current_task_key(), None);
+        let inner = with_task_key(7, || {
+            assert_eq!(current_task_key(), Some(7));
+            with_task_key(9, current_task_key)
+        });
+        assert_eq!(inner, Some(9));
+        assert_eq!(current_task_key(), None);
+    }
+
+    #[test]
+    fn records_land_in_the_covering_bucket() {
+        let t = KeyRangeTelemetry::new(0, 99, 4);
+        t.record(10, 1, 0);
+        t.record(30, 1, 2);
+        t.record(99, 1, 1);
+        t.record(1_000, 1, 0); // clamps into the last bucket
+        let snap = t.snapshot();
+        assert_eq!(snap.buckets(), &[(1, 0), (1, 2), (0, 0), (2, 1)]);
+        assert_eq!(snap.total_commits(), 4);
+        assert_eq!(snap.total_aborts(), 3);
+        assert!((snap.contention_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_space() {
+        let t = KeyRangeTelemetry::new(0, 99, 7);
+        let mut covered = 0;
+        for b in 0..t.buckets() {
+            let (lo, hi) = t.bucket_range(b);
+            assert!(lo <= hi);
+            covered += hi - lo + 1;
+            for key in lo..=hi {
+                assert_eq!(t.bucket_of(key), b, "key {key}");
+            }
+        }
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn since_yields_epoch_deltas_and_hottest_range() {
+        let t = KeyRangeTelemetry::new(0, 63, 8);
+        t.record(5, 10, 1);
+        let epoch_start = t.snapshot();
+        t.record(5, 5, 0);
+        t.record(40, 3, 9);
+        let delta = t.snapshot().since(&epoch_start);
+        assert_eq!(delta.total_commits(), 8);
+        assert_eq!(delta.total_aborts(), 9);
+        let (lo, hi, aborts) = delta.hottest_range().expect("aborts recorded");
+        assert!(lo <= 40 && 40 <= hi);
+        assert_eq!(aborts, 9);
+        assert_eq!(delta.since(&delta).hottest_range(), None);
+    }
+
+    #[test]
+    fn bucket_count_is_capped_at_the_range_width() {
+        let t = KeyRangeTelemetry::new(10, 12, 64);
+        assert_eq!(t.buckets(), 3);
+        assert_eq!(t.bounds(), (10, 12));
+    }
+}

@@ -14,6 +14,13 @@
 //!   for key popularity in key-value workloads.
 //! * **Bimodal** (extension): two Gaussian humps, which defeats any
 //!   single-split fixed partition and stresses the adaptive CDF estimate.
+//! * **Drifting** (extension): a Gaussian hot spot whose centre moves
+//!   linearly across the key space over a configurable period — continuous
+//!   drift that a one-shot adaptive partition cannot follow.
+//! * **Phased** (extension): an exponential concentration near the low end
+//!   of the space that jumps to the mirrored high end after a configurable
+//!   number of samples — the abrupt phase shift the continuous adaptation
+//!   plane is designed to absorb.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +59,24 @@ pub enum DistributionKind {
         /// Standard deviation of each hump.
         std_dev: f64,
     },
+    /// Gaussian hot spot whose mean sweeps linearly from the bottom to the
+    /// top of the space every `period` samples, then wraps (extension).
+    Drifting {
+        /// Standard deviation of the moving hot spot.
+        std_dev: f64,
+        /// Samples per full sweep of the key space.
+        period: u64,
+    },
+    /// Exponential concentration near key 0 for the first `shift_after`
+    /// samples, then the mirror image concentrated near the top of the
+    /// space (extension). Each sampler instance counts its own samples, so
+    /// per-producer streams shift independently.
+    Phased {
+        /// Rate parameter λ of both exponential phases.
+        rate: f64,
+        /// Samples drawn before the hot range jumps to the high end.
+        shift_after: u64,
+    },
 }
 
 impl DistributionKind {
@@ -77,6 +102,15 @@ impl DistributionKind {
         DistributionKind::Exponential { rate: 0.001 }
     }
 
+    /// The phase-shift distribution with the paper's exponential rate,
+    /// jumping after `shift_after` samples.
+    pub fn phased(shift_after: u64) -> DistributionKind {
+        DistributionKind::Phased {
+            rate: 0.001,
+            shift_after,
+        }
+    }
+
     /// Short name used in reports and bench IDs.
     pub fn name(&self) -> &'static str {
         match self {
@@ -85,6 +119,8 @@ impl DistributionKind {
             DistributionKind::Exponential { .. } => "exponential",
             DistributionKind::Zipfian { .. } => "zipfian",
             DistributionKind::Bimodal { .. } => "bimodal",
+            DistributionKind::Drifting { .. } => "drifting",
+            DistributionKind::Phased { .. } => "phased",
         }
     }
 }
@@ -99,6 +135,12 @@ impl std::fmt::Display for DistributionKind {
             DistributionKind::Exponential { rate } => write!(f, "exponential(e={rate})"),
             DistributionKind::Zipfian { skew } => write!(f, "zipfian(s={skew})"),
             DistributionKind::Bimodal { std_dev } => write!(f, "bimodal(d={std_dev})"),
+            DistributionKind::Drifting { std_dev, period } => {
+                write!(f, "drifting(d={std_dev}, p={period})")
+            }
+            DistributionKind::Phased { rate, shift_after } => {
+                write!(f, "phased(e={rate}, shift={shift_after})")
+            }
         }
     }
 }
@@ -113,6 +155,11 @@ impl std::str::FromStr for DistributionKind {
             "exponential" | "exp" => Ok(DistributionKind::exponential_paper()),
             "zipf" | "zipfian" => Ok(DistributionKind::Zipfian { skew: 0.99 }),
             "bimodal" => Ok(DistributionKind::Bimodal { std_dev: 8_000.0 }),
+            "drifting" | "drift" => Ok(DistributionKind::Drifting {
+                std_dev: 8_000.0,
+                period: 100_000,
+            }),
+            "phased" | "phase-shift" => Ok(DistributionKind::phased(10_000)),
             other => Err(format!("unknown distribution '{other}'")),
         }
     }
@@ -127,6 +174,10 @@ pub struct KeyDistribution {
     gaussian_spare: Option<f64>,
     /// Precomputed normalization constant for Zipf sampling.
     zipf_norm: f64,
+    /// Samples drawn so far — the time axis of the non-stationary
+    /// distributions ([`DistributionKind::Drifting`] and
+    /// [`DistributionKind::Phased`]).
+    drawn: u64,
 }
 
 impl KeyDistribution {
@@ -141,6 +192,7 @@ impl KeyDistribution {
             rng: SmallRng::seed_from_u64(seed),
             gaussian_spare: None,
             zipf_norm,
+            drawn: 0,
         }
     }
 
@@ -149,8 +201,15 @@ impl KeyDistribution {
         self.kind
     }
 
+    /// Samples drawn so far (the phase clock of the non-stationary
+    /// distributions).
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
     /// Draw one raw 17-bit value.
     pub fn sample_raw(&mut self) -> u32 {
+        self.drawn += 1;
         match self.kind {
             DistributionKind::Uniform => self.rng.gen_range(0..SPACE),
             DistributionKind::Gaussian { mean, std_dev } => {
@@ -176,6 +235,27 @@ impl KeyDistribution {
                 let v = mean + std_dev * self.standard_normal();
                 v.clamp(0.0, f64::from(SPACE - 1)) as u32
             }
+            DistributionKind::Drifting { std_dev, period } => {
+                // Hot spot sweeping the space linearly: sample index i puts
+                // the mean at (i mod period) / period of the full range.
+                let period = period.max(1);
+                let phase = ((self.drawn - 1) % period) as f64 / period as f64;
+                let mean = phase * f64::from(SPACE);
+                let v = mean + std_dev * self.standard_normal();
+                v.clamp(0.0, f64::from(SPACE - 1)) as u32
+            }
+            DistributionKind::Phased { rate, shift_after } => {
+                // Paper's exponential formula near 0, mirrored to the top of
+                // the space once the shift point is crossed.
+                let r: f64 = self.rng.gen::<f64>();
+                let v = (-(1.0 - r).ln()) / rate;
+                let low = (v as u64 & u64::from(SPACE - 1)) as u32;
+                if self.drawn <= shift_after {
+                    low
+                } else {
+                    SPACE - 1 - low
+                }
+            }
         }
     }
 
@@ -186,7 +266,20 @@ impl KeyDistribution {
 
     /// Draw `n` raw samples (convenience for tests and the CDF estimator).
     pub fn sample_many(&mut self, n: usize) -> Vec<u32> {
-        (0..n).map(|_| self.sample_raw()).collect()
+        let mut out = Vec::new();
+        self.sample_into(&mut out, n);
+        out
+    }
+
+    /// Draw `n` raw samples into `out`, clearing it first — the
+    /// allocation-free counterpart of [`KeyDistribution::sample_many`] for
+    /// hot loops that draw a batch per iteration and can reuse one buffer.
+    pub fn sample_into(&mut self, out: &mut Vec<u32>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.sample_raw());
+        }
     }
 
     fn standard_normal(&mut self) -> f64 {
@@ -324,6 +417,52 @@ mod tests {
     }
 
     #[test]
+    fn drifting_hot_spot_moves_across_the_space() {
+        let mut d = KeyDistribution::new(
+            DistributionKind::Drifting {
+                std_dev: 2_000.0,
+                period: 10_000,
+            },
+            6,
+        );
+        let early = mean_of(&d.sample_many(1_000));
+        let _ = d.sample_many(6_000); // advance the phase clock
+        let late = mean_of(&d.sample_many(1_000));
+        assert!(
+            late > early + f64::from(SPACE) * 0.3,
+            "hot spot should have moved up: early {early}, late {late}"
+        );
+        assert_eq!(d.drawn(), 8_000);
+    }
+
+    #[test]
+    fn phased_distribution_jumps_after_the_shift_point() {
+        let mut d = KeyDistribution::new(DistributionKind::phased(5_000), 7);
+        let before = d.sample_many(5_000);
+        let after = d.sample_many(5_000);
+        // Phase 1 mirrors the paper's exponential: 99% below 6 907.
+        let low = before.iter().filter(|&&s| s <= 6_907).count();
+        assert!(low as f64 / before.len() as f64 > 0.985, "{low} low keys");
+        // Phase 2 is the mirror image: 99% within 6 907 of the top.
+        let high = after.iter().filter(|&&s| s >= SPACE - 1 - 6_907).count();
+        assert!(high as f64 / after.len() as f64 > 0.985, "{high} high keys");
+    }
+
+    #[test]
+    fn sample_into_reuses_the_buffer_and_matches_sample_many() {
+        let mut a = KeyDistribution::new(DistributionKind::gaussian_paper(), 31);
+        let mut b = KeyDistribution::new(DistributionKind::gaussian_paper(), 31);
+        let mut buf = Vec::new();
+        a.sample_into(&mut buf, 500);
+        assert_eq!(buf, b.sample_many(500));
+        let capacity = buf.capacity();
+        a.sample_into(&mut buf, 400);
+        assert_eq!(buf.len(), 400);
+        assert_eq!(buf.capacity(), capacity, "refill must not reallocate");
+        assert_eq!(buf, b.sample_many(400));
+    }
+
+    #[test]
     fn sample_key_strips_the_type_bit() {
         let mut d = KeyDistribution::new(DistributionKind::Uniform, 6);
         for _ in 0..1_000 {
@@ -351,6 +490,17 @@ mod tests {
             "gaussian"
         );
         assert!(DistributionKind::from_str("nope").is_err());
+        assert_eq!(
+            DistributionKind::from_str("drifting").unwrap().name(),
+            "drifting"
+        );
+        assert_eq!(
+            DistributionKind::from_str("phased").unwrap().name(),
+            "phased"
+        );
+        assert!(DistributionKind::phased(42)
+            .to_string()
+            .contains("shift=42"));
         assert!(DistributionKind::exponential_paper()
             .to_string()
             .contains("0.001"));

@@ -80,6 +80,9 @@ pub struct OpGenerator {
     rng: SmallRng,
     generated: u64,
     use_paper_encoding: bool,
+    /// Reused raw-sample buffer for [`OpGenerator::batch_into`] (paper
+    /// encoding draws a whole batch of 17-bit samples at once).
+    scratch: Vec<u32>,
 }
 
 impl OpGenerator {
@@ -93,6 +96,7 @@ impl OpGenerator {
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             generated: 0,
             use_paper_encoding: true,
+            scratch: Vec::new(),
         }
     }
 
@@ -104,6 +108,7 @@ impl OpGenerator {
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             generated: 0,
             use_paper_encoding: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -143,7 +148,34 @@ impl OpGenerator {
 
     /// Generate a batch of specifications.
     pub fn batch(&mut self, n: usize) -> Vec<TxnSpec> {
-        (0..n).map(|_| self.next_spec()).collect()
+        let mut out = Vec::new();
+        self.batch_into(&mut out, n);
+        out
+    }
+
+    /// Generate `n` specifications into `out`, clearing it first. Under the
+    /// paper encoding the raw 17-bit samples are drawn through
+    /// [`KeyDistribution::sample_into`] into an internal scratch buffer, so a
+    /// producer loop that calls this per batch allocates nothing in steady
+    /// state (beyond the `out` vector the caller controls).
+    pub fn batch_into(&mut self, out: &mut Vec<TxnSpec>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        if self.use_paper_encoding {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.keys.sample_into(&mut scratch, n);
+            out.extend(scratch.iter().map(|&raw| {
+                self.generated += 1;
+                let mut spec = TxnSpec::from_raw(raw);
+                spec.value = self.generated;
+                spec
+            }));
+            self.scratch = scratch;
+        } else {
+            for _ in 0..n {
+                out.push(self.next_spec());
+            }
+        }
     }
 
     /// Turn the generator into an endless iterator of fixed-size batches —
@@ -252,6 +284,26 @@ mod tests {
             .take(200)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_into_matches_the_per_spec_stream_and_reuses_buffers() {
+        let per_spec: Vec<_> = OpGenerator::paper(DistributionKind::Uniform, 33)
+            .take(900)
+            .collect();
+        let mut g = OpGenerator::paper(DistributionKind::Uniform, 33);
+        let mut out = Vec::new();
+        let mut batched = Vec::new();
+        for _ in 0..3 {
+            g.batch_into(&mut out, 300);
+            batched.extend(out.iter().copied());
+        }
+        assert_eq!(per_spec, batched, "batch_into must not change the stream");
+        let (out_cap, scratch_cap) = (out.capacity(), g.scratch.capacity());
+        g.batch_into(&mut out, 300);
+        assert_eq!(out.capacity(), out_cap, "out buffer must be reused");
+        assert_eq!(g.scratch.capacity(), scratch_cap, "scratch must be reused");
+        assert_eq!(g.generated(), 1_200);
     }
 
     #[test]
