@@ -33,6 +33,34 @@
 //! Each publish is recorded in an adaptation log
 //! ([`AdaptiveKeyScheduler::adaptation_log`]) with its cause and the
 //! expected before/after imbalance.
+//!
+//! # Elastic concurrency control
+//!
+//! With a worker *range* ([`AdaptiveKeyScheduler::with_worker_range`]) and
+//! an attached pool ([`crate::scheduler::Scheduler::attach_pool`]), the
+//! continuous plane also chooses the worker **count**, not just the
+//! boundaries: each epoch it scores the current pool size from observed
+//! throughput, idle time, queue backlog and the STM abort ratio —
+//!
+//! * **grow** when the queues are saturated
+//!   ([`AdaptationConfig::saturation_backlog`] queued tasks per worker) and
+//!   aborts are low (below
+//!   [`AdaptationConfig::growth_contention_ceiling`]; adding workers under
+//!   contention raises abort cost instead of throughput);
+//! * **shrink** when the marginal worker's utility is negative — the
+//!   epoch's idle-poll fraction exceeds
+//!   [`AdaptationConfig::idle_shrink_threshold`] with an empty backlog —
+//!   down to the share of workers that were actually busy;
+//!
+//! bounded by the worker range and gated by the same two-epoch
+//! confirmation the drift trigger uses. A resize publishes a partition of
+//! the new width (re-fit to the epoch's key CDF) **before** commanding the
+//! pool through [`crate::drift::PoolController::resize`], so routing width
+//! and pool width change together. Work stealing is adaptation-aware too:
+//! per-worker steal counters flow into the epoch sample, and a
+//! stolen-per-executed ratio above [`AdaptationConfig::steal_trigger`] in
+//! two consecutive epochs is treated as routed-load imbalance — it triggers
+//! a repartition instead of letting stealing mask the imbalance forever.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,7 +71,7 @@ use parking_lot::Mutex;
 use crate::cdf::PiecewiseCdf;
 use crate::drift::{
     imbalance_under, total_variation, AdaptationCause, AdaptationConfig, AdaptationEvent,
-    ContentionSample, ContentionSource,
+    ContentionSample, ContentionSource, PoolController, PoolSample,
 };
 use crate::histogram::{Histogram, DEFAULT_CELLS};
 use crate::key::{KeyBounds, TxnKey};
@@ -51,10 +79,26 @@ use crate::partition::{KeyPartition, PartitionTable};
 use crate::sample_size::PAPER_SAMPLE_THRESHOLD;
 use crate::scheduler::Scheduler;
 
-/// Most recent adaptation-log entries kept per scheduler: enough to cover
-/// any realistic diagnosis window while bounding memory and the per-stats
-/// copy on long-lived runtimes with periodic or uncapped re-adaptation.
+/// Default adaptation-log ring capacity: enough to cover any realistic
+/// diagnosis window while bounding memory and the per-stats copy on
+/// long-lived runtimes with periodic or uncapped re-adaptation.
+/// Configurable per scheduler via [`AdaptationConfig::log_capacity`] /
+/// [`AdaptiveKeyScheduler::with_log_capacity`].
 pub const ADAPTATION_LOG_CAP: usize = 256;
+
+/// The CDF-observer hook type (see
+/// [`AdaptiveKeyScheduler::with_cdf_observer`]).
+pub type CdfObserver = Arc<dyn Fn(&PiecewiseCdf) + Send + Sync>;
+
+/// Which way the elastic controller wants to move the pool — armed one
+/// epoch, confirmed (and acted on) when the next epoch agrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResizeDirection {
+    /// Queues saturated, aborts low: add workers.
+    Grow,
+    /// Marginal worker utility negative: shed workers.
+    Shrink,
+}
 
 /// What happens after the initial adaptation.
 #[derive(Debug, Clone)]
@@ -96,6 +140,13 @@ struct SampleState {
     /// Post-initial repartitions performed (checked against
     /// [`AdaptationConfig::max_repartitions`]).
     repartitions_done: usize,
+    /// Cumulative pool counters at the last epoch boundary (elastic mode).
+    last_pool: Option<PoolSample>,
+    /// A resize direction waiting for its confirming epoch (the elastic
+    /// counterpart of `pending_drift`).
+    pending_resize: Option<ResizeDirection>,
+    /// A chronic-stealing epoch waiting for confirmation.
+    steal_armed: bool,
 }
 
 /// Adaptive key-based scheduler.
@@ -108,15 +159,20 @@ struct SampleState {
 /// repartition budget is spent in continuous mode — the lock is no longer
 /// touched.
 pub struct AdaptiveKeyScheduler {
-    workers: usize,
     bounds: KeyBounds,
+    /// Smallest pool size the elastic controller may shrink to.
+    min_workers: usize,
+    /// Largest pool size the elastic controller may grow to (equal to
+    /// `min_workers` when the pool is fixed-size).
+    max_workers: usize,
     /// The generation-numbered routing table. Starts at generation 0 with
     /// the equal-width (fixed) partition; every adaptation publishes the
-    /// next generation.
+    /// next generation. The current partition's width *is* the active
+    /// worker count.
     table: PartitionTable,
     state: Mutex<SampleState>,
     /// Adaptation log, one entry per published generation, bounded at
-    /// [`ADAPTATION_LOG_CAP`] (oldest evicted) so a long-lived periodic or
+    /// `log_capacity` (oldest evicted) so a long-lived periodic or
     /// uncapped continuous scheduler cannot grow it without limit.
     log: Mutex<VecDeque<AdaptationEvent>>,
     /// Number of keys observed so far (cheap, lock-free check on the hot
@@ -131,6 +187,19 @@ pub struct AdaptiveKeyScheduler {
     mode: AdaptMode,
     /// STM contention feed for the continuous triggers.
     contention: Option<Arc<dyn ContentionSource>>,
+    /// Executor pool handle (telemetry + resize control), attached by the
+    /// executor at start.
+    pool: Mutex<Option<Arc<dyn PoolController>>>,
+    /// Pool resizes performed so far.
+    resizes: AtomicU64,
+    /// Adaptation-log ring capacity.
+    log_capacity: usize,
+    /// True once `with_log_capacity` set the capacity explicitly, so a
+    /// later `with_adaptation` does not silently revert it.
+    log_capacity_explicit: bool,
+    /// Invoked with the CDF behind every published partition — the facade
+    /// uses it to re-derive quantile telemetry bucket boundaries.
+    cdf_observer: Option<CdfObserver>,
     /// Number of histogram cells.
     cells: usize,
 }
@@ -144,8 +213,9 @@ impl AdaptiveKeyScheduler {
     pub fn new(workers: usize, bounds: KeyBounds) -> Self {
         assert!(workers > 0, "need at least one worker");
         AdaptiveKeyScheduler {
-            workers,
             bounds,
+            min_workers: workers,
+            max_workers: workers,
             table: PartitionTable::new(KeyPartition::equal_width(bounds, workers)),
             state: Mutex::new(SampleState {
                 hist: Histogram::new(bounds, DEFAULT_CELLS),
@@ -154,6 +224,9 @@ impl AdaptiveKeyScheduler {
                 last_contention: None,
                 baseline_ratio: None,
                 repartitions_done: 0,
+                last_pool: None,
+                pending_resize: None,
+                steal_armed: false,
             }),
             log: Mutex::new(VecDeque::new()),
             observed: AtomicU64::new(0),
@@ -161,6 +234,11 @@ impl AdaptiveKeyScheduler {
             sample_threshold: PAPER_SAMPLE_THRESHOLD as u64,
             mode: AdaptMode::OneShot,
             contention: None,
+            pool: Mutex::new(None),
+            resizes: AtomicU64::new(0),
+            log_capacity: ADAPTATION_LOG_CAP,
+            log_capacity_explicit: false,
+            cdf_observer: None,
             cells: DEFAULT_CELLS,
         }
     }
@@ -168,6 +246,43 @@ impl AdaptiveKeyScheduler {
     /// Override the number of samples collected before adapting.
     pub fn with_sample_threshold(mut self, threshold: usize) -> Self {
         self.sample_threshold = threshold.max(1) as u64;
+        self
+    }
+
+    /// Make the pool elastic: the continuous adaptation plane may resize
+    /// the worker count within `min..=max` (see the module docs). The
+    /// initial width (from [`AdaptiveKeyScheduler::new`]) is clamped into
+    /// the range.
+    ///
+    /// # Panics
+    /// Panics when `min` is zero or exceeds `max`.
+    pub fn with_worker_range(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1, "need at least one worker");
+        assert!(min <= max, "worker range inverted: {min} > {max}");
+        self.min_workers = min;
+        self.max_workers = max;
+        let current = self.table.partition().workers();
+        let clamped = current.clamp(min, max);
+        if clamped != current {
+            self.table = PartitionTable::new(KeyPartition::equal_width(self.bounds, clamped));
+        }
+        self
+    }
+
+    /// Override the adaptation-log ring capacity (clamped to at least 1;
+    /// defaults to [`ADAPTATION_LOG_CAP`], or
+    /// [`AdaptationConfig::log_capacity`] in continuous mode).
+    pub fn with_log_capacity(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity.max(1);
+        self.log_capacity_explicit = true;
+        self
+    }
+
+    /// Observe the CDF behind every published partition (used by the
+    /// facade to keep quantile telemetry buckets aligned with the observed
+    /// key distribution).
+    pub fn with_cdf_observer(mut self, observer: CdfObserver) -> Self {
+        self.cdf_observer = Some(observer);
         self
     }
 
@@ -184,8 +299,14 @@ impl AdaptiveKeyScheduler {
     /// Enable continuous, epoch-based adaptation: every
     /// [`AdaptationConfig::interval`] observations the drift and contention
     /// triggers are evaluated and the partition is republished only when one
-    /// fires (see [`crate::drift`] for the trigger semantics).
+    /// fires (see [`crate::drift`] for the trigger semantics). Also adopts
+    /// the config's [`AdaptationConfig::log_capacity`] — unless an explicit
+    /// [`AdaptiveKeyScheduler::with_log_capacity`] was set, which wins
+    /// regardless of call order.
     pub fn with_adaptation(mut self, config: AdaptationConfig) -> Self {
+        if !self.log_capacity_explicit {
+            self.log_capacity = config.log_capacity.max(1);
+        }
         self.mode = AdaptMode::Continuous(config);
         self
     }
@@ -233,10 +354,21 @@ impl AdaptiveKeyScheduler {
     }
 
     /// The adaptation log: one entry per published generation, oldest
-    /// first, holding the most recent [`ADAPTATION_LOG_CAP`] entries (the
+    /// first, holding the most recent `log_capacity` entries (the
     /// generation numbers stay continuous, so eviction is detectable).
     pub fn adaptation_log(&self) -> Vec<AdaptationEvent> {
         self.log.lock().iter().cloned().collect()
+    }
+
+    /// Pool resizes performed so far.
+    pub fn resizes(&self) -> u64 {
+        self.resizes.load(Ordering::Relaxed)
+    }
+
+    /// The worker range the elastic controller may move within (equal
+    /// bounds = fixed-size pool).
+    pub fn worker_range(&self) -> (usize, usize) {
+        (self.min_workers, self.max_workers)
     }
 
     /// True when no further samples need to be recorded: one-shot mode after
@@ -371,11 +503,31 @@ impl AdaptiveKeyScheduler {
             _ => None,
         };
 
+        // Per-epoch pool delta from the executor feed: routed throughput,
+        // steals, idle polls (cumulative counters diffed against the last
+        // epoch boundary) plus the instantaneous backlog.
+        let pool = self.pool.lock().clone();
+        let pool_now = pool.as_ref().map(|controller| controller.sample());
+        let (executed_delta, stolen_delta, idle_delta, busy_delta) =
+            match (&pool_now, &state.last_pool) {
+                (Some(now), Some(last)) => (
+                    now.executed().saturating_sub(last.executed()),
+                    now.stolen.saturating_sub(last.stolen),
+                    now.idle_polls.saturating_sub(last.idle_polls),
+                    now.busy_wakeups.saturating_sub(last.busy_wakeups),
+                ),
+                (Some(now), None) => (now.executed(), now.stolen, now.idle_polls, now.busy_wakeups),
+                _ => (0, 0, 0, 0),
+            };
+        let backlog = pool_now.as_ref().map_or(0, |now| now.backlog());
+        state.last_pool = pool_now;
+
         // Drift trigger: histogram distance past the threshold AND the
         // current partition projected imbalanced under the new distribution
         // (the hysteresis gate — see crate::drift).
         let epoch_cdf = PiecewiseCdf::from_histogram(&state.hist);
         let current = self.table.load();
+        let active = current.partition.workers();
         let projected = imbalance_under(&current.partition, &epoch_cdf);
         let distance = state
             .reference
@@ -397,11 +549,103 @@ impl AdaptiveKeyScheduler {
             state.baseline_ratio = epoch_ratio;
         }
 
+        // Steal trigger: chronic stealing is imbalance evidence. One heavy
+        // epoch arms it; the next heavy epoch confirms and repartitions, so
+        // a single rescue burst never churns.
+        let steal_ratio = if executed_delta > 0 {
+            stolen_delta as f64 / executed_delta as f64
+        } else {
+            0.0
+        };
+        let steal_heavy = stolen_delta > 0 && steal_ratio > config.steal_trigger;
+        let steal_confirmed = steal_heavy && state.steal_armed;
+        state.steal_armed = steal_heavy && !steal_confirmed;
+
+        // Elastic concurrency controller (see the module docs): score the
+        // current pool size from the epoch's backlog, idle fraction and
+        // abort ratio, with the same two-epoch confirmation the drift
+        // trigger uses. A confirmed resize republishes the partition at the
+        // new width (re-fit to the epoch CDF) and then commands the pool —
+        // it consumes this epoch, so the drift/contention triggers are not
+        // also evaluated.
+        if self.max_workers > self.min_workers {
+            if let Some(controller) = pool.as_ref() {
+                // Idle fraction over *wakeups* (idle and busy wakeups share
+                // a unit); comparing idle polls to per-task completions
+                // would under-read idleness badly, since a single busy
+                // wakeup drains a whole batch while idle polls are
+                // rate-limited by the backoff sleeps.
+                let idle_fraction = if idle_delta + busy_delta > 0 {
+                    idle_delta as f64 / (idle_delta + busy_delta) as f64
+                } else {
+                    0.0
+                };
+                let backlog_per_worker = backlog as f64 / active.max(1) as f64;
+                let abort_ratio = epoch_ratio.unwrap_or(0.0);
+                let proposal = if active < self.max_workers
+                    && backlog_per_worker >= config.saturation_backlog
+                    && abort_ratio <= config.growth_contention_ceiling
+                {
+                    Some(ResizeDirection::Grow)
+                } else if active > self.min_workers
+                    && idle_fraction >= config.idle_shrink_threshold
+                    && backlog_per_worker < config.saturation_backlog
+                {
+                    Some(ResizeDirection::Shrink)
+                } else {
+                    None
+                };
+                if let Some(direction) = proposal.filter(|_| proposal == state.pending_resize) {
+                    let target = match direction {
+                        // Double up to the ceiling: bursts need headroom
+                        // faster than +1 stepping provides.
+                        ResizeDirection::Grow => (active * 2).min(self.max_workers),
+                        // Keep the share of workers that were actually
+                        // busy: with the pool mostly idle this sheds most
+                        // of the burst capacity in one confirmed step.
+                        ResizeDirection::Shrink => {
+                            let busy = ((1.0 - idle_fraction) * active as f64).ceil() as usize;
+                            busy.clamp(self.min_workers, active - 1)
+                        }
+                    };
+                    state.pending_resize = None;
+                    // Grow always doubles past `active` (the proposal
+                    // requires active < max) and shrink clamps into
+                    // min..=active-1 (the proposal requires active > min),
+                    // so a confirmed resize always moves the width.
+                    debug_assert_ne!(target, active);
+                    state.repartitions_done += 1;
+                    if let Some(cap) = config.max_repartitions {
+                        if state.repartitions_done >= cap {
+                            self.finished.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    self.adapt_locked(
+                        &mut state,
+                        AdaptationCause::Resize {
+                            from: active,
+                            to: target,
+                        },
+                        target,
+                    );
+                    self.resizes.fetch_add(1, Ordering::Relaxed);
+                    // Publish-then-resize: the new generation is already
+                    // routing, so the pool can follow without a gap.
+                    controller.resize(target);
+                    return;
+                } else {
+                    state.pending_resize = proposal;
+                }
+            }
+        }
+
         let cause = if drifted {
             Some(AdaptationCause::KeyDrift {
                 distance,
                 projected_imbalance: projected,
             })
+        } else if steal_confirmed {
+            Some(AdaptationCause::StealImbalance { ratio: steal_ratio })
         } else if contended {
             epoch_ratio.map(|ratio| AdaptationCause::Contention { ratio })
         } else {
@@ -466,7 +710,7 @@ impl AdaptiveKeyScheduler {
                         self.finished.store(true, Ordering::Relaxed);
                     }
                 }
-                self.adapt_locked(&mut state, cause);
+                self.adapt_locked(&mut state, cause, active);
             }
             None => {
                 // Stationary epoch: discard the window, keep the partition.
@@ -497,13 +741,15 @@ impl AdaptiveKeyScheduler {
         if stale {
             return;
         }
-        self.adapt_locked(&mut state, cause);
+        let width = self.table.partition().workers();
+        self.adapt_locked(&mut state, cause, width);
     }
 
-    /// Publish a new generation from `state.hist` (no-op when empty). The
-    /// caller holds the state lock; the table's write lock nests inside it
-    /// (dispatchers only ever take the table's read lock, so no cycle).
-    fn adapt_locked(&self, state: &mut SampleState, cause: AdaptationCause) {
+    /// Publish a new generation of `width` workers from `state.hist` (no-op
+    /// when empty). The caller holds the state lock; the table's write lock
+    /// nests inside it (dispatchers only ever take the table's read lock,
+    /// so no cycle).
+    fn adapt_locked(&self, state: &mut SampleState, cause: AdaptationCause, width: usize) {
         if state.hist.total() == 0 {
             return;
         }
@@ -514,29 +760,86 @@ impl AdaptiveKeyScheduler {
         }
         let cdf = PiecewiseCdf::from_histogram(&snapshot);
         let before = imbalance_under(&self.table.load().partition, &cdf);
-        let new_partition = KeyPartition::from_cdf(&cdf, self.workers);
+        let new_partition = KeyPartition::from_cdf(&cdf, width);
         let after = imbalance_under(&new_partition, &cdf);
         state.reference = Some(snapshot);
         state.pending_drift = None;
+        state.pending_resize = None;
+        state.steal_armed = false;
         state.baseline_ratio = None; // next epoch re-establishes the baseline
-                                     // Re-baseline the contention feed at the adaptation point so the
-                                     // next epoch's delta (and hence the new baseline ratio) covers only
-                                     // post-adaptation traffic — without this, the first epoch after the
-                                     // initial adaptation would diff against process start and inherit
-                                     // the sampling phase's (unbalanced, contended) counters.
+        if let Some(observer) = &self.cdf_observer {
+            // Let the facade re-derive quantile telemetry buckets from the
+            // same CDF *before* the contention feed is re-baselined below,
+            // so the re-baseline already sees the new bucket geometry.
+            observer(&cdf);
+        }
+        // Re-baseline the contention feed at the adaptation point so the
+        // next epoch's delta (and hence the new baseline ratio) covers only
+        // post-adaptation traffic — without this, the first epoch after the
+        // initial adaptation would diff against process start and inherit
+        // the sampling phase's (unbalanced, contended) counters.
         state.last_contention = self.contention.as_ref().map(|source| source.sample());
         let generation = self.table.publish(new_partition);
-        let mut log = self.log.lock();
-        if log.len() >= ADAPTATION_LOG_CAP {
-            log.pop_front();
-        }
-        log.push_back(AdaptationEvent {
+        self.push_event(AdaptationEvent {
             generation,
             cause,
             observed: self.observed(),
             before_imbalance: before,
             after_imbalance: after,
         });
+    }
+
+    /// Append to the bounded adaptation log.
+    fn push_event(&self, event: AdaptationEvent) {
+        let mut log = self.log.lock();
+        while log.len() >= self.log_capacity {
+            log.pop_front();
+        }
+        log.push_back(event);
+    }
+
+    /// Force the pool to `target` workers right now (clamped into the
+    /// worker range): publishes a partition of the new width — re-fit to
+    /// the reference histogram when one exists, equal-width otherwise —
+    /// and commands the attached pool. Returns `true` when a resize was
+    /// published. Used by tests and harnesses that drive resizes
+    /// deterministically.
+    pub fn resize_now(&self, target: usize) -> bool {
+        let mut state = self.state.lock();
+        let target = target.clamp(self.min_workers, self.max_workers);
+        let from = self.table.partition().workers();
+        if target == from {
+            return false;
+        }
+        let hist = state
+            .reference
+            .clone()
+            .filter(|h| h.total() > 0)
+            .or_else(|| (state.hist.total() > 0).then(|| state.hist.clone()));
+        let (partition, before, after) = match hist {
+            Some(hist) => {
+                let cdf = PiecewiseCdf::from_histogram(&hist);
+                let partition = KeyPartition::from_cdf(&cdf, target);
+                let before = imbalance_under(&self.table.load().partition, &cdf);
+                let after = imbalance_under(&partition, &cdf);
+                (partition, before, after)
+            }
+            None => (KeyPartition::equal_width(self.bounds, target), 1.0, 1.0),
+        };
+        state.pending_resize = None;
+        let generation = self.table.publish(partition);
+        self.push_event(AdaptationEvent {
+            generation,
+            cause: AdaptationCause::Resize { from, to: target },
+            observed: self.observed(),
+            before_imbalance: before,
+            after_imbalance: after,
+        });
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+        if let Some(pool) = self.pool.lock().clone() {
+            pool.resize(target);
+        }
+        true
     }
 
     /// Force an adaptation now from whatever samples have been collected
@@ -585,7 +888,15 @@ impl Scheduler for AdaptiveKeyScheduler {
     }
 
     fn workers(&self) -> usize {
-        self.workers
+        self.table.partition().workers()
+    }
+
+    fn max_workers(&self) -> usize {
+        self.max_workers
+    }
+
+    fn attach_pool(&self, pool: Arc<dyn PoolController>) {
+        *self.pool.lock() = Some(pool);
     }
 
     fn name(&self) -> &'static str {
@@ -1042,6 +1353,242 @@ mod tests {
             generations.windows(2).all(|w| w[1] == w[0] + 1),
             "generation numbers stay continuous across eviction"
         );
+    }
+
+    /// A scripted [`PoolController`]: the test mutates the sample between
+    /// epochs and records every resize command.
+    struct ScriptedPool {
+        sample: Mutex<PoolSample>,
+        resized: Mutex<Vec<usize>>,
+    }
+
+    impl ScriptedPool {
+        fn new(active: usize, capacity: usize) -> Arc<Self> {
+            Arc::new(ScriptedPool {
+                sample: Mutex::new(PoolSample {
+                    active,
+                    capacity,
+                    per_worker_completed: vec![0; capacity],
+                    stolen: 0,
+                    adopted: 0,
+                    idle_polls: 0,
+                    busy_wakeups: 0,
+                    queue_depths: vec![0; capacity],
+                }),
+                resized: Mutex::new(Vec::new()),
+            })
+        }
+
+        fn set(&self, f: impl FnOnce(&mut PoolSample)) {
+            f(&mut self.sample.lock());
+        }
+    }
+
+    impl PoolController for ScriptedPool {
+        fn sample(&self) -> PoolSample {
+            self.sample.lock().clone()
+        }
+
+        fn resize(&self, workers: usize) {
+            self.resized.lock().push(workers);
+            self.sample.lock().active = workers;
+        }
+    }
+
+    /// Elastic scheduler with the drift/contention triggers parked out of
+    /// reach, so only the concurrency controller can publish.
+    fn elastic(min: usize, start: usize, max: usize, interval: u64) -> AdaptiveKeyScheduler {
+        AdaptiveKeyScheduler::new(start, KeyBounds::new(0, 131_071))
+            .with_worker_range(min, max)
+            .with_sample_threshold(1_000)
+            .with_adaptation(
+                AdaptationConfig::new()
+                    .with_interval(interval)
+                    .with_drift_threshold(1.0)
+                    .with_imbalance_trigger(1_000.0),
+            )
+    }
+
+    fn feed_epoch(s: &AdaptiveKeyScheduler, n: u64, seed: u64) {
+        let mut dist = KeyDistribution::new(DistributionKind::Uniform, seed);
+        for _ in 0..n {
+            s.dispatch(u64::from(dist.sample_raw()));
+        }
+    }
+
+    #[test]
+    fn saturated_queues_grow_the_pool_after_two_epochs() {
+        let s = elastic(1, 2, 8, 1_000);
+        let pool = ScriptedPool::new(2, 8);
+        Scheduler::attach_pool(&s, Arc::clone(&pool) as Arc<dyn PoolController>);
+        feed_epoch(&s, 1_000, 1); // initial adaptation
+        assert_eq!(s.adaptations(), 1);
+        // Saturated: deep queues, busy workers, no aborts.
+        pool.set(|p| {
+            p.queue_depths = vec![200; 8];
+            p.per_worker_completed = vec![1_000; 8];
+        });
+        feed_epoch(&s, 1_000, 2); // arms the grow
+        assert_eq!(s.resizes(), 0, "one saturated epoch must only arm");
+        pool.set(|p| p.per_worker_completed = vec![2_000; 8]);
+        feed_epoch(&s, 1_000, 3); // confirms
+        assert_eq!(s.resizes(), 1);
+        assert_eq!(pool.resized.lock().as_slice(), &[4], "grow doubles");
+        assert_eq!(Scheduler::workers(&s), 4);
+        assert!(matches!(
+            s.adaptation_log().last().unwrap().cause,
+            AdaptationCause::Resize { from: 2, to: 4 }
+        ));
+    }
+
+    #[test]
+    fn idle_pool_sheds_workers_within_two_epochs() {
+        let s = elastic(2, 8, 8, 1_000);
+        let pool = ScriptedPool::new(8, 8);
+        Scheduler::attach_pool(&s, Arc::clone(&pool) as Arc<dyn PoolController>);
+        feed_epoch(&s, 1_000, 4); // initial adaptation
+                                  // Load dropped: empty queues, 90% of wakeups find nothing.
+        pool.set(|p| {
+            p.idle_polls = 9_000;
+            p.busy_wakeups = 1_000;
+            p.per_worker_completed = vec![125; 8];
+        });
+        feed_epoch(&s, 1_000, 5); // arms the shrink
+        assert_eq!(s.resizes(), 0);
+        pool.set(|p| {
+            p.idle_polls = 18_000;
+            p.busy_wakeups = 2_000;
+            p.per_worker_completed = vec![250; 8];
+        });
+        feed_epoch(&s, 1_000, 6); // confirms
+        assert_eq!(s.resizes(), 1);
+        let resized = pool.resized.lock().clone();
+        assert_eq!(resized.len(), 1);
+        assert!(
+            resized[0] <= 4,
+            "a 90%-idle pool must shed at least half its workers: {resized:?}"
+        );
+        assert!(resized[0] >= 2, "bounded by min_workers");
+        assert_eq!(Scheduler::workers(&s), resized[0]);
+    }
+
+    #[test]
+    fn oscillating_pressure_never_confirms_a_resize() {
+        let s = elastic(1, 2, 8, 1_000);
+        let pool = ScriptedPool::new(2, 8);
+        Scheduler::attach_pool(&s, Arc::clone(&pool) as Arc<dyn PoolController>);
+        feed_epoch(&s, 1_000, 7);
+        for epoch in 0..6u64 {
+            // Alternate saturated and calm epochs: each arms a different
+            // direction (or none), so nothing ever confirms.
+            pool.set(|p| {
+                p.queue_depths = if epoch % 2 == 0 {
+                    vec![200; 8]
+                } else {
+                    vec![0; 8]
+                };
+                let done = (epoch + 1) * 1_000;
+                p.per_worker_completed = vec![done; 8];
+            });
+            feed_epoch(&s, 1_000, 8 + epoch);
+        }
+        assert_eq!(s.resizes(), 0, "{:?}", s.adaptation_log());
+    }
+
+    #[test]
+    fn chronic_stealing_counts_as_imbalance_evidence() {
+        // Fixed-size pool (no resizes possible), heavy steal traffic: two
+        // confirming epochs must repartition with the StealImbalance cause.
+        let s = AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 131_071))
+            .with_sample_threshold(1_000)
+            .with_adaptation(
+                AdaptationConfig::new()
+                    .with_interval(1_000)
+                    .with_drift_threshold(1.0)
+                    .with_imbalance_trigger(1_000.0)
+                    .with_steal_trigger(0.25),
+            );
+        let pool = ScriptedPool::new(4, 4);
+        Scheduler::attach_pool(&s, Arc::clone(&pool) as Arc<dyn PoolController>);
+        feed_epoch(&s, 1_000, 20);
+        assert_eq!(s.adaptations(), 1);
+        for epoch in 1..=2u64 {
+            pool.set(|p| {
+                p.per_worker_completed = vec![250 * epoch; 4];
+                p.stolen = 1_000 * epoch; // half of all executed work is stolen
+            });
+            feed_epoch(&s, 1_000, 20 + epoch);
+        }
+        let log = s.adaptation_log();
+        assert!(
+            matches!(
+                log.last().unwrap().cause,
+                AdaptationCause::StealImbalance { ratio } if ratio > 0.25
+            ),
+            "chronic stealing must trigger a repartition: {log:?}"
+        );
+        assert_eq!(s.resizes(), 0, "fixed-size pool must not resize");
+    }
+
+    #[test]
+    fn resize_now_clamps_publishes_and_commands_the_pool() {
+        let s = AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 9_999)).with_worker_range(2, 6);
+        let pool = ScriptedPool::new(4, 6);
+        Scheduler::attach_pool(&s, Arc::clone(&pool) as Arc<dyn PoolController>);
+        assert!(!s.resize_now(4), "no-op resize publishes nothing");
+        assert!(s.resize_now(100), "clamped to max");
+        assert_eq!(Scheduler::workers(&s), 6);
+        assert!(s.resize_now(1), "clamped to min");
+        assert_eq!(Scheduler::workers(&s), 2);
+        assert_eq!(pool.resized.lock().as_slice(), &[6, 2]);
+        assert_eq!(s.resizes(), 2);
+        let log = s.adaptation_log();
+        assert_eq!(log.len(), 2);
+        assert!(matches!(
+            log[0].cause,
+            AdaptationCause::Resize { from: 4, to: 6 }
+        ));
+        // Every generation routes within its own width.
+        for key in (0..10_000u64).step_by(97) {
+            assert!(s.dispatch(key) < 2);
+        }
+    }
+
+    #[test]
+    fn worker_range_clamps_the_initial_width() {
+        let s = AdaptiveKeyScheduler::new(8, KeyBounds::new(0, 999)).with_worker_range(1, 4);
+        assert_eq!(Scheduler::workers(&s), 4);
+        assert_eq!(s.worker_range(), (1, 4));
+        assert_eq!(Scheduler::max_workers(&s), 4);
+    }
+
+    #[test]
+    fn explicit_log_capacity_survives_with_adaptation_in_any_order() {
+        let before = AdaptiveKeyScheduler::new(2, KeyBounds::new(0, 999))
+            .with_log_capacity(8)
+            .with_adaptation(AdaptationConfig::new());
+        assert_eq!(before.log_capacity, 8, "explicit capacity wins");
+        let after = AdaptiveKeyScheduler::new(2, KeyBounds::new(0, 999))
+            .with_adaptation(AdaptationConfig::new())
+            .with_log_capacity(8);
+        assert_eq!(after.log_capacity, 8);
+        let config_only = AdaptiveKeyScheduler::new(2, KeyBounds::new(0, 999))
+            .with_adaptation(AdaptationConfig::new().with_log_capacity(16));
+        assert_eq!(config_only.log_capacity, 16, "config applies when unset");
+    }
+
+    #[test]
+    fn log_capacity_knob_bounds_the_ring() {
+        let s = AdaptiveKeyScheduler::new(2, KeyBounds::new(0, 9_999))
+            .with_sample_threshold(10)
+            .with_re_adaptation(10)
+            .with_log_capacity(4);
+        for i in 0..1_000u64 {
+            s.dispatch(i % 10_000);
+        }
+        let log = s.adaptation_log();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.last().unwrap().generation, s.adaptations() as u64);
     }
 
     #[test]

@@ -60,9 +60,35 @@ pub struct AdaptationConfig {
     pub abort_weight: f64,
     /// Maximum number of post-initial repartitions (`None` = unlimited).
     /// Once exhausted the scheduler stops sampling entirely, restoring the
-    /// paper's zero-overhead steady state.
+    /// paper's zero-overhead steady state. Elastic resizes consume the same
+    /// budget (a resize *is* a partition republish).
     pub max_repartitions: Option<usize>,
+    /// Capacity of the adaptation-log ring (oldest entries evicted). At
+    /// least 1.
+    pub log_capacity: usize,
+    /// Queued tasks per active worker above which the pool counts as
+    /// *saturated* — the grow side of the elastic controller (only
+    /// meaningful when the scheduler has a worker range wider than one
+    /// size).
+    pub saturation_backlog: f64,
+    /// Epoch idle-wakeup fraction — idle polls over idle polls +
+    /// [`PoolSample::busy_wakeups`], both counted per wakeup so the units
+    /// match — above which the marginal worker's utility counts as
+    /// negative: the shrink side of the elastic controller. In `(0, 1]`.
+    pub idle_shrink_threshold: f64,
+    /// Epoch STM aborts-per-commit ratio above which growing the pool is
+    /// vetoed: adding workers under contention raises abort cost instead of
+    /// throughput ("On the Cost of Concurrency in TM").
+    pub growth_contention_ceiling: f64,
+    /// Epoch stolen-tasks-per-executed-task ratio above which chronic
+    /// stealing counts as imbalance evidence and triggers a repartition
+    /// (two-epoch confirmation, like the drift trigger).
+    pub steal_trigger: f64,
 }
+
+/// Default adaptation-log ring capacity (see
+/// [`AdaptationConfig::log_capacity`]).
+pub const DEFAULT_LOG_CAPACITY: usize = 256;
 
 impl Default for AdaptationConfig {
     fn default() -> Self {
@@ -74,6 +100,11 @@ impl Default for AdaptationConfig {
             contention_hysteresis: 2.0,
             abort_weight: 1.0,
             max_repartitions: None,
+            log_capacity: DEFAULT_LOG_CAPACITY,
+            saturation_backlog: 32.0,
+            idle_shrink_threshold: 0.5,
+            growth_contention_ceiling: 0.5,
+            steal_trigger: 0.25,
         }
     }
 }
@@ -125,6 +156,40 @@ impl AdaptationConfig {
         self.max_repartitions = cap;
         self
     }
+
+    /// Set the adaptation-log ring capacity (clamped to at least 1).
+    pub fn with_log_capacity(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the queued-tasks-per-worker saturation level that arms the grow
+    /// trigger (negative values clamp to 0).
+    pub fn with_saturation_backlog(mut self, backlog: f64) -> Self {
+        self.saturation_backlog = backlog.max(0.0);
+        self
+    }
+
+    /// Set the idle-poll fraction that arms the shrink trigger (clamped
+    /// into `(0, 1]`).
+    pub fn with_idle_shrink_threshold(mut self, fraction: f64) -> Self {
+        self.idle_shrink_threshold = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Set the abort-ratio ceiling above which growth is vetoed (negative
+    /// values clamp to 0).
+    pub fn with_growth_contention_ceiling(mut self, ratio: f64) -> Self {
+        self.growth_contention_ceiling = ratio.max(0.0);
+        self
+    }
+
+    /// Set the stolen-per-executed ratio that counts as chronic stealing
+    /// (negative values clamp to 0).
+    pub fn with_steal_trigger(mut self, ratio: f64) -> Self {
+        self.steal_trigger = ratio.max(0.0);
+        self
+    }
 }
 
 /// Why an adaptation (partition publish) fired.
@@ -151,6 +216,22 @@ pub enum AdaptationCause {
         /// Epoch aborts per committed transaction.
         ratio: f64,
     },
+    /// Chronic work stealing: the epoch's stolen-per-executed ratio exceeded
+    /// [`AdaptationConfig::steal_trigger`] in two consecutive epochs, so the
+    /// stealing was treated as routed-load imbalance evidence instead of
+    /// being allowed to mask it.
+    StealImbalance {
+        /// Epoch stolen tasks per executed task.
+        ratio: f64,
+    },
+    /// The elastic concurrency controller changed the worker-pool size (the
+    /// published partition routes to `to` workers).
+    Resize {
+        /// Active workers before the resize.
+        from: usize,
+        /// Active workers after the resize.
+        to: usize,
+    },
     /// Explicitly requested (`adapt_now` / trace seeding).
     Forced,
 }
@@ -168,6 +249,10 @@ impl std::fmt::Display for AdaptationCause {
                 "key-drift(tv={distance:.3}, imbalance={projected_imbalance:.2})"
             ),
             AdaptationCause::Contention { ratio } => write!(f, "contention(ratio={ratio:.3})"),
+            AdaptationCause::StealImbalance { ratio } => {
+                write!(f, "steal-imbalance(ratio={ratio:.3})")
+            }
+            AdaptationCause::Resize { from, to } => write!(f, "resize({from}->{to})"),
             AdaptationCause::Forced => f.write_str("forced"),
         }
     }
@@ -217,6 +302,61 @@ where
     fn sample(&self) -> ContentionSample {
         self()
     }
+}
+
+/// Point-in-time executor-pool telemetry consumed by the elastic
+/// concurrency controller: cumulative per-worker counters (diffed per epoch
+/// by the scheduler) plus the instantaneous queue depths and active width.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolSample {
+    /// Worker slots currently active (routing width of the pool).
+    pub active: usize,
+    /// Total worker slots the pool can grow to.
+    pub capacity: usize,
+    /// Cumulative tasks each worker drained from its *own* queue (routed
+    /// load; stolen and adopted work is counted separately).
+    pub per_worker_completed: Vec<u64>,
+    /// Cumulative tasks executed after being stolen from an active peer.
+    pub stolen: u64,
+    /// Cumulative tasks executed after being adopted from a retired
+    /// worker's residual queue.
+    pub adopted: u64,
+    /// Cumulative polls that found no work, summed over workers.
+    pub idle_polls: u64,
+    /// Cumulative wakeups that found work, summed over workers. Idle and
+    /// busy wakeups share a unit, so `idle / (idle + busy)` is the pool's
+    /// idle fraction — the elastic controller's shrink signal.
+    pub busy_wakeups: u64,
+    /// Instantaneous depth of every worker queue (length = `capacity`).
+    pub queue_depths: Vec<usize>,
+}
+
+impl PoolSample {
+    /// Cumulative tasks executed across all origins.
+    pub fn executed(&self) -> u64 {
+        self.per_worker_completed.iter().sum::<u64>() + self.stolen + self.adopted
+    }
+
+    /// Tasks currently queued across all workers.
+    pub fn backlog(&self) -> usize {
+        self.queue_depths.iter().sum()
+    }
+}
+
+/// The executor side of the elastic execution plane: the adaptive scheduler
+/// reads pool telemetry through [`PoolController::sample`] and commands
+/// worker-count changes through [`PoolController::resize`] *after*
+/// publishing the matching partition generation, so routing width and pool
+/// width change together. Implemented by the executor's worker set and
+/// handed to the scheduler via
+/// [`crate::scheduler::Scheduler::attach_pool`].
+pub trait PoolController: Send + Sync {
+    /// Current cumulative pool telemetry.
+    fn sample(&self) -> PoolSample;
+
+    /// Grow or shrink the active worker count to `workers` (clamped into
+    /// the pool's capacity). Must tolerate redundant calls.
+    fn resize(&self, workers: usize);
 }
 
 /// Total-variation distance between two histograms over the same geometry:
@@ -321,13 +461,23 @@ mod tests {
             .with_imbalance_trigger(0.2)
             .with_contention_hysteresis(0.0)
             .with_abort_weight(-2.0)
-            .with_max_repartitions(Some(3));
+            .with_max_repartitions(Some(3))
+            .with_log_capacity(0)
+            .with_saturation_backlog(-4.0)
+            .with_idle_shrink_threshold(3.0)
+            .with_growth_contention_ceiling(-1.0)
+            .with_steal_trigger(-0.5);
         assert_eq!(config.interval, 1);
         assert_eq!(config.drift_threshold, 1.0);
         assert_eq!(config.imbalance_trigger, 1.0);
         assert_eq!(config.contention_hysteresis, 1.0);
         assert_eq!(config.abort_weight, 0.0);
         assert_eq!(config.max_repartitions, Some(3));
+        assert_eq!(config.log_capacity, 1);
+        assert_eq!(config.saturation_backlog, 0.0);
+        assert_eq!(config.idle_shrink_threshold, 1.0);
+        assert_eq!(config.growth_contention_ceiling, 0.0);
+        assert_eq!(config.steal_trigger, 0.0);
     }
 
     #[test]
@@ -354,5 +504,28 @@ mod tests {
         assert!(AdaptationCause::Contention { ratio: 1.25 }
             .to_string()
             .contains("1.250"));
+        assert_eq!(
+            AdaptationCause::Resize { from: 8, to: 3 }.to_string(),
+            "resize(8->3)"
+        );
+        assert!(AdaptationCause::StealImbalance { ratio: 0.4 }
+            .to_string()
+            .contains("0.400"));
+    }
+
+    #[test]
+    fn pool_sample_totals() {
+        let sample = PoolSample {
+            active: 2,
+            capacity: 4,
+            per_worker_completed: vec![10, 20, 0, 0],
+            stolen: 5,
+            adopted: 3,
+            idle_polls: 7,
+            busy_wakeups: 9,
+            queue_depths: vec![1, 2, 0, 4],
+        };
+        assert_eq!(sample.executed(), 38);
+        assert_eq!(sample.backlog(), 7);
     }
 }

@@ -26,13 +26,30 @@
 //! is lost or double-dispatched across the swap (only the *placement* of
 //! later submissions changes). [`Executor::partition_generation`] exposes
 //! the generation currently in effect.
+//!
+//! # The elastic execution plane
+//!
+//! Since the elastic refactor the pool is no longer fixed-size: queues and
+//! worker threads are owned by a generation-scoped [`WorkerSet`] sized at
+//! the scheduler's [`Scheduler::max_workers`] capacity, of which only the
+//! first `active` slots are routed to. The adaptation plane changes the
+//! active width through [`crate::drift::PoolController::resize`] — always
+//! *after* publishing the matching partition generation, so routing width
+//! and pool width move together. Growing spawns threads into inactive
+//! slots; shrinking marks the trailing slots *retiring*: each retiring
+//! worker drains its residual queue to empty and exits, and any straggler
+//! a stale-snapshot dispatch lands on a retired queue afterwards is
+//! *adopted* by the remaining active workers (see the retirement protocol
+//! on [`WorkerSet`]), so a resize can never lose or duplicate a task.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use katme_queue::{Backoff, QueueKind, TaskQueue};
+use parking_lot::Mutex;
 
+use crate::drift::{PoolController, PoolSample};
 use crate::key::TxnKey;
 use crate::scheduler::Scheduler;
 use crate::stats::{LoadBalance, WorkerCounters};
@@ -246,21 +263,30 @@ impl<T> std::error::Error for SubmitBatchError<T> {}
 /// Summary returned by [`Executor::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ExecutorReport {
-    /// Completed tasks per worker.
+    /// Tasks each worker drained from its *own* queue — the load the
+    /// scheduler routed to it. Stolen and adopted executions are reported
+    /// separately so imbalance math reads routed load, not rescue work.
     pub load: LoadBalance,
-    /// Total tasks executed after being stolen from another queue.
+    /// Total tasks executed after being stolen from an active peer's queue.
     pub stolen: u64,
+    /// Total tasks executed after being adopted from a retired worker's
+    /// residual queue (the elastic hand-off path).
+    pub adopted: u64,
     /// Total polls that found no work.
     pub idle_polls: u64,
     /// Tasks left unexecuted in the queues (only non-zero when
     /// `drain_on_shutdown` is false).
     pub abandoned: u64,
+    /// Worker-pool resizes performed over the executor's lifetime.
+    pub resizes: u64,
+    /// Active workers at shutdown.
+    pub active_workers: usize,
 }
 
 impl ExecutorReport {
-    /// Total completed tasks.
+    /// Total completed tasks, regardless of which worker executed them.
     pub fn completed(&self) -> u64 {
-        self.load.total()
+        self.load.total() + self.stolen + self.adopted
     }
 }
 
@@ -325,68 +351,288 @@ impl ShutdownGate {
     }
 }
 
-/// A pool of worker threads fed by per-worker task queues through a
-/// key-based (or round-robin) scheduler.
-pub struct Executor<T: Send + 'static> {
+/// Slot has no worker thread (and is not routed to).
+const SLOT_INACTIVE: u8 = 0;
+/// Slot has a live worker thread and may be routed to.
+const SLOT_ACTIVE: u8 = 1;
+/// Slot's worker was asked to retire: it drains its residual queue to empty
+/// and then exits (unless the slot is re-activated first).
+const SLOT_RETIRING: u8 = 2;
+
+/// How many busy wakeups an active worker goes between orphan sweeps, so a
+/// straggler stranded on a retired queue is adopted within a bounded number
+/// of wakeups even when every active worker's own queue never runs dry.
+const ORPHAN_SWEEP_PERIOD: u32 = 64;
+
+/// The generation-scoped owner of the executor's queues and worker threads.
+///
+/// The set is sized at `capacity` slots (the scheduler's
+/// [`Scheduler::max_workers`]); every slot's queue exists for the
+/// executor's whole lifetime, so any worker index a routing snapshot can
+/// produce always has a live queue — a resize never invalidates an
+/// in-flight dispatch. Only the first `active` slots are
+/// routed to by the *current* generation.
+///
+/// # Retirement protocol (shrink, no-loss hand-off)
+///
+/// Shrinking from `n` to `m` first publishes the `m`-wide partition (new
+/// dispatches avoid the trailing slots), stores `active = m`, and marks
+/// slots `m..n` *retiring*. Each retiring worker keeps draining its
+/// own queue; when it finds the queue empty it retires by CAS-ing its slot
+/// `RETIRING -> INACTIVE` and exiting. Two things cover the leftovers:
+///
+/// * **Residual drain**: everything queued on the retiring worker before it
+///   observed the empty queue is executed by the retiring worker itself.
+/// * **Adoption**: a dispatch holding a pre-shrink snapshot may still push
+///   onto a retired queue *after* that worker exited. Active workers adopt
+///   such stragglers — they sweep the queues of every slot `>= active` when
+///   their own queue is empty (and periodically even when busy, every
+///   `ORPHAN_SWEEP_PERIOD` wakeups), executing whatever they find. The
+///   adopting worker is, under the new generation, the partition successor
+///   of the retired range's keys or one of its peers; adoption is recorded
+///   separately from routed completions so imbalance math stays honest.
+///
+/// Growing back re-activates slots: a slot whose old thread is still
+/// mid-retirement is flipped `RETIRING -> ACTIVE` by CAS (the thread
+/// notices its exit CAS fail and simply keeps working); an `INACTIVE` slot
+/// gets its finished thread joined and a fresh one spawned. The exit CAS
+/// and the resurrect CAS are the two halves of one atomic state machine, so
+/// a slot can never end up active without a worker or with two workers.
+///
+/// Together with the swap protocol of
+/// [`crate::partition::PartitionTable`], every submitted task is executed
+/// exactly once across any sequence of grows and shrinks: it lands on
+/// exactly one queue, and that queue is drained by its own worker, a
+/// retiring worker's residual drain, an adopting active worker, or the
+/// shutdown drain.
+pub struct WorkerSet<T: Send + 'static> {
     queues: Vec<Arc<dyn TaskQueue<T>>>,
-    scheduler: Arc<dyn Scheduler>,
     counters: Arc<Vec<WorkerCounters>>,
-    /// Guards intake against the draining workers' exit (see [`ShutdownGate`]).
-    gate: Arc<ShutdownGate>,
-    handles: Vec<JoinHandle<()>>,
+    /// Per-slot lifecycle state (see the retirement protocol above).
+    slots: Vec<AtomicU8>,
+    /// Number of slots the current generation routes to.
+    active: AtomicUsize,
+    /// Guards intake against the draining workers' exit (see
+    /// [`ShutdownGate`]).
+    gate: ShutdownGate,
     config: ExecutorConfig,
+    /// Resizes performed over the set's lifetime.
+    resizes: AtomicU64,
+}
+
+impl<T: Send + 'static> WorkerSet<T> {
+    fn new(config: ExecutorConfig, capacity: usize, initial: usize) -> Self {
+        let queues: Vec<Arc<dyn TaskQueue<T>>> = (0..capacity)
+            .map(|_| Arc::from(config.queue.build::<T>()))
+            .collect();
+        let slots = (0..capacity)
+            .map(|index| {
+                AtomicU8::new(if index < initial {
+                    SLOT_ACTIVE
+                } else {
+                    SLOT_INACTIVE
+                })
+            })
+            .collect();
+        WorkerSet {
+            queues,
+            counters: WorkerCounters::for_workers(capacity),
+            slots,
+            active: AtomicUsize::new(initial),
+            gate: ShutdownGate::new(),
+            config,
+            resizes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total slots (the pool's growth ceiling).
+    fn capacity(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Slots currently routed to.
+    fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+}
+
+/// The executor's half of the elastic plane: owns the worker thread handles
+/// and implements [`PoolController`] so the adaptive scheduler can read
+/// pool telemetry and command resizes. Shared between the [`Executor`] and
+/// the scheduler it was started with.
+struct PoolHandle<T: Send + 'static> {
+    set: Arc<WorkerSet<T>>,
+    handler: Arc<dyn Fn(usize, T) + Send + Sync>,
+    /// One slot per worker index; `None` until the slot is first spawned.
+    /// A replaced thread is joined before its slot is overwritten, so this
+    /// vector owns every thread the set ever spawned.
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Serializes resizes (they are rare; dispatch never takes this).
+    resize_lock: Mutex<()>,
+}
+
+impl<T: Send + 'static> PoolHandle<T> {
+    fn spawn_slot(&self, index: usize) -> JoinHandle<()> {
+        let set = Arc::clone(&self.set);
+        let handler = Arc::clone(&self.handler);
+        std::thread::Builder::new()
+            .name(format!("katme-worker-{index}"))
+            .spawn(move || worker_loop(index, &set, &*handler))
+            .expect("failed to spawn worker thread")
+    }
+
+    /// Join every thread the set ever spawned (after closing the gate).
+    fn join_all(&self) {
+        let mut handles = self.handles.lock();
+        for slot in handles.iter_mut() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> PoolController for PoolHandle<T> {
+    fn sample(&self) -> PoolSample {
+        let set = &self.set;
+        PoolSample {
+            active: set.active(),
+            capacity: set.capacity(),
+            per_worker_completed: set.counters.iter().map(|c| c.completed()).collect(),
+            stolen: set.counters.iter().map(|c| c.stolen()).sum(),
+            adopted: set.counters.iter().map(|c| c.adopted()).sum(),
+            idle_polls: set.counters.iter().map(|c| c.idle_polls()).sum(),
+            busy_wakeups: set.counters.iter().map(|c| c.busy_wakeups()).sum(),
+            queue_depths: set.queues.iter().map(|q| q.len()).collect(),
+        }
+    }
+
+    fn resize(&self, workers: usize) {
+        let _guard = self.resize_lock.lock();
+        let set = &self.set;
+        let target = workers.clamp(1, set.capacity());
+        let current = set.active();
+        if target == current || !set.gate.is_open() {
+            return;
+        }
+        if target < current {
+            // Shrink: stop routing to the trailing slots first, then ask
+            // their workers to retire. Residuals are drained by the
+            // retiring workers themselves; stragglers are adopted (see the
+            // WorkerSet retirement protocol).
+            set.active.store(target, Ordering::SeqCst);
+            for index in target..current {
+                let _ = set.slots[index].compare_exchange(
+                    SLOT_ACTIVE,
+                    SLOT_RETIRING,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+        } else {
+            // Grow. The *routing* range was already widened when the
+            // scheduler published the new-width partition (publish comes
+            // before resize), so dispatches may land on slots
+            // current..target throughout this window; those tasks sit in
+            // the slot's queue for the microseconds until its worker is
+            // live below (every slot in the range gets one before this
+            // call returns). Raising `active` first takes the slots out
+            // of the orphan sweep right away, so adopting peers stop
+            // mis-attributing the new workers' routed load as adopted
+            // work.
+            set.active.store(target, Ordering::SeqCst);
+            let mut handles = self.handles.lock();
+            for index in current..target {
+                if set.slots[index]
+                    .compare_exchange(
+                        SLOT_RETIRING,
+                        SLOT_ACTIVE,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    // The old thread was still mid-retirement: its exit CAS
+                    // will fail and it keeps working the slot.
+                    continue;
+                }
+                // INACTIVE: the previous incarnation (if any) has exited or
+                // is past its exit CAS — join it, then spawn a fresh one.
+                if let Some(handle) = handles[index].take() {
+                    let _ = handle.join();
+                }
+                set.slots[index].store(SLOT_ACTIVE, Ordering::SeqCst);
+                handles[index] = Some(self.spawn_slot(index));
+            }
+        }
+        set.resizes.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A pool of worker threads fed by per-worker task queues through a
+/// key-based (or round-robin) scheduler. Since the elastic refactor the
+/// queues and threads are owned by a [`WorkerSet`] whose active width the
+/// adaptation plane may change at run time (see the module docs).
+pub struct Executor<T: Send + 'static> {
+    set: Arc<WorkerSet<T>>,
+    scheduler: Arc<dyn Scheduler>,
+    pool: Arc<PoolHandle<T>>,
 }
 
 impl<T: Send + 'static> Executor<T> {
     /// Start a worker pool.
     ///
-    /// * `scheduler` decides which worker each submitted task goes to and
-    ///   fixes the number of workers.
+    /// * `scheduler` decides which worker each submitted task goes to; its
+    ///   [`Scheduler::workers`] fixes the initial pool size and its
+    ///   [`Scheduler::max_workers`] the growth ceiling. The scheduler is
+    ///   handed a [`PoolController`] through [`Scheduler::attach_pool`], so
+    ///   an elastic scheduler can observe the pool and resize it.
     /// * `handler` is invoked by worker threads as `handler(worker_index,
     ///   task)`; it typically runs one STM transaction.
     pub fn start<F>(config: ExecutorConfig, scheduler: Arc<dyn Scheduler>, handler: F) -> Self
     where
         F: Fn(usize, T) + Send + Sync + 'static,
     {
-        let workers = scheduler.workers();
-        assert!(workers > 0, "executor needs at least one worker");
+        let initial = scheduler.workers();
+        let capacity = scheduler.max_workers().max(initial);
+        assert!(initial > 0, "executor needs at least one worker");
         assert!(config.batch_size > 0, "drain batch size must be at least 1");
-        let handler = Arc::new(handler);
-        let queues: Vec<Arc<dyn TaskQueue<T>>> = (0..workers)
-            .map(|_| Arc::from(config.queue.build::<T>()))
-            .collect();
-        let counters = WorkerCounters::for_workers(workers);
-        let gate = Arc::new(ShutdownGate::new());
-
-        let handles = (0..workers)
-            .map(|index| {
-                let queues = queues.clone();
-                let counters = Arc::clone(&counters);
-                let gate = Arc::clone(&gate);
-                let handler = Arc::clone(&handler);
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("katme-worker-{index}"))
-                    .spawn(move || {
-                        worker_loop(index, &queues, &counters, &gate, &config, &*handler)
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
+        let set = Arc::new(WorkerSet::new(config, capacity, initial));
+        let pool = Arc::new(PoolHandle {
+            set: Arc::clone(&set),
+            handler: Arc::new(handler),
+            handles: Mutex::new((0..capacity).map(|_| None).collect()),
+            resize_lock: Mutex::new(()),
+        });
+        {
+            let mut handles = pool.handles.lock();
+            for (index, slot) in handles.iter_mut().enumerate().take(initial) {
+                *slot = Some(pool.spawn_slot(index));
+            }
+        }
+        scheduler.attach_pool(Arc::clone(&pool) as Arc<dyn PoolController>);
 
         Executor {
-            queues,
+            set,
             scheduler,
-            counters,
-            gate,
-            handles,
-            config,
+            pool,
         }
     }
 
-    /// Number of worker threads.
+    /// Total worker slots the pool can grow to (queues are allocated for
+    /// all of them up front).
     pub fn workers(&self) -> usize {
-        self.queues.len()
+        self.set.capacity()
+    }
+
+    /// Worker slots currently active (the routing width in effect).
+    pub fn active_workers(&self) -> usize {
+        self.set.active()
+    }
+
+    /// Pool resizes performed so far.
+    pub fn resizes(&self) -> u64 {
+        self.set.resizes.load(Ordering::Relaxed)
     }
 
     /// The scheduler in use.
@@ -423,11 +669,11 @@ impl<T: Send + 'static> Executor<T> {
     /// Submit directly to a specific worker, bypassing the scheduler, with
     /// blocking back-pressure (see [`Executor::submit_blocking`]).
     pub fn submit_to_blocking(&self, worker: usize, task: T) -> Result<(), SubmitError<T>> {
-        let queue = &self.queues[worker];
-        if let Some(depth) = self.config.max_queue_depth {
+        let queue = &self.set.queues[worker];
+        if let Some(depth) = self.set.config.max_queue_depth {
             let mut backoff = Backoff::new();
             while queue.len() >= depth {
-                if !self.gate.is_open() {
+                if !self.set.gate.is_open() {
                     return Err(SubmitError::ShuttingDown(task));
                 }
                 backoff.snooze();
@@ -441,21 +687,21 @@ impl<T: Send + 'static> Executor<T> {
     /// returns `Ok` is guaranteed to be executed (or counted as abandoned)
     /// rather than stranded on a dead queue.
     fn push_guarded(&self, queue: &Arc<dyn TaskQueue<T>>, task: T) -> Result<(), SubmitError<T>> {
-        if !self.gate.enter() {
+        if !self.set.gate.enter() {
             return Err(SubmitError::ShuttingDown(task));
         }
         queue.push(task);
-        self.gate.exit();
+        self.set.gate.exit();
         Ok(())
     }
 
     /// Non-blocking variant of [`Executor::submit_to_blocking`].
     pub fn try_submit_to(&self, worker: usize, task: T) -> Result<(), SubmitError<T>> {
-        if !self.gate.is_open() {
+        if !self.set.gate.is_open() {
             return Err(SubmitError::ShuttingDown(task));
         }
-        let queue = &self.queues[worker];
-        if let Some(depth) = self.config.max_queue_depth {
+        let queue = &self.set.queues[worker];
+        if let Some(depth) = self.set.config.max_queue_depth {
             if queue.len() >= depth {
                 return Err(SubmitError::QueueFull(task));
             }
@@ -512,8 +758,10 @@ impl<T: Send + 'static> Executor<T> {
         // Group into per-worker runs holding the bare tasks — the hot path
         // hands each run to its queue without another per-item move; keys
         // are re-associated from `keys`/`routes` only on the cold rejection
-        // path (see `reject_run`).
-        let workers = self.queues.len();
+        // path (see `reject_run`). Runs span the full capacity: a routing
+        // snapshot can only produce indices below its own width, which is
+        // never above the capacity.
+        let workers = self.set.capacity();
         let mut runs: Vec<Vec<T>> = (0..workers)
             .map(|_| Vec::with_capacity(total / workers + 1))
             .collect();
@@ -550,7 +798,7 @@ impl<T: Send + 'static> Executor<T> {
                 reject_run(&mut rejected, run, 0, worker);
                 continue;
             }
-            let queue = &self.queues[worker];
+            let queue = &self.set.queues[worker];
             // Back-pressure is per worker queue: a full queue rejects (or
             // waits out) only its own run; other workers' runs still land.
             // Both modes respect the depth bound chunk-wise: never push more
@@ -560,7 +808,7 @@ impl<T: Send + 'static> Executor<T> {
             // reports the remainder as QueueFull overflow.
             let mut pushed = 0usize;
             loop {
-                let space = match self.config.max_queue_depth {
+                let space = match self.set.config.max_queue_depth {
                     None => run.len(),
                     Some(depth) => {
                         if blocking {
@@ -570,7 +818,7 @@ impl<T: Send + 'static> Executor<T> {
                                 if space > 0 {
                                     break space;
                                 }
-                                if !self.gate.is_open() {
+                                if !self.set.gate.is_open() {
                                     shutting_down = true;
                                     break 0;
                                 }
@@ -598,7 +846,7 @@ impl<T: Send + 'static> Executor<T> {
                 };
                 // One gate enter/exit covers the whole chunk (per-batch
                 // shutdown accounting; see ShutdownGate).
-                if !self.gate.enter() {
+                if !self.set.gate.enter() {
                     shutting_down = true;
                     let skip = pushed + chunk.len();
                     reject_run(&mut rejected, chunk, pushed, worker);
@@ -610,7 +858,7 @@ impl<T: Send + 'static> Executor<T> {
                 accepted += chunk.len();
                 pushed += chunk.len();
                 queue.push_batch(chunk);
-                self.gate.exit();
+                self.set.gate.exit();
                 if run.is_empty() {
                     break;
                 }
@@ -638,24 +886,38 @@ impl<T: Send + 'static> Executor<T> {
         }
     }
 
-    /// Completed tasks so far, summed over workers.
+    /// Completed tasks so far, summed over workers and all origins (own
+    /// queue, stolen, adopted).
     pub fn completed(&self) -> u64 {
-        self.counters.iter().map(|c| c.completed()).sum()
+        self.set.counters.iter().map(|c| c.executed()).sum()
     }
 
-    /// Completed tasks per worker.
+    /// Tasks each worker drained from its own queue (routed load). Stolen
+    /// and adopted executions are reported separately — see
+    /// [`Executor::stolen`] and [`Executor::adopted`].
     pub fn per_worker_completed(&self) -> Vec<u64> {
-        self.counters.iter().map(|c| c.completed()).collect()
+        self.set.counters.iter().map(|c| c.completed()).collect()
     }
 
-    /// Current queue lengths (diagnostics / back-pressure tuning).
+    /// Tasks executed after being stolen from an active peer's queue.
+    pub fn stolen(&self) -> u64 {
+        self.set.counters.iter().map(|c| c.stolen()).sum()
+    }
+
+    /// Tasks executed after being adopted from a retired worker's queue.
+    pub fn adopted(&self) -> u64 {
+        self.set.counters.iter().map(|c| c.adopted()).sum()
+    }
+
+    /// Current queue lengths (diagnostics / back-pressure tuning), over the
+    /// full capacity.
     pub fn queue_lengths(&self) -> Vec<usize> {
-        self.queues.iter().map(|q| q.len()).collect()
+        self.set.queues.iter().map(|q| q.len()).collect()
     }
 
     /// True while the executor accepts and executes tasks.
     pub fn is_running(&self) -> bool {
-        self.gate.is_open()
+        self.set.gate.is_open()
     }
 
     /// Initiate shutdown without waiting for the workers: new submissions are
@@ -665,21 +927,42 @@ impl<T: Send + 'static> Executor<T> {
     /// join the workers and collect the report; `stop` itself is safe to call
     /// from any thread, any number of times.
     pub fn stop(&self) {
-        self.gate.close();
+        self.set.gate.close();
     }
 
     /// Stop the workers and collect the final counters.
-    pub fn shutdown(mut self) -> ExecutorReport {
-        self.gate.close();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-        let abandoned: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+    pub fn shutdown(self) -> ExecutorReport {
+        self.set.gate.close();
+        // Serialize against an in-flight resize: once the resize lock is
+        // ours, no further resize can pass its open-gate check and spawn,
+        // so the join below covers every thread the set will ever have.
+        drop(self.pool.resize_lock.lock());
+        self.pool.join_all();
+        let abandoned: u64 = self.set.queues.iter().map(|q| q.len() as u64).sum();
+        // Keep only slots that were active at the end or executed routed
+        // work, so an elastic pool's load report — and its max-over-mean
+        // imbalance — covers the workers that existed, not the growth
+        // ceiling. This is the same filter the live `StatsView::imbalance`
+        // applies, so the two surfaces agree; fixed pools are unaffected
+        // (active == capacity).
+        let active = self.set.active();
+        let per_worker: Vec<u64> = self
+            .set
+            .counters
+            .iter()
+            .map(|c| c.completed())
+            .enumerate()
+            .filter(|&(index, completed)| index < active || completed > 0)
+            .map(|(_, completed)| completed)
+            .collect();
         ExecutorReport {
-            load: LoadBalance::new(self.counters.iter().map(|c| c.completed()).collect()),
-            stolen: self.counters.iter().map(|c| c.stolen()).sum(),
-            idle_polls: self.counters.iter().map(|c| c.idle_polls()).sum(),
+            load: LoadBalance::new(per_worker),
+            stolen: self.stolen(),
+            adopted: self.adopted(),
+            idle_polls: self.set.counters.iter().map(|c| c.idle_polls()).sum(),
             abandoned,
+            resizes: self.resizes(),
+            active_workers: self.set.active(),
         }
     }
 }
@@ -688,72 +971,130 @@ impl<T: Send + 'static> Drop for Executor<T> {
     /// Dropping an executor without calling [`Executor::shutdown`] still
     /// stops and joins the worker threads so no run leaks threads.
     fn drop(&mut self) {
-        self.gate.close();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.set.gate.close();
+        drop(self.pool.resize_lock.lock());
+        self.pool.join_all();
     }
 }
 
-fn worker_loop<T, F>(
-    index: usize,
-    queues: &[Arc<dyn TaskQueue<T>>],
-    counters: &[WorkerCounters],
-    gate: &ShutdownGate,
-    config: &ExecutorConfig,
-    handler: &F,
-) where
+/// Adopt queued work from orphan slots (indices at or above the active
+/// width): the residual queues of retired workers and any straggler a
+/// stale-snapshot dispatch landed there. Returns `true` when a batch was
+/// adopted and executed.
+fn adopt_orphans<T, F>(index: usize, set: &WorkerSet<T>, handler: &F, batch: &mut Vec<T>) -> bool
+where
     T: Send + 'static,
-    F: Fn(usize, T) + Send + Sync,
+    F: Fn(usize, T) + Send + Sync + ?Sized,
+{
+    let active = set.active();
+    for victim in active..set.capacity() {
+        if victim == index || set.queues[victim].is_empty() {
+            continue;
+        }
+        let took = set.queues[victim].pop_batch(batch, set.config.batch_size);
+        if took > 0 {
+            set.counters[index].record_adopted_batch(took as u64);
+            set.counters[index].record_busy_wakeup();
+            for task in batch.drain(..) {
+                handler(index, task);
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn worker_loop<T, F>(index: usize, set: &WorkerSet<T>, handler: &F)
+where
+    T: Send + 'static,
+    F: Fn(usize, T) + Send + Sync + ?Sized,
 {
     let mut backoff = Backoff::new();
     // Reused drain buffer: one pop_batch lock round-trip moves up to
     // batch_size tasks out of the queue per wakeup.
-    let mut batch: Vec<T> = Vec::with_capacity(config.batch_size);
+    let mut batch: Vec<T> = Vec::with_capacity(set.config.batch_size);
+    let mut wakeups: u32 = 0;
     loop {
-        let running_now = gate.is_open();
-        if !running_now && !config.drain_on_shutdown {
+        let running_now = set.gate.is_open();
+        if !running_now && !set.config.drain_on_shutdown {
             // The paper's driver "stops the producer and worker threads after
             // the test period": without draining, whatever is still queued is
             // abandoned (and reported as such).
             return;
         }
         // Draining exit handshake (see ShutdownGate): must be read *before*
-        // the pop below.
-        let may_exit = gate.may_finish();
+        // the pops below (own queue, orphans, and steal victims alike).
+        let may_exit = set.gate.may_finish();
 
-        let took = queues[index].pop_batch(&mut batch, config.batch_size);
+        let took = set.queues[index].pop_batch(&mut batch, set.config.batch_size);
         if took > 0 {
             // A popped batch is in flight: it executes to completion even if
             // shutdown lands mid-batch, so every popped task is counted as
-            // completed rather than silently dropped. Completions are
-            // recorded per task (a Relaxed add on a worker-local counter) so
-            // live stats stay accurate even when tasks are slow; the batch
-            // win is the amortized queue lock, not the counter.
+            // completed rather than silently dropped. The count is recorded
+            // *before* the handler runs: a task whose completion handle
+            // resolves mid-handler must already be visible in the counters,
+            // or an observer woken by the handle could read a completion
+            // count that excludes the task it just waited for.
             for task in batch.drain(..) {
+                set.counters[index].record_completed(1);
                 handler(index, task);
-                counters[index].record_completed(1);
             }
+            set.counters[index].record_busy_wakeup();
+            backoff.reset();
+            wakeups = wakeups.wrapping_add(1);
+            if wakeups % ORPHAN_SWEEP_PERIOD == 0 {
+                // Bounded-staleness sweep: even a never-idle worker adopts
+                // retired-queue stragglers within ORPHAN_SWEEP_PERIOD
+                // wakeups.
+                adopt_orphans(index, set, handler, &mut batch);
+            }
+            continue;
+        }
+
+        // Retirement (see the WorkerSet protocol): own queue observed
+        // empty while the slot is marked retiring — try to exit. A failed
+        // CAS means a concurrent grow resurrected the slot; keep working.
+        if running_now && set.slots[index].load(Ordering::SeqCst) == SLOT_RETIRING {
+            if set.slots[index]
+                .compare_exchange(
+                    SLOT_RETIRING,
+                    SLOT_INACTIVE,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return;
+            }
+            continue;
+        }
+
+        // Idle: first adopt orphaned work (the elastic hand-off), then
+        // steal from active peers if enabled.
+        if adopt_orphans(index, set, handler, &mut batch) {
             backoff.reset();
             continue;
         }
 
-        if config.work_stealing {
-            // Steal from the longest other queue, which is the cheapest
-            // approximation of the "grab work from other queues" policy the
-            // paper cites (Cilk-style work stealing). Steals move whole
-            // batches for the same lock amortization as the own-queue drain.
-            let victim = (0..queues.len())
+        if set.config.work_stealing {
+            // Steal from the longest *active* queue — steals respect the
+            // current generation's ownership map (retired slots are the
+            // adoption path above, not steal victims). Steals move whole
+            // batches for the same lock amortization as the own-queue
+            // drain, and are recorded separately from routed completions so
+            // chronic stealing shows up as imbalance instead of masking it.
+            let active = set.active();
+            let victim = (0..active)
                 .filter(|&i| i != index)
-                .max_by_key(|&i| queues[i].len());
+                .max_by_key(|&i| set.queues[i].len());
             if let Some(victim) = victim {
-                let stolen = queues[victim].pop_batch(&mut batch, config.batch_size);
+                let stolen = set.queues[victim].pop_batch(&mut batch, set.config.batch_size);
                 if stolen > 0 {
+                    set.counters[index].record_stolen_batch(stolen as u64);
+                    set.counters[index].record_busy_wakeup();
                     for task in batch.drain(..) {
                         handler(index, task);
-                        counters[index].record_completed(1);
                     }
-                    counters[index].record_stolen_batch(stolen as u64);
                     backoff.reset();
                     continue;
                 }
@@ -761,7 +1102,8 @@ fn worker_loop<T, F>(
         }
 
         if may_exit {
-            // Drain mode, empty queue, no in-flight submissions: done.
+            // Drain mode; own queue, orphans and steal victims all empty;
+            // no in-flight submissions: done.
             return;
         }
         if !running_now {
@@ -769,7 +1111,7 @@ fn worker_loop<T, F>(
             backoff.snooze();
             continue;
         }
-        counters[index].record_idle_poll();
+        set.counters[index].record_idle_poll();
         backoff.snooze();
     }
 }
@@ -1197,6 +1539,148 @@ mod tests {
         let total = producers * per_producer_batches * batch_len;
         assert_eq!(report.completed(), total);
         assert_eq!(seen.lock().len() as u64, total, "no task lost");
+    }
+
+    #[test]
+    fn pool_resizes_mid_stream_lose_and_duplicate_nothing() {
+        // Elastic drain safety (the grow/shrink counterpart of the
+        // partition-swap test above): while producers hammer the executor
+        // with batches — and idle workers steal — a resizer thread keeps
+        // growing and shrinking the pool through the scheduler. Every
+        // submitted task must execute exactly once across every generation
+        // swap, retirement, and adoption.
+        use crate::adaptive::AdaptiveKeyScheduler;
+
+        let scheduler = Arc::new(
+            AdaptiveKeyScheduler::new(2, KeyBounds::dict16())
+                .with_worker_range(1, 6)
+                .with_sample_threshold(500),
+        );
+        let seen = Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        let seen_clone = Arc::clone(&seen);
+        let exec = Arc::new(Executor::start(
+            drain_config().with_work_stealing(true),
+            Arc::clone(&scheduler) as Arc<dyn Scheduler>,
+            move |_worker, task: u64| {
+                assert!(seen_clone.lock().insert(task), "task {task} ran twice");
+            },
+        ));
+        assert_eq!(exec.workers(), 6, "queues sized at the growth ceiling");
+        assert_eq!(exec.active_workers(), 2);
+
+        let producers = 4u64;
+        let per_producer_batches = 30u64;
+        let batch_len = 100u64;
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let scheduler = Arc::clone(&scheduler);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    // Cycle through grows and shrinks, including the
+                    // extremes, while submissions are in flight.
+                    for &target in [4usize, 1, 6, 2, 5, 1, 3, 6]
+                        .iter()
+                        .cycle()
+                        .take_while(|_| !done.load(Ordering::Relaxed))
+                    {
+                        scheduler.resize_now(target);
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let exec = Arc::clone(&exec);
+                    s.spawn(move || {
+                        for b in 0..per_producer_batches {
+                            let base = (p * per_producer_batches + b) * batch_len;
+                            let batch: Vec<(TxnKey, u64)> = (0..batch_len)
+                                .map(|i| ((base + i) * 37 % 65_536, base + i))
+                                .collect();
+                            exec.submit_batch_blocking(batch).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("producer panicked");
+            }
+            // Producers done: release the resizer so the scope can close.
+            done.store(true, Ordering::Relaxed);
+        });
+        assert!(exec.resizes() > 0, "resizes must have happened mid-stream");
+        let exec = Arc::into_inner(exec).expect("all producer clones dropped");
+        let report = exec.shutdown();
+        let total = producers * per_producer_batches * batch_len;
+        assert_eq!(report.completed(), total, "{report:?}");
+        assert_eq!(seen.lock().len() as u64, total, "no task lost");
+        assert_eq!(
+            report.load.total() + report.stolen + report.adopted,
+            total,
+            "origin accounting must tile the task set: {report:?}"
+        );
+    }
+
+    #[test]
+    fn shrink_hands_residual_work_to_survivors() {
+        // Shrink while the doomed workers still hold queued tasks: the
+        // retiring workers drain their residuals (or the survivors adopt
+        // them) and everything completes exactly once.
+        use crate::adaptive::AdaptiveKeyScheduler;
+
+        let scheduler =
+            Arc::new(AdaptiveKeyScheduler::new(4, KeyBounds::new(0, 999)).with_worker_range(1, 4));
+        let executed = Arc::new(AtomicU64::new(0));
+        let executed_clone = Arc::clone(&executed);
+        let exec = Executor::start(
+            drain_config(),
+            Arc::clone(&scheduler) as Arc<dyn Scheduler>,
+            move |_worker, _task: u64| {
+                executed_clone.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(50));
+            },
+        );
+        // Spread work across all four workers, then shrink to one.
+        let batch: Vec<(TxnKey, u64)> = (0..2_000u64).map(|i| (i % 1_000, i)).collect();
+        exec.submit_batch_blocking(batch).unwrap();
+        assert!(scheduler.resize_now(1));
+        assert_eq!(exec.active_workers(), 1);
+        // New submissions route to the single survivor only.
+        let batch: Vec<(TxnKey, u64)> = (0..500u64).map(|i| (i % 1_000, 10_000 + i)).collect();
+        exec.submit_batch_blocking(batch).unwrap();
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 2_500, "{report:?}");
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(executed.load(Ordering::Relaxed), 2_500);
+    }
+
+    #[test]
+    fn grow_spawns_workers_that_drain_their_queues() {
+        use crate::adaptive::AdaptiveKeyScheduler;
+
+        let scheduler =
+            Arc::new(AdaptiveKeyScheduler::new(1, KeyBounds::new(0, 999)).with_worker_range(1, 4));
+        let (exec, sum) = {
+            let scheduler = Arc::clone(&scheduler) as Arc<dyn Scheduler>;
+            let sum = Arc::new(AtomicU64::new(0));
+            let sum_clone = Arc::clone(&sum);
+            let exec = Executor::start(drain_config(), scheduler, move |_worker, task: u64| {
+                sum_clone.fetch_add(task, Ordering::Relaxed);
+            });
+            (exec, sum)
+        };
+        assert_eq!(exec.active_workers(), 1);
+        assert!(scheduler.resize_now(4));
+        assert_eq!(exec.active_workers(), 4);
+        let n = 2_000u64;
+        let batch: Vec<(TxnKey, u64)> = (1..=n).map(|i| (i % 1_000, i)).collect();
+        exec.submit_batch_blocking(batch).unwrap();
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        assert_eq!(report.resizes, 1);
+        assert_eq!(report.active_workers, 4);
     }
 
     #[test]

@@ -217,17 +217,16 @@ impl PartitionTable {
     /// generation number. In-flight readers keep routing against whichever
     /// snapshot they loaded (see the swap protocol above).
     ///
-    /// # Panics
-    /// Panics when the new partition routes to a different number of workers
-    /// than the current one — worker queues are fixed at executor start, so
-    /// a width change would route tasks to non-existent queues.
+    /// The new partition **may route to a different number of workers** than
+    /// the current one — this is how the elastic execution plane changes
+    /// pool size and boundaries in one atomic swap. Dispatchers must route
+    /// against a single snapshot's own width (they do: a snapshot's
+    /// partition can only ever return indices below its own `workers()`),
+    /// and the executor sizes its queue set by the scheduler's
+    /// [`crate::scheduler::Scheduler::max_workers`], so every index a
+    /// published generation can produce has a live queue.
     pub fn publish(&self, partition: KeyPartition) -> u64 {
         let mut current = self.current.write();
-        assert_eq!(
-            partition.workers(),
-            current.partition.workers(),
-            "a published partition must keep the worker count"
-        );
         let generation = current.generation + 1;
         *current = Arc::new(PartitionGeneration {
             generation,
@@ -418,10 +417,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "keep the worker count")]
-    fn publishing_a_different_width_is_rejected() {
+    fn publishing_a_different_width_swaps_atomically() {
+        // The elastic plane shrinks and grows the routing width through the
+        // same swap protocol; old snapshots keep their own width.
         let table = PartitionTable::new(KeyPartition::equal_width(bounds(), 4));
-        table.publish(KeyPartition::equal_width(bounds(), 2));
+        let wide = table.load();
+        assert_eq!(table.publish(KeyPartition::equal_width(bounds(), 2)), 1);
+        assert_eq!(table.partition().workers(), 2);
+        assert_eq!(wide.partition.workers(), 4, "old snapshot keeps its width");
+        assert!(table.worker_for(999) < 2);
+        assert_eq!(table.publish(KeyPartition::equal_width(bounds(), 8)), 2);
+        assert_eq!(table.partition().workers(), 8);
     }
 
     #[test]

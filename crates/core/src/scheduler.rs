@@ -9,9 +9,10 @@
 //! [`crate::adaptive`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::adaptive::AdaptiveKeyScheduler;
-use crate::drift::AdaptationEvent;
+use crate::drift::{AdaptationEvent, PoolController};
 use crate::key::{KeyBounds, TxnKey};
 use crate::partition::KeyPartition;
 
@@ -39,8 +40,23 @@ pub trait Scheduler: Send + Sync {
         out.extend(keys.iter().map(|&key| self.dispatch(key)));
     }
 
-    /// Number of workers this scheduler routes to.
+    /// Number of workers this scheduler currently routes to (the active
+    /// width of an elastic pool).
     fn workers(&self) -> usize;
+
+    /// The largest worker count this scheduler may ever route to. The
+    /// executor sizes its queue set by this, so an elastic scheduler can
+    /// grow the pool without reallocating queues. Static policies route to
+    /// a fixed width, so the default equals [`workers`](Scheduler::workers).
+    fn max_workers(&self) -> usize {
+        self.workers()
+    }
+
+    /// Hand the scheduler a handle to the executor's worker pool: a
+    /// telemetry feed (per-worker throughput, steals, idle polls, queue
+    /// depths) and the resize control the elastic concurrency controller
+    /// drives. Static policies ignore it (default no-op).
+    fn attach_pool(&self, _pool: Arc<dyn PoolController>) {}
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;

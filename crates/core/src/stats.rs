@@ -7,12 +7,24 @@ use std::sync::Arc;
 ///
 /// The paper's worker "increment\[s\] the local counter of complete
 /// transactions"; the driver collects these after stopping the test.
+///
+/// Completions are attributed by *where the task came from*, not just who
+/// ran it: [`completed`](WorkerCounters::completed) counts tasks drained
+/// from the worker's own queue (the load the scheduler routed to it),
+/// [`stolen`](WorkerCounters::stolen) counts tasks executed after stealing
+/// them from an active peer, and [`adopted`](WorkerCounters::adopted) counts
+/// tasks drained from a retired worker's residual queue. Keeping the three
+/// apart keeps imbalance math honest: a steal credits the *victim's* route,
+/// so an idle worker that rescues a hot queue no longer inflates its own
+/// apparent load right when it is the under-loaded one.
 #[derive(Debug, Default)]
 pub struct WorkerCounters {
     completed: AtomicU64,
     retries: AtomicU64,
     idle_polls: AtomicU64,
+    busy_wakeups: AtomicU64,
     stolen: AtomicU64,
+    adopted: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -21,7 +33,8 @@ impl WorkerCounters {
         Arc::new((0..workers).map(|_| WorkerCounters::default()).collect())
     }
 
-    /// Record a completed transaction (after however many attempts).
+    /// Record a completed transaction from the worker's own queue (after
+    /// however many attempts).
     pub fn record_completed(&self, attempts: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         if attempts > 1 {
@@ -34,17 +47,35 @@ impl WorkerCounters {
         self.idle_polls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a wakeup that found work (one per drained batch, whatever
+    /// its origin). Idle and busy wakeups are the same unit of scheduling
+    /// opportunity, so their ratio is the honest utilization signal the
+    /// elastic controller shrinks on — unlike per-task completions, which
+    /// dwarf the rate-limited idle polls even on a mostly-idle pool.
+    pub fn record_busy_wakeup(&self) {
+        self.busy_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a task stolen from another worker's queue.
     pub fn record_steal(&self) {
         self.stolen.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record a batch of tasks stolen from another worker's queue.
+    /// Record a batch of tasks stolen (and executed) from an active peer's
+    /// queue. Counted separately from
+    /// [`WorkerCounters::record_completed`] so stolen work is never credited
+    /// to the stealer's routed load.
     pub fn record_stolen_batch(&self, count: u64) {
         self.stolen.fetch_add(count, Ordering::Relaxed);
     }
 
-    /// Completed transactions.
+    /// Record a batch of tasks adopted (and executed) from a retired
+    /// worker's residual queue — the elastic pool's hand-off path.
+    pub fn record_adopted_batch(&self, count: u64) {
+        self.adopted.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Completed transactions drained from the worker's own queue.
     pub fn completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
     }
@@ -59,9 +90,24 @@ impl WorkerCounters {
         self.idle_polls.load(Ordering::Relaxed)
     }
 
-    /// Tasks executed after stealing them from another queue.
+    /// Wakeups that found work.
+    pub fn busy_wakeups(&self) -> u64 {
+        self.busy_wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Tasks executed after stealing them from an active peer's queue.
     pub fn stolen(&self) -> u64 {
         self.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Tasks executed after adopting them from a retired worker's queue.
+    pub fn adopted(&self) -> u64 {
+        self.adopted.load(Ordering::Relaxed)
+    }
+
+    /// Every task this worker executed, regardless of origin.
+    pub fn executed(&self) -> u64 {
+        self.completed() + self.stolen() + self.adopted()
     }
 }
 
@@ -146,8 +192,11 @@ mod tests {
         let c = WorkerCounters::default();
         c.record_stolen_batch(4);
         c.record_stolen_batch(3);
+        c.record_adopted_batch(2);
         assert_eq!(c.stolen(), 7);
-        assert_eq!(c.completed(), 0);
+        assert_eq!(c.adopted(), 2);
+        assert_eq!(c.completed(), 0, "steals never credit routed load");
+        assert_eq!(c.executed(), 9);
         assert_eq!(c.retries(), 0);
     }
 

@@ -1,8 +1,10 @@
 //! Experiment runners, one per table/figure of the paper.
 
+use std::time::Duration;
+
 use katme::{Driver, DriverConfig, ExecutorModel, RunResult, SchedulerKind, WindowReport};
 use katme_collections::StructureKind;
-use katme_workload::DistributionKind;
+use katme_workload::{ArrivalRamp, DistributionKind};
 
 use crate::options::HarnessOptions;
 
@@ -335,6 +337,128 @@ pub fn drift_adaptation(opts: &HarnessOptions) -> Vec<DriftRow> {
     rows
 }
 
+/// Measurement windows per `elastic_scaling` run: three per load phase
+/// (quiet → burst → quiet).
+pub const ELASTIC_WINDOWS: usize = 9;
+
+/// Quiet-phase arrival intensity of the elastic-scaling ramp.
+pub const ELASTIC_QUIET_INTENSITY: f64 = 0.05;
+
+/// One row of the [`elastic_scaling`] comparison: a (structure, pool mode)
+/// pair run under the quiet → burst → quiet arrival ramp.
+#[derive(Debug, Clone)]
+pub struct ElasticRow {
+    /// Dictionary structure under test.
+    pub structure: StructureKind,
+    /// `"fixed"` (always-max pool) or `"elastic"` (partition-coupled
+    /// worker scaling).
+    pub mode: &'static str,
+    /// Overall run result.
+    pub result: RunResult,
+    /// Per-window deltas, including the active-worker trace.
+    pub windows: Vec<WindowReport>,
+}
+
+impl ElasticRow {
+    fn thirds(&self) -> usize {
+        (self.windows.len() / 3).max(1)
+    }
+
+    /// Largest active worker count observed during the burst (middle
+    /// third) — the capacity the elastic pool is expected to shed once the
+    /// load drops.
+    pub fn burst_workers(&self) -> usize {
+        let third = self.thirds();
+        self.windows[third..self.windows.len() - third]
+            .iter()
+            .map(|w| w.active_workers)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Active workers at the end of the run, after the post-burst quiet
+    /// phase.
+    pub fn final_workers(&self) -> usize {
+        self.windows.last().map_or(0, |w| w.active_workers)
+    }
+
+    /// Mean windowed throughput over the burst third.
+    pub fn burst_throughput(&self) -> f64 {
+        let third = self.thirds();
+        mean_throughput(&self.windows[third..self.windows.len() - third])
+    }
+
+    /// Fraction of the burst-time workers shed by the end of the run.
+    pub fn shed_fraction(&self) -> f64 {
+        let burst = self.burst_workers();
+        if burst == 0 {
+            return 0.0;
+        }
+        1.0 - self.final_workers() as f64 / burst as f64
+    }
+
+    /// Pool resizes over the whole run.
+    pub fn resizes(&self) -> u64 {
+        self.result.resizes
+    }
+}
+
+/// **Elastic scaling (extension)**: fixed always-max pool vs. elastic
+/// partition-coupled pool under a quiet → burst → quiet arrival ramp,
+/// across all three structures. Both sides run the adaptive scheduler with
+/// the continuous adaptation plane and identical workloads; only the
+/// elastic side may resize within `1..=max`. The interesting numbers are
+/// the active-worker trace (the elastic pool should ride the ramp: shed in
+/// the quiet phases, grow through the burst) and the burst throughput
+/// (which should stay within noise of the always-max pool).
+pub fn elastic_scaling(opts: &HarnessOptions) -> Vec<ElasticRow> {
+    let max_workers = opts.worker_counts().into_iter().max().unwrap_or(4).max(4);
+    // Epoch length and window floor sized so each quiet phase spans at
+    // least two epochs (the confirmation hysteresis needs two) at the
+    // throttled arrival rate.
+    let (threshold, interval, floor_ms) = if opts.quick {
+        (300usize, 300u64, 300u64)
+    } else {
+        (1_000, 600, 600)
+    };
+    let duration = opts.duration().max(Duration::from_millis(floor_ms));
+    let ramp = ArrivalRamp::quiet_burst_quiet(ELASTIC_QUIET_INTENSITY);
+    let mut rows = Vec::new();
+    for structure in StructureKind::ALL {
+        for elastic in [false, true] {
+            let mut config = base_config(opts, structure)
+                .with_duration(duration)
+                .with_workers(max_workers)
+                .with_scheduler(SchedulerKind::AdaptiveKey)
+                .with_sample_threshold(threshold)
+                .with_adaptation_interval(interval)
+                .with_batch_size(16)
+                // A tight depth bound keeps the burst backlog proportional
+                // to what the workers can actually drain, so "the load
+                // dropped" is visible to the pool shortly after the ramp
+                // turns quiet even on the slow structures.
+                .with_max_queue_depth(Some(512))
+                .with_ramp(ramp.clone())
+                .with_seed(0xe1a5);
+            if elastic {
+                config = config.with_elastic_workers(1, max_workers);
+            }
+            let (result, windows) = Driver::new(config).run_dictionary_windowed(
+                structure,
+                DistributionKind::Uniform,
+                ELASTIC_WINDOWS,
+            );
+            rows.push(ElasticRow {
+                structure,
+                mode: if elastic { "elastic" } else { "fixed" },
+                result,
+                windows,
+            });
+        }
+    }
+    rows
+}
+
 /// Ablation: executor models of Figure 1 (no executor / centralized /
 /// parallel) on the hash table with the adaptive scheduler.
 pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
@@ -433,6 +557,27 @@ mod tests {
         }
         assert!(rows.iter().any(|r| r.mode == "one-shot"));
         assert!(rows.iter().any(|r| r.mode == "continuous"));
+    }
+
+    #[test]
+    fn elastic_scaling_covers_structures_and_both_modes() {
+        let rows = elastic_scaling(&quick());
+        assert_eq!(rows.len(), 3 * 2, "3 structures x (fixed, elastic)");
+        for row in &rows {
+            assert_eq!(row.windows.len(), ELASTIC_WINDOWS);
+            assert!(row.result.completed > 0, "{row:?}");
+            if row.mode == "fixed" {
+                assert_eq!(row.resizes(), 0, "fixed pools must not resize: {row:?}");
+                assert!(
+                    row.windows
+                        .iter()
+                        .all(|w| w.active_workers == row.result.workers),
+                    "{row:?}"
+                );
+            }
+        }
+        assert!(rows.iter().any(|r| r.mode == "fixed"));
+        assert!(rows.iter().any(|r| r.mode == "elastic"));
     }
 
     #[test]

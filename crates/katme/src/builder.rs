@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use katme_core::adaptive::AdaptiveKeyScheduler;
+use katme_core::cdf::PiecewiseCdf;
 use katme_core::drift::{AdaptationConfig, ContentionSample};
 use katme_core::executor::ExecutorConfig;
 use katme_core::key::{KeyBounds, TxnKey};
@@ -59,6 +60,10 @@ pub struct Builder {
     adaptation_interval: Option<u64>,
     drift_threshold: Option<f64>,
     max_repartitions: Option<Option<usize>>,
+    adaptation_log_capacity: Option<usize>,
+    elastic: bool,
+    min_workers: Option<usize>,
+    max_workers: Option<usize>,
     queue: QueueKind,
     model: ExecutorModel,
     stm_config: StmConfig,
@@ -83,6 +88,10 @@ impl Default for Builder {
             adaptation_interval: None,
             drift_threshold: None,
             max_repartitions: None,
+            adaptation_log_capacity: None,
+            elastic: false,
+            min_workers: None,
+            max_workers: None,
             queue: QueueKind::TwoLock,
             model: ExecutorModel::Parallel,
             stm_config: StmConfig::default(),
@@ -176,6 +185,46 @@ impl Builder {
     /// Implies continuous adaptation (see [`Builder::adaptation_interval`]).
     pub fn max_repartitions(mut self, cap: Option<usize>) -> Self {
         self.max_repartitions = Some(cap);
+        self
+    }
+
+    /// Capacity of the adaptation-log ring (oldest entries evicted; the
+    /// generation numbers stay continuous so eviction is detectable).
+    /// Validated at build time (must be at least 1); defaults to
+    /// [`katme_core::adaptive::ADAPTATION_LOG_CAP`].
+    pub fn adaptation_log_capacity(mut self, capacity: usize) -> Self {
+        self.adaptation_log_capacity = Some(capacity);
+        self
+    }
+
+    /// Make the worker pool **elastic**: the continuous adaptation plane
+    /// chooses the worker count within
+    /// [`Builder::min_workers`]`..=`[`Builder::max_workers`] (defaults: 1
+    /// and [`Builder::workers`]), growing on queue saturation with low
+    /// aborts and shrinking when the marginal worker's utility turns
+    /// negative. Requires the adaptive scheduler and turns continuous
+    /// adaptation on (with [`AdaptationConfig`] defaults) if no adaptation
+    /// knob was set. [`Builder::workers`] is the *initial* pool size,
+    /// clamped into the range.
+    pub fn elastic(mut self, elastic: bool) -> Self {
+        self.elastic = elastic;
+        self
+    }
+
+    /// Lower bound of the elastic worker range (implies
+    /// [`Builder::elastic`]; validated ≥ 1 and ≤ the upper bound).
+    pub fn min_workers(mut self, min: usize) -> Self {
+        self.min_workers = Some(min);
+        self.elastic = true;
+        self
+    }
+
+    /// Upper bound of the elastic worker range (implies
+    /// [`Builder::elastic`]). Queues are allocated for the whole range up
+    /// front, so growth never reallocates.
+    pub fn max_workers(mut self, max: usize) -> Self {
+        self.max_workers = Some(max);
+        self.elastic = true;
         self
     }
 
@@ -280,6 +329,44 @@ impl Builder {
                 ));
             }
         }
+        if self.adaptation_log_capacity == Some(0) {
+            return Err(KatmeError::InvalidConfig(
+                "adaptation_log_capacity must be at least 1".into(),
+            ));
+        }
+        if self.elastic {
+            if self.scheduler_instance.is_some() {
+                return Err(KatmeError::InvalidConfig(
+                    "elastic worker scaling cannot be combined with scheduler_instance; \
+                     configure the instance's worker range directly"
+                        .into(),
+                ));
+            }
+            if self.scheduler != SchedulerKind::AdaptiveKey {
+                return Err(KatmeError::InvalidConfig(format!(
+                    "elastic worker scaling requires the adaptive scheduler, not '{}'",
+                    self.scheduler
+                )));
+            }
+            if self.model == ExecutorModel::NoExecutor {
+                return Err(KatmeError::InvalidConfig(
+                    "elastic worker scaling requires a worker pool; the no-executor model \
+                     executes inline in the submitting thread"
+                        .into(),
+                ));
+            }
+            let (min, max) = self.worker_range();
+            if min == 0 {
+                return Err(KatmeError::InvalidConfig(
+                    "min_workers must be at least 1".into(),
+                ));
+            }
+            if min > max {
+                return Err(KatmeError::InvalidConfig(format!(
+                    "inverted worker range: min_workers {min} > max_workers {max}"
+                )));
+            }
+        }
         if self.adaptation_enabled() {
             if self.scheduler_instance.is_some() {
                 return Err(KatmeError::InvalidConfig(
@@ -310,11 +397,21 @@ impl Builder {
         Ok(KeyBounds::new(self.key_min, self.key_max))
     }
 
-    /// True when any continuous-adaptation knob was set.
+    /// True when any continuous-adaptation knob was set — or the pool is
+    /// elastic, whose concurrency controller runs on the epoch plane.
     fn adaptation_enabled(&self) -> bool {
         self.adaptation_interval.is_some()
             || self.drift_threshold.is_some()
             || self.max_repartitions.is_some()
+            || self.elastic
+    }
+
+    /// The elastic worker range implied by the set knobs (meaningful only
+    /// when [`Builder::elastic`] is on).
+    fn worker_range(&self) -> (usize, usize) {
+        let min = self.min_workers.unwrap_or(1);
+        let max = self.max_workers.unwrap_or_else(|| self.workers.max(min));
+        (min, max)
     }
 
     /// The continuous-adaptation configuration implied by the set knobs.
@@ -328,6 +425,9 @@ impl Builder {
         }
         if let Some(cap) = self.max_repartitions {
             config = config.with_max_repartitions(cap);
+        }
+        if let Some(capacity) = self.adaptation_log_capacity {
+            config = config.with_log_capacity(capacity);
         }
         config
     }
@@ -353,6 +453,15 @@ impl Builder {
                 if let Some(threshold) = self.sample_threshold {
                     adaptive = adaptive.with_sample_threshold(threshold);
                 }
+                if self.elastic {
+                    let (min, max) = self.worker_range();
+                    adaptive = adaptive.with_worker_range(min, max);
+                }
+                if let Some(capacity) = self.adaptation_log_capacity {
+                    // Continuous mode re-applies this via AdaptationConfig;
+                    // setting it here covers one-shot/periodic runs too.
+                    adaptive = adaptive.with_log_capacity(capacity);
+                }
                 if self.adaptation_enabled() {
                     // Continuous mode: wire the STM's key-range telemetry in
                     // as the contention feed. Tasks are scoped to their keys
@@ -372,6 +481,7 @@ impl Builder {
                         .key_telemetry()
                         .cloned()
                         .expect("telemetry attached above");
+                    let rebucket = Arc::clone(&attached);
                     let source = move || {
                         let snapshot = attached.snapshot();
                         ContentionSample {
@@ -385,9 +495,27 @@ impl Builder {
                                 .collect(),
                         }
                     };
+                    // Quantile-adaptive abort attribution: every published
+                    // partition re-derives the telemetry bucket boundaries
+                    // from the same key CDF, so buckets hold roughly equal
+                    // traffic mass and abort counts localize hot ranges
+                    // even on heavily skewed key spaces. Rebucketing resets
+                    // the counters; the scheduler re-baselines its
+                    // contention feed immediately after, so at most one
+                    // epoch of contention signal is muted.
+                    let observer = move |cdf: &PiecewiseCdf| {
+                        let count = rebucket.buckets();
+                        if count > 1 {
+                            let edges: Vec<u64> = (1..count)
+                                .map(|index| cdf.quantile(index as f64 / count as f64))
+                                .collect();
+                            rebucket.rebucket(edges);
+                        }
+                    };
                     adaptive = adaptive
                         .with_adaptation(self.adaptation_config())
-                        .with_contention_source(Arc::new(source));
+                        .with_contention_source(Arc::new(source))
+                        .with_cdf_observer(Arc::new(observer));
                 }
                 Arc::new(adaptive)
             }
@@ -421,6 +549,10 @@ impl std::fmt::Debug for Builder {
             .field("adaptation_interval", &self.adaptation_interval)
             .field("drift_threshold", &self.drift_threshold)
             .field("max_repartitions", &self.max_repartitions)
+            .field("adaptation_log_capacity", &self.adaptation_log_capacity)
+            .field("elastic", &self.elastic)
+            .field("min_workers", &self.min_workers)
+            .field("max_workers", &self.max_workers)
             .field("queue", &self.queue)
             .field("model", &self.model)
             .field("max_queue_depth", &self.max_queue_depth)
@@ -545,6 +677,89 @@ mod tests {
             runtime.stm().stats().key_telemetry().is_some(),
             "continuous adaptation must wire the key-range telemetry"
         );
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn elastic_knobs_validate_and_wire_the_worker_range() {
+        // min > max rejected.
+        let err = Katme::builder()
+            .min_workers(4)
+            .max_workers(2)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("inverted worker")),
+            "{err}"
+        );
+        // min of zero rejected.
+        assert!(Katme::builder()
+            .min_workers(0)
+            .build(noop_handler())
+            .is_err());
+        // Elastic requires the adaptive scheduler.
+        let err = Katme::builder()
+            .scheduler(SchedulerKind::FixedKey)
+            .elastic(true)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("adaptive")),
+            "{err}"
+        );
+        // ...and a worker pool: the inline no-executor model has nothing
+        // to resize.
+        let err = Katme::builder()
+            .model(ExecutorModel::NoExecutor)
+            .elastic(true)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("no-executor")),
+            "{err}"
+        );
+        // ...and cannot ride on a pre-built instance.
+        let err = Katme::builder()
+            .scheduler_instance(Arc::new(AdaptiveKeyScheduler::new(2, KeyBounds::dict16())))
+            .elastic(true)
+            .build(noop_handler())
+            .unwrap_err();
+        assert!(
+            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("scheduler_instance")),
+            "{err}"
+        );
+        // A valid elastic runtime: capacity = max_workers, initial = workers,
+        // and continuous adaptation (telemetry) is implied.
+        let runtime = Katme::builder()
+            .workers(2)
+            .min_workers(1)
+            .max_workers(6)
+            .build(noop_handler())
+            .unwrap();
+        assert_eq!(runtime.workers(), 6, "slot capacity is the ceiling");
+        assert_eq!(runtime.active_workers(), 2, "initial size is workers()");
+        assert!(
+            runtime.stm().stats().key_telemetry().is_some(),
+            "elastic implies the continuous adaptation plane"
+        );
+        let stats = runtime.stats();
+        assert_eq!(stats.active_workers, 2);
+        assert_eq!(stats.resizes, 0);
+        let report = runtime.shutdown();
+        assert_eq!(report.resizes, 0);
+        assert_eq!(report.active_workers, 2);
+    }
+
+    #[test]
+    fn zero_adaptation_log_capacity_is_rejected() {
+        assert!(Katme::builder()
+            .adaptation_log_capacity(0)
+            .build(noop_handler())
+            .is_err());
+        let runtime = Katme::builder()
+            .adaptation_log_capacity(8)
+            .build(noop_handler())
+            .unwrap();
         runtime.shutdown();
     }
 

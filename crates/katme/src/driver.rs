@@ -23,7 +23,7 @@ use katme_core::scheduler::SchedulerKind;
 use katme_core::stats::LoadBalance;
 use katme_queue::QueueKind;
 use katme_stm::{CmKind, Stm, StmConfig, StmStatsSnapshot, TVar};
-use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
+use katme_workload::{ArrivalRamp, DistributionKind, OpGenerator, OpKind, TxnSpec};
 
 use crate::builder::Katme;
 use crate::runtime::Runtime;
@@ -76,6 +76,15 @@ pub struct DriverConfig {
     /// Cap on post-initial repartitions (outer `None` = knob unset, inner
     /// `None` = unlimited; see [`crate::Builder::max_repartitions`]).
     pub max_repartitions: Option<Option<usize>>,
+    /// Elastic worker range as `(min, max)`; `None` keeps the paper's
+    /// fixed-size pool. Setting it enables the elastic execution plane
+    /// ([`crate::Builder::min_workers`] / [`crate::Builder::max_workers`]),
+    /// with [`DriverConfig::workers`] as the initial size.
+    pub elastic_workers: Option<(usize, usize)>,
+    /// Arrival-intensity profile over the measurement window; `None` runs
+    /// the paper's unthrottled producers. The quiet phases of a ramp are
+    /// what make elastic scaling observable.
+    pub ramp: Option<ArrivalRamp>,
 }
 
 impl Default for DriverConfig {
@@ -97,6 +106,8 @@ impl Default for DriverConfig {
             adaptation_interval: None,
             drift_threshold: None,
             max_repartitions: None,
+            elastic_workers: None,
+            ramp: None,
         }
     }
 }
@@ -205,6 +216,19 @@ impl DriverConfig {
         self.max_repartitions = Some(cap);
         self
     }
+
+    /// Enable elastic worker scaling within `min..=max` (the configured
+    /// worker count is the initial size).
+    pub fn with_elastic_workers(mut self, min: usize, max: usize) -> Self {
+        self.elastic_workers = Some((min, max));
+        self
+    }
+
+    /// Shape producer arrivals over the window (see [`ArrivalRamp`]).
+    pub fn with_ramp(mut self, ramp: ArrivalRamp) -> Self {
+        self.ramp = Some(ramp);
+        self
+    }
 }
 
 /// Result of one timed run.
@@ -232,6 +256,9 @@ pub struct RunResult {
     pub stm: StmStatsSnapshot,
     /// Times the scheduler recomputed its partition during the run.
     pub repartitions: u64,
+    /// Worker-pool resizes performed by the elastic plane during the run
+    /// (0 for fixed-size pools).
+    pub resizes: u64,
 }
 
 impl RunResult {
@@ -263,6 +290,9 @@ pub struct WindowReport {
     pub repartitions: u64,
     /// Routing-table generation in effect at the window's close.
     pub generation: u64,
+    /// Active workers at the window's close (constant for a fixed pool;
+    /// the elastic trace of the pool otherwise).
+    pub active_workers: usize,
 }
 
 /// The timed-run driver.
@@ -307,6 +337,9 @@ impl Driver {
             // after the test period": leftover queue contents are abandoned
             // and reported, not drained.
             .drain_on_shutdown(false);
+        if let Some((min, max)) = cfg.elastic_workers {
+            builder = builder.min_workers(min).max_workers(max);
+        }
         if let Some(threshold) = cfg.sample_threshold {
             builder = builder.sample_threshold(threshold);
         }
@@ -373,6 +406,7 @@ impl Driver {
             self.producer_threads(),
             cfg.batch_size,
             windows,
+            cfg.ramp.as_ref(),
             |producer| {
                 let mut gen =
                     OpGenerator::paper(distribution, cfg.seed.wrapping_add(1000 + producer as u64));
@@ -433,6 +467,7 @@ impl Driver {
                 cfg.workers,
                 cfg.batch_size,
                 1,
+                cfg.ramp.as_ref(),
                 |producer| {
                     move |n: usize, out: &mut Vec<WithKey<usize>>| {
                         out.extend((0..n).map(|_| WithKey::new(producer as u64, producer)));
@@ -471,6 +506,7 @@ impl Driver {
             cfg.producers,
             cfg.batch_size,
             1,
+            cfg.ramp.as_ref(),
             |producer| {
                 let mut gen = OpGenerator::paper(
                     DistributionKind::Uniform,
@@ -522,6 +558,7 @@ impl Driver {
             load,
             stm: stats.stm,
             repartitions: stats.repartitions,
+            resizes: stats.resizes,
         };
         (result, window.reports)
     }
@@ -541,6 +578,20 @@ struct Window {
     reports: Vec<WindowReport>,
 }
 
+/// Per-iteration producer throttle for ramped arrivals: below full
+/// intensity each submission pays a pause proportional to
+/// `(1 - intensity) / intensity` (capped), so a 5%-intensity quiet phase
+/// runs at roughly 5% of the unthrottled submission rate.
+fn ramp_pause(ramp: &ArrivalRamp, started: Instant, duration: Duration) {
+    let fraction = started.elapsed().as_secs_f64() / duration.as_secs_f64().max(f64::MIN_POSITIVE);
+    let intensity = ramp.intensity_at(fraction);
+    if intensity < 1.0 {
+        const QUANTUM_SECS: f64 = 200e-6;
+        let factor = ((1.0 - intensity) / intensity.max(0.02)).min(50.0);
+        std::thread::sleep(Duration::from_secs_f64(QUANTUM_SECS * factor));
+    }
+}
+
 /// Run `producers` generating threads against `runtime` for `duration`:
 /// each thread gets its own batch generator from `factory` (a closure
 /// filling a task vector, so generators can reuse internal sample buffers)
@@ -548,15 +599,17 @@ struct Window {
 /// With `batch_size` above 1 each producer generates a whole batch locally
 /// and hands it over through the batched dispatch plane
 /// ([`Runtime::submit_batch_detached`]); at 1 it reproduces the paper's
-/// per-task submission. The measurement period is split into `windows`
-/// equal slices, each reported as a [`WindowReport`] of within-window
-/// deltas ([`crate::StatsView::since`]).
+/// per-task submission. A `ramp` throttles submissions per
+/// [`ArrivalRamp::intensity_at`] over the window. The measurement period
+/// is split into `windows` equal slices, each reported as a
+/// [`WindowReport`] of within-window deltas ([`crate::StatsView::since`]).
 fn drive_window<T, R, F, G>(
     runtime: &Runtime<WithKey<T>, R>,
     duration: Duration,
     producers: usize,
     batch_size: usize,
     windows: usize,
+    ramp: Option<&ArrivalRamp>,
     factory: F,
 ) -> Window
 where
@@ -581,6 +634,9 @@ where
                         // refilled in place, so the loop allocates nothing.
                         let mut single: Vec<WithKey<T>> = Vec::with_capacity(1);
                         while run.load(Ordering::Relaxed) {
+                            if let Some(ramp) = ramp {
+                                ramp_pause(ramp, started, duration);
+                            }
                             generate(1, &mut single);
                             let task = single.pop().expect("generator fills one task");
                             if runtime.submit_detached(task).is_err() {
@@ -590,6 +646,9 @@ where
                         }
                     } else {
                         while run.load(Ordering::Relaxed) {
+                            if let Some(ramp) = ramp {
+                                ramp_pause(ramp, started, duration);
+                            }
                             let mut batch = Vec::with_capacity(batch_size);
                             generate(batch_size, &mut batch);
                             match runtime.submit_batch_detached(batch) {
@@ -625,6 +684,7 @@ where
                 contention_ratio: delta.contention_ratio(),
                 repartitions: delta.repartitions,
                 generation: now.partition_generation,
+                active_workers: now.active_workers,
             });
             previous = now;
         }

@@ -103,7 +103,7 @@ pub use katme_stm::{
     CmKind, KeyRangeSnapshot, KeyRangeTelemetry, Stm, StmConfig, StmStatsSnapshot, TVar,
     Transaction, TxError,
 };
-pub use katme_workload::{DistributionKind, OpGenerator, OpKind, TxnSpec};
+pub use katme_workload::{ArrivalRamp, DistributionKind, OpGenerator, OpKind, RampPhase, TxnSpec};
 
 /// Commonly used items.
 pub mod prelude {

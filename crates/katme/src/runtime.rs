@@ -327,12 +327,21 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         self.model
     }
 
-    /// Number of worker threads (1 for the no-executor model, where the
-    /// submitting thread is the worker).
+    /// Number of worker slots (the elastic pool's growth ceiling; 1 for the
+    /// no-executor model, where the submitting thread is the worker).
     pub fn workers(&self) -> usize {
         self.executor
             .as_ref()
             .map_or(1, |executor| executor.workers())
+    }
+
+    /// Worker threads currently active (equals [`Runtime::workers`] for a
+    /// fixed-size pool; moves within the configured range for an elastic
+    /// one).
+    pub fn active_workers(&self) -> usize {
+        self.executor
+            .as_ref()
+            .map_or(1, |executor| executor.active_workers())
     }
 
     /// The producer-count hint this runtime was configured with (used by the
@@ -797,10 +806,23 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             model: self.model,
             scheduler: self.scheduler.name(),
             workers: self.workers(),
+            active_workers: self.active_workers(),
             uptime: self.started.elapsed(),
             submitted: self.submitted(),
-            completed: per_worker_completed.iter().sum::<u64>(),
+            completed: self.completed(),
             per_worker_completed,
+            steals: self
+                .executor
+                .as_ref()
+                .map_or(0, |executor| executor.stolen()),
+            adopted: self
+                .executor
+                .as_ref()
+                .map_or(0, |executor| executor.adopted()),
+            resizes: self
+                .executor
+                .as_ref()
+                .map_or(0, |executor| executor.resizes()),
             queue_depths: self
                 .executor
                 .as_ref()
@@ -875,11 +897,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     completed: report.completed() + inline,
                     abandoned: report.abandoned + central_abandoned,
                     stolen: report.stolen,
+                    adopted: report.adopted,
                     idle_polls: report.idle_polls,
                     load: report.load,
                     elapsed,
                     stm: self.stm.snapshot().since(&self.stm_baseline),
                     repartitions: self.scheduler.repartitions(),
+                    resizes: report.resizes,
+                    active_workers: report.active_workers,
                     adaptations: self.scheduler.adaptation_log(),
                 }
             }
@@ -887,11 +912,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 completed: inline,
                 abandoned: 0,
                 stolen: 0,
+                adopted: 0,
                 idle_polls: 0,
                 load: LoadBalance::new(vec![inline]),
                 elapsed,
                 stm: self.stm.snapshot().since(&self.stm_baseline),
                 repartitions: self.scheduler.repartitions(),
+                resizes: 0,
+                active_workers: 1,
                 adaptations: self.scheduler.adaptation_log(),
             },
         }
@@ -935,17 +963,30 @@ pub struct StatsView {
     pub model: ExecutorModel,
     /// Scheduling policy name.
     pub scheduler: &'static str,
-    /// Worker-thread count.
+    /// Worker slots (the elastic growth ceiling; equals the configured
+    /// worker count for a fixed-size pool).
     pub workers: usize,
+    /// Worker threads currently active.
+    pub active_workers: usize,
     /// Time since the runtime started.
     pub uptime: Duration,
     /// Tasks accepted so far.
     pub submitted: u64,
-    /// Tasks executed so far.
+    /// Tasks executed so far (own-queue completions plus stolen and adopted
+    /// work).
     pub completed: u64,
-    /// Tasks executed per worker.
+    /// Tasks each worker drained from its *own* queue. Stolen and adopted
+    /// executions are reported in [`StatsView::steals`] and
+    /// [`StatsView::adopted`], so this vector reads routed load — the
+    /// honest input to [`StatsView::imbalance`].
     pub per_worker_completed: Vec<u64>,
-    /// Current depth of each worker queue.
+    /// Tasks executed after being stolen from an active peer's queue.
+    pub steals: u64,
+    /// Tasks executed after being adopted from a retired worker's queue.
+    pub adopted: u64,
+    /// Worker-pool resizes performed so far.
+    pub resizes: u64,
+    /// Current depth of each worker queue (over all slots).
     pub queue_depths: Vec<usize>,
     /// Current depth of the central dispatch queue (centralized model only).
     pub central_queue_depth: usize,
@@ -1015,8 +1056,21 @@ impl StatsView {
     }
 
     /// Max-over-mean completion imbalance across workers (1.0 = even).
+    ///
+    /// Counts currently-active slots plus any retired slot that actually
+    /// executed work; dormant never-activated slots of an elastic pool are
+    /// excluded, so a balanced 2-of-8 pool reads 1.0 rather than 4.0. An
+    /// active-but-starved worker still counts at zero — that *is* the
+    /// imbalance signal the paper's metric is after.
     pub fn imbalance(&self) -> f64 {
-        LoadBalance::new(self.per_worker_completed.clone()).imbalance()
+        let counted: Vec<u64> = self
+            .per_worker_completed
+            .iter()
+            .enumerate()
+            .filter(|&(index, &completed)| index < self.active_workers || completed > 0)
+            .map(|(_, &completed)| completed)
+            .collect();
+        LoadBalance::new(counted).imbalance()
     }
 }
 
@@ -1061,11 +1115,15 @@ pub struct ShutdownReport {
     pub completed: u64,
     /// Tasks left in queues at shutdown (non-zero only without draining).
     pub abandoned: u64,
-    /// Tasks executed after being stolen from another worker's queue.
+    /// Tasks executed after being stolen from an active peer's queue.
     pub stolen: u64,
+    /// Tasks executed after being adopted from a retired worker's queue
+    /// (the elastic hand-off path).
+    pub adopted: u64,
     /// Worker polls that found no work.
     pub idle_polls: u64,
-    /// Per-worker completion counts.
+    /// Per-worker own-queue completion counts (routed load; stolen and
+    /// adopted work is in the fields above).
     pub load: LoadBalance,
     /// Wall-clock lifetime of the runtime.
     pub elapsed: Duration,
@@ -1073,6 +1131,12 @@ pub struct ShutdownReport {
     pub stm: StmStatsSnapshot,
     /// Times the scheduler recomputed its partition.
     pub repartitions: u64,
+    /// Worker-pool resizes performed by the elastic plane (each also
+    /// appears in [`ShutdownReport::adaptations`] as a
+    /// [`katme_core::drift::AdaptationCause::Resize`] entry).
+    pub resizes: u64,
+    /// Active workers at shutdown.
+    pub active_workers: usize,
     /// The scheduler's adaptation log (one entry per published generation).
     pub adaptations: Vec<AdaptationEvent>,
 }

@@ -16,12 +16,25 @@
 //! * Consumers take [`KeyRangeTelemetry::snapshot`]s and diff them with
 //!   [`KeyRangeSnapshot::since`] to obtain per-epoch deltas.
 //!
-//! Recording is two relaxed atomic increments per committed transaction (and
-//! nothing at all when no telemetry is attached or no key is in scope), so
-//! the hot path stays contention-free.
+//! Recording is two relaxed atomic increments per committed transaction
+//! behind a brief read lock (and nothing at all when no telemetry is
+//! attached or no key is in scope), so the hot path stays
+//! contention-free.
+//!
+//! Buckets are no longer forced to be equal-width: the boundary layout can
+//! be replaced at run time with [`KeyRangeTelemetry::rebucket`], which the
+//! adaptation plane drives from the observed key CDF — boundaries land at
+//! the key-frequency quantiles, so every bucket covers roughly the same
+//! traffic mass and abort attribution localizes hot ranges even on heavily
+//! skewed key spaces (the ROADMAP's "abort attribution granularity" item).
+//! A rebucket zeroes the counters (the old geometry's counts cannot be
+//! redistributed); consumers that diff snapshots see one muted epoch and
+//! then clean deltas under the new geometry.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
 
 thread_local! {
     /// The transaction key of the task currently executing on this thread.
@@ -67,16 +80,27 @@ struct BucketCounters {
     aborts: AtomicU64,
 }
 
+/// One bucket layout: `edges[i]` is the first key belonging to bucket
+/// `i + 1` (the same convention the schedulers' partitions use), so bucket
+/// lookup is a single `partition_point`.
+#[derive(Debug)]
+struct BucketLayout {
+    edges: Vec<u64>,
+    buckets: Vec<BucketCounters>,
+}
+
 /// Monotonic commit/abort counters bucketed over a contiguous key range.
 ///
-/// Buckets split `[min, max]` into equal-width sub-ranges; keys outside the
+/// [`KeyRangeTelemetry::new`] starts with equal-width buckets; the layout
+/// can later be replaced with quantile-derived boundaries via
+/// [`KeyRangeTelemetry::rebucket`] (see the module docs). Keys outside the
 /// range are clamped into the first/last bucket (mirroring how the
 /// schedulers clamp routing keys).
 #[derive(Debug)]
 pub struct KeyRangeTelemetry {
     min: u64,
     max: u64,
-    buckets: Vec<BucketCounters>,
+    layout: RwLock<BucketLayout>,
 }
 
 /// Default bucket count: coarse enough that per-epoch deltas are
@@ -94,11 +118,19 @@ impl KeyRangeTelemetry {
         assert!(min <= max, "invalid key range: {min} > {max}");
         assert!(buckets > 0, "telemetry needs at least one bucket");
         let width = max - min + 1;
-        let buckets = (buckets as u64).min(width) as usize;
+        let count = (buckets as u64).min(width) as usize;
+        // Equal-width edges matching the historical floor-division mapping:
+        // edge i is the first key of bucket i + 1.
+        let edges = (1..count)
+            .map(|index| bucket_range_of(min, max, count, index).0)
+            .collect();
         KeyRangeTelemetry {
             min,
             max,
-            buckets: (0..buckets).map(|_| BucketCounters::default()).collect(),
+            layout: RwLock::new(BucketLayout {
+                edges,
+                buckets: (0..count).map(|_| BucketCounters::default()).collect(),
+            }),
         }
     }
 
@@ -109,31 +141,56 @@ impl KeyRangeTelemetry {
 
     /// Number of buckets.
     pub fn buckets(&self) -> usize {
-        self.buckets.len()
+        self.layout.read().buckets.len()
     }
 
     /// Index of the bucket covering `key` (out-of-range keys clamp).
     pub fn bucket_of(&self, key: u64) -> usize {
         let key = key.clamp(self.min, self.max);
-        let width = self.max - self.min + 1;
-        let idx = (key - self.min).saturating_mul(self.buckets.len() as u64) / width;
-        (idx as usize).min(self.buckets.len() - 1)
+        let layout = self.layout.read();
+        layout.edges.partition_point(|&edge| edge <= key)
     }
 
     /// Inclusive key range covered by bucket `index` (the exact preimage of
-    /// [`KeyRangeTelemetry::bucket_of`]).
+    /// [`KeyRangeTelemetry::bucket_of`]; an empty bucket — possible when
+    /// quantile edges coincide — reports its degenerate single-key range).
     ///
     /// # Panics
     /// Panics when `index` is out of range.
     pub fn bucket_range(&self, index: usize) -> (u64, u64) {
-        assert!(index < self.buckets.len(), "bucket index out of range");
-        bucket_range_of(self.min, self.max, self.buckets.len(), index)
+        let layout = self.layout.read();
+        assert!(index < layout.buckets.len(), "bucket index out of range");
+        range_from_edges(self.min, self.max, &layout.edges, index)
+    }
+
+    /// Replace the bucket layout with explicit boundaries (`edges[i]` = the
+    /// first key of bucket `i + 1`, clamped into the key range and made
+    /// non-decreasing) and **reset every counter to zero** — the old
+    /// geometry's counts cannot be meaningfully redistributed. The
+    /// adaptation plane calls this with key-CDF quantiles so each bucket
+    /// covers roughly equal traffic mass.
+    pub fn rebucket(&self, mut edges: Vec<u64>) {
+        for edge in edges.iter_mut() {
+            *edge = (*edge).clamp(self.min, self.max);
+        }
+        for index in 1..edges.len() {
+            if edges[index] < edges[index - 1] {
+                edges[index] = edges[index - 1];
+            }
+        }
+        let count = edges.len() + 1;
+        *self.layout.write() = BucketLayout {
+            edges,
+            buckets: (0..count).map(|_| BucketCounters::default()).collect(),
+        };
     }
 
     /// Record one committed transaction attributed to `key`: `commits`
     /// commit(s) and `aborts` failed attempts.
     pub fn record(&self, key: u64, commits: u64, aborts: u64) {
-        let bucket = &self.buckets[self.bucket_of(key)];
+        let key = key.clamp(self.min, self.max);
+        let layout = self.layout.read();
+        let bucket = &layout.buckets[layout.edges.partition_point(|&edge| edge <= key)];
         if commits > 0 {
             bucket.commits.fetch_add(commits, Ordering::Relaxed);
         }
@@ -142,12 +199,15 @@ impl KeyRangeTelemetry {
         }
     }
 
-    /// Capture the current per-bucket counters.
+    /// Capture the current per-bucket counters (and the bucket geometry
+    /// they were counted under).
     pub fn snapshot(&self) -> KeyRangeSnapshot {
+        let layout = self.layout.read();
         KeyRangeSnapshot {
             min: self.min,
             max: self.max,
-            buckets: self
+            edges: layout.edges.clone(),
+            buckets: layout
                 .buckets
                 .iter()
                 .map(|b| {
@@ -159,6 +219,19 @@ impl KeyRangeTelemetry {
                 .collect(),
         }
     }
+}
+
+/// Inclusive key range of bucket `index` under an explicit edge layout
+/// (`edges[i]` = first key of bucket `i + 1`). Degenerate (empty) buckets
+/// report a single-key range so midpoint math stays well defined.
+fn range_from_edges(min: u64, max: u64, edges: &[u64], index: usize) -> (u64, u64) {
+    let lo = if index == 0 { min } else { edges[index - 1] };
+    let hi = if index == edges.len() {
+        max
+    } else {
+        edges[index].saturating_sub(1).max(lo)
+    };
+    (lo, hi.max(lo))
 }
 
 /// Inclusive key range of bucket `index` when `[min, max]` is split into
@@ -178,12 +251,16 @@ fn bucket_range_of(min: u64, max: u64, count: usize, index: usize) -> (u64, u64)
 }
 
 /// Point-in-time view of a [`KeyRangeTelemetry`]: one `(commits, aborts)`
-/// pair per bucket. Diff two snapshots with [`KeyRangeSnapshot::since`] to
-/// get an epoch delta.
+/// pair per bucket, plus the bucket geometry the counts were recorded
+/// under. Diff two snapshots with [`KeyRangeSnapshot::since`] to get an
+/// epoch delta (same-geometry snapshots only — a
+/// [`KeyRangeTelemetry::rebucket`] starts a fresh geometry with zeroed
+/// counters).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyRangeSnapshot {
     min: u64,
     max: u64,
+    edges: Vec<u64>,
     buckets: Vec<(u64, u64)>,
 }
 
@@ -198,10 +275,16 @@ impl KeyRangeSnapshot {
         &self.buckets
     }
 
+    /// The internal bucket boundaries (first key of each bucket after the
+    /// first).
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
     /// Inclusive key range covered by bucket `index`.
     pub fn bucket_range(&self, index: usize) -> (u64, u64) {
         assert!(index < self.buckets.len(), "bucket index out of range");
-        bucket_range_of(self.min, self.max, self.buckets.len(), index)
+        range_from_edges(self.min, self.max, &self.edges, index)
     }
 
     /// Total commits across all buckets.
@@ -230,13 +313,14 @@ impl KeyRangeSnapshot {
     /// Panics when the snapshots have different geometry.
     pub fn since(&self, earlier: &KeyRangeSnapshot) -> KeyRangeSnapshot {
         assert_eq!(
-            (self.min, self.max, self.buckets.len()),
-            (earlier.min, earlier.max, earlier.buckets.len()),
+            (self.min, self.max, &self.edges),
+            (earlier.min, earlier.max, &earlier.edges),
             "snapshot geometry differs"
         );
         KeyRangeSnapshot {
             min: self.min,
             max: self.max,
+            edges: self.edges.clone(),
             buckets: self
                 .buckets
                 .iter()
@@ -327,5 +411,71 @@ mod tests {
         let t = KeyRangeTelemetry::new(10, 12, 64);
         assert_eq!(t.buckets(), 3);
         assert_eq!(t.bounds(), (10, 12));
+    }
+
+    #[test]
+    fn rebucket_installs_quantile_boundaries_and_resets_counters() {
+        let t = KeyRangeTelemetry::new(0, 999, 4);
+        t.record(10, 5, 2);
+        assert_eq!(t.snapshot().total_commits(), 5);
+
+        // 90% of traffic lives in [0, 99]: quantile-style edges pack three
+        // buckets into the hot range and leave one for the cold tail.
+        t.rebucket(vec![30, 60, 100]);
+        assert_eq!(t.buckets(), 4);
+        let snap = t.snapshot();
+        assert_eq!(snap.total_commits(), 0, "rebucket must reset counters");
+        assert_eq!(snap.edges(), &[30, 60, 100]);
+
+        t.record(10, 1, 0);
+        t.record(45, 1, 3);
+        t.record(99, 1, 0);
+        t.record(800, 1, 7);
+        let snap = t.snapshot();
+        assert_eq!(snap.buckets(), &[(1, 0), (1, 3), (1, 0), (1, 7)]);
+        // Hot-range attribution is now three buckets wide instead of none.
+        let (lo, hi, aborts) = snap.hottest_range().unwrap();
+        assert_eq!((lo, hi, aborts), (100, 999, 7));
+        assert_eq!(snap.bucket_range(0), (0, 29));
+        assert_eq!(snap.bucket_range(1), (30, 59));
+        assert_eq!(snap.bucket_range(2), (60, 99));
+        // Ranges still form the preimage of bucket_of.
+        for key in 0..1000u64 {
+            let bucket = t.bucket_of(key);
+            let (lo, hi) = t.bucket_range(bucket);
+            assert!(key >= lo && key <= hi, "key {key} outside bucket {bucket}");
+        }
+    }
+
+    #[test]
+    fn rebucket_tolerates_degenerate_and_unsorted_edges() {
+        let t = KeyRangeTelemetry::new(0, 99, 8);
+        // Point-mass quantiles repeat and may come in clamped/unsorted.
+        t.rebucket(vec![50, 50, 40, 1_000]);
+        assert_eq!(t.buckets(), 5);
+        let snap = t.snapshot();
+        assert_eq!(snap.edges(), &[50, 50, 50, 99]);
+        t.record(49, 1, 0);
+        t.record(50, 1, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.buckets()[0], (1, 0));
+        // The two empty middle buckets never receive records.
+        assert_eq!(snap.buckets()[1], (0, 0));
+        assert_eq!(snap.buckets()[2], (0, 0));
+        assert_eq!(snap.buckets()[3], (1, 1));
+        // Degenerate ranges stay well formed (lo <= hi).
+        for index in 0..5 {
+            let (lo, hi) = snap.bucket_range(index);
+            assert!(lo <= hi, "bucket {index}: ({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry differs")]
+    fn since_rejects_cross_geometry_diffs() {
+        let t = KeyRangeTelemetry::new(0, 99, 4);
+        let before = t.snapshot();
+        t.rebucket(vec![10, 20, 30]);
+        let _ = t.snapshot().since(&before);
     }
 }

@@ -15,16 +15,21 @@
 //! * [`OpGenerator`] — turns a distribution into a stream of
 //!   `katme_collections`-style insert/delete/lookup operations, per spec or
 //!   in fixed-size batches ([`OpGenerator::batches`]).
+//! * [`ArrivalRamp`] — piecewise-constant arrival-intensity profiles
+//!   (quiet → burst → quiet) for the elastic-scaling experiments, where the
+//!   interesting signal is the *change* in load, not its steady state.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod distribution;
 pub mod generator;
+pub mod ramp;
 pub mod spec;
 pub mod trace;
 
 pub use distribution::{DistributionKind, KeyDistribution};
 pub use generator::{OpGenerator, OpMix, SpecBatches};
+pub use ramp::{ArrivalRamp, RampPhase};
 pub use spec::{OpKind, TxnSpec, DICT_KEY_BITS, TXN_SPACE_BITS};
 pub use trace::Trace;

@@ -1,0 +1,175 @@
+//! Ramped arrival intensity — the time axis of the elastic-scaling
+//! experiments.
+//!
+//! The paper's producers run flat out for the whole measurement window; an
+//! elastic executor is interesting precisely when they do not. An
+//! [`ArrivalRamp`] describes arrival intensity as a piecewise-constant
+//! function of the *fraction of the window elapsed*: each [`RampPhase`]
+//! holds a relative duration weight and an intensity in `(0, 1]` (1 = the
+//! producer submits as fast as it can, 0.05 = it is throttled to ~5% of
+//! that). The canonical elastic workload is
+//! [`ArrivalRamp::quiet_burst_quiet`]: a quiet warm-up, a full-rate burst,
+//! and a quiet cool-down in equal thirds, which forces the pool to grow
+//! into the burst and shed workers after it.
+
+/// One phase of an [`ArrivalRamp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampPhase {
+    /// Relative duration weight of this phase (phases are scaled so their
+    /// weights tile the whole window).
+    pub weight: f64,
+    /// Arrival intensity in `(0, 1]`: the fraction of the producer's
+    /// maximum submission rate.
+    pub intensity: f64,
+}
+
+impl RampPhase {
+    /// A phase with the given weight and intensity.
+    pub fn new(weight: f64, intensity: f64) -> Self {
+        RampPhase { weight, intensity }
+    }
+}
+
+/// A piecewise-constant arrival-intensity profile over a measurement
+/// window (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalRamp {
+    phases: Vec<RampPhase>,
+    total_weight: f64,
+}
+
+impl ArrivalRamp {
+    /// Build a ramp from explicit phases.
+    ///
+    /// Rejects an empty phase list, non-positive weights, and intensities
+    /// outside `(0, 1]`.
+    pub fn new(phases: Vec<RampPhase>) -> Result<Self, String> {
+        if phases.is_empty() {
+            return Err("an arrival ramp needs at least one phase".into());
+        }
+        for (index, phase) in phases.iter().enumerate() {
+            if !(phase.weight > 0.0 && phase.weight.is_finite()) {
+                return Err(format!(
+                    "phase {index}: weight must be positive and finite, got {}",
+                    phase.weight
+                ));
+            }
+            if !(phase.intensity > 0.0 && phase.intensity <= 1.0) {
+                return Err(format!(
+                    "phase {index}: intensity must lie in (0, 1], got {}",
+                    phase.intensity
+                ));
+            }
+        }
+        let total_weight = phases.iter().map(|p| p.weight).sum();
+        Ok(ArrivalRamp {
+            phases,
+            total_weight,
+        })
+    }
+
+    /// Constant full-rate arrivals (the paper's unthrottled producers).
+    pub fn flat() -> Self {
+        ArrivalRamp::new(vec![RampPhase::new(1.0, 1.0)]).expect("flat ramp is valid")
+    }
+
+    /// The canonical elastic load shape: a quiet third at `quiet`
+    /// intensity, a full-rate burst third, and another quiet third.
+    ///
+    /// # Panics
+    /// Panics when `quiet` lies outside `(0, 1]`.
+    pub fn quiet_burst_quiet(quiet: f64) -> Self {
+        ArrivalRamp::new(vec![
+            RampPhase::new(1.0, quiet),
+            RampPhase::new(1.0, 1.0),
+            RampPhase::new(1.0, quiet),
+        ])
+        .expect("quiet intensity must lie in (0, 1]")
+    }
+
+    /// The phases, in order.
+    pub fn phases(&self) -> &[RampPhase] {
+        &self.phases
+    }
+
+    /// Arrival intensity at `fraction` of the window elapsed (clamped into
+    /// `[0, 1]`; past-the-end reads the last phase, so producers that
+    /// overrun the window wind down at the final intensity).
+    pub fn intensity_at(&self, fraction: f64) -> f64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut cursor = 0.0;
+        for phase in &self.phases {
+            cursor += phase.weight / self.total_weight;
+            if fraction < cursor {
+                return phase.intensity;
+            }
+        }
+        self.phases.last().expect("validated non-empty").intensity
+    }
+}
+
+impl std::fmt::Display for ArrivalRamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ramp[")?;
+        for (index, phase) in self.phases.iter().enumerate() {
+            if index > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{:.0}%", phase.intensity * 100.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_burst_quiet_tiles_the_window() {
+        let ramp = ArrivalRamp::quiet_burst_quiet(0.05);
+        assert_eq!(ramp.phases().len(), 3);
+        assert_eq!(ramp.intensity_at(0.0), 0.05);
+        assert_eq!(ramp.intensity_at(0.34), 1.0);
+        assert_eq!(ramp.intensity_at(0.65), 1.0);
+        assert_eq!(ramp.intensity_at(0.67), 0.05);
+        assert_eq!(ramp.intensity_at(1.0), 0.05);
+        // Past-the-end (producers winding down) reads the last phase.
+        assert_eq!(ramp.intensity_at(7.0), 0.05);
+        assert_eq!(ramp.intensity_at(-1.0), 0.05);
+    }
+
+    #[test]
+    fn flat_ramp_is_always_full_rate() {
+        let ramp = ArrivalRamp::flat();
+        for step in 0..=10 {
+            assert_eq!(ramp.intensity_at(step as f64 / 10.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn unequal_weights_shift_the_boundaries() {
+        let ramp =
+            ArrivalRamp::new(vec![RampPhase::new(3.0, 0.1), RampPhase::new(1.0, 1.0)]).unwrap();
+        assert_eq!(ramp.intensity_at(0.5), 0.1);
+        assert_eq!(ramp.intensity_at(0.74), 0.1);
+        assert_eq!(ramp.intensity_at(0.8), 1.0);
+    }
+
+    #[test]
+    fn invalid_ramps_are_rejected() {
+        assert!(ArrivalRamp::new(vec![]).is_err());
+        assert!(ArrivalRamp::new(vec![RampPhase::new(0.0, 1.0)]).is_err());
+        assert!(ArrivalRamp::new(vec![RampPhase::new(1.0, 0.0)]).is_err());
+        assert!(ArrivalRamp::new(vec![RampPhase::new(1.0, 1.5)]).is_err());
+        assert!(ArrivalRamp::new(vec![RampPhase::new(f64::NAN, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn display_summarizes_intensities() {
+        assert_eq!(
+            ArrivalRamp::quiet_burst_quiet(0.05).to_string(),
+            "ramp[5% 100% 5%]"
+        );
+    }
+}
