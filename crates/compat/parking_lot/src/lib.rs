@@ -50,6 +50,53 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Non-poisoning condition variable.
+///
+/// API note: unlike `parking_lot::Condvar` (whose `wait` takes `&mut
+/// MutexGuard`), this shim keeps std's move-the-guard signatures — the
+/// in-tree callers are written against this shape, and it avoids unsafe
+/// guard surgery while staying std-backed.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard` while waiting. Never poisons.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until notified or `timeout` elapses. Returns the re-acquired
+    /// guard and `true` when the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(poisoned) => {
+                let (guard, result) = poisoned.into_inner();
+                (guard, result.timed_out())
+            }
+        }
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// Non-poisoning reader-writer lock with the `parking_lot::RwLock` API.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
@@ -102,6 +149,33 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter_and_times_out() {
+        let pair = std::sync::Arc::new((Mutex::new(0u64), Condvar::new()));
+        let waiter = {
+            let pair = std::sync::Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut guard = lock.lock();
+                while *guard == 0 {
+                    guard = cv.wait(guard);
+                }
+                *guard
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = 7;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().unwrap(), 7);
+        // Timed wait on a never-notified condvar reports the timeout.
+        let (lock, cv) = &*pair;
+        let (_guard, timed_out) = cv.wait_timeout(lock.lock(), std::time::Duration::from_millis(5));
+        assert!(timed_out);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Online calibration of swap costs.
+//!
+//! The decision "is this repartition worth it?" needs a price for the swap
+//! itself, and that price is host- and load-dependent: a partition publish
+//! costs microseconds on an idle laptop and much more under cache pressure,
+//! a thread spawn costs whatever the OS charges today, a telemetry rebucket
+//! scales with the bucket count. Instead of hard-coding constants, the cost
+//! plane *measures* every swap it performs — publish latency in
+//! [`crate::AdaptiveKeyScheduler`], spawn/retire time in the executor's
+//! `WorkerSet`, rebucket time around the CDF observer — and folds the
+//! measurements into EWMA estimates here.
+
+/// Exponentially-weighted moving average over a stream of samples.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    /// Create an estimator with smoothing factor `alpha` (clamped into
+    /// `(0, 1]`; 1 = only the latest sample counts).
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Fold one sample into the estimate. The first sample seeds the
+    /// average directly.
+    pub fn observe(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        self.value = if self.samples == 0 {
+            sample
+        } else {
+            self.value + self.alpha * (sample - self.value)
+        };
+        self.samples += 1;
+    }
+
+    /// Current estimate, `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.value)
+    }
+
+    /// Current estimate, or 0 before the first sample.
+    pub fn value_or_zero(&self) -> f64 {
+        self.value().unwrap_or(0.0)
+    }
+
+    /// Samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Default EWMA smoothing for the swap-cost estimates: heavy enough that a
+/// couple of swaps establish a usable price, light enough that an outlier
+/// (a page fault mid-publish) does not own the estimate.
+pub const DEFAULT_COST_ALPHA: f64 = 0.3;
+
+/// Calibrated one-time costs of performing a configuration swap, all in
+/// seconds. Fed by the scheduler (publish, rebucket) and the executor's
+/// pool telemetry (spawn/retire, via `PoolSample::resize_nanos`).
+#[derive(Debug, Clone)]
+pub struct SwapCostCalibrator {
+    publish: Ewma,
+    rebucket: Ewma,
+    resize_per_worker: Ewma,
+    min_samples: u64,
+}
+
+impl SwapCostCalibrator {
+    /// Create a calibrator that counts as *warm* once `min_samples` publish
+    /// latencies have been observed (every adaptation — including the
+    /// initial one — produces a publish sample, so warm-up completes with
+    /// the paper's first adaptation when `min_samples` is 1).
+    pub fn new(alpha: f64, min_samples: u64) -> Self {
+        SwapCostCalibrator {
+            publish: Ewma::new(alpha),
+            rebucket: Ewma::new(alpha),
+            resize_per_worker: Ewma::new(alpha),
+            min_samples: min_samples.max(1),
+        }
+    }
+
+    /// Fold in a measured partition-publish latency (seconds).
+    pub fn observe_publish(&mut self, seconds: f64) {
+        self.publish.observe(seconds.max(0.0));
+    }
+
+    /// Fold in a measured telemetry-rebucket latency (seconds).
+    pub fn observe_rebucket(&mut self, seconds: f64) {
+        self.rebucket.observe(seconds.max(0.0));
+    }
+
+    /// Fold in a measured per-worker spawn/retire latency (seconds per
+    /// worker changed).
+    pub fn observe_resize_per_worker(&mut self, seconds: f64) {
+        self.resize_per_worker.observe(seconds.max(0.0));
+    }
+
+    /// True once enough publishes have been measured for the estimates to
+    /// be trusted; until then the scheduler stays on its threshold triggers.
+    pub fn is_warm(&self) -> bool {
+        self.publish.samples() >= self.min_samples
+    }
+
+    /// Predicted wall-clock cost (seconds) of a swap that changes the pool
+    /// width by `width_delta` workers: publish + rebucket + per-worker
+    /// spawn/retire. Components without samples price at 0 (they have never
+    /// been paid, e.g. rebucket when no telemetry is attached).
+    pub fn swap_seconds(&self, width_delta: usize) -> f64 {
+        self.publish.value_or_zero()
+            + self.rebucket.value_or_zero()
+            + width_delta as f64 * self.resize_per_worker.value_or_zero()
+    }
+
+    /// Point-in-time view of the calibration state.
+    pub fn view(&self) -> CalibrationView {
+        CalibrationView {
+            warm: self.is_warm(),
+            publish_seconds: self.publish.value(),
+            rebucket_seconds: self.rebucket.value(),
+            resize_seconds_per_worker: self.resize_per_worker.value(),
+            publish_samples: self.publish.samples(),
+        }
+    }
+}
+
+/// Snapshot of the swap-cost calibration, surfaced through
+/// `StatsView::cost_model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationView {
+    /// True once the calibrator has seen enough publishes to price a swap.
+    pub warm: bool,
+    /// EWMA partition-publish latency (seconds), if measured.
+    pub publish_seconds: Option<f64>,
+    /// EWMA telemetry-rebucket latency (seconds), if measured.
+    pub rebucket_seconds: Option<f64>,
+    /// EWMA thread spawn/retire latency per worker (seconds), if measured.
+    pub resize_seconds_per_worker: Option<f64>,
+    /// Publish latencies observed so far.
+    pub publish_samples: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.observe(10.0);
+        assert_eq!(e.value(), Some(10.0), "first sample seeds directly");
+        e.observe(20.0);
+        assert!((e.value().unwrap() - 15.0).abs() < 1e-12);
+        assert_eq!(e.samples(), 2);
+        e.observe(f64::NAN); // ignored
+        assert_eq!(e.samples(), 2);
+    }
+
+    #[test]
+    fn ewma_converges_to_a_constant_feed() {
+        // Scripted feed: a burst of noisy samples followed by a constant
+        // stream — the estimate must converge to the constant.
+        let mut e = Ewma::new(DEFAULT_COST_ALPHA);
+        for noisy in [5.0e-5, 2.0e-4, 8.0e-5] {
+            e.observe(noisy);
+        }
+        for _ in 0..30 {
+            e.observe(1.0e-4);
+        }
+        let value = e.value().unwrap();
+        assert!(
+            (value - 1.0e-4).abs() < 1.0e-6,
+            "EWMA must converge to the steady feed: {value}"
+        );
+    }
+
+    #[test]
+    fn calibrator_warms_after_min_publish_samples() {
+        let mut c = SwapCostCalibrator::new(0.5, 2);
+        assert!(!c.is_warm());
+        c.observe_publish(1.0e-4);
+        assert!(!c.is_warm(), "one sample below min_samples=2");
+        c.observe_publish(1.0e-4);
+        assert!(c.is_warm());
+        let view = c.view();
+        assert!(view.warm);
+        assert_eq!(view.publish_samples, 2);
+        assert!(view.rebucket_seconds.is_none());
+    }
+
+    #[test]
+    fn swap_seconds_prices_width_changes_per_worker() {
+        let mut c = SwapCostCalibrator::new(1.0, 1);
+        c.observe_publish(1.0e-4);
+        c.observe_rebucket(2.0e-5);
+        c.observe_resize_per_worker(5.0e-4);
+        let fixed = c.swap_seconds(0);
+        assert!((fixed - 1.2e-4).abs() < 1e-12);
+        let grow_two = c.swap_seconds(2);
+        assert!((grow_two - (1.2e-4 + 1.0e-3)).abs() < 1e-12);
+        // Unmeasured components price at zero, not at a made-up constant.
+        let bare = SwapCostCalibrator::new(1.0, 1);
+        assert_eq!(bare.swap_seconds(4), 0.0);
+    }
+
+    #[test]
+    fn negative_durations_clamp_to_zero() {
+        let mut c = SwapCostCalibrator::new(1.0, 1);
+        c.observe_publish(-5.0);
+        assert_eq!(c.swap_seconds(0), 0.0);
+    }
+}

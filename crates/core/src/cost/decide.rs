@@ -1,0 +1,481 @@
+//! The decision layer: one [`CostPolicy`] that turns "did a threshold
+//! trip?" into "which plan has the best net expected benefit?".
+//!
+//! Each epoch the policy scores the keep-baseline and every candidate plan
+//! (see [`super::plan`]), then adopts the plan maximizing
+//!
+//! ```text
+//! trust × persistence × (keep_cost − predicted_cost)  −  swap_cost × margin
+//! ```
+//!
+//! if that net benefit is positive. `persistence` (measured by the caller
+//! as the epoch-over-epoch histogram similarity, see
+//! `EpochObservation::persistence`) discounts a gain predicted from a
+//! distribution shape unlikely to recur. Two further feedback loops keep
+//! the model honest, together replacing the threshold plane's two-epoch
+//! confirmation:
+//!
+//! * **trust** multiplies every predicted gain. A swap whose predicted
+//!   next-epoch cost turns out badly wrong (an oscillating load flips back
+//!   the moment the swap lands) decays trust multiplicatively, so a model
+//!   that keeps being wrong rapidly loses the ability to spend swaps;
+//!   accurate predictions rebuild it additively.
+//! * **margin** multiplies every swap cost: the smoothed relative
+//!   prediction error widens the bar a swap must clear, so even while trust
+//!   is partially intact a noisy model pays a risk premium.
+
+use super::calibrate::{CalibrationView, SwapCostCalibrator};
+use super::model::{CostModel, CostModelConfig};
+use super::plan::{enumerate, keep_cost, CandidatePlan, PlanContext};
+use crate::cost::calibrate::DEFAULT_COST_ALPHA;
+
+/// What the policy chose for this epoch.
+#[derive(Debug)]
+pub enum CostDecision {
+    /// No plan's trusted gain cleared its margined swap cost: keep the
+    /// current configuration.
+    Keep,
+    /// Adopt `plan`: publish its partition (and resize to its width). The
+    /// logged gain and cost are the decision-rule values — trusted gain and
+    /// margined swap cost — so `predicted_gain > swap_cost` holds for every
+    /// adopted swap by construction.
+    Adopt {
+        /// The winning plan.
+        plan: CandidatePlan,
+        /// Trust-discounted predicted saving (task-equivalents).
+        predicted_gain: f64,
+        /// Margin-adjusted swap cost (task-equivalents).
+        swap_cost: f64,
+    },
+}
+
+/// A prediction awaiting its realized outcome (scored at the next epoch
+/// boundary).
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Predicted next-epoch cost of the configuration left in effect.
+    predicted: f64,
+    /// Scale the prediction error is judged against. For an adopted swap
+    /// this is the *raw promised gain*: a swap is mispredicted when its
+    /// outcome misses by a meaningful fraction of what it promised, not of
+    /// the total cost — backlog-driven terms shared by every plan would
+    /// otherwise drown the signal and let a churning model keep scoring
+    /// "accurate". 0 = use the default total-cost scale (keeps).
+    scale: f64,
+    /// Whether the prediction came from an adopted swap (mispredicted
+    /// swaps decay trust; mispredicted keeps only widen the margin).
+    adopted: bool,
+}
+
+/// Point-in-time view of the cost plane, surfaced through
+/// `StatsView::cost_model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModelView {
+    /// True once calibration is warm and the policy (not the threshold
+    /// triggers) is deciding.
+    pub calibrated: bool,
+    /// The swap-cost calibration state.
+    pub calibration: CalibrationView,
+    /// Current trust in `[0, 1]` multiplying every predicted gain.
+    pub trust: f64,
+    /// Current decision margin (≥ 1) multiplying every swap cost.
+    pub margin: f64,
+    /// Relative error of the most recently scored prediction.
+    pub last_prediction_error: Option<f64>,
+    /// Smoothed (EWMA) relative prediction error.
+    pub error_ewma: Option<f64>,
+    /// Epoch decisions made by the policy so far (keep or adopt).
+    pub decisions: u64,
+    /// Decisions that adopted a plan.
+    pub adoptions: u64,
+}
+
+/// The cost plane's decision state: model + calibrator + prediction-error
+/// feedback. One per scheduler, locked around epoch boundaries only.
+#[derive(Debug)]
+pub struct CostPolicy {
+    model: CostModel,
+    calibrator: SwapCostCalibrator,
+    trust: f64,
+    error_ewma: f64,
+    error_samples: u64,
+    last_error: Option<f64>,
+    pending: Option<Pending>,
+    decisions: u64,
+    adoptions: u64,
+}
+
+impl CostPolicy {
+    /// Create a policy from the model tuning (the calibrator's warm-up
+    /// threshold and error smoothing come from the same config).
+    pub fn new(config: CostModelConfig) -> Self {
+        let calibrator =
+            SwapCostCalibrator::new(DEFAULT_COST_ALPHA, config.min_calibration_samples);
+        CostPolicy {
+            model: CostModel::new(config),
+            calibrator,
+            trust: 1.0,
+            error_ewma: 0.0,
+            error_samples: 0,
+            last_error: None,
+            pending: None,
+            decisions: 0,
+            adoptions: 0,
+        }
+    }
+
+    /// True once the swap-cost calibration is warm — before that the
+    /// scheduler keeps using its threshold triggers (whose swaps feed the
+    /// calibrator).
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrator.is_warm()
+    }
+
+    /// Feed a measured partition-publish latency.
+    pub fn note_publish(&mut self, seconds: f64) {
+        self.calibrator.observe_publish(seconds);
+    }
+
+    /// Feed a measured telemetry-rebucket latency.
+    pub fn note_rebucket(&mut self, seconds: f64) {
+        self.calibrator.observe_rebucket(seconds);
+    }
+
+    /// Feed a measured per-worker spawn/retire latency.
+    pub fn note_resize_per_worker(&mut self, seconds: f64) {
+        self.calibrator.observe_resize_per_worker(seconds);
+    }
+
+    /// The cost of running the next epoch on the current configuration,
+    /// under this epoch's observations. Evaluated at an epoch boundary
+    /// against the configuration the previous decision left in effect,
+    /// this is the *realized* cost that decision predicted — the feed for
+    /// [`CostPolicy::score_pending`].
+    pub fn realized_keep_cost(&self, ctx: &PlanContext<'_>) -> f64 {
+        keep_cost(ctx, &self.model)
+    }
+
+    /// Current decision margin: 1 plus the smoothed prediction error scaled
+    /// by [`CostModelConfig::margin_gain`].
+    pub fn margin(&self) -> f64 {
+        1.0 + self.model.config().margin_gain * self.error_ewma
+    }
+
+    /// Score the pending prediction (if any) against the realized cost of
+    /// the epoch that just closed. Call once per epoch boundary, *before*
+    /// [`CostPolicy::decide`].
+    pub fn score_pending(&mut self, realized_cost: f64) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        let config = self.model.config();
+        let scale = if pending.scale > 0.0 {
+            pending.scale
+        } else {
+            pending.predicted.max(realized_cost).max(1.0)
+        };
+        let error = ((pending.predicted - realized_cost).abs() / scale).min(1.0);
+        self.last_error = Some(error);
+        self.error_ewma = if self.error_samples == 0 {
+            error
+        } else {
+            self.error_ewma + config.error_alpha * (error - self.error_ewma)
+        };
+        self.error_samples += 1;
+        if pending.adopted {
+            if error <= config.accuracy_tolerance {
+                // A swap that delivered what it promised rebuilds trust.
+                self.trust = (self.trust + config.trust_recovery).min(1.0);
+            } else {
+                // A swap we paid for did not deliver: spend trust fast.
+                self.trust *= config.trust_decay;
+            }
+        }
+        // Keep-predictions never move trust directly — a mispredicted keep
+        // (the load changed under us) is the model detecting drift, not
+        // lying — but their accuracy still drives the error EWMA, so a run
+        // of honest keeps narrows the margin and re-opens the door for a
+        // low-trust model to attempt (and be scored on) a small swap.
+    }
+
+    /// Choose between keeping the current configuration and the best
+    /// candidate plan. Records the chosen configuration's predicted cost as
+    /// the pending prediction for the next boundary's
+    /// [`CostPolicy::score_pending`].
+    pub fn decide(&mut self, ctx: &PlanContext<'_>) -> CostDecision {
+        self.decisions += 1;
+        let (keep_cost, plans) = enumerate(ctx, &self.model, &self.calibrator);
+        let margin = self.margin();
+        let persistence = ctx.observation.persistence.clamp(0.0, 1.0);
+        let materiality = self.model.config().min_gain_fraction * ctx.observation.tasks as f64;
+        let mut best: Option<(f64, f64, f64, CandidatePlan)> = None;
+        for plan in plans {
+            if keep_cost - plan.predicted_cost < materiality {
+                // Below the materiality floor: a win this marginal is noise.
+                continue;
+            }
+            let gain = self.trust * persistence * (keep_cost - plan.predicted_cost);
+            let cost = plan.swap_cost * margin;
+            let net = gain - cost;
+            if net > 0.0 && best.as_ref().map_or(true, |(b, _, _, _)| net > *b) {
+                best = Some((net, gain, cost, plan));
+            }
+        }
+        match best {
+            Some((_, predicted_gain, swap_cost, plan)) => {
+                self.adoptions += 1;
+                self.pending = Some(Pending {
+                    predicted: plan.predicted_cost,
+                    scale: (keep_cost - plan.predicted_cost).max(1.0),
+                    adopted: true,
+                });
+                CostDecision::Adopt {
+                    plan,
+                    predicted_gain,
+                    swap_cost,
+                }
+            }
+            None => {
+                self.pending = Some(Pending {
+                    predicted: keep_cost,
+                    scale: 0.0,
+                    adopted: false,
+                });
+                CostDecision::Keep
+            }
+        }
+    }
+
+    /// Point-in-time view for the stats surface.
+    pub fn view(&self) -> CostModelView {
+        CostModelView {
+            calibrated: self.is_calibrated(),
+            calibration: self.calibrator.view(),
+            trust: self.trust,
+            margin: self.margin(),
+            last_prediction_error: self.last_error,
+            error_ewma: (self.error_samples > 0).then_some(self.error_ewma),
+            decisions: self.decisions,
+            adoptions: self.adoptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::PiecewiseCdf;
+    use crate::cost::EpochObservation;
+    use crate::histogram::Histogram;
+    use crate::key::KeyBounds;
+    use crate::partition::KeyPartition;
+
+    fn cdf_over(keys: impl Iterator<Item = u64>) -> PiecewiseCdf {
+        let hist = Histogram::from_samples(KeyBounds::new(0, 999), 100, &keys.collect::<Vec<_>>());
+        PiecewiseCdf::from_histogram(&hist)
+    }
+
+    fn observation() -> EpochObservation {
+        EpochObservation {
+            tasks: 2_000,
+            executed: 2_000,
+            epoch_seconds: 0.1,
+            commits: 2_000,
+            aborts: 0,
+            abort_ranges: Vec::new(),
+            active: 4,
+            backlog: 0,
+            queue_depths: vec![0; 4],
+            idle_fraction: 0.0,
+            persistence: 1.0,
+        }
+    }
+
+    fn warm_policy() -> CostPolicy {
+        let mut policy = CostPolicy::new(CostModelConfig::default());
+        policy.note_publish(1.0e-4);
+        assert!(policy.is_calibrated());
+        policy
+    }
+
+    #[test]
+    fn cold_policy_defers_to_thresholds() {
+        let policy = CostPolicy::new(CostModelConfig::default().with_min_calibration_samples(3));
+        assert!(!policy.is_calibrated());
+        let view = policy.view();
+        assert!(!view.calibrated);
+        assert_eq!(view.trust, 1.0);
+        assert_eq!(view.margin, 1.0);
+    }
+
+    #[test]
+    fn imbalanced_epoch_adopts_a_boundary_plan() {
+        let mut policy = warm_policy();
+        let cdf = cdf_over((0..2_000u64).map(|i| i % 100)); // low-end mass
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let obs = observation();
+        let ctx = PlanContext {
+            epoch_cdf: &cdf,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        match policy.decide(&ctx) {
+            CostDecision::Adopt {
+                plan,
+                predicted_gain,
+                swap_cost,
+            } => {
+                assert!(
+                    predicted_gain > swap_cost,
+                    "decision rule guarantees gain > cost"
+                );
+                assert!(plan.predicted_imbalance < 1.5);
+            }
+            CostDecision::Keep => panic!("a 4x-imbalanced epoch must swap"),
+        }
+        assert_eq!(policy.view().adoptions, 1);
+    }
+
+    #[test]
+    fn balanced_epoch_keeps_with_zero_gain() {
+        let mut policy = warm_policy();
+        let cdf = cdf_over((0..2_000u64).map(|i| i % 1_000)); // uniform over the space
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let obs = observation();
+        let ctx = PlanContext {
+            epoch_cdf: &cdf,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        assert!(matches!(policy.decide(&ctx), CostDecision::Keep));
+        assert_eq!(policy.view().adoptions, 0);
+    }
+
+    #[test]
+    fn zero_persistence_vetoes_even_a_huge_gain() {
+        // A flip-flopping load reads as persistence ≈ 0: the tempting gain
+        // from re-fitting to a shape that will not recur prices at nothing.
+        let mut policy = warm_policy();
+        let cdf = cdf_over((0..2_000u64).map(|i| i % 100));
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let mut obs = observation();
+        obs.persistence = 0.0;
+        let ctx = PlanContext {
+            epoch_cdf: &cdf,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        assert!(matches!(policy.decide(&ctx), CostDecision::Keep));
+    }
+
+    #[test]
+    fn sustained_prediction_error_widens_the_margin_and_spends_trust() {
+        let mut policy = warm_policy();
+        let cdf = cdf_over((0..2_000u64).map(|i| i % 100));
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let obs = observation();
+        let ctx = PlanContext {
+            epoch_cdf: &cdf,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        let margin_before = policy.view().margin;
+        assert_eq!(margin_before, 1.0);
+        // Oscillation script: every adopted swap predicts a near-zero next
+        // epoch but realizes huge (the load flipped back), and every keep
+        // predicts the high status quo but realizes low (it flipped again) —
+        // the faithful shape of a phase-oscillating workload.
+        let mut swaps = 0;
+        for _ in 0..10 {
+            let adopted = matches!(policy.decide(&ctx), CostDecision::Adopt { .. });
+            if adopted {
+                swaps += 1;
+            }
+            policy.score_pending(if adopted { 5_000.0 } else { 300.0 });
+        }
+        let view = policy.view();
+        assert!(
+            view.margin > margin_before,
+            "sustained error must widen the margin: {view:?}"
+        );
+        assert!(view.trust < 0.1, "trust must collapse: {view:?}");
+        assert!(
+            swaps < 6,
+            "the feedback loop must stop the churn well before the script ends: {swaps}"
+        );
+        assert!(view.last_prediction_error.unwrap() > 0.5);
+        // The wrecked model refuses the same tempting swap it took before.
+        assert!(matches!(policy.decide(&ctx), CostDecision::Keep));
+    }
+
+    #[test]
+    fn accurate_predictions_rebuild_trust() {
+        let mut policy = warm_policy();
+        // Crash trust with three bad adopted predictions.
+        let cdf = cdf_over((0..2_000u64).map(|i| i % 100));
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let obs = observation();
+        let ctx = PlanContext {
+            epoch_cdf: &cdf,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        for _ in 0..3 {
+            let _ = policy.decide(&ctx);
+            policy.score_pending(50_000.0);
+        }
+        let crashed = policy.view().trust;
+        assert!(crashed < 0.1, "{crashed}");
+        // A run of accurately-predicted keeps on balanced load decays the
+        // error EWMA, narrowing the margin back toward 1 (trust itself is
+        // only rebuilt by swaps that deliver).
+        let uniform = cdf_over((0..2_000u64).map(|i| i % 1_000));
+        let balanced_ctx = PlanContext {
+            epoch_cdf: &uniform,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        for _ in 0..10 {
+            assert!(matches!(policy.decide(&balanced_ctx), CostDecision::Keep));
+            // Realized ≈ predicted keep cost (stationary balanced load).
+            policy.score_pending(0.0);
+        }
+        let view = policy.view();
+        assert!(
+            view.margin < 1.1,
+            "honest keeps narrow the margin: {view:?}"
+        );
+        assert_eq!(view.trust, crashed, "keeps alone never move trust");
+        // With the margin narrowed, a genuine sustained imbalance clears the
+        // bar even at low trust — and the delivered swap rebuilds trust.
+        match policy.decide(&ctx) {
+            CostDecision::Adopt { plan, .. } => {
+                policy.score_pending(plan.predicted_cost); // delivered exactly
+            }
+            CostDecision::Keep => panic!("narrowed margin must re-admit a real gain"),
+        }
+        assert!(
+            policy.view().trust > crashed,
+            "a delivered swap rebuilds trust: {:?}",
+            policy.view()
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! The per-epoch cost model: what does running the next epoch on a given
+//! configuration *cost*, in task-equivalents?
+//!
+//! Every term is denominated in wasted task-executions per epoch, so plan
+//! costs, the keep-baseline, and the calibrated swap price (seconds × the
+//! observed service rate) share one currency:
+//!
+//! * **queueing** — imbalance-induced waiting. A partition whose hottest
+//!   worker carries `I`× the mean load stretches the epoch's makespan by
+//!   the same factor; the excess, `(I − deadband) × tasks` (clamped at 0),
+//!   is work the rest of the pool idles behind. The deadband absorbs
+//!   sampling noise: an epoch histogram re-fit to its own noise always
+//!   promises `I ≈ 1`, and chasing that promise would churn on stationary
+//!   load.
+//! * **aborts** — each abort wastes roughly one execution. Predicted aborts
+//!   scale with concurrency (pairwise conflict opportunities ∝ width − 1)
+//!   and with how much contended key mass a plan's boundaries *cut*: a hot
+//!   range co-located on one worker serializes its conflicts (the paper's
+//!   locality argument), so plans that stop splitting contended telemetry
+//!   ranges are predicted to abort less.
+//! * **overload** — demand beyond what the width can drain in an epoch
+//!   (unserved tasks queue up; each costs one task of latency debt). This
+//!   is the grow signal, priced instead of thresholded.
+//! * **idle** — capacity beyond demand, priced at a discount
+//!   ([`CostModelConfig::idle_weight`]): an unneeded worker is cheaper than
+//!   a queued task, but not free. This is the shrink signal.
+
+/// Tuning of the cost model and its decision feedback loop.
+#[derive(Debug, Clone)]
+pub struct CostModelConfig {
+    /// Projected max-over-mean imbalance below which queueing cost reads 0 —
+    /// the noise floor that keeps stationary load from ever pricing a swap
+    /// above zero gain.
+    pub imbalance_deadband: f64,
+    /// Price of one worker-epoch of unneeded capacity, in task-equivalents
+    /// per task of surplus capacity (1.0 would price idle capacity like
+    /// queued work; the default prices it well below).
+    pub idle_weight: f64,
+    /// Fraction of a *co-located* contended range's aborts that are
+    /// predicted to survive co-location (1.0 = co-location does not help;
+    /// 0.0 = perfectly serialized).
+    pub colocation_discount: f64,
+    /// EWMA smoothing for the prediction-error feed.
+    pub error_alpha: f64,
+    /// Relative prediction error below which a prediction counts as
+    /// accurate (rebuilding trust) rather than wrong (spending it).
+    pub accuracy_tolerance: f64,
+    /// Multiplier applied to trust after a mispredicted *adopted* swap
+    /// (multiplicative decrease — a model that keeps being wrong quickly
+    /// stops being allowed to spend swaps).
+    pub trust_decay: f64,
+    /// Trust regained per accurately-predicted epoch (additive increase,
+    /// capped at 1).
+    pub trust_recovery: f64,
+    /// How strongly the smoothed prediction error widens the decision
+    /// margin: a swap must clear `swap_cost × (1 + margin_gain × error)`.
+    pub margin_gain: f64,
+    /// Materiality floor: a plan is only considered when its raw predicted
+    /// gain is at least this fraction of the epoch's dispatched tasks.
+    /// Marginal wins — re-fitting to shave a 1.6x imbalance to 1.5x — are
+    /// noise-level improvements whose realized value rounds to zero, and
+    /// buying them repeatedly is exactly the churn the cost plane exists to
+    /// avoid.
+    pub min_gain_fraction: f64,
+    /// Publish-latency samples required before the cost policy takes over
+    /// from the threshold triggers (see
+    /// [`super::calibrate::SwapCostCalibrator::is_warm`]).
+    pub min_calibration_samples: u64,
+}
+
+impl Default for CostModelConfig {
+    fn default() -> Self {
+        CostModelConfig {
+            imbalance_deadband: 1.5,
+            idle_weight: 0.1,
+            colocation_discount: 0.8,
+            error_alpha: 0.5,
+            accuracy_tolerance: 0.5,
+            trust_decay: 0.25,
+            trust_recovery: 0.25,
+            margin_gain: 4.0,
+            min_gain_fraction: 0.25,
+            min_calibration_samples: 1,
+        }
+    }
+}
+
+impl CostModelConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the imbalance noise floor (clamped to at least 1).
+    pub fn with_imbalance_deadband(mut self, deadband: f64) -> Self {
+        self.imbalance_deadband = deadband.max(1.0);
+        self
+    }
+
+    /// Set the idle-capacity price (clamped to at least 0).
+    pub fn with_idle_weight(mut self, weight: f64) -> Self {
+        self.idle_weight = weight.max(0.0);
+        self
+    }
+
+    /// Set the co-location abort discount (clamped into `[0, 1]`).
+    pub fn with_colocation_discount(mut self, discount: f64) -> Self {
+        self.colocation_discount = discount.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the prediction-error EWMA smoothing (clamped into `(0, 1]`).
+    pub fn with_error_alpha(mut self, alpha: f64) -> Self {
+        self.error_alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Set the accuracy tolerance (clamped to positive).
+    pub fn with_accuracy_tolerance(mut self, tolerance: f64) -> Self {
+        self.accuracy_tolerance = tolerance.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// Set the trust decay factor (clamped into `[0, 1)`).
+    pub fn with_trust_decay(mut self, decay: f64) -> Self {
+        self.trust_decay = decay.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Set the trust recovery step (clamped into `(0, 1]`).
+    pub fn with_trust_recovery(mut self, recovery: f64) -> Self {
+        self.trust_recovery = recovery.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Set the error-to-margin gain (clamped to at least 0).
+    pub fn with_margin_gain(mut self, gain: f64) -> Self {
+        self.margin_gain = gain.max(0.0);
+        self
+    }
+
+    /// Set the materiality floor (clamped to at least 0).
+    pub fn with_min_gain_fraction(mut self, fraction: f64) -> Self {
+        self.min_gain_fraction = fraction.max(0.0);
+        self
+    }
+
+    /// Set the calibration warm-up sample count (clamped to at least 1).
+    pub fn with_min_calibration_samples(mut self, samples: u64) -> Self {
+        self.min_calibration_samples = samples.max(1);
+        self
+    }
+}
+
+/// Everything the cost plane observed over one epoch — the inputs every
+/// prediction is made from. Assembled by the scheduler from the epoch
+/// histogram, the STM contention deltas, and the executor's pool feed;
+/// built by hand in scripted tests.
+#[derive(Debug, Clone, Default)]
+pub struct EpochObservation {
+    /// Keys observed (dispatched) this epoch.
+    pub tasks: u64,
+    /// Tasks the pool executed this epoch (0 when no pool feed is
+    /// attached).
+    pub executed: u64,
+    /// Wall-clock length of the epoch in seconds.
+    pub epoch_seconds: f64,
+    /// STM commits this epoch.
+    pub commits: u64,
+    /// STM aborts this epoch.
+    pub aborts: u64,
+    /// Per-key-range abort deltas as `(lo, hi, aborts)`, from the quantile
+    /// telemetry buckets.
+    pub abort_ranges: Vec<(u64, u64, u64)>,
+    /// Active workers during the epoch.
+    pub active: usize,
+    /// Tasks queued at the epoch boundary (worker queues plus dispatcher).
+    pub backlog: usize,
+    /// Instantaneous per-slot queue depths (used to price residual drain on
+    /// shrink plans).
+    pub queue_depths: Vec<usize>,
+    /// Idle fraction of the pool's wakeups this epoch (idle polls + parks
+    /// over all wakeups).
+    pub idle_fraction: f64,
+    /// Estimated probability (in `[0, 1]`) that this epoch's key
+    /// distribution persists into the next epoch — one minus the
+    /// total-variation distance between this epoch's histogram and the
+    /// previous one's. A plan's predicted gain is an expectation over the
+    /// *next* epoch, so it is discounted by this factor: a shape that
+    /// flip-flops epoch to epoch (back-pressure-serialized producers under
+    /// a phase shift do exactly that) prices its gain near zero, which is
+    /// what keeps the cost plane from churning without any two-epoch
+    /// confirmation rule.
+    pub persistence: f64,
+}
+
+impl EpochObservation {
+    /// Observed service rate in tasks per second (falls back to the
+    /// dispatch rate when the pool feed is absent, and to a floor of one
+    /// task per second so seconds→tasks conversions stay finite).
+    pub fn service_rate(&self) -> f64 {
+        let served = if self.executed > 0 {
+            self.executed
+        } else {
+            self.tasks
+        };
+        served as f64 / self.epoch_seconds.max(1.0e-9)
+    }
+
+    /// Tasks one worker drains per epoch at the observed service rate.
+    pub fn per_worker_capacity(&self) -> f64 {
+        self.executed as f64 / self.active.max(1) as f64
+    }
+}
+
+/// The cost model proper: stateless scoring of a (imbalance, width,
+/// boundary-cut) configuration against an epoch observation.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    config: CostModelConfig,
+}
+
+impl CostModel {
+    /// Create a model with the given tuning.
+    pub fn new(config: CostModelConfig) -> Self {
+        CostModel { config }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &CostModelConfig {
+        &self.config
+    }
+
+    /// Predicted aborts over the next epoch for a configuration of `width`
+    /// workers whose boundaries cut `cut_fraction` of the epoch's observed
+    /// abort mass, relative to the current configuration (`current_width`,
+    /// `current_cut`).
+    pub fn predicted_aborts(
+        &self,
+        epoch: &EpochObservation,
+        width: usize,
+        cut_fraction: f64,
+        current_width: usize,
+        current_cut: f64,
+    ) -> f64 {
+        if epoch.aborts == 0 {
+            return 0.0;
+        }
+        // Concurrency scaling: pairwise conflict opportunities grow with the
+        // number of concurrent peers.
+        let concurrency = if current_width > 1 {
+            (width.saturating_sub(1)) as f64 / (current_width - 1) as f64
+        } else {
+            width as f64
+        };
+        // Co-location scaling: aborts in ranges a partition boundary cuts
+        // persist; aborts in co-located ranges are discounted. Normalize by
+        // the current configuration's factor so the prediction is anchored
+        // at the observed abort count.
+        let kappa = self.config.colocation_discount;
+        let factor = |cut: f64| cut + (1.0 - cut) * kappa;
+        let colocation = factor(cut_fraction) / factor(current_cut).max(f64::MIN_POSITIVE);
+        epoch.aborts as f64 * concurrency * colocation
+    }
+
+    /// Total predicted cost (task-equivalents) of running the next epoch on
+    /// a configuration with projected imbalance `imbalance`, `width`
+    /// workers, and `cut_fraction` of the abort mass split by boundaries.
+    pub fn epoch_cost(
+        &self,
+        epoch: &EpochObservation,
+        imbalance: f64,
+        width: usize,
+        cut_fraction: f64,
+        current_width: usize,
+        current_cut: f64,
+    ) -> f64 {
+        let demand = epoch.tasks as f64;
+        let queueing = (imbalance - self.config.imbalance_deadband).max(0.0) * demand;
+        let aborts = self.predicted_aborts(epoch, width, cut_fraction, current_width, current_cut);
+        let capacity = width as f64 * epoch.per_worker_capacity();
+        let overload = (demand + epoch.backlog as f64 - capacity).max(0.0);
+        let idle = (capacity - demand).max(0.0) * self.config.idle_weight;
+        queueing + aborts + overload + idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch() -> EpochObservation {
+        EpochObservation {
+            tasks: 1_000,
+            executed: 1_000,
+            epoch_seconds: 0.1,
+            commits: 1_000,
+            aborts: 100,
+            abort_ranges: Vec::new(),
+            active: 4,
+            backlog: 0,
+            queue_depths: vec![0; 4],
+            idle_fraction: 0.0,
+            persistence: 1.0,
+        }
+    }
+
+    #[test]
+    fn config_builders_clamp() {
+        let config = CostModelConfig::new()
+            .with_imbalance_deadband(0.5)
+            .with_idle_weight(-1.0)
+            .with_colocation_discount(2.0)
+            .with_error_alpha(5.0)
+            .with_trust_decay(1.5)
+            .with_trust_recovery(9.0)
+            .with_margin_gain(-3.0)
+            .with_min_calibration_samples(0);
+        assert_eq!(config.imbalance_deadband, 1.0);
+        assert_eq!(config.idle_weight, 0.0);
+        assert_eq!(config.colocation_discount, 1.0);
+        assert_eq!(config.error_alpha, 1.0);
+        assert!(config.trust_decay < 1.0);
+        assert_eq!(config.trust_recovery, 1.0);
+        assert_eq!(config.margin_gain, 0.0);
+        assert_eq!(config.min_calibration_samples, 1);
+    }
+
+    #[test]
+    fn queueing_cost_respects_the_deadband() {
+        let model = CostModel::new(CostModelConfig::default());
+        let epoch = epoch();
+        // Imbalance inside the deadband: queueing reads zero, cost is
+        // aborts only (capacity matches demand exactly).
+        let balanced = model.epoch_cost(&epoch, 1.1, 4, 0.0, 4, 0.0);
+        assert!((balanced - 100.0).abs() < 1e-9, "{balanced}");
+        // A 4x imbalance prices (4 - deadband) x tasks of queueing.
+        let skewed = model.epoch_cost(&epoch, 4.0, 4, 0.0, 4, 0.0);
+        assert!(skewed > balanced + 2_000.0, "{skewed}");
+    }
+
+    #[test]
+    fn aborts_scale_with_width_and_boundary_cuts() {
+        let model = CostModel::new(CostModelConfig::default());
+        let epoch = epoch();
+        let current = model.predicted_aborts(&epoch, 4, 0.5, 4, 0.5);
+        assert!((current - 100.0).abs() < 1e-9, "anchored at the observed");
+        // Fewer workers → fewer concurrent conflicts.
+        assert!(model.predicted_aborts(&epoch, 2, 0.5, 4, 0.5) < current);
+        // Boundaries that stop cutting contended ranges → discounted.
+        assert!(model.predicted_aborts(&epoch, 4, 0.0, 4, 0.5) < current);
+        // Splitting more contended mass → penalized.
+        assert!(model.predicted_aborts(&epoch, 4, 1.0, 4, 0.5) > current);
+        // No observed aborts → nothing to predict.
+        let calm = EpochObservation {
+            aborts: 0,
+            ..epoch.clone()
+        };
+        assert_eq!(model.predicted_aborts(&calm, 8, 1.0, 4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn overload_and_idle_price_width_changes_in_opposite_directions() {
+        let model = CostModel::new(CostModelConfig::default());
+        let mut epoch = epoch();
+        epoch.aborts = 0;
+        epoch.backlog = 2_000; // deep backlog: demand far above capacity
+        let narrow = model.epoch_cost(&epoch, 1.0, 4, 0.0, 4, 0.0);
+        let wide = model.epoch_cost(&epoch, 1.0, 8, 0.0, 4, 0.0);
+        assert!(
+            wide < narrow,
+            "growing must relieve overload: {wide} vs {narrow}"
+        );
+
+        epoch.backlog = 0;
+        epoch.tasks = 100; // demand collapsed: capacity mostly idle
+        let still_wide = model.epoch_cost(&epoch, 1.0, 8, 0.0, 8, 0.0);
+        let shrunk = model.epoch_cost(&epoch, 1.0, 1, 0.0, 8, 0.0);
+        assert!(
+            shrunk < still_wide,
+            "shrinking must shed idle capacity: {shrunk} vs {still_wide}"
+        );
+    }
+
+    #[test]
+    fn service_rate_falls_back_to_dispatch_rate() {
+        let mut epoch = epoch();
+        assert!((epoch.service_rate() - 10_000.0).abs() < 1e-6);
+        epoch.executed = 0;
+        assert!((epoch.service_rate() - 10_000.0).abs() < 1e-6);
+    }
+}

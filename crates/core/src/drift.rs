@@ -90,6 +90,12 @@ pub struct AdaptationConfig {
 /// [`AdaptationConfig::log_capacity`]).
 pub const DEFAULT_LOG_CAPACITY: usize = 256;
 
+/// Nanoseconds of parked time that count as one idle-poll equivalent in
+/// the controller's idle fraction — the backoff's deepest sleep interval
+/// (`katme_queue::Backoff` caps its sleeps at 500 µs), i.e. the cadence at
+/// which a non-parking idle worker would have emitted idle polls.
+pub const PARK_IDLE_QUANTUM_NANOS: u64 = 500_000;
+
 impl Default for AdaptationConfig {
     fn default() -> Self {
         AdaptationConfig {
@@ -232,6 +238,19 @@ pub enum AdaptationCause {
         /// Active workers after the resize.
         to: usize,
     },
+    /// The predictive cost plane adopted the plan with the best net expected
+    /// benefit: its trust-discounted predicted saving over the next epoch
+    /// exceeded the margin-adjusted cost of performing the swap itself (see
+    /// [`crate::cost`]). Both numbers are in task-equivalents.
+    CostModel {
+        /// Trust-discounted predicted cost saving of the adopted plan over
+        /// keeping the current configuration for the next epoch.
+        predicted_gain: f64,
+        /// Margin-adjusted one-time cost of the swap (publish latency,
+        /// thread spawn/retire time, telemetry rebucket, residual drain),
+        /// converted to task-equivalents at the observed service rate.
+        swap_cost: f64,
+    },
     /// Explicitly requested (`adapt_now` / trace seeding).
     Forced,
 }
@@ -253,6 +272,13 @@ impl std::fmt::Display for AdaptationCause {
                 write!(f, "steal-imbalance(ratio={ratio:.3})")
             }
             AdaptationCause::Resize { from, to } => write!(f, "resize({from}->{to})"),
+            AdaptationCause::CostModel {
+                predicted_gain,
+                swap_cost,
+            } => write!(
+                f,
+                "cost-model(gain={predicted_gain:.1}, swap={swap_cost:.1})"
+            ),
             AdaptationCause::Forced => f.write_str("forced"),
         }
     }
@@ -327,8 +353,33 @@ pub struct PoolSample {
     /// busy wakeups share a unit, so `idle / (idle + busy)` is the pool's
     /// idle fraction — the elastic controller's shrink signal.
     pub busy_wakeups: u64,
+    /// Cumulative condvar parks, summed over workers: each park is an idle
+    /// period the worker spent blocked (zero CPU) instead of backoff
+    /// polling.
+    pub parks: u64,
+    /// Cumulative nanoseconds spent parked, summed over workers. The
+    /// controller's idle fraction weighs parked *time* (converted to
+    /// idle-poll equivalents via [`PARK_IDLE_QUANTUM_NANOS`]) rather than
+    /// park events: one 25 ms park covers the idle time of dozens of
+    /// backoff polls, and counting it as one event would make a parked —
+    /// i.e. maximally idle — pool look busy.
+    pub park_nanos: u64,
     /// Instantaneous depth of every worker queue (length = `capacity`).
     pub queue_depths: Vec<usize>,
+    /// Instantaneous backlog of the central dispatcher queue feeding this
+    /// pool (0 when the model has no dispatcher). A saturated dispatcher is
+    /// demand the workers have not seen yet, so it counts as part of
+    /// [`PoolSample::backlog`] — the grow signal — instead of being
+    /// invisible to the controller.
+    pub dispatcher_backlog: usize,
+    /// Cumulative nanoseconds the pool spent spawning and retiring worker
+    /// threads across resizes (spawn time measured around the thread spawn,
+    /// retire time from retirement request to the worker's exit). The cost
+    /// plane diffs this per epoch to calibrate per-worker resize cost.
+    pub resize_nanos: u64,
+    /// Cumulative workers spawned or retired (the denominator for
+    /// [`PoolSample::resize_nanos`]).
+    pub resized_workers: u64,
 }
 
 impl PoolSample {
@@ -337,9 +388,10 @@ impl PoolSample {
         self.per_worker_completed.iter().sum::<u64>() + self.stolen + self.adopted
     }
 
-    /// Tasks currently queued across all workers.
+    /// Tasks currently queued across all workers, plus whatever is still
+    /// waiting in the central dispatcher's queue (centralized model).
     pub fn backlog(&self) -> usize {
-        self.queue_depths.iter().sum()
+        self.queue_depths.iter().sum::<usize>() + self.dispatcher_backlog
     }
 }
 
@@ -511,6 +563,15 @@ mod tests {
         assert!(AdaptationCause::StealImbalance { ratio: 0.4 }
             .to_string()
             .contains("0.400"));
+        let cost = AdaptationCause::CostModel {
+            predicted_gain: 120.5,
+            swap_cost: 6.25,
+        }
+        .to_string();
+        assert!(
+            cost.contains("gain=120.5") && cost.contains("swap=6.2"),
+            "{cost}"
+        );
     }
 
     #[test]
@@ -523,9 +584,18 @@ mod tests {
             adopted: 3,
             idle_polls: 7,
             busy_wakeups: 9,
+            parks: 2,
+            park_nanos: 50_000_000,
             queue_depths: vec![1, 2, 0, 4],
+            dispatcher_backlog: 3,
+            resize_nanos: 1_000,
+            resized_workers: 2,
         };
         assert_eq!(sample.executed(), 38);
-        assert_eq!(sample.backlog(), 7);
+        assert_eq!(
+            sample.backlog(),
+            10,
+            "dispatcher backlog counts as demand the workers have not seen"
+        );
     }
 }

@@ -45,9 +45,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use katme_queue::{Backoff, QueueKind, TaskQueue};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::drift::{PoolController, PoolSample};
 use crate::key::TxnKey;
@@ -75,6 +76,11 @@ pub struct ExecutorConfig {
     /// `pop_batch` lock round-trip covers the whole run). Must be at
     /// least 1.
     pub batch_size: usize,
+    /// Whether an idle worker, once its backoff has escalated past
+    /// spinning, parks on a condvar (woken by the next enqueue, a resize,
+    /// or shutdown) instead of backoff-polling forever. A parked worker
+    /// burns zero CPU between bursts; parks are counted in the pool stats.
+    pub parking: bool,
 }
 
 /// Default worker drain batch: large enough to amortize the queue lock and
@@ -90,6 +96,7 @@ impl Default for ExecutorConfig {
             work_stealing: false,
             max_queue_depth: Some(10_000),
             batch_size: DEFAULT_BATCH_SIZE,
+            parking: true,
         }
     }
 }
@@ -127,6 +134,12 @@ impl ExecutorConfig {
     /// Set the worker drain batch size (clamped to at least 1).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Enable or disable condvar parking for idle workers.
+    pub fn with_parking(mut self, parking: bool) -> Self {
+        self.parking = parking;
         self
     }
 }
@@ -274,6 +287,9 @@ pub struct ExecutorReport {
     pub adopted: u64,
     /// Total polls that found no work.
     pub idle_polls: u64,
+    /// Total condvar parks — idle periods workers spent blocked at zero
+    /// CPU instead of backoff polling.
+    pub parks: u64,
     /// Tasks left unexecuted in the queues (only non-zero when
     /// `drain_on_shutdown` is false).
     pub abandoned: u64,
@@ -364,6 +380,64 @@ const SLOT_RETIRING: u8 = 2;
 /// of wakeups even when every active worker's own queue never runs dry.
 const ORPHAN_SWEEP_PERIOD: u32 = 64;
 
+/// Safety-net timeout for a parked worker. The wake protocol (sequence
+/// number mutated under the parker lock, producers notify whenever a parked
+/// worker exists) cannot lose wakeups, so this only bounds the damage of a
+/// bug: a parked worker re-checks the world at least this often.
+const PARK_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Condvar parking shared by a pool's idle workers: once a worker's backoff
+/// has escalated past spinning it blocks here instead of sleep-polling, and
+/// is woken by the next enqueue, a resize (retiring slots must notice), or
+/// shutdown.
+///
+/// Missed-wakeup safety: `epoch` only changes under `lock`, and a worker
+/// (a) raises `parked` with SeqCst *before* its final emptiness re-check
+/// and (b) holds `lock` from reading `epoch` until `wait` atomically
+/// releases it. A producer that enqueues after the re-check therefore
+/// observes `parked > 0` and bumps `epoch` under the lock — either before
+/// the worker waits (the worker sees the changed epoch and skips the wait)
+/// or while it waits (the notify lands). [`PARK_TIMEOUT`] backstops the
+/// reasoning.
+#[derive(Debug, Default)]
+struct IdleParker {
+    lock: Mutex<u64>,
+    condvar: Condvar,
+    parked: AtomicUsize,
+}
+
+impl IdleParker {
+    /// Wake every parked worker. Costs one relaxed-ish atomic load when
+    /// nobody is parked — cheap enough for the enqueue hot path.
+    fn wake_all(&self) {
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut epoch = self.lock.lock();
+        *epoch = epoch.wrapping_add(1);
+        self.condvar.notify_all();
+    }
+
+    /// Park until woken or [`PARK_TIMEOUT`]. `has_work` is the caller's
+    /// final emptiness re-check, run after the parked count is raised;
+    /// returns `false` (without blocking) when it reports work.
+    fn park(&self, has_work: impl Fn() -> bool) -> bool {
+        let guard = self.lock.lock();
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        if has_work() {
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        // Any producer that enqueued after `has_work` ran must bump the
+        // epoch under this lock, which it can only take once `wait_timeout`
+        // releases it — so the notify cannot be missed.
+        let (guard, _timed_out) = self.condvar.wait_timeout(guard, PARK_TIMEOUT);
+        drop(guard);
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+}
+
 /// The generation-scoped owner of the executor's queues and worker threads.
 ///
 /// The set is sized at `capacity` slots (the scheduler's
@@ -418,6 +492,21 @@ pub struct WorkerSet<T: Send + 'static> {
     config: ExecutorConfig,
     /// Resizes performed over the set's lifetime.
     resizes: AtomicU64,
+    /// Idle workers block here between bursts (see [`IdleParker`]).
+    parker: IdleParker,
+    /// Cumulative nanoseconds spent spawning and retiring workers, and how
+    /// many workers those cover — the cost plane's resize calibration feed.
+    /// Spawn time is measured around the thread spawn (plus joining the
+    /// dead predecessor); retire time covers only the exit hand-off from
+    /// the moment the retiring worker finds its queue dry — the residual
+    /// drain before that point is throughput, not swap overhead, and the
+    /// cost plane prices it separately from the queue depths.
+    resize_nanos: AtomicU64,
+    resized_workers: AtomicU64,
+    /// Optional probe for demand queued upstream of the workers (the
+    /// centralized model's dispatcher queue), sampled into
+    /// [`PoolSample::dispatcher_backlog`].
+    backlog_probe: Mutex<Option<Arc<dyn Fn() -> usize + Send + Sync>>>,
 }
 
 impl<T: Send + 'static> WorkerSet<T> {
@@ -442,7 +531,17 @@ impl<T: Send + 'static> WorkerSet<T> {
             gate: ShutdownGate::new(),
             config,
             resizes: AtomicU64::new(0),
+            parker: IdleParker::default(),
+            resize_nanos: AtomicU64::new(0),
+            resized_workers: AtomicU64::new(0),
+            backlog_probe: Mutex::new(None),
         }
+    }
+
+    /// Fold a measured spawn/retire duration into the calibration feed.
+    fn record_resize_nanos(&self, nanos: u64, workers: u64) {
+        self.resize_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.resized_workers.fetch_add(workers, Ordering::Relaxed);
     }
 
     /// Total slots (the pool's growth ceiling).
@@ -495,6 +594,7 @@ impl<T: Send + 'static> PoolHandle<T> {
 impl<T: Send + 'static> PoolController for PoolHandle<T> {
     fn sample(&self) -> PoolSample {
         let set = &self.set;
+        let probe = set.backlog_probe.lock().clone();
         PoolSample {
             active: set.active(),
             capacity: set.capacity(),
@@ -503,7 +603,12 @@ impl<T: Send + 'static> PoolController for PoolHandle<T> {
             adopted: set.counters.iter().map(|c| c.adopted()).sum(),
             idle_polls: set.counters.iter().map(|c| c.idle_polls()).sum(),
             busy_wakeups: set.counters.iter().map(|c| c.busy_wakeups()).sum(),
+            parks: set.counters.iter().map(|c| c.parks()).sum(),
+            park_nanos: set.counters.iter().map(|c| c.park_nanos()).sum(),
             queue_depths: set.queues.iter().map(|q| q.len()).collect(),
+            dispatcher_backlog: probe.map_or(0, |probe| probe()),
+            resize_nanos: set.resize_nanos.load(Ordering::Relaxed),
+            resized_workers: set.resized_workers.load(Ordering::Relaxed),
         }
     }
 
@@ -529,6 +634,8 @@ impl<T: Send + 'static> PoolController for PoolHandle<T> {
                     Ordering::SeqCst,
                 );
             }
+            // Parked trailing workers must wake to observe their retirement.
+            set.parker.wake_all();
         } else {
             // Grow. The *routing* range was already widened when the
             // scheduler published the new-width partition (publish comes
@@ -558,11 +665,18 @@ impl<T: Send + 'static> PoolController for PoolHandle<T> {
                 }
                 // INACTIVE: the previous incarnation (if any) has exited or
                 // is past its exit CAS — join it, then spawn a fresh one.
+                // The spawn (and any join of the dead predecessor) is timed
+                // into the resize-calibration feed.
+                let spawn_started = Instant::now();
                 if let Some(handle) = handles[index].take() {
                     let _ = handle.join();
                 }
                 set.slots[index].store(SLOT_ACTIVE, Ordering::SeqCst);
                 handles[index] = Some(self.spawn_slot(index));
+                set.record_resize_nanos(
+                    u64::try_from(spawn_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    1,
+                );
             }
         }
         set.resizes.fetch_add(1, Ordering::SeqCst);
@@ -692,6 +806,7 @@ impl<T: Send + 'static> Executor<T> {
         }
         queue.push(task);
         self.set.gate.exit();
+        self.set.parker.wake_all();
         Ok(())
     }
 
@@ -859,6 +974,7 @@ impl<T: Send + 'static> Executor<T> {
                 pushed += chunk.len();
                 queue.push_batch(chunk);
                 self.set.gate.exit();
+                self.set.parker.wake_all();
                 if run.is_empty() {
                     break;
                 }
@@ -909,6 +1025,19 @@ impl<T: Send + 'static> Executor<T> {
         self.set.counters.iter().map(|c| c.adopted()).sum()
     }
 
+    /// Condvar parks performed by idle workers so far.
+    pub fn parks(&self) -> u64 {
+        self.set.counters.iter().map(|c| c.parks()).sum()
+    }
+
+    /// Attach a probe for demand queued upstream of the worker pool (the
+    /// centralized model's dispatcher queue). Sampled into
+    /// [`PoolSample::dispatcher_backlog`] so a saturated dispatcher counts
+    /// as a grow signal instead of being invisible to the controller.
+    pub fn attach_backlog_probe(&self, probe: Arc<dyn Fn() -> usize + Send + Sync>) {
+        *self.set.backlog_probe.lock() = Some(probe);
+    }
+
     /// Current queue lengths (diagnostics / back-pressure tuning), over the
     /// full capacity.
     pub fn queue_lengths(&self) -> Vec<usize> {
@@ -928,11 +1057,13 @@ impl<T: Send + 'static> Executor<T> {
     /// from any thread, any number of times.
     pub fn stop(&self) {
         self.set.gate.close();
+        self.set.parker.wake_all();
     }
 
     /// Stop the workers and collect the final counters.
     pub fn shutdown(self) -> ExecutorReport {
         self.set.gate.close();
+        self.set.parker.wake_all();
         // Serialize against an in-flight resize: once the resize lock is
         // ours, no further resize can pass its open-gate check and spawn,
         // so the join below covers every thread the set will ever have.
@@ -960,6 +1091,7 @@ impl<T: Send + 'static> Executor<T> {
             stolen: self.stolen(),
             adopted: self.adopted(),
             idle_polls: self.set.counters.iter().map(|c| c.idle_polls()).sum(),
+            parks: self.parks(),
             abandoned,
             resizes: self.resizes(),
             active_workers: self.set.active(),
@@ -972,6 +1104,7 @@ impl<T: Send + 'static> Drop for Executor<T> {
     /// stops and joins the worker threads so no run leaks threads.
     fn drop(&mut self) {
         self.set.gate.close();
+        self.set.parker.wake_all();
         drop(self.pool.resize_lock.lock());
         self.pool.join_all();
     }
@@ -1055,6 +1188,13 @@ where
         // empty while the slot is marked retiring — try to exit. A failed
         // CAS means a concurrent grow resurrected the slot; keep working.
         if running_now && set.slots[index].load(Ordering::SeqCst) == SLOT_RETIRING {
+            // Time only the exit hand-off (queue-observed-dry → exit): the
+            // residual drain that preceded it is throughput, not swap
+            // overhead — the cost plane prices stranded residuals
+            // separately from the observed queue depths, and folding drain
+            // time into the per-worker resize estimate would double-count
+            // it and veto cheap resizes for epochs afterwards.
+            let exit_started = Instant::now();
             if set.slots[index]
                 .compare_exchange(
                     SLOT_RETIRING,
@@ -1064,6 +1204,10 @@ where
                 )
                 .is_ok()
             {
+                set.record_resize_nanos(
+                    u64::try_from(exit_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    1,
+                );
                 return;
             }
             continue;
@@ -1112,6 +1256,36 @@ where
             continue;
         }
         set.counters[index].record_idle_poll();
+        if set.config.parking && backoff.is_sleeping() {
+            // Escalated past spinning with still nothing to do: block until
+            // an enqueue, resize, or shutdown wakes us, instead of burning
+            // backoff sleeps. The closure is the final emptiness re-check
+            // the parker runs after raising the parked count (see
+            // IdleParker); it covers every wake condition the loop above
+            // polls for — own queue, orphan slots, steal targets, slot
+            // retirement, shutdown.
+            let park_started = Instant::now();
+            let parked = set.parker.park(|| {
+                if !set.gate.is_open()
+                    || set.slots[index].load(Ordering::SeqCst) == SLOT_RETIRING
+                    || !set.queues[index].is_empty()
+                {
+                    return true;
+                }
+                let active = set.active();
+                if (active..set.capacity()).any(|slot| !set.queues[slot].is_empty()) {
+                    return true;
+                }
+                set.config.work_stealing
+                    && (0..active).any(|slot| slot != index && !set.queues[slot].is_empty())
+            });
+            if parked {
+                set.counters[index].record_park(
+                    u64::try_from(park_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
+            continue;
+        }
         backoff.snooze();
     }
 }
@@ -1681,6 +1855,96 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
         assert_eq!(report.resizes, 1);
         assert_eq!(report.active_workers, 4);
+    }
+
+    #[test]
+    fn idle_workers_park_and_wake_on_enqueue() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(2));
+        let (exec, sum) = counting_executor(scheduler, drain_config());
+        for i in 1..=100u64 {
+            exec.submit_blocking(i, i).unwrap();
+        }
+        // Let the pool drain and go idle: backoff escalates past spinning
+        // and the workers park instead of sleep-polling.
+        let started = std::time::Instant::now();
+        while exec.parks() == 0 && started.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(exec.parks() > 0, "idle workers must park");
+        // A fresh enqueue must wake a parked worker promptly.
+        exec.submit_blocking(0, 1_000).unwrap();
+        let expected = 100 * 101 / 2 + 1_000;
+        let woke = std::time::Instant::now();
+        while sum.load(Ordering::Relaxed) != expected && woke.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            expected,
+            "enqueue must wake a parked worker"
+        );
+        let report = exec.shutdown();
+        assert_eq!(report.completed(), 101);
+        assert!(report.parks > 0, "{report:?}");
+    }
+
+    #[test]
+    fn parking_can_be_disabled() {
+        let scheduler = Arc::new(RoundRobinScheduler::new(1));
+        let (exec, _) = counting_executor(scheduler, drain_config().with_parking(false));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(exec.parks(), 0, "disabled parking never parks");
+        exec.shutdown();
+    }
+
+    /// A scheduler that captures the pool controller the executor hands it,
+    /// so tests can read the raw [`PoolSample`] feed.
+    struct CaptivePool {
+        inner: RoundRobinScheduler,
+        pool: Mutex<Option<Arc<dyn PoolController>>>,
+    }
+
+    impl Scheduler for CaptivePool {
+        fn dispatch(&self, key: crate::key::TxnKey) -> usize {
+            self.inner.dispatch(key)
+        }
+
+        fn workers(&self) -> usize {
+            self.inner.workers()
+        }
+
+        fn attach_pool(&self, pool: Arc<dyn PoolController>) {
+            *self.pool.lock() = Some(pool);
+        }
+
+        fn name(&self) -> &'static str {
+            "captive"
+        }
+    }
+
+    #[test]
+    fn backlog_probe_feeds_dispatcher_depth_into_the_pool_sample() {
+        let scheduler = Arc::new(CaptivePool {
+            inner: RoundRobinScheduler::new(2),
+            pool: Mutex::new(None),
+        });
+        let (exec, _) =
+            counting_executor(Arc::clone(&scheduler) as Arc<dyn Scheduler>, drain_config());
+        let pool = scheduler
+            .pool
+            .lock()
+            .clone()
+            .expect("pool attached at start");
+        assert_eq!(pool.sample().dispatcher_backlog, 0, "no probe yet");
+        exec.attach_backlog_probe(Arc::new(|| 42));
+        let sample = pool.sample();
+        assert_eq!(sample.dispatcher_backlog, 42);
+        assert_eq!(
+            sample.backlog(),
+            sample.queue_depths.iter().sum::<usize>() + 42,
+            "dispatcher demand counts into the grow signal"
+        );
+        exec.shutdown();
     }
 
     #[test]

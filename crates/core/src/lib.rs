@@ -46,6 +46,7 @@
 
 pub mod adaptive;
 pub mod cdf;
+pub mod cost;
 pub mod drift;
 pub mod executor;
 pub mod histogram;
@@ -58,6 +59,7 @@ pub mod stats;
 
 pub use adaptive::AdaptiveKeyScheduler;
 pub use cdf::PiecewiseCdf;
+pub use cost::{CostModelConfig, CostModelView, CostPolicy};
 pub use drift::{
     AdaptationCause, AdaptationConfig, AdaptationEvent, ContentionSample, ContentionSource,
 };

@@ -23,6 +23,8 @@ pub struct WorkerCounters {
     retries: AtomicU64,
     idle_polls: AtomicU64,
     busy_wakeups: AtomicU64,
+    parks: AtomicU64,
+    park_nanos: AtomicU64,
     stolen: AtomicU64,
     adopted: AtomicU64,
 }
@@ -54,6 +56,18 @@ impl WorkerCounters {
     /// dwarf the rate-limited idle polls even on a mostly-idle pool.
     pub fn record_busy_wakeup(&self) {
         self.busy_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one condvar park of `nanos` measured duration: the worker
+    /// gave up polling and blocked until an enqueue (or shutdown/resize)
+    /// woke it. The busy-wakeup counterpart of burning backoff sleeps — a
+    /// parked worker costs zero CPU. The duration matters: one park covers
+    /// the idle time of dozens of backoff polls, so idle-fraction math must
+    /// weight parked time, not count park events (see
+    /// [`crate::drift::PoolSample::park_nanos`]).
+    pub fn record_park(&self, nanos: u64) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.park_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Record a task stolen from another worker's queue.
@@ -93,6 +107,16 @@ impl WorkerCounters {
     /// Wakeups that found work.
     pub fn busy_wakeups(&self) -> u64 {
         self.busy_wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Condvar parks (idle blocks waiting for an enqueue).
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent parked.
+    pub fn park_nanos(&self) -> u64 {
+        self.park_nanos.load(Ordering::Relaxed)
     }
 
     /// Tasks executed after stealing them from an active peer's queue.
@@ -181,10 +205,13 @@ mod tests {
         c.record_completed(3);
         c.record_idle_poll();
         c.record_steal();
+        c.record_park(25_000_000);
         assert_eq!(c.completed(), 2);
         assert_eq!(c.retries(), 2);
         assert_eq!(c.idle_polls(), 1);
         assert_eq!(c.stolen(), 1);
+        assert_eq!(c.parks(), 1);
+        assert_eq!(c.park_nanos(), 25_000_000);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use katme_collections::StructureKind;
 use katme_harness::experiments::executor_models;
 use katme_harness::{
-    balance_table, batch_dispatch, contention_table, fig3_hashtable, fig4_overhead,
-    format_throughput, print_series_table, tree_list, HarnessOptions,
+    balance_table, batch_dispatch, contention_table, cost_adaptation, fig3_hashtable,
+    fig4_overhead, format_throughput, print_series_table, tree_list, HarnessOptions,
 };
 use katme_workload::DistributionKind;
 
@@ -87,6 +87,19 @@ fn main() {
             "  {:>12} / batch {batch:>4}: {} txn/s",
             structure.name(),
             format_throughput(row.throughput)
+        );
+    }
+
+    println!("\n################ Threshold vs. cost-model adaptation ################");
+    for row in cost_adaptation(&opts) {
+        println!(
+            "  {:>12} / {:>10} / {:>10}: {} txn/s, {} swap(s), {} unjustified",
+            row.structure.name(),
+            row.workload,
+            row.mode,
+            format_throughput(row.result.throughput),
+            row.swaps(),
+            row.unjustified_swaps()
         );
     }
 }

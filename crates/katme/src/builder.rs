@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use katme_core::adaptive::AdaptiveKeyScheduler;
 use katme_core::cdf::PiecewiseCdf;
+use katme_core::cost::CostModelConfig;
 use katme_core::drift::{AdaptationConfig, ContentionSample};
 use katme_core::executor::ExecutorConfig;
 use katme_core::key::{KeyBounds, TxnKey};
@@ -13,7 +14,7 @@ use katme_queue::QueueKind;
 use katme_stm::telemetry::{KeyRangeTelemetry, DEFAULT_TELEMETRY_BUCKETS};
 use katme_stm::{CmKind, Stm, StmConfig};
 
-use crate::error::KatmeError;
+use crate::error::{BuilderError, KatmeError};
 use crate::runtime::Runtime;
 
 /// The facade's entry point. [`Katme::builder`] composes STM configuration,
@@ -64,6 +65,7 @@ pub struct Builder {
     elastic: bool,
     min_workers: Option<usize>,
     max_workers: Option<usize>,
+    cost_model: bool,
     queue: QueueKind,
     model: ExecutorModel,
     stm_config: StmConfig,
@@ -92,6 +94,7 @@ impl Default for Builder {
             elastic: false,
             min_workers: None,
             max_workers: None,
+            cost_model: false,
             queue: QueueKind::TwoLock,
             model: ExecutorModel::Parallel,
             stm_config: StmConfig::default(),
@@ -228,6 +231,24 @@ impl Builder {
         self
     }
 
+    /// Enable the **predictive cost plane** (see `katme_core::cost`): once
+    /// its swap-cost calibration is warm (the initial adaptation provides
+    /// the first sample), the adaptive scheduler replaces the drift /
+    /// contention / steal / resize threshold triggers with a single
+    /// cost-model decision per epoch — score candidate plans (boundary
+    /// moves, width changes, joint changes) by predicted next-epoch abort +
+    /// queueing-imbalance cost, and adopt the best one only when its
+    /// trusted gain exceeds the measured cost of the swap itself.
+    /// Mispredictions shrink the model's trust and widen its decision
+    /// margin, so a wrong model stops swapping instead of oscillating.
+    /// Implies continuous adaptation; requires the adaptive scheduler.
+    /// Threshold mode remains the default (and the fallback while
+    /// calibration is cold).
+    pub fn cost_model(mut self, enabled: bool) -> Self {
+        self.cost_model = enabled;
+        self
+    }
+
     /// Task-queue implementation for the worker queues.
     pub fn queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
@@ -292,105 +313,68 @@ impl Builder {
         self
     }
 
-    fn validate(&self) -> Result<KeyBounds, KatmeError> {
+    fn validate(&self) -> Result<KeyBounds, BuilderError> {
         if self.scheduler_instance.is_none() && self.workers == 0 {
-            return Err(KatmeError::InvalidConfig(
-                "workers must be at least 1".into(),
-            ));
+            return Err(BuilderError::ZeroWorkers);
         }
         if self.producers == 0 {
-            return Err(KatmeError::InvalidConfig(
-                "producers must be at least 1".into(),
-            ));
+            return Err(BuilderError::ZeroProducers);
         }
         if self.key_min > self.key_max {
-            return Err(KatmeError::InvalidConfig(format!(
-                "inverted key bounds: min {} > max {}",
-                self.key_min, self.key_max
-            )));
+            return Err(BuilderError::InvertedKeyBounds {
+                min: self.key_min,
+                max: self.key_max,
+            });
         }
         if self.max_queue_depth == Some(0) {
-            return Err(KatmeError::InvalidConfig(
-                "max_queue_depth of 0 would reject every submission; use None to disable \
-                 back-pressure"
-                    .into(),
-            ));
+            return Err(BuilderError::ZeroQueueDepth);
         }
         if self.batch_size == 0 {
-            return Err(KatmeError::InvalidConfig(
-                "batch_size must be at least 1 (workers drain up to batch_size tasks per wakeup)"
-                    .into(),
-            ));
+            return Err(BuilderError::ZeroBatchSize);
         }
         if let Some(instance) = &self.scheduler_instance {
             if instance.workers() == 0 {
-                return Err(KatmeError::InvalidConfig(
-                    "scheduler instance routes to 0 workers".into(),
-                ));
+                return Err(BuilderError::SchedulerInstanceZeroWorkers);
             }
         }
         if self.adaptation_log_capacity == Some(0) {
-            return Err(KatmeError::InvalidConfig(
-                "adaptation_log_capacity must be at least 1".into(),
-            ));
+            return Err(BuilderError::ZeroAdaptationLogCapacity);
         }
         if self.elastic {
             if self.scheduler_instance.is_some() {
-                return Err(KatmeError::InvalidConfig(
-                    "elastic worker scaling cannot be combined with scheduler_instance; \
-                     configure the instance's worker range directly"
-                        .into(),
-                ));
+                return Err(BuilderError::ElasticSchedulerInstance);
             }
             if self.scheduler != SchedulerKind::AdaptiveKey {
-                return Err(KatmeError::InvalidConfig(format!(
-                    "elastic worker scaling requires the adaptive scheduler, not '{}'",
-                    self.scheduler
-                )));
+                return Err(BuilderError::ElasticNeedsAdaptive {
+                    scheduler: self.scheduler,
+                });
             }
             if self.model == ExecutorModel::NoExecutor {
-                return Err(KatmeError::InvalidConfig(
-                    "elastic worker scaling requires a worker pool; the no-executor model \
-                     executes inline in the submitting thread"
-                        .into(),
-                ));
+                return Err(BuilderError::ElasticNeedsPool);
             }
             let (min, max) = self.worker_range();
             if min == 0 {
-                return Err(KatmeError::InvalidConfig(
-                    "min_workers must be at least 1".into(),
-                ));
+                return Err(BuilderError::ZeroMinWorkers);
             }
             if min > max {
-                return Err(KatmeError::InvalidConfig(format!(
-                    "inverted worker range: min_workers {min} > max_workers {max}"
-                )));
+                return Err(BuilderError::InvertedWorkerRange { min, max });
             }
         }
         if self.adaptation_enabled() {
             if self.scheduler_instance.is_some() {
-                return Err(KatmeError::InvalidConfig(
-                    "adaptation knobs cannot be combined with scheduler_instance; configure the \
-                     instance's AdaptationConfig directly"
-                        .into(),
-                ));
+                return Err(BuilderError::AdaptationSchedulerInstance);
             }
             if self.scheduler != SchedulerKind::AdaptiveKey {
-                return Err(KatmeError::InvalidConfig(format!(
-                    "adaptation knobs require the adaptive scheduler, not '{}'",
-                    self.scheduler
-                )));
+                return Err(BuilderError::AdaptationNeedsAdaptive {
+                    scheduler: self.scheduler,
+                });
             }
             if self.adaptation_interval == Some(0) {
-                return Err(KatmeError::InvalidConfig(
-                    "adaptation_interval must be at least 1".into(),
-                ));
+                return Err(BuilderError::ZeroAdaptationInterval);
             }
             if let Some(threshold) = self.drift_threshold {
                 if !(threshold > 0.0 && threshold <= 1.0) {
-                    return Err(KatmeError::InvalidConfig(format!(
-                        "drift_threshold must lie in (0, 1], got {threshold}"
-                    )));
+                    return Err(BuilderError::DriftThresholdOutOfRange { value: threshold });
                 }
             }
         }
@@ -398,12 +382,14 @@ impl Builder {
     }
 
     /// True when any continuous-adaptation knob was set — or the pool is
-    /// elastic, whose concurrency controller runs on the epoch plane.
+    /// elastic (whose concurrency controller runs on the epoch plane), or
+    /// the cost model is on (which decides on the same plane).
     fn adaptation_enabled(&self) -> bool {
         self.adaptation_interval.is_some()
             || self.drift_threshold.is_some()
             || self.max_repartitions.is_some()
             || self.elastic
+            || self.cost_model
     }
 
     /// The elastic worker range implied by the set knobs (meaningful only
@@ -516,6 +502,9 @@ impl Builder {
                         .with_adaptation(self.adaptation_config())
                         .with_contention_source(Arc::new(source))
                         .with_cdf_observer(Arc::new(observer));
+                    if self.cost_model {
+                        adaptive = adaptive.with_cost_model(CostModelConfig::default());
+                    }
                 }
                 Arc::new(adaptive)
             }
@@ -553,6 +542,7 @@ impl std::fmt::Debug for Builder {
             .field("elastic", &self.elastic)
             .field("min_workers", &self.min_workers)
             .field("max_workers", &self.max_workers)
+            .field("cost_model", &self.cost_model)
             .field("queue", &self.queue)
             .field("model", &self.model)
             .field("max_queue_depth", &self.max_queue_depth)
@@ -587,7 +577,10 @@ mod tests {
             .workers(0)
             .build(noop_handler())
             .unwrap_err();
-        assert!(matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("workers")));
+        assert!(matches!(
+            err,
+            KatmeError::InvalidConfig(BuilderError::ZeroWorkers)
+        ));
     }
 
     #[test]
@@ -596,7 +589,10 @@ mod tests {
             .key_range(100, 10)
             .build(noop_handler())
             .unwrap_err();
-        assert!(matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("inverted")));
+        assert!(matches!(
+            err,
+            KatmeError::InvalidConfig(BuilderError::InvertedKeyBounds { min: 100, max: 10 })
+        ));
     }
 
     #[test]
@@ -615,7 +611,7 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("batch_size")),
+            matches!(err, KatmeError::InvalidConfig(BuilderError::ZeroBatchSize)),
             "{err}"
         );
         assert!(Katme::builder()
@@ -635,7 +631,10 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("adaptive")),
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::AdaptationNeedsAdaptive { .. })
+            ),
             "{err}"
         );
         let err = Katme::builder()
@@ -644,7 +643,10 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("scheduler_instance")),
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::AdaptationSchedulerInstance)
+            ),
             "{err}"
         );
     }
@@ -689,7 +691,10 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("inverted worker")),
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::InvertedWorkerRange { min: 4, max: 2 })
+            ),
             "{err}"
         );
         // min of zero rejected.
@@ -704,7 +709,10 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("adaptive")),
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::ElasticNeedsAdaptive { .. })
+            ),
             "{err}"
         );
         // ...and a worker pool: the inline no-executor model has nothing
@@ -715,7 +723,10 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("no-executor")),
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::ElasticNeedsPool)
+            ),
             "{err}"
         );
         // ...and cannot ride on a pre-built instance.
@@ -725,7 +736,10 @@ mod tests {
             .build(noop_handler())
             .unwrap_err();
         assert!(
-            matches!(err, KatmeError::InvalidConfig(ref msg) if msg.contains("scheduler_instance")),
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::ElasticSchedulerInstance)
+            ),
             "{err}"
         );
         // A valid elastic runtime: capacity = max_workers, initial = workers,

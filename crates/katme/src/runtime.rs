@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use katme_core::cost::CostModelView;
 use katme_core::drift::AdaptationEvent;
 use katme_core::executor::{Executor, ShutdownGate, SubmitError, SubmitRejection};
 use katme_core::key::TxnKey;
@@ -242,6 +243,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         let central = match (model, &executor) {
             (ExecutorModel::Centralized, Some(executor)) => {
                 let queue: Arc<TwoLockQueue<Envelope<T, R>>> = Arc::new(TwoLockQueue::new());
+                // The dispatcher's queue is demand the workers have not seen
+                // yet: expose its depth to the pool telemetry so a saturated
+                // dispatcher counts as a grow signal for the elastic
+                // controller and the cost plane.
+                {
+                    let probe = Arc::clone(&queue);
+                    executor.attach_backlog_probe(Arc::new(move || probe.count()));
+                }
                 let gate = Arc::new(ShutdownGate::new());
                 let dropped = Arc::new(AtomicU64::new(0));
                 let dispatcher = {
@@ -819,6 +828,10 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 .executor
                 .as_ref()
                 .map_or(0, |executor| executor.adopted()),
+            parks: self
+                .executor
+                .as_ref()
+                .map_or(0, |executor| executor.parks()),
             resizes: self
                 .executor
                 .as_ref()
@@ -835,6 +848,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             repartitions: self.scheduler.repartitions(),
             partition_generation: self.scheduler.generation(),
             adaptations: self.scheduler.adaptation_log(),
+            cost_model: self.scheduler.cost_model(),
             stm: self.stm.snapshot().since(&self.stm_baseline),
         }
     }
@@ -899,6 +913,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     stolen: report.stolen,
                     adopted: report.adopted,
                     idle_polls: report.idle_polls,
+                    parks: report.parks,
                     load: report.load,
                     elapsed,
                     stm: self.stm.snapshot().since(&self.stm_baseline),
@@ -914,6 +929,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 stolen: 0,
                 adopted: 0,
                 idle_polls: 0,
+                parks: 0,
                 load: LoadBalance::new(vec![inline]),
                 elapsed,
                 stm: self.stm.snapshot().since(&self.stm_baseline),
@@ -984,6 +1000,9 @@ pub struct StatsView {
     pub steals: u64,
     /// Tasks executed after being adopted from a retired worker's queue.
     pub adopted: u64,
+    /// Condvar parks: idle periods workers spent blocked at zero CPU
+    /// (woken by the next enqueue) instead of backoff polling.
+    pub parks: u64,
     /// Worker-pool resizes performed so far.
     pub resizes: u64,
     /// Current depth of each worker queue (over all slots).
@@ -1001,6 +1020,10 @@ pub struct StatsView {
     /// ([`katme_core::adaptive::ADAPTATION_LOG_CAP`]); the generation
     /// numbers stay continuous, so eviction is detectable.
     pub adaptations: Vec<AdaptationEvent>,
+    /// The predictive cost plane's state (calibration, trust, margin, last
+    /// prediction error), `None` unless [`crate::Builder::cost_model`] is
+    /// on. Also readable through [`StatsView::cost_model`].
+    pub cost_model: Option<CostModelView>,
     /// STM activity since the runtime started.
     pub stm: StmStatsSnapshot,
 }
@@ -1048,6 +1071,13 @@ impl StatsView {
             repartitions: self.repartitions.saturating_sub(earlier.repartitions),
             stm: self.stm.since(&earlier.stm),
         }
+    }
+
+    /// The predictive cost plane's state — calibration, trust, decision
+    /// margin, last prediction error — `None` unless the runtime was built
+    /// with [`crate::Builder::cost_model`].
+    pub fn cost_model(&self) -> Option<&CostModelView> {
+        self.cost_model.as_ref()
     }
 
     /// Tasks currently waiting in queues (workers plus dispatcher).
@@ -1122,6 +1152,9 @@ pub struct ShutdownReport {
     pub adopted: u64,
     /// Worker polls that found no work.
     pub idle_polls: u64,
+    /// Condvar parks: idle periods workers spent blocked at zero CPU
+    /// instead of backoff polling.
+    pub parks: u64,
     /// Per-worker own-queue completion counts (routed load; stolen and
     /// adopted work is in the fields above).
     pub load: LoadBalance,

@@ -1,0 +1,195 @@
+//! Acceptance tests for the predictive cost plane, end to end through the
+//! facade: a sustained phase shift must be answered by a cost-model swap
+//! whose logged predicted gain exceeds its logged swap cost, a stationary
+//! run must never spend a swap, and the calibration/trust state must be
+//! observable through `StatsView::cost_model`.
+
+use std::time::Duration;
+
+use katme::{AdaptationCause, Katme, KeyPartition, WithKey};
+use katme_workload::{DistributionKind, KeyDistribution};
+
+/// Workers used by every run in this file.
+const WORKERS: usize = 4;
+/// Raw 17-bit key space (matches the paper's generator).
+const KEY_MAX: u64 = 131_071;
+/// Samples before the initial adaptation and per continuous epoch.
+const EPOCH: u64 = 2_000;
+
+fn cost_runtime() -> katme::Runtime<WithKey<()>, ()> {
+    Katme::builder()
+        .workers(WORKERS)
+        .key_range(0, KEY_MAX)
+        .sample_threshold(EPOCH as usize)
+        .adaptation_interval(EPOCH)
+        .cost_model(true)
+        .build(|_worker, _task: WithKey<()>| {})
+        .expect("valid cost-model configuration")
+}
+
+fn submit_keys(
+    runtime: &katme::Runtime<WithKey<()>, ()>,
+    dist: &mut KeyDistribution,
+    count: usize,
+    mirror: bool,
+) {
+    for _ in 0..count {
+        let key = u64::from(dist.sample_raw());
+        let key = if mirror { KEY_MAX - key } else { key };
+        runtime.submit_detached(WithKey::new(key, ())).unwrap();
+    }
+}
+
+/// Lengthen the running epoch's wall clock so the measured service rate
+/// stays modest and the swap price (seconds × rate) converts to a small
+/// task count even when a CI hiccup inflates one publish measurement.
+fn stretch_epoch() {
+    std::thread::sleep(Duration::from_millis(25));
+}
+
+fn routed_imbalance(partition: &KeyPartition, dist: &mut KeyDistribution, mirror: bool) -> f64 {
+    let mut counts = [0u64; WORKERS];
+    for _ in 0..20_000 {
+        let key = u64::from(dist.sample_raw());
+        let key = if mirror { KEY_MAX - key } else { key };
+        counts[partition.worker_for(key)] += 1;
+    }
+    let max = *counts.iter().max().unwrap() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / WORKERS as f64;
+    max / mean
+}
+
+/// A sustained phase shift must produce a cost-model swap — justified by
+/// its own log entry — and leave the partition balanced for the new phase,
+/// with no further swaps once the phase holds.
+#[test]
+fn phase_shift_spends_one_justified_swap() {
+    let runtime = cost_runtime();
+    let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 47);
+
+    // Initial adaptation (which warms the swap-cost calibration) plus one
+    // stationary epoch.
+    submit_keys(&runtime, &mut dist, 2 * EPOCH as usize, false);
+    let stats = runtime.stats();
+    assert_eq!(stats.repartitions, 1, "initial adaptation only: {stats:?}");
+    let view = stats.cost_model().expect("cost plane attached");
+    assert!(view.calibrated, "initial publish warms the calibration");
+    assert!(view.calibration.publish_seconds.is_some());
+
+    // The mirrored high end, sustained. The first shifted epoch reads as
+    // non-persistent (it contradicts its predecessor); the second confirms
+    // the shape and the swap lands.
+    for _ in 0..2 {
+        stretch_epoch();
+        submit_keys(&runtime, &mut dist, EPOCH as usize, true);
+    }
+    let stats = runtime.stats();
+    assert!(
+        stats.repartitions >= 2,
+        "the shift must be answered: {:?}",
+        stats.adaptations
+    );
+    let last = stats.adaptations.last().expect("log has entries");
+    match last.cause {
+        AdaptationCause::CostModel {
+            predicted_gain,
+            swap_cost,
+        } => {
+            assert!(
+                predicted_gain > swap_cost,
+                "every adopted swap is justified by construction: {last:?}"
+            );
+        }
+        ref other => panic!("the swap must be attributed to the cost model: {other:?}"),
+    }
+
+    // The new phase, sustained: no more swaps, and the published partition
+    // balances the mirrored traffic.
+    let settled = stats.repartitions;
+    submit_keys(&runtime, &mut dist, 2 * EPOCH as usize, true);
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.repartitions, settled,
+        "a settled phase must not churn: {:?}",
+        stats.adaptations
+    );
+    let partition = runtime
+        .scheduler()
+        .partition()
+        .expect("adaptive scheduler exposes its partition");
+    let imbalance = routed_imbalance(&partition, &mut dist, true);
+    assert!(
+        imbalance < 1.5,
+        "the adopted plan must re-balance the shifted keys: {imbalance:.2}x"
+    );
+    let report = runtime.shutdown();
+    assert_eq!(report.repartitions, report.adaptations.len() as u64);
+}
+
+/// A stationary run of the same volume must never spend a swap: the
+/// deadband prices sampling noise at zero gain, so no plan ever beats its
+/// swap cost.
+#[test]
+fn stationary_run_never_spends_a_swap() {
+    let runtime = cost_runtime();
+    let mut dist = KeyDistribution::new(DistributionKind::exponential_paper(), 47);
+    submit_keys(&runtime, &mut dist, 6 * EPOCH as usize, false);
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.repartitions, 1,
+        "zero swaps on stationary load: {:?}",
+        stats.adaptations
+    );
+    let view = stats.cost_model().expect("cost plane attached");
+    assert!(
+        view.decisions >= 2,
+        "epochs were decided, not skipped: {view:?}"
+    );
+    assert_eq!(view.adoptions, 0, "{view:?}");
+    runtime.shutdown();
+}
+
+/// Without `cost_model(true)` the stats surface reports no cost plane, and
+/// with it the view carries the calibration estimates.
+#[test]
+fn cost_model_state_is_surfaced_only_when_enabled() {
+    let threshold = Katme::builder()
+        .adaptation_interval(EPOCH)
+        .build(|_worker, _task: WithKey<()>| {})
+        .unwrap();
+    assert!(threshold.stats().cost_model().is_none());
+    threshold.shutdown();
+
+    let runtime = cost_runtime();
+    let view = runtime.stats().cost_model.clone().expect("view present");
+    assert!(!view.calibrated, "no publish has been measured yet");
+    assert_eq!(view.calibration.publish_samples, 0);
+    assert_eq!(view.trust, 1.0);
+    assert_eq!(view.margin, 1.0);
+    runtime.shutdown();
+}
+
+/// Idle workers park on the condvar between bursts (zero CPU) and wake on
+/// the next submission; the parks are counted through the stats surface.
+#[test]
+fn idle_workers_park_between_bursts_and_wake_on_submit() {
+    let runtime = Katme::builder()
+        .workers(2)
+        .key_range(0, KEY_MAX)
+        .build(|_worker, _task: WithKey<()>| {})
+        .unwrap();
+    for key in 0..100u64 {
+        runtime.submit_detached(WithKey::new(key, ())).unwrap();
+    }
+    // Let the pool drain and go idle long enough to escalate into parking.
+    let started = std::time::Instant::now();
+    while runtime.stats().parks == 0 && started.elapsed() < Duration::from_secs(2) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(runtime.stats().parks > 0, "idle workers must park");
+    // Parked workers still serve the next burst promptly.
+    let handle = runtime.submit(WithKey::new(7, ())).unwrap();
+    handle.wait().expect("woken worker executes the task");
+    let report = runtime.shutdown();
+    assert!(report.parks > 0, "{report:?}");
+}

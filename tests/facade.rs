@@ -7,7 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use katme::{
-    ExecutorModel, Katme, KatmeError, KeyedTask, QueueKind, SchedulerKind, TxnKey, WithKey,
+    BuilderError, ExecutorModel, Katme, KatmeError, KeyedTask, QueueKind, SchedulerKind, TxnKey,
+    WithKey,
 };
 
 /// A self-routing task: squares its payload, scheduled by its payload.
@@ -25,14 +26,20 @@ fn builder_rejects_invalid_configurations() {
         .workers(0)
         .build(|_, t: u64| t)
         .unwrap_err();
-    assert!(matches!(zero_workers, KatmeError::InvalidConfig(_)));
+    assert!(matches!(
+        zero_workers,
+        KatmeError::InvalidConfig(BuilderError::ZeroWorkers)
+    ));
 
     let inverted = Katme::builder()
         .key_range(50, 5)
         .build(|_, t: u64| t)
         .unwrap_err();
     assert!(
-        matches!(inverted, KatmeError::InvalidConfig(ref msg) if msg.contains("inverted")),
+        matches!(
+            inverted,
+            KatmeError::InvalidConfig(BuilderError::InvertedKeyBounds { min: 50, max: 5 })
+        ),
         "{inverted}"
     );
 
@@ -40,7 +47,35 @@ fn builder_rejects_invalid_configurations() {
         .max_queue_depth(Some(0))
         .build(|_, t: u64| t)
         .unwrap_err();
-    assert!(matches!(zero_depth, KatmeError::InvalidConfig(_)));
+    assert!(matches!(
+        zero_depth,
+        KatmeError::InvalidConfig(BuilderError::ZeroQueueDepth)
+    ));
+
+    // The adaptation-plane validation gap, closed: a zero epoch length and
+    // an out-of-range drift threshold are typed build-time rejections, not
+    // silently degenerate runtime behaviour.
+    let zero_interval = Katme::builder()
+        .adaptation_interval(0)
+        .build(|_, t: u64| t)
+        .unwrap_err();
+    assert!(matches!(
+        zero_interval,
+        KatmeError::InvalidConfig(BuilderError::ZeroAdaptationInterval)
+    ));
+    for bad in [0.0, -0.3, 1.5, f64::NAN] {
+        let err = Katme::builder()
+            .drift_threshold(bad)
+            .build(|_, t: u64| t)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                KatmeError::InvalidConfig(BuilderError::DriftThresholdOutOfRange { .. })
+            ),
+            "drift_threshold {bad} must be rejected: {err}"
+        );
+    }
 }
 
 #[test]
