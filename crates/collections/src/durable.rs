@@ -1,0 +1,237 @@
+//! Wire codec for dictionary operations and snapshots.
+//!
+//! The durability plane logs one record per committed writing transaction
+//! and periodically checkpoints the whole dictionary; this module defines
+//! the byte layouts for both so the WAL crate can stay generic over
+//! `Vec<u8>` payloads.
+//!
+//! ## Operation records
+//!
+//! ```text
+//! insert:  [0x01][key: u32 LE][value: u64 LE]    (13 bytes)
+//! remove:  [0x02][key: u32 LE]                   (5 bytes)
+//! ```
+//!
+//! Lookups are read-only and never logged — [`encode_op`] returns `None`
+//! for them, which is the signal the runtime uses to skip the WAL entirely
+//! for read-only work.
+//!
+//! ## Snapshots
+//!
+//! ```text
+//! [version: u8 = 1][count: u32 LE][count × (key: u32 LE, value: u64 LE)]
+//! ```
+//!
+//! Replaying an operation record is idempotent per key (insert and remove
+//! are both last-writer-wins on their key), which is what lets recovery
+//! apply a fuzzy snapshot and then replay every logged record with a
+//! sequence number past the checkpoint position without double-apply
+//! hazards. Decoding is strict: trailing bytes, truncated pairs, unknown
+//! tags and unknown versions are all errors, because a corrupt record that
+//! passed the WAL's CRC would indicate an encoder bug worth failing loudly
+//! on.
+
+use crate::dictionary::{DictOp, Dictionary, Key, Value};
+
+/// Tag byte for an insert record.
+const TAG_INSERT: u8 = 0x01;
+/// Tag byte for a remove record.
+const TAG_REMOVE: u8 = 0x02;
+/// Snapshot format version written by [`encode_snapshot`].
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// Encode a dictionary operation for the WAL. Returns `None` for lookups,
+/// which are read-only and must not be logged.
+pub fn encode_op(op: &DictOp) -> Option<Vec<u8>> {
+    match op {
+        DictOp::Insert { key, value } => {
+            let mut out = Vec::with_capacity(13);
+            out.push(TAG_INSERT);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+            Some(out)
+        }
+        DictOp::Remove { key } => {
+            let mut out = Vec::with_capacity(5);
+            out.push(TAG_REMOVE);
+            out.extend_from_slice(&key.to_le_bytes());
+            Some(out)
+        }
+        DictOp::Lookup { .. } => None,
+    }
+}
+
+/// Decode an operation record produced by [`encode_op`].
+///
+/// Strict: the payload must be exactly one record with no trailing bytes.
+pub fn decode_op(bytes: &[u8]) -> Result<DictOp, String> {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| "empty operation record".to_string())?;
+    match tag {
+        TAG_INSERT => {
+            if rest.len() != 12 {
+                return Err(format!(
+                    "insert record has {} payload bytes, want 12",
+                    rest.len()
+                ));
+            }
+            let key = Key::from_le_bytes(rest[..4].try_into().expect("length checked"));
+            let value = Value::from_le_bytes(rest[4..].try_into().expect("length checked"));
+            Ok(DictOp::Insert { key, value })
+        }
+        TAG_REMOVE => {
+            if rest.len() != 4 {
+                return Err(format!(
+                    "remove record has {} payload bytes, want 4",
+                    rest.len()
+                ));
+            }
+            let key = Key::from_le_bytes(rest.try_into().expect("length checked"));
+            Ok(DictOp::Remove { key })
+        }
+        other => Err(format!("unknown operation tag 0x{other:02x}")),
+    }
+}
+
+/// Encode a full-dictionary snapshot for a checkpoint payload.
+pub fn encode_snapshot(entries: &[(Key, Value)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + entries.len() * 12);
+    out.push(SNAPSHOT_VERSION);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(key, value) in entries {
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a snapshot produced by [`encode_snapshot`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<(Key, Value)>, String> {
+    let (&version, rest) = bytes
+        .split_first()
+        .ok_or_else(|| "empty snapshot".to_string())?;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!("unknown snapshot version {version}"));
+    }
+    if rest.len() < 4 {
+        return Err("snapshot truncated before entry count".to_string());
+    }
+    let count = u32::from_le_bytes(rest[..4].try_into().expect("length checked")) as usize;
+    let body = &rest[4..];
+    if body.len() != count * 12 {
+        return Err(format!(
+            "snapshot body has {} bytes, want {} for {count} entries",
+            body.len(),
+            count * 12
+        ));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for pair in body.chunks_exact(12) {
+        let key = Key::from_le_bytes(pair[..4].try_into().expect("length checked"));
+        let value = Value::from_le_bytes(pair[4..].try_into().expect("length checked"));
+        entries.push((key, value));
+    }
+    Ok(entries)
+}
+
+/// Apply a decoded operation record to a dictionary during recovery replay.
+pub fn apply_op(dict: &dyn Dictionary, op: &DictOp) {
+    match op {
+        DictOp::Insert { key, value } => {
+            dict.insert(*key, *value);
+        }
+        DictOp::Remove { key } => {
+            dict.remove(*key);
+        }
+        DictOp::Lookup { .. } => {}
+    }
+}
+
+/// Load a snapshot's entries into a dictionary (checkpoint restore).
+pub fn restore_snapshot(dict: &dyn Dictionary, entries: &[(Key, Value)]) {
+    for &(key, value) in entries {
+        dict.insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locked::LockedDictionary;
+
+    #[test]
+    fn op_round_trip() {
+        let ops = [
+            DictOp::Insert { key: 0, value: 0 },
+            DictOp::Insert {
+                key: u32::MAX,
+                value: u64::MAX,
+            },
+            DictOp::Insert {
+                key: 0x1234_5678,
+                value: 0x9abc_def0_1122_3344,
+            },
+            DictOp::Remove { key: 0 },
+            DictOp::Remove { key: u32::MAX },
+        ];
+        for op in &ops {
+            let bytes = encode_op(op).expect("updates encode");
+            assert_eq!(decode_op(&bytes).unwrap(), *op);
+        }
+    }
+
+    #[test]
+    fn lookups_are_not_logged() {
+        assert!(encode_op(&DictOp::Lookup { key: 7 }).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_records() {
+        assert!(decode_op(&[]).is_err(), "empty");
+        assert!(decode_op(&[0x03, 0, 0, 0, 0]).is_err(), "unknown tag");
+        let mut insert = encode_op(&DictOp::Insert { key: 1, value: 2 }).unwrap();
+        insert.pop();
+        assert!(decode_op(&insert).is_err(), "truncated insert");
+        let mut remove = encode_op(&DictOp::Remove { key: 1 }).unwrap();
+        remove.push(0);
+        assert!(decode_op(&remove).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let entries: Vec<(Key, Value)> = (0..100).map(|i| (i * 3, (i as u64) << 20)).collect();
+        let bytes = encode_snapshot(&entries);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), entries);
+        assert_eq!(decode_snapshot(&encode_snapshot(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_input() {
+        assert!(decode_snapshot(&[]).is_err(), "empty");
+        assert!(decode_snapshot(&[9, 0, 0, 0, 0]).is_err(), "bad version");
+        let mut bytes = encode_snapshot(&[(1, 2), (3, 4)]);
+        bytes.pop();
+        assert!(decode_snapshot(&bytes).is_err(), "truncated body");
+        let mut extra = encode_snapshot(&[(1, 2)]);
+        extra.push(0);
+        assert!(decode_snapshot(&extra).is_err(), "trailing byte");
+        assert!(decode_snapshot(&[1, 0, 0]).is_err(), "truncated count");
+    }
+
+    #[test]
+    fn restore_then_replay_is_last_writer_wins() {
+        let dict = LockedDictionary::new();
+        restore_snapshot(&dict, &[(1, 10), (2, 20), (3, 30)]);
+        // Replay a suffix that overlaps the snapshot: re-inserting key 2 with
+        // a newer value and removing key 3 must land on the replayed state.
+        for op in [
+            DictOp::Insert { key: 2, value: 21 },
+            DictOp::Remove { key: 3 },
+            DictOp::Insert { key: 4, value: 40 },
+        ] {
+            apply_op(&dict, &op);
+        }
+        assert_eq!(dict.entries(), vec![(1, 10), (2, 21), (4, 40)]);
+    }
+}

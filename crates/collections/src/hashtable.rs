@@ -96,6 +96,18 @@ impl Dictionary for HashTable {
             .sum()
     }
 
+    fn entries(&self) -> Vec<(Key, Value)> {
+        // One transaction per bucket, like len(): a fuzzy snapshot whose
+        // buckets are each internally consistent, which is what the
+        // durability plane's checkpoint protocol requires (see
+        // katme-durability's crate docs — replay of later ops is idempotent
+        // per key, so cross-bucket skew is harmless).
+        self.buckets
+            .iter()
+            .flat_map(|b| self.stm.atomically(|tx| Ok((*tx.read(b)?).clone())))
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "hashtable"
     }

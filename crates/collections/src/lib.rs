@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dictionary;
+pub mod durable;
 pub mod hashtable;
 pub mod locked;
 pub mod rbtree;
@@ -26,6 +27,9 @@ pub mod sorted_list;
 pub mod stack;
 
 pub use dictionary::{DictOp, Dictionary, Key, TxDictionary, Value};
+pub use durable::{
+    apply_op, decode_op, decode_snapshot, encode_op, encode_snapshot, restore_snapshot,
+};
 pub use hashtable::{HashTable, PAPER_BUCKETS};
 pub use locked::LockedDictionary;
 pub use rbtree::RbTree;

@@ -48,6 +48,10 @@ impl Dictionary for LockedDictionary {
         self.inner.lock().len()
     }
 
+    fn entries(&self) -> Vec<(Key, Value)> {
+        self.inner.lock().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
     fn name(&self) -> &'static str {
         "locked-btreemap"
     }

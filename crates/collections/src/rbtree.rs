@@ -136,6 +136,22 @@ impl RbTree {
         Ok(())
     }
 
+    fn collect_entries(
+        &self,
+        tx: &mut Transaction<'_>,
+        link: &Option<TVar<Node>>,
+        out: &mut Vec<(Key, Value)>,
+    ) -> Result<(), TxError> {
+        if let Some(node_tv) = link {
+            let node = tx.read(node_tv)?;
+            let (left, right) = (node.left.clone(), node.right.clone());
+            self.collect_entries(tx, &left, out)?;
+            out.push((node.key, node.value));
+            self.collect_entries(tx, &right, out)?;
+        }
+        Ok(())
+    }
+
     /// Check every red-black invariant, returning the black height on
     /// success and a description of the violation otherwise. Used by the
     /// property tests and available to applications as a self-check.
@@ -420,6 +436,16 @@ impl Dictionary for RbTree {
 
     fn len(&self) -> usize {
         self.keys().len()
+    }
+
+    fn entries(&self) -> Vec<(Key, Value)> {
+        // In-order walk in a single transaction, mirroring keys().
+        self.stm.atomically(|tx| {
+            let mut out = Vec::new();
+            let root = (*tx.read(&self.root)?).clone();
+            self.collect_entries(tx, &root, &mut out)?;
+            Ok(out)
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -95,6 +95,19 @@ impl Dictionary for SortedList {
         self.keys().len()
     }
 
+    fn entries(&self) -> Vec<(Key, Value)> {
+        // Same single-transaction walk as keys(), carrying the values along.
+        self.stm.atomically(|tx| {
+            let mut entries = Vec::new();
+            let mut link = tx.read(&self.head)?;
+            while let Some(node) = link.as_ref() {
+                entries.push((node.key, node.value));
+                link = tx.read(&node.next)?;
+            }
+            Ok(entries)
+        })
+    }
+
     fn name(&self) -> &'static str {
         "sorted-list"
     }

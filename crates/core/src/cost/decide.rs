@@ -23,6 +23,12 @@
 //! * **margin** multiplies every swap cost: the smoothed relative
 //!   prediction error widens the bar a swap must clear, so even while trust
 //!   is partially intact a noisy model pays a risk premium.
+//! * **horizon** divides every swap cost: the swap price is amortized over
+//!   the plan's expected lifetime in epochs, estimated from the observed
+//!   phase-change rate (how many consecutive epochs predictions stay
+//!   accurate before one misses). A stable phase buys cheaper swaps; the
+//!   first miss resets the streak, so a freshly shifted load pays full
+//!   price again.
 
 use super::calibrate::{CalibrationView, SwapCostCalibrator};
 use super::model::{CostModel, CostModelConfig};
@@ -88,6 +94,11 @@ pub struct CostModelView {
     pub decisions: u64,
     /// Decisions that adopted a plan.
     pub adoptions: u64,
+    /// Current amortization horizon in epochs (≥ 1) dividing every swap
+    /// cost — the plan lifetime the phase-change history predicts.
+    pub horizon: f64,
+    /// Consecutive accurately-predicted epochs in the current phase.
+    pub phase_epochs: u64,
 }
 
 /// The cost plane's decision state: model + calibrator + prediction-error
@@ -103,6 +114,12 @@ pub struct CostPolicy {
     pending: Option<Pending>,
     decisions: u64,
     adoptions: u64,
+    /// Consecutive scored epochs whose prediction landed inside the
+    /// accuracy tolerance — the length of the current stable phase so far.
+    phase_epochs: u64,
+    /// Smoothed observed phase length (epochs between prediction misses),
+    /// in epochs. Starts at 1: no history, no amortization.
+    horizon_ewma: f64,
 }
 
 impl CostPolicy {
@@ -121,6 +138,8 @@ impl CostPolicy {
             pending: None,
             decisions: 0,
             adoptions: 0,
+            phase_epochs: 0,
+            horizon_ewma: 1.0,
         }
     }
 
@@ -161,6 +180,18 @@ impl CostPolicy {
         1.0 + self.model.config().margin_gain * self.error_ewma
     }
 
+    /// Current amortization horizon in epochs (≥ 1, capped at
+    /// [`CostModelConfig::max_horizon`]): the expected lifetime of a plan
+    /// adopted now. The smoothed phase length carries history across phase
+    /// changes; a current streak already longer than that history raises
+    /// the estimate with it (the phase is provably at least this long).
+    pub fn horizon(&self) -> f64 {
+        let current_streak = (self.phase_epochs + 1) as f64;
+        self.horizon_ewma
+            .max(current_streak)
+            .clamp(1.0, self.model.config().max_horizon)
+    }
+
     /// Score the pending prediction (if any) against the realized cost of
     /// the epoch that just closed. Call once per epoch boundary, *before*
     /// [`CostPolicy::decide`].
@@ -182,6 +213,17 @@ impl CostPolicy {
             self.error_ewma + config.error_alpha * (error - self.error_ewma)
         };
         self.error_samples += 1;
+        if error > config.accuracy_tolerance {
+            // Phase change: the load stopped behaving as predicted. Fold
+            // the phase that just ended (its accurate streak plus this
+            // terminating miss) into the expected-lifetime estimate and
+            // start counting the new phase from zero.
+            let ended_phase = (self.phase_epochs + 1) as f64;
+            self.horizon_ewma += config.horizon_alpha * (ended_phase - self.horizon_ewma);
+            self.phase_epochs = 0;
+        } else {
+            self.phase_epochs += 1;
+        }
         if pending.adopted {
             if error <= config.accuracy_tolerance {
                 // A swap that delivered what it promised rebuilds trust.
@@ -206,6 +248,7 @@ impl CostPolicy {
         self.decisions += 1;
         let (keep_cost, plans) = enumerate(ctx, &self.model, &self.calibrator);
         let margin = self.margin();
+        let horizon = self.horizon();
         let persistence = ctx.observation.persistence.clamp(0.0, 1.0);
         let materiality = self.model.config().min_gain_fraction * ctx.observation.tasks as f64;
         let mut best: Option<(f64, f64, f64, CandidatePlan)> = None;
@@ -215,7 +258,9 @@ impl CostPolicy {
                 continue;
             }
             let gain = self.trust * persistence * (keep_cost - plan.predicted_cost);
-            let cost = plan.swap_cost * margin;
+            // Swap price: widened by the noise margin, amortized over the
+            // plan's expected lifetime — a stable phase buys cheaper swaps.
+            let cost = plan.swap_cost * margin / horizon;
             let net = gain - cost;
             if net > 0.0 && best.as_ref().map_or(true, |(b, _, _, _)| net > *b) {
                 best = Some((net, gain, cost, plan));
@@ -257,6 +302,8 @@ impl CostPolicy {
             error_ewma: (self.error_samples > 0).then_some(self.error_ewma),
             decisions: self.decisions,
             adoptions: self.adoptions,
+            horizon: self.horizon(),
+            phase_epochs: self.phase_epochs,
         }
     }
 }
@@ -418,6 +465,101 @@ mod tests {
         assert!(view.last_prediction_error.unwrap() > 0.5);
         // The wrecked model refuses the same tempting swap it took before.
         assert!(matches!(policy.decide(&ctx), CostDecision::Keep));
+    }
+
+    #[test]
+    fn horizon_grows_with_accurate_streaks_and_resets_on_a_miss() {
+        let mut policy = warm_policy();
+        let uniform = cdf_over((0..2_000u64).map(|i| i % 1_000));
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let obs = observation();
+        let ctx = PlanContext {
+            epoch_cdf: &uniform,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        assert_eq!(policy.view().horizon, 1.0, "no history, no amortization");
+        // A long stable phase: every keep prediction lands.
+        for _ in 0..20 {
+            assert!(matches!(policy.decide(&ctx), CostDecision::Keep));
+            let realized = policy.realized_keep_cost(&ctx);
+            policy.score_pending(realized);
+        }
+        let stable = policy.view();
+        assert_eq!(
+            stable.horizon,
+            CostModelConfig::default().max_horizon,
+            "a long streak saturates at the ceiling: {stable:?}"
+        );
+        assert_eq!(stable.phase_epochs, 20);
+        // One phase change: the streak resets, but the EWMA remembers that
+        // phases have historically been long — the horizon drops without
+        // collapsing all the way back to 1.
+        let _ = policy.decide(&ctx);
+        policy.score_pending(1.0e9);
+        let shifted = policy.view();
+        assert_eq!(shifted.phase_epochs, 0);
+        assert!(
+            shifted.horizon < stable.horizon && shifted.horizon > 1.0,
+            "{shifted:?}"
+        );
+    }
+
+    #[test]
+    fn stable_phase_amortizes_a_swap_full_price_would_veto() {
+        // Measure the raw gain/cost of the canonical imbalanced swap with a
+        // near-free publish calibration (trust = 1, margin = 1, horizon = 1,
+        // so the Adopt's logged values are the raw decision inputs).
+        let cdf = cdf_over((0..2_000u64).map(|i| i % 100));
+        let current = KeyPartition::equal_width(KeyBounds::new(0, 999), 4);
+        let obs = observation();
+        let ctx = PlanContext {
+            epoch_cdf: &cdf,
+            reference_cdf: None,
+            current: &current,
+            min_workers: 4,
+            max_workers: 4,
+            observation: &obs,
+        };
+        let mut probe = warm_policy();
+        let (raw_gain, raw_cost) = match probe.decide(&ctx) {
+            CostDecision::Adopt {
+                predicted_gain,
+                swap_cost,
+                ..
+            } => (predicted_gain, swap_cost),
+            CostDecision::Keep => panic!("probe must adopt at near-zero swap cost"),
+        };
+
+        // Price the publish so the swap costs 5x its gain: vetoed at full
+        // price, and still vetoed until the amortization horizon exceeds 5
+        // epochs. (Calibrated cost scales linearly with publish seconds.)
+        let seconds = 1.0e-4 * 5.0 * raw_gain / raw_cost;
+        let mut policy = CostPolicy::new(CostModelConfig::default());
+        policy.note_publish(seconds);
+        assert!(policy.is_calibrated());
+        assert!(
+            matches!(policy.decide(&ctx), CostDecision::Keep),
+            "full price must veto a swap costing 5x its gain"
+        );
+
+        // Five accurately-predicted epochs: the streak pushes the horizon
+        // to 6, pricing the same swap at ~0.83x its gain. Every decide
+        // along the way still keeps (the horizon has not yet cleared 5).
+        policy.score_pending(policy.realized_keep_cost(&ctx));
+        for _ in 0..4 {
+            assert!(matches!(policy.decide(&ctx), CostDecision::Keep));
+            policy.score_pending(policy.realized_keep_cost(&ctx));
+        }
+        assert!(policy.view().horizon >= 6.0, "{:?}", policy.view());
+        assert!(
+            matches!(policy.decide(&ctx), CostDecision::Adopt { .. }),
+            "the amortized phase must admit the swap: {:?}",
+            policy.view()
+        );
     }
 
     #[test]

@@ -66,6 +66,17 @@ pub struct CostModelConfig {
     /// from the threshold triggers (see
     /// [`super::calibrate::SwapCostCalibrator::is_warm`]).
     pub min_calibration_samples: u64,
+    /// EWMA smoothing for the observed phase length (epochs between
+    /// prediction misses) that estimates the amortization horizon — how
+    /// many epochs an adopted plan is expected to stay valid, so its swap
+    /// price is spread over its expected lifetime instead of charged to a
+    /// single epoch.
+    pub horizon_alpha: f64,
+    /// Upper bound on the amortization horizon in epochs: however stable
+    /// the load looks, a swap is never priced cheaper than
+    /// `swap_cost / max_horizon` (bounds the damage of a phase change the
+    /// history did not predict).
+    pub max_horizon: f64,
 }
 
 impl Default for CostModelConfig {
@@ -81,6 +92,8 @@ impl Default for CostModelConfig {
             margin_gain: 4.0,
             min_gain_fraction: 0.25,
             min_calibration_samples: 1,
+            horizon_alpha: 0.3,
+            max_horizon: 8.0,
         }
     }
 }
@@ -148,6 +161,18 @@ impl CostModelConfig {
     /// Set the calibration warm-up sample count (clamped to at least 1).
     pub fn with_min_calibration_samples(mut self, samples: u64) -> Self {
         self.min_calibration_samples = samples.max(1);
+        self
+    }
+
+    /// Set the phase-length EWMA smoothing (clamped into `(0, 1]`).
+    pub fn with_horizon_alpha(mut self, alpha: f64) -> Self {
+        self.horizon_alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Set the amortization-horizon ceiling (clamped to at least 1 epoch).
+    pub fn with_max_horizon(mut self, horizon: f64) -> Self {
+        self.max_horizon = horizon.max(1.0);
         self
     }
 }
@@ -315,7 +340,9 @@ mod tests {
             .with_trust_decay(1.5)
             .with_trust_recovery(9.0)
             .with_margin_gain(-3.0)
-            .with_min_calibration_samples(0);
+            .with_min_calibration_samples(0)
+            .with_horizon_alpha(7.0)
+            .with_max_horizon(0.0);
         assert_eq!(config.imbalance_deadband, 1.0);
         assert_eq!(config.idle_weight, 0.0);
         assert_eq!(config.colocation_discount, 1.0);
@@ -324,6 +351,8 @@ mod tests {
         assert_eq!(config.trust_recovery, 1.0);
         assert_eq!(config.margin_gain, 0.0);
         assert_eq!(config.min_calibration_samples, 1);
+        assert_eq!(config.horizon_alpha, 1.0);
+        assert_eq!(config.max_horizon, 1.0);
     }
 
     #[test]

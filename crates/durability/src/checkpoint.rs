@@ -1,0 +1,186 @@
+//! Checkpoint files: an atomically replaced snapshot of structure state at
+//! a recorded log position.
+//!
+//! The file is written to a temporary name, fsynced, renamed over
+//! `checkpoint`, and the directory is fsynced — so a crash at any point
+//! leaves either the old checkpoint or the new one, never a torn mix.
+//! Readers validate a magic number and a CRC over the position + payload
+//! and fall back to "no checkpoint" (full-log replay) on any mismatch.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::record::crc32;
+use crate::segment::sync_dir;
+
+/// Magic bytes opening every checkpoint file.
+const MAGIC: &[u8; 8] = b"KATMECKP";
+
+/// File name of the live checkpoint within a log directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint";
+
+/// File name of the in-flight temporary used during atomic replacement.
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// A decoded checkpoint: structure state as of log position `position`
+/// (every record with `seq <= position` is reflected in `payload`; later
+/// records must be replayed over it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Last log sequence number the snapshot is guaranteed to cover.
+    pub position: u64,
+    /// Opaque structure snapshot (the caller's encoding).
+    pub payload: Vec<u8>,
+}
+
+fn checkpoint_crc(position: u64, payload: &[u8]) -> u32 {
+    let mut body = Vec::with_capacity(8 + payload.len());
+    body.extend_from_slice(&position.to_le_bytes());
+    body.extend_from_slice(payload);
+    crc32(&body)
+}
+
+/// Atomically write a checkpoint into `dir`, replacing any previous one.
+///
+/// When `crash_mid_checkpoint` is set the process aborts after the
+/// temporary file is written but before the rename — a fault-injection
+/// point for crash tests: recovery must then still see the *previous*
+/// checkpoint (or none) and a stray `checkpoint.tmp`, which it ignores.
+pub fn write_checkpoint(
+    dir: &Path,
+    position: u64,
+    payload: &[u8],
+    crash_mid_checkpoint: bool,
+) -> io::Result<()> {
+    let tmp_path = dir.join(CHECKPOINT_TMP);
+    let mut tmp = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    tmp.write_all(MAGIC)?;
+    tmp.write_all(&checkpoint_crc(position, payload).to_le_bytes())?;
+    tmp.write_all(&position.to_le_bytes())?;
+    tmp.write_all(&(payload.len() as u32).to_le_bytes())?;
+    tmp.write_all(payload)?;
+    tmp.sync_data()?;
+    drop(tmp);
+    if crash_mid_checkpoint {
+        // Fault injection: die with the new checkpoint staged but not yet
+        // visible. The rename below must never have happened.
+        std::process::abort();
+    }
+    fs::rename(&tmp_path, dir.join(CHECKPOINT_FILE))?;
+    sync_dir(dir)
+}
+
+/// Read and validate the checkpoint in `dir`. Returns `Ok(None)` when no
+/// checkpoint exists or the file fails validation (recovery then replays
+/// the whole log); returns `Err` only for I/O failures other than
+/// not-found.
+pub fn read_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(error) => return Err(error),
+    };
+    Ok(decode_checkpoint(&bytes))
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
+    let header = 8 + 4 + 8 + 4;
+    if bytes.len() < header || &bytes[0..8] != MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    let position = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+    let len = u32::from_le_bytes(bytes[20..24].try_into().ok()?) as usize;
+    if bytes.len() != header + len {
+        return None;
+    }
+    let payload = &bytes[header..];
+    if checkpoint_crc(position, payload) != crc {
+        return None;
+    }
+    Some(Checkpoint {
+        position,
+        payload: payload.to_vec(),
+    })
+}
+
+/// Remove a stale `checkpoint.tmp` left by a crash between the temporary
+/// write and the rename. Called during recovery; missing file is fine.
+pub fn remove_stale_tmp(dir: &Path) -> io::Result<()> {
+    match fs::remove_file(dir.join(CHECKPOINT_TMP)) {
+        Ok(()) => Ok(()),
+        Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(error) => Err(error),
+    }
+}
+
+/// Open a file handle on the log directory — exists so callers can probe
+/// directory accessibility early with a clear error.
+pub fn probe_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("katme-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_replace() {
+        let dir = temp_dir("roundtrip");
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        write_checkpoint(&dir, 42, b"state-v1", false).unwrap();
+        assert_eq!(
+            read_checkpoint(&dir).unwrap(),
+            Some(Checkpoint {
+                position: 42,
+                payload: b"state-v1".to_vec()
+            })
+        );
+        write_checkpoint(&dir, 99, b"state-v2", false).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap().position, 99);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_reads_as_none() {
+        let dir = temp_dir("corrupt");
+        write_checkpoint(&dir, 7, b"payload", false).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        // Truncated file is also rejected.
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        // Wrong magic.
+        fs::write(&path, b"NOTMAGIC").unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_removable_and_ignored() {
+        let dir = temp_dir("staletmp");
+        fs::write(dir.join(CHECKPOINT_TMP), b"half-written").unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        remove_stale_tmp(&dir).unwrap();
+        remove_stale_tmp(&dir).unwrap(); // Idempotent.
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

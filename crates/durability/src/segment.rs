@@ -1,0 +1,178 @@
+//! Segment files: the log is a directory of append-only files named by the
+//! first sequence number they hold (`wal-{first_seq:016x}.seg`). The writer
+//! rotates to a new segment once the current one passes the configured size;
+//! checkpointing prunes whole segments whose records the checkpoint covers.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name for the segment whose first record has sequence `first_seq`.
+pub fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:016x}.seg")
+}
+
+/// Parse a segment file name back into its first sequence number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// List the segment files in `dir`, sorted by first sequence number.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(first_seq) = name.to_str().and_then(parse_segment_name) {
+            segments.push((first_seq, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(first_seq, _)| *first_seq);
+    Ok(segments)
+}
+
+/// The currently open segment the log-writer appends to.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    first_seq: u64,
+    bytes: u64,
+}
+
+impl SegmentWriter {
+    /// Create a fresh segment in `dir` whose first record will be
+    /// `first_seq`. Fails if the file already exists — sequence numbers
+    /// never repeat within one log directory.
+    pub fn create(dir: &Path, first_seq: u64) -> io::Result<Self> {
+        let path = dir.join(segment_name(first_seq));
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            first_seq,
+            bytes: 0,
+        })
+    }
+
+    /// Re-open an existing segment for appending, e.g. after recovery
+    /// truncated its torn tail. `bytes` must be the current valid length.
+    pub fn reopen(path: PathBuf, first_seq: u64, bytes: u64) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            first_seq,
+            bytes,
+        })
+    }
+
+    /// Append raw record bytes (already framed) to the segment.
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Flush the segment's data to stable storage (`fdatasync`).
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// First sequence number of this segment.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Bytes written to this segment so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Fsync a directory so renames/creations within it are durable. Some
+/// filesystems don't support syncing directories; those errors are ignored
+/// (the data-file syncs still hold).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(handle) => match handle.sync_all() {
+            Ok(()) => Ok(()),
+            Err(error) if error.raw_os_error() == Some(libc_einval()) => Ok(()),
+            Err(error) => Err(error),
+        },
+        Err(error) => Err(error),
+    }
+}
+
+const fn libc_einval() -> i32 {
+    22
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_name(0), "wal-0000000000000000.seg");
+        assert_eq!(parse_segment_name("wal-0000000000000000.seg"), Some(0));
+        assert_eq!(
+            parse_segment_name(&segment_name(0xDEAD_BEEF)),
+            Some(0xDEAD_BEEF)
+        );
+        assert_eq!(parse_segment_name("wal-xyz.seg"), None);
+        assert_eq!(parse_segment_name("checkpoint"), None);
+        assert_eq!(parse_segment_name("wal-00.seg"), None);
+    }
+
+    #[test]
+    fn list_segments_sorts_and_filters() {
+        let dir = std::env::temp_dir().join(format!(
+            "katme-segment-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(segment_name(16)), b"").unwrap();
+        std::fs::write(dir.join(segment_name(1)), b"").unwrap();
+        std::fs::write(dir.join("checkpoint"), b"").unwrap();
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(
+            segments.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(),
+            vec![1, 16]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_appends_and_tracks_bytes() {
+        let dir = std::env::temp_dir().join(format!("katme-segwriter-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut writer = SegmentWriter::create(&dir, 1).unwrap();
+        writer.append(b"hello").unwrap();
+        writer.append(b" world").unwrap();
+        writer.sync().unwrap();
+        assert_eq!(writer.bytes(), 11);
+        assert_eq!(std::fs::read(writer.path()).unwrap(), b"hello world");
+        // Reopen for append and continue.
+        let path = writer.path().to_path_buf();
+        drop(writer);
+        let mut writer = SegmentWriter::reopen(path, 1, 11).unwrap();
+        writer.append(b"!").unwrap();
+        assert_eq!(writer.bytes(), 12);
+        assert_eq!(std::fs::read(writer.path()).unwrap(), b"hello world!");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,7 +8,7 @@
 use katme_collections::StructureKind;
 use katme_harness::experiments::executor_models;
 use katme_harness::{
-    balance_table, batch_dispatch, contention_table, cost_adaptation, fig3_hashtable,
+    balance_table, batch_dispatch, contention_table, cost_adaptation, durability, fig3_hashtable,
     fig4_overhead, format_throughput, print_series_table, tree_list, HarnessOptions,
 };
 use katme_workload::DistributionKind;
@@ -100,6 +100,20 @@ fn main() {
             format_throughput(row.result.throughput),
             row.swaps(),
             row.unjustified_swaps()
+        );
+    }
+
+    println!("\n################ Durable vs. volatile (group-commit WAL) ################");
+    for row in durability(&opts) {
+        println!(
+            "  {:>12}: volatile {} vs durable {} txn/s ({:.2}x), {:.4} fsyncs/commit, \
+             group {:.2}",
+            row.structure.name(),
+            format_throughput(row.volatile.throughput),
+            format_throughput(row.durable.throughput),
+            row.throughput_ratio(),
+            row.fsyncs_per_commit(),
+            row.mean_group_size()
         );
     }
 }

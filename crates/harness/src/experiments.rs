@@ -588,6 +588,88 @@ pub fn cost_adaptation(opts: &HarnessOptions) -> Vec<CostRow> {
     rows
 }
 
+/// One row of the durability experiment: the same workload on the same
+/// structure, volatile vs. through the group-commit WAL.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Dictionary structure under test.
+    pub structure: StructureKind,
+    /// The baseline run (no WAL).
+    pub volatile: RunResult,
+    /// The durable run: every insert/delete logged, commits acknowledged
+    /// after their group's fsync, dictionary checkpointed in the
+    /// background.
+    pub durable: RunResult,
+}
+
+impl DurabilityRow {
+    /// Durable throughput as a fraction of volatile throughput (the price
+    /// of durability; 1.0 = free).
+    pub fn throughput_ratio(&self) -> f64 {
+        if self.volatile.throughput <= 0.0 {
+            0.0
+        } else {
+            self.durable.throughput / self.volatile.throughput
+        }
+    }
+
+    /// Physical fsyncs per logged commit in the durable run — group commit
+    /// keeps this *below 1.0* under concurrent load.
+    pub fn fsyncs_per_commit(&self) -> f64 {
+        self.durable.fsyncs_per_commit()
+    }
+
+    /// Mean records batched into one append+fsync group.
+    pub fn mean_group_size(&self) -> f64 {
+        self.durable
+            .durability
+            .map_or(0.0, |view| view.mean_group_size)
+    }
+
+    /// Checkpoints the background checkpointer completed during the run.
+    pub fn checkpoints(&self) -> u64 {
+        self.durable.durability.map_or(0, |view| view.checkpoints)
+    }
+}
+
+/// **Durability (extension)**: durable vs. volatile throughput side by
+/// side, per structure. The durable side routes every writing commit
+/// through the group-commit WAL (one dedicated log-writer thread batches
+/// concurrent commits into one append + one fsync; each commit blocks only
+/// until its group is on disk) and checkpoints the dictionary in the
+/// background. Expected shape: fsyncs-per-commit well below 1.0 (the group
+/// commit amortization), mean group sizes above 1, and durable throughput
+/// a modest fraction of volatile — the cost of never losing an
+/// acknowledged commit.
+pub fn durability(opts: &HarnessOptions) -> Vec<DurabilityRow> {
+    let workers = opts.worker_counts().into_iter().max().unwrap_or(4);
+    StructureKind::ALL
+        .into_iter()
+        .map(|structure| {
+            let config = base_config(opts, structure)
+                .with_workers(workers)
+                .with_scheduler(SchedulerKind::AdaptiveKey)
+                .with_seed(0xd07a);
+            let volatile =
+                Driver::new(config.clone()).run_dictionary(structure, DistributionKind::Uniform);
+            let dir = std::env::temp_dir().join(format!(
+                "katme-durability-{}-{}",
+                std::process::id(),
+                structure.name()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let durable = Driver::new(config.with_durability(&dir))
+                .run_dictionary_durable(structure, DistributionKind::Uniform);
+            let _ = std::fs::remove_dir_all(&dir);
+            DurabilityRow {
+                structure,
+                volatile,
+                durable,
+            }
+        })
+        .collect()
+}
+
 /// Ablation: executor models of Figure 1 (no executor / centralized /
 /// parallel) on the hash table with the adaptive scheduler.
 pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
@@ -767,5 +849,28 @@ mod tests {
         let rows = executor_models(&quick());
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|(_, tput)| *tput > 0.0));
+    }
+
+    #[test]
+    fn durability_reports_both_sides_per_structure() {
+        let rows = durability(&quick());
+        assert_eq!(rows.len(), 3, "one row per structure");
+        for row in &rows {
+            assert!(row.volatile.completed > 0, "{:?}", row.structure);
+            assert!(row.durable.completed > 0, "{:?}", row.structure);
+            assert!(
+                row.volatile.durability.is_none(),
+                "the baseline must not open a WAL"
+            );
+            let view = row
+                .durable
+                .durability
+                .expect("the durable run reports the plane");
+            assert!(view.appends > 0, "writing commits must be logged");
+            assert!(
+                view.fsyncs <= view.appends,
+                "group commit never syncs more often than it appends"
+            );
+        }
     }
 }

@@ -12,22 +12,25 @@
 //! across all three executor models of Figure 1 — all expressed as
 //! [`Katme::builder`] configurations of one [`Runtime`].
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use katme_collections::{Dictionary, StructureKind};
+use katme_collections::{encode_op, DictOp, Dictionary, StructureKind};
 use katme_core::key::{BucketKeyMapper, KeyMapper};
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::SchedulerKind;
 use katme_core::stats::LoadBalance;
+use katme_durability::DurabilityView;
 use katme_queue::QueueKind;
 use katme_stm::{CmKind, Stm, StmConfig, StmStatsSnapshot, TVar};
 use katme_workload::{ArrivalRamp, DistributionKind, OpGenerator, OpKind, TxnSpec};
 
 use crate::builder::Katme;
+use crate::durability::{DictState, RecoveryReport};
 use crate::runtime::Runtime;
-use crate::task::WithKey;
+use crate::task::{Durable, KeyedTask, WithKey};
 
 /// Configuration of one timed run.
 #[derive(Debug, Clone)]
@@ -90,6 +93,11 @@ pub struct DriverConfig {
     /// the paper's unthrottled producers. The quiet phases of a ramp are
     /// what make elastic scaling observable.
     pub ramp: Option<ArrivalRamp>,
+    /// WAL directory for [`Driver::run_dictionary_durable`]: the run opens
+    /// the group-commit log there, checkpoints the dictionary in the
+    /// background, and every insert/delete carries its redo record. `None`
+    /// (the default) leaves every run volatile.
+    pub durability: Option<PathBuf>,
 }
 
 impl Default for DriverConfig {
@@ -114,6 +122,7 @@ impl Default for DriverConfig {
             elastic_workers: None,
             cost_model: false,
             ramp: None,
+            durability: None,
         }
     }
 }
@@ -241,6 +250,12 @@ impl DriverConfig {
         self.ramp = Some(ramp);
         self
     }
+
+    /// Set the WAL directory for [`Driver::run_dictionary_durable`].
+    pub fn with_durability(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability = Some(dir.into());
+        self
+    }
 }
 
 /// Result of one timed run.
@@ -275,6 +290,15 @@ pub struct RunResult {
     /// published generation, with its trigger cause — including the cost
     /// plane's `predicted_gain`/`swap_cost` for cost-model swaps).
     pub adaptations: Vec<katme_core::drift::AdaptationEvent>,
+    /// Durability-plane counters at the window's close (`None` for a
+    /// volatile run): appends, fsyncs, mean group size, checkpoint lag.
+    pub durability: Option<DurabilityView>,
+    /// What recovery restored and replayed when the durable run started
+    /// (`None` for a volatile run).
+    pub recovery: Option<RecoveryReport>,
+    /// Wall-clock nanoseconds workers spent blocked in group-commit waits
+    /// (0 for a volatile run).
+    pub commit_wait_nanos: u64,
 }
 
 impl RunResult {
@@ -282,6 +306,13 @@ impl RunResult {
     /// "frequency of contentions" the paper reports alongside throughput.
     pub fn contention_ratio(&self) -> f64 {
         self.stm.contention_ratio()
+    }
+
+    /// Physical fsyncs per logged commit — below 1.0 whenever group commit
+    /// amortized a sync across concurrent committers (0.0 for a volatile
+    /// run, or before the first logged commit).
+    pub fn fsyncs_per_commit(&self) -> f64 {
+        self.durability.map_or(0.0, |view| view.fsyncs_per_commit)
     }
 }
 
@@ -450,6 +481,81 @@ impl Driver {
         self.collect(runtime, window)
     }
 
+    /// The durable variant of [`Driver::run_dictionary`]: the same workload
+    /// against the same structure, but the runtime opens the group-commit
+    /// WAL at [`DriverConfig::durability`], registers the dictionary with
+    /// the background checkpointer, and every insert/delete task carries
+    /// its redo record — so each writing commit is acknowledged only after
+    /// its group's fsync. The returned [`RunResult::durability`] view holds
+    /// the fsyncs-per-commit and mean-group-size evidence, and
+    /// [`RunResult::recovery`] what startup recovery found in the log
+    /// directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DriverConfig::durability`] is unset.
+    pub fn run_dictionary_durable(
+        &self,
+        structure: StructureKind,
+        distribution: DistributionKind,
+    ) -> RunResult {
+        let cfg = &self.config;
+        let dir = cfg
+            .durability
+            .clone()
+            .expect("run_dictionary_durable requires DriverConfig::with_durability");
+        let stm = Stm::new(StmConfig::default().with_contention_manager(cfg.contention_manager));
+        let dict = structure.build(stm.clone());
+        // Preloaded entries are not logged: only a checkpoint captures
+        // them. The first checkpoint round covers the preload; crash tests
+        // that must not depend on checkpoint timing preload zero keys.
+        preload(&*dict, cfg.preload, cfg.seed, distribution);
+
+        let bounds = match structure {
+            StructureKind::HashTable => KeyMapper::<TxnSpec>::bounds(&BucketKeyMapper::paper()),
+            _ => katme_core::key::KeyBounds::dict16(),
+        };
+
+        let dict_for_workers = Arc::clone(&dict);
+        let runtime = self
+            .runtime_builder()
+            .key_bounds(bounds)
+            .stm(stm)
+            .durability(&dir)
+            .durable_state(Arc::new(DictState::new(Arc::clone(&dict))))
+            .build(move |_worker, task: Durable<WithKey<TxnSpec>>| {
+                apply_spec(&*dict_for_workers, &task.task.task);
+            })
+            .expect("DriverConfig produces a valid runtime configuration");
+
+        let window = drive_window(
+            &runtime,
+            cfg.duration,
+            self.producer_threads(),
+            cfg.batch_size,
+            1,
+            cfg.ramp.as_ref(),
+            |producer| {
+                let mut gen =
+                    OpGenerator::paper(distribution, cfg.seed.wrapping_add(1000 + producer as u64));
+                let bucket_mapper = BucketKeyMapper::paper();
+                let mut specs: Vec<TxnSpec> = Vec::new();
+                move |n: usize, out: &mut Vec<Durable<WithKey<TxnSpec>>>| {
+                    gen.batch_into(&mut specs, n);
+                    out.extend(specs.drain(..).map(|spec| {
+                        let key = match structure {
+                            StructureKind::HashTable => bucket_mapper.key(&spec),
+                            _ => u64::from(spec.key),
+                        };
+                        let payload = spec_payload(&spec);
+                        Durable::new(WithKey::new(key, spec), payload)
+                    }));
+                }
+            },
+        );
+        self.collect(runtime, window).0
+    }
+
     /// The Figure-4 overhead study: trivial transactions (a single-TVar
     /// increment) executed either by free-running threads
     /// (`use_executor == false`, Figure 1(a)) or through the executor with
@@ -559,7 +665,11 @@ impl Driver {
     ) -> (RunResult, Vec<WindowReport>) {
         let cfg = &self.config;
         let model = runtime.model();
-        runtime.shutdown();
+        let recovery = runtime.recovery();
+        // The terminal report carries the plane's *final* counters —
+        // captured after the WAL's shutdown flush, so the tail group that
+        // drains during teardown is included.
+        let report = runtime.shutdown();
         let stats = window.stats;
         let load = match model {
             ExecutorModel::NoExecutor => LoadBalance::new(window.per_producer.clone()),
@@ -579,6 +689,9 @@ impl Driver {
             repartitions: stats.repartitions,
             resizes: stats.resizes,
             adaptations: stats.adaptations,
+            durability: report.durability,
+            recovery,
+            commit_wait_nanos: report.commit_wait_nanos,
         };
         (result, window.reports)
     }
@@ -623,8 +736,8 @@ fn ramp_pause(ramp: &ArrivalRamp, started: Instant, duration: Duration) {
 /// [`ArrivalRamp::intensity_at`] over the window. The measurement period
 /// is split into `windows` equal slices, each reported as a
 /// [`WindowReport`] of within-window deltas ([`crate::StatsView::since`]).
-fn drive_window<T, R, F, G>(
-    runtime: &Runtime<WithKey<T>, R>,
+fn drive_window<K, R, F, G>(
+    runtime: &Runtime<K, R>,
     duration: Duration,
     producers: usize,
     batch_size: usize,
@@ -633,10 +746,10 @@ fn drive_window<T, R, F, G>(
     factory: F,
 ) -> Window
 where
-    T: Send + 'static,
+    K: KeyedTask + Send + 'static,
     R: Send + 'static,
     F: Fn(usize) -> G + Sync,
-    G: FnMut(usize, &mut Vec<WithKey<T>>) + Send,
+    G: FnMut(usize, &mut Vec<K>) + Send,
 {
     let batch_size = batch_size.max(1);
     let windows = windows.max(1);
@@ -652,7 +765,7 @@ where
                     if batch_size == 1 {
                         // Per-task protocol: the 1-capacity buffer is
                         // refilled in place, so the loop allocates nothing.
-                        let mut single: Vec<WithKey<T>> = Vec::with_capacity(1);
+                        let mut single: Vec<K> = Vec::with_capacity(1);
                         while run.load(Ordering::Relaxed) {
                             if let Some(ramp) = ramp {
                                 ramp_pause(ramp, started, duration);
@@ -741,6 +854,20 @@ pub fn apply_spec(dict: &dyn Dictionary, spec: &TxnSpec) {
         OpKind::Lookup => {
             dict.lookup(spec.key);
         }
+    }
+}
+
+/// The redo record for one generated transaction, in the collections wire
+/// codec: inserts and deletes log their `DictOp`; lookups are read-only and
+/// log nothing (their commits never wait on an fsync).
+pub fn spec_payload(spec: &TxnSpec) -> Option<Vec<u8>> {
+    match spec.op {
+        OpKind::Insert => encode_op(&DictOp::Insert {
+            key: spec.key,
+            value: spec.value,
+        }),
+        OpKind::Delete => encode_op(&DictOp::Remove { key: spec.key }),
+        OpKind::Lookup => None,
     }
 }
 
@@ -852,6 +979,42 @@ mod tests {
             assert!(window.duration > Duration::ZERO);
             assert!(window.contention_ratio >= 0.0);
         }
+    }
+
+    #[test]
+    fn durable_dictionary_run_logs_commits_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("katme-driver-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = DriverConfig::new()
+            .with_workers(2)
+            .with_producers(2)
+            .with_duration(Duration::from_millis(80))
+            .with_preload(100)
+            .with_batch_size(8)
+            .with_durability(&dir);
+
+        let result = Driver::new(config.clone())
+            .run_dictionary_durable(StructureKind::HashTable, DistributionKind::Uniform);
+        assert!(result.completed > 0, "{result:?}");
+        let view = result.durability.expect("durable run reports the plane");
+        assert!(view.appends > 0, "writing commits must be logged");
+        assert!(view.fsyncs > 0);
+        assert!(
+            view.fsyncs <= view.appends,
+            "group commit never syncs more often than it appends"
+        );
+        assert_eq!(result.recovery, Some(RecoveryReport::default()));
+
+        // Second life over the same directory: recovery replays the first
+        // run's surviving log (checkpoint + suffix) before the window.
+        let again = Driver::new(config)
+            .run_dictionary_durable(StructureKind::HashTable, DistributionKind::Uniform);
+        let recovery = again.recovery.expect("durable run reports recovery");
+        assert!(
+            recovery.replayed > 0 || recovery.restored_checkpoint,
+            "first run's log must be recovered: {recovery:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

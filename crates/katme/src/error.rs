@@ -64,6 +64,17 @@ pub enum BuilderError {
         /// The rejected value.
         value: f64,
     },
+    /// The durability plane failed to open (or recover) its write-ahead
+    /// log. Carries the underlying I/O error's message; the runtime refuses
+    /// to start rather than silently run volatile.
+    Durability {
+        /// Display form of the I/O error from `Wal::open` / recovery.
+        message: String,
+    },
+    /// `durable_state` without [`Builder::durability`](crate::Builder::durability)
+    /// — a checkpoint provider with no log to checkpoint against is a
+    /// configuration mistake, not a no-op.
+    DurableStateWithoutWal,
 }
 
 impl std::fmt::Display for BuilderError {
@@ -120,6 +131,12 @@ impl std::fmt::Display for BuilderError {
             BuilderError::DriftThresholdOutOfRange { value } => {
                 write!(f, "drift_threshold must lie in (0, 1], got {value}")
             }
+            BuilderError::Durability { message } => {
+                write!(f, "durability plane failed to open its log: {message}")
+            }
+            BuilderError::DurableStateWithoutWal => f.write_str(
+                "durable_state requires durability(path); there is no log to checkpoint against",
+            ),
         }
     }
 }

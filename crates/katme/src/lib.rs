@@ -76,19 +76,24 @@
 
 mod builder;
 pub mod driver;
+pub mod durability;
 mod error;
 mod runtime;
 mod task;
 
 pub use builder::{Builder, Katme};
-pub use driver::{apply_spec, Driver, DriverConfig, RunResult, WindowReport};
+pub use driver::{apply_spec, spec_payload, Driver, DriverConfig, RunResult, WindowReport};
+pub use durability::{
+    DictState, DurabilityPlane, DurableState, RecoveryReport, WalSink, DEFAULT_CHECKPOINT_INTERVAL,
+};
 pub use error::{BuilderError, KatmeError};
 pub use runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView, StatsWindow};
-pub use task::{KeyedTask, TaskHandle, WithKey};
+pub use task::{Durable, KeyedTask, TaskHandle, WithKey};
 
 // The composed layers, re-exported whole for advanced use…
 pub use katme_collections as collections;
 pub use katme_core as core;
+pub use katme_durability as wal;
 pub use katme_queue as queue;
 pub use katme_stm as stm;
 pub use katme_workload as workload;
@@ -107,6 +112,7 @@ pub use katme_core::models::ExecutorModel;
 pub use katme_core::partition::{KeyPartition, PartitionGeneration, PartitionTable};
 pub use katme_core::scheduler::{FixedKeyScheduler, RoundRobinScheduler, Scheduler, SchedulerKind};
 pub use katme_core::stats::LoadBalance;
+pub use katme_durability::{CrashPoint, DurabilityView, WalConfig};
 pub use katme_queue::QueueKind;
 pub use katme_stm::{
     CmKind, KeyRangeSnapshot, KeyRangeTelemetry, Stm, StmConfig, StmStatsSnapshot, TVar,
@@ -118,12 +124,14 @@ pub use katme_workload::{ArrivalRamp, DistributionKind, OpGenerator, OpKind, Ram
 pub mod prelude {
     pub use crate::builder::{Builder, Katme};
     pub use crate::driver::{Driver, DriverConfig, RunResult};
+    pub use crate::durability::{DictState, DurableState, RecoveryReport};
     pub use crate::error::KatmeError;
     pub use crate::runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView};
-    pub use crate::task::{KeyedTask, TaskHandle, WithKey};
+    pub use crate::task::{Durable, KeyedTask, TaskHandle, WithKey};
     pub use katme_core::key::{KeyBounds, TxnKey};
     pub use katme_core::models::ExecutorModel;
     pub use katme_core::scheduler::SchedulerKind;
+    pub use katme_durability::{DurabilityView, WalConfig};
     pub use katme_queue::QueueKind;
     pub use katme_stm::{CmKind, Stm, StmConfig, TVar};
 }

@@ -12,9 +12,11 @@ use katme_core::key::TxnKey;
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::Scheduler;
 use katme_core::stats::LoadBalance;
+use katme_durability::DurabilityView;
 use katme_queue::{thread_stripe, Backoff, TwoLockQueue};
-use katme_stm::{with_task_key, Stm, StmStatsSnapshot};
+use katme_stm::{with_durable_payload, with_task_key, Stm, StmStatsSnapshot};
 
+use crate::durability::{DurabilityPlane, RecoveryReport};
 use crate::error::KatmeError;
 use crate::task::{handle_pair, Completion, KeyedTask, TaskHandle};
 
@@ -28,6 +30,11 @@ pub(crate) struct Envelope<T, R> {
     /// partial batch failure map rejected envelopes back to their handles
     /// and restore the caller's submission order.
     batch_index: usize,
+    /// Serialized redo record for the durability plane, extracted at
+    /// submission time (where the `KeyedTask` bound lives) and staged
+    /// around the handler call on the worker. `None` when durability is off
+    /// or the task is read-only.
+    payload: Option<Vec<u8>>,
 }
 
 /// Typed partial-failure report from the batch submission API
@@ -205,6 +212,10 @@ pub struct Runtime<T: Send + 'static, R: Send + 'static> {
     submitted: AtomicU64,
     /// Tasks executed inline by `submit` under [`ExecutorModel::NoExecutor`].
     inline_completed: StripedCounter,
+    /// The durability plane (WAL + checkpointer), when the runtime was
+    /// built with [`crate::Builder::durability`]. Shut down *after* the
+    /// worker pool, so every drained task's commit is already durable.
+    durability: Option<Arc<DurabilityPlane>>,
 }
 
 impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
@@ -215,6 +226,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         executor_config: katme_core::executor::ExecutorConfig,
         stm: Stm,
         producers: usize,
+        durability: Option<Arc<DurabilityPlane>>,
     ) -> Self {
         let accepting = Arc::new(AtomicBool::new(true));
         let max_queue_depth = executor_config.max_queue_depth;
@@ -229,8 +241,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 move |worker, envelope: Envelope<T, R>| {
                     // Scope the task to its key so the STM's key-range
                     // telemetry (when attached) attributes this task's
-                    // commits and aborts to the right range.
-                    let result = with_task_key(envelope.key, || handler(worker, envelope.task));
+                    // commits and aborts to the right range; stage the
+                    // durable payload (when present) for the commit path.
+                    let result = with_task_key(envelope.key, || match envelope.payload {
+                        Some(payload) => {
+                            with_durable_payload(payload, || handler(worker, envelope.task))
+                        }
+                        None => handler(worker, envelope.task),
+                    });
                     if let Some(completion) = envelope.completion {
                         completion.complete(result);
                     }
@@ -239,6 +257,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         } else {
             None
         };
+        if durability.is_some() {
+            if let Some(executor) = &executor {
+                // Workers drain the per-thread group-commit wait accumulator
+                // after every handler batch, attributing fsync stalls to the
+                // worker that incurred them.
+                executor.attach_stall_probe(Arc::new(katme_stm::take_group_wait_nanos));
+            }
+        }
 
         let central = match (model, &executor) {
             (ExecutorModel::Centralized, Some(executor)) => {
@@ -328,6 +354,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             drain_on_shutdown,
             submitted: AtomicU64::new(0),
             inline_completed: StripedCounter::new(),
+            durability,
         }
     }
 
@@ -368,6 +395,19 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// The STM instance transactions run against (cloning shares counters).
     pub fn stm(&self) -> &Stm {
         &self.stm
+    }
+
+    /// Live durability-plane counters (appends, fsyncs, mean group size,
+    /// checkpoint lag, ...), `None` for a volatile runtime.
+    pub fn durability(&self) -> Option<DurabilityView> {
+        self.durability.as_ref().map(|plane| plane.view())
+    }
+
+    /// What startup recovery restored and replayed, `None` for a volatile
+    /// runtime. All-defaults for a durable runtime that started from an
+    /// empty (or absent) log directory.
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.durability.as_ref().map(|plane| plane.recovery())
     }
 
     /// True until [`Runtime::stop`] or [`Runtime::shutdown`] is called.
@@ -501,8 +541,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 // thread; one striped-counter update covers the whole batch.
                 let mut handles = Vec::with_capacity(if with_handles { total } else { 0 });
                 for task in tasks {
-                    let key = task.key();
-                    let result = with_task_key(key, || (self.handler)(0, task));
+                    let result = self.run_inline(task);
                     if with_handles {
                         let (handle, completion) = handle_pair();
                         completion.complete(result);
@@ -626,6 +665,25 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         }
     }
 
+    /// Execute one task inline on the submitting thread (the no-executor
+    /// model), staging its durable payload for the commit path when the
+    /// durability plane is on.
+    fn run_inline(&self, task: T) -> R
+    where
+        T: KeyedTask,
+    {
+        let key = task.key();
+        let payload = if self.durability.is_some() {
+            task.durable_payload()
+        } else {
+            None
+        };
+        with_task_key(key, || match payload {
+            Some(payload) => with_durable_payload(payload, || (self.handler)(0, task)),
+            None => (self.handler)(0, task),
+        })
+    }
+
     /// Wrap a batch of tasks into indexed envelopes, allocating one handle
     /// per task when requested.
     fn package(
@@ -636,6 +694,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     where
         T: KeyedTask,
     {
+        let durable = self.durability.is_some();
         let mut handles = Vec::with_capacity(if with_handles { tasks.len() } else { 0 });
         let envelopes = tasks
             .into_iter()
@@ -648,11 +707,17 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 } else {
                     None
                 };
+                let payload = if durable {
+                    task.durable_payload()
+                } else {
+                    None
+                };
                 Envelope {
                     key: task.key(),
                     task,
                     completion,
                     batch_index,
+                    payload,
                 }
             })
             .collect();
@@ -670,6 +735,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     where
         T: KeyedTask,
     {
+        let durable = self.durability.is_some();
         let mut handles = Vec::with_capacity(if with_handles { tasks.len() } else { 0 });
         let keyed = tasks
             .into_iter()
@@ -683,6 +749,11 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     None
                 };
                 let key = task.key();
+                let payload = if durable {
+                    task.durable_payload()
+                } else {
+                    None
+                };
                 (
                     key,
                     Envelope {
@@ -690,6 +761,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                         task,
                         completion,
                         batch_index,
+                        payload,
                     },
                 )
             })
@@ -716,7 +788,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 // Figure 1(a): the producer executes its own transaction
                 // synchronously — no scheduling, no queuing, so the model
                 // stays a clean zero-overhead baseline.
-                let result = with_task_key(key, || (self.handler)(0, task));
+                let result = self.run_inline(task);
                 if let Some(completion) = completion {
                     completion.complete(result);
                 }
@@ -725,11 +797,17 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             }
             ExecutorModel::Centralized => {
                 let central = self.central.as_ref().expect("centralized model");
+                let payload = if self.durability.is_some() {
+                    task.durable_payload()
+                } else {
+                    None
+                };
                 let envelope = Envelope {
                     key,
                     task,
                     completion,
                     batch_index: 0,
+                    payload,
                 };
                 if let Some(depth) = central.depth {
                     if blocking {
@@ -757,11 +835,17 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             }
             ExecutorModel::Parallel => {
                 let executor = self.executor.as_ref().expect("parallel model");
+                let payload = if self.durability.is_some() {
+                    task.durable_payload()
+                } else {
+                    None
+                };
                 let envelope = Envelope {
                     key,
                     task,
                     completion,
                     batch_index: 0,
+                    payload,
                 };
                 // Count the acceptance before the push so a concurrent
                 // stats() never observes completed > submitted.
@@ -850,6 +934,11 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             adaptations: self.scheduler.adaptation_log(),
             cost_model: self.scheduler.cost_model(),
             stm: self.stm.snapshot().since(&self.stm_baseline),
+            durability: self.durability(),
+            commit_wait_nanos: self
+                .executor
+                .as_ref()
+                .map_or(0, |executor| executor.commit_wait_nanos()),
         }
     }
 
@@ -901,8 +990,9 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         }
 
         let inline = self.inline_completed.total();
+        let plane = self.durability.take();
 
-        match self.executor.take() {
+        let mut report = match self.executor.take() {
             Some(executor) => {
                 let executor = Arc::into_inner(executor)
                     .expect("dispatcher joined; runtime holds the last executor reference");
@@ -921,6 +1011,9 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     resizes: report.resizes,
                     active_workers: report.active_workers,
                     adaptations: self.scheduler.adaptation_log(),
+                    commit_wait_nanos: report.commit_wait_nanos,
+                    durability: None,
+                    recovery: None,
                 }
             }
             None => ShutdownReport {
@@ -937,8 +1030,20 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 resizes: 0,
                 active_workers: 1,
                 adaptations: self.scheduler.adaptation_log(),
+                commit_wait_nanos: 0,
+                durability: None,
+                recovery: None,
             },
+        };
+        if let Some(plane) = plane {
+            // Workers are drained and joined: every acknowledged commit is
+            // already on disk; this flush only covers the unacknowledged
+            // tail, then the final counters are captured for the report.
+            plane.shutdown();
+            report.durability = Some(plane.view());
+            report.recovery = Some(plane.recovery());
         }
+        report
     }
 }
 
@@ -1026,6 +1131,15 @@ pub struct StatsView {
     pub cost_model: Option<CostModelView>,
     /// STM activity since the runtime started.
     pub stm: StmStatsSnapshot,
+    /// Durability-plane counters — appends, fsyncs, mean group size,
+    /// checkpoint lag, recovery tallies — `None` unless the runtime was
+    /// built with [`crate::Builder::durability`]. Also readable through
+    /// [`StatsView::durability`].
+    pub durability: Option<DurabilityView>,
+    /// Wall-clock nanoseconds workers have spent blocked in group-commit
+    /// waits (the durable commit's fsync acknowledgment), summed over
+    /// workers. Always 0 for a volatile runtime.
+    pub commit_wait_nanos: u64,
 }
 
 impl StatsView {
@@ -1078,6 +1192,12 @@ impl StatsView {
     /// with [`crate::Builder::cost_model`].
     pub fn cost_model(&self) -> Option<&CostModelView> {
         self.cost_model.as_ref()
+    }
+
+    /// The durability plane's counters — `None` unless the runtime was
+    /// built with [`crate::Builder::durability`].
+    pub fn durability(&self) -> Option<&DurabilityView> {
+        self.durability.as_ref()
     }
 
     /// Tasks currently waiting in queues (workers plus dispatcher).
@@ -1172,6 +1292,16 @@ pub struct ShutdownReport {
     pub active_workers: usize,
     /// The scheduler's adaptation log (one entry per published generation).
     pub adaptations: Vec<AdaptationEvent>,
+    /// Wall-clock nanoseconds workers spent blocked in group-commit waits,
+    /// summed over workers (0 for a volatile runtime).
+    pub commit_wait_nanos: u64,
+    /// Final durability-plane counters, captured after the WAL's terminal
+    /// flush — `None` unless the runtime was built with
+    /// [`crate::Builder::durability`].
+    pub durability: Option<DurabilityView>,
+    /// What startup recovery restored and replayed (`None` for a volatile
+    /// runtime; all-defaults when the log directory started empty).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl ShutdownReport {

@@ -18,6 +18,17 @@ use crate::error::KatmeError;
 pub trait KeyedTask {
     /// The transaction key the scheduler partitions on.
     fn key(&self) -> TxnKey;
+
+    /// The serialized redo record for this task, logged to the write-ahead
+    /// log when the runtime was built with
+    /// [`Builder::durability`](crate::Builder::durability) and a writing
+    /// transaction commits while executing the task. `None` (the default)
+    /// marks the task read-only for durability purposes: nothing is logged
+    /// and the commit never waits on an fsync. Called once per execution
+    /// attempt batch, on the submitting thread.
+    fn durable_payload(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Adapter attaching an externally computed key to any payload — the escape
@@ -48,6 +59,38 @@ impl<T> KeyedTask for WithKey<T> {
 impl KeyedTask for u64 {
     fn key(&self) -> TxnKey {
         *self
+    }
+}
+
+/// Adapter attaching a pre-serialized redo record to any keyed task, making
+/// it a durable update under
+/// [`Builder::durability`](crate::Builder::durability). The key (and
+/// everything else) delegates to the inner task; only
+/// [`KeyedTask::durable_payload`] is overridden.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Durable<T> {
+    /// The underlying keyed task.
+    pub task: T,
+    /// Redo record appended to the WAL when a writing transaction commits
+    /// during execution; `None` marks the task read-only (nothing logged,
+    /// no fsync wait).
+    pub payload: Option<Vec<u8>>,
+}
+
+impl<T> Durable<T> {
+    /// Attach `payload` to `task`.
+    pub fn new(task: T, payload: Option<Vec<u8>>) -> Self {
+        Durable { task, payload }
+    }
+}
+
+impl<T: KeyedTask> KeyedTask for Durable<T> {
+    fn key(&self) -> TxnKey {
+        self.task.key()
+    }
+
+    fn durable_payload(&self) -> Option<Vec<u8>> {
+        self.payload.clone()
     }
 }
 

@@ -1,0 +1,211 @@
+//! Durability hook on the commit path.
+//!
+//! The STM stays storage-agnostic: it only knows about a
+//! [`DurabilitySink`] that can be attached once to an [`crate::StmStats`]
+//! block (mirroring the key-range telemetry attachment). The executor
+//! scopes a serialized *durable payload* around each task with
+//! [`with_durable_payload`]; when a writing transaction reaches its commit
+//! point the payload is consumed and handed to the sink:
+//!
+//! * [`DurabilitySink::log_commit`] runs **between publish and lock
+//!   release**, so the sink observes commits in an order consistent with
+//!   transaction dependencies (a dependent transaction cannot even read an
+//!   owned variable until release, hence cannot log first).
+//! * [`DurabilitySink::wait_durable`] runs **after release**, so no STM
+//!   lock is ever held across an fsync wait.
+//!
+//! Wall-clock spent inside `wait_durable` is accumulated per thread (see
+//! [`take_group_wait_nanos`]) so the executor can surface group-commit
+//! stalls as their own telemetry category instead of folding them into
+//! generic idle time.
+
+use std::cell::Cell;
+
+/// Where committed write-sets go to become durable. Implementations batch
+/// concurrent calls (group commit); `wait_durable` returns once the record
+/// identified by the ticket from `log_commit` is on stable storage.
+pub trait DurabilitySink: Send + Sync + std::fmt::Debug {
+    /// Hand a serialized committed write-set to the log. Called while the
+    /// committing transaction still owns its write set — must be cheap
+    /// (enqueue, not I/O) and must not block on other transactions.
+    /// Returns a ticket for [`DurabilitySink::wait_durable`].
+    fn log_commit(&self, payload: Vec<u8>) -> u64;
+
+    /// Block until the record behind `ticket` is durable. Called after all
+    /// STM locks are released.
+    fn wait_durable(&self, ticket: u64);
+}
+
+thread_local! {
+    /// Serialized durable payload for the task currently executing on this
+    /// thread, consumed by the first writing commit inside the scope.
+    static PENDING_PAYLOAD: Cell<Option<Vec<u8>>> = const { Cell::new(None) };
+    /// Wall-clock nanoseconds this thread has spent blocked in group-commit
+    /// waits since the last [`take_group_wait_nanos`] drain.
+    static GROUP_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Restores the previous pending payload on drop so nested scopes and
+/// panics unwind cleanly (an unconsumed payload is simply dropped with its
+/// scope — aborted tasks log nothing).
+struct PayloadGuard {
+    previous: Option<Vec<u8>>,
+}
+
+impl Drop for PayloadGuard {
+    fn drop(&mut self) {
+        PENDING_PAYLOAD.with(|slot| slot.set(self.previous.take()));
+    }
+}
+
+/// Run `f` with `payload` staged as the durable payload for the first
+/// writing transaction that commits inside it. If no transaction consumes
+/// the payload (the task aborted, or was read-only), it is discarded when
+/// the scope ends.
+pub fn with_durable_payload<R>(payload: Vec<u8>, f: impl FnOnce() -> R) -> R {
+    let guard = PayloadGuard {
+        previous: PENDING_PAYLOAD.with(|slot| slot.replace(Some(payload))),
+    };
+    let result = f();
+    drop(guard);
+    result
+}
+
+/// Consume the staged payload, if any. Called by the commit path exactly
+/// when a writing transaction has published its write set.
+pub fn take_pending_payload() -> Option<Vec<u8>> {
+    PENDING_PAYLOAD.with(|slot| slot.take())
+}
+
+/// Add group-commit wait time observed on this thread. Called by sink
+/// implementations around their `wait_durable` blocking.
+pub fn add_group_wait_nanos(nanos: u64) {
+    GROUP_WAIT_NANOS.with(|slot| slot.set(slot.get().saturating_add(nanos)));
+}
+
+/// Drain this thread's accumulated group-commit wait time (resets to
+/// zero). Executors call this after running a batch of tasks to attribute
+/// the wait to the right worker.
+pub fn take_group_wait_nanos() -> u64 {
+    GROUP_WAIT_NANOS.with(|slot| slot.replace(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stm, TVar};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        logged: Mutex<Vec<Vec<u8>>>,
+        waits: AtomicU64,
+    }
+
+    impl DurabilitySink for RecordingSink {
+        fn log_commit(&self, payload: Vec<u8>) -> u64 {
+            let mut logged = self.logged.lock().unwrap();
+            logged.push(payload);
+            logged.len() as u64
+        }
+
+        fn wait_durable(&self, _ticket: u64) {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            add_group_wait_nanos(5);
+        }
+    }
+
+    #[test]
+    fn payload_scopes_nest_and_clear() {
+        assert_eq!(take_pending_payload(), None);
+        with_durable_payload(vec![1], || {
+            assert_eq!(take_pending_payload(), Some(vec![1]));
+            assert_eq!(take_pending_payload(), None); // Consumed once.
+            with_durable_payload(vec![2], || {
+                assert_eq!(take_pending_payload(), Some(vec![2]));
+            });
+        });
+        assert_eq!(take_pending_payload(), None);
+    }
+
+    #[test]
+    fn writing_commit_consumes_payload_and_waits() {
+        let stm = Stm::default();
+        let sink = Arc::new(RecordingSink::default());
+        assert!(stm.stats().attach_durability(sink.clone()));
+        // Second attachment is refused.
+        assert!(!stm
+            .stats()
+            .attach_durability(Arc::new(RecordingSink::default())));
+
+        let var = TVar::new(0u64);
+        with_durable_payload(b"op-1".to_vec(), || {
+            stm.atomically(|tx| {
+                let v = *tx.read(&var)?;
+                tx.write(&var, v + 1)
+            });
+        });
+        assert_eq!(*sink.logged.lock().unwrap(), vec![b"op-1".to_vec()]);
+        assert_eq!(sink.waits.load(Ordering::Relaxed), 1);
+        assert_eq!(take_group_wait_nanos(), 5);
+        assert_eq!(take_group_wait_nanos(), 0);
+    }
+
+    #[test]
+    fn read_only_commit_leaves_payload_unconsumed() {
+        let stm = Stm::default();
+        let sink = Arc::new(RecordingSink::default());
+        stm.stats().attach_durability(sink.clone());
+        let var = TVar::new(7u64);
+        with_durable_payload(b"lookup".to_vec(), || {
+            let value = stm.atomically(|tx| tx.read(&var).map(|v| *v));
+            assert_eq!(value, 7);
+        });
+        assert!(sink.logged.lock().unwrap().is_empty());
+        assert_eq!(sink.waits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn commits_without_a_scoped_payload_log_nothing() {
+        let stm = Stm::default();
+        let sink = Arc::new(RecordingSink::default());
+        stm.stats().attach_durability(sink.clone());
+        let var = TVar::new(0u64);
+        stm.atomically(|tx| tx.write(&var, 1));
+        assert!(sink.logged.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writing_commits_each_log_exactly_once() {
+        // Contended increments from several threads: every committed
+        // transaction must consume its payload exactly once, however many
+        // aborted attempts preceded the commit.
+        let stm = Stm::default();
+        let sink = Arc::new(RecordingSink::default());
+        stm.stats().attach_durability(sink.clone());
+        let var = Arc::new(TVar::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let stm = stm.clone();
+                let var = Arc::clone(&var);
+                std::thread::spawn(move || {
+                    for op in 0..25u8 {
+                        with_durable_payload(vec![op], || {
+                            stm.atomically(|tx| {
+                                let v = *tx.read(&var)? + 1;
+                                tx.write(&var, v)
+                            });
+                        });
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert_eq!(stm.read_now(&var), 100);
+        assert_eq!(sink.logged.lock().unwrap().len(), 100);
+    }
+}

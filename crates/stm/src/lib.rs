@@ -63,6 +63,7 @@
 pub mod clock;
 pub mod config;
 pub mod contention;
+pub mod durable;
 pub mod error;
 pub mod registry;
 pub mod stats;
@@ -73,6 +74,7 @@ pub mod txn;
 
 pub use config::{CmKind, StmConfig};
 pub use contention::{Conflict, ConflictKind, ContentionManager, Resolution};
+pub use durable::{take_group_wait_nanos, with_durable_payload, DurabilitySink};
 pub use error::{AbortCause, TxError};
 pub use stats::{StmStats, StmStatsSnapshot, TxnReport};
 pub use stm::Stm;

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use crate::durable::DurabilitySink;
 use crate::error::AbortCause;
 use crate::telemetry::KeyRangeTelemetry;
 
@@ -35,6 +36,10 @@ pub struct StmStats {
     /// the commit path whenever a task key is in scope — see
     /// [`crate::telemetry`].
     keyed: OnceLock<Arc<KeyRangeTelemetry>>,
+    /// Optional durability sink (set once, like the telemetry above). When
+    /// attached, writing commits with a staged payload hand it to the sink
+    /// between publish and release — see [`crate::durable`].
+    durability: OnceLock<Arc<dyn DurabilitySink>>,
 }
 
 impl StmStats {
@@ -84,6 +89,19 @@ impl StmStats {
     /// The attached key-range telemetry, if any.
     pub fn key_telemetry(&self) -> Option<&Arc<KeyRangeTelemetry>> {
         self.keyed.get()
+    }
+
+    /// Attach a durability sink. Returns `false` (leaving the existing
+    /// attachment in place) if a sink was already attached; like the key
+    /// telemetry, the attachment is permanent so the commit-path check
+    /// stays a single atomic load.
+    pub fn attach_durability(&self, sink: Arc<dyn DurabilitySink>) -> bool {
+        self.durability.set(sink).is_ok()
+    }
+
+    /// The attached durability sink, if any.
+    pub fn durability_sink(&self) -> Option<&Arc<dyn DurabilitySink>> {
+        self.durability.get()
     }
 
     /// Capture the current counter values.

@@ -348,8 +348,24 @@ impl<'a> Transaction<'a> {
         for entry in self.write_set.values() {
             entry.publish(commit_ts);
         }
+        // Durability hook: hand the staged payload (if any) to the sink
+        // *before* releasing ownership, so log order respects dependency
+        // order — a dependent transaction cannot read an owned variable,
+        // hence cannot log ahead of this one. The enqueue is cheap (no
+        // I/O); the fsync wait happens below, after release.
+        let durable_ticket = match self.stm.stats_ref().durability_sink() {
+            Some(sink) => {
+                crate::durable::take_pending_payload().map(|payload| sink.log_commit(payload))
+            }
+            None => None,
+        };
         for entry in self.write_set.values() {
             entry.var().dyn_release(self.id);
+        }
+        if let Some(ticket) = durable_ticket {
+            if let Some(sink) = self.stm.stats_ref().durability_sink() {
+                sink.wait_durable(ticket);
+            }
         }
         Ok(info)
     }

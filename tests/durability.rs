@@ -1,0 +1,219 @@
+//! Crash-point matrix for the durability plane: a child process runs a
+//! durable runtime with a fault-injection point armed
+//! ([`WalConfig::with_crash_point`]), acknowledges each durably committed
+//! operation on stderr, and dies by `abort()` at the armed point. The
+//! parent then recovers from the surviving on-disk state and asserts the
+//! core invariant: **every acknowledged operation is present after
+//! recovery** (unacknowledged operations may or may not be — both are
+//! consistent committed prefixes).
+//!
+//! The matrix covers the three distinct on-disk shapes a crash can leave:
+//!
+//! * [`CrashPoint::MidAppend`] — a torn record at the tail (recovery must
+//!   physically truncate it),
+//! * [`CrashPoint::PreFsync`] — a fully written but never-synced group
+//!   (nothing was acknowledged, so recovery may keep or lose it),
+//! * [`CrashPoint::MidCheckpoint`] — a partial checkpoint file (recovery
+//!   must fall back to full-log replay, never the torn snapshot).
+//!
+//! The child is this same test binary re-invoked with `--exact
+//! crash_child`; acknowledgements go to stderr because a piped stdout is
+//! block-buffered and would lose the tail at `abort()`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+use katme::{
+    spec_payload, CrashPoint, DictState, Durable, Katme, OpKind, RecoveryReport, Runtime, Stm,
+    StmConfig, StructureKind, TxnSpec, WalConfig, WithKey,
+};
+use katme_collections::TxDictionary;
+
+const CHILD_POINT_ENV: &str = "KATME_DURABILITY_CRASH_POINT";
+const CHILD_DIR_ENV: &str = "KATME_DURABILITY_CRASH_DIR";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("katme-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable runtime over the hash-table dictionary it checkpoints.
+type DurableRuntime = (
+    Arc<dyn TxDictionary>,
+    Runtime<Durable<WithKey<TxnSpec>>, ()>,
+);
+
+/// Build a durable runtime over `dir`: hash-table dictionary, two workers,
+/// every insert carrying its redo record.
+fn durable_runtime(config: WalConfig, checkpoint_interval: Duration) -> DurableRuntime {
+    let stm = Stm::new(StmConfig::default());
+    let dict = StructureKind::HashTable.build(stm.clone());
+    let dict_for_workers = Arc::clone(&dict);
+    let runtime = Katme::builder()
+        .workers(2)
+        .key_range(0, 65_535)
+        .stm(stm)
+        .durability_config(config)
+        .durable_state(Arc::new(DictState::new(Arc::clone(&dict))))
+        .checkpoint_interval(checkpoint_interval)
+        .build(move |_worker, task: Durable<WithKey<TxnSpec>>| {
+            katme::apply_spec(&*dict_for_workers, &task.task.task);
+        })
+        .expect("valid durable configuration");
+    (dict, runtime)
+}
+
+fn insert_task(key: u32, value: u64) -> Durable<WithKey<TxnSpec>> {
+    let spec = TxnSpec {
+        key,
+        value,
+        op: OpKind::Insert,
+    };
+    let payload = spec_payload(&spec);
+    Durable::new(WithKey::new(u64::from(key), spec), payload)
+}
+
+/// The child body: submit inserts one at a time, acknowledging each on
+/// stderr only after its handle resolves (which happens after the commit's
+/// group is fsynced). The armed crash point aborts the process mid-run.
+///
+/// This `#[test]` is a no-op in normal suite runs — it only acts when the
+/// parent re-invokes the binary with the crash environment set.
+#[test]
+fn crash_child() {
+    let Ok(point) = std::env::var(CHILD_POINT_ENV) else {
+        return;
+    };
+    let dir = std::env::var(CHILD_DIR_ENV).expect("crash child needs a WAL directory");
+    // crash_after counts normally flushed groups (append/fsync points) or
+    // completed checkpoints; with serial submission each group holds one
+    // record, so "3" means ops 1..=3 are acknowledged and op 4 dies.
+    let (point, after, interval) = match point.as_str() {
+        "mid-append" => (CrashPoint::MidAppend, 3, Duration::from_secs(3600)),
+        "pre-fsync" => (CrashPoint::PreFsync, 3, Duration::from_secs(3600)),
+        // The checkpointer runs on a real interval here: ops acknowledged
+        // before the first (crashing) checkpoint round must survive it.
+        "mid-checkpoint" => (CrashPoint::MidCheckpoint, 0, Duration::from_millis(150)),
+        other => panic!("unknown crash point tag {other:?}"),
+    };
+    let config = WalConfig::new(&dir).with_crash_point(point, after);
+    let (_dict, runtime) = durable_runtime(config, interval);
+    // Unique keys per op (never reused): an in-flight record can become
+    // durable in the instant before the abort without being acknowledged,
+    // and key reuse would let such a record shadow an acknowledged value.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    for i in 0..60_000u32 {
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+        let key = i + 1;
+        let value = u64::from(key) * 10 + 7;
+        let handle = runtime.submit(insert_task(key, value)).expect("submit");
+        if handle.wait().is_err() {
+            // A worker died with the WAL writer; the abort is imminent.
+            break;
+        }
+        eprintln!("ACK {key} {value}");
+    }
+    // Reaching this point without aborting means the crash point never
+    // fired; the parent fails the run on a clean exit status.
+}
+
+/// Re-invoke this test binary as a crash child and collect the set of
+/// operations it acknowledged before dying.
+fn run_crash_child(tag: &str, dir: &Path) -> BTreeMap<u32, u64> {
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = Command::new(exe)
+        .args(["crash_child", "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_POINT_ENV, tag)
+        .env(CHILD_DIR_ENV, dir)
+        .output()
+        .expect("spawn crash child");
+    assert!(
+        !output.status.success(),
+        "crash child must die at its armed point, but exited cleanly:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let mut acked = BTreeMap::new();
+    for line in String::from_utf8_lossy(&output.stderr).lines() {
+        if let Some(rest) = line.strip_prefix("ACK ") {
+            let mut parts = rest.split_whitespace();
+            let key: u32 = parts.next().unwrap().parse().unwrap();
+            let value: u64 = parts.next().unwrap().parse().unwrap();
+            acked.insert(key, value);
+        }
+    }
+    acked
+}
+
+/// Recover from the crashed log and assert every acknowledged operation
+/// survived; returns the recovery report for point-specific assertions.
+fn recover_and_verify(dir: &Path, acked: &BTreeMap<u32, u64>) -> RecoveryReport {
+    let (dict, runtime) = durable_runtime(WalConfig::new(dir), Duration::from_secs(3600));
+    let recovery = runtime.recovery().expect("durable runtime has a report");
+    for (&key, &value) in acked {
+        assert_eq!(
+            dict.lookup(key),
+            Some(value),
+            "acknowledged insert of key {key} lost across the crash"
+        );
+    }
+    runtime.shutdown();
+    recovery
+}
+
+#[test]
+fn mid_append_crash_truncates_the_torn_tail_and_keeps_acked_commits() {
+    let dir = temp_dir("mid-append");
+    let acked = run_crash_child("mid-append", &dir);
+    assert_eq!(
+        acked.len(),
+        3,
+        "three groups flush normally before the torn fourth append"
+    );
+    let recovery = recover_and_verify(&dir, &acked);
+    assert!(
+        recovery.truncated_bytes > 0,
+        "the half-written record must be physically truncated: {recovery:?}"
+    );
+    assert!(recovery.replayed >= acked.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pre_fsync_crash_loses_nothing_acknowledged() {
+    let dir = temp_dir("pre-fsync");
+    let acked = run_crash_child("pre-fsync", &dir);
+    assert_eq!(acked.len(), 3, "the unsynced fourth group was never acked");
+    let recovery = recover_and_verify(&dir, &acked);
+    // The full-but-unsynced record survived the process (it was a plain
+    // write), so recovery replays at least the acknowledged prefix — the
+    // extra record is an unacknowledged commit, which recovery may keep.
+    assert!(recovery.replayed >= acked.len() as u64);
+    assert!(!recovery.restored_checkpoint);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_checkpoint_crash_falls_back_to_full_replay() {
+    let dir = temp_dir("mid-checkpoint");
+    let acked = run_crash_child("mid-checkpoint", &dir);
+    assert!(
+        !acked.is_empty(),
+        "some inserts must be acknowledged before the first checkpoint round"
+    );
+    let recovery = recover_and_verify(&dir, &acked);
+    assert!(
+        !recovery.restored_checkpoint,
+        "the torn first checkpoint must never be restored: {recovery:?}"
+    );
+    assert!(
+        recovery.replayed >= acked.len() as u64,
+        "without a checkpoint, every logged record is replayed: {recovery:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
