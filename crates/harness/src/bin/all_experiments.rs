@@ -8,8 +8,9 @@
 use katme_collections::StructureKind;
 use katme_harness::experiments::executor_models;
 use katme_harness::{
-    balance_table, batch_dispatch, contention_table, cost_adaptation, durability, fig3_hashtable,
-    fig4_overhead, format_throughput, print_series_table, tree_list, HarnessOptions,
+    balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation, durability,
+    fig3_hashtable, fig4_overhead, format_throughput, print_series_table, tree_list,
+    HarnessOptions,
 };
 use katme_workload::DistributionKind;
 
@@ -114,6 +115,19 @@ fn main() {
             row.throughput_ratio(),
             row.fsyncs_per_commit(),
             row.mean_group_size()
+        );
+    }
+
+    println!("\n################ Commit-path microbench ################");
+    for row in commit_path(&opts) {
+        println!(
+            "  {:>24} / {:>2} thread(s): {} commits/s, efficiency {:.3}, \
+             {:.4} clock-adv/commit",
+            row.series,
+            row.threads,
+            format_throughput(row.commits_per_sec),
+            row.efficiency,
+            row.clock_advances_per_commit
         );
     }
 }

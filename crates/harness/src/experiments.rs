@@ -2,7 +2,10 @@
 
 use std::time::Duration;
 
-use katme::{Driver, DriverConfig, ExecutorModel, RunResult, SchedulerKind, WindowReport};
+use katme::{
+    ClockMode, Driver, DriverConfig, ExecutorModel, RunResult, SchedulerKind, Stm, StmConfig, TVar,
+    WindowReport,
+};
 use katme_collections::StructureKind;
 use katme_workload::{ArrivalRamp, DistributionKind};
 
@@ -688,6 +691,184 @@ pub fn executor_models(opts: &HarnessOptions) -> Vec<(ExecutorModel, f64)> {
         .collect()
 }
 
+/// Transactional variables each commit-path worker owns (disjoint across
+/// workers, so commits never conflict and the measured cost is pure
+/// commit-path bookkeeping: clock traffic, stats counters, registry).
+const COMMIT_PATH_VARS_PER_THREAD: usize = 64;
+
+/// One data point of the commit-path microbench.
+#[derive(Debug, Clone)]
+pub struct CommitPathRow {
+    /// Configuration under test ("gv1-ticked + shared", ...).
+    pub series: String,
+    /// Clock discipline of this series.
+    pub clock_mode: ClockMode,
+    /// Stats-counter stripes requested (1 = shared baseline, 0 = default
+    /// striping).
+    pub stats_stripes: usize,
+    /// Whether the workload is the read-only fast path.
+    pub read_only: bool,
+    /// Concurrent committing threads.
+    pub threads: usize,
+    /// Mean committed transactions per second across all threads.
+    pub commits_per_sec: f64,
+    /// Scaling efficiency vs. this series' single-thread point
+    /// (`throughput / (threads * single_thread_throughput)`).
+    pub efficiency: f64,
+    /// Global-clock advances per commit: ~1 for GV1 writers (one
+    /// `fetch_add` each), ~0 for GV5-lazy disjoint commits and for
+    /// read-only commits. Measured from the process-wide clock, so
+    /// concurrent STM activity elsewhere in the process inflates it.
+    pub clock_advances_per_commit: f64,
+    /// Commits counted by the worker loops (mean per repetition).
+    pub commits: u64,
+    /// Commits the (possibly striped) stats block reported — must equal
+    /// [`CommitPathRow::commits`]: striping may not lose updates.
+    pub recorded_commits: u64,
+}
+
+struct CommitPathMeasurement {
+    commits: u64,
+    recorded_commits: u64,
+    clock_advances: u64,
+    window: Duration,
+}
+
+fn measure_commit_path(
+    mode: ClockMode,
+    stripes: usize,
+    read_only: bool,
+    threads: usize,
+    window: Duration,
+) -> CommitPathMeasurement {
+    let stm = Stm::new(
+        StmConfig::default()
+            .with_clock_mode(mode)
+            .with_stats_stripes(stripes),
+    );
+    let vars: Vec<Vec<TVar<u64>>> = (0..threads)
+        .map(|_| {
+            (0..COMMIT_PATH_VARS_PER_THREAD)
+                .map(|_| TVar::new(0))
+                .collect()
+        })
+        .collect();
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let clock_start = std::sync::atomic::AtomicU64::new(0);
+
+    let commits: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = vars
+            .iter()
+            .map(|mine| {
+                let stm = stm.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let deadline = std::time::Instant::now() + window;
+                    let mut committed = 0u64;
+                    let mut i = 0usize;
+                    while std::time::Instant::now() < deadline {
+                        let var = &mine[i % COMMIT_PATH_VARS_PER_THREAD];
+                        if read_only {
+                            let other = &mine[(i + 1) % COMMIT_PATH_VARS_PER_THREAD];
+                            stm.atomically(|tx| Ok(*tx.read(var)? + *tx.read(other)?));
+                        } else {
+                            stm.atomically(|tx| {
+                                let v = *tx.read(var)?;
+                                tx.write(var, v + 1)
+                            });
+                        }
+                        committed += 1;
+                        i += 1;
+                    }
+                    committed
+                })
+            })
+            .collect();
+        clock_start.store(
+            katme_stm::clock::now(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        barrier.wait();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let clock_advances =
+        katme_stm::clock::now() - clock_start.load(std::sync::atomic::Ordering::Relaxed);
+    let snapshot = stm.stats().snapshot();
+    CommitPathMeasurement {
+        commits,
+        recorded_commits: snapshot.commits,
+        clock_advances,
+        window,
+    }
+}
+
+/// Thread counts for the commit-path sweep: the usual worker sweep, but
+/// always anchored at 1 thread so scaling efficiency has its baseline.
+fn commit_path_thread_counts(opts: &HarnessOptions) -> Vec<usize> {
+    let mut counts = opts.worker_counts();
+    if !counts.contains(&1) {
+        counts.insert(0, 1);
+    }
+    counts
+}
+
+/// **Commit-path microbench (extension)**: isolates commit-path cost from
+/// structure and executor cost. Tiny read-write transactions over fully
+/// disjoint per-thread key sets sweep 1..=N threads for every combination
+/// of clock discipline (GV1 ticked vs. GV5 lazy) and stats-counter layout
+/// (shared single stripe vs. cache-line-padded per-thread stripes), plus a
+/// read-only series exercising the read-only fast path. Disjoint writers
+/// never conflict, so any scaling loss is pure commit-path bookkeeping:
+/// the clock `fetch_add`, the stats counters, the registry. Expected
+/// shape: the lazy clock performs ~0 clock advances per commit (vs. ~1 for
+/// GV1) and, on multi-core hosts, the lazy + striped series scales closest
+/// to linearly.
+pub fn commit_path(opts: &HarnessOptions) -> Vec<CommitPathRow> {
+    let series: [(&str, ClockMode, usize, bool); 6] = [
+        ("gv1-ticked + shared", ClockMode::Ticked, 1, false),
+        ("gv1-ticked + striped", ClockMode::Ticked, 0, false),
+        ("gv5-lazy + shared", ClockMode::Lazy, 1, false),
+        ("gv5-lazy + striped", ClockMode::Lazy, 0, false),
+        ("read-only + shared", ClockMode::Lazy, 1, true),
+        ("read-only + striped", ClockMode::Lazy, 0, true),
+    ];
+    let mut rows = Vec::new();
+    for (name, mode, stripes, read_only) in series {
+        let mut single_thread: Option<f64> = None;
+        for threads in commit_path_thread_counts(opts) {
+            let reps = opts.repetitions();
+            let mut commits = 0u64;
+            let mut recorded = 0u64;
+            let mut advances = 0u64;
+            let mut seconds = 0.0;
+            for _ in 0..reps {
+                let m = measure_commit_path(mode, stripes, read_only, threads, opts.duration());
+                commits += m.commits;
+                recorded += m.recorded_commits;
+                advances += m.clock_advances;
+                seconds += m.window.as_secs_f64();
+            }
+            let commits_per_sec = commits as f64 / seconds.max(f64::EPSILON);
+            let base = *single_thread.get_or_insert(commits_per_sec);
+            rows.push(CommitPathRow {
+                series: name.to_string(),
+                clock_mode: mode,
+                stats_stripes: stripes,
+                read_only,
+                threads,
+                commits_per_sec,
+                efficiency: commits_per_sec / (threads as f64 * base).max(f64::EPSILON),
+                clock_advances_per_commit: advances as f64 / (commits as f64).max(1.0),
+                commits: commits / reps as u64,
+                recorded_commits: recorded / reps as u64,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +1030,45 @@ mod tests {
         let rows = executor_models(&quick());
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|(_, tput)| *tput > 0.0));
+    }
+
+    #[test]
+    fn commit_path_covers_every_series_and_counts_faithfully() {
+        let rows = commit_path(&quick());
+        let thread_counts = commit_path_thread_counts(&quick()).len();
+        assert_eq!(rows.len(), 6 * thread_counts, "{rows:?}");
+        for row in &rows {
+            assert!(row.commits > 0, "{row:?}");
+            assert!(row.commits_per_sec > 0.0, "{row:?}");
+            assert!(row.efficiency > 0.0, "{row:?}");
+            // Striping may not lose updates: the stats block must report
+            // exactly the commits the worker loops performed.
+            assert_eq!(row.recorded_commits, row.commits, "{row:?}");
+        }
+        // GV1 writers pay (at least) one clock fetch_add per commit.
+        for row in rows
+            .iter()
+            .filter(|r| r.clock_mode == ClockMode::Ticked && !r.read_only)
+        {
+            assert!(
+                row.clock_advances_per_commit >= 1.0,
+                "GV1 must tick once per writer commit: {row:?}"
+            );
+        }
+        // The lazy clock stays off the shared cache line for disjoint
+        // writers, and the read-only fast path never writes it in either
+        // mode. The clock is process-global, so concurrent tests add a
+        // little noise; anything close to one advance per commit would
+        // mean the fast path regressed to ticking.
+        for row in rows
+            .iter()
+            .filter(|r| r.clock_mode == ClockMode::Lazy || r.read_only)
+        {
+            assert!(
+                row.clock_advances_per_commit < 0.5,
+                "lazy/read-only commits must stay off the global clock: {row:?}"
+            );
+        }
     }
 
     #[test]

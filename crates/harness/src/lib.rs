@@ -14,6 +14,7 @@
 //! | Elastic scaling (extension) | [`experiments::elastic_scaling`] / `elastic_scaling` | fixed always-max pool vs. elastic partition-coupled scaling under a quiet → burst → quiet arrival ramp |
 //! | Cost adaptation (extension) | [`experiments::cost_adaptation`] / `cost_adaptation` | threshold triggers vs. the predictive cost plane on phased and stationary workloads |
 //! | Durability (extension) | [`experiments::durability`] / `durability` | durable (group-commit WAL + checkpoints) vs. volatile throughput, with fsyncs-per-commit and mean group size |
+//! | Commit-path microbench (extension) | [`experiments::commit_path`] / `commit_path` | commit-path cost in isolation: GV1-ticked vs. GV5-lazy clock x shared vs. striped stats counters on disjoint keys, with scaling efficiency and clock advances per commit |
 //!
 //! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
 //! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
@@ -32,10 +33,10 @@ pub mod options;
 pub mod report;
 
 pub use experiments::{
-    balance_table, batch_dispatch, contention_table, cost_adaptation, drift_adaptation, durability,
-    elastic_scaling, fig3_hashtable, fig4_overhead, tree_list, CostRow, DriftRow, DurabilityRow,
-    ElasticRow, ExperimentRow, Fig4Row, BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS,
-    ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS,
+    balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation,
+    drift_adaptation, durability, elastic_scaling, fig3_hashtable, fig4_overhead, tree_list,
+    CommitPathRow, CostRow, DriftRow, DurabilityRow, ElasticRow, ExperimentRow, Fig4Row,
+    BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS, ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS,
 };
 pub use options::HarnessOptions;
 pub use report::{format_throughput, print_series_table};

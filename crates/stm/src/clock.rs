@@ -1,15 +1,36 @@
 //! Global version clock.
 //!
 //! The STM uses a single process-wide version clock in the style of TL2.
-//! Every committed writer transaction obtains a fresh timestamp from the
-//! clock and stamps the variables it publishes with it; readers validate that
-//! the variables they observed have not been re-stamped past the timestamp at
+//! Every committed writer transaction stamps the variables it publishes with
+//! a commit timestamp derived from the clock; readers validate that the
+//! variables they observed have not been re-stamped past the timestamp at
 //! which their snapshot began.
+//!
+//! Two stamping disciplines are supported (selected per runtime via
+//! [`crate::StmConfig::clock_mode`]):
+//!
+//! * **GV1 / [`crate::ClockMode::Ticked`]** — every writer commit advances
+//!   the clock with [`tick`] and stamps with the unique result. Simple, but
+//!   the `fetch_add` makes the clock's cache line the hottest word in the
+//!   process: even fully disjoint commits serialize on it.
+//! * **GV5-style / [`crate::ClockMode::Lazy`]** — writers stamp with
+//!   `now() + 1` (or one past the stamped variable's current version,
+//!   whichever is larger) *without* advancing the clock. The clock is bumped
+//!   only on observed validation demand ([`advance_past`], driven by
+//!   validation-failure aborts), so disjoint-key commits perform **zero**
+//!   shared-clock writes. Commit stamps are no longer globally unique —
+//!   disjoint writers may share a stamp, and stamps may run ahead of
+//!   `now()` — but every *variable's* stamp still strictly increases with
+//!   each commit, which is the property snapshot validation relies on
+//!   (version equality pins the exact committed value).
 //!
 //! Keeping the clock process-wide (rather than per-[`crate::Stm`] instance)
 //! means transactional variables can be freely shared between independently
 //! configured `Stm` runtimes — e.g. the executor's workers and a monitoring
-//! thread — without version-space confusion.
+//! thread — without version-space confusion. Runtimes with different clock
+//! modes may also share variables: both disciplines stamp past the
+//! variable's current version, so stamps never regress (see
+//! [`crate::ClockMode`] for the mixing caveats).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -34,6 +55,16 @@ pub fn now() -> u64 {
 #[inline]
 pub fn tick() -> u64 {
     GLOBAL_CLOCK.fetch_add(1, Ordering::AcqRel) + 1
+}
+
+/// Raise the global version clock to at least `target` (a no-op when it is
+/// already there). Used by the lazy clock mode to publish validation demand:
+/// once a stale stamp has caused an abort, advancing the clock lets retries
+/// (and every later transaction) start their snapshots past it instead of
+/// re-discovering the conflict.
+#[inline]
+pub fn advance_past(target: u64) {
+    GLOBAL_CLOCK.fetch_max(target, Ordering::AcqRel);
 }
 
 /// Allocate a fresh transaction identifier. Never returns 0.
@@ -91,6 +122,15 @@ mod tests {
             assert_ne!(id, 0);
             assert!(seen.insert(id));
         }
+    }
+
+    #[test]
+    fn advance_past_raises_but_never_lowers_the_clock() {
+        let base = tick();
+        advance_past(base + 10);
+        assert!(now() >= base + 10);
+        advance_past(base); // Stale demand must not move the clock backwards.
+        assert!(now() >= base + 10);
     }
 
     #[test]

@@ -68,16 +68,18 @@ pub mod error;
 pub mod registry;
 pub mod stats;
 pub mod stm;
+pub mod striped;
 pub mod telemetry;
 pub mod tvar;
 pub mod txn;
 
-pub use config::{CmKind, StmConfig};
+pub use config::{ClockMode, CmKind, StmConfig};
 pub use contention::{Conflict, ConflictKind, ContentionManager, Resolution};
 pub use durable::{take_group_wait_nanos, with_durable_payload, DurabilitySink};
 pub use error::{AbortCause, TxError};
 pub use stats::{StmStats, StmStatsSnapshot, TxnReport};
 pub use stm::Stm;
+pub use striped::CachePadded;
 pub use telemetry::{with_task_key, KeyRangeSnapshot, KeyRangeTelemetry};
 pub use tvar::TVar;
 pub use txn::Transaction;

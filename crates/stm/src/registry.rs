@@ -10,12 +10,22 @@
 //! it commits or aborts, so the table stays proportional to the number of
 //! concurrently executing transactions (i.e. worker threads), not to the
 //! total number of transactions executed.
+//!
+//! The table is sharded by the registering thread's stripe index (see
+//! [`crate::striped::thread_stripe`]): a thread's register/unregister pair —
+//! two lock acquisitions on *every* transaction — stays on a shard only it
+//! (and at most a few stripe-sharing threads) touches, so the registry is
+//! not a process-wide serialization point on the commit path. Lookups by
+//! enemy transaction id scan the shards; they only happen on conflicts,
+//! which are the rare case the commit path is being optimized for.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+
+use crate::striped::thread_stripe;
 
 /// Metadata about an in-flight transaction that other transactions (via their
 /// contention managers) may inspect.
@@ -58,12 +68,24 @@ impl TxnShared {
     }
 }
 
-static REGISTRY: RwLock<Option<HashMap<u64, Arc<TxnShared>>>> = RwLock::new(None);
+/// Shard count (power of two): at least the paper's 16-worker methodology,
+/// so each worker thread's register/unregister traffic stays on its own
+/// shard.
+const REGISTRY_SHARDS: usize = 16;
+
+type Shard = RwLock<Option<HashMap<u64, Arc<TxnShared>>>>;
+
+static REGISTRY: [Shard; REGISTRY_SHARDS] = [const { RwLock::new(None) }; REGISTRY_SHARDS];
+
+/// The shard this thread registers into (stable per thread).
+fn local_shard() -> &'static Shard {
+    &REGISTRY[thread_stripe() & (REGISTRY_SHARDS - 1)]
+}
 
 /// Register a transaction and return its shared metadata handle.
 pub fn register(txn_id: u64, start_ts: u64) -> Arc<TxnShared> {
     let shared = Arc::new(TxnShared::new(start_ts));
-    let mut guard = REGISTRY.write();
+    let mut guard = local_shard().write();
     guard
         .get_or_insert_with(HashMap::new)
         .insert(txn_id, Arc::clone(&shared));
@@ -71,17 +93,40 @@ pub fn register(txn_id: u64, start_ts: u64) -> Arc<TxnShared> {
 }
 
 /// Remove a transaction from the registry (on commit or final abort).
+///
+/// Registration and removal happen on the same thread (the retry loop in
+/// [`crate::Stm`] brackets the attempts), so the entry is normally in the
+/// local shard; the other shards are scanned as a fallback so the contract
+/// holds even for callers that migrate threads.
 pub fn unregister(txn_id: u64) {
-    let mut guard = REGISTRY.write();
-    if let Some(map) = guard.as_mut() {
-        map.remove(&txn_id);
+    {
+        let mut guard = local_shard().write();
+        if let Some(map) = guard.as_mut() {
+            if map.remove(&txn_id).is_some() {
+                return;
+            }
+        }
+    }
+    for shard in &REGISTRY {
+        let mut guard = shard.write();
+        if let Some(map) = guard.as_mut() {
+            if map.remove(&txn_id).is_some() {
+                return;
+            }
+        }
     }
 }
 
 /// Look up the shared metadata of a (possibly finished) transaction.
+/// Scans the shards; only reached on conflicts, never on the clean path.
 pub fn lookup(txn_id: u64) -> Option<Arc<TxnShared>> {
-    let guard = REGISTRY.read();
-    guard.as_ref().and_then(|m| m.get(&txn_id).cloned())
+    for shard in &REGISTRY {
+        let guard = shard.read();
+        if let Some(found) = guard.as_ref().and_then(|m| m.get(&txn_id).cloned()) {
+            return Some(found);
+        }
+    }
+    None
 }
 
 /// Priority of the given transaction, or 0 when it is unknown / finished.
@@ -98,7 +143,10 @@ pub fn start_ts_of(txn_id: u64) -> u64 {
 /// Number of currently registered (in-flight) transactions. Primarily for
 /// tests and diagnostics.
 pub fn live_count() -> usize {
-    REGISTRY.read().as_ref().map(|m| m.len()).unwrap_or(0)
+    REGISTRY
+        .iter()
+        .map(|shard| shard.read().as_ref().map(|m| m.len()).unwrap_or(0))
+        .sum()
 }
 
 #[cfg(test)]
@@ -147,6 +195,21 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn lookups_see_entries_registered_by_other_threads() {
+        // Registration lands in the registering thread's shard; enemy
+        // lookups (which run on *other* threads) must still find it.
+        let id = crate::clock::next_txn_id();
+        let s = register(id, 5);
+        s.set_priority(3);
+        let observed = std::thread::spawn(move || (priority_of(id), start_ts_of(id)))
+            .join()
+            .unwrap();
+        assert_eq!(observed, (3, 5));
+        unregister(id);
+        assert!(lookup(id).is_none());
     }
 
     #[test]

@@ -5,21 +5,25 @@
 //! partitioning lowers it. These counters are what the harness reads to
 //! regenerate that table: committed transactions, aborted attempts broken
 //! down by cause, and backoff events.
+//!
+//! The counters are striped over per-thread cache-line-padded shards (see
+//! [`crate::striped`]): every hot-path `record_*` call increments the
+//! calling thread's own shard, and [`StmStats::snapshot`] aggregates the
+//! shards lazily. With at least as many shards as worker threads (the
+//! default; tune with [`crate::StmConfig::stats_stripes`]) commit-path
+//! bookkeeping touches no shared cache line at all.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::durable::DurabilitySink;
 use crate::error::AbortCause;
+use crate::striped::Shards;
 use crate::telemetry::KeyRangeTelemetry;
 
-/// Aggregate, shareable counters for one [`crate::Stm`] runtime.
-///
-/// All counters are monotonically increasing; [`StmStats::snapshot`] captures
-/// a consistent-enough point-in-time view (individual counters are exact,
-/// cross-counter skew is bounded by in-flight transactions).
+/// One thread-shard of the statistics counters (one padded cache line-pair).
 #[derive(Debug, Default)]
-pub struct StmStats {
+struct StatShard {
     commits: AtomicU64,
     read_only_commits: AtomicU64,
     aborts_read_validation: AtomicU64,
@@ -31,6 +35,16 @@ pub struct StmStats {
     backoff_events: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+}
+
+/// Aggregate, shareable counters for one [`crate::Stm`] runtime.
+///
+/// All counters are monotonically increasing; [`StmStats::snapshot`] captures
+/// a consistent-enough point-in-time view (individual counters are exact,
+/// cross-counter skew is bounded by in-flight transactions).
+#[derive(Debug)]
+pub struct StmStats {
+    shards: Shards<StatShard>,
     /// Optional key-range telemetry (set once, shared by every clone of the
     /// owning [`crate::Stm`] since clones share this counter block). Fed by
     /// the commit path whenever a task key is in scope — see
@@ -42,40 +56,73 @@ pub struct StmStats {
     durability: OnceLock<Arc<dyn DurabilitySink>>,
 }
 
+impl Default for StmStats {
+    fn default() -> Self {
+        StmStats {
+            shards: Shards::new(0),
+            keyed: OnceLock::new(),
+            durability: OnceLock::new(),
+        }
+    }
+}
+
 impl StmStats {
-    /// Create a fresh set of zeroed counters.
+    /// Create a fresh set of zeroed counters with the default shard count.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
+    /// Create zeroed counters striped over `stripes` shards (rounded up to a
+    /// power of two; `0` = default, `1` = the fully shared legacy layout).
+    pub fn with_stripes(stripes: usize) -> Arc<Self> {
+        Arc::new(StmStats {
+            shards: Shards::new(stripes),
+            keyed: OnceLock::new(),
+            durability: OnceLock::new(),
+        })
+    }
+
+    /// Number of shards the counters are striped over.
+    pub fn stripes(&self) -> usize {
+        self.shards.len()
+    }
+
     pub(crate) fn record_commit(&self, read_only: bool, reads: u64, writes: u64) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shards.local();
+        shard.commits.fetch_add(1, Ordering::Relaxed);
         if read_only {
-            self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+            shard.read_only_commits.fetch_add(1, Ordering::Relaxed);
         }
-        self.reads.fetch_add(reads, Ordering::Relaxed);
-        self.writes.fetch_add(writes, Ordering::Relaxed);
+        shard.reads.fetch_add(reads, Ordering::Relaxed);
+        shard.writes.fetch_add(writes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_abort(&self, cause: AbortCause, by_cm: bool) {
+        let shard = self.shards.local();
         match cause {
-            AbortCause::ReadValidation => &self.aborts_read_validation,
-            AbortCause::ReadOwned => &self.aborts_read_owned,
-            AbortCause::CommitAcquire => &self.aborts_commit_acquire,
-            AbortCause::CommitValidation => &self.aborts_commit_validation,
+            AbortCause::ReadValidation => &shard.aborts_read_validation,
+            AbortCause::ReadOwned => &shard.aborts_read_owned,
+            AbortCause::CommitAcquire => &shard.aborts_commit_acquire,
+            AbortCause::CommitValidation => &shard.aborts_commit_validation,
         }
         .fetch_add(1, Ordering::Relaxed);
         if by_cm {
-            self.cm_aborts.fetch_add(1, Ordering::Relaxed);
+            shard.cm_aborts.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     pub(crate) fn record_explicit_retry(&self) {
-        self.explicit_retries.fetch_add(1, Ordering::Relaxed);
+        self.shards
+            .local()
+            .explicit_retries
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_backoff(&self) {
-        self.backoff_events.fetch_add(1, Ordering::Relaxed);
+        self.shards
+            .local()
+            .backoff_events
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attach key-range contention telemetry. Returns `false` (leaving the
@@ -104,21 +151,25 @@ impl StmStats {
         self.durability.get()
     }
 
-    /// Capture the current counter values.
+    /// Capture the current counter values (lazy aggregation: sums every
+    /// per-thread shard; cost is proportional to the shard count and paid by
+    /// the snapshot reader, not by the commit path).
     pub fn snapshot(&self) -> StmStatsSnapshot {
-        StmStatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
-            aborts_read_validation: self.aborts_read_validation.load(Ordering::Relaxed),
-            aborts_read_owned: self.aborts_read_owned.load(Ordering::Relaxed),
-            aborts_commit_acquire: self.aborts_commit_acquire.load(Ordering::Relaxed),
-            aborts_commit_validation: self.aborts_commit_validation.load(Ordering::Relaxed),
-            cm_aborts: self.cm_aborts.load(Ordering::Relaxed),
-            explicit_retries: self.explicit_retries.load(Ordering::Relaxed),
-            backoff_events: self.backoff_events.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+        let mut snap = StmStatsSnapshot::default();
+        for shard in self.shards.iter() {
+            snap.commits += shard.commits.load(Ordering::Relaxed);
+            snap.read_only_commits += shard.read_only_commits.load(Ordering::Relaxed);
+            snap.aborts_read_validation += shard.aborts_read_validation.load(Ordering::Relaxed);
+            snap.aborts_read_owned += shard.aborts_read_owned.load(Ordering::Relaxed);
+            snap.aborts_commit_acquire += shard.aborts_commit_acquire.load(Ordering::Relaxed);
+            snap.aborts_commit_validation += shard.aborts_commit_validation.load(Ordering::Relaxed);
+            snap.cm_aborts += shard.cm_aborts.load(Ordering::Relaxed);
+            snap.explicit_retries += shard.explicit_retries.load(Ordering::Relaxed);
+            snap.backoff_events += shard.backoff_events.load(Ordering::Relaxed);
+            snap.reads += shard.reads.load(Ordering::Relaxed);
+            snap.writes += shard.writes.load(Ordering::Relaxed);
         }
+        snap
     }
 }
 
@@ -265,6 +316,45 @@ mod tests {
         assert_eq!(delta.commits, 1);
         assert_eq!(delta.aborts_read_owned, 1);
         assert_eq!(delta.reads, 2);
+    }
+
+    #[test]
+    fn striped_counters_aggregate_exactly_across_threads() {
+        let stats = StmStats::new();
+        assert!(stats.stripes() > 1, "default layout must be striped");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stats = Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        stats.record_commit(false, 2, 1);
+                    }
+                    stats.record_abort(AbortCause::ReadOwned, false);
+                    stats.record_backoff();
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 400);
+        assert_eq!(snap.reads, 800);
+        assert_eq!(snap.writes, 400);
+        assert_eq!(snap.aborts_read_owned, 4);
+        assert_eq!(snap.backoff_events, 4);
+    }
+
+    #[test]
+    fn single_stripe_recreates_the_shared_layout() {
+        let stats = StmStats::with_stripes(1);
+        assert_eq!(stats.stripes(), 1);
+        stats.record_commit(true, 1, 0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.read_only_commits, 1);
+    }
+
+    #[test]
+    fn stripe_counts_round_up() {
+        assert_eq!(StmStats::with_stripes(3).stripes(), 4);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Cache-line padding and per-thread counter striping.
+//!
+//! The commit path used to funnel every transaction through a handful of
+//! process-shared atomic counters ([`crate::StmStats`]) and, when telemetry
+//! is attached, a shared bucket array ([`crate::KeyRangeTelemetry`]). Each
+//! `fetch_add` on those counters bounces the owning cache line between every
+//! committing core — exactly the instrumentation overhead that caps
+//! disjoint-key scalability long before real conflicts do.
+//!
+//! This module provides the two pieces the hot-path counters are rebuilt
+//! from:
+//!
+//! * [`CachePadded<T>`] — aligns `T` to a cache-line boundary so adjacent
+//!   shards never share a line.
+//! * [`Shards<T>`] — a small fixed-size shard registry: each thread is
+//!   assigned a stable shard index ([`thread_stripe`], round-robin at first
+//!   use) and all of its hot-path increments land in its own padded shard.
+//!   Readers aggregate lazily by iterating every shard at `snapshot()` time.
+//!
+//! With at least as many shards as worker threads, hot-path counter updates
+//! touch only thread-private cache lines; the aggregation cost is paid by
+//! the (rare) snapshot reader instead of by every commit.
+
+use std::cell::Cell;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads and aligns a value to (at least) a cache-line boundary so two
+/// neighbouring `CachePadded` values never share a cache line.
+///
+/// 128 bytes on x86_64/aarch64 (adjacent-line prefetchers pull pairs of
+/// 64-byte lines), 64 bytes elsewhere.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    repr(align(64))
+)]
+#[derive(Debug, Default)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consume the padding and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// Round-robin thread stripe counter: the n-th thread to ask for a stripe
+/// gets index n. Indices are dense, so taking them modulo a shard count
+/// spreads up to that many threads over distinct shards with no collisions.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Stable, dense per-thread stripe index (assigned round-robin on first
+/// use). Shared with every striped structure in this crate so a thread's
+/// hot-path writes cluster in the same shard slot everywhere.
+pub fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|slot| match slot.get() {
+        Some(index) => index,
+        None => {
+            let index = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(index));
+            index
+        }
+    })
+}
+
+/// A fixed-size registry of cache-line-padded shards.
+///
+/// `Shards::local()` returns the shard assigned to the calling thread (its
+/// [`thread_stripe`] modulo the shard count — threads beyond the shard count
+/// share shards, which costs scalability but never correctness). Aggregation
+/// is lazy: readers iterate [`Shards::iter`] and fold.
+#[derive(Debug)]
+pub struct Shards<T> {
+    shards: Box<[CachePadded<T>]>,
+    /// Shard count minus one; the count is always a power of two so the
+    /// modulo is a mask.
+    mask: usize,
+}
+
+/// Default shard count used by [`crate::StmStats`]: comfortably above the
+/// paper's 16-processor methodology so every worker writes its own line.
+pub const DEFAULT_SHARDS: usize = 32;
+
+impl<T: Default> Shards<T> {
+    /// Create `count` zeroed shards. `count` is rounded up to a power of
+    /// two; `0` selects [`DEFAULT_SHARDS`].
+    pub fn new(count: usize) -> Self {
+        let count = match count {
+            0 => DEFAULT_SHARDS,
+            n => n.next_power_of_two(),
+        };
+        Shards {
+            shards: (0..count).map(|_| CachePadded::default()).collect(),
+            mask: count - 1,
+        }
+    }
+}
+
+impl<T> Shards<T> {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when there are no shards (never the case for constructed
+    /// registries; present to satisfy the `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The calling thread's shard.
+    #[inline]
+    pub fn local(&self) -> &T {
+        &self.shards[thread_stripe() & self.mask]
+    }
+
+    /// Iterate over every shard (for lazy aggregation).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.shards.iter().map(|padded| &**padded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 64);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 64);
+        let padded = CachePadded::new(7u64);
+        assert_eq!(*padded, 7);
+        assert_eq!(padded.into_inner(), 7);
+    }
+
+    #[test]
+    fn thread_stripe_is_stable_per_thread_and_distinct_across_threads() {
+        let mine = thread_stripe();
+        assert_eq!(mine, thread_stripe());
+        let theirs = std::thread::spawn(|| (thread_stripe(), thread_stripe()))
+            .join()
+            .unwrap();
+        assert_eq!(theirs.0, theirs.1);
+        assert_ne!(mine, theirs.0);
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        assert_eq!(Shards::<u64>::new(0).len(), DEFAULT_SHARDS);
+        assert_eq!(Shards::<u64>::new(1).len(), 1);
+        assert_eq!(Shards::<u64>::new(3).len(), 4);
+        assert_eq!(Shards::<u64>::new(32).len(), 32);
+    }
+
+    #[test]
+    fn increments_aggregate_across_shards() {
+        let shards: Shards<AtomicU64> = Shards::new(4);
+        let total: u64 = 400;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..(total / 4) {
+                        shards.local().fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let sum: u64 = shards.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn single_shard_still_aggregates() {
+        let shards: Shards<AtomicU64> = Shards::new(1);
+        shards.local().fetch_add(5, Ordering::Relaxed);
+        assert_eq!(shards.iter().count(), 1);
+        assert_eq!(
+            shards
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum::<u64>(),
+            5
+        );
+    }
+}

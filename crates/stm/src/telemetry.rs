@@ -17,9 +17,12 @@
 //!   [`KeyRangeSnapshot::since`] to obtain per-epoch deltas.
 //!
 //! Recording is two relaxed atomic increments per committed transaction
-//! behind a brief read lock (and nothing at all when no telemetry is
-//! attached or no key is in scope), so the hot path stays
-//! contention-free.
+//! into the calling thread's *own* stripe of the bucket array (and nothing
+//! at all when no telemetry is attached or no key is in scope). The bucket
+//! layout is published through an atomic pointer rather than a lock, so the
+//! hot path performs **zero** shared-line writes: no lock word, no shared
+//! counters — each thread's increments stay on cache lines only it writes.
+//! Snapshots aggregate the stripes lazily.
 //!
 //! Buckets are no longer forced to be equal-width: the boundary layout can
 //! be replaced at run time with [`KeyRangeTelemetry::rebucket`], which the
@@ -29,12 +32,18 @@
 //! skewed key spaces (the ROADMAP's "abort attribution granularity" item).
 //! A rebucket zeroes the counters (the old geometry's counts cannot be
 //! redistributed); consumers that diff snapshots see one muted epoch and
-//! then clean deltas under the new geometry.
+//! then clean deltas under the new geometry. Retired layouts are kept alive
+//! until the telemetry itself is dropped, so a recorder that races a
+//! rebucket writes into the old (about-to-be-ignored) counters instead of
+//! freed memory — the same "one muted epoch" contract, without a lock on
+//! the hot path.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
+
+use crate::striped::{thread_stripe, CachePadded};
 
 thread_local! {
     /// The transaction key of the task currently executing on this thread.
@@ -71,22 +80,72 @@ pub fn current_task_key() -> Option<u64> {
     TASK_KEY.with(|slot| slot.get())
 }
 
-/// Cache-line-aligned per-bucket counters so adjacent buckets do not
-/// false-share under concurrent workers.
-#[repr(align(64))]
+/// Per-bucket counters within one thread stripe. Unpadded: a stripe is
+/// written by a single thread, so buckets within it cannot false-share.
 #[derive(Debug, Default)]
 struct BucketCounters {
     commits: AtomicU64,
     aborts: AtomicU64,
 }
 
+/// One thread-stripe of the bucket array. Each stripe's counters live in
+/// their own allocation and the stripe headers are cache-line padded, so
+/// two threads recording into different stripes never write the same line.
+#[derive(Debug, Default)]
+struct TelemetryStripe {
+    buckets: Box<[BucketCounters]>,
+}
+
+/// Number of thread stripes per bucket layout (power of two; threads beyond
+/// this share stripes round-robin, which costs scalability, never
+/// correctness).
+const TELEMETRY_STRIPES: usize = 16;
+
 /// One bucket layout: `edges[i]` is the first key belonging to bucket
 /// `i + 1` (the same convention the schedulers' partitions use), so bucket
-/// lookup is a single `partition_point`.
+/// lookup is a single `partition_point`. The counters are striped per
+/// thread; logical bucket `b`'s count is the sum of `b` across stripes.
 #[derive(Debug)]
 struct BucketLayout {
     edges: Vec<u64>,
-    buckets: Vec<BucketCounters>,
+    stripes: Box<[CachePadded<TelemetryStripe>]>,
+    bucket_count: usize,
+}
+
+impl BucketLayout {
+    fn new(edges: Vec<u64>) -> Self {
+        let bucket_count = edges.len() + 1;
+        BucketLayout {
+            edges,
+            stripes: (0..TELEMETRY_STRIPES)
+                .map(|_| {
+                    CachePadded::new(TelemetryStripe {
+                        buckets: (0..bucket_count)
+                            .map(|_| BucketCounters::default())
+                            .collect(),
+                    })
+                })
+                .collect(),
+            bucket_count,
+        }
+    }
+
+    /// The calling thread's stripe.
+    #[inline]
+    fn local_stripe(&self) -> &TelemetryStripe {
+        &self.stripes[thread_stripe() & (TELEMETRY_STRIPES - 1)]
+    }
+
+    /// Sum of `(commits, aborts)` for bucket `index` across all stripes.
+    fn bucket_totals(&self, index: usize) -> (u64, u64) {
+        self.stripes.iter().fold((0, 0), |(c, a), stripe| {
+            let bucket = &stripe.buckets[index];
+            (
+                c + bucket.commits.load(Ordering::Relaxed),
+                a + bucket.aborts.load(Ordering::Relaxed),
+            )
+        })
+    }
 }
 
 /// Monotonic commit/abort counters bucketed over a contiguous key range.
@@ -100,7 +159,38 @@ struct BucketLayout {
 pub struct KeyRangeTelemetry {
     min: u64,
     max: u64,
-    layout: RwLock<BucketLayout>,
+    /// The live layout, published via atomic pointer so the record path is
+    /// lock-free. Always a valid pointer produced by `Box::into_raw`.
+    current: AtomicPtr<BucketLayout>,
+    /// Layouts replaced by [`KeyRangeTelemetry::rebucket`], kept alive until
+    /// the telemetry is dropped so recorders that raced the swap write into
+    /// real (merely ignored) memory. The boxes must stay boxed: racing
+    /// recorders hold the heap address the swap retired, so the layout may
+    /// never move. Rebuckets are adaptation-plane events — a handful per
+    /// run — so this stays tiny.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<BucketLayout>>>,
+}
+
+impl KeyRangeTelemetry {
+    /// Shared reference to the live layout.
+    ///
+    /// Safety of the dereference: `current` always holds a pointer from
+    /// `Box::into_raw`; replaced layouts are moved to `retired` (not freed)
+    /// and both are only dropped in `Drop`, which requires `&mut self` —
+    /// so any layout observed through `&self` outlives the borrow.
+    #[inline]
+    fn layout(&self) -> &BucketLayout {
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+}
+
+impl Drop for KeyRangeTelemetry {
+    fn drop(&mut self) {
+        // Safety: the pointer came from `Box::into_raw` and `&mut self`
+        // guarantees no concurrent reader still holds a reference.
+        drop(unsafe { Box::from_raw(*self.current.get_mut()) });
+    }
 }
 
 /// Default bucket count: coarse enough that per-epoch deltas are
@@ -127,10 +217,8 @@ impl KeyRangeTelemetry {
         KeyRangeTelemetry {
             min,
             max,
-            layout: RwLock::new(BucketLayout {
-                edges,
-                buckets: (0..count).map(|_| BucketCounters::default()).collect(),
-            }),
+            current: AtomicPtr::new(Box::into_raw(Box::new(BucketLayout::new(edges)))),
+            retired: Mutex::new(Vec::new()),
         }
     }
 
@@ -141,13 +229,13 @@ impl KeyRangeTelemetry {
 
     /// Number of buckets.
     pub fn buckets(&self) -> usize {
-        self.layout.read().buckets.len()
+        self.layout().bucket_count
     }
 
     /// Index of the bucket covering `key` (out-of-range keys clamp).
     pub fn bucket_of(&self, key: u64) -> usize {
         let key = key.clamp(self.min, self.max);
-        let layout = self.layout.read();
+        let layout = self.layout();
         layout.edges.partition_point(|&edge| edge <= key)
     }
 
@@ -158,8 +246,8 @@ impl KeyRangeTelemetry {
     /// # Panics
     /// Panics when `index` is out of range.
     pub fn bucket_range(&self, index: usize) -> (u64, u64) {
-        let layout = self.layout.read();
-        assert!(index < layout.buckets.len(), "bucket index out of range");
+        let layout = self.layout();
+        assert!(index < layout.bucket_count, "bucket index out of range");
         range_from_edges(self.min, self.max, &layout.edges, index)
     }
 
@@ -178,19 +266,27 @@ impl KeyRangeTelemetry {
                 edges[index] = edges[index - 1];
             }
         }
-        let count = edges.len() + 1;
-        *self.layout.write() = BucketLayout {
-            edges,
-            buckets: (0..count).map(|_| BucketCounters::default()).collect(),
-        };
+        let replacement = Box::into_raw(Box::new(BucketLayout::new(edges)));
+        let old = self.current.swap(replacement, Ordering::AcqRel);
+        // Safety: `old` came from `Box::into_raw`; re-boxing it here only
+        // moves ownership into the retired list (no deallocation), so
+        // recorders that loaded it before the swap keep a valid target.
+        self.retired.lock().push(unsafe { Box::from_raw(old) });
     }
 
     /// Record one committed transaction attributed to `key`: `commits`
     /// commit(s) and `aborts` failed attempts.
+    ///
+    /// Lock-free and stripe-local: the only writes are relaxed increments on
+    /// the calling thread's own stripe. A record racing a
+    /// [`KeyRangeTelemetry::rebucket`] may land in the retired layout and be
+    /// ignored — indistinguishable from the counter reset the rebucket
+    /// performs anyway.
     pub fn record(&self, key: u64, commits: u64, aborts: u64) {
         let key = key.clamp(self.min, self.max);
-        let layout = self.layout.read();
-        let bucket = &layout.buckets[layout.edges.partition_point(|&edge| edge <= key)];
+        let layout = self.layout();
+        let index = layout.edges.partition_point(|&edge| edge <= key);
+        let bucket = &layout.local_stripe().buckets[index];
         if commits > 0 {
             bucket.commits.fetch_add(commits, Ordering::Relaxed);
         }
@@ -200,22 +296,16 @@ impl KeyRangeTelemetry {
     }
 
     /// Capture the current per-bucket counters (and the bucket geometry
-    /// they were counted under).
+    /// they were counted under). Aggregation is lazy: the per-thread stripes
+    /// are summed here, by the reader, not on the record path.
     pub fn snapshot(&self) -> KeyRangeSnapshot {
-        let layout = self.layout.read();
+        let layout = self.layout();
         KeyRangeSnapshot {
             min: self.min,
             max: self.max,
             edges: layout.edges.clone(),
-            buckets: layout
-                .buckets
-                .iter()
-                .map(|b| {
-                    (
-                        b.commits.load(Ordering::Relaxed),
-                        b.aborts.load(Ordering::Relaxed),
-                    )
-                })
+            buckets: (0..layout.bucket_count)
+                .map(|index| layout.bucket_totals(index))
                 .collect(),
         }
     }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::clock;
+use crate::config::ClockMode;
 use crate::contention::{Conflict, ConflictKind, ContentionManager, Resolution};
 use crate::error::{AbortCause, TxError};
 use crate::registry::{self, TxnShared};
@@ -79,6 +80,13 @@ pub struct Transaction<'a> {
     write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
     cm: &'a mut dyn ContentionManager,
     shared: &'a TxnShared,
+    /// Whether a durability sink was attached when the transaction started,
+    /// cached as a plain bool so volatile-mode commits skip the
+    /// `OnceLock<Arc<dyn DurabilitySink>>` lookups on the commit path.
+    /// (Attachment is permanent, so a stale `false` can only happen for
+    /// transactions already in flight during the attach — the same window
+    /// the `OnceLock` itself allows.)
+    durability_attached: bool,
 }
 
 impl<'a> Transaction<'a> {
@@ -88,6 +96,7 @@ impl<'a> Transaction<'a> {
         start_ts: u64,
         cm: &'a mut dyn ContentionManager,
         shared: &'a TxnShared,
+        durability_attached: bool,
     ) -> Self {
         Transaction {
             stm,
@@ -98,6 +107,7 @@ impl<'a> Transaction<'a> {
             write_set: BTreeMap::new(),
             cm,
             shared,
+            durability_attached,
         }
     }
 
@@ -344,7 +354,26 @@ impl<'a> Transaction<'a> {
         }
 
         // Phase 3: publish under a fresh commit timestamp, then release.
-        let commit_ts = clock::tick();
+        //
+        // Whatever the clock discipline, the stamp must strictly exceed every
+        // written variable's current version (stable while we own them):
+        // version equality is what read validation uses to pin an exact
+        // committed value, so a re-used stamp would make a replacement
+        // invisible to concurrent readers. Under the lazy (GV5-style)
+        // discipline this max is also what keeps repeated commits to the
+        // same variable off the shared clock entirely; under GV1 the ticked
+        // stamp already exceeds it unless a lazy-mode runtime sharing these
+        // variables stamped ahead of the clock.
+        let watermark = self
+            .write_set
+            .values()
+            .map(|entry| entry.var().dyn_version())
+            .max()
+            .unwrap_or(0);
+        let commit_ts = match self.stm.config().clock_mode {
+            ClockMode::Ticked => clock::tick().max(watermark + 1),
+            ClockMode::Lazy => (clock::now() + 1).max(watermark + 1),
+        };
         for entry in self.write_set.values() {
             entry.publish(commit_ts);
         }
@@ -352,12 +381,17 @@ impl<'a> Transaction<'a> {
         // *before* releasing ownership, so log order respects dependency
         // order — a dependent transaction cannot read an owned variable,
         // hence cannot log ahead of this one. The enqueue is cheap (no
-        // I/O); the fsync wait happens below, after release.
-        let durable_ticket = match self.stm.stats_ref().durability_sink() {
-            Some(sink) => {
-                crate::durable::take_pending_payload().map(|payload| sink.log_commit(payload))
+        // I/O); the fsync wait happens below, after release. Volatile-mode
+        // commits skip the sink lookups entirely via the cached bool.
+        let durable_ticket = if self.durability_attached {
+            match self.stm.stats_ref().durability_sink() {
+                Some(sink) => {
+                    crate::durable::take_pending_payload().map(|payload| sink.log_commit(payload))
+                }
+                None => None,
             }
-            None => None,
+        } else {
+            None
         };
         for entry in self.write_set.values() {
             entry.var().dyn_release(self.id);
