@@ -1,0 +1,223 @@
+//! Execution-lane designation: which key ranges run on the multi-version
+//! optimistic lane instead of the default single-version STM path.
+//!
+//! The adaptation/cost plane prices lane flips like repartitions (see
+//! [`crate::cost::plan::lane_candidates`]): a contended range whose abort
+//! mass would be cheaper to absorb as multi-version re-executions gets
+//! *designated*, and a designated range whose traffic has gone cold gets
+//! *undesignated*. This module holds only the routing table those decisions
+//! publish — a small, read-mostly set of `[lo, hi]` key ranges consulted on
+//! every batch submission.
+//!
+//! The hot-path query [`LaneTable::is_mv`] is a single relaxed atomic load
+//! when no range is designated (the common case for uniform workloads), so
+//! leaving the lane enabled costs nothing until the cost plane actually
+//! flips a range.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Routing table for the multi-version execution lane.
+///
+/// Holds the set of inclusive key ranges currently designated to the
+/// multi-version lane, plus flip telemetry (generation counter and total
+/// flips) surfaced through the facade's stats view.
+#[derive(Debug, Default)]
+pub struct LaneTable {
+    ranges: RwLock<Vec<(u64, u64)>>,
+    /// Bumped on every successful designate/undesignate; lets readers cheaply
+    /// detect staleness of a cached copy of [`LaneTable::ranges`].
+    generation: AtomicU64,
+    /// Total designations + undesignations since construction.
+    flips: AtomicU64,
+    /// Fast-path flag: `false` exactly when no range is designated.
+    nonempty: AtomicBool,
+}
+
+impl LaneTable {
+    /// New table with no ranges designated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `key` currently routes to the multi-version lane.
+    pub fn is_mv(&self, key: u64) -> bool {
+        if !self.nonempty.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.ranges
+            .read()
+            .expect("lane table lock poisoned")
+            .iter()
+            .any(|&(lo, hi)| lo <= key && key <= hi)
+    }
+
+    /// Designate the inclusive range `[lo, hi]` to the multi-version lane.
+    ///
+    /// Overlapping or adjacent existing ranges are merged so the table stays
+    /// a minimal sorted set. Returns `true` if the table changed.
+    pub fn designate(&self, lo: u64, hi: u64) -> bool {
+        if lo > hi {
+            return false;
+        }
+        let mut ranges = self.ranges.write().expect("lane table lock poisoned");
+        // Already fully covered by one existing range?
+        if ranges.iter().any(|&(a, b)| a <= lo && hi <= b) {
+            return false;
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        ranges.retain(|&(a, b)| {
+            // Merge every range that overlaps or abuts the new one.
+            let abuts = b.checked_add(1) == Some(lo) || hi.checked_add(1) == Some(a);
+            if a <= hi && lo <= b || abuts {
+                lo = lo.min(a);
+                hi = hi.max(b);
+                false
+            } else {
+                true
+            }
+        });
+        ranges.push((lo, hi));
+        ranges.sort_unstable();
+        self.nonempty.store(true, Ordering::Relaxed);
+        drop(ranges);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.flips.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Remove every designated range that intersects `[lo, hi]`.
+    ///
+    /// Partial overlaps are trimmed, not dropped wholesale: undesignating the
+    /// middle of a wide range leaves its cold edges designated only if they
+    /// fall outside `[lo, hi]`. Returns `true` if the table changed.
+    pub fn undesignate(&self, lo: u64, hi: u64) -> bool {
+        if lo > hi {
+            return false;
+        }
+        let mut ranges = self.ranges.write().expect("lane table lock poisoned");
+        let mut changed = false;
+        let mut next = Vec::with_capacity(ranges.len());
+        for &(a, b) in ranges.iter() {
+            if b < lo || hi < a {
+                next.push((a, b));
+                continue;
+            }
+            changed = true;
+            if a < lo {
+                next.push((a, lo - 1));
+            }
+            if hi < b {
+                next.push((hi + 1, b));
+            }
+        }
+        if !changed {
+            return false;
+        }
+        *ranges = next;
+        self.nonempty.store(!ranges.is_empty(), Ordering::Relaxed);
+        drop(ranges);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.flips.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Snapshot of the currently designated ranges, sorted by lower bound.
+    pub fn ranges(&self) -> Vec<(u64, u64)> {
+        self.ranges
+            .read()
+            .expect("lane table lock poisoned")
+            .clone()
+    }
+
+    /// Monotone counter bumped on every table change.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Total lane flips (designations plus undesignations) so far.
+    pub fn flips(&self) -> u64 {
+        self.flips.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_routes_nothing() {
+        let table = LaneTable::new();
+        assert!(!table.is_mv(0));
+        assert!(!table.is_mv(u64::MAX));
+        assert_eq!(table.generation(), 0);
+        assert_eq!(table.flips(), 0);
+    }
+
+    #[test]
+    fn designate_routes_the_inclusive_range() {
+        let table = LaneTable::new();
+        assert!(table.designate(100, 199));
+        assert!(!table.is_mv(99));
+        assert!(table.is_mv(100));
+        assert!(table.is_mv(150));
+        assert!(table.is_mv(199));
+        assert!(!table.is_mv(200));
+        assert_eq!(table.ranges(), vec![(100, 199)]);
+        assert_eq!(table.generation(), 1);
+    }
+
+    #[test]
+    fn overlapping_and_adjacent_designations_merge() {
+        let table = LaneTable::new();
+        table.designate(100, 199);
+        table.designate(150, 250); // overlap
+        assert_eq!(table.ranges(), vec![(100, 250)]);
+        table.designate(251, 300); // abuts
+        assert_eq!(table.ranges(), vec![(100, 300)]);
+        table.designate(0, 10); // disjoint
+        assert_eq!(table.ranges(), vec![(0, 10), (100, 300)]);
+    }
+
+    #[test]
+    fn redundant_designation_is_a_no_op() {
+        let table = LaneTable::new();
+        table.designate(0, 100);
+        let gen = table.generation();
+        assert!(!table.designate(10, 20));
+        assert_eq!(table.generation(), gen);
+        assert_eq!(table.flips(), 1);
+    }
+
+    #[test]
+    fn undesignate_trims_partial_overlaps() {
+        let table = LaneTable::new();
+        table.designate(0, 100);
+        assert!(table.undesignate(40, 60));
+        assert_eq!(table.ranges(), vec![(0, 39), (61, 100)]);
+        assert!(table.is_mv(39));
+        assert!(!table.is_mv(50));
+        assert!(table.is_mv(61));
+    }
+
+    #[test]
+    fn undesignate_clears_the_fast_path_flag() {
+        let table = LaneTable::new();
+        table.designate(5, 9);
+        assert!(table.undesignate(0, 100));
+        assert!(!table.is_mv(7));
+        assert_eq!(table.ranges(), Vec::<(u64, u64)>::new());
+        assert_eq!(table.flips(), 2);
+        // Nothing left to undesignate.
+        assert!(!table.undesignate(0, 100));
+        assert_eq!(table.flips(), 2);
+    }
+
+    #[test]
+    fn inverted_bounds_are_rejected() {
+        let table = LaneTable::new();
+        assert!(!table.designate(10, 5));
+        assert!(!table.undesignate(10, 5));
+        assert_eq!(table.generation(), 0);
+    }
+}

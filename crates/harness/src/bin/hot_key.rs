@@ -1,0 +1,87 @@
+//! Single-version vs. the multi-version optimistic lane (extension
+//! experiment): a write-heavy Zipfian two-account transfer workload,
+//! batched, with the lane controller free to designate contended key
+//! ranges from per-bucket abort mass. Expected shape: at skew ≥ 0.99 the
+//! MV side designates the Zipf head (lane residency > 0) and pays strictly
+//! fewer re-executions per commit than the baseline pays aborts, at
+//! equal-or-better commit throughput; on the uniform control the lane
+//! stays cold and throughput matches the baseline within noise.
+//!
+//! ```text
+//! cargo run --release -p katme-harness --bin hot_key -- --seconds 1
+//! ```
+//!
+//! `--smoke` (alias of `--quick`) runs one tiny pass per point, as in CI.
+
+use katme_harness::{format_throughput, hot_key, print_bucket_contention, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!("== Single-version vs. multi-version optimistic lane ==");
+    println!(
+        "{:>16}{:>16}{:>14}{:>12}{:>12}{:>12}{:>11}{:>7}",
+        "distribution",
+        "mode",
+        "commits/s",
+        "aborts/c",
+        "reexec/c",
+        "wasted/c",
+        "residency",
+        "flips"
+    );
+    let rows = hot_key(&opts);
+    for row in &rows {
+        println!(
+            "{:>16}{:>16}{:>14}{:>12.4}{:>12.4}{:>12.4}{:>11.3}{:>7}",
+            row.distribution.to_string(),
+            row.mode,
+            format_throughput(row.commits_per_sec),
+            row.aborts_per_commit,
+            row.reexec_per_commit,
+            row.wasted_per_commit(),
+            row.mv_residency,
+            row.lane_flips,
+        );
+    }
+
+    println!();
+    let pairs: Vec<_> = rows
+        .iter()
+        .filter(|r| r.mode == "mv-lane")
+        .filter_map(|mv| {
+            rows.iter()
+                .find(|r| r.mode == "single-version" && r.distribution == mv.distribution)
+                .map(|base| (base, mv))
+        })
+        .collect();
+    for (base, mv) in &pairs {
+        let speedup = if base.commits_per_sec > 0.0 {
+            mv.commits_per_sec / base.commits_per_sec
+        } else {
+            0.0
+        };
+        println!(
+            "{:>16}: mv at {speedup:.2}x commits/s, wasted/commit {:.4} vs {:.4}, \
+             lane ranges {:?}",
+            base.distribution.to_string(),
+            mv.wasted_per_commit(),
+            base.wasted_per_commit(),
+            mv.lane_ranges(),
+        );
+    }
+
+    // The per-bucket evidence behind the lane decisions, for the most
+    // skewed pair: where the abort mass actually sat.
+    for row in rows.iter().rev() {
+        if let Some(snapshot) = &row.key_ranges {
+            print_bucket_contention(&format!("{} / {}", row.distribution, row.mode), snapshot);
+            break;
+        }
+    }
+
+    println!("\n(wasted/c = aborted attempts plus MV re-executions per committed");
+    println!(" transaction — the comparable waste currency of the two modes. The lane");
+    println!(" controller designates ranges from per-bucket abort mass, priced like a");
+    println!(" repartition: predicted wasted-work saved vs. a measured flip cost. With");
+    println!(" --smoke the windows are tiny; treat those numbers as a pipeline check.)");
+}

@@ -15,6 +15,7 @@
 //! | Cost adaptation (extension) | [`experiments::cost_adaptation`] / `cost_adaptation` | threshold triggers vs. the predictive cost plane on phased and stationary workloads |
 //! | Durability (extension) | [`experiments::durability`] / `durability` | durable (group-commit WAL + checkpoints) vs. volatile throughput, with fsyncs-per-commit and mean group size |
 //! | Commit-path microbench (extension) | [`experiments::commit_path`] / `commit_path` | commit-path cost in isolation: GV1-ticked vs. GV5-lazy clock x shared vs. striped stats counters on disjoint keys, with scaling efficiency and clock advances per commit |
+//! | Hot-key MV lane (extension) | [`experiments::hot_key`] / `hot_key` | single-version vs. the multi-version optimistic lane on a write-heavy Zipfian sweep: commits/s, wasted work (aborts or re-executions) per commit, lane residency, per-bucket contention |
 //!
 //! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
 //! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
@@ -34,9 +35,10 @@ pub mod report;
 
 pub use experiments::{
     balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation,
-    drift_adaptation, durability, elastic_scaling, fig3_hashtable, fig4_overhead, tree_list,
-    CommitPathRow, CostRow, DriftRow, DurabilityRow, ElasticRow, ExperimentRow, Fig4Row,
-    BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS, ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS,
+    drift_adaptation, durability, elastic_scaling, fig3_hashtable, fig4_overhead, hot_key,
+    tree_list, CommitPathRow, CostRow, DriftRow, DurabilityRow, ElasticRow, ExperimentRow, Fig4Row,
+    HotKeyRow, BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS, ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS,
+    HOT_KEY_SKEWS,
 };
 pub use options::HarnessOptions;
-pub use report::{format_throughput, print_series_table};
+pub use report::{format_throughput, print_bucket_contention, print_series_table};

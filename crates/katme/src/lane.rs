@@ -1,0 +1,200 @@
+//! The lane controller: drives multi-version lane designation from the
+//! adaptation plane's epoch cadence.
+//!
+//! Once per adaptation epoch (piggy-backed on the scheduler's contention
+//! sampling, so the lane plane adds no thread and no timer of its own) the
+//! controller diffs the STM's key-range telemetry against its previous
+//! snapshot, prices lane flips with
+//! [`katme_core::cost::lane_candidates`] — predicted wasted-work saved
+//! versus a measured flip cost, the same currency the repartition planner
+//! uses — and applies the profitable ones to the shared
+//! [`LaneTable`]. Designated ranges stop aborting (the MV lane re-executes
+//! dependents instead), which is exactly the hysteresis the reverse flip
+//! needs: only the cold-traffic trigger can undesignate.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use katme_core::cost::{lane_candidates, LaneConfig};
+use katme_core::lane::LaneTable;
+use katme_stm::telemetry::{KeyRangeSnapshot, KeyRangeTelemetry};
+
+/// Prior estimate of one lane flip's duration, before any flip has been
+/// timed (publishing a handful of ranges under an uncontended lock).
+const FLIP_SECONDS_PRIOR: f64 = 50e-6;
+
+/// EWMA weight for observed flip durations.
+const FLIP_ALPHA: f64 = 0.3;
+
+struct ControllerState {
+    /// Telemetry snapshot at the previous epoch boundary; `None` until the
+    /// first epoch (and again right after a rebucket, whose fresh geometry
+    /// makes the old baseline undiffable).
+    baseline: Option<KeyRangeSnapshot>,
+    /// Wall-clock start of the current epoch.
+    epoch_started: Instant,
+    /// Measured flip cost (seconds, EWMA over applied flips).
+    flip_seconds: f64,
+}
+
+/// Epoch-driven designation logic behind [`crate::Builder::mv_lane`].
+pub(crate) struct LaneController {
+    table: Arc<LaneTable>,
+    telemetry: Arc<KeyRangeTelemetry>,
+    config: LaneConfig,
+    state: Mutex<ControllerState>,
+}
+
+impl LaneController {
+    pub(crate) fn new(table: Arc<LaneTable>, telemetry: Arc<KeyRangeTelemetry>) -> Self {
+        LaneController {
+            table,
+            telemetry,
+            config: LaneConfig::default(),
+            state: Mutex::new(ControllerState {
+                baseline: None,
+                epoch_started: Instant::now(),
+                flip_seconds: FLIP_SECONDS_PRIOR,
+            }),
+        }
+    }
+
+    /// Evaluate one epoch: diff the telemetry, price the lane flips, apply
+    /// the profitable ones. Called from the scheduler's contention-source
+    /// closure, so it runs at most once per adaptation epoch and never on
+    /// the dispatch hot path.
+    pub(crate) fn on_epoch(&self) {
+        let snapshot = self.telemetry.snapshot();
+        let mut state = self.state.lock().expect("lane controller lock poisoned");
+
+        let delta = match &state.baseline {
+            // A rebucket between epochs changes the geometry and zeroes the
+            // counters; re-baseline and let the next epoch price flips.
+            Some(baseline)
+                if baseline.bounds() == snapshot.bounds()
+                    && baseline.edges() == snapshot.edges() =>
+            {
+                snapshot.since(baseline)
+            }
+            _ => {
+                state.baseline = Some(snapshot);
+                state.epoch_started = Instant::now();
+                return;
+            }
+        };
+        // Adaptation epochs are tens of milliseconds at minimum; the floor
+        // keeps a degenerate (back-to-back) epoch from inflating the
+        // service rate — and with it the priced flip cost — unboundedly.
+        let epoch_seconds = state.epoch_started.elapsed().as_secs_f64().max(0.01);
+        state.baseline = Some(snapshot);
+        state.epoch_started = Instant::now();
+
+        let service_rate = (delta.total_commits() + delta.total_aborts()) as f64 / epoch_seconds;
+        let buckets: Vec<(u64, u64, u64, u64)> = (0..delta.buckets().len())
+            .map(|index| {
+                let (lo, hi) = delta.bucket_range(index);
+                let (commits, aborts) = delta.buckets()[index];
+                (lo, hi, commits, aborts)
+            })
+            .collect();
+        let plans = lane_candidates(
+            &buckets,
+            &self.table.ranges(),
+            state.flip_seconds,
+            service_rate,
+            &self.config,
+        );
+        for plan in plans.iter().filter(|plan| plan.profitable()) {
+            let started = Instant::now();
+            let applied = if plan.designate {
+                self.table.designate(plan.range.0, plan.range.1)
+            } else {
+                self.table.undesignate(plan.range.0, plan.range.1)
+            };
+            if applied {
+                let observed = started.elapsed().as_secs_f64();
+                state.flip_seconds += FLIP_ALPHA * (observed - state.flip_seconds);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry() -> Arc<KeyRangeTelemetry> {
+        Arc::new(KeyRangeTelemetry::new(0, 999, 10))
+    }
+
+    #[test]
+    fn first_epoch_only_baselines() {
+        let table = Arc::new(LaneTable::new());
+        let telemetry = telemetry();
+        let controller = LaneController::new(Arc::clone(&table), Arc::clone(&telemetry));
+        telemetry.record(350, 100, 5_000);
+        controller.on_epoch();
+        assert!(table.ranges().is_empty(), "no delta to price yet");
+    }
+
+    #[test]
+    fn contended_range_gets_designated_on_the_second_epoch() {
+        let table = Arc::new(LaneTable::new());
+        let telemetry = telemetry();
+        let controller = LaneController::new(Arc::clone(&table), Arc::clone(&telemetry));
+        controller.on_epoch(); // baseline
+                               // One bucket carries essentially all the abort mass.
+        telemetry.record(350, 1_000, 50_000);
+        telemetry.record(50, 1_000, 10);
+        telemetry.record(750, 1_000, 10);
+        controller.on_epoch();
+        let ranges = table.ranges();
+        assert_eq!(ranges.len(), 1, "{ranges:?}");
+        let (lo, hi) = ranges[0];
+        assert!(lo <= 350 && 350 <= hi, "{ranges:?}");
+    }
+
+    #[test]
+    fn uniform_contention_keeps_the_lane_cold() {
+        let table = Arc::new(LaneTable::new());
+        let telemetry = telemetry();
+        let controller = LaneController::new(Arc::clone(&table), Arc::clone(&telemetry));
+        controller.on_epoch();
+        for key in (50..1000).step_by(100) {
+            telemetry.record(key, 1_000, 500);
+        }
+        controller.on_epoch();
+        assert!(table.ranges().is_empty(), "{:?}", table.ranges());
+    }
+
+    #[test]
+    fn cold_designated_range_is_released() {
+        let table = Arc::new(LaneTable::new());
+        let telemetry = telemetry();
+        let controller = LaneController::new(Arc::clone(&table), Arc::clone(&telemetry));
+        table.designate(300, 399);
+        controller.on_epoch();
+        // Traffic everywhere but the designated range.
+        for key in [50, 150, 550, 750, 950] {
+            telemetry.record(key, 10_000, 0);
+        }
+        controller.on_epoch();
+        assert!(table.ranges().is_empty(), "{:?}", table.ranges());
+    }
+
+    #[test]
+    fn rebucket_re_baselines_instead_of_panicking() {
+        let table = Arc::new(LaneTable::new());
+        let telemetry = telemetry();
+        let controller = LaneController::new(Arc::clone(&table), Arc::clone(&telemetry));
+        controller.on_epoch();
+        telemetry.record(350, 1_000, 50_000);
+        telemetry.rebucket((1..10).map(|i| i * 37).collect());
+        controller.on_epoch(); // geometry changed: must re-baseline quietly
+        assert!(table.ranges().is_empty());
+        telemetry.record(350, 1_000, 50_000);
+        controller.on_epoch();
+        assert_eq!(table.ranges().len(), 1, "pricing resumes after re-baseline");
+    }
+}

@@ -9,12 +9,16 @@ use katme_core::cost::CostModelView;
 use katme_core::drift::AdaptationEvent;
 use katme_core::executor::{Executor, ShutdownGate, SubmitError, SubmitRejection};
 use katme_core::key::TxnKey;
+use katme_core::lane::LaneTable;
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::Scheduler;
 use katme_core::stats::LoadBalance;
 use katme_durability::DurabilityView;
 use katme_queue::{thread_stripe, Backoff, TwoLockQueue};
-use katme_stm::{with_durable_payload, with_task_key, Stm, StmStatsSnapshot};
+use katme_stm::{
+    run_block_with, with_durable_payload, with_task_key, KeyRangeSnapshot, MvOp, Stm,
+    StmStatsSnapshot,
+};
 
 use crate::durability::{DurabilityPlane, RecoveryReport};
 use crate::error::KatmeError;
@@ -127,6 +131,32 @@ fn unpack_rejection<T, R>(
     }
 }
 
+/// Multi-version lane state threaded from the builder: the routing table
+/// the cost plane flips ranges in, and the first-pass parallelism MV blocks
+/// execute with.
+pub(crate) struct MvLaneState {
+    pub(crate) table: Arc<LaneTable>,
+    pub(crate) parallelism: usize,
+    /// Serializes MV blocks from concurrent submitters. Designated ranges
+    /// are, by construction, the contended ones: two blocks racing over the
+    /// same hot keys would invalidate each other's bases at publish and
+    /// re-execute most of their operations every retry — strictly worse
+    /// than running the blocks back to back. One block at a time is also
+    /// Block-STM's own execution model; the gate restores it for the
+    /// hybrid lane. Uncontended submitters pay one free mutex acquire.
+    pub(crate) block_gate: std::sync::Mutex<()>,
+}
+
+/// The optional runtime planes threaded from the builder, bundled so
+/// [`Runtime::start`] takes one argument per plane family rather than one
+/// per plane.
+pub(crate) struct RuntimePlanes {
+    /// Durability plane (WAL + checkpointer), see [`crate::Builder::durability`].
+    pub(crate) durability: Option<Arc<DurabilityPlane>>,
+    /// Multi-version optimistic lane, see [`crate::Builder::mv_lane`].
+    pub(crate) mv: Option<MvLaneState>,
+}
+
 /// Stripe count for the inline-completion counters (power of two).
 const INLINE_STRIPES: usize = 16;
 
@@ -216,6 +246,11 @@ pub struct Runtime<T: Send + 'static, R: Send + 'static> {
     /// built with [`crate::Builder::durability`]. Shut down *after* the
     /// worker pool, so every drained task's commit is already durable.
     durability: Option<Arc<DurabilityPlane>>,
+    /// The multi-version optimistic lane, when the runtime was built with
+    /// [`crate::Builder::mv_lane`]. Batch submissions whose keys fall in a
+    /// designated range execute as one optimistic block instead of routing
+    /// through the queues.
+    mv: Option<MvLaneState>,
 }
 
 impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
@@ -226,8 +261,9 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         executor_config: katme_core::executor::ExecutorConfig,
         stm: Stm,
         producers: usize,
-        durability: Option<Arc<DurabilityPlane>>,
+        planes: RuntimePlanes,
     ) -> Self {
+        let RuntimePlanes { durability, mv } = planes;
         let accepting = Arc::new(AtomicBool::new(true));
         let max_queue_depth = executor_config.max_queue_depth;
         let drain_on_shutdown = executor_config.drain_on_shutdown;
@@ -355,6 +391,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             submitted: AtomicU64::new(0),
             inline_completed: StripedCounter::new(),
             durability,
+            mv,
         }
     }
 
@@ -467,7 +504,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// the rejected tasks back in submission order.
     pub fn submit_batch(&self, tasks: Vec<T>) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
     where
-        T: KeyedTask,
+        T: KeyedTask + Clone,
     {
         self.dispatch_batch(tasks, true, true)
             .map(|(_, handles)| handles)
@@ -484,7 +521,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         tasks: Vec<T>,
     ) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
     where
-        T: KeyedTask,
+        T: KeyedTask + Clone,
     {
         self.dispatch_batch(tasks, true, false)
             .map(|(_, handles)| handles)
@@ -495,7 +532,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// the number of tasks accepted (the whole batch on `Ok`).
     pub fn submit_batch_detached(&self, tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
     where
-        T: KeyedTask,
+        T: KeyedTask + Clone,
     {
         self.dispatch_batch(tasks, false, true)
             .map(|(accepted, _)| accepted)
@@ -504,7 +541,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// Non-blocking [`Runtime::submit_batch_detached`].
     pub fn try_submit_batch_detached(&self, tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
     where
-        T: KeyedTask,
+        T: KeyedTask + Clone,
     {
         self.dispatch_batch(tasks, false, false)
             .map(|(accepted, _)| accepted)
@@ -520,7 +557,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         blocking: bool,
     ) -> Result<(usize, Vec<TaskHandle<R>>), BatchSubmitError<T, R>>
     where
-        T: KeyedTask,
+        T: KeyedTask + Clone,
     {
         let total = tasks.len();
         if total == 0 {
@@ -533,6 +570,17 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 rejected: tasks,
                 error: KatmeError::ShuttingDown,
             });
+        }
+
+        // Multi-version lane split: tasks whose keys fall in a designated
+        // range execute optimistically as one block instead of routing
+        // through the queues. `is_mv` is a single relaxed load when no range
+        // is designated, so an undesignated lane costs the batch path
+        // nothing.
+        if let Some(mv) = &self.mv {
+            if tasks.iter().any(|task| mv.table.is_mv(task.key())) {
+                return self.dispatch_batch_mv(tasks, with_handles, blocking);
+            }
         }
 
         match self.model {
@@ -661,6 +709,128 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                         Err(batch_err)
                     }
                 }
+            }
+        }
+    }
+
+    /// Batch spine for a batch that contains at least one MV-designated
+    /// task. The batch is split in submission order: the single-version
+    /// remainder is handed to the normal queued path first (workers chew it
+    /// concurrently), then the MV sub-batch executes as one optimistic
+    /// block inline on the submitting thread — multi-version reads, a
+    /// validate-and-re-execute-dependents pass, and one composite publish
+    /// in deterministic (batch) commit order, with redo records enqueued to
+    /// the durability sink in that same order.
+    ///
+    /// An MV block cannot be rejected (it runs inline, like the no-executor
+    /// model), so back-pressure applies only to the remainder. On a partial
+    /// remainder failure the MV tasks still execute and count as accepted;
+    /// the error's handles list the MV handles after the accepted remainder
+    /// handles.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_batch_mv(
+        &self,
+        tasks: Vec<T>,
+        with_handles: bool,
+        blocking: bool,
+    ) -> Result<(usize, Vec<TaskHandle<R>>), BatchSubmitError<T, R>>
+    where
+        T: KeyedTask + Clone,
+    {
+        let mv = self.mv.as_ref().expect("mv lane state");
+        let total = tasks.len();
+        let durable = self.durability.is_some();
+
+        let mut mv_tasks: Vec<(usize, T)> = Vec::new();
+        let mut rest: Vec<(usize, T)> = Vec::new();
+        for (index, task) in tasks.into_iter().enumerate() {
+            if mv.table.is_mv(task.key()) {
+                mv_tasks.push((index, task));
+            } else {
+                rest.push((index, task));
+            }
+        }
+        let mv_len = mv_tasks.len();
+
+        // Hand the single-version remainder to the normal path first; its
+        // MV mask is all-false, so the recursion takes the plain spine.
+        let rest_indices: Vec<usize> = rest.iter().map(|&(index, _)| index).collect();
+        let rest_outcome = if rest.is_empty() {
+            Ok((0, Vec::new()))
+        } else {
+            self.dispatch_batch(
+                rest.into_iter().map(|(_, task)| task).collect(),
+                with_handles,
+                blocking,
+            )
+        };
+
+        // The MV block: one op per task, keyed for the range telemetry and
+        // carrying its redo payload for the commit-ordered durability
+        // enqueue. The handler consumes the task, and a block op may be
+        // re-executed after a dependency moves, so each run clones it.
+        let ops: Vec<MvOp<'_, R>> = mv_tasks
+            .iter()
+            .map(|(_, task)| {
+                let key = task.key();
+                let payload = if durable {
+                    task.durable_payload()
+                } else {
+                    None
+                };
+                let handler = Arc::clone(&self.handler);
+                let task = task.clone();
+                MvOp::new(move || handler(0, task.clone()))
+                    .with_key(key)
+                    .with_payload(payload)
+            })
+            .collect();
+        self.submitted.fetch_add(mv_len as u64, Ordering::Relaxed);
+        let outcome = {
+            let _block_turn = mv.block_gate.lock().unwrap_or_else(|e| e.into_inner());
+            run_block_with(&self.stm, ops, mv.parallelism)
+        };
+        self.inline_completed.increment_by(mv_len as u64);
+
+        let mut mv_handles: Vec<(usize, TaskHandle<R>)> =
+            Vec::with_capacity(if with_handles { mv_len } else { 0 });
+        for ((index, _), result) in mv_tasks.into_iter().zip(outcome.results) {
+            if with_handles {
+                let (handle, completion) = handle_pair();
+                completion.complete(result);
+                mv_handles.push((index, handle));
+            }
+        }
+
+        match rest_outcome {
+            Ok((rest_accepted, rest_handles)) => {
+                let handles = if with_handles {
+                    // Positional merge back into the caller's submission
+                    // order.
+                    let mut slots: Vec<Option<TaskHandle<R>>> = (0..total).map(|_| None).collect();
+                    for (index, handle) in rest_indices.into_iter().zip(rest_handles) {
+                        slots[index] = Some(handle);
+                    }
+                    for (index, handle) in mv_handles {
+                        slots[index] = Some(handle);
+                    }
+                    slots
+                        .into_iter()
+                        .map(|slot| slot.expect("every batch position produced a handle"))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                Ok((rest_accepted + mv_len, handles))
+            }
+            Err(mut err) => {
+                // The MV sub-batch executed regardless; report it as
+                // accepted. The remainder's accepted/rejected split keeps
+                // its own relative order.
+                err.accepted += mv_len;
+                err.handles
+                    .extend(mv_handles.into_iter().map(|(_, handle)| handle));
+                Err(err)
             }
         }
     }
@@ -939,6 +1109,18 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 .executor
                 .as_ref()
                 .map_or(0, |executor| executor.commit_wait_nanos()),
+            lane_ranges: self
+                .mv
+                .as_ref()
+                .map(|mv| mv.table.ranges())
+                .unwrap_or_default(),
+            lane_flips: self.mv.as_ref().map_or(0, |mv| mv.table.flips()),
+            lane_generation: self.mv.as_ref().map_or(0, |mv| mv.table.generation()),
+            key_ranges: self
+                .stm
+                .stats()
+                .key_telemetry()
+                .map(|telemetry| telemetry.snapshot()),
         }
     }
 
@@ -1140,6 +1322,20 @@ pub struct StatsView {
     /// waits (the durable commit's fsync acknowledgment), summed over
     /// workers. Always 0 for a volatile runtime.
     pub commit_wait_nanos: u64,
+    /// Key ranges currently designated to the multi-version lane (empty
+    /// when the lane is off or cold).
+    pub lane_ranges: Vec<(u64, u64)>,
+    /// Lane flips (designations plus undesignations) so far.
+    pub lane_flips: u64,
+    /// Monotone lane-table generation (bumped on every flip).
+    pub lane_generation: u64,
+    /// Cumulative per-bucket key-range telemetry — commit and abort counts
+    /// per key range — `None` unless the runtime attached telemetry (any
+    /// adaptation-enabled build). Feed two of these to
+    /// [`katme_stm::KeyRangeSnapshot::since`] for a windowed view; each
+    /// bucket's abort-over-commit ratio is the paper's per-range
+    /// "frequency of contentions".
+    pub key_ranges: Option<KeyRangeSnapshot>,
 }
 
 impl StatsView {
@@ -1183,6 +1379,7 @@ impl StatsView {
             submitted: self.submitted.saturating_sub(earlier.submitted),
             completed: self.completed.saturating_sub(earlier.completed),
             repartitions: self.repartitions.saturating_sub(earlier.repartitions),
+            lane_flips: self.lane_flips.saturating_sub(earlier.lane_flips),
             stm: self.stm.since(&earlier.stm),
         }
     }
@@ -1198,6 +1395,21 @@ impl StatsView {
     /// built with [`crate::Builder::durability`].
     pub fn durability(&self) -> Option<&DurabilityView> {
         self.durability.as_ref()
+    }
+
+    /// Multi-version re-executions per MV commit — the lane's analogue of
+    /// [`StatsView::abort_rate`] (re-running only the dependents of a moved
+    /// read is the work an abort-and-retry would have wasted wholesale).
+    pub fn mv_reexec_per_commit(&self) -> f64 {
+        self.stm.mv_reexec_ratio()
+    }
+
+    /// Fraction of all commits that went through the multi-version lane
+    /// (0.0 when the lane is off or cold). Per-range residency is the
+    /// designated ranges in [`StatsView::lane_ranges`] weighted by their
+    /// share of [`StatsView::key_ranges`] traffic.
+    pub fn mv_residency(&self) -> f64 {
+        self.stm.mv_residency()
     }
 
     /// Tasks currently waiting in queues (workers plus dispatcher).
@@ -1236,6 +1448,8 @@ pub struct StatsWindow {
     pub completed: u64,
     /// Partition republishes during the window.
     pub repartitions: u64,
+    /// Multi-version lane flips during the window.
+    pub lane_flips: u64,
     /// STM activity during the window.
     pub stm: StmStatsSnapshot,
 }

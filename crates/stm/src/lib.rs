@@ -65,6 +65,7 @@ pub mod config;
 pub mod contention;
 pub mod durable;
 pub mod error;
+pub mod mv;
 pub mod registry;
 pub mod stats;
 pub mod stm;
@@ -77,6 +78,7 @@ pub use config::{ClockMode, CmKind, StmConfig};
 pub use contention::{Conflict, ConflictKind, ContentionManager, Resolution};
 pub use durable::{take_group_wait_nanos, with_durable_payload, DurabilitySink};
 pub use error::{AbortCause, TxError};
+pub use mv::{run_block, run_block_with, MvBlockOutcome, MvBlockReport, MvOp};
 pub use stats::{StmStats, StmStatsSnapshot, TxnReport};
 pub use stm::Stm;
 pub use striped::CachePadded;

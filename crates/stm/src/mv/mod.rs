@@ -1,0 +1,53 @@
+//! Multi-version optimistic execution lane (Block-STM hybrid).
+//!
+//! The single-version commit protocol in [`crate::txn`] resolves conflicts by
+//! aborting and re-running whole transactions — under a hot key every loser
+//! burns its full execution. This module adds a second way to commit, modeled
+//! on Block-STM's `MVMemory` / `(txn_idx, incarnation)` scheduler: a **block**
+//! of transactions executes optimistically against *multi-version* memory with
+//! a fixed, deterministic commit order, and conflicts inside the block are
+//! repaired by re-executing only the dependents of a changed write instead of
+//! wholesale abort.
+//!
+//! # How a block commits
+//!
+//! 1. **Execute.** Every operation in the block runs as an ordinary
+//!    [`crate::Stm::atomically`] closure, but its storage reads are diverted
+//!    into the block's multi-version session: a read by block transaction `i` resolves
+//!    to the write of the highest block transaction `j < i` (a multi-version
+//!    entry keyed by `(txn_idx, incarnation)`), falling back to a shared
+//!    pre-block *base snapshot* of the underlying [`crate::TVar`]. Each read
+//!    records the resolution it observed — estimate-on-read dependency
+//!    tracking: when a lower transaction later re-executes, its stale writes
+//!    are flagged as estimates and every recorded dependency on them becomes
+//!    invalid.
+//! 2. **Validate + re-execute dependents.** One forward pass over the block
+//!    re-checks every recorded dependency against the current multi-version
+//!    memory. Because reads only ever resolve *downward* (to lower
+//!    transaction indices), a single in-order pass converges: a transaction
+//!    whose dependencies changed re-executes in place with a bumped
+//!    incarnation, and only its own dependents can be invalidated after it.
+//! 3. **Publish.** The block commits as one composite transaction through the
+//!    ordinary single-version protocol: acquire the written variables in
+//!    canonical id order, validate that every base snapshot is still current,
+//!    stamp one commit timestamp (per the runtime's [`crate::ClockMode`]),
+//!    publish the *final* value of each variable, and hand each transaction's
+//!    staged durability payload to the [`crate::DurabilitySink`] **in block
+//!    order** — redo-log order equals commit order. If a base moved, only the
+//!    transactions that read the moved variables re-execute (another
+//!    validation pass) and the publish retries; nothing already consistent is
+//!    thrown away.
+//!
+//! Mixed-lane runs are linearizable by construction: to every single-version
+//! transaction the block is just a large committer that owns, validates and
+//! stamps exactly like they do.
+//!
+//! Operations inside a block must tolerate re-execution (they run at least
+//! once, possibly more) and must not use [`crate::Transaction::retry`]; both
+//! hold for the dictionary workloads this lane targets.
+
+pub(crate) mod block;
+pub(crate) mod session;
+
+pub use block::{run_block, run_block_with, MvBlockOutcome, MvBlockReport, MvOp};
+pub use session::Version;

@@ -1,0 +1,410 @@
+//! Multi-version memory for one block: per-variable write versions keyed by
+//! `(txn_idx, incarnation)`, shared base snapshots, and the per-transaction
+//! dependency log that drives re-execution.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::TxError;
+use crate::tvar::{TVar, TVarDyn, TVarId};
+use crate::txn::WriteEntryDyn;
+
+/// Identity of one execution of one block transaction: the transaction's
+/// fixed position in the block plus how many times it has (re-)executed.
+/// Dependencies are recorded against versions, so a re-execution invalidates
+/// exactly the readers of the previous incarnation's writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// Position of the transaction in the block (the commit order).
+    pub txn_idx: u32,
+    /// Execution count of that transaction, starting at 0.
+    pub incarnation: u32,
+}
+
+/// What one read resolved to, recorded for later validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadDep {
+    /// Resolved to the shared pre-block snapshot at this storage version.
+    Base { version: u64 },
+    /// Resolved to the write of a lower block transaction.
+    Write { version: Version },
+}
+
+type ArcAny = Arc<dyn Any + Send + Sync>;
+
+/// Shared pre-block snapshot of one variable: every block transaction that
+/// falls through to storage observes the same `(value, version)` pair.
+struct BaseCell {
+    value: ArcAny,
+    version: u64,
+}
+
+/// A multi-version entry: the write-set entry of one block transaction for
+/// one variable, tagged with the incarnation that produced it. `estimate` is
+/// set while the owning transaction re-executes, so readers resolving to it
+/// are guaranteed to fail validation.
+struct MvWrite {
+    incarnation: u32,
+    estimate: bool,
+    entry: Box<dyn WriteEntryDyn>,
+}
+
+/// Per-variable multi-version state.
+struct VarState {
+    handle: Arc<dyn TVarDyn>,
+    base: Option<BaseCell>,
+    /// Writes by block transaction index; a read by transaction `i` resolves
+    /// to `writes.range(..i).next_back()`.
+    writes: BTreeMap<u32, MvWrite>,
+}
+
+/// Per-transaction state within the block.
+#[derive(Default)]
+struct TxnState {
+    /// Number of executions so far (incarnation = executions - 1).
+    executions: u32,
+    /// Dependencies recorded by the latest execution.
+    deps: Vec<(TVarId, ReadDep)>,
+    /// Transactional reads / writes of the latest execution, for statistics.
+    reads: u64,
+    writes: u64,
+    /// Staged redo record of the latest execution, logged at block publish.
+    payload: Option<Vec<u8>>,
+}
+
+pub(crate) struct SessionInner {
+    vars: HashMap<TVarId, VarState>,
+    txns: Vec<TxnState>,
+}
+
+/// One block's multi-version memory. Shared by every thread executing the
+/// block; a single mutex guards the (cheap) bookkeeping while the user
+/// closures run outside it.
+pub(crate) struct MvSession {
+    inner: Mutex<SessionInner>,
+}
+
+impl MvSession {
+    pub(crate) fn new(len: usize) -> Arc<Self> {
+        let mut txns = Vec::with_capacity(len);
+        txns.resize_with(len, TxnState::default);
+        Arc::new(MvSession {
+            inner: Mutex::new(SessionInner {
+                vars: HashMap::new(),
+                txns,
+            }),
+        })
+    }
+
+    /// Begin (re-)executing transaction `txn_idx`: clear its dependency log
+    /// and flag its existing writes as estimates so concurrent readers that
+    /// resolve to them are invalidated (estimate-on-read).
+    pub(crate) fn begin_execution(&self, txn_idx: u32) {
+        let mut inner = self.inner.lock();
+        for state in inner.vars.values_mut() {
+            if let Some(write) = state.writes.get_mut(&txn_idx) {
+                write.estimate = true;
+            }
+        }
+        let txn = &mut inner.txns[txn_idx as usize];
+        txn.executions += 1;
+        txn.deps.clear();
+        txn.reads = 0;
+        txn.writes = 0;
+        txn.payload = None;
+    }
+
+    /// Resolve a read by block transaction `txn_idx`: the write of the
+    /// highest lower transaction, else the shared base snapshot (captured
+    /// from storage on first access). Records the resolution as a dependency.
+    pub(crate) fn read<T: Send + Sync + 'static>(
+        &self,
+        txn_idx: u32,
+        var: &TVar<T>,
+    ) -> Result<Arc<T>, TxError> {
+        let id = var.id();
+        loop {
+            let mut inner = self.inner.lock();
+            if let std::collections::hash_map::Entry::Vacant(slot) = inner.vars.entry(id) {
+                // First touch: capture the shared base snapshot. The variable
+                // may be momentarily owned by an external committer; retry
+                // outside the lock.
+                match var.core().consistent_snapshot() {
+                    Some((value, version)) => {
+                        let handle = Arc::clone(var.core()) as Arc<dyn TVarDyn>;
+                        slot.insert(VarState {
+                            handle,
+                            base: Some(BaseCell {
+                                value: value as ArcAny,
+                                version,
+                            }),
+                            writes: BTreeMap::new(),
+                        });
+                    }
+                    None => {
+                        drop(inner);
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                        continue;
+                    }
+                }
+            }
+            let state = inner.vars.get_mut(&id).expect("inserted above");
+            let (value, dep) =
+                if let Some((&writer, write)) = state.writes.range(..txn_idx).next_back() {
+                    let value = Arc::downcast::<T>(write.entry.value_any())
+                        .expect("multi-version entry type mismatch for TVar id");
+                    (
+                        value,
+                        ReadDep::Write {
+                            version: Version {
+                                txn_idx: writer,
+                                incarnation: write.incarnation,
+                            },
+                        },
+                    )
+                } else {
+                    match &state.base {
+                        Some(base) => {
+                            let value = Arc::downcast::<T>(Arc::clone(&base.value))
+                                .expect("base snapshot type mismatch for TVar id");
+                            (
+                                value,
+                                ReadDep::Base {
+                                    version: base.version,
+                                },
+                            )
+                        }
+                        None => {
+                            // Base was invalidated by a failed publish; recapture.
+                            match var.core().consistent_snapshot() {
+                                Some((value, version)) => {
+                                    state.base = Some(BaseCell {
+                                        value: Arc::clone(&value) as ArcAny,
+                                        version,
+                                    });
+                                    (value, ReadDep::Base { version })
+                                }
+                                None => {
+                                    drop(inner);
+                                    std::hint::spin_loop();
+                                    std::thread::yield_now();
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                };
+            let txn = &mut inner.txns[txn_idx as usize];
+            txn.deps.push((id, dep));
+            txn.reads += 1;
+            return Ok(value);
+        }
+    }
+
+    /// Record the committed write set of the latest execution of `txn_idx`
+    /// into multi-version memory (replacing the previous incarnation's
+    /// entries) together with its staged durability payload.
+    pub(crate) fn record(
+        &self,
+        txn_idx: u32,
+        write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
+        payload: Option<Vec<u8>>,
+    ) {
+        let mut inner = self.inner.lock();
+        let incarnation = inner.txns[txn_idx as usize].executions.saturating_sub(1);
+        // Drop writes from the previous incarnation that were not re-written.
+        for (id, state) in inner.vars.iter_mut() {
+            if !write_set.contains_key(id) {
+                state.writes.remove(&txn_idx);
+            }
+        }
+        let writes = write_set.len() as u64;
+        for (id, entry) in write_set {
+            let handle = entry.var_arc();
+            let state = inner.vars.entry(id).or_insert_with(|| VarState {
+                handle,
+                base: None,
+                writes: BTreeMap::new(),
+            });
+            state.writes.insert(
+                txn_idx,
+                MvWrite {
+                    incarnation,
+                    estimate: false,
+                    entry,
+                },
+            );
+        }
+        let txn = &mut inner.txns[txn_idx as usize];
+        txn.writes += writes;
+        if payload.is_some() {
+            txn.payload = payload;
+        }
+    }
+
+    /// Re-validate every dependency the latest execution of `txn_idx`
+    /// recorded against the current multi-version memory.
+    pub(crate) fn validate(&self, txn_idx: u32) -> bool {
+        let inner = self.inner.lock();
+        let deps = &inner.txns[txn_idx as usize].deps;
+        deps.iter().all(|(id, dep)| {
+            let Some(state) = inner.vars.get(id) else {
+                return false;
+            };
+            let floor = state.writes.range(..txn_idx).next_back();
+            match dep {
+                ReadDep::Write { version } => floor.is_some_and(|(&writer, write)| {
+                    writer == version.txn_idx
+                        && write.incarnation == version.incarnation
+                        && !write.estimate
+                }),
+                ReadDep::Base { version } => {
+                    floor.is_none()
+                        && state
+                            .base
+                            .as_ref()
+                            .is_some_and(|base| base.version == *version)
+                }
+            }
+        })
+    }
+
+    /// Run `f` with exclusive access to the session state — used by the
+    /// block publish protocol once execution threads have quiesced.
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut SessionInner) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl SessionInner {
+    /// The final write of each written variable (the highest block
+    /// transaction's entry), in canonical ascending `TVarId` order, plus the
+    /// variable handles for acquisition.
+    pub(crate) fn final_writes(&self) -> Vec<(TVarId, &Arc<dyn TVarDyn>, &dyn WriteEntryDyn)> {
+        let mut finals: Vec<_> = self
+            .vars
+            .iter()
+            .filter_map(|(id, state)| {
+                state
+                    .writes
+                    .last_key_value()
+                    .map(|(_, write)| (*id, &state.handle, write.entry.as_ref()))
+            })
+            .collect();
+        finals.sort_by_key(|(id, _, _)| *id);
+        finals
+    }
+
+    /// Check that every base snapshot still matches storage. Written
+    /// variables are owned by the caller at this point, so their versions are
+    /// stable; a read-only base owned by an external committer counts as
+    /// stale (its version is about to move).
+    pub(crate) fn bases_current(&self, owner: u64) -> bool {
+        self.vars.values().all(|state| match &state.base {
+            Some(base) => {
+                let current_owner = state.handle.dyn_owner();
+                state.handle.dyn_version() == base.version
+                    && (current_owner == crate::tvar::NO_OWNER || current_owner == owner)
+            }
+            None => true,
+        })
+    }
+
+    /// Invalidate the base snapshots that no longer match storage so the next
+    /// validation pass re-executes exactly their readers. Returns how many
+    /// bases were refreshed.
+    pub(crate) fn invalidate_stale_bases(&mut self, owner: u64) -> usize {
+        let mut stale = 0;
+        for state in self.vars.values_mut() {
+            let drop_base = match &state.base {
+                Some(base) => {
+                    let current_owner = state.handle.dyn_owner();
+                    state.handle.dyn_version() != base.version
+                        || (current_owner != crate::tvar::NO_OWNER && current_owner != owner)
+                }
+                None => false,
+            };
+            if drop_base {
+                state.base = None;
+                stale += 1;
+            }
+        }
+        stale
+    }
+
+    /// Per-transaction `(reads, writes, payload)` triples in block order,
+    /// consumed by the publish path for statistics and the redo log.
+    pub(crate) fn commit_records(&self) -> Vec<(u64, u64, Option<Vec<u8>>)> {
+        self.txns
+            .iter()
+            .map(|txn| (txn.reads, txn.writes, txn.payload.clone()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local activation: while a thread executes one block transaction, the
+// ordinary `Transaction` read/commit paths divert into the session.
+// ---------------------------------------------------------------------------
+
+struct ActiveMv {
+    session: Arc<MvSession>,
+    txn_idx: u32,
+}
+
+thread_local! {
+    static ACTIVE: std::cell::RefCell<Option<ActiveMv>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Scope guard restoring the previous activation on drop.
+pub(crate) struct ActivationGuard {
+    previous: Option<ActiveMv>,
+}
+
+impl Drop for ActivationGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| *slot.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Mark the current thread as executing block transaction `txn_idx` of
+/// `session` until the guard drops.
+pub(crate) fn activate(session: Arc<MvSession>, txn_idx: u32) -> ActivationGuard {
+    ActivationGuard {
+        previous: ACTIVE.with(|slot| slot.borrow_mut().replace(ActiveMv { session, txn_idx })),
+    }
+}
+
+/// Whether the current thread is executing inside an MV block.
+#[inline]
+pub(crate) fn is_active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Divert one storage read into the active session (panics if none).
+pub(crate) fn read_active<T: Send + Sync + 'static>(var: &TVar<T>) -> Result<Arc<T>, TxError> {
+    let (session, txn_idx) = ACTIVE.with(|slot| {
+        let borrow = slot.borrow();
+        let active = borrow.as_ref().expect("no active MV session");
+        (Arc::clone(&active.session), active.txn_idx)
+    });
+    session.read(txn_idx, var)
+}
+
+/// Record the committing transaction's write set into the active session
+/// instead of running the single-version publish protocol.
+pub(crate) fn record_active(
+    write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
+    payload: Option<Vec<u8>>,
+) {
+    let (session, txn_idx) = ACTIVE.with(|slot| {
+        let borrow = slot.borrow();
+        let active = borrow.as_ref().expect("no active MV session");
+        (Arc::clone(&active.session), active.txn_idx)
+    });
+    session.record(txn_idx, write_set, payload);
+}

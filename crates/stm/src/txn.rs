@@ -20,11 +20,15 @@ struct ReadEntry {
     version: u64,
 }
 
-/// Type-erased write-set entry.
-trait WriteEntryDyn: Send {
+/// Type-erased write-set entry. Also the unit the multi-version lane stores
+/// in its block memory (see [`crate::mv`]), which is why it can hand out the
+/// buffered value type-erased for cross-transaction multi-version reads.
+pub(crate) trait WriteEntryDyn: Send {
     fn var(&self) -> &dyn TVarDyn;
     fn var_arc(&self) -> Arc<dyn TVarDyn>;
     fn publish(&self, commit_ts: u64);
+    /// The buffered value as a type-erased shared snapshot.
+    fn value_any(&self) -> Arc<dyn Any + Send + Sync>;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -45,6 +49,9 @@ impl<T: Send + Sync + 'static> WriteEntryDyn for TypedWrite<T> {
     fn publish(&self, commit_ts: u64) {
         self.core.publish(Arc::clone(&self.value), commit_ts);
     }
+    fn value_any(&self) -> Arc<dyn Any + Send + Sync> {
+        Arc::clone(&self.value) as Arc<dyn Any + Send + Sync>
+    }
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -59,6 +66,10 @@ pub(crate) struct CommitInfo {
     pub reads: u64,
     pub writes: u64,
     pub read_only: bool,
+    /// True when the attempt was *recorded* into an MV block session instead
+    /// of publishing: the block commits (and counts) it later, so the retry
+    /// loop must skip the per-commit statistics.
+    pub mv_deferred: bool,
 }
 
 /// An in-flight transaction attempt.
@@ -141,6 +152,14 @@ impl<'a> Transaction<'a> {
                 .downcast_ref::<TypedWrite<T>>()
                 .expect("write-set entry type mismatch for TVar id");
             return Ok(Arc::clone(&typed.value));
+        }
+
+        // Multi-version lane: inside an MV block, storage reads resolve
+        // against the block's multi-version memory (lower transactions'
+        // writes, then the shared pre-block base snapshot) and record a
+        // dependency instead of validating against the live clock.
+        if crate::mv::session::is_active() {
+            return crate::mv::session::read_active(var);
         }
 
         let core = var.core();
@@ -299,7 +318,25 @@ impl<'a> Transaction<'a> {
             reads: self.read_set.len() as u64,
             writes: self.write_set.len() as u64,
             read_only: self.write_set.is_empty(),
+            mv_deferred: false,
         };
+
+        // Multi-version lane: record the write set (and the staged redo
+        // payload) into the block session instead of publishing. The block
+        // validates, possibly re-executes, and publishes the whole batch as
+        // one composite commit with a deterministic order.
+        if crate::mv::session::is_active() {
+            let payload = if self.durability_attached && !self.write_set.is_empty() {
+                crate::durable::take_pending_payload()
+            } else {
+                None
+            };
+            crate::mv::session::record_active(std::mem::take(&mut self.write_set), payload);
+            return Ok(CommitInfo {
+                mv_deferred: true,
+                ..info
+            });
+        }
 
         if self.write_set.is_empty() {
             if !self.stm.config().read_only_fast_path {

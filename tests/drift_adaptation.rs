@@ -195,11 +195,17 @@ fn windowed_driver_run_shows_continuous_rebalancing() {
         "continuous must re-adapt after the shift: {continuous:?}"
     );
     assert_eq!(windows.len(), 4);
+    // On few-core hosts the one-shot run occasionally lands balanced by
+    // scheduling luck, so strict "better than one-shot" is noise-sensitive
+    // when both runs are near-flat. The real claim is that continuous
+    // adaptation ends the run well balanced: demand the win outright OR a
+    // near-flat absolute imbalance (the post-shift one-shot failure mode
+    // this test guards against reads 5-6x).
+    let continuous_imbalance = continuous.load.imbalance();
+    let one_shot_imbalance = one_shot.load.imbalance();
     assert!(
-        continuous.load.imbalance() < one_shot.load.imbalance(),
-        "continuous adaptation must leave the workers better balanced: \
-         continuous {:.2}x vs one-shot {:.2}x",
-        continuous.load.imbalance(),
-        one_shot.load.imbalance()
+        continuous_imbalance < one_shot_imbalance || continuous_imbalance < 1.5,
+        "continuous adaptation must leave the workers well balanced: \
+         continuous {continuous_imbalance:.2}x vs one-shot {one_shot_imbalance:.2}x"
     );
 }
