@@ -1,0 +1,19 @@
+//! Review probe: an MvOp whose closure runs TWO writing atomically calls.
+use katme::{run_block, MvOp, Stm, TVar};
+
+#[test]
+fn op_with_two_atomically_calls_keeps_both_writes() {
+    let stm = Stm::default();
+    let a = TVar::new(0u64);
+    let b = TVar::new(0u64);
+    let ops: Vec<MvOp<'_, ()>> = vec![{
+        let (stm, a, b) = (stm.clone(), a.clone(), b.clone());
+        MvOp::new(move || {
+            stm.atomically(|tx| tx.write(&a, 1));
+            stm.atomically(|tx| tx.write(&b, 2));
+        })
+    }];
+    run_block(&stm, ops);
+    assert_eq!(stm.read_now(&b), 2, "second atomically's write");
+    assert_eq!(stm.read_now(&a), 1, "first atomically's write must survive");
+}
