@@ -43,21 +43,29 @@ const SNAPSHOT_VERSION: u8 = 1;
 /// Encode a dictionary operation for the WAL. Returns `None` for lookups,
 /// which are read-only and must not be logged.
 pub fn encode_op(op: &DictOp) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    encode_op_into(op, &mut out).then_some(out)
+}
+
+/// Allocation-free variant of [`encode_op`]: append the record to `out`
+/// (typically a recycled buffer) and report whether anything was written.
+/// Lookups are read-only, write nothing, and return `false`.
+pub fn encode_op_into(op: &DictOp, out: &mut Vec<u8>) -> bool {
     match op {
         DictOp::Insert { key, value } => {
-            let mut out = Vec::with_capacity(13);
+            out.reserve(13);
             out.push(TAG_INSERT);
             out.extend_from_slice(&key.to_le_bytes());
             out.extend_from_slice(&value.to_le_bytes());
-            Some(out)
+            true
         }
         DictOp::Remove { key } => {
-            let mut out = Vec::with_capacity(5);
+            out.reserve(5);
             out.push(TAG_REMOVE);
             out.extend_from_slice(&key.to_le_bytes());
-            Some(out)
+            true
         }
-        DictOp::Lookup { .. } => None,
+        DictOp::Lookup { .. } => false,
     }
 }
 

@@ -12,7 +12,10 @@
 //! key-based schedulers effective: transactions with the same bucket index
 //! are routed to the same worker and can never conflict.
 
+use std::sync::Arc;
+
 use katme_stm::{Stm, TVar, Transaction, TxError};
+use parking_lot::Mutex;
 
 use crate::dictionary::{Dictionary, Key, TxDictionary, Value};
 
@@ -23,6 +26,36 @@ pub const PAPER_BUCKETS: usize = 30031;
 /// One bucket: a small sorted vector of key/value pairs behind a single
 /// [`TVar`] (the unit of conflict).
 type Bucket = Vec<(Key, Value)>;
+
+/// Process-wide pool of vacated bucket buffers. Every committed bucket write
+/// retires the previous snapshot; when the committing thread holds the last
+/// reference, the buffer lands here and the next clone-on-write rebuild
+/// starts from pooled capacity instead of a fresh allocation. Bounded so a
+/// burst of huge buckets cannot pin memory forever.
+static BUCKET_POOL: Mutex<Vec<Bucket>> = Mutex::new(Vec::new());
+const BUCKET_POOL_MAX: usize = 1024;
+
+/// Take a cleared buffer with at least `capacity` free slots from the pool
+/// (allocating only on pool miss or when the pooled capacity is too small).
+fn pooled_bucket(capacity: usize) -> Bucket {
+    let mut bucket = BUCKET_POOL.lock().pop().unwrap_or_default();
+    bucket.reserve(capacity);
+    bucket
+}
+
+/// Publish-side recycler installed on every bucket [`TVar`]: reclaim the
+/// displaced snapshot's buffer when no concurrent reader still holds it.
+fn recycle_bucket(bucket: Arc<Bucket>) {
+    if let Some(mut bucket) = Arc::into_inner(bucket) {
+        bucket.clear();
+        if bucket.capacity() > 0 {
+            let mut pool = BUCKET_POOL.lock();
+            if pool.len() < BUCKET_POOL_MAX {
+                pool.push(bucket);
+            }
+        }
+    }
+}
 
 /// A transactional, externally chained hash table.
 pub struct HashTable {
@@ -44,7 +77,9 @@ impl HashTable {
         assert!(buckets > 0, "hash table needs at least one bucket");
         HashTable {
             stm,
-            buckets: (0..buckets).map(|_| TVar::new(Vec::new())).collect(),
+            buckets: (0..buckets)
+                .map(|_| TVar::with_recycler(Vec::new(), recycle_bucket))
+                .collect(),
         }
     }
 
@@ -120,15 +155,21 @@ impl TxDictionary for HashTable {
         match entries.binary_search_by_key(&key, |(k, _)| *k) {
             Ok(pos) => {
                 if entries[pos].1 != value {
-                    let mut updated = (*entries).clone();
+                    let mut updated = pooled_bucket(entries.len());
+                    updated.extend_from_slice(&entries);
                     updated[pos].1 = value;
                     tx.write(bucket, updated)?;
                 }
                 Ok(false)
             }
             Err(pos) => {
-                let mut updated = (*entries).clone();
-                updated.insert(pos, (key, value));
+                // Build the successor in one pass at exact size — cheaper
+                // than clone-then-insert (which copies the tail twice and,
+                // at capacity == len, reallocates mid-insert).
+                let mut updated = pooled_bucket(entries.len() + 1);
+                updated.extend_from_slice(&entries[..pos]);
+                updated.push((key, value));
+                updated.extend_from_slice(&entries[pos..]);
                 tx.write(bucket, updated)?;
                 Ok(true)
             }
@@ -140,8 +181,9 @@ impl TxDictionary for HashTable {
         let entries = tx.read(bucket)?;
         match entries.binary_search_by_key(&key, |(k, _)| *k) {
             Ok(pos) => {
-                let mut updated = (*entries).clone();
-                updated.remove(pos);
+                let mut updated = pooled_bucket(entries.len() - 1);
+                updated.extend_from_slice(&entries[..pos]);
+                updated.extend_from_slice(&entries[pos + 1..]);
                 tx.write(bucket, updated)?;
                 Ok(true)
             }

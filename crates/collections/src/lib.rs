@@ -28,7 +28,8 @@ pub mod stack;
 
 pub use dictionary::{DictOp, Dictionary, Key, TxDictionary, Value};
 pub use durable::{
-    apply_op, decode_op, decode_snapshot, encode_op, encode_snapshot, restore_snapshot,
+    apply_op, decode_op, decode_snapshot, encode_op, encode_op_into, encode_snapshot,
+    restore_snapshot,
 };
 pub use hashtable::{HashTable, PAPER_BUCKETS};
 pub use locked::LockedDictionary;

@@ -165,6 +165,31 @@ impl TxDictionary for SortedList {
     }
 }
 
+impl Drop for SortedList {
+    fn drop(&mut self) {
+        // Letting the fields drop naturally would free the nodes recursively
+        // (head → node → next `TVar` → node → …), one stack frame per
+        // element — a few thousand elements overflow a 2 MiB thread stack.
+        // Sever each link before its node drops so the chain frees
+        // iteratively. `replace_now` is sound here: the list is being
+        // dropped, so no transaction can reach these variables anymore.
+        let mut link = take_link(self.head.replace_now(None));
+        while let Some(node) = link {
+            let next = node.next.replace_now(None);
+            // With its `next` severed, this node frees without recursing —
+            // even if a stale snapshot elsewhere still holds an `Arc` to it.
+            drop(node);
+            link = take_link(next);
+        }
+    }
+}
+
+/// Unwrap a displaced link snapshot, cloning the inner `Arc` handle when the
+/// snapshot itself is still shared.
+fn take_link(snapshot: Arc<Link>) -> Link {
+    Arc::try_unwrap(snapshot).unwrap_or_else(|shared| shared.as_ref().clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +199,31 @@ mod tests {
 
     fn list() -> SortedList {
         SortedList::new(Stm::default())
+    }
+
+    #[test]
+    fn dropping_a_long_list_is_iterative() {
+        // Build the chain directly — transactional inserts walk from the
+        // head, which is O(n^2) for a list this long.
+        let mut link: Link = None;
+        for key in (0..200_000u32).rev() {
+            link = Some(StdArc::new(Node {
+                key,
+                value: 0,
+                next: TVar::new(link),
+            }));
+        }
+        let long = SortedList {
+            stm: Stm::default(),
+            head: TVar::new(link),
+        };
+        // A recursive drop would overflow this tiny stack immediately.
+        thread::Builder::new()
+            .stack_size(64 * 1024)
+            .spawn(move || drop(long))
+            .expect("spawn drop thread")
+            .join()
+            .expect("iterative drop must not overflow the stack");
     }
 
     #[test]

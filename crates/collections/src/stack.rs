@@ -110,11 +110,47 @@ impl<T: Clone + Send + Sync + 'static> TxStack<T> {
     }
 }
 
+impl<T> Drop for TxStack<T> {
+    fn drop(&mut self) {
+        // A tall stack is one long cons chain; letting it drop naturally
+        // frees the cells recursively, one stack frame per element. Walk it
+        // iteratively instead, stopping at the first cell a live snapshot
+        // still shares (that holder frees the remaining, shorter tail).
+        let top = self.top.replace_now(None);
+        let mut cursor = Arc::try_unwrap(top).unwrap_or_else(|shared| shared.as_ref().clone());
+        while let Some(cell) = cursor {
+            match Arc::try_unwrap(cell) {
+                Ok(mut inner) => cursor = inner.next.take(),
+                Err(_shared) => break,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc as StdArc;
     use std::thread;
+
+    #[test]
+    fn dropping_a_tall_stack_is_iterative() {
+        let mut next: Option<StdArc<Cell<u64>>> = None;
+        for value in 0..200_000u64 {
+            next = Some(StdArc::new(Cell { value, next }));
+        }
+        let tall = TxStack {
+            stm: Stm::default(),
+            top: TVar::new(next),
+        };
+        // A recursive drop would overflow this tiny stack immediately.
+        thread::Builder::new()
+            .stack_size(64 * 1024)
+            .spawn(move || drop(tall))
+            .expect("spawn drop thread")
+            .join()
+            .expect("iterative drop must not overflow the stack");
+    }
 
     #[test]
     fn lifo_order() {

@@ -42,6 +42,7 @@
 //! *adopted* by the remaining active workers (see the retirement protocol
 //! on [`WorkerSet`]), so a resize can never lose or duplicate a task.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -442,6 +443,44 @@ impl IdleParker {
     }
 }
 
+/// Parked submission-path buffers, recycled across `submit_batch_*` calls
+/// so steady-state batch dispatch allocates neither its keyed staging
+/// buffer nor the per-worker run table (see
+/// [`Executor::submit_batch_blocking`]). The inner run vectors are *not*
+/// pooled: `push_batch` consumes them as queue segment storage, which is
+/// the one allocation the batch path inherently pays.
+struct BatchPool<T> {
+    /// Emptied `(key, task)` staging buffers, handed back to producers via
+    /// [`Executor::recycled_batch`].
+    keyed: Vec<Vec<(TxnKey, T)>>,
+    /// The outer per-worker run table (its inner vectors are empty).
+    runs: Option<Vec<Vec<T>>>,
+}
+
+/// Cap on parked keyed staging buffers — bounds idle memory to a handful
+/// of producers' worth of batches.
+const KEYED_POOL_MAX: usize = 8;
+
+impl<T> Default for BatchPool<T> {
+    fn default() -> Self {
+        BatchPool {
+            keyed: Vec::new(),
+            runs: None,
+        }
+    }
+}
+
+/// Batch-submission staging: the key slice handed to
+/// [`Scheduler::dispatch_batch`], the route table it fills, and the
+/// per-worker run-length counts.
+type DispatchScratch = (Vec<TxnKey>, Vec<usize>, Vec<usize>);
+
+thread_local! {
+    /// Per-producer scratch for the batch submission path. Thread-local
+    /// because the keys and routes never leave the submitting thread.
+    static DISPATCH_SCRATCH: Cell<Option<DispatchScratch>> = const { Cell::new(None) };
+}
+
 /// The generation-scoped owner of the executor's queues and worker threads.
 ///
 /// The set is sized at `capacity` slots (the scheduler's
@@ -516,6 +555,8 @@ pub struct WorkerSet<T: Send + 'static> {
     /// Read after every handler batch, hence a `OnceLock` (one atomic load
     /// when unset) rather than a mutex like the rarely-read backlog probe.
     stall_probe: OnceLock<Arc<dyn Fn() -> u64 + Send + Sync>>,
+    /// Recycled submission-path buffers (see [`BatchPool`]).
+    batch_pool: Mutex<BatchPool<T>>,
 }
 
 impl<T: Send + 'static> WorkerSet<T> {
@@ -545,6 +586,7 @@ impl<T: Send + 'static> WorkerSet<T> {
             resized_workers: AtomicU64::new(0),
             backlog_probe: Mutex::new(None),
             stall_probe: OnceLock::new(),
+            batch_pool: Mutex::new(BatchPool::default()),
         }
     }
 
@@ -878,17 +920,44 @@ impl<T: Send + 'static> Executor<T> {
         self.submit_batch_inner(tasks, false)
     }
 
+    /// Hand out an empty `(key, task)` staging buffer whose capacity was
+    /// retained from an earlier batch submission (or a fresh one if none is
+    /// parked). Producers that stage their batches in this buffer and
+    /// submit via [`Executor::submit_batch_blocking`] /
+    /// [`Executor::try_submit_batch`] keep the staging allocation cycling
+    /// between submissions instead of re-creating it per batch.
+    pub fn recycled_batch(&self) -> Vec<(TxnKey, T)> {
+        self.set.batch_pool.lock().keyed.pop().unwrap_or_default()
+    }
+
+    /// Park a drained staging buffer for reuse by [`Executor::recycled_batch`].
+    fn park_batch_buffer(&self, mut buffer: Vec<(TxnKey, T)>) {
+        if buffer.capacity() == 0 {
+            return;
+        }
+        buffer.clear();
+        let mut pool = self.set.batch_pool.lock();
+        if pool.keyed.len() < KEYED_POOL_MAX {
+            pool.keyed.push(buffer);
+        }
+    }
+
     fn submit_batch_inner(
         &self,
-        tasks: Vec<(TxnKey, T)>,
+        mut tasks: Vec<(TxnKey, T)>,
         blocking: bool,
     ) -> Result<usize, SubmitBatchError<T>> {
         if tasks.is_empty() {
+            self.park_batch_buffer(tasks);
             return Ok(0);
         }
         let total = tasks.len();
-        let keys: Vec<TxnKey> = tasks.iter().map(|&(key, _)| key).collect();
-        let mut routes = Vec::with_capacity(total);
+        let (mut keys, mut routes, mut counts) = DISPATCH_SCRATCH
+            .with(|slot| slot.take())
+            .unwrap_or_default();
+        keys.clear();
+        keys.extend(tasks.iter().map(|&(key, _)| key));
+        routes.clear();
         self.scheduler.dispatch_batch(&keys, &mut routes);
         debug_assert_eq!(routes.len(), total);
 
@@ -897,14 +966,30 @@ impl<T: Send + 'static> Executor<T> {
         // are re-associated from `keys`/`routes` only on the cold rejection
         // path (see `reject_run`). Runs span the full capacity: a routing
         // snapshot can only produce indices below its own width, which is
-        // never above the capacity.
+        // never above the capacity. The outer table is pooled; each inner
+        // run is sized exactly from a counting pass because `push_batch`
+        // consumes it as queue segment storage — one unavoidable allocation
+        // per non-empty run.
         let workers = self.set.capacity();
-        let mut runs: Vec<Vec<T>> = (0..workers)
-            .map(|_| Vec::with_capacity(total / workers + 1))
-            .collect();
-        for ((_, task), &worker) in tasks.into_iter().zip(&routes) {
+        let mut runs: Vec<Vec<T>> = self.set.batch_pool.lock().runs.take().unwrap_or_default();
+        debug_assert!(runs.iter().all(Vec::is_empty));
+        runs.resize_with(workers, Vec::new);
+        counts.clear();
+        counts.resize(workers, 0);
+        for &worker in &routes {
+            counts[worker] += 1;
+        }
+        for (run, &count) in runs.iter_mut().zip(&counts) {
+            if count > 0 {
+                run.reserve_exact(count);
+            }
+        }
+        for ((_, task), &worker) in tasks.drain(..).zip(&routes) {
             runs[worker].push(task);
         }
+        // `tasks` is now empty with its capacity intact — park it for the
+        // next producer batch (see `recycled_batch`).
+        self.park_batch_buffer(tasks);
 
         // Recover `(key, task)` pairs for the tail of a worker's run, for
         // hand-back: the items of `run` routed to `worker` appear in `keys`
@@ -926,7 +1011,8 @@ impl<T: Send + 'static> Executor<T> {
         let mut queue_full = false;
         let mut shutting_down = false;
 
-        for (worker, mut run) in runs.into_iter().enumerate() {
+        for (worker, slot) in runs.iter_mut().enumerate() {
+            let mut run = std::mem::take(slot);
             if run.is_empty() {
                 continue;
             }
@@ -1006,6 +1092,14 @@ impl<T: Send + 'static> Executor<T> {
                     reject_run(&mut rejected, run, pushed, worker);
                     break;
                 }
+            }
+        }
+
+        DISPATCH_SCRATCH.with(|slot| slot.set(Some((keys, routes, counts))));
+        {
+            let mut pool = self.set.batch_pool.lock();
+            if pool.runs.is_none() {
+                pool.runs = Some(runs);
             }
         }
 

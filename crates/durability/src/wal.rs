@@ -105,7 +105,15 @@ pub struct RecoveredLog {
 }
 
 struct WalState {
-    pending: Vec<(u64, Vec<u8>)>,
+    /// Pre-framed records awaiting the writer thread, encoded at enqueue
+    /// time so the caller's payload buffer can be recycled immediately and
+    /// the writer appends one contiguous byte run per group.
+    pending_bytes: Vec<u8>,
+    /// Records currently encoded in `pending_bytes`.
+    pending_count: u64,
+    /// Sequence number of the first record in `pending_bytes` (meaningful
+    /// only while `pending_count > 0`).
+    pending_first_seq: u64,
     next_seq: u64,
     durable_seq: u64,
     active_first_seq: u64,
@@ -211,7 +219,9 @@ impl Wal {
 
         let shared = Arc::new(WalShared {
             state: Mutex::new(WalState {
-                pending: Vec::new(),
+                pending_bytes: Vec::new(),
+                pending_count: 0,
+                pending_first_seq: 0,
                 next_seq,
                 durable_seq: next_seq - 1,
                 active_first_seq: segment.first_seq(),
@@ -240,15 +250,21 @@ impl Wal {
     }
 
     /// Append a committed write-set to the log, returning its sequence
-    /// number (the ticket for [`Wal::wait_durable`]). Cheap: one mutex
-    /// push and a condvar signal — safe to call while holding STM write
-    /// locks.
-    pub fn enqueue(&self, payload: Vec<u8>) -> u64 {
+    /// number (the ticket for [`Wal::wait_durable`]). Cheap: the record is
+    /// framed straight into the shared staging buffer (a short memcpy)
+    /// under one mutex, plus a condvar signal — safe to call while holding
+    /// STM write locks. The payload is borrowed, so the caller keeps (and
+    /// can recycle) its buffer.
+    pub fn enqueue(&self, payload: &[u8]) -> u64 {
         let mut state = self.shared.state.lock();
         let seq = state.next_seq;
         state.next_seq += 1;
-        state.pending.push((seq, payload));
-        drop(state);
+        if state.pending_count == 0 {
+            state.pending_first_seq = seq;
+        }
+        state.pending_count += 1;
+        let state = &mut *state;
+        encode_record(seq, payload, &mut state.pending_bytes);
         self.shared.work.notify_one();
         seq
     }
@@ -373,22 +389,38 @@ impl Drop for Wal {
 
 fn writer_loop(shared: Arc<WalShared>, mut segment: SegmentWriter) {
     let mut groups_flushed: u64 = 0;
+    // Draining swaps this buffer with the staging buffer, so the two
+    // capacities ping-pong between enqueuers and the writer and
+    // steady-state group commit performs no allocation.
+    let mut buffer: Vec<u8> = Vec::new();
     loop {
-        let group = {
+        let (count, first_seq) = {
             let mut state = shared.state.lock();
-            while state.pending.is_empty() && !state.shutdown {
+            while state.pending_count == 0 && !state.shutdown {
                 state = shared.work.wait(state);
             }
-            if state.pending.is_empty() && state.shutdown {
+            if state.pending_count == 0 && state.shutdown {
                 return;
             }
-            std::mem::take(&mut state.pending)
+            buffer.clear();
+            std::mem::swap(&mut buffer, &mut state.pending_bytes);
+            let count = state.pending_count;
+            let first_seq = state.pending_first_seq;
+            state.pending_count = 0;
+            (count, first_seq)
         };
 
-        match flush_group(&shared, &mut segment, &group, groups_flushed) {
+        match flush_group(
+            &shared,
+            &mut segment,
+            &buffer,
+            count,
+            first_seq,
+            groups_flushed,
+        ) {
             Ok(()) => {
                 groups_flushed += 1;
-                let last_seq = group.last().map(|(seq, _)| *seq).unwrap_or(0);
+                let last_seq = first_seq + count - 1;
                 let mut state = shared.state.lock();
                 state.durable_seq = last_seq;
                 state.active_first_seq = segment.first_seq();
@@ -409,16 +441,12 @@ fn writer_loop(shared: Arc<WalShared>, mut segment: SegmentWriter) {
 fn flush_group(
     shared: &WalShared,
     segment: &mut SegmentWriter,
-    group: &[(u64, Vec<u8>)],
+    buffer: &[u8],
+    count: u64,
+    first_seq: u64,
     groups_flushed: u64,
 ) -> io::Result<()> {
-    let mut buffer = Vec::new();
-    for (seq, payload) in group {
-        encode_record(*seq, payload, &mut buffer);
-    }
-
     if segment.bytes() >= shared.config.segment_bytes {
-        let first_seq = group.first().map(|(seq, _)| *seq).unwrap_or(0);
         *segment = SegmentWriter::create(&shared.config.dir, first_seq)?;
         shared
             .stats
@@ -440,7 +468,7 @@ fn flush_group(
         std::process::abort();
     }
 
-    segment.append(&buffer)?;
+    segment.append(buffer)?;
 
     if crash_now(CrashPoint::PreFsync) {
         // Fault injection: full group written but never synced — the OS
@@ -452,9 +480,7 @@ fn flush_group(
     if shared.config.fsync {
         segment.sync()?;
     }
-    shared
-        .stats
-        .record_group(group.len() as u64, buffer.len() as u64);
+    shared.stats.record_group(count, buffer.len() as u64);
     Ok(())
 }
 
@@ -476,7 +502,7 @@ mod tests {
             assert!(recovered.checkpoint.is_none());
             assert!(recovered.records.is_empty());
             for index in 0..10u64 {
-                let seq = wal.enqueue(index.to_le_bytes().to_vec());
+                let seq = wal.enqueue(&index.to_le_bytes());
                 wal.wait_durable(seq).unwrap();
             }
             let view = wal.view();
@@ -492,7 +518,7 @@ mod tests {
             assert_eq!(payload, &(index as u64).to_le_bytes().to_vec());
         }
         // New appends continue the sequence.
-        assert_eq!(wal.enqueue(vec![0xAB]), 11);
+        assert_eq!(wal.enqueue(&[0xAB]), 11);
         wal.sync_all().unwrap();
         drop(wal);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -508,7 +534,7 @@ mod tests {
                 let wal = Arc::clone(&wal);
                 std::thread::spawn(move || {
                     for op in 0..50u64 {
-                        let seq = wal.enqueue(vec![thread_index as u8, op as u8]);
+                        let seq = wal.enqueue(&[thread_index as u8, op as u8]);
                         wal.wait_durable(seq).unwrap();
                     }
                 })
@@ -536,7 +562,7 @@ mod tests {
         {
             let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
             for index in 0..5u64 {
-                let seq = wal.enqueue(vec![index as u8; 16]);
+                let seq = wal.enqueue(&[index as u8; 16]);
                 wal.wait_durable(seq).unwrap();
             }
             wal.shutdown();
@@ -573,7 +599,7 @@ mod tests {
         let (wal, _) = Wal::open(WalConfig::new(&dir).with_segment_bytes(4096)).unwrap();
         // Each record is ~4 KiB of payload, forcing a rotation per group.
         for index in 0..6u64 {
-            let seq = wal.enqueue(vec![index as u8; 4096]);
+            let seq = wal.enqueue(&[index as u8; 4096]);
             wal.wait_durable(seq).unwrap();
         }
         let segments_before = list_segments(&dir).unwrap().len();
@@ -597,7 +623,7 @@ mod tests {
         let (wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
         assert_eq!(recovered.checkpoint.as_ref().map(|c| c.position), Some(6));
         assert!(recovered.records.is_empty());
-        assert_eq!(wal.enqueue(vec![1]), 7);
+        assert_eq!(wal.enqueue(&[1]), 7);
         wal.sync_all().unwrap();
         drop(wal);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -608,13 +634,13 @@ mod tests {
         let dir = temp_dir("suffix");
         let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
         for index in 0..4u64 {
-            let seq = wal.enqueue(vec![index as u8]);
+            let seq = wal.enqueue(&[index as u8]);
             wal.wait_durable(seq).unwrap();
         }
         let position = wal.begin_checkpoint();
         wal.commit_checkpoint(position, b"state@4").unwrap();
         for index in 4..7u64 {
-            let seq = wal.enqueue(vec![index as u8]);
+            let seq = wal.enqueue(&[index as u8]);
             wal.wait_durable(seq).unwrap();
         }
         drop(wal);

@@ -5,12 +5,14 @@
 //! cargo run --release -p katme-harness --bin all_experiments -- --seconds 0.5
 //! ```
 
+katme_harness::install_counting_allocator!();
+
 use katme_collections::StructureKind;
 use katme_harness::experiments::executor_models;
 use katme_harness::{
-    balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation, durability,
-    fig3_hashtable, fig4_overhead, format_throughput, hot_key, print_series_table, tree_list,
-    HarnessOptions,
+    alloc_profile, balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation,
+    durability, fig3_hashtable, fig4_overhead, format_throughput, hot_key, print_series_table,
+    tree_list, HarnessOptions,
 };
 use katme_workload::DistributionKind;
 
@@ -141,5 +143,18 @@ fn main() {
             row.efficiency,
             row.clock_advances_per_commit
         );
+    }
+
+    println!("\n################ Allocation profile ################");
+    match alloc_profile(&opts) {
+        Some(rows) => {
+            for row in rows {
+                println!(
+                    "  {:>12}: {:.3} allocs/commit, {:.1} bytes/commit over {} commits",
+                    row.workload, row.allocs_per_commit, row.bytes_per_commit, row.commits
+                );
+            }
+        }
+        None => println!("  (counting allocator shim not installed; profile unavailable)"),
     }
 }

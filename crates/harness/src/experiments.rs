@@ -1153,6 +1153,237 @@ pub fn commit_path(opts: &HarnessOptions) -> Vec<CommitPathRow> {
     rows
 }
 
+/// One row of the allocation profile: steady-state allocator traffic per
+/// committed transaction for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocRow {
+    /// Workload name (`read-only`, `read-write`, `mv-lane`, `durable`).
+    pub workload: &'static str,
+    /// Committed transactions inside the measured window.
+    pub commits: u64,
+    /// Heap allocations per committed transaction (allocator *traffic*:
+    /// `alloc` + `alloc_zeroed` + `realloc` calls; frees not subtracted).
+    pub allocs_per_commit: f64,
+    /// Bytes requested from the allocator per committed transaction.
+    pub bytes_per_commit: f64,
+}
+
+/// Steady-state allocation budgets the CI gate asserts (allocs/commit
+/// ceilings per workload, with headroom over the measured numbers in
+/// README.md so scheduler jitter does not flake the gate). A PR that pushes
+/// a workload back above its ceiling fails `alloc_profile --smoke`.
+pub const ALLOC_BUDGETS: [(&str, f64); 4] = [
+    ("read-only", 0.15),
+    ("read-write", 1.2),
+    ("mv-lane", 7.0),
+    ("durable", 3.0),
+];
+
+/// Workers used by the allocation profile (two: enough to exercise the
+/// cross-thread dispatch path without making the wait loops spin on an
+/// oversubscribed host).
+const ALLOC_WORKERS: usize = 2;
+/// Submission batch size used by the allocation profile.
+const ALLOC_BATCH: usize = 64;
+
+/// **Allocation profile (extension)**: counts steady-state heap allocations
+/// per committed transaction on the submit→execute→commit path, per
+/// workload — the allocator-traffic companion to [`commit_path`]'s cycle
+/// counts. Requires the counting allocator shim
+/// ([`crate::install_counting_allocator!`]); returns `None` when the
+/// calling binary did not install it, so callers can say "profile
+/// unavailable" instead of printing zeros.
+///
+/// Methodology: a fixed-size warm phase fills the queues, thread-local
+/// scratch pools and buffer pools; counters are then read around a
+/// fixed-count measured phase that ends only after every submitted
+/// transaction has committed. Counts, seeds and preload are deterministic,
+/// so the numbers are comparable across runs and hosts (unlike
+/// throughput). The hash-table dictionary is preloaded with every even key
+/// — exactly half the 16-bit key space — so the paper's 50/50
+/// insert/delete stream runs at its stable load factor from the first
+/// measured operation.
+pub fn alloc_profile(opts: &HarnessOptions) -> Option<Vec<AllocRow>> {
+    if !crate::alloc_count::counting() {
+        return None;
+    }
+    let (warm, measured) = if opts.quick {
+        (4_000u64, 16_000u64)
+    } else {
+        (20_000u64, 80_000u64)
+    };
+    Some(vec![
+        alloc_case_volatile("read-only", read_only_generator(), false, warm, measured),
+        alloc_case_volatile("read-write", paper_generator(), false, warm, measured),
+        alloc_case_volatile("mv-lane", paper_generator(), true, warm, measured),
+        alloc_case_durable(warm, measured),
+    ])
+}
+
+fn paper_generator() -> katme_workload::OpGenerator {
+    katme_workload::OpGenerator::paper(DistributionKind::Uniform, 0xa110c)
+}
+
+fn read_only_generator() -> katme_workload::OpGenerator {
+    katme_workload::OpGenerator::with_mix(
+        DistributionKind::Uniform,
+        katme_workload::OpMix::new(0.0, 0.0, 1.0),
+        0xa110c,
+    )
+}
+
+fn alloc_dict(stm: &Stm) -> Arc<dyn katme_collections::TxDictionary> {
+    let dict = StructureKind::HashTable.build(stm.clone());
+    for key in (0..(1u32 << 16)).step_by(2) {
+        dict.insert(key, u64::from(key));
+    }
+    dict
+}
+
+fn alloc_builder(stm: Stm) -> katme::Builder {
+    Katme::builder()
+        .workers(ALLOC_WORKERS)
+        .producers(1)
+        .model(ExecutorModel::Parallel)
+        .batch_size(ALLOC_BATCH)
+        .key_bounds(katme::KeyMapper::<katme_workload::TxnSpec>::bounds(
+            &katme::BucketKeyMapper::paper(),
+        ))
+        .stm(stm)
+}
+
+fn alloc_case_volatile(
+    workload: &'static str,
+    gen: katme_workload::OpGenerator,
+    mv: bool,
+    warm: u64,
+    measured: u64,
+) -> AllocRow {
+    let stm = Stm::new(StmConfig::default());
+    let dict = alloc_dict(&stm);
+    let bounds =
+        katme::KeyMapper::<katme_workload::TxnSpec>::bounds(&katme::BucketKeyMapper::paper());
+    let mut builder = alloc_builder(stm);
+    if mv {
+        // Pin the whole bucket range to the MV lane so every batch takes
+        // the optimistic-block path.
+        builder = builder
+            .mv_range(bounds.min, bounds.max)
+            .mv_parallelism(ALLOC_WORKERS);
+    }
+    let dict_for_workers = Arc::clone(&dict);
+    let runtime = builder
+        .build(move |_worker, task: WithKey<katme_workload::TxnSpec>| {
+            katme::apply_spec(&*dict_for_workers, &task.task);
+        })
+        .expect("alloc profile builds a valid runtime");
+    let mapper = katme::BucketKeyMapper::paper();
+    let row = alloc_measure(
+        workload,
+        &runtime,
+        gen,
+        move |spec| WithKey::new(katme::KeyMapper::key(&mapper, &spec), spec),
+        warm,
+        measured,
+    );
+    runtime.shutdown();
+    row
+}
+
+fn alloc_case_durable(warm: u64, measured: u64) -> AllocRow {
+    let dir = std::env::temp_dir().join(format!("katme-alloc-profile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stm = Stm::new(StmConfig::default());
+    let dict = alloc_dict(&stm);
+    let dict_for_workers = Arc::clone(&dict);
+    let runtime = alloc_builder(stm)
+        .durability(&dir)
+        .durable_state(Arc::new(katme::DictState::new(Arc::clone(&dict))))
+        // Keep the background checkpointer out of the measured window: a
+        // checkpoint snapshots every bucket, which is amortized cost the
+        // durability experiment covers — here it would smear one-off
+        // allocation spikes over a fixed-count window.
+        .checkpoint_interval(Duration::from_secs(3600))
+        .build(
+            move |_worker, task: katme::Durable<WithKey<katme_workload::TxnSpec>>| {
+                katme::apply_spec(&*dict_for_workers, &task.task.task);
+            },
+        )
+        .expect("alloc profile builds a valid durable runtime");
+    let mapper = katme::BucketKeyMapper::paper();
+    let row = alloc_measure(
+        "durable",
+        &runtime,
+        paper_generator(),
+        move |spec| {
+            let payload = katme::spec_payload(&spec);
+            katme::Durable::new(
+                WithKey::new(katme::KeyMapper::key(&mapper, &spec), spec),
+                payload,
+            )
+        },
+        warm,
+        measured,
+    );
+    runtime.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    row
+}
+
+fn alloc_measure<T, R>(
+    workload: &'static str,
+    runtime: &katme::Runtime<T, R>,
+    mut gen: katme_workload::OpGenerator,
+    mut make: impl FnMut(katme_workload::TxnSpec) -> T,
+    warm: u64,
+    measured: u64,
+) -> AllocRow
+where
+    T: katme::KeyedTask + Clone + Send + 'static,
+    R: Send + 'static,
+{
+    let mut specs: Vec<katme_workload::TxnSpec> = Vec::new();
+    let mut tasks: Vec<T> = Vec::with_capacity(ALLOC_BATCH);
+    let mut submitted = 0u64;
+    let mut submit_upto =
+        |target: u64,
+         submitted: &mut u64,
+         gen: &mut katme_workload::OpGenerator,
+         specs: &mut Vec<katme_workload::TxnSpec>,
+         make: &mut dyn FnMut(katme_workload::TxnSpec) -> T| {
+            while *submitted < target {
+                let n = ALLOC_BATCH.min((target - *submitted) as usize);
+                gen.batch_into(specs, n);
+                tasks.extend(specs.drain(..).map(&mut *make));
+                let accepted = runtime
+                    .submit_batch_detached_reusing(&mut tasks)
+                    .expect("alloc profile batch accepted");
+                *submitted += accepted as u64;
+            }
+            // The wait loop is allocation-free (`Runtime::completed` reads
+            // counters), so spinning here cannot pollute the measurement.
+            while runtime.completed() < target {
+                std::thread::yield_now();
+            }
+        };
+    submit_upto(warm, &mut submitted, &mut gen, &mut specs, &mut make);
+    let (allocs_before, bytes_before) = crate::alloc_count::snapshot();
+    submit_upto(
+        warm + measured,
+        &mut submitted,
+        &mut gen,
+        &mut specs,
+        &mut make,
+    );
+    let (allocs_after, bytes_after) = crate::alloc_count::snapshot();
+    AllocRow {
+        workload,
+        commits: measured,
+        allocs_per_commit: (allocs_after - allocs_before) as f64 / measured as f64,
+        bytes_per_commit: (bytes_after - bytes_before) as f64 / measured as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

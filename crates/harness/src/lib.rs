@@ -16,6 +16,7 @@
 //! | Durability (extension) | [`experiments::durability`] / `durability` | durable (group-commit WAL + checkpoints) vs. volatile throughput, with fsyncs-per-commit and mean group size |
 //! | Commit-path microbench (extension) | [`experiments::commit_path`] / `commit_path` | commit-path cost in isolation: GV1-ticked vs. GV5-lazy clock x shared vs. striped stats counters on disjoint keys, with scaling efficiency and clock advances per commit |
 //! | Hot-key MV lane (extension) | [`experiments::hot_key`] / `hot_key` | single-version vs. the multi-version optimistic lane on a write-heavy Zipfian sweep: commits/s, wasted work (aborts or re-executions) per commit, lane residency, per-bucket contention |
+//! | Allocation profile (extension) | [`experiments::alloc_profile`] / `alloc_profile` | steady-state heap allocations and bytes per committed transaction on the submit→execute→commit path, per workload (read-only, read-write, MV-lane, durable), with CI budget gating |
 //!
 //! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
 //! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
@@ -29,16 +30,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod options;
 pub mod report;
 
 pub use experiments::{
-    balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation,
+    alloc_profile, balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation,
     drift_adaptation, durability, elastic_scaling, fig3_hashtable, fig4_overhead, hot_key,
-    tree_list, CommitPathRow, CostRow, DriftRow, DurabilityRow, ElasticRow, ExperimentRow, Fig4Row,
-    HotKeyRow, BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS, ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS,
-    HOT_KEY_SKEWS,
+    tree_list, AllocRow, CommitPathRow, CostRow, DriftRow, DurabilityRow, ElasticRow,
+    ExperimentRow, Fig4Row, HotKeyRow, ALLOC_BUDGETS, BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS,
+    ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS, HOT_KEY_SKEWS,
 };
 pub use options::HarnessOptions;
 pub use report::{format_throughput, print_bucket_contention, print_series_table};

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use katme_collections::{encode_op, DictOp, Dictionary, StructureKind};
+use katme_collections::{encode_op_into, DictOp, Dictionary, StructureKind};
 use katme_core::key::{BucketKeyMapper, KeyMapper};
 use katme_core::models::ExecutorModel;
 use katme_core::scheduler::SchedulerKind;
@@ -848,13 +848,16 @@ where
                             local += 1;
                         }
                     } else {
+                        // One staging buffer per producer, drained in place
+                        // by the runtime every batch — the producer loop
+                        // itself allocates nothing in steady state.
+                        let mut batch: Vec<K> = Vec::with_capacity(batch_size);
                         while run.load(Ordering::Relaxed) {
                             if let Some(ramp) = ramp {
                                 ramp_pause(ramp, started, duration);
                             }
-                            let mut batch = Vec::with_capacity(batch_size);
                             generate(batch_size, &mut batch);
-                            match runtime.submit_batch_detached(batch) {
+                            match runtime.submit_batch_detached_reusing(&mut batch) {
                                 Ok(accepted) => local += accepted as u64,
                                 Err(err) => {
                                     // Blocking submission only fails on
@@ -930,14 +933,27 @@ pub fn apply_spec(dict: &dyn Dictionary, spec: &TxnSpec) {
 /// The redo record for one generated transaction, in the collections wire
 /// codec: inserts and deletes log their `DictOp`; lookups are read-only and
 /// log nothing (their commits never wait on an fsync).
+///
+/// The returned buffer comes from the STM's payload pool
+/// ([`katme_stm::recycled_payload`]); handing it to [`crate::Durable`] and
+/// submitting completes the recycling cycle — the commit path returns it to
+/// the pool after logging, so steady-state durable submission reuses the
+/// same handful of buffers instead of allocating one per task.
 pub fn spec_payload(spec: &TxnSpec) -> Option<Vec<u8>> {
-    match spec.op {
-        OpKind::Insert => encode_op(&DictOp::Insert {
+    let op = match spec.op {
+        OpKind::Insert => DictOp::Insert {
             key: spec.key,
             value: spec.value,
-        }),
-        OpKind::Delete => encode_op(&DictOp::Remove { key: spec.key }),
-        OpKind::Lookup => None,
+        },
+        OpKind::Delete => DictOp::Remove { key: spec.key },
+        OpKind::Lookup => return None,
+    };
+    let mut out = katme_stm::recycled_payload();
+    if encode_op_into(&op, &mut out) {
+        Some(out)
+    } else {
+        katme_stm::recycle_payload(out);
+        None
     }
 }
 

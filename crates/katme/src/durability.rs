@@ -124,7 +124,7 @@ impl WalSink {
 }
 
 impl DurabilitySink for WalSink {
-    fn log_commit(&self, payload: Vec<u8>) -> u64 {
+    fn log_commit(&self, payload: &[u8]) -> u64 {
         self.wal.enqueue(payload)
     }
 
@@ -418,14 +418,14 @@ mod tests {
             for (key, value) in [(1u32, 10u64), (2, 20), (3, 30)] {
                 dict.insert(key, value);
                 let ticket = sink.log_commit(
-                    katme_collections::encode_op(&DictOp::Insert { key, value }).unwrap(),
+                    &katme_collections::encode_op(&DictOp::Insert { key, value }).unwrap(),
                 );
                 sink.wait_durable(ticket);
             }
             plane.checkpoint_now().unwrap();
             dict.remove(2);
             let ticket =
-                sink.log_commit(katme_collections::encode_op(&DictOp::Remove { key: 2 }).unwrap());
+                sink.log_commit(&katme_collections::encode_op(&DictOp::Remove { key: 2 }).unwrap());
             sink.wait_durable(ticket);
             plane.shutdown();
             let view = plane.view();
@@ -470,7 +470,7 @@ mod tests {
         dict.insert(7, 70);
         let sink = WalSink::new(Arc::clone(plane.wal()));
         let ticket = sink.log_commit(
-            katme_collections::encode_op(&DictOp::Insert { key: 7, value: 70 }).unwrap(),
+            &katme_collections::encode_op(&DictOp::Insert { key: 7, value: 70 }).unwrap(),
         );
         sink.wait_durable(ticket);
         let deadline = Instant::now() + Duration::from_secs(5);

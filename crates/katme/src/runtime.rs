@@ -502,11 +502,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// operations per batch. On failure (shutdown observed mid-batch) the
     /// [`BatchSubmitError`] reports the accepted prefix's handles and hands
     /// the rejected tasks back in submission order.
-    pub fn submit_batch(&self, tasks: Vec<T>) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
+    pub fn submit_batch(
+        &self,
+        mut tasks: Vec<T>,
+    ) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
     where
         T: KeyedTask + Clone,
     {
-        self.dispatch_batch(tasks, true, true)
+        self.dispatch_batch(&mut tasks, true, true)
             .map(|(_, handles)| handles)
     }
 
@@ -518,19 +521,36 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// taken.
     pub fn try_submit_batch(
         &self,
-        tasks: Vec<T>,
+        mut tasks: Vec<T>,
     ) -> Result<Vec<TaskHandle<R>>, BatchSubmitError<T, R>>
     where
         T: KeyedTask + Clone,
     {
-        self.dispatch_batch(tasks, true, false)
+        self.dispatch_batch(&mut tasks, true, false)
             .map(|(_, handles)| handles)
     }
 
     /// Fire-and-forget batch submission (no handle allocations) — the hot
     /// path for throughput experiments. Blocks under back-pressure; returns
     /// the number of tasks accepted (the whole batch on `Ok`).
-    pub fn submit_batch_detached(&self, tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
+    pub fn submit_batch_detached(&self, mut tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
+    where
+        T: KeyedTask + Clone,
+    {
+        self.dispatch_batch(&mut tasks, false, true)
+            .map(|(accepted, _)| accepted)
+    }
+
+    /// [`Runtime::submit_batch_detached`] that drains `tasks` in place and
+    /// leaves the emptied buffer (capacity intact) with the caller — the
+    /// zero-allocation producer loop refills and resubmits the same `Vec`
+    /// every batch instead of building a new one. On error, `tasks` may
+    /// hold the rejected remainder's buffer no longer (the rejects travel
+    /// in the returned [`BatchSubmitError`], like the consuming variant).
+    pub fn submit_batch_detached_reusing(
+        &self,
+        tasks: &mut Vec<T>,
+    ) -> Result<usize, BatchSubmitError<T, R>>
     where
         T: KeyedTask + Clone,
     {
@@ -539,11 +559,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     }
 
     /// Non-blocking [`Runtime::submit_batch_detached`].
-    pub fn try_submit_batch_detached(&self, tasks: Vec<T>) -> Result<usize, BatchSubmitError<T, R>>
+    pub fn try_submit_batch_detached(
+        &self,
+        mut tasks: Vec<T>,
+    ) -> Result<usize, BatchSubmitError<T, R>>
     where
         T: KeyedTask + Clone,
     {
-        self.dispatch_batch(tasks, false, false)
+        self.dispatch_batch(&mut tasks, false, false)
             .map(|(accepted, _)| accepted)
     }
 
@@ -552,7 +575,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     #[allow(clippy::type_complexity)]
     fn dispatch_batch(
         &self,
-        tasks: Vec<T>,
+        tasks: &mut Vec<T>,
         with_handles: bool,
         blocking: bool,
     ) -> Result<(usize, Vec<TaskHandle<R>>), BatchSubmitError<T, R>>
@@ -567,7 +590,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             return Err(BatchSubmitError {
                 accepted: 0,
                 handles: Vec::new(),
-                rejected: tasks,
+                rejected: std::mem::take(tasks),
                 error: KatmeError::ShuttingDown,
             });
         }
@@ -588,7 +611,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 // Figure 1(a): the batch executes inline in the submitting
                 // thread; one striped-counter update covers the whole batch.
                 let mut handles = Vec::with_capacity(if with_handles { total } else { 0 });
-                for task in tasks {
+                for task in tasks.drain(..) {
                     let result = self.run_inline(task);
                     if with_handles {
                         let (handle, completion) = handle_pair();
@@ -730,7 +753,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     #[allow(clippy::type_complexity)]
     fn dispatch_batch_mv(
         &self,
-        tasks: Vec<T>,
+        tasks: &mut Vec<T>,
         with_handles: bool,
         blocking: bool,
     ) -> Result<(usize, Vec<TaskHandle<R>>), BatchSubmitError<T, R>>
@@ -743,7 +766,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
 
         let mut mv_tasks: Vec<(usize, T)> = Vec::new();
         let mut rest: Vec<(usize, T)> = Vec::new();
-        for (index, task) in tasks.into_iter().enumerate() {
+        for (index, task) in tasks.drain(..).enumerate() {
             if mv.table.is_mv(task.key()) {
                 mv_tasks.push((index, task));
             } else {
@@ -758,11 +781,8 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         let rest_outcome = if rest.is_empty() {
             Ok((0, Vec::new()))
         } else {
-            self.dispatch_batch(
-                rest.into_iter().map(|(_, task)| task).collect(),
-                with_handles,
-                blocking,
-            )
+            let mut rest_tasks: Vec<T> = rest.into_iter().map(|(_, task)| task).collect();
+            self.dispatch_batch(&mut rest_tasks, with_handles, blocking)
         };
 
         // The MV block: one op per task, keyed for the range telemetry and
@@ -838,13 +858,13 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     /// Execute one task inline on the submitting thread (the no-executor
     /// model), staging its durable payload for the commit path when the
     /// durability plane is on.
-    fn run_inline(&self, task: T) -> R
+    fn run_inline(&self, mut task: T) -> R
     where
         T: KeyedTask,
     {
         let key = task.key();
         let payload = if self.durability.is_some() {
-            task.durable_payload()
+            task.take_durable_payload()
         } else {
             None
         };
@@ -855,10 +875,11 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     }
 
     /// Wrap a batch of tasks into indexed envelopes, allocating one handle
-    /// per task when requested.
+    /// per task when requested. Drains `tasks` in place so the caller's
+    /// buffer keeps its capacity for the next batch.
     fn package(
         &self,
-        tasks: Vec<T>,
+        tasks: &mut Vec<T>,
         with_handles: bool,
     ) -> (Vec<Envelope<T, R>>, Vec<TaskHandle<R>>)
     where
@@ -867,9 +888,9 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
         let durable = self.durability.is_some();
         let mut handles = Vec::with_capacity(if with_handles { tasks.len() } else { 0 });
         let envelopes = tasks
-            .into_iter()
+            .drain(..)
             .enumerate()
-            .map(|(batch_index, task)| {
+            .map(|(batch_index, mut task)| {
                 let completion = if with_handles {
                     let (handle, completion) = handle_pair();
                     handles.push(handle);
@@ -878,7 +899,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     None
                 };
                 let payload = if durable {
-                    task.durable_payload()
+                    task.take_durable_payload()
                 } else {
                     None
                 };
@@ -895,11 +916,14 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     }
 
     /// [`Runtime::package`], but producing the `(key, envelope)` pairs the
-    /// executor's batch API consumes — one pass, no intermediate `Vec`.
+    /// executor's batch API consumes — one pass, staged directly into a
+    /// buffer recycled from the executor's batch pool (see
+    /// [`katme_core::executor::Executor::recycled_batch`]), so the parallel
+    /// model's steady-state packaging allocates nothing.
     #[allow(clippy::type_complexity)]
     fn package_keyed(
         &self,
-        tasks: Vec<T>,
+        tasks: &mut Vec<T>,
         with_handles: bool,
     ) -> (Vec<(TxnKey, Envelope<T, R>)>, Vec<TaskHandle<R>>)
     where
@@ -907,41 +931,43 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
     {
         let durable = self.durability.is_some();
         let mut handles = Vec::with_capacity(if with_handles { tasks.len() } else { 0 });
-        let keyed = tasks
-            .into_iter()
-            .enumerate()
-            .map(|(batch_index, task)| {
-                let completion = if with_handles {
-                    let (handle, completion) = handle_pair();
-                    handles.push(handle);
-                    Some(completion)
-                } else {
-                    None
-                };
-                let key = task.key();
-                let payload = if durable {
-                    task.durable_payload()
-                } else {
-                    None
-                };
-                (
+        let mut keyed = self
+            .executor
+            .as_ref()
+            .map(|executor| executor.recycled_batch())
+            .unwrap_or_default();
+        keyed.reserve(tasks.len());
+        for (batch_index, mut task) in tasks.drain(..).enumerate() {
+            let completion = if with_handles {
+                let (handle, completion) = handle_pair();
+                handles.push(handle);
+                Some(completion)
+            } else {
+                None
+            };
+            let key = task.key();
+            let payload = if durable {
+                task.take_durable_payload()
+            } else {
+                None
+            };
+            keyed.push((
+                key,
+                Envelope {
                     key,
-                    Envelope {
-                        key,
-                        task,
-                        completion,
-                        batch_index,
-                        payload,
-                    },
-                )
-            })
-            .collect();
+                    task,
+                    completion,
+                    batch_index,
+                    payload,
+                },
+            ));
+        }
         (keyed, handles)
     }
 
     fn dispatch(
         &self,
-        task: T,
+        mut task: T,
         completion: Option<Completion<R>>,
         blocking: bool,
     ) -> Result<(), KatmeError>
@@ -968,7 +994,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             ExecutorModel::Centralized => {
                 let central = self.central.as_ref().expect("centralized model");
                 let payload = if self.durability.is_some() {
-                    task.durable_payload()
+                    task.take_durable_payload()
                 } else {
                     None
                 };
@@ -1006,7 +1032,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             ExecutorModel::Parallel => {
                 let executor = self.executor.as_ref().expect("parallel model");
                 let payload = if self.durability.is_some() {
-                    task.durable_payload()
+                    task.take_durable_payload()
                 } else {
                     None
                 };

@@ -29,6 +29,16 @@ pub trait KeyedTask {
     fn durable_payload(&self) -> Option<Vec<u8>> {
         None
     }
+
+    /// Consuming variant of [`KeyedTask::durable_payload`], called by the
+    /// runtime when it owns the task and will not execute it again (the
+    /// single-submission and batch paths). Tasks that *store* a payload
+    /// should override this to move it out and avoid the clone the
+    /// borrowing accessor pays (see [`Durable`]); the default delegates to
+    /// [`KeyedTask::durable_payload`].
+    fn take_durable_payload(&mut self) -> Option<Vec<u8>> {
+        self.durable_payload()
+    }
 }
 
 /// Adapter attaching an externally computed key to any payload — the escape
@@ -91,6 +101,10 @@ impl<T: KeyedTask> KeyedTask for Durable<T> {
 
     fn durable_payload(&self) -> Option<Vec<u8>> {
         self.payload.clone()
+    }
+
+    fn take_durable_payload(&mut self) -> Option<Vec<u8>> {
+        self.payload.take()
     }
 }
 

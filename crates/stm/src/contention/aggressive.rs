@@ -34,6 +34,10 @@ impl ContentionManager for Aggressive {
         Resolution::Abort
     }
 
+    fn reset(&mut self) {
+        self.conflicts_seen = 0;
+    }
+
     fn name(&self) -> &'static str {
         "Aggressive"
     }

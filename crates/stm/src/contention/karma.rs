@@ -59,6 +59,10 @@ impl ContentionManager for Karma {
         self.priority
     }
 
+    fn reset(&mut self) {
+        self.priority = 0;
+    }
+
     fn name(&self) -> &'static str {
         "Karma"
     }

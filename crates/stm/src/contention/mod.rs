@@ -117,6 +117,13 @@ pub trait ContentionManager: Send {
         0
     }
 
+    /// Forget all per-transaction state, making the instance equivalent to a
+    /// freshly built one. Called when a pooled manager is recycled for a new
+    /// logical transaction (see [`checkout`]); policies whose only state is
+    /// tuning (and the backoff RNG, whose position carries over harmlessly)
+    /// need not override it.
+    fn reset(&mut self) {}
+
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -135,6 +142,63 @@ pub fn build_kind(kind: CmKind, config: &StmConfig) -> Box<dyn ContentionManager
         CmKind::Polite => Box::new(Polite::new(backoff)),
         CmKind::Aggressive => Box::new(Aggressive::new()),
         CmKind::Timestamp => Box::new(Timestamp::new(backoff)),
+    }
+}
+
+thread_local! {
+    /// One parked manager per thread: the retry loop in [`crate::Stm`] runs
+    /// one logical transaction at a time per thread, so a single slot
+    /// suffices to make steady-state checkouts allocation-free (building a
+    /// manager also seeds its backoff RNG from the OS — far costlier than
+    /// the box itself).
+    static CM_POOL: std::cell::Cell<Option<(CmKind, Box<dyn ContentionManager>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// A contention manager checked out of the thread-local pool; derefs to
+/// [`ContentionManager`] and returns the instance on drop.
+pub struct PooledCm {
+    kind: CmKind,
+    boxed: Option<Box<dyn ContentionManager>>,
+}
+
+impl std::ops::Deref for PooledCm {
+    type Target = dyn ContentionManager;
+    fn deref(&self) -> &Self::Target {
+        self.boxed.as_deref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledCm {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.boxed.as_deref_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledCm {
+    fn drop(&mut self) {
+        if let Some(boxed) = self.boxed.take() {
+            CM_POOL.with(|slot| slot.set(Some((self.kind, boxed))));
+        }
+    }
+}
+
+/// Check the configured contention manager out of the thread-local pool,
+/// building (and later pooling) one only when the thread has none of the
+/// right kind — e.g. on first use, or when differently configured `Stm`
+/// handles interleave on one thread.
+pub fn checkout(config: &StmConfig) -> PooledCm {
+    let kind = config.contention_manager;
+    let boxed = match CM_POOL.with(|slot| slot.take()) {
+        Some((pooled_kind, mut boxed)) if pooled_kind == kind => {
+            boxed.reset();
+            boxed
+        }
+        _ => build(config),
+    };
+    PooledCm {
+        kind,
+        boxed: Some(boxed),
     }
 }
 

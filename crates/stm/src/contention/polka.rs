@@ -89,6 +89,10 @@ impl ContentionManager for Polka {
         self.priority
     }
 
+    fn reset(&mut self) {
+        self.priority = 0;
+    }
+
     fn name(&self) -> &'static str {
         "Polka"
     }

@@ -21,19 +21,55 @@
 
 use std::cell::Cell;
 
+use parking_lot::Mutex;
+
 /// Where committed write-sets go to become durable. Implementations batch
 /// concurrent calls (group commit); `wait_durable` returns once the record
 /// identified by the ticket from `log_commit` is on stable storage.
 pub trait DurabilitySink: Send + Sync + std::fmt::Debug {
     /// Hand a serialized committed write-set to the log. Called while the
     /// committing transaction still owns its write set — must be cheap
-    /// (enqueue, not I/O) and must not block on other transactions.
+    /// (enqueue, not I/O) and must not block on other transactions. The
+    /// payload is borrowed: a sink that needs the bytes past this call
+    /// copies them into its own staging buffer, which lets the commit path
+    /// recycle the payload allocation (see [`recycle_payload`]).
     /// Returns a ticket for [`DurabilitySink::wait_durable`].
-    fn log_commit(&self, payload: Vec<u8>) -> u64;
+    fn log_commit(&self, payload: &[u8]) -> u64;
 
     /// Block until the record behind `ticket` is durable. Called after all
     /// STM locks are released.
     fn wait_durable(&self, ticket: u64);
+}
+
+/// Process-wide pool of payload buffers. A payload `Vec<u8>` travels from
+/// the producer that serialized the redo record, through the task envelope,
+/// to the worker that stages it with [`with_durable_payload`] — and once the
+/// commit path has handed the bytes to the sink, the buffer lands back here
+/// for the next producer. Global (not thread-local) because take and return
+/// happen on different threads. Bounded so a burst of oversized records
+/// cannot pin memory.
+static PAYLOAD_POOL: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+const PAYLOAD_POOL_MAX: usize = 1024;
+
+/// Take a cleared payload buffer from the pool (empty on pool miss).
+/// Producers serialize redo records into this instead of a fresh `Vec` so
+/// the steady-state submission path stops allocating payloads.
+pub fn recycled_payload() -> Vec<u8> {
+    PAYLOAD_POOL.lock().pop().unwrap_or_default()
+}
+
+/// Return a consumed payload buffer to the pool. Called by the commit path
+/// after [`DurabilitySink::log_commit`], and by the payload scope guard for
+/// payloads no transaction consumed (aborted or read-only tasks).
+pub fn recycle_payload(mut payload: Vec<u8>) {
+    payload.clear();
+    if payload.capacity() == 0 {
+        return;
+    }
+    let mut pool = PAYLOAD_POOL.lock();
+    if pool.len() < PAYLOAD_POOL_MAX {
+        pool.push(payload);
+    }
 }
 
 thread_local! {
@@ -46,15 +82,18 @@ thread_local! {
 }
 
 /// Restores the previous pending payload on drop so nested scopes and
-/// panics unwind cleanly (an unconsumed payload is simply dropped with its
-/// scope — aborted tasks log nothing).
+/// panics unwind cleanly. An unconsumed payload (the task aborted, or was
+/// read-only) is recycled into the pool rather than dropped — aborted tasks
+/// log nothing, but their buffers still come back.
 struct PayloadGuard {
     previous: Option<Vec<u8>>,
 }
 
 impl Drop for PayloadGuard {
     fn drop(&mut self) {
-        PENDING_PAYLOAD.with(|slot| slot.set(self.previous.take()));
+        if let Some(unconsumed) = PENDING_PAYLOAD.with(|slot| slot.replace(self.previous.take())) {
+            recycle_payload(unconsumed);
+        }
     }
 }
 
@@ -105,9 +144,9 @@ mod tests {
     }
 
     impl DurabilitySink for RecordingSink {
-        fn log_commit(&self, payload: Vec<u8>) -> u64 {
+        fn log_commit(&self, payload: &[u8]) -> u64 {
             let mut logged = self.logged.lock().unwrap();
-            logged.push(payload);
+            logged.push(payload.to_vec());
             logged.len() as u64
         }
 
@@ -115,6 +154,20 @@ mod tests {
             self.waits.fetch_add(1, Ordering::Relaxed);
             add_group_wait_nanos(5);
         }
+    }
+
+    #[test]
+    fn unconsumed_payloads_return_to_the_pool() {
+        // Use a recognizable capacity so the round-trip is observable even
+        // with other tests sharing the global pool.
+        let payload = Vec::with_capacity(4096);
+        with_durable_payload(payload, || {
+            // Nothing consumes the payload: the scope guard must recycle it.
+        });
+        let recycled = recycled_payload();
+        assert!(recycled.is_empty());
+        assert!(recycled.capacity() > 0, "pool returned a fresh buffer");
+        recycle_payload(recycled);
     }
 
     #[test]

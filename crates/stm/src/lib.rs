@@ -67,6 +67,7 @@ pub mod durable;
 pub mod error;
 pub mod mv;
 pub mod registry;
+mod scratch;
 pub mod stats;
 pub mod stm;
 pub mod striped;
@@ -76,7 +77,9 @@ pub mod txn;
 
 pub use config::{ClockMode, CmKind, StmConfig};
 pub use contention::{Conflict, ConflictKind, ContentionManager, Resolution};
-pub use durable::{take_group_wait_nanos, with_durable_payload, DurabilitySink};
+pub use durable::{
+    recycle_payload, recycled_payload, take_group_wait_nanos, with_durable_payload, DurabilitySink,
+};
 pub use error::{AbortCause, TxError};
 pub use mv::{run_block, run_block_with, MvBlockOutcome, MvBlockReport, MvOp};
 pub use stats::{StmStats, StmStatsSnapshot, TxnReport};

@@ -174,23 +174,17 @@ pub fn run_block_with<'a, R: Send>(
             // Redo records go to the sink in block order — commit order —
             // before ownership is released, exactly like the single-version
             // commit path: no dependent can read (and so log past) a value
-            // that is not in the log queue yet.
+            // that is not in the log queue yet. The staged payload buffers
+            // are taken, not cloned.
             let mut ticket = None;
-            let records = inner.commit_records();
             if let Some(sink) = stm.stats_ref().durability_sink() {
-                for (_, writes, payload) in &records {
-                    if *writes > 0 {
-                        if let Some(payload) = payload {
-                            ticket = Some(sink.log_commit(payload.clone()));
-                        }
-                    }
-                }
+                ticket = inner.log_redo_records(sink.as_ref());
             }
             for (_, handle, _) in &finals {
                 handle.dyn_release(owner);
             }
-            for (index, (reads, writes, _)) in records.iter().enumerate() {
-                stm.stats_ref().record_commit(*writes == 0, *reads, *writes);
+            for (index, (reads, writes)) in inner.txn_stats().enumerate() {
+                stm.stats_ref().record_commit(writes == 0, reads, writes);
                 if let Some(keyed) = stm.stats_ref().key_telemetry() {
                     if let Some(key) = ops[index].lock().key {
                         keyed.record(key, 1, 0);
@@ -221,6 +215,9 @@ pub fn run_block_with<'a, R: Send>(
         }
     };
     registry::unregister(owner);
+    // Return the block's multi-version entry boxes to the global pool so
+    // subsequent transactions refill them instead of allocating.
+    session.with_inner(|inner| inner.reclaim_boxes());
     if let Some(ticket) = durable_ticket {
         if let Some(sink) = stm.stats_ref().durability_sink() {
             sink.wait_durable(ticket);
@@ -403,9 +400,9 @@ mod tests {
     }
 
     impl DurabilitySink for RecordingSink {
-        fn log_commit(&self, payload: Vec<u8>) -> u64 {
+        fn log_commit(&self, payload: &[u8]) -> u64 {
             let mut records = self.records.lock();
-            records.push(payload);
+            records.push(payload.to_vec());
             records.len() as u64
         }
         fn wait_durable(&self, _ticket: u64) {}

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::TxError;
+use crate::scratch::{self, WriteSet};
 use crate::tvar::{TVar, TVarDyn, TVarId};
 use crate::txn::WriteEntryDyn;
 
@@ -72,7 +73,9 @@ struct TxnState {
     reads: u64,
     writes: u64,
     /// Staged redo record of the latest execution, logged at block publish.
-    payload: Option<Vec<u8>>,
+    /// A `Cell` so the publish path can *take* it (no clone) while the
+    /// variable handles borrowed from the same session stay live.
+    payload: std::cell::Cell<Option<Vec<u8>>>,
 }
 
 pub(crate) struct SessionInner {
@@ -114,7 +117,7 @@ impl MvSession {
         txn.deps.clear();
         txn.reads = 0;
         txn.writes = 0;
-        txn.payload = None;
+        txn.payload.set(None);
     }
 
     /// Resolve a read by block transaction `txn_idx`: the write of the
@@ -208,41 +211,44 @@ impl MvSession {
     /// Record the committed write set of the latest execution of `txn_idx`
     /// into multi-version memory (replacing the previous incarnation's
     /// entries) together with its staged durability payload.
-    pub(crate) fn record(
-        &self,
-        txn_idx: u32,
-        write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
-        payload: Option<Vec<u8>>,
-    ) {
+    ///
+    /// The entries are *drained* out of the caller's pooled write set (its
+    /// buffers stay with the worker thread); boxes displaced from a previous
+    /// incarnation are parked on the global return lane for reuse.
+    pub(crate) fn record(&self, txn_idx: u32, write_set: &mut WriteSet, payload: Option<Vec<u8>>) {
         let mut inner = self.inner.lock();
         let incarnation = inner.txns[txn_idx as usize].executions.saturating_sub(1);
         // Drop writes from the previous incarnation that were not re-written.
         for (id, state) in inner.vars.iter_mut() {
-            if !write_set.contains_key(id) {
-                state.writes.remove(&txn_idx);
+            if write_set.get(*id).is_none() {
+                if let Some(old) = state.writes.remove(&txn_idx) {
+                    scratch::park_mv_box(old.entry);
+                }
             }
         }
         let writes = write_set.len() as u64;
-        for (id, entry) in write_set {
+        for (id, entry) in write_set.drain_entries() {
             let handle = entry.var_arc();
             let state = inner.vars.entry(id).or_insert_with(|| VarState {
                 handle,
                 base: None,
                 writes: BTreeMap::new(),
             });
-            state.writes.insert(
+            if let Some(old) = state.writes.insert(
                 txn_idx,
                 MvWrite {
                     incarnation,
                     estimate: false,
                     entry,
                 },
-            );
+            ) {
+                scratch::park_mv_box(old.entry);
+            }
         }
         let txn = &mut inner.txns[txn_idx as usize];
         txn.writes += writes;
         if payload.is_some() {
-            txn.payload = payload;
+            txn.payload.set(payload);
         }
     }
 
@@ -336,13 +342,44 @@ impl SessionInner {
         stale
     }
 
-    /// Per-transaction `(reads, writes, payload)` triples in block order,
-    /// consumed by the publish path for statistics and the redo log.
-    pub(crate) fn commit_records(&self) -> Vec<(u64, u64, Option<Vec<u8>>)> {
-        self.txns
-            .iter()
-            .map(|txn| (txn.reads, txn.writes, txn.payload.clone()))
-            .collect()
+    /// Log every written transaction's staged redo record to `sink` in
+    /// block (= commit) order, *taking* the payload buffers instead of
+    /// cloning them. Returns the last ticket issued, if any.
+    ///
+    /// Takes `&self` (payloads live in `Cell`s) so the caller can hold the
+    /// borrowed variable handles from [`SessionInner::final_writes`] across
+    /// the call — the log must be appended before ownership is released.
+    pub(crate) fn log_redo_records(
+        &self,
+        sink: &dyn crate::durable::DurabilitySink,
+    ) -> Option<u64> {
+        let mut ticket = None;
+        for txn in &self.txns {
+            if txn.writes > 0 {
+                if let Some(payload) = txn.payload.take() {
+                    ticket = Some(sink.log_commit(&payload));
+                    crate::durable::recycle_payload(payload);
+                }
+            }
+        }
+        ticket
+    }
+
+    /// Per-transaction `(reads, writes)` pairs in block order, consumed by
+    /// the publish path for statistics.
+    pub(crate) fn txn_stats(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.txns.iter().map(|txn| (txn.reads, txn.writes))
+    }
+
+    /// Park every multi-version entry box on the global return lane and
+    /// drop the per-variable state — called once the block has published,
+    /// so the boxes recycle into thread arenas instead of being freed.
+    pub(crate) fn reclaim_boxes(&mut self) {
+        for (_, state) in self.vars.drain() {
+            for (_, write) in state.writes {
+                scratch::park_mv_box(write.entry);
+            }
+        }
     }
 }
 
@@ -396,11 +433,9 @@ pub(crate) fn read_active<T: Send + Sync + 'static>(var: &TVar<T>) -> Result<Arc
 }
 
 /// Record the committing transaction's write set into the active session
-/// instead of running the single-version publish protocol.
-pub(crate) fn record_active(
-    write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
-    payload: Option<Vec<u8>>,
-) {
+/// instead of running the single-version publish protocol. Drains the
+/// entries out of the pooled write set, leaving its buffers intact.
+pub(crate) fn record_active(write_set: &mut WriteSet, payload: Option<Vec<u8>>) {
     let (session, txn_idx) = ACTIVE.with(|slot| {
         let borrow = slot.borrow();
         let active = borrow.as_ref().expect("no active MV session");

@@ -82,14 +82,43 @@ fn local_shard() -> &'static Shard {
     &REGISTRY[thread_stripe() & (REGISTRY_SHARDS - 1)]
 }
 
-/// Register a transaction and return its shared metadata handle.
+thread_local! {
+    /// One finished transaction's metadata allocation parked for reuse: the
+    /// retry loop in [`crate::Stm`] registers one transaction at a time per
+    /// thread, so a single slot makes steady-state registration
+    /// allocation-free.
+    static SHARED_CACHE: std::cell::Cell<Option<Arc<TxnShared>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Register a transaction and return its shared metadata handle, reusing
+/// the thread's parked allocation when one is available.
 pub fn register(txn_id: u64, start_ts: u64) -> Arc<TxnShared> {
-    let shared = Arc::new(TxnShared::new(start_ts));
+    let shared = match SHARED_CACHE.with(|slot| slot.take()) {
+        Some(recycled) => {
+            recycled.set_priority(0);
+            recycled.set_start_ts(start_ts);
+            recycled
+        }
+        None => Arc::new(TxnShared::new(start_ts)),
+    };
     let mut guard = local_shard().write();
     guard
         .get_or_insert_with(HashMap::new)
         .insert(txn_id, Arc::clone(&shared));
     shared
+}
+
+/// Offer a finished (already unregistered) transaction's metadata handle
+/// back to the thread's cache. Accepted only when the caller holds the last
+/// reference: an enemy that cloned the handle out of the registry must keep
+/// observing the *old* transaction's values, never a recycled successor's.
+/// (After [`unregister`] the map holds no clone, so the count can only
+/// decrease — the check cannot race into a false positive.)
+pub fn recycle(shared: Arc<TxnShared>) {
+    if Arc::strong_count(&shared) == 1 {
+        SHARED_CACHE.with(|slot| slot.set(Some(shared)));
+    }
 }
 
 /// Remove a transaction from the registry (on commit or final abort).

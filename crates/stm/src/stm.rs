@@ -114,7 +114,11 @@ impl Stm {
         let txn_id = clock::next_txn_id();
         let start_ts = clock::now();
         let shared = registry::register(txn_id, start_ts);
-        let mut cm = contention::build(&self.config);
+        let mut cm = contention::checkout(&self.config);
+        // Pooled read/write-set buffers: cleared (cheaply) at each attempt,
+        // recycled across transactions by the guard's drop — the retry loop
+        // never re-creates scratch, it re-uses it.
+        let mut scratch_guard = crate::scratch::ScratchGuard::acquire();
         let mut attempts: u64 = 0;
         // Resolved once per logical transaction so volatile-mode commits
         // never touch the durability OnceLock on the commit path.
@@ -129,11 +133,14 @@ impl Stm {
             attempts += 1;
             cm.on_begin_attempt();
 
+            let scratch = scratch_guard.scratch();
+            scratch.clear();
             let mut tx = Transaction::new(
                 self,
                 txn_id,
                 start_ts,
-                cm.as_mut(),
+                scratch,
+                &mut *cm,
                 &shared,
                 durability_attached,
             );
@@ -174,7 +181,6 @@ impl Stm {
                     }
                 },
                 Err(TxError::ExplicitRetry) => {
-                    drop(tx);
                     self.stats.record_explicit_retry();
                     cm.on_abort();
                     // Yield so the state we are waiting for has a chance to
@@ -183,7 +189,6 @@ impl Stm {
                 }
                 Err(err @ TxError::AttemptsExhausted { .. }) => break Err(err),
                 Err(err) => {
-                    drop(tx);
                     self.note_abort(&err);
                     cm.on_abort();
                 }
@@ -191,6 +196,7 @@ impl Stm {
         };
 
         registry::unregister(txn_id);
+        registry::recycle(shared);
         result
     }
 

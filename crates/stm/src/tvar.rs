@@ -31,6 +31,10 @@ pub(crate) struct TVarCore<T: ?Sized> {
     version: AtomicU64,
     /// Transaction currently committing this variable, or [`NO_OWNER`].
     owner: AtomicU64,
+    /// Hook receiving each displaced value snapshot on publish (see
+    /// [`TVar::with_recycler`]); `None` means displaced snapshots are simply
+    /// dropped.
+    recycle: Option<Box<dyn Fn(Arc<T>) + Send + Sync>>,
     /// The committed value. Readers take consistent snapshots by checking the
     /// version stamp around the read; writers replace the whole `Arc`.
     value: RwLock<Arc<T>>,
@@ -79,7 +83,32 @@ impl<T> TVar<T> {
                 id: clock::next_tvar_id(),
                 version: AtomicU64::new(0),
                 owner: AtomicU64::new(NO_OWNER),
+                recycle: None,
                 value: RwLock::new(value),
+            }),
+        }
+    }
+
+    /// Create a transactional variable whose displaced snapshots are handed
+    /// to `recycle` instead of being dropped on the commit path.
+    ///
+    /// Every commit of a clone-on-write structure retires one snapshot; a
+    /// recycler that reclaims the backing buffer when it holds the last
+    /// reference (via [`Arc::into_inner`]) turns that retirement into pool
+    /// refill instead of allocator traffic. The hook runs on the committing
+    /// thread after the new value is visible, while per-variable ownership is
+    /// still held — it must be cheap and must not touch the STM.
+    pub fn with_recycler(value: T, recycle: impl Fn(Arc<T>) + Send + Sync + 'static) -> Self
+    where
+        T: Send + Sync,
+    {
+        TVar {
+            core: Arc::new(TVarCore {
+                id: clock::next_tvar_id(),
+                version: AtomicU64::new(0),
+                owner: AtomicU64::new(NO_OWNER),
+                recycle: Some(Box::new(recycle)),
+                value: RwLock::new(Arc::new(value)),
             }),
         }
     }
@@ -109,6 +138,21 @@ impl<T> TVar<T> {
             }
             std::hint::spin_loop();
         }
+    }
+
+    /// Replace the committed value outside of any transaction, returning the
+    /// displaced snapshot.
+    ///
+    /// This bypasses the commit protocol entirely: no ownership is taken, no
+    /// conflict is detected, the version stamp does not move, and the
+    /// recycler hook does not run. It is only sound when the caller is the
+    /// sole user of the variable — the intended use is a linked structure
+    /// severing its links in `Drop`, where freeing a long `Arc` chain
+    /// recursively would overflow the stack and the structure instead
+    /// detaches each node's tail before the node itself drops.
+    pub fn replace_now(&self, value: T) -> Arc<T> {
+        let mut slot = self.core.value.write();
+        std::mem::replace(&mut *slot, Arc::new(value))
     }
 
     pub(crate) fn core(&self) -> &Arc<TVarCore<T>> {
@@ -180,11 +224,17 @@ impl<T> TVarCore<T> {
     /// Publish a new value with the given commit timestamp. The caller must
     /// hold ownership.
     pub(crate) fn publish(&self, value: Arc<T>, commit_ts: u64) {
-        {
+        let displaced = {
             let mut slot = self.value.write();
-            *slot = value;
-        }
+            std::mem::replace(&mut *slot, value)
+        };
         self.version.store(commit_ts, Ordering::Release);
+        // The displaced snapshot is handed over (or dropped) outside the
+        // value lock, so a slow recycler never blocks readers.
+        match &self.recycle {
+            Some(recycle) => recycle(displaced),
+            None => drop(displaced),
+        }
     }
 }
 
@@ -290,6 +340,31 @@ mod tests {
         assert!(core.consistent_snapshot().is_none());
         core.release(9);
         assert!(core.consistent_snapshot().is_some());
+    }
+
+    #[test]
+    fn recycler_receives_displaced_snapshots() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let v = TVar::with_recycler(1u32, move |old: Arc<u32>| {
+            sink.lock().unwrap().push(*old);
+        });
+        let core = v.core();
+        assert!(core.try_acquire(4));
+        core.publish(Arc::new(2), 9);
+        core.release(4);
+        assert_eq!(*v.load(), 2);
+        assert_eq!(v.version(), 9);
+        assert_eq!(*seen.lock().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn replace_now_swaps_value_and_returns_displaced() {
+        let v = TVar::new(1u32);
+        let displaced = v.replace_now(2);
+        assert_eq!(*displaced, 1);
+        assert_eq!(*v.load(), 2);
+        assert_eq!(v.version(), 0, "replace_now bypasses the commit protocol");
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! The transaction object: read/write sets, validation and the commit
 //! protocol.
+//!
+//! The read and write sets live in a pooled, per-thread `TxnScratch`
+//! (see the private `scratch` module) borrowed for the duration of one
+//! attempt: the
+//! steady-state path touches only recycled buffers and performs no heap
+//! allocation.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -11,14 +16,9 @@ use crate::config::ClockMode;
 use crate::contention::{Conflict, ConflictKind, ContentionManager, Resolution};
 use crate::error::{AbortCause, TxError};
 use crate::registry::{self, TxnShared};
+use crate::scratch::{ReadSet, TxnScratch, WriteSet};
 use crate::stm::Stm;
-use crate::tvar::{TVar, TVarCore, TVarDyn, TVarId, NO_OWNER};
-
-/// A read-set entry: which variable was read and at which version.
-struct ReadEntry {
-    var: Arc<dyn TVarDyn>,
-    version: u64,
-}
+use crate::tvar::{TVar, TVarCore, TVarDyn, NO_OWNER};
 
 /// Type-erased write-set entry. Also the unit the multi-version lane stores
 /// in its block memory (see [`crate::mv`]), which is why it can hand out the
@@ -31,32 +31,59 @@ pub(crate) trait WriteEntryDyn: Send {
     fn value_any(&self) -> Arc<dyn Any + Send + Sync>;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Drop the held references, leaving a vacant shell that a pool (see
+    /// the private `scratch` module) can refill for a later write of the same type.
+    fn reset(&mut self);
+    /// True when [`WriteEntryDyn::reset`] has vacated this entry.
+    fn is_vacant(&self) -> bool;
 }
 
 /// Typed write-set entry holding the buffered value for one variable.
-struct TypedWrite<T: Send + Sync + 'static> {
-    core: Arc<TVarCore<T>>,
-    value: Arc<T>,
+///
+/// The fields are `Option` only so a recycled entry box can be *vacated*
+/// (both `None`, holding no stale references) while parked on a free list;
+/// a live entry in a write set always has both populated. The niche
+/// optimization makes the options free of space cost.
+pub(crate) struct TypedWrite<T: Send + Sync + 'static> {
+    pub(crate) core: Option<Arc<TVarCore<T>>>,
+    pub(crate) value: Option<Arc<T>>,
+}
+
+impl<T: Send + Sync + 'static> TypedWrite<T> {
+    pub(crate) fn value(&self) -> &Arc<T> {
+        self.value.as_ref().expect("vacated write-set entry")
+    }
+
+    fn core(&self) -> &Arc<TVarCore<T>> {
+        self.core.as_ref().expect("vacated write-set entry")
+    }
 }
 
 impl<T: Send + Sync + 'static> WriteEntryDyn for TypedWrite<T> {
     fn var(&self) -> &dyn TVarDyn {
-        self.core.as_ref()
+        self.core().as_ref()
     }
     fn var_arc(&self) -> Arc<dyn TVarDyn> {
-        Arc::clone(&self.core) as Arc<dyn TVarDyn>
+        Arc::clone(self.core()) as Arc<dyn TVarDyn>
     }
     fn publish(&self, commit_ts: u64) {
-        self.core.publish(Arc::clone(&self.value), commit_ts);
+        self.core().publish(Arc::clone(self.value()), commit_ts);
     }
     fn value_any(&self) -> Arc<dyn Any + Send + Sync> {
-        Arc::clone(&self.value) as Arc<dyn Any + Send + Sync>
+        Arc::clone(self.value()) as Arc<dyn Any + Send + Sync>
     }
     fn as_any(&self) -> &dyn Any {
         self
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn reset(&mut self) {
+        self.core = None;
+        self.value = None;
+    }
+    fn is_vacant(&self) -> bool {
+        self.core.is_none() && self.value.is_none()
     }
 }
 
@@ -87,8 +114,9 @@ pub struct Transaction<'a> {
     read_version: u64,
     /// Timestamp of the first attempt of this logical transaction.
     start_ts: u64,
-    read_set: HashMap<TVarId, ReadEntry>,
-    write_set: BTreeMap<TVarId, Box<dyn WriteEntryDyn>>,
+    /// Pooled read/write-set storage, recycled across attempts and
+    /// transactions by the retry loop in [`crate::Stm`].
+    scratch: &'a mut TxnScratch,
     cm: &'a mut dyn ContentionManager,
     shared: &'a TxnShared,
     /// Whether a durability sink was attached when the transaction started,
@@ -105,17 +133,18 @@ impl<'a> Transaction<'a> {
         stm: &'a Stm,
         id: u64,
         start_ts: u64,
+        scratch: &'a mut TxnScratch,
         cm: &'a mut dyn ContentionManager,
         shared: &'a TxnShared,
         durability_attached: bool,
     ) -> Self {
+        debug_assert!(scratch.is_clear(), "attempt must start from clear scratch");
         Transaction {
             stm,
             id,
             read_version: clock::now(),
             start_ts,
-            read_set: HashMap::new(),
-            write_set: BTreeMap::new(),
+            scratch,
             cm,
             shared,
             durability_attached,
@@ -129,12 +158,12 @@ impl<'a> Transaction<'a> {
 
     /// Number of distinct variables read so far.
     pub fn reads(&self) -> usize {
-        self.read_set.len()
+        self.scratch.reads.len()
     }
 
     /// Number of distinct variables written so far.
     pub fn writes(&self) -> usize {
-        self.write_set.len()
+        self.scratch.writes.len()
     }
 
     /// Read a transactional variable.
@@ -143,15 +172,13 @@ impl<'a> Transaction<'a> {
     /// if the transaction has already written the variable, otherwise a
     /// committed snapshot consistent with every other read performed so far.
     pub fn read<T: Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<Arc<T>, TxError> {
-        let id = var.id();
-
         // Read-your-own-writes.
-        if let Some(entry) = self.write_set.get(&id) {
+        if let Some(entry) = self.scratch.writes.get(var.id()) {
             let typed = entry
                 .as_any()
                 .downcast_ref::<TypedWrite<T>>()
                 .expect("write-set entry type mismatch for TVar id");
-            return Ok(Arc::clone(&typed.value));
+            return Ok(Arc::clone(typed.value()));
         }
 
         // Multi-version lane: inside an MV block, storage reads resolve
@@ -162,6 +189,39 @@ impl<'a> Transaction<'a> {
             return crate::mv::session::read_active(var);
         }
 
+        self.read_committed(var)
+    }
+
+    /// Read a variable and apply `f` to the value **by reference**.
+    ///
+    /// Equivalent to [`read`](Transaction::read) followed by a borrow, but
+    /// without handing an extra `Arc` clone across the call boundary: the
+    /// read-your-own-writes path borrows straight from the write set, so
+    /// `read_cloned` and friends touch no reference counts they do not need.
+    pub fn read_with<T, R>(&mut self, var: &TVar<T>, f: impl FnOnce(&T) -> R) -> Result<R, TxError>
+    where
+        T: Send + Sync + 'static,
+    {
+        if let Some(entry) = self.scratch.writes.get(var.id()) {
+            let typed = entry
+                .as_any()
+                .downcast_ref::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch for TVar id");
+            return Ok(f(typed.value()));
+        }
+        if crate::mv::session::is_active() {
+            return crate::mv::session::read_active(var).map(|value| f(&value));
+        }
+        let value = self.read_committed(var)?;
+        Ok(f(&value))
+    }
+
+    /// The committed-snapshot read path (no write-set hit, no MV lane).
+    fn read_committed<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+    ) -> Result<Arc<T>, TxError> {
+        let id = var.id();
         let core = var.core();
         let mut attempt: u32 = 0;
         loop {
@@ -169,7 +229,7 @@ impl<'a> Transaction<'a> {
                 if version > self.read_version {
                     self.extend_snapshot()?;
                 }
-                match self.read_set.get(&id) {
+                match self.scratch.reads.get(id) {
                     Some(prev) if prev.version != version => {
                         // The variable changed between two reads inside the
                         // same transaction: the snapshot is broken.
@@ -177,12 +237,10 @@ impl<'a> Transaction<'a> {
                     }
                     Some(_) => {}
                     None => {
-                        self.read_set.insert(
+                        self.scratch.reads.insert(
                             id,
-                            ReadEntry {
-                                var: Arc::clone(core) as Arc<dyn TVarDyn>,
-                                version,
-                            },
+                            Arc::clone(core) as Arc<dyn TVarDyn>,
+                            version,
                         );
                         self.record_open();
                     }
@@ -218,7 +276,7 @@ impl<'a> Transaction<'a> {
         &mut self,
         var: &TVar<T>,
     ) -> Result<T, TxError> {
-        self.read(var).map(|arc| (*arc).clone())
+        self.read_with(var, T::clone)
     }
 
     /// Buffer a write of `value` to `var`. The write becomes visible to other
@@ -238,20 +296,16 @@ impl<'a> Transaction<'a> {
         value: Arc<T>,
     ) -> Result<(), TxError> {
         let id = var.id();
-        if let Some(entry) = self.write_set.get_mut(&id) {
+        if let Some(entry) = self.scratch.writes.get_mut(id) {
             let typed = entry
                 .as_any_mut()
                 .downcast_mut::<TypedWrite<T>>()
                 .expect("write-set entry type mismatch for TVar id");
-            typed.value = value;
+            typed.value = Some(value);
         } else {
-            self.write_set.insert(
-                id,
-                Box::new(TypedWrite {
-                    core: Arc::clone(var.core()),
-                    value,
-                }),
-            );
+            self.scratch
+                .writes
+                .insert_typed(id, Arc::clone(var.core()), value);
             self.record_open();
         }
         Ok(())
@@ -280,7 +334,7 @@ impl<'a> Transaction<'a> {
     /// variable read so far.
     fn extend_snapshot(&mut self) -> Result<(), TxError> {
         let target = clock::now();
-        for entry in self.read_set.values() {
+        for entry in self.scratch.reads.iter() {
             let owner = entry.var.dyn_owner();
             if entry.var.dyn_version() != entry.version || (owner != NO_OWNER && owner != self.id) {
                 return Err(TxError::Conflict(AbortCause::ReadValidation));
@@ -296,15 +350,7 @@ impl<'a> Transaction<'a> {
     }
 
     fn resolve_conflict(&mut self, kind: ConflictKind, enemy: u64, attempt: u32) -> Resolution {
-        let conflict = Conflict {
-            kind,
-            enemy,
-            enemy_priority: registry::priority_of(enemy),
-            enemy_start_ts: registry::start_ts_of(enemy),
-            attempt,
-            my_start_ts: self.start_ts,
-        };
-        self.cm.on_conflict(&conflict)
+        resolve_conflict_with(&mut *self.cm, self.start_ts, kind, enemy, attempt)
     }
 
     fn backoff(&self, duration: Duration) {
@@ -313,11 +359,27 @@ impl<'a> Transaction<'a> {
     }
 
     /// Attempt to commit the transaction.
-    pub(crate) fn commit(mut self) -> Result<CommitInfo, TxError> {
+    pub(crate) fn commit(self) -> Result<CommitInfo, TxError> {
+        // Destructure so the write set (mutable: it is sorted, and the MV
+        // lane drains it) and the contention manager can be borrowed
+        // independently through the commit protocol.
+        let Transaction {
+            stm,
+            id,
+            read_version: _,
+            start_ts,
+            scratch,
+            cm,
+            shared: _,
+            durability_attached,
+        } = self;
+        let reads = &scratch.reads;
+        let writes = &mut scratch.writes;
+
         let info = CommitInfo {
-            reads: self.read_set.len() as u64,
-            writes: self.write_set.len() as u64,
-            read_only: self.write_set.is_empty(),
+            reads: reads.len() as u64,
+            writes: writes.len() as u64,
+            read_only: writes.is_empty(),
             mv_deferred: false,
         };
 
@@ -326,24 +388,21 @@ impl<'a> Transaction<'a> {
         // validates, possibly re-executes, and publishes the whole batch as
         // one composite commit with a deterministic order.
         if crate::mv::session::is_active() {
-            let payload = if self.durability_attached && !self.write_set.is_empty() {
+            let payload = if durability_attached && !writes.is_empty() {
                 crate::durable::take_pending_payload()
             } else {
                 None
             };
-            crate::mv::session::record_active(std::mem::take(&mut self.write_set), payload);
+            crate::mv::session::record_active(writes, payload);
             return Ok(CommitInfo {
                 mv_deferred: true,
                 ..info
             });
         }
 
-        if self.write_set.is_empty() {
-            if !self.stm.config().read_only_fast_path {
-                self.validate_read_set().map_err(|e| {
-                    self.release_owned(0);
-                    e
-                })?;
+        if writes.is_empty() {
+            if !stm.config().read_only_fast_path {
+                validate_reads(reads, id)?;
             }
             // Read-only transactions are serializable at their snapshot
             // timestamp: every read was validated (and extended) as it was
@@ -351,33 +410,35 @@ impl<'a> Transaction<'a> {
             return Ok(info);
         }
 
-        // Phase 1: acquire ownership of the write set in canonical order.
-        // (BTreeMap iteration order is ascending TVar id, which is the
-        // process-wide canonical order and prevents deadlock between
-        // concurrent committers.)
-        let vars: Vec<Arc<dyn TVarDyn>> = self.write_set.values().map(|e| e.var_arc()).collect();
+        // Phase 1: acquire ownership of the write set in canonical order
+        // (ascending TVar id — the process-wide canonical order, which
+        // prevents deadlock between concurrent committers).
+        writes.sort_canonical();
+        let count = writes.len();
         let mut acquired = 0usize;
-        for (index, var) in vars.iter().enumerate() {
+        for rank in 0..count {
             let mut attempt: u32 = 0;
             loop {
-                if var.dyn_try_acquire(self.id) {
-                    acquired = index + 1;
+                let var = writes.ranked(rank).var();
+                if var.dyn_try_acquire(id) {
+                    acquired = rank + 1;
                     break;
                 }
                 let owner = var.dyn_owner();
-                if owner == NO_OWNER || owner == self.id {
+                if owner == NO_OWNER || owner == id {
                     std::hint::spin_loop();
                     continue;
                 }
                 attempt += 1;
-                match self.resolve_conflict(ConflictKind::Acquire, owner, attempt) {
+                match resolve_conflict_with(cm, start_ts, ConflictKind::Acquire, owner, attempt) {
                     Resolution::Retry => continue,
                     Resolution::Wait(d) => {
-                        self.backoff(d);
+                        stm.stats_ref().record_backoff();
+                        pause(d);
                         continue;
                     }
                     Resolution::Abort => {
-                        self.release_owned(acquired);
+                        release_ranked(writes, acquired, id);
                         return Err(TxError::ContentionManager(AbortCause::CommitAcquire));
                     }
                 }
@@ -385,8 +446,8 @@ impl<'a> Transaction<'a> {
         }
 
         // Phase 2: validate the read set now that the write set is locked.
-        if let Err(e) = self.validate_read_set() {
-            self.release_owned(acquired);
+        if let Err(e) = validate_reads(reads, id) {
+            release_ranked(writes, acquired, id);
             return Err(e);
         }
 
@@ -401,17 +462,16 @@ impl<'a> Transaction<'a> {
         // same variable off the shared clock entirely; under GV1 the ticked
         // stamp already exceeds it unless a lazy-mode runtime sharing these
         // variables stamped ahead of the clock.
-        let watermark = self
-            .write_set
-            .values()
-            .map(|entry| entry.var().dyn_version())
+        let watermark = writes
+            .iter()
+            .map(|(_, entry)| entry.var().dyn_version())
             .max()
             .unwrap_or(0);
-        let commit_ts = match self.stm.config().clock_mode {
+        let commit_ts = match stm.config().clock_mode {
             ClockMode::Ticked => clock::tick().max(watermark + 1),
             ClockMode::Lazy => (clock::now() + 1).max(watermark + 1),
         };
-        for entry in self.write_set.values() {
+        for (_, entry) in writes.iter() {
             entry.publish(commit_ts);
         }
         // Durability hook: hand the staged payload (if any) to the sink
@@ -420,43 +480,69 @@ impl<'a> Transaction<'a> {
         // hence cannot log ahead of this one. The enqueue is cheap (no
         // I/O); the fsync wait happens below, after release. Volatile-mode
         // commits skip the sink lookups entirely via the cached bool.
-        let durable_ticket = if self.durability_attached {
-            match self.stm.stats_ref().durability_sink() {
-                Some(sink) => {
-                    crate::durable::take_pending_payload().map(|payload| sink.log_commit(payload))
-                }
+        let durable_ticket = if durability_attached {
+            match stm.stats_ref().durability_sink() {
+                Some(sink) => crate::durable::take_pending_payload().map(|payload| {
+                    let ticket = sink.log_commit(&payload);
+                    // The sink copied what it needs; the buffer goes back to
+                    // the pool for the next producer.
+                    crate::durable::recycle_payload(payload);
+                    ticket
+                }),
                 None => None,
             }
         } else {
             None
         };
-        for entry in self.write_set.values() {
-            entry.var().dyn_release(self.id);
+        for (_, entry) in writes.iter() {
+            entry.var().dyn_release(id);
         }
         if let Some(ticket) = durable_ticket {
-            if let Some(sink) = self.stm.stats_ref().durability_sink() {
+            if let Some(sink) = stm.stats_ref().durability_sink() {
                 sink.wait_durable(ticket);
             }
         }
         Ok(info)
     }
+}
 
-    fn validate_read_set(&self) -> Result<(), TxError> {
-        for entry in self.read_set.values() {
-            let owner = entry.var.dyn_owner();
-            if entry.var.dyn_version() != entry.version || (owner != NO_OWNER && owner != self.id) {
-                return Err(TxError::Conflict(AbortCause::CommitValidation));
-            }
+/// Consult the contention manager about a conflict (free function so the
+/// commit path can borrow the write set and the manager independently).
+fn resolve_conflict_with(
+    cm: &mut dyn ContentionManager,
+    my_start_ts: u64,
+    kind: ConflictKind,
+    enemy: u64,
+    attempt: u32,
+) -> Resolution {
+    let conflict = Conflict {
+        kind,
+        enemy,
+        enemy_priority: registry::priority_of(enemy),
+        enemy_start_ts: registry::start_ts_of(enemy),
+        attempt,
+        my_start_ts,
+    };
+    cm.on_conflict(&conflict)
+}
+
+/// Commit-time read-set validation: every read variable must still be at its
+/// recorded version and unowned (or owned by us).
+fn validate_reads(reads: &ReadSet, me: u64) -> Result<(), TxError> {
+    for entry in reads.iter() {
+        let owner = entry.var.dyn_owner();
+        if entry.var.dyn_version() != entry.version || (owner != NO_OWNER && owner != me) {
+            return Err(TxError::Conflict(AbortCause::CommitValidation));
         }
-        Ok(())
     }
+    Ok(())
+}
 
-    /// Release ownership of the first `count` write-set entries (in canonical
-    /// order), used when abandoning a partially acquired commit.
-    fn release_owned(&self, count: usize) {
-        for entry in self.write_set.values().take(count) {
-            entry.var().dyn_release(self.id);
-        }
+/// Release ownership of the first `count` write-set entries (in canonical
+/// order), used when abandoning a partially acquired commit.
+fn release_ranked(writes: &WriteSet, count: usize, me: u64) {
+    for rank in 0..count {
+        writes.ranked(rank).var().dyn_release(me);
     }
 }
 
@@ -517,11 +603,76 @@ mod tests {
     }
 
     #[test]
+    fn read_with_borrows_buffered_and_committed_values() {
+        let stm = Stm::default();
+        let v = TVar::new(String::from("committed"));
+        stm.atomically(|tx| {
+            // Committed-snapshot path.
+            let len = tx.read_with(&v, |s| s.len())?;
+            assert_eq!(len, "committed".len());
+            // Read-your-own-writes path borrows straight from the write set.
+            tx.write(&v, String::from("buffered"))?;
+            let first = tx.read_with(&v, |s| s.chars().next())?;
+            assert_eq!(first, Some('b'));
+            Ok(())
+        });
+        assert_eq!(*v.load(), "buffered");
+    }
+
+    #[test]
     fn modify_applies_function() {
         let stm = Stm::default();
         let v = TVar::new(10i64);
         stm.atomically(|tx| tx.modify(&v, |x| x * 3));
         assert_eq!(*v.load(), 30);
+    }
+
+    #[test]
+    fn panicking_handler_returns_cleared_scratch_to_the_pool() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stm.atomically(|tx| -> Result<u32, TxError> {
+                tx.read(&v)?;
+                tx.write(&v, 1)?;
+                panic!("handler dies mid-transaction");
+            })
+        }));
+        assert!(result.is_err(), "the panic propagates");
+        // The unwind ran the scratch guard's drop: no read entry, write
+        // entry or stale Arc reference may survive into the pool.
+        assert!(crate::scratch::pooled_scratch_is_clear());
+        // The uncommitted write vanished and this thread's STM still works.
+        assert_eq!(stm.atomically(|tx| tx.read(&v).map(|x| *x)), 0);
+        assert!(crate::scratch::pooled_scratch_is_clear());
+    }
+
+    #[test]
+    fn repeatedly_aborting_transaction_leaves_the_pool_clear() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        let attempts = std::cell::Cell::new(0u32);
+        let seen = stm.atomically(|tx| {
+            let seen = *tx.read(&v)?;
+            let attempt = attempts.get();
+            attempts.set(attempt + 1);
+            if attempt < 3 {
+                // Scripted conflict: an inner transaction (which runs on a
+                // fresh scratch — the outer one is checked out) bumps the
+                // variable this attempt already read, so the outer commit
+                // fails validation and retries on recycled scratch.
+                stm.atomically(|inner| inner.modify(&v, |x| x + 1));
+            }
+            tx.write(&v, seen + 10)?;
+            Ok(seen)
+        });
+        assert!(
+            attempts.get() >= 4,
+            "three scripted conflicts force retries, got {}",
+            attempts.get()
+        );
+        assert_eq!(seen + 10, stm.read_now(&v));
+        assert!(crate::scratch::pooled_scratch_is_clear());
     }
 
     #[test]
