@@ -11,8 +11,8 @@ use katme_collections::StructureKind;
 use katme_harness::experiments::executor_models;
 use katme_harness::{
     alloc_profile, balance_table, batch_dispatch, commit_path, contention_table, cost_adaptation,
-    durability, fig3_hashtable, fig4_overhead, format_throughput, hot_key, print_series_table,
-    tree_list, HarnessOptions,
+    durability, fig3_hashtable, fig4_overhead, format_throughput, hot_key, net_service,
+    print_series_table, tree_list, HarnessOptions,
 };
 use katme_workload::DistributionKind;
 
@@ -157,4 +157,30 @@ fn main() {
         }
         None => println!("  (counting allocator shim not installed; profile unavailable)"),
     }
+
+    println!("\n################ Network service plane ################");
+    let net = net_service(&opts);
+    for row in &net.depths {
+        println!(
+            "  depth {:>3} x {} conns: {} commands/s, p50 {:.0} us, p99 {:.0} us, \
+             {} reconnects",
+            row.depth,
+            row.connections,
+            format_throughput(row.commands_per_sec),
+            row.p50_us,
+            row.p99_us,
+            row.reconnects
+        );
+    }
+    println!(
+        "  pipelining speedup {:.2}x; pushback {} busy of {} sent; slow reader \
+         in-flight {}/{} in-order {}; elastic workers {:?}",
+        net.depth_speedup(),
+        net.pushback.busy,
+        net.pushback.sent,
+        net.slow_reader.peak_inflight,
+        net.slow_reader.window,
+        net.slow_reader.in_order,
+        net.elastic.worker_trace
+    );
 }

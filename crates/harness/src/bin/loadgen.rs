@@ -1,0 +1,193 @@
+//! Open-loop load generator for the KATME network service plane.
+//!
+//! Drives pipelined GET/PUT bursts over TCP against a `katme-server`
+//! instance and reports aggregate throughput, burst round-trip latency
+//! percentiles, and pushback counts.
+//!
+//! ```text
+//! cargo run --release -p katme-harness --bin loadgen -- --conns 8 --depth 64 --seconds 5
+//! ```
+//!
+//! Without `--addr` it spins up its own loopback server (handy for
+//! single-command benchmarking); with `--addr HOST:PORT` it targets an
+//! already-running service, making it a standalone wire-protocol client.
+//!
+//! This binary has its own flags (the shared `HarnessOptions` parser
+//! rejects anything it does not know about).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use katme::Katme;
+use katme_harness::{drive_connection, percentile_us, ConnStats};
+use katme_server::ServeExt;
+
+struct LoadgenOptions {
+    addr: Option<String>,
+    conns: usize,
+    depth: usize,
+    seconds: f64,
+    workers: usize,
+}
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--conns N] [--depth N] \
+     [--seconds S] [--workers N]\n\
+     \n\
+     --addr     target an already-running katme-server (default: spin up a\n\
+     \x20          loopback server with --workers workers)\n\
+     --conns    concurrent connections (default 4)\n\
+     --depth    pipeline depth, commands per burst (default 16)\n\
+     --seconds  run length (default 2)\n\
+     --workers  executor workers for the built-in loopback server (default 4)";
+
+impl LoadgenOptions {
+    fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = LoadgenOptions {
+            addr: None,
+            conns: 4,
+            depth: 16,
+            seconds: 2.0,
+            workers: 4,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut value = |flag: &str| {
+                iter.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+            };
+            match arg {
+                "--addr" => opts.addr = Some(value(arg)?),
+                "--conns" => {
+                    opts.conns = value(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --conns: {e}\n{USAGE}"))?
+                }
+                "--depth" => {
+                    opts.depth = value(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --depth: {e}\n{USAGE}"))?
+                }
+                "--seconds" => {
+                    opts.seconds = value(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --seconds: {e}\n{USAGE}"))?
+                }
+                "--workers" => {
+                    opts.workers = value(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}\n{USAGE}"))?
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+            }
+        }
+        if opts.conns == 0 || opts.depth == 0 || opts.seconds <= 0.0 || opts.workers == 0 {
+            return Err(format!("all knobs must be positive\n{USAGE}"));
+        }
+        Ok(opts)
+    }
+}
+
+fn main() {
+    let opts = match LoadgenOptions::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Either target the given service or stand up a loopback one to beat on.
+    let (server, addr) = match &opts.addr {
+        Some(addr) => {
+            let addr: SocketAddr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+                .unwrap_or_else(|| {
+                    eprintln!("cannot resolve --addr {addr}");
+                    std::process::exit(2);
+                });
+            (None, addr)
+        }
+        None => {
+            let server = Katme::builder()
+                .workers(opts.workers)
+                .key_range(0, u32::MAX as u64)
+                .serve("127.0.0.1:0")
+                .unwrap_or_else(|error| {
+                    eprintln!("cannot bind loopback server: {error}");
+                    std::process::exit(2);
+                });
+            let addr = server.local_addr();
+            println!("loopback server on {addr} ({} workers)", opts.workers);
+            (Some(server), addr)
+        }
+    };
+
+    println!(
+        "driving {addr}: {} connections x depth {} for {:.1}s",
+        opts.conns, opts.depth, opts.seconds
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..opts.conns)
+        .map(|conn| {
+            let stop = Arc::clone(&stop);
+            let depth = opts.depth;
+            thread::spawn(move || drive_connection(addr, depth, conn, &stop))
+        })
+        .collect();
+    let started = Instant::now();
+    thread::sleep(Duration::from_secs_f64(opts.seconds));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total = ConnStats::default();
+    for handle in handles {
+        match handle.join().expect("connection thread") {
+            Ok(stats) => {
+                total.commands += stats.commands;
+                total.busy += stats.busy;
+                total.reconnects += stats.reconnects;
+                total.burst_us.extend(stats.burst_us);
+            }
+            Err(error) => {
+                eprintln!("connection failed: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    total.burst_us.sort_unstable();
+
+    println!(
+        "{:>12} commands  {:>12.0} commands/s",
+        total.commands,
+        total.commands as f64 / elapsed
+    );
+    println!(
+        "{:>12.0} us p50    {:>12.0} us p99 (burst round trip)",
+        percentile_us(&total.burst_us, 0.50),
+        percentile_us(&total.burst_us, 0.99)
+    );
+    println!(
+        "{:>12} -BUSY     {:>12} reconnects",
+        total.busy, total.reconnects
+    );
+    if let Some(server) = server {
+        let net = server.net();
+        println!(
+            "server: {} accepted, {} commands, {} replies, {} bytes in, {} bytes out, peak inflight {}",
+            net.accepted, net.commands, net.replies, net.bytes_in, net.bytes_out, net.peak_inflight
+        );
+        server.shutdown();
+    }
+}

@@ -1,0 +1,124 @@
+//! Network service plane (extension experiment): drives the executor
+//! through `katme-server`'s pipelined wire protocol over loopback TCP and
+//! *gates* on the service-plane acceptance criteria:
+//!
+//! - pipelining pays: depth-64 throughput ≥ 3x depth-1 at equal connections;
+//! - queue-full pushback is bounded and lossless: every flooded command is
+//!   answered `:n` or `-BUSY`, never dropped, and the server's own `-BUSY`
+//!   counter agrees with the client's;
+//! - a slow reader cannot balloon server memory: decoded-but-unreplied
+//!   commands stay within the per-connection in-flight window, and replies
+//!   come back in submission order;
+//! - the elastic pool rides a socket arrival ramp: grows through the burst
+//!   third, sheds workers by the final quiet sample.
+//!
+//! ```text
+//! cargo run --release -p katme-harness --bin net_service -- --smoke
+//! ```
+//!
+//! Any violated criterion fails the run with exit code 1, so CI catches
+//! service-plane regressions the same way it catches broken tests.
+
+use katme_harness::{net_service, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!("== Network service plane: pipelined wire protocol over loopback ==");
+    let report = net_service(&opts);
+
+    println!(
+        "{:>8}{:>8}{:>12}{:>14}{:>12}{:>12}{:>12}",
+        "depth", "conns", "commands", "commands/s", "p50(us)", "p99(us)", "reconnects"
+    );
+    for row in &report.depths {
+        println!(
+            "{:>8}{:>8}{:>12}{:>14.0}{:>12.0}{:>12.0}{:>12}",
+            row.depth,
+            row.connections,
+            row.commands,
+            row.commands_per_sec,
+            row.p50_us,
+            row.p99_us,
+            row.reconnects
+        );
+    }
+    let speedup = report.depth_speedup();
+    println!("pipelining speedup (depth 64 vs 1): {speedup:.2}x");
+
+    let pb = &report.pushback;
+    println!(
+        "\npushback: sent {} ok {} busy {} server-busy {} peak-inflight {}",
+        pb.sent, pb.ok, pb.busy, pb.server_busy, pb.peak_inflight
+    );
+    let sr = &report.slow_reader;
+    println!(
+        "slow reader: sent {} received {} in-order {} peak-inflight {} window {}",
+        sr.sent, sr.received, sr.in_order, sr.peak_inflight, sr.window
+    );
+    let el = &report.elastic;
+    println!(
+        "elastic ramp: workers {:?} (burst {} final {} of max {}), {} commands",
+        el.worker_trace,
+        el.burst_workers(),
+        el.final_workers(),
+        el.max_workers,
+        el.commands
+    );
+
+    let mut failures = Vec::new();
+    if speedup < 3.0 {
+        failures.push(format!("pipelining speedup {speedup:.2}x < 3.0x"));
+    }
+    if pb.busy == 0 {
+        failures.push("flood produced no -BUSY pushback".to_string());
+    }
+    if pb.ok + pb.busy != pb.sent {
+        failures.push(format!(
+            "pushback lost commands: ok {} + busy {} != sent {}",
+            pb.ok, pb.busy, pb.sent
+        ));
+    }
+    if pb.server_busy != pb.busy {
+        failures.push(format!(
+            "server -BUSY counter {} disagrees with client {}",
+            pb.server_busy, pb.busy
+        ));
+    }
+    if sr.received != sr.sent {
+        failures.push(format!(
+            "slow reader lost replies: {} of {}",
+            sr.received, sr.sent
+        ));
+    }
+    if !sr.in_order {
+        failures.push("slow-reader replies out of order".to_string());
+    }
+    if sr.peak_inflight > sr.window {
+        failures.push(format!(
+            "in-flight {} exceeded window {}",
+            sr.peak_inflight, sr.window
+        ));
+    }
+    if el.burst_workers() <= 1 {
+        failures.push("elastic pool never grew through the burst".to_string());
+    }
+    if el.final_workers() >= el.burst_workers() {
+        failures.push(format!(
+            "elastic pool did not shed: burst {} final {}",
+            el.burst_workers(),
+            el.final_workers()
+        ));
+    }
+
+    println!(
+        "\n(all four phases run against fresh loopback servers on ephemeral ports; the\n\
+         depth sweep reconnects periodically to exercise connection churn, and the\n\
+         elastic phase paces an open-loop quiet→burst→quiet duty cycle per connection.)"
+    );
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("SERVICE-PLANE REGRESSION: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1175,7 +1175,7 @@ pub struct AllocRow {
 pub const ALLOC_BUDGETS: [(&str, f64); 4] = [
     ("read-only", 0.15),
     ("read-write", 1.2),
-    ("mv-lane", 7.0),
+    ("mv-lane", 2.0),
     ("durable", 3.0),
 ];
 

@@ -17,6 +17,7 @@
 //! | Commit-path microbench (extension) | [`experiments::commit_path`] / `commit_path` | commit-path cost in isolation: GV1-ticked vs. GV5-lazy clock x shared vs. striped stats counters on disjoint keys, with scaling efficiency and clock advances per commit |
 //! | Hot-key MV lane (extension) | [`experiments::hot_key`] / `hot_key` | single-version vs. the multi-version optimistic lane on a write-heavy Zipfian sweep: commits/s, wasted work (aborts or re-executions) per commit, lane residency, per-bucket contention |
 //! | Allocation profile (extension) | [`experiments::alloc_profile`] / `alloc_profile` | steady-state heap allocations and bytes per committed transaction on the submit→execute→commit path, per workload (read-only, read-write, MV-lane, durable), with CI budget gating |
+//! | Network service (extension) | [`net::net_service`] / `net_service` | loopback TCP service plane: pipeline-depth throughput sweep with connection churn, queue-full `-BUSY` pushback, slow-reader in-flight bounding, and an elastic worker pool riding a socket arrival ramp |
 //!
 //! Every binary accepts `--seconds`, `--reps`, `--max-threads`, `--producers`
 //! and `--quick`; see [`options::HarnessOptions`]. The defaults are sized so
@@ -32,6 +33,7 @@
 
 pub mod alloc_count;
 pub mod experiments;
+pub mod net;
 pub mod options;
 pub mod report;
 
@@ -41,6 +43,11 @@ pub use experiments::{
     tree_list, AllocRow, CommitPathRow, CostRow, DriftRow, DurabilityRow, ElasticRow,
     ExperimentRow, Fig4Row, HotKeyRow, ALLOC_BUDGETS, BATCH_SIZES, COST_WINDOWS, DRIFT_WINDOWS,
     ELASTIC_QUIET_INTENSITY, ELASTIC_WINDOWS, HOT_KEY_SKEWS,
+};
+pub use net::{
+    drive_connection, net_service, percentile_us, ConnStats, ElasticNetSummary, NetRow,
+    NetServiceReport, PushbackSummary, SlowReaderSummary, NET_CONNECTIONS, NET_DEPTHS,
+    NET_ELASTIC_SAMPLES,
 };
 pub use options::HarnessOptions;
 pub use report::{format_throughput, print_bucket_contention, print_series_table};

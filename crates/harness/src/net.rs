@@ -1,0 +1,513 @@
+//! **Network service plane** experiments: drive the KATME executor through
+//! `katme-server`'s pipelined wire protocol over loopback TCP.
+//!
+//! Four phases, each against a fresh server on an ephemeral port:
+//!
+//! 1. **Depth sweep** — [`NET_CONNECTIONS`] concurrent connections issue
+//!    pipelined bursts at depths [`NET_DEPTHS`], with periodic reconnects
+//!    (connection churn). Pipelining amortises the per-round-trip syscall
+//!    cost, so commands/s should grow steeply with depth.
+//! 2. **Pushback** — a single worker behind a tiny executor queue and a
+//!    per-command busy-spin; a flooding client must see `-BUSY` on the
+//!    rejected tail of each burst while every accepted command completes.
+//! 3. **Slow reader** — a client pipelines a long PUT/GET script and only
+//!    starts reading after a delay; the server's per-connection in-flight
+//!    window must bound decoded-but-unreplied commands, and the replies
+//!    must come back in submission order.
+//! 4. **Elastic ramp** — an elastic runtime (`1..=max` workers) under a
+//!    quiet → burst → quiet socket arrival ramp; the active-worker trace
+//!    should grow through the burst and shed afterwards.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use katme::{ArrivalRamp, Katme, SchedulerKind};
+use katme_server::{Client, Command, Reply, ServeExt, ServerConfig};
+
+use crate::HarnessOptions;
+
+/// Pipeline depths swept by the depth phase.
+pub const NET_DEPTHS: [usize; 3] = [1, 8, 64];
+
+/// Concurrent client connections in the depth sweep and the elastic ramp.
+pub const NET_CONNECTIONS: usize = 4;
+
+/// Active-worker samples taken across the elastic socket ramp.
+pub const NET_ELASTIC_SAMPLES: usize = 9;
+
+/// Bursts between reconnects in the depth sweep (connection churn).
+const RECONNECT_EVERY: u64 = 64;
+
+/// Quiet-phase arrival intensity for the elastic socket ramp.
+const NET_QUIET_INTENSITY: f64 = 0.05;
+
+const KEY_SPACE: u64 = u32::MAX as u64;
+
+/// Per-connection tallies from [`drive_connection`].
+#[derive(Debug, Clone, Default)]
+pub struct ConnStats {
+    /// Replies received (commands completed round-trip).
+    pub commands: u64,
+    /// Of those, `-BUSY` pushback replies.
+    pub busy: u64,
+    /// Reconnects performed (connection churn).
+    pub reconnects: u64,
+    /// Burst round-trip latency samples, in microseconds.
+    pub burst_us: Vec<u64>,
+}
+
+/// Drive one connection with pipelined GET/PUT bursts of `depth` commands
+/// until `stop` is raised, reconnecting periodically (connection churn).
+///
+/// Shared by the depth sweep and the `loadgen` binary.
+pub fn drive_connection(
+    addr: SocketAddr,
+    depth: usize,
+    conn_id: usize,
+    stop: &AtomicBool,
+) -> io::Result<ConnStats> {
+    let mut client = Client::connect(addr)?;
+    let mut stats = ConnStats::default();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((conn_id as u64) << 17);
+    let mut bursts = 0u64;
+    let mut cmds = Vec::with_capacity(depth);
+    while !stop.load(Ordering::Relaxed) {
+        cmds.clear();
+        for _ in 0..depth {
+            rng = rng
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let key = (rng >> 33) as u32;
+            cmds.push(if rng & 1 == 0 {
+                Command::Put { key, value: rng }
+            } else {
+                Command::Get { key }
+            });
+        }
+        let start = Instant::now();
+        client.send(&cmds)?;
+        let replies = client.recv_n(depth)?;
+        stats.burst_us.push(start.elapsed().as_micros() as u64);
+        stats.commands += replies.len() as u64;
+        stats.busy += replies
+            .iter()
+            .filter(|reply| matches!(reply, Reply::Busy))
+            .count() as u64;
+        bursts += 1;
+        if bursts % RECONNECT_EVERY == 0 {
+            client = Client::connect(addr)?;
+            stats.reconnects += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Percentile (by nearest rank) of an ascending-sorted microsecond series.
+pub fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx] as f64
+}
+
+/// One row of the pipeline-depth sweep.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Pipeline depth (commands per burst).
+    pub depth: usize,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Commands completed round-trip across all connections.
+    pub commands: u64,
+    /// Aggregate command throughput.
+    pub commands_per_sec: f64,
+    /// Median burst round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile burst round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// Reconnects performed across all connections (churn).
+    pub reconnects: u64,
+}
+
+/// Pushback phase outcome: a flooded single-worker server must reject the
+/// overflow with `-BUSY` while completing everything it accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct PushbackSummary {
+    /// Commands sent by the flooding client.
+    pub sent: u64,
+    /// Commands that completed (non-error replies).
+    pub ok: u64,
+    /// `-BUSY` pushback replies.
+    pub busy: u64,
+    /// Server-side `-BUSY` counter (should match `busy`).
+    pub server_busy: u64,
+    /// Peak decoded-but-unreplied commands observed server-side.
+    pub peak_inflight: u64,
+}
+
+/// Slow-reader phase outcome: the in-flight window must bound server-side
+/// buffering and per-connection order must survive windowed batching.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowReaderSummary {
+    /// Commands pipelined before the client read anything.
+    pub sent: u64,
+    /// Replies eventually received.
+    pub received: u64,
+    /// Whether every reply matched the submission-order expectation.
+    pub in_order: bool,
+    /// Peak decoded-but-unreplied commands observed server-side.
+    pub peak_inflight: u64,
+    /// Configured per-connection in-flight window.
+    pub window: u64,
+}
+
+/// Elastic ramp outcome: the active-worker trace across the socket ramp.
+#[derive(Debug, Clone)]
+pub struct ElasticNetSummary {
+    /// Active workers sampled at [`NET_ELASTIC_SAMPLES`] window boundaries.
+    pub worker_trace: Vec<usize>,
+    /// Commands completed round-trip across the whole ramp.
+    pub commands: u64,
+    /// Elastic growth ceiling.
+    pub max_workers: usize,
+}
+
+impl ElasticNetSummary {
+    /// Largest active-worker count observed in the burst (middle) third.
+    pub fn burst_workers(&self) -> usize {
+        let n = self.worker_trace.len();
+        let third = n / 3;
+        self.worker_trace[third..(2 * third).max(third + 1).min(n)]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Active workers at the final sample (after the trailing quiet phase).
+    pub fn final_workers(&self) -> usize {
+        self.worker_trace.last().copied().unwrap_or(0)
+    }
+}
+
+/// Aggregate report from [`net_service`].
+#[derive(Debug, Clone)]
+pub struct NetServiceReport {
+    /// Depth-sweep rows, one per entry of [`NET_DEPTHS`].
+    pub depths: Vec<NetRow>,
+    /// Pushback phase outcome.
+    pub pushback: PushbackSummary,
+    /// Slow-reader phase outcome.
+    pub slow_reader: SlowReaderSummary,
+    /// Elastic ramp outcome.
+    pub elastic: ElasticNetSummary,
+}
+
+impl NetServiceReport {
+    /// Throughput of the deepest pipeline over the depth-1 pipeline.
+    pub fn depth_speedup(&self) -> f64 {
+        let shallow = self.depths.iter().find(|row| row.depth == NET_DEPTHS[0]);
+        let deep = self
+            .depths
+            .iter()
+            .find(|row| row.depth == NET_DEPTHS[NET_DEPTHS.len() - 1]);
+        match (shallow, deep) {
+            (Some(a), Some(b)) if a.commands_per_sec > 0.0 => {
+                b.commands_per_sec / a.commands_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// **Network service plane**: run all four loopback phases.
+pub fn net_service(opts: &HarnessOptions) -> NetServiceReport {
+    NetServiceReport {
+        depths: depth_phase(opts),
+        pushback: pushback_phase(opts),
+        slow_reader: slow_reader_phase(opts),
+        elastic: elastic_phase(opts),
+    }
+}
+
+fn depth_phase(opts: &HarnessOptions) -> Vec<NetRow> {
+    // Floor the window at 100 ms: the sweep compares throughput ratios, and
+    // sub-100 ms windows are all connection-setup noise.
+    let window = opts.duration().max(Duration::from_millis(100));
+    let workers = opts
+        .worker_counts()
+        .into_iter()
+        .max()
+        .unwrap_or(2)
+        .clamp(2, 4);
+    NET_DEPTHS
+        .iter()
+        .map(|&depth| {
+            // A 1 ms read timeout keeps the partial-batch flush (and so the
+            // burst round trip) from being dominated by the server's default
+            // 25 ms flush interval at shallow depths.
+            let server = Katme::builder()
+                .workers(workers)
+                .key_range(0, KEY_SPACE)
+                .serve_with(
+                    "127.0.0.1:0",
+                    ServerConfig::default().with_read_timeout(Duration::from_millis(1)),
+                )
+                .expect("bind loopback server");
+            let addr = server.local_addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..NET_CONNECTIONS)
+                .map(|conn| {
+                    let stop = Arc::clone(&stop);
+                    thread::spawn(move || drive_connection(addr, depth, conn, &stop))
+                })
+                .collect();
+            let started = Instant::now();
+            thread::sleep(window);
+            stop.store(true, Ordering::Relaxed);
+            let mut commands = 0u64;
+            let mut reconnects = 0u64;
+            let mut samples = Vec::new();
+            for handle in handles {
+                let stats = handle
+                    .join()
+                    .expect("connection thread")
+                    .expect("loopback socket I/O");
+                commands += stats.commands;
+                reconnects += stats.reconnects;
+                samples.extend(stats.burst_us);
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            samples.sort_unstable();
+            server.shutdown();
+            NetRow {
+                depth,
+                connections: NET_CONNECTIONS,
+                commands,
+                commands_per_sec: commands as f64 / elapsed,
+                p50_us: percentile_us(&samples, 0.50),
+                p99_us: percentile_us(&samples, 0.99),
+                reconnects,
+            }
+        })
+        .collect()
+}
+
+fn pushback_phase(opts: &HarnessOptions) -> PushbackSummary {
+    let burst = 256usize;
+    let rounds = if opts.quick { 4 } else { 16 };
+    // One slow worker behind a tiny queue: each flood burst must overflow.
+    let op_delay = Duration::from_micros(if opts.quick { 50 } else { 200 });
+    let server = Katme::builder()
+        .workers(1)
+        .key_range(0, KEY_SPACE)
+        .max_queue_depth(Some(8))
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_op_delay(op_delay)
+                .with_inflight_window(burst),
+        )
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let cmds: Vec<Command> = (0..burst)
+        .map(|i| Command::Put {
+            key: i as u32,
+            value: i as u64,
+        })
+        .collect();
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..rounds {
+        client.send(&cmds).expect("flood send");
+        let replies = client.recv_n(burst).expect("flood recv");
+        sent += burst as u64;
+        for reply in replies {
+            if matches!(reply, Reply::Busy) {
+                busy += 1;
+            } else if !reply.is_error() {
+                ok += 1;
+            }
+        }
+    }
+    let net = server.net();
+    server.shutdown();
+    PushbackSummary {
+        sent,
+        ok,
+        busy,
+        server_busy: net.pushback_busy,
+        peak_inflight: net.peak_inflight,
+    }
+}
+
+fn slow_reader_phase(opts: &HarnessOptions) -> SlowReaderSummary {
+    let window = 32usize;
+    let total = if opts.quick { 256 } else { 1024 };
+    let server = Katme::builder()
+        .workers(2)
+        .key_range(0, KEY_SPACE)
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig::default().with_inflight_window(window),
+        )
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // PUT k then GET k, pipelined: the GET's reply proves per-key,
+    // per-connection ordering across window boundaries.
+    let cmds: Vec<Command> = (0..total)
+        .map(|i| {
+            let key = (i / 2) as u32;
+            if i % 2 == 0 {
+                Command::Put {
+                    key,
+                    value: key as u64 + 1_000,
+                }
+            } else {
+                Command::Get { key }
+            }
+        })
+        .collect();
+    client.send(&cmds).expect("pipelined send");
+    // Play the slow reader: the server may only buffer up to the in-flight
+    // window while nobody drains the socket.
+    thread::sleep(Duration::from_millis(if opts.quick { 40 } else { 150 }));
+    let replies = client.recv_n(total).expect("drain replies");
+    let in_order = replies.iter().enumerate().all(|(i, reply)| {
+        let key = (i / 2) as u64;
+        let expected = if i % 2 == 0 {
+            Reply::Int(1)
+        } else {
+            Reply::Int(key + 1_000)
+        };
+        *reply == expected
+    });
+    let received = replies.len() as u64;
+    let net = server.net();
+    server.shutdown();
+    SlowReaderSummary {
+        sent: total as u64,
+        received,
+        in_order,
+        peak_inflight: net.peak_inflight,
+        window: window as u64,
+    }
+}
+
+fn elastic_phase(opts: &HarnessOptions) -> ElasticNetSummary {
+    let max_workers = opts.worker_counts().into_iter().max().unwrap_or(4).max(4);
+    // Same epoch knobs as the in-process elastic_scaling experiment: each
+    // quiet phase must span at least two adaptation epochs.
+    let (threshold, interval) = if opts.quick {
+        (300usize, 300u64)
+    } else {
+        (1_000, 600)
+    };
+    // Quiet → burst → quiet thirds; floored so even --smoke spans the
+    // confirmation hysteresis, capped so --paper does not stall the suite.
+    let total = (opts.duration() * 3)
+        .max(Duration::from_millis(2_700))
+        .min(Duration::from_secs(9));
+    let server = Katme::builder()
+        .workers(max_workers)
+        .key_range(0, KEY_SPACE)
+        .scheduler(SchedulerKind::AdaptiveKey)
+        .sample_threshold(threshold)
+        .adaptation_interval(interval)
+        .elastic(true)
+        .min_workers(1)
+        .max_workers(max_workers)
+        .max_queue_depth(Some(512))
+        .serve_with(
+            "127.0.0.1:0",
+            // Fast partial-batch flush so the closed-loop connections keep
+            // the executor fed, plus a per-op spin so the burst genuinely
+            // backlogs the queue (the grow signal samples queued tasks per
+            // worker at epoch boundaries).
+            ServerConfig::default()
+                .with_read_timeout(Duration::from_millis(1))
+                .with_op_delay(Duration::from_micros(25)),
+        )
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+    let ramp = ArrivalRamp::quiet_burst_quiet(NET_QUIET_INTENSITY);
+    let handles: Vec<_> = (0..NET_CONNECTIONS)
+        .map(|conn| {
+            let ramp = ramp.clone();
+            thread::spawn(move || drive_ramp(addr, &ramp, total, conn))
+        })
+        .collect();
+    let sample_every = total / NET_ELASTIC_SAMPLES as u32;
+    let mut worker_trace = Vec::with_capacity(NET_ELASTIC_SAMPLES);
+    for _ in 0..NET_ELASTIC_SAMPLES {
+        thread::sleep(sample_every);
+        worker_trace.push(server.stats().active_workers);
+    }
+    let mut commands = 0u64;
+    for handle in handles {
+        commands += handle
+            .join()
+            .expect("ramp thread")
+            .expect("loopback socket I/O");
+    }
+    server.shutdown();
+    ElasticNetSummary {
+        worker_trace,
+        commands,
+        max_workers,
+    }
+}
+
+/// Open-loop duty-cycled driver: burst at full speed, then idle long enough
+/// that the busy fraction tracks the ramp's intensity at the current point
+/// in the run.
+fn drive_ramp(
+    addr: SocketAddr,
+    ramp: &ArrivalRamp,
+    total: Duration,
+    conn_id: usize,
+) -> io::Result<u64> {
+    let mut client = Client::connect(addr)?;
+    let start = Instant::now();
+    let depth = 32usize;
+    let mut rng = 0xe1a5_0000_0000_0001u64 ^ ((conn_id as u64) << 23);
+    let mut commands = 0u64;
+    let mut cmds = Vec::with_capacity(depth);
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= total {
+            break;
+        }
+        let fraction = elapsed.as_secs_f64() / total.as_secs_f64();
+        let intensity = ramp.intensity_at(fraction).max(0.01);
+        cmds.clear();
+        for _ in 0..depth {
+            rng = rng
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let key = (rng >> 33) as u32;
+            cmds.push(if rng & 1 == 0 {
+                Command::Put { key, value: rng }
+            } else {
+                Command::Get { key }
+            });
+        }
+        let busy_start = Instant::now();
+        client.send(&cmds)?;
+        commands += client.recv_n(depth)?.len() as u64;
+        let busy = busy_start.elapsed();
+        if intensity < 1.0 {
+            // Cap the idle stretch so the quiet phases still feed enough
+            // tasks to advance the runtime's adaptation epochs.
+            let idle = busy.mul_f64((1.0 - intensity) / intensity);
+            thread::sleep(idle.min(Duration::from_millis(50)));
+        }
+    }
+    Ok(commands)
+}

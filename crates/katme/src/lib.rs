@@ -79,6 +79,7 @@ pub mod driver;
 pub mod durability;
 mod error;
 mod lane;
+pub mod net;
 mod runtime;
 mod task;
 
@@ -88,6 +89,7 @@ pub use durability::{
     DictState, DurabilityPlane, DurableState, RecoveryReport, WalSink, DEFAULT_CHECKPOINT_INTERVAL,
 };
 pub use error::{BuilderError, KatmeError};
+pub use net::{NetCounters, NetView};
 pub use runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView, StatsWindow};
 pub use task::{Durable, KeyedTask, TaskHandle, WithKey};
 
@@ -129,6 +131,7 @@ pub mod prelude {
     pub use crate::driver::{Driver, DriverConfig, RunResult};
     pub use crate::durability::{DictState, DurableState, RecoveryReport};
     pub use crate::error::KatmeError;
+    pub use crate::net::{NetCounters, NetView};
     pub use crate::runtime::{BatchSubmitError, Runtime, ShutdownReport, StatsView};
     pub use crate::task::{Durable, KeyedTask, TaskHandle, WithKey};
     pub use katme_core::key::{KeyBounds, TxnKey};

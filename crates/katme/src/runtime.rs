@@ -1,7 +1,7 @@
 //! The running system: worker pool, optional central dispatcher, live stats.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -16,12 +16,13 @@ use katme_core::stats::LoadBalance;
 use katme_durability::DurabilityView;
 use katme_queue::{thread_stripe, Backoff, TwoLockQueue};
 use katme_stm::{
-    run_block_with, with_durable_payload, with_task_key, KeyRangeSnapshot, MvOp, Stm,
+    run_block_tasks, with_durable_payload, with_task_key, KeyRangeSnapshot, MvTask, Stm,
     StmStatsSnapshot,
 };
 
 use crate::durability::{DurabilityPlane, RecoveryReport};
 use crate::error::KatmeError;
+use crate::net::{NetCounters, NetView};
 use crate::task::{handle_pair, Completion, KeyedTask, TaskHandle};
 
 /// One queued unit of work: the pre-computed transaction key, the payload,
@@ -251,6 +252,11 @@ pub struct Runtime<T: Send + 'static, R: Send + 'static> {
     /// designated range execute as one optimistic block instead of routing
     /// through the queues.
     mv: Option<MvLaneState>,
+    /// Connection-plane counters, registered once by a network front end
+    /// ([`Runtime::attach_net`]); `None` until a server attaches, after
+    /// which [`Runtime::stats`] and [`Runtime::shutdown`] carry the
+    /// snapshot.
+    net: OnceLock<Arc<NetCounters>>,
 }
 
 impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
@@ -392,6 +398,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             inline_completed: StripedCounter::new(),
             durability,
             mv,
+            net: OnceLock::new(),
         }
     }
 
@@ -785,30 +792,34 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
             self.dispatch_batch(&mut rest_tasks, with_handles, blocking)
         };
 
-        // The MV block: one op per task, keyed for the range telemetry and
-        // carrying its redo payload for the commit-ordered durability
-        // enqueue. The handler consumes the task, and a block op may be
-        // re-executed after a dependency moves, so each run clones it.
-        let ops: Vec<MvOp<'_, R>> = mv_tasks
+        // The MV block: one entry per task, keyed for the range telemetry
+        // and carrying its redo payload for the commit-ordered durability
+        // enqueue. Every entry runs through the one shared handler below
+        // (`run_block_tasks`), so the block spine boxes no per-task closure;
+        // the handler consumes the task, and a block op may be re-executed
+        // after a dependency moves, so each run clones it.
+        let block_tasks: Vec<MvTask<T>> = mv_tasks
             .iter()
-            .map(|(_, task)| {
-                let key = task.key();
-                let payload = if durable {
+            .map(|(_, task)| MvTask {
+                key: Some(task.key()),
+                payload: if durable {
                     task.durable_payload()
                 } else {
                     None
-                };
-                let handler = Arc::clone(&self.handler);
-                let task = task.clone();
-                MvOp::new(move || handler(0, task.clone()))
-                    .with_key(key)
-                    .with_payload(payload)
+                },
+                task: task.clone(),
             })
             .collect();
         self.submitted.fetch_add(mv_len as u64, Ordering::Relaxed);
+        let handler = &self.handler;
         let outcome = {
             let _block_turn = mv.block_gate.lock().unwrap_or_else(|e| e.into_inner());
-            run_block_with(&self.stm, ops, mv.parallelism)
+            run_block_tasks(
+                &self.stm,
+                block_tasks,
+                |task| handler(0, task.clone()),
+                mv.parallelism,
+            )
         };
         self.inline_completed.increment_by(mv_len as u64);
 
@@ -1083,6 +1094,23 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 .map_or(0, |executor| executor.completed())
     }
 
+    /// Register the connection-plane counter block a network front end
+    /// (e.g. the `katme-server` crate) increments, so socket-side activity
+    /// shows up in [`Runtime::stats`] and the [`ShutdownReport`].
+    ///
+    /// At most one block can be attached per runtime; later calls return
+    /// the already-registered block (shared servers should clone it) and
+    /// drop the argument.
+    pub fn attach_net(&self, counters: Arc<NetCounters>) -> Arc<NetCounters> {
+        self.net.get_or_init(|| counters).clone()
+    }
+
+    /// The attached connection-plane counters, if a network front end
+    /// registered one via [`Runtime::attach_net`].
+    pub fn net(&self) -> Option<&Arc<NetCounters>> {
+        self.net.get()
+    }
+
     /// Live statistics: queue depths, per-worker progress, STM abort rates,
     /// scheduler repartition count — available at any point in the run, not
     /// only from the terminal [`ShutdownReport`].
@@ -1147,6 +1175,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 .stats()
                 .key_telemetry()
                 .map(|telemetry| telemetry.snapshot()),
+            net: self.net.get().map(|counters| counters.view()),
         }
     }
 
@@ -1199,6 +1228,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
 
         let inline = self.inline_completed.total();
         let plane = self.durability.take();
+        let net = self.net.get().map(|counters| counters.view());
 
         let mut report = match self.executor.take() {
             Some(executor) => {
@@ -1222,6 +1252,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                     commit_wait_nanos: report.commit_wait_nanos,
                     durability: None,
                     recovery: None,
+                    net,
                 }
             }
             None => ShutdownReport {
@@ -1241,6 +1272,7 @@ impl<T: Send + 'static, R: Send + 'static> Runtime<T, R> {
                 commit_wait_nanos: 0,
                 durability: None,
                 recovery: None,
+                net,
             },
         };
         if let Some(plane) = plane {
@@ -1362,6 +1394,11 @@ pub struct StatsView {
     /// bucket's abort-over-commit ratio is the paper's per-range
     /// "frequency of contentions".
     pub key_ranges: Option<KeyRangeSnapshot>,
+    /// Connection-plane counters — accepted/live/dropped connections,
+    /// protocol-level pushback, bytes either way — `None` unless a network
+    /// front end attached via [`Runtime::attach_net`]. Also readable
+    /// through [`StatsView::net`].
+    pub net: Option<NetView>,
 }
 
 impl StatsView {
@@ -1421,6 +1458,12 @@ impl StatsView {
     /// built with [`crate::Builder::durability`].
     pub fn durability(&self) -> Option<&DurabilityView> {
         self.durability.as_ref()
+    }
+
+    /// The connection plane's counters — `None` unless a network front end
+    /// attached one via [`Runtime::attach_net`].
+    pub fn net(&self) -> Option<&NetView> {
+        self.net.as_ref()
     }
 
     /// Multi-version re-executions per MV commit — the lane's analogue of
@@ -1542,6 +1585,11 @@ pub struct ShutdownReport {
     /// What startup recovery restored and replayed (`None` for a volatile
     /// runtime; all-defaults when the log directory started empty).
     pub recovery: Option<RecoveryReport>,
+    /// Final connection-plane counters (`None` unless a network front end
+    /// attached via [`Runtime::attach_net`]). The server drains in-flight
+    /// replies before the runtime shuts down, so `replies` here accounts
+    /// for every accepted command that completed.
+    pub net: Option<NetView>,
 }
 
 impl ShutdownReport {

@@ -1,0 +1,105 @@
+//! A small blocking client for the wire protocol — the building block of
+//! the load generator, the integration tests, and any tool that talks to a
+//! served runtime.
+//!
+//! The client is deliberately pipelining-first: [`Client::send`] writes any
+//! number of encoded commands in one `write_all`, and [`Client::recv`] /
+//! [`Client::recv_n`] read replies back in order. [`Client::request`] is
+//! the depth-1 convenience for tests and scripts.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::decode::ReplyDecoder;
+use crate::protocol::{Command, Reply};
+
+/// Reply frames can carry the `STATS` bulk; cap well above any plausible
+/// stats body while still bounding a misbehaving server.
+const MAX_REPLY_FRAME: usize = 1 << 20;
+
+/// A blocking, pipelining connection to a KATME server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    decoder: ReplyDecoder,
+    wbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a served runtime.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            decoder: ReplyDecoder::new(MAX_REPLY_FRAME),
+            wbuf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Write `commands` back-to-back as one pipelined burst.
+    pub fn send(&mut self, commands: &[Command]) -> io::Result<()> {
+        self.wbuf.clear();
+        for command in commands {
+            command.encode_into(&mut self.wbuf);
+        }
+        self.stream.write_all(&self.wbuf)
+    }
+
+    /// Write pre-encoded bytes verbatim — the escape hatch the codec tests
+    /// use to send torn, oversized, or garbage frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Read the next reply, blocking until a complete frame arrives. A
+    /// malformed frame surfaces as [`io::ErrorKind::InvalidData`]; a server
+    /// close with no pending reply as [`io::ErrorKind::UnexpectedEof`].
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let mut rbuf = [0u8; 4096];
+        loop {
+            if let Some(reply) = self
+                .decoder
+                .try_next()
+                .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error))?
+            {
+                return Ok(reply);
+            }
+            match self.stream.read(&mut rbuf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-pipeline",
+                    ))
+                }
+                Ok(n) => self.decoder.feed(&rbuf[..n]),
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// Read the next `n` replies in order.
+    pub fn recv_n(&mut self, n: usize) -> io::Result<Vec<Reply>> {
+        (0..n).map(|_| self.recv()).collect()
+    }
+
+    /// Depth-1 round trip: send one command, read its reply.
+    pub fn request(&mut self, command: Command) -> io::Result<Reply> {
+        self.send(std::slice::from_ref(&command))?;
+        self.recv()
+    }
+
+    /// Bound how long [`Client::recv`] may block on the socket (`None`
+    /// blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Half-close the write side, signalling the server this client is done
+    /// sending (replies can still be read).
+    pub fn finish_writes(&mut self) -> io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+}

@@ -1,0 +1,330 @@
+//! Incremental frame decoding: byte stream in, complete frames out.
+//!
+//! TCP delivers byte runs with no respect for message boundaries — a read
+//! may end mid-header, mid-body, or carry a dozen pipelined frames at once.
+//! [`FrameDecoder`] absorbs arbitrary byte runs via [`FrameDecoder::feed`]
+//! and yields complete frames (tag plus body, header stripped) one at a
+//! time; a torn frame simply stays buffered until the rest arrives.
+//!
+//! Hostile or garbled input is bounded: a declared frame length over the
+//! decoder's cap is rejected *from the header alone* — the decoder never
+//! buffers toward an oversized or garbage-prefixed frame, so a misbehaving
+//! peer cannot make the server allocate past
+//! [`HEADER_LEN`]` + max_frame` per connection.
+//! Wire errors are sticky: framing is not self-resynchronizing, so after an
+//! error the connection must be closed, and every subsequent call returns
+//! the same error.
+
+use crate::protocol::{Command, Reply, WireError, HEADER_LEN};
+
+/// Incremental splitter of a byte stream into length-prefixed frames.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily in [`FrameDecoder::feed`]).
+    pos: usize,
+    max_frame: usize,
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// Decoder accepting frames up to `max_frame` bytes of declared length
+    /// (tag plus body; the 4-byte header is not counted).
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame,
+            poisoned: None,
+        }
+    }
+
+    /// Absorb a byte run exactly as it came off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact the consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to its unparsed tail, not
+        // its history.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Next complete frame (tag plus body), `Ok(None)` when the buffered
+    /// bytes end mid-frame. Errors are sticky — see the module docs.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        if let Some(error) = &self.poisoned {
+            return Err(error.clone());
+        }
+        let available = self.buf.len() - self.pos;
+        if available < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN] = self.buf[self.pos..self.pos + HEADER_LEN]
+            .try_into()
+            .expect("slice of HEADER_LEN bytes");
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 {
+            return Err(self.poison(WireError::EmptyFrame));
+        }
+        if len > self.max_frame {
+            return Err(self.poison(WireError::Oversized {
+                len,
+                max: self.max_frame,
+            }));
+        }
+        if available < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let start = self.pos + HEADER_LEN;
+        self.pos = start + len;
+        Ok(Some(&self.buf[start..start + len]))
+    }
+
+    fn poison(&mut self, error: WireError) -> WireError {
+        self.poisoned = Some(error.clone());
+        error
+    }
+}
+
+/// Server-side decoder: byte stream in, [`Command`]s out.
+///
+/// A parse failure (unknown opcode, wrong payload size) poisons the
+/// underlying frame stream like a framing error — the connection is done.
+#[derive(Debug)]
+pub struct CommandDecoder {
+    frames: FrameDecoder,
+}
+
+impl CommandDecoder {
+    /// Decoder accepting request frames up to `max_frame` declared bytes.
+    pub fn new(max_frame: usize) -> Self {
+        CommandDecoder {
+            frames: FrameDecoder::new(max_frame),
+        }
+    }
+
+    /// Absorb a byte run from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.frames.feed(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.frames.buffered()
+    }
+
+    /// Next complete command, `Ok(None)` when the stream ends mid-frame.
+    pub fn try_next(&mut self) -> Result<Option<Command>, WireError> {
+        match self.frames.next_frame()? {
+            Some(frame) => match Command::parse(frame) {
+                Ok(command) => Ok(Some(command)),
+                Err(error) => Err(self.frames.poison(error)),
+            },
+            None => Ok(None),
+        }
+    }
+}
+
+/// Client-side decoder: byte stream in, [`Reply`]s out.
+#[derive(Debug)]
+pub struct ReplyDecoder {
+    frames: FrameDecoder,
+}
+
+impl ReplyDecoder {
+    /// Decoder accepting reply frames up to `max_frame` declared bytes
+    /// (replies include the `STATS` bulk, so the cap should be generous).
+    pub fn new(max_frame: usize) -> Self {
+        ReplyDecoder {
+            frames: FrameDecoder::new(max_frame),
+        }
+    }
+
+    /// Absorb a byte run from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.frames.feed(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.frames.buffered()
+    }
+
+    /// Next complete reply, `Ok(None)` when the stream ends mid-frame.
+    pub fn try_next(&mut self) -> Result<Option<Reply>, WireError> {
+        match self.frames.next_frame()? {
+            Some(frame) => match Reply::parse(frame) {
+                Ok(reply) => Ok(Some(reply)),
+                Err(error) => Err(self.frames.poison(error)),
+            },
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{OP_GET, OP_PING};
+
+    fn encoded(commands: &[Command]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for cmd in commands {
+            cmd.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn torn_frames_across_arbitrary_read_boundaries() {
+        let commands = [
+            Command::Put { key: 1, value: 10 },
+            Command::Cas {
+                key: 1,
+                expected: 10,
+                new: 11,
+            },
+            Command::Ping,
+            Command::Get { key: 1 },
+        ];
+        let bytes = encoded(&commands);
+        // Split the stream at every possible boundary, including mid-header
+        // and mid-body, and at every chunk size from 1 byte up.
+        for chunk in 1..=bytes.len() {
+            let mut decoder = CommandDecoder::new(64);
+            let mut decoded = Vec::new();
+            for part in bytes.chunks(chunk) {
+                decoder.feed(part);
+                while let Some(cmd) = decoder.try_next().unwrap() {
+                    decoded.push(cmd);
+                }
+            }
+            assert_eq!(decoded, commands, "chunk size {chunk}");
+            assert_eq!(decoder.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn pipelined_multi_command_buffer_decodes_in_order() {
+        let commands: Vec<Command> = (0..100).map(|key| Command::Get { key }).collect();
+        let mut decoder = CommandDecoder::new(64);
+        decoder.feed(&encoded(&commands));
+        let mut decoded = Vec::new();
+        while let Some(cmd) = decoder.try_next().unwrap() {
+            decoded.push(cmd);
+        }
+        assert_eq!(decoded, commands);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_from_header_alone() {
+        let mut decoder = FrameDecoder::new(64);
+        // Header declares 1 MiB; only the header has arrived — rejection
+        // must not wait for (or buffer toward) the body.
+        decoder.feed(&(1u32 << 20).to_le_bytes());
+        assert_eq!(
+            decoder.next_frame(),
+            Err(WireError::Oversized {
+                len: 1 << 20,
+                max: 64
+            })
+        );
+        // Errors are sticky: the stream cannot be resynchronized.
+        decoder.feed(&encoded(&[Command::Ping]));
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn garbage_prefix_rejected() {
+        // ASCII garbage reads as an absurd little-endian length.
+        let mut decoder = CommandDecoder::new(64);
+        decoder.feed(b"GET / HTTP/1.1\r\n");
+        assert!(matches!(
+            decoder.try_next(),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut decoder = FrameDecoder::new(64);
+        decoder.feed(&0u32.to_le_bytes());
+        assert_eq!(decoder.next_frame(), Err(WireError::EmptyFrame));
+    }
+
+    #[test]
+    fn unknown_opcode_poisons_the_stream() {
+        let mut decoder = CommandDecoder::new(64);
+        decoder.feed(&1u32.to_le_bytes());
+        decoder.feed(&[0xEE]);
+        decoder.feed(&encoded(&[Command::Ping]));
+        assert_eq!(decoder.try_next(), Err(WireError::UnknownOpcode(0xEE)));
+        // Sticky: the valid PING behind the poison pill is unreachable.
+        assert_eq!(decoder.try_next(), Err(WireError::UnknownOpcode(0xEE)));
+    }
+
+    #[test]
+    fn consumed_prefix_is_compacted() {
+        let mut decoder = FrameDecoder::new(64);
+        for _ in 0..1000 {
+            decoder.feed(&encoded(&[Command::Get { key: 9 }]));
+            while decoder.next_frame().unwrap().is_some() {}
+        }
+        // A connection that keeps up retains no history.
+        assert_eq!(decoder.buffered(), 0);
+        assert!(
+            decoder.buf.len() < 64,
+            "buffer grew to {}",
+            decoder.buf.len()
+        );
+    }
+
+    #[test]
+    fn reply_decoder_round_trips_a_burst() {
+        let replies = [
+            Reply::Ok,
+            Reply::Int(7),
+            Reply::Nil,
+            Reply::Busy,
+            Reply::Bulk(b"a b\n".to_vec()),
+        ];
+        let mut bytes = Vec::new();
+        for reply in &replies {
+            reply.encode_into(&mut bytes);
+        }
+        for chunk in [1, 3, bytes.len()] {
+            let mut decoder = ReplyDecoder::new(1024);
+            let mut decoded = Vec::new();
+            for part in bytes.chunks(chunk) {
+                decoder.feed(part);
+                while let Some(reply) = decoder.try_next().unwrap() {
+                    decoded.push(reply);
+                }
+            }
+            assert_eq!(decoded, replies, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn partial_header_then_partial_body() {
+        let mut decoder = CommandDecoder::new(64);
+        let bytes = encoded(&[Command::Get { key: 0xAABBCCDD }]);
+        decoder.feed(&bytes[..2]); // half a header
+        assert_eq!(decoder.try_next(), Ok(None));
+        decoder.feed(&bytes[2..6]); // header complete, body torn
+        assert_eq!(decoder.try_next(), Ok(None));
+        decoder.feed(&bytes[6..]);
+        assert_eq!(
+            decoder.try_next(),
+            Ok(Some(Command::Get { key: 0xAABBCCDD }))
+        );
+        let _ = (OP_GET, OP_PING);
+    }
+}

@@ -1,0 +1,459 @@
+//! The KATME wire protocol: RESP-like, length-prefixed, pipelined.
+//!
+//! Every message — request or reply — is one *frame*:
+//!
+//! ```text
+//! [len: u32 little-endian][tag: u8][body: len-1 bytes]
+//! ```
+//!
+//! `len` counts the tag byte plus the body, so the smallest legal frame is
+//! `len == 1` (a bare tag). Frames are self-delimiting, which is what makes
+//! the protocol pipelined: a client may write any number of request frames
+//! back-to-back and read the same number of reply frames back, in order.
+//!
+//! Requests carry an opcode tag ([`Command`]); replies carry a RESP-style
+//! type tag ([`Reply`]): `+` simple OK, `:` integer, `_` nil, `$` bulk
+//! bytes, `-` error. Back-pressure is part of the reply alphabet — `-BUSY`
+//! when the executor's queues rejected the command and `-SHUTDOWN` when the
+//! server is draining — so a client always gets exactly one reply per
+//! pipelined command, even for the commands that were never executed.
+//!
+//! The full specification lives in `docs/PROTOCOL.md`.
+
+use katme_collections::{Key, Value};
+
+/// Frame header size: the little-endian `u32` length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// Opcode tag for [`Command::Get`].
+pub const OP_GET: u8 = 0x01;
+/// Opcode tag for [`Command::Put`].
+pub const OP_PUT: u8 = 0x02;
+/// Opcode tag for [`Command::Del`].
+pub const OP_DEL: u8 = 0x03;
+/// Opcode tag for [`Command::Cas`].
+pub const OP_CAS: u8 = 0x04;
+/// Opcode tag for [`Command::Ping`].
+pub const OP_PING: u8 = 0x05;
+/// Opcode tag for [`Command::Stats`].
+pub const OP_STATS: u8 = 0x06;
+
+/// Reply tag: simple OK (`+`).
+pub const REPLY_OK: u8 = b'+';
+/// Reply tag: integer (`:`), body is a little-endian `u64`.
+pub const REPLY_INT: u8 = b':';
+/// Reply tag: nil (`_`), empty body — a missing key.
+pub const REPLY_NIL: u8 = b'_';
+/// Reply tag: bulk bytes (`$`) — the `STATS` text.
+pub const REPLY_BULK: u8 = b'$';
+/// Reply tag: error (`-`), ASCII body (`BUSY`, `SHUTDOWN`, `ERR ...`).
+pub const REPLY_ERR: u8 = b'-';
+
+/// The largest request frame a well-formed client can produce ([`Command::Cas`]:
+/// tag + key + two values = 21 bytes). Servers may enforce any cap at or
+/// above this; the default server cap leaves headroom for future commands.
+pub const MAX_REQUEST_FRAME: usize = 21;
+
+/// A decoded client request.
+///
+/// `GET`/`PUT`/`DEL`/`CAS` are dictionary operations and route through the
+/// executor keyed by their dictionary key; `PING`/`STATS` are connection
+/// control and are answered in-line by the connection worker (they still
+/// occupy a pipeline slot, acting as ordering barriers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Look up `key`; replies `:value` or `_` (nil).
+    Get {
+        /// Dictionary key to look up.
+        key: Key,
+    },
+    /// Insert `key -> value`; replies `:1` (newly inserted) or `:0`
+    /// (overwrote an existing entry).
+    Put {
+        /// Dictionary key to insert under.
+        key: Key,
+        /// Value to store.
+        value: Value,
+    },
+    /// Remove `key`; replies `:1` (was present) or `:0`.
+    Del {
+        /// Dictionary key to remove.
+        key: Key,
+    },
+    /// Atomically replace `key`'s value with `new` iff it currently equals
+    /// `expected`; replies `:1` (swapped) or `:0` (mismatch or missing).
+    Cas {
+        /// Dictionary key to compare-and-swap.
+        key: Key,
+        /// Value the entry must currently hold.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+    },
+    /// Liveness probe; replies `+` immediately.
+    Ping,
+    /// Server statistics; replies a `$` bulk of ASCII `name value` lines.
+    Stats,
+}
+
+impl Command {
+    /// This command's opcode tag.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Command::Get { .. } => OP_GET,
+            Command::Put { .. } => OP_PUT,
+            Command::Del { .. } => OP_DEL,
+            Command::Cas { .. } => OP_CAS,
+            Command::Ping => OP_PING,
+            Command::Stats => OP_STATS,
+        }
+    }
+
+    /// The dictionary key this command touches (`None` for the control
+    /// commands `PING`/`STATS`).
+    pub fn dict_key(&self) -> Option<Key> {
+        match self {
+            Command::Get { key }
+            | Command::Put { key, .. }
+            | Command::Del { key }
+            | Command::Cas { key, .. } => Some(*key),
+            Command::Ping | Command::Stats => None,
+        }
+    }
+
+    /// True for the control commands the connection worker answers in-line
+    /// instead of submitting to the executor.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, Command::Ping | Command::Stats)
+    }
+
+    /// Append this command's complete frame (header included) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let body_len = match self {
+            Command::Get { .. } | Command::Del { .. } => 4,
+            Command::Put { .. } => 12,
+            Command::Cas { .. } => 20,
+            Command::Ping | Command::Stats => 0,
+        };
+        buf.extend_from_slice(&(1 + body_len as u32).to_le_bytes());
+        buf.push(self.opcode());
+        match self {
+            Command::Get { key } | Command::Del { key } => {
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Command::Put { key, value } => {
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+            Command::Cas { key, expected, new } => {
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&expected.to_le_bytes());
+                buf.extend_from_slice(&new.to_le_bytes());
+            }
+            Command::Ping | Command::Stats => {}
+        }
+    }
+
+    /// Bytes [`Command::encode_into`] appends: header plus tag plus body.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN
+            + 1
+            + match self {
+                Command::Get { .. } | Command::Del { .. } => 4,
+                Command::Put { .. } => 12,
+                Command::Cas { .. } => 20,
+                Command::Ping | Command::Stats => 0,
+            }
+    }
+
+    /// Parse a command from a complete frame payload (tag plus body, the
+    /// header already stripped by the frame decoder).
+    pub fn parse(frame: &[u8]) -> Result<Command, WireError> {
+        let (&opcode, body) = frame.split_first().ok_or(WireError::EmptyFrame)?;
+        let bad = || WireError::BadPayload {
+            tag: opcode,
+            len: body.len(),
+        };
+        match opcode {
+            OP_GET => Ok(Command::Get {
+                key: read_u32(body).ok_or_else(bad)?,
+            }),
+            OP_DEL => Ok(Command::Del {
+                key: read_u32(body).ok_or_else(bad)?,
+            }),
+            OP_PUT => {
+                if body.len() != 12 {
+                    return Err(bad());
+                }
+                Ok(Command::Put {
+                    key: read_u32(&body[..4]).ok_or_else(bad)?,
+                    value: read_u64(&body[4..]).ok_or_else(bad)?,
+                })
+            }
+            OP_CAS => {
+                if body.len() != 20 {
+                    return Err(bad());
+                }
+                Ok(Command::Cas {
+                    key: read_u32(&body[..4]).ok_or_else(bad)?,
+                    expected: read_u64(&body[4..12]).ok_or_else(bad)?,
+                    new: read_u64(&body[12..]).ok_or_else(bad)?,
+                })
+            }
+            OP_PING => {
+                if !body.is_empty() {
+                    return Err(bad());
+                }
+                Ok(Command::Ping)
+            }
+            OP_STATS => {
+                if !body.is_empty() {
+                    return Err(bad());
+                }
+                Ok(Command::Stats)
+            }
+            other => Err(WireError::UnknownOpcode(other)),
+        }
+    }
+}
+
+/// A decoded server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `+` — simple acknowledgment (`PING`).
+    Ok,
+    /// `:` — integer result (`GET` hit value, `PUT`/`DEL`/`CAS` outcome).
+    Int(u64),
+    /// `_` — nil (`GET` miss).
+    Nil,
+    /// `$` — bulk bytes (`STATS` text).
+    Bulk(Vec<u8>),
+    /// `-BUSY` — the executor's queues are full; the command was *not*
+    /// executed and may be retried.
+    Busy,
+    /// `-SHUTDOWN` — the server is draining; the command was not executed.
+    Shutdown,
+    /// `-ERR <detail>` — protocol violation; the server closes the
+    /// connection after sending this.
+    Err(String),
+}
+
+impl Reply {
+    /// True for the error replies (`-BUSY`, `-SHUTDOWN`, `-ERR`).
+    pub fn is_error(&self) -> bool {
+        matches!(self, Reply::Busy | Reply::Shutdown | Reply::Err(_))
+    }
+
+    /// True for the back-pressure replies (`-BUSY`, `-SHUTDOWN`) — the
+    /// command was rejected without execution and may be retried (`BUSY`)
+    /// or the session is over (`SHUTDOWN`).
+    pub fn is_pushback(&self) -> bool {
+        matches!(self, Reply::Busy | Reply::Shutdown)
+    }
+
+    /// Append this reply's complete frame (header included) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Reply::Ok => frame(buf, REPLY_OK, &[]),
+            Reply::Int(value) => frame(buf, REPLY_INT, &value.to_le_bytes()),
+            Reply::Nil => frame(buf, REPLY_NIL, &[]),
+            Reply::Bulk(body) => frame(buf, REPLY_BULK, body),
+            Reply::Busy => frame(buf, REPLY_ERR, b"BUSY"),
+            Reply::Shutdown => frame(buf, REPLY_ERR, b"SHUTDOWN"),
+            Reply::Err(detail) => {
+                let mut body = Vec::with_capacity(4 + detail.len());
+                body.extend_from_slice(b"ERR ");
+                body.extend_from_slice(detail.as_bytes());
+                frame(buf, REPLY_ERR, &body);
+            }
+        }
+    }
+
+    /// Parse a reply from a complete frame payload (tag plus body).
+    pub fn parse(frame: &[u8]) -> Result<Reply, WireError> {
+        let (&tag, body) = frame.split_first().ok_or(WireError::EmptyFrame)?;
+        let bad = || WireError::BadPayload {
+            tag,
+            len: body.len(),
+        };
+        match tag {
+            REPLY_OK => Ok(Reply::Ok),
+            REPLY_INT => Ok(Reply::Int(read_u64(body).ok_or_else(bad)?)),
+            REPLY_NIL => {
+                if !body.is_empty() {
+                    return Err(bad());
+                }
+                Ok(Reply::Nil)
+            }
+            REPLY_BULK => Ok(Reply::Bulk(body.to_vec())),
+            REPLY_ERR => Ok(match body {
+                b"BUSY" => Reply::Busy,
+                b"SHUTDOWN" => Reply::Shutdown,
+                other => Reply::Err(
+                    String::from_utf8_lossy(other.strip_prefix(b"ERR ").unwrap_or(other))
+                        .into_owned(),
+                ),
+            }),
+            other => Err(WireError::UnknownReplyTag(other)),
+        }
+    }
+}
+
+fn frame(buf: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    buf.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(body);
+}
+
+fn read_u32(body: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(body.try_into().ok()?))
+}
+
+fn read_u64(body: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(body.try_into().ok()?))
+}
+
+/// A violation of the wire format. Framing is not self-resynchronizing —
+/// after any of these the stream position is untrustworthy, so the peer
+/// closes the connection (the server sends a final `-ERR` first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A frame declared `len == 0` (frames carry at least the tag byte).
+    EmptyFrame,
+    /// A frame declared a length over the receiver's cap — either an
+    /// oversized message or garbage bytes misread as a header.
+    Oversized {
+        /// The declared frame length.
+        len: usize,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// A request frame with an opcode outside the command alphabet.
+    UnknownOpcode(u8),
+    /// A reply frame with a tag outside the reply alphabet.
+    UnknownReplyTag(u8),
+    /// A known tag with a body of the wrong size.
+    BadPayload {
+        /// The frame's tag byte.
+        tag: u8,
+        /// The body length received.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::EmptyFrame => write!(f, "zero-length frame"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::UnknownReplyTag(tag) => write!(f, "unknown reply tag {tag:#04x}"),
+            WireError::BadPayload { tag, len } => {
+                write!(f, "bad payload length {len} for tag {tag:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_COMMANDS: [Command; 6] = [
+        Command::Get { key: 7 },
+        Command::Put {
+            key: 0xDEAD_BEEF,
+            value: u64::MAX,
+        },
+        Command::Del { key: 0 },
+        Command::Cas {
+            key: 12345,
+            expected: 1,
+            new: 2,
+        },
+        Command::Ping,
+        Command::Stats,
+    ];
+
+    #[test]
+    fn every_command_round_trips() {
+        for cmd in ALL_COMMANDS {
+            let mut buf = Vec::new();
+            cmd.encode_into(&mut buf);
+            assert_eq!(buf.len(), cmd.encoded_len(), "{cmd:?}");
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, buf.len() - HEADER_LEN, "{cmd:?}");
+            assert_eq!(Command::parse(&buf[HEADER_LEN..]), Ok(cmd));
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        let replies = [
+            Reply::Ok,
+            Reply::Int(0),
+            Reply::Int(u64::MAX),
+            Reply::Nil,
+            Reply::Bulk(b"workers 4\n".to_vec()),
+            Reply::Bulk(Vec::new()),
+            Reply::Busy,
+            Reply::Shutdown,
+            Reply::Err("bad payload length 3 for tag 0x02".into()),
+        ];
+        for reply in replies {
+            let mut buf = Vec::new();
+            reply.encode_into(&mut buf);
+            assert_eq!(Reply::parse(&buf[HEADER_LEN..]), Ok(reply));
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(Command::parse(&[0x7F]), Err(WireError::UnknownOpcode(0x7F)));
+        assert_eq!(Command::parse(&[]), Err(WireError::EmptyFrame));
+    }
+
+    #[test]
+    fn wrong_payload_sizes_rejected() {
+        // GET with a truncated key, PUT with a CAS-sized body, PING with a
+        // trailing byte: all length violations for a known opcode.
+        for frame in [
+            &[OP_GET, 1, 2, 3][..],
+            &[OP_PUT; 21][..],
+            &[OP_PING, 0][..],
+            &[OP_CAS; 5][..],
+        ] {
+            assert!(
+                matches!(Command::parse(frame), Err(WireError::BadPayload { .. })),
+                "{frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pushback_replies_have_fixed_spelling() {
+        let mut busy = Vec::new();
+        Reply::Busy.encode_into(&mut busy);
+        assert_eq!(&busy[4..], b"-BUSY");
+        let mut shutdown = Vec::new();
+        Reply::Shutdown.encode_into(&mut shutdown);
+        assert_eq!(&shutdown[4..], b"-SHUTDOWN");
+        assert!(Reply::Busy.is_pushback() && Reply::Shutdown.is_pushback());
+        assert!(!Reply::Ok.is_pushback());
+        assert!(Reply::Err("x".into()).is_error() && !Reply::Err("x".into()).is_pushback());
+    }
+
+    #[test]
+    fn cas_is_the_largest_request() {
+        let max = ALL_COMMANDS
+            .iter()
+            .map(|cmd| cmd.encoded_len() - HEADER_LEN)
+            .max()
+            .unwrap();
+        assert_eq!(max, MAX_REQUEST_FRAME);
+    }
+}

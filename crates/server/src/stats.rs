@@ -1,0 +1,56 @@
+//! Rendering of the `STATS` reply: a `$` bulk of ASCII `name value` lines.
+//!
+//! The body is a stable, machine-greppable projection of
+//! [`katme::StatsView`] — executor counters first, then the connection
+//! plane when attached. One `name value\n` line per counter, names
+//! `snake_case`, values decimal integers (throughput is reported in whole
+//! commands/s). Consumers must tolerate new lines being appended.
+
+use katme::StatsView;
+
+/// Render the `STATS` bulk body from a live stats snapshot.
+pub fn render_stats(view: &StatsView) -> Vec<u8> {
+    let mut out = Vec::with_capacity(512);
+    let mut line = |name: &str, value: u64| {
+        out.extend_from_slice(name.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(value.to_string().as_bytes());
+        out.push(b'\n');
+    };
+    line("workers", view.workers as u64);
+    line("active_workers", view.active_workers as u64);
+    line("uptime_ms", view.uptime.as_millis() as u64);
+    line("submitted", view.submitted);
+    line("completed", view.completed);
+    line("throughput", view.throughput() as u64);
+    line("backlog", view.backlog() as u64);
+    line("steals", view.steals);
+    line("parks", view.parks);
+    line("resizes", view.resizes);
+    line("repartitions", view.repartitions);
+    line("stm_commits", view.stm.commits);
+    line("stm_aborts", view.stm.total_aborts());
+    if let Some(net) = view.net() {
+        line("net_accepted", net.accepted);
+        line("net_connected", net.connected);
+        line("net_dropped", net.dropped);
+        line("net_pushback_busy", net.pushback_busy);
+        line("net_pushback_shutdown", net.pushback_shutdown);
+        line("net_frame_errors", net.frame_errors);
+        line("net_commands", net.commands);
+        line("net_replies", net.replies);
+        line("net_bytes_in", net.bytes_in);
+        line("net_bytes_out", net.bytes_out);
+        line("net_peak_inflight", net.peak_inflight);
+    }
+    out
+}
+
+/// Parse one counter back out of a `STATS` body (test and loadgen helper).
+pub fn stat_value(body: &[u8], name: &str) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    text.lines().find_map(|line| {
+        let (key, value) = line.split_once(' ')?;
+        (key == name).then(|| value.parse().ok())?
+    })
+}

@@ -81,7 +81,9 @@ pub use durable::{
     recycle_payload, recycled_payload, take_group_wait_nanos, with_durable_payload, DurabilitySink,
 };
 pub use error::{AbortCause, TxError};
-pub use mv::{run_block, run_block_with, MvBlockOutcome, MvBlockReport, MvOp};
+pub use mv::{
+    run_block, run_block_tasks, run_block_with, MvBlockOutcome, MvBlockReport, MvOp, MvTask,
+};
 pub use stats::{StmStats, StmStatsSnapshot, TxnReport};
 pub use stm::Stm;
 pub use striped::CachePadded;

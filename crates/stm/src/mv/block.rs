@@ -75,6 +75,19 @@ pub struct MvBlockOutcome<R> {
     pub report: MvBlockReport,
 }
 
+/// One task of a shared-handler MV block (see [`run_block_tasks`]): the
+/// task value plus its telemetry key and staged redo payload. Unlike
+/// [`MvOp`], carrying the task by value lets every operation of the block
+/// share a single handler closure — no per-task boxing on the hot path.
+pub struct MvTask<T> {
+    /// The task the shared handler receives.
+    pub task: T,
+    /// Key credited to the key-range telemetry, if any.
+    pub key: Option<u64>,
+    /// Redo record staged for the durability plane, if any.
+    pub payload: Option<Vec<u8>>,
+}
+
 /// Execute `ops` as one MV block on the calling thread and publish the
 /// result atomically. See the [module docs](crate::mv) for the protocol.
 pub fn run_block<'a, R: Send>(stm: &Stm, ops: Vec<MvOp<'a, R>>) -> MvBlockOutcome<R> {
@@ -91,8 +104,66 @@ pub fn run_block_with<'a, R: Send>(
     parallelism: usize,
 ) -> MvBlockOutcome<R> {
     let len = ops.len();
-    let session = MvSession::new(len);
     let ops: Vec<Mutex<MvOp<'a, R>>> = ops.into_iter().map(Mutex::new).collect();
+    let exec = |index: usize| {
+        let mut op = ops[index].lock();
+        let op = &mut *op;
+        match op.payload.clone() {
+            Some(payload) => with_durable_payload(payload, &mut op.run),
+            None => (op.run)(),
+        }
+    };
+    let key_of = |index: usize| ops[index].lock().key;
+    run_block_core(stm, len, &exec, &key_of, parallelism)
+}
+
+/// Execute `tasks` as one MV block driven by a single shared handler.
+///
+/// The batch-submission spine uses this instead of [`run_block_with`]: every
+/// operation of a facade batch runs the same handler over a different task,
+/// so boxing one closure per task (as [`MvOp`] must, to erase heterogeneous
+/// closure types) would put an allocation per transaction on the hot path.
+/// Re-executions call `run` again with the same task reference.
+pub fn run_block_tasks<T, R, F>(
+    stm: &Stm,
+    tasks: Vec<MvTask<T>>,
+    run: F,
+    parallelism: usize,
+) -> MvBlockOutcome<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let len = tasks.len();
+    // Per-entry mutexes (inline, not allocations) keep the bound at
+    // `T: Send` — the same contract `MvOp`'s boxed closures had — while the
+    // optimistic pass shares the task vector across threads. An index is
+    // only ever executed by one thread at a time, so the locks are
+    // uncontended.
+    let tasks: Vec<Mutex<MvTask<T>>> = tasks.into_iter().map(Mutex::new).collect();
+    let exec = |index: usize| {
+        let entry = tasks[index].lock();
+        match entry.payload.clone() {
+            Some(payload) => with_durable_payload(payload, || run(&entry.task)),
+            None => run(&entry.task),
+        }
+    };
+    let key_of = |index: usize| tasks[index].lock().key;
+    run_block_core(stm, len, &exec, &key_of, parallelism)
+}
+
+/// The block protocol shared by both entry points: `exec` runs one
+/// operation (and is called again on re-execution), `key_of` reports the
+/// operation's telemetry key.
+fn run_block_core<R: Send>(
+    stm: &Stm,
+    len: usize,
+    exec: &(dyn Fn(usize) -> R + Sync),
+    key_of: &dyn Fn(usize) -> Option<u64>,
+    parallelism: usize,
+) -> MvBlockOutcome<R> {
+    let session = MvSession::new(len);
     let mut results: Vec<Option<R>> = Vec::with_capacity(len);
     results.resize_with(len, || None);
     if len == 0 {
@@ -116,14 +187,14 @@ pub fn run_block_with<'a, R: Send>(
                     if index >= len {
                         break;
                     }
-                    let value = execute_op(&session, index as u32, &mut ops[index].lock());
+                    let value = execute_indexed(&session, index, exec);
                     **results_slots[index].lock() = Some(value);
                 });
             }
         });
     } else {
-        for (index, op) in ops.iter().enumerate() {
-            results[index] = Some(execute_op(&session, index as u32, &mut op.lock()));
+        for (index, slot) in results.iter_mut().enumerate() {
+            *slot = Some(execute_indexed(&session, index, exec));
         }
     }
 
@@ -131,9 +202,9 @@ pub fn run_block_with<'a, R: Send>(
     // and transactions 0..i are final once position i is reached, so one
     // in-order sweep converges to the sequential semantics of the block.
     let mut reexecutions: u64 = 0;
-    for index in 0..len {
+    for (index, slot) in results.iter_mut().enumerate() {
         if !session.validate(index as u32) {
-            results[index] = Some(execute_op(&session, index as u32, &mut ops[index].lock()));
+            *slot = Some(execute_indexed(&session, index, exec));
             reexecutions += 1;
         }
     }
@@ -186,7 +257,7 @@ pub fn run_block_with<'a, R: Send>(
             for (index, (reads, writes)) in inner.txn_stats().enumerate() {
                 stm.stats_ref().record_commit(writes == 0, reads, writes);
                 if let Some(keyed) = stm.stats_ref().key_telemetry() {
-                    if let Some(key) = ops[index].lock().key {
+                    if let Some(key) = key_of(index) {
                         keyed.record(key, 1, 0);
                     }
                 }
@@ -204,10 +275,9 @@ pub fn run_block_with<'a, R: Send>(
                 }
                 session.with_inner(|inner| inner.invalidate_stale_bases(NO_OWNER));
                 // Re-execute exactly the readers of the moved bases.
-                for index in 0..len {
+                for (index, slot) in results.iter_mut().enumerate() {
                     if !session.validate(index as u32) {
-                        results[index] =
-                            Some(execute_op(&session, index as u32, &mut ops[index].lock()));
+                        *slot = Some(execute_indexed(&session, index, exec));
                         reexecutions += 1;
                     }
                 }
@@ -215,9 +285,11 @@ pub fn run_block_with<'a, R: Send>(
         }
     };
     registry::unregister(owner);
-    // Return the block's multi-version entry boxes to the global pool so
-    // subsequent transactions refill them instead of allocating.
-    session.with_inner(|inner| inner.reclaim_boxes());
+    // Retire the session: the block's multi-version entry boxes return to
+    // the global pool so subsequent transactions refill them instead of
+    // allocating, and the session's own buffers (vars map, txn vector) are
+    // recycled into the next block.
+    session::retire(session);
     if let Some(ticket) = durable_ticket {
         if let Some(sink) = stm.stats_ref().durability_sink() {
             sink.wait_durable(ticket);
@@ -239,15 +311,16 @@ pub fn run_block_with<'a, R: Send>(
     }
 }
 
-/// Run one (re-)execution of `ops[txn_idx]` under the session's thread-local
-/// activation, staging its durability payload for the commit record.
-fn execute_op<R>(session: &Arc<MvSession>, txn_idx: u32, op: &mut MvOp<'_, R>) -> R {
-    session.begin_execution(txn_idx);
-    let _guard = session::activate(Arc::clone(session), txn_idx);
-    match op.payload.clone() {
-        Some(payload) => with_durable_payload(payload, &mut op.run),
-        None => (op.run)(),
-    }
+/// Run one (re-)execution of operation `index` under the session's
+/// thread-local activation. `exec` stages the durability payload itself.
+fn execute_indexed<R>(
+    session: &Arc<MvSession>,
+    index: usize,
+    exec: &(dyn Fn(usize) -> R + Sync),
+) -> R {
+    session.begin_execution(index as u32);
+    let _guard = session::activate(Arc::clone(session), index as u32);
+    exec(index)
 }
 
 #[cfg(test)]

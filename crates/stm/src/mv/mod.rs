@@ -49,5 +49,7 @@
 pub(crate) mod block;
 pub(crate) mod session;
 
-pub use block::{run_block, run_block_with, MvBlockOutcome, MvBlockReport, MvOp};
+pub use block::{
+    run_block, run_block_tasks, run_block_with, MvBlockOutcome, MvBlockReport, MvOp, MvTask,
+};
 pub use session::Version;

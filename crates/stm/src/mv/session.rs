@@ -3,7 +3,7 @@
 //! dependency log that drives re-execution.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -57,9 +57,26 @@ struct MvWrite {
 struct VarState {
     handle: Arc<dyn TVarDyn>,
     base: Option<BaseCell>,
-    /// Writes by block transaction index; a read by transaction `i` resolves
-    /// to `writes.range(..i).next_back()`.
-    writes: BTreeMap<u32, MvWrite>,
+    /// Writes by block transaction index, kept sorted ascending; a read by
+    /// transaction `i` resolves to the highest entry below `i`. A sorted
+    /// `Vec` (with its buffer pooled across blocks) instead of a `BTreeMap`:
+    /// blocks write each variable a handful of times, and the tree paid one
+    /// node allocation per insert on the lane's hot path.
+    writes: Vec<(u32, MvWrite)>,
+}
+
+impl VarState {
+    /// Index of the first write at or above `txn_idx`.
+    fn floor_idx(&self, txn_idx: u32) -> usize {
+        self.writes.partition_point(|(idx, _)| *idx < txn_idx)
+    }
+
+    /// The write of the highest transaction below `txn_idx`, if any.
+    fn floor(&self, txn_idx: u32) -> Option<&(u32, MvWrite)> {
+        self.floor_idx(txn_idx)
+            .checked_sub(1)
+            .map(|i| &self.writes[i])
+    }
 }
 
 /// Per-transaction state within the block.
@@ -81,7 +98,24 @@ struct TxnState {
 pub(crate) struct SessionInner {
     vars: HashMap<TVarId, VarState>,
     txns: Vec<TxnState>,
+    /// Emptied per-variable write vectors awaiting reuse within this session
+    /// — a block typically touches a similar variable population each round,
+    /// so recycling the buffers takes the per-var allocation off the lane.
+    spare_writes: Vec<Vec<(u32, MvWrite)>>,
 }
+
+/// Retired [`SessionInner`]s (vars map, txn vector, and spare write-vec
+/// buffers all empty but with capacity retained) awaiting the next block.
+/// The compat `parking_lot::Mutex::new` is `const`, so this mirrors the
+/// `MV_BOX_POOL` idiom in `scratch`.
+static SESSION_POOL: Mutex<Vec<SessionInner>> = Mutex::new(Vec::new());
+
+/// Retired sessions kept beyond this are simply dropped: blocks run one at a
+/// time per `Stm`, so a small pool covers even several concurrent instances.
+const SESSION_POOL_MAX: usize = 8;
+
+/// Spare write vectors retained per session; beyond this they are freed.
+const SPARE_WRITE_VECS_MAX: usize = 256;
 
 /// One block's multi-version memory. Shared by every thread executing the
 /// block; a single mutex guards the (cheap) bookkeeping while the user
@@ -92,13 +126,18 @@ pub(crate) struct MvSession {
 
 impl MvSession {
     pub(crate) fn new(len: usize) -> Arc<Self> {
-        let mut txns = Vec::with_capacity(len);
-        txns.resize_with(len, TxnState::default);
+        let mut inner = SESSION_POOL.lock().pop().unwrap_or_else(|| SessionInner {
+            vars: HashMap::new(),
+            txns: Vec::new(),
+            spare_writes: Vec::new(),
+        });
+        // Pooled state was scrubbed at retirement; only the txn vector's
+        // length needs adjusting to this block (`resize_with` truncates or
+        // grows as needed, preserving pooled `deps` capacity when shrinking
+        // is not required).
+        inner.txns.resize_with(len, TxnState::default);
         Arc::new(MvSession {
-            inner: Mutex::new(SessionInner {
-                vars: HashMap::new(),
-                txns,
-            }),
+            inner: Mutex::new(inner),
         })
     }
 
@@ -108,8 +147,8 @@ impl MvSession {
     pub(crate) fn begin_execution(&self, txn_idx: u32) {
         let mut inner = self.inner.lock();
         for state in inner.vars.values_mut() {
-            if let Some(write) = state.writes.get_mut(&txn_idx) {
-                write.estimate = true;
+            if let Ok(pos) = state.writes.binary_search_by_key(&txn_idx, |(idx, _)| *idx) {
+                state.writes[pos].1.estimate = true;
             }
         }
         let txn = &mut inner.txns[txn_idx as usize];
@@ -131,7 +170,12 @@ impl MvSession {
         let id = var.id();
         loop {
             let mut inner = self.inner.lock();
-            if let std::collections::hash_map::Entry::Vacant(slot) = inner.vars.entry(id) {
+            let SessionInner {
+                vars,
+                txns,
+                spare_writes,
+            } = &mut *inner;
+            if let std::collections::hash_map::Entry::Vacant(slot) = vars.entry(id) {
                 // First touch: capture the shared base snapshot. The variable
                 // may be momentarily owned by an external committer; retry
                 // outside the lock.
@@ -144,7 +188,7 @@ impl MvSession {
                                 value: value as ArcAny,
                                 version,
                             }),
-                            writes: BTreeMap::new(),
+                            writes: spare_writes.pop().unwrap_or_default(),
                         });
                     }
                     None => {
@@ -155,53 +199,52 @@ impl MvSession {
                     }
                 }
             }
-            let state = inner.vars.get_mut(&id).expect("inserted above");
-            let (value, dep) =
-                if let Some((&writer, write)) = state.writes.range(..txn_idx).next_back() {
-                    let value = Arc::downcast::<T>(write.entry.value_any())
-                        .expect("multi-version entry type mismatch for TVar id");
-                    (
-                        value,
-                        ReadDep::Write {
-                            version: Version {
-                                txn_idx: writer,
-                                incarnation: write.incarnation,
-                            },
+            let state = vars.get_mut(&id).expect("inserted above");
+            let (value, dep) = if let Some(&(writer, ref write)) = state.floor(txn_idx) {
+                let value = Arc::downcast::<T>(write.entry.value_any())
+                    .expect("multi-version entry type mismatch for TVar id");
+                (
+                    value,
+                    ReadDep::Write {
+                        version: Version {
+                            txn_idx: writer,
+                            incarnation: write.incarnation,
                         },
-                    )
-                } else {
-                    match &state.base {
-                        Some(base) => {
-                            let value = Arc::downcast::<T>(Arc::clone(&base.value))
-                                .expect("base snapshot type mismatch for TVar id");
-                            (
-                                value,
-                                ReadDep::Base {
-                                    version: base.version,
-                                },
-                            )
-                        }
-                        None => {
-                            // Base was invalidated by a failed publish; recapture.
-                            match var.core().consistent_snapshot() {
-                                Some((value, version)) => {
-                                    state.base = Some(BaseCell {
-                                        value: Arc::clone(&value) as ArcAny,
-                                        version,
-                                    });
-                                    (value, ReadDep::Base { version })
-                                }
-                                None => {
-                                    drop(inner);
-                                    std::hint::spin_loop();
-                                    std::thread::yield_now();
-                                    continue;
-                                }
+                    },
+                )
+            } else {
+                match &state.base {
+                    Some(base) => {
+                        let value = Arc::downcast::<T>(Arc::clone(&base.value))
+                            .expect("base snapshot type mismatch for TVar id");
+                        (
+                            value,
+                            ReadDep::Base {
+                                version: base.version,
+                            },
+                        )
+                    }
+                    None => {
+                        // Base was invalidated by a failed publish; recapture.
+                        match var.core().consistent_snapshot() {
+                            Some((value, version)) => {
+                                state.base = Some(BaseCell {
+                                    value: Arc::clone(&value) as ArcAny,
+                                    version,
+                                });
+                                (value, ReadDep::Base { version })
+                            }
+                            None => {
+                                drop(inner);
+                                std::hint::spin_loop();
+                                std::thread::yield_now();
+                                continue;
                             }
                         }
                     }
-                };
-            let txn = &mut inner.txns[txn_idx as usize];
+                }
+            };
+            let txn = &mut txns[txn_idx as usize];
             txn.deps.push((id, dep));
             txn.reads += 1;
             return Ok(value);
@@ -217,11 +260,17 @@ impl MvSession {
     /// incarnation are parked on the global return lane for reuse.
     pub(crate) fn record(&self, txn_idx: u32, write_set: &mut WriteSet, payload: Option<Vec<u8>>) {
         let mut inner = self.inner.lock();
-        let incarnation = inner.txns[txn_idx as usize].executions.saturating_sub(1);
+        let SessionInner {
+            vars,
+            txns,
+            spare_writes,
+        } = &mut *inner;
+        let incarnation = txns[txn_idx as usize].executions.saturating_sub(1);
         // Drop writes from the previous incarnation that were not re-written.
-        for (id, state) in inner.vars.iter_mut() {
+        for (id, state) in vars.iter_mut() {
             if write_set.get(*id).is_none() {
-                if let Some(old) = state.writes.remove(&txn_idx) {
+                if let Ok(pos) = state.writes.binary_search_by_key(&txn_idx, |(idx, _)| *idx) {
+                    let (_, old) = state.writes.remove(pos);
                     scratch::park_mv_box(old.entry);
                 }
             }
@@ -229,23 +278,25 @@ impl MvSession {
         let writes = write_set.len() as u64;
         for (id, entry) in write_set.drain_entries() {
             let handle = entry.var_arc();
-            let state = inner.vars.entry(id).or_insert_with(|| VarState {
+            let state = vars.entry(id).or_insert_with(|| VarState {
                 handle,
                 base: None,
-                writes: BTreeMap::new(),
+                writes: spare_writes.pop().unwrap_or_default(),
             });
-            if let Some(old) = state.writes.insert(
-                txn_idx,
-                MvWrite {
-                    incarnation,
-                    estimate: false,
-                    entry,
-                },
-            ) {
-                scratch::park_mv_box(old.entry);
+            let write = MvWrite {
+                incarnation,
+                estimate: false,
+                entry,
+            };
+            match state.writes.binary_search_by_key(&txn_idx, |(idx, _)| *idx) {
+                Ok(pos) => {
+                    let old = std::mem::replace(&mut state.writes[pos].1, write);
+                    scratch::park_mv_box(old.entry);
+                }
+                Err(pos) => state.writes.insert(pos, (txn_idx, write)),
             }
         }
-        let txn = &mut inner.txns[txn_idx as usize];
+        let txn = &mut txns[txn_idx as usize];
         txn.writes += writes;
         if payload.is_some() {
             txn.payload.set(payload);
@@ -261,9 +312,9 @@ impl MvSession {
             let Some(state) = inner.vars.get(id) else {
                 return false;
             };
-            let floor = state.writes.range(..txn_idx).next_back();
+            let floor = state.floor(txn_idx);
             match dep {
-                ReadDep::Write { version } => floor.is_some_and(|(&writer, write)| {
+                ReadDep::Write { version } => floor.is_some_and(|&(writer, ref write)| {
                     writer == version.txn_idx
                         && write.incarnation == version.incarnation
                         && !write.estimate
@@ -297,7 +348,7 @@ impl SessionInner {
             .filter_map(|(id, state)| {
                 state
                     .writes
-                    .last_key_value()
+                    .last()
                     .map(|(_, write)| (*id, &state.handle, write.entry.as_ref()))
             })
             .collect();
@@ -372,13 +423,50 @@ impl SessionInner {
     }
 
     /// Park every multi-version entry box on the global return lane and
-    /// drop the per-variable state — called once the block has published,
-    /// so the boxes recycle into thread arenas instead of being freed.
+    /// empty the per-variable state — called once the block has published,
+    /// so the boxes recycle into thread arenas instead of being freed. The
+    /// emptied write vectors are kept as spares for the next block.
     pub(crate) fn reclaim_boxes(&mut self) {
-        for (_, state) in self.vars.drain() {
-            for (_, write) in state.writes {
+        let SessionInner {
+            vars, spare_writes, ..
+        } = self;
+        for (_, mut state) in vars.drain() {
+            for (_, write) in state.writes.drain(..) {
                 scratch::park_mv_box(write.entry);
             }
+            if spare_writes.len() < SPARE_WRITE_VECS_MAX {
+                spare_writes.push(state.writes);
+            }
+        }
+    }
+
+    /// Scrub everything block-specific while retaining every buffer: vars
+    /// drained (write vectors parked as spares), txn slots reset with their
+    /// dependency-log capacity intact.
+    fn reset(&mut self) {
+        self.reclaim_boxes();
+        for txn in &mut self.txns {
+            txn.executions = 0;
+            txn.deps.clear();
+            txn.reads = 0;
+            txn.writes = 0;
+            txn.payload.set(None);
+        }
+    }
+}
+
+/// Retire a finished block's session: park its multi-version entry boxes,
+/// scrub the block-specific state, and — when the caller held the last
+/// reference, which the publish path guarantees once its executors have
+/// quiesced — return the inner buffers (vars map, txn vector, spare write
+/// vectors) to the global pool for the next block.
+pub(crate) fn retire(session: Arc<MvSession>) {
+    session.with_inner(SessionInner::reset);
+    if let Some(session) = Arc::into_inner(session) {
+        let inner = session.inner.into_inner();
+        let mut pool = SESSION_POOL.lock();
+        if pool.len() < SESSION_POOL_MAX {
+            pool.push(inner);
         }
     }
 }

@@ -1,0 +1,191 @@
+//! Loopback integration tests for the network service plane: the pipelined
+//! wire protocol in front of a real runtime, exercising queue-full
+//! pushback, per-connection ordering across in-flight windows, and the
+//! shutdown drain — the contracts `katme-server`'s unit tests can only
+//! state, not prove end-to-end.
+
+use std::time::Duration;
+
+use katme::Katme;
+use katme_server::{Client, Command, Reply, ServeExt, ServerConfig};
+
+const KEY_SPACE: u64 = u32::MAX as u64;
+
+/// A pipelined flood against one slow worker behind a tiny queue: the
+/// accepted prefix of each burst completes normally, the rejected
+/// remainder is answered `-BUSY` (not dropped, not reordered), and the
+/// server's own pushback counter agrees with the client's count.
+#[test]
+fn pipelined_pushback_under_full_queue() {
+    let burst = 128usize;
+    let server = Katme::builder()
+        .workers(1)
+        .key_range(0, KEY_SPACE)
+        .max_queue_depth(Some(4))
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_op_delay(Duration::from_micros(100))
+                .with_inflight_window(burst),
+        )
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let cmds: Vec<Command> = (0..burst)
+        .map(|i| Command::Put {
+            key: i as u32,
+            value: i as u64 + 7,
+        })
+        .collect();
+    client.send(&cmds).expect("flood send");
+    let replies = client.recv_n(burst).expect("flood recv");
+    assert_eq!(replies.len(), burst, "every pipeline slot must be answered");
+
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for reply in &replies {
+        match reply {
+            Reply::Int(_) => ok += 1,
+            Reply::Busy => busy += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(busy > 0, "a 128-burst against queue depth 4 must push back");
+    assert!(ok > 0, "the accepted prefix must still complete");
+    assert_eq!(ok + busy, burst as u64, "no command may be dropped");
+
+    // A `-BUSY` command was *not* executed: its key must be retryable and
+    // the connection must still be usable after pushback.
+    let retry = client.request(Command::Ping).expect("post-pushback ping");
+    assert_eq!(retry, Reply::Ok);
+
+    let report = server.shutdown();
+    let net = report.net.expect("server runtimes carry net counters");
+    assert_eq!(
+        net.pushback_busy, busy,
+        "server-side -BUSY tally must match the client's"
+    );
+    assert!(net.commands > burst as u64);
+    assert!(net.replies > burst as u64);
+}
+
+/// A long PUT-then-GET script pipelined in one write: every GET must
+/// observe its preceding PUT even though the server executes the stream as
+/// window-sized concurrent batches — per-key submission order survives the
+/// whole decode → batch → keyed-dispatch → reply path, across window
+/// boundaries.
+#[test]
+fn per_connection_order_survives_windowed_batching() {
+    let total = 512usize;
+    let server = Katme::builder()
+        .workers(4)
+        .key_range(0, KEY_SPACE)
+        .serve_with(
+            "127.0.0.1:0",
+            // A small window forces many batch boundaries inside the script.
+            ServerConfig::default().with_inflight_window(16),
+        )
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let cmds: Vec<Command> = (0..total)
+        .map(|i| {
+            let key = (i / 2) as u32;
+            if i % 2 == 0 {
+                Command::Put {
+                    key,
+                    value: key as u64 + 1_000,
+                }
+            } else {
+                Command::Get { key }
+            }
+        })
+        .collect();
+    client.send(&cmds).expect("pipelined send");
+    let replies = client.recv_n(total).expect("drain replies");
+    for (i, reply) in replies.iter().enumerate() {
+        let key = (i / 2) as u64;
+        let expected = if i % 2 == 0 {
+            Reply::Int(1) // fresh key: newly inserted
+        } else {
+            Reply::Int(key + 1_000) // the GET must see the PUT before it
+        };
+        assert_eq!(*reply, expected, "reply {i} out of order");
+    }
+    server.shutdown();
+}
+
+/// Shutdown drains in-flight work: replies already owed to a connection are
+/// written before its socket closes, and the final report carries the
+/// connection-plane counters.
+#[test]
+fn shutdown_drains_owed_replies() {
+    let total = 64usize;
+    let server = Katme::builder()
+        .workers(2)
+        .key_range(0, KEY_SPACE)
+        .serve_with(
+            "127.0.0.1:0",
+            // Slow commands keep the batch genuinely in flight while the
+            // shutdown below overlaps it.
+            ServerConfig::default().with_op_delay(Duration::from_millis(1)),
+        )
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let cmds: Vec<Command> = (0..total)
+        .map(|i| Command::Put {
+            key: i as u32,
+            value: i as u64,
+        })
+        .collect();
+    client.send(&cmds).expect("pipelined send");
+    // Let the burst reach the decoder (loopback delivery is sub-millisecond;
+    // the executor then owes ~64 ms of slowed command work), so the shutdown
+    // below genuinely overlaps in-flight replies.
+    std::thread::sleep(Duration::from_millis(20));
+
+    // Shut down while the replies are still in flight; the drain contract
+    // says they reach the socket before it closes.
+    let report = server.shutdown();
+    let replies = client.recv_n(total).expect("owed replies after shutdown");
+    assert_eq!(replies.len(), total);
+    assert!(
+        replies.iter().all(|reply| !reply.is_error()),
+        "drained commands must complete, not be abandoned"
+    );
+
+    let net = report.net.expect("report carries net counters");
+    assert!(net.accepted >= 1);
+    assert!(net.commands >= total as u64);
+    assert!(net.replies >= total as u64);
+    assert_eq!(net.connected, 0, "all connections closed at shutdown");
+}
+
+/// STATS round-trips through the wire protocol and reflects executed work.
+#[test]
+fn stats_reports_over_the_wire() {
+    let server = Katme::builder()
+        .workers(2)
+        .key_range(0, KEY_SPACE)
+        .serve("127.0.0.1:0")
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for i in 0..10u32 {
+        let reply = client
+            .request(Command::Put {
+                key: i,
+                value: u64::from(i),
+            })
+            .expect("put");
+        assert_eq!(reply, Reply::Int(1));
+    }
+    let reply = client.request(Command::Stats).expect("stats");
+    let Reply::Bulk(body) = reply else {
+        panic!("STATS must reply with a bulk body, got {reply:?}");
+    };
+    let completed = katme_server::stat_value(&body, "completed").expect("completed stat");
+    assert!(completed >= 10, "stats must reflect executed commands");
+    server.shutdown();
+}
